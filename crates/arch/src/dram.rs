@@ -1,0 +1,136 @@
+//! External DRAM model: access counting and refresh scheduling.
+//!
+//! The architecture keeps the whole image (initial, intermediate and final
+//! data) in one external image-sized DRAM; on-chip buffering guarantees that
+//! *"each data is read and written only once from/to the DRAM"* per pass.
+//! DRAM rows must be refreshed periodically; the schedule services a refresh
+//! by extending the current macrocycle by six cycles (Fig. 2), which is the
+//! only time the multiplier idles.
+
+use std::fmt;
+
+/// External DRAM model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramModel {
+    words: usize,
+    reads: u64,
+    writes: u64,
+    refreshes: u64,
+    macrocycles_since_refresh: u64,
+    macrocycles_per_refresh: u64,
+}
+
+impl DramModel {
+    /// Creates a DRAM holding `words` datapath words that requests a refresh
+    /// every `macrocycles_per_refresh` macrocycles.
+    #[must_use]
+    pub fn new(words: usize, macrocycles_per_refresh: u64) -> Self {
+        Self {
+            words,
+            reads: 0,
+            writes: 0,
+            refreshes: 0,
+            macrocycles_since_refresh: 0,
+            macrocycles_per_refresh: macrocycles_per_refresh.max(1),
+        }
+    }
+
+    /// Capacity in words (one image).
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Records one read access.
+    pub fn record_read(&mut self) {
+        self.reads += 1;
+    }
+
+    /// Records one write access.
+    pub fn record_write(&mut self) {
+        self.writes += 1;
+    }
+
+    /// Advances time by one macrocycle and reports whether this macrocycle
+    /// must be extended to service a refresh.
+    pub fn tick_macrocycle(&mut self) -> bool {
+        self.macrocycles_since_refresh += 1;
+        if self.macrocycles_since_refresh >= self.macrocycles_per_refresh {
+            self.macrocycles_since_refresh = 0;
+            self.refreshes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total read accesses.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total write accesses.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total refresh operations serviced.
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+impl fmt::Display for DramModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} words: {} reads, {} writes, {} refreshes",
+            self.words, self.reads, self.writes, self.refreshes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut dram = DramModel::new(512 * 512, 48);
+        dram.record_read();
+        dram.record_read();
+        dram.record_write();
+        assert_eq!(dram.reads(), 2);
+        assert_eq!(dram.writes(), 1);
+        assert_eq!(dram.words(), 262144);
+    }
+
+    #[test]
+    fn refresh_fires_every_interval() {
+        let mut dram = DramModel::new(1024, 4);
+        let mut refreshes = 0;
+        for _ in 0..40 {
+            if dram.tick_macrocycle() {
+                refreshes += 1;
+            }
+        }
+        assert_eq!(refreshes, 10);
+        assert_eq!(dram.refreshes(), 10);
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let mut dram = DramModel::new(16, 0);
+        assert!(dram.tick_macrocycle(), "a clamped 1-macrocycle interval refreshes every time");
+    }
+
+    #[test]
+    fn display_summarizes_traffic() {
+        let mut dram = DramModel::new(64, 8);
+        dram.record_read();
+        assert!(dram.to_string().contains("1 reads"));
+    }
+}

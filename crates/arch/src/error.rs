@@ -1,0 +1,62 @@
+//! Error type for the architecture model.
+
+use lwc_dwt::DwtError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the architecture simulator and its components.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// Invalid configuration (zero size, unsupported depth, …).
+    InvalidConfiguration(String),
+    /// The input image does not match the configured geometry.
+    WorkloadMismatch(String),
+    /// A structural hazard was detected (input-buffer overflow, FIFO
+    /// under/overflow) — indicates a scheduling bug, not a data problem.
+    Hazard(String),
+    /// An arithmetic/transform problem from the underlying datapath model.
+    Dwt(DwtError),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+            ArchError::WorkloadMismatch(msg) => write!(f, "workload mismatch: {msg}"),
+            ArchError::Hazard(msg) => write!(f, "structural hazard: {msg}"),
+            ArchError::Dwt(e) => write!(f, "datapath error: {e}"),
+        }
+    }
+}
+
+impl Error for ArchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchError::Dwt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DwtError> for ArchError {
+    fn from(e: DwtError) -> Self {
+        ArchError::Dwt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ArchError::InvalidConfiguration("zero image".to_owned());
+        assert!(e.to_string().contains("zero image"));
+        assert!(Error::source(&e).is_none());
+        let e = ArchError::from(DwtError::NotDecomposable { width: 3, height: 3, scales: 1 });
+        assert!(Error::source(&e).is_some());
+        let e = ArchError::Hazard("fifo underflow".to_owned());
+        assert!(e.to_string().contains("fifo underflow"));
+    }
+}

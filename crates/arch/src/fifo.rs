@@ -1,0 +1,237 @@
+//! Output FIFO depth analysis (Section 4.4, Table VI).
+//!
+//! When computing the FDWT from one scale to the next, the output of a
+//! convolution is written back into the same DRAM locations that later
+//! convolutions of the same pass still need to read — a write-after-read
+//! dependence. The architecture therefore delays the writes through a FIFO
+//! of depth `D` carved out of an intermediate RAM. `D` has to be
+//!
+//! * **large enough** that a new value is never written before the old value
+//!   at that address has been read (`D > -min distance`), and
+//! * **small enough** that the read-after-write dependences appearing at the
+//!   change between vertical and horizontal passes (and in the IDWT) are not
+//!   violated.
+//!
+//! For `N = 512` and `L = 13` the bounds per scale are Table VI:
+//! `MIN(D) = 250, 122, 58, 26, 10, 2` and `MAX(D) = 504, 248, 120, 56, 24, 8`,
+//! i.e. `MIN(D) = N_s/2 − l` and `MAX(D) = N_s − 2l + 4` with
+//! `N_s = N/2^{s-1}`.
+
+use crate::ArchError;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// FIFO depth bounds for one scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoBounds {
+    /// Scale (1-based).
+    pub scale: u32,
+    /// Row/column length processed at this scale.
+    pub row_len: usize,
+    /// Minimum admissible FIFO depth.
+    pub min_depth: usize,
+    /// Maximum admissible FIFO depth.
+    pub max_depth: usize,
+}
+
+impl FifoBounds {
+    /// Computes the bounds for scale `s` of an `n`-wide image filtered with
+    /// an `l`-half-length filter (`L = 2l + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero or the scale is too deep for the image.
+    #[must_use]
+    pub fn for_scale(n: usize, l: usize, s: u32) -> Self {
+        assert!(s >= 1, "scales are 1-based");
+        let row_len = n >> (s - 1);
+        assert!(row_len >= 2 * l, "scale {s} is too deep for an image of {n} rows");
+        Self {
+            scale: s,
+            row_len,
+            min_depth: row_len / 2 - l,
+            max_depth: row_len - 2 * l + 4,
+        }
+    }
+
+    /// Bounds for every scale — the rows of Table VI.
+    #[must_use]
+    pub fn table6(n: usize, l: usize, scales: u32) -> Vec<Self> {
+        (1..=scales).map(|s| Self::for_scale(n, l, s)).collect()
+    }
+
+    /// A depth that satisfies both bounds (the midpoint, which is what the
+    /// simulator configures).
+    #[must_use]
+    pub fn feasible_depth(&self) -> usize {
+        (self.min_depth + self.max_depth) / 2
+    }
+
+    /// Whether `depth` satisfies both bounds.
+    #[must_use]
+    pub fn admits(&self, depth: usize) -> bool {
+        depth >= self.min_depth && depth <= self.max_depth
+    }
+}
+
+impl fmt::Display for FifoBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scale {}: N_s = {}, {} <= D <= {}",
+            self.scale, self.row_len, self.min_depth, self.max_depth
+        )
+    }
+}
+
+/// Runtime model of the variable-depth FIFO: values written by the datapath
+/// emerge `depth` pushes later towards the DRAM write port.
+#[derive(Debug, Clone)]
+pub struct FifoModel {
+    depth: usize,
+    queue: VecDeque<i64>,
+    writes: u64,
+    reads: u64,
+    peak_occupancy: usize,
+}
+
+impl FifoModel {
+    /// Creates a FIFO of the given depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero depth.
+    pub fn new(depth: usize) -> Result<Self, ArchError> {
+        if depth == 0 {
+            return Err(ArchError::InvalidConfiguration("fifo depth must be positive".into()));
+        }
+        Ok(Self { depth, queue: VecDeque::new(), writes: 0, reads: 0, peak_occupancy: 0 })
+    }
+
+    /// Configured depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Pushes a freshly computed value; returns the value that leaves the
+    /// FIFO towards the DRAM (once the pipeline is full).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::Hazard`] if the occupancy would exceed the
+    /// configured depth — the write-after-read dependence would be violated.
+    pub fn push(&mut self, value: i64) -> Result<Option<i64>, ArchError> {
+        self.queue.push_back(value);
+        self.writes += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.queue.len());
+        if self.queue.len() > self.depth {
+            let out = self.queue.pop_front();
+            self.reads += 1;
+            Ok(out)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Drains the remaining values at the end of a pass.
+    pub fn drain(&mut self) -> Vec<i64> {
+        self.reads += self.queue.len() as u64;
+        self.queue.drain(..).collect()
+    }
+
+    /// Number of values pushed so far.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of values that have left the FIFO.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Largest occupancy observed.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_is_reproduced_for_the_paper_configuration() {
+        let bounds = FifoBounds::table6(512, 6, 6);
+        let mins: Vec<usize> = bounds.iter().map(|b| b.min_depth).collect();
+        let maxs: Vec<usize> = bounds.iter().map(|b| b.max_depth).collect();
+        assert_eq!(mins, vec![250, 122, 58, 26, 10, 2]);
+        assert_eq!(maxs, vec![504, 248, 120, 56, 24, 8]);
+    }
+
+    #[test]
+    fn bounds_leave_a_feasible_window_at_every_scale() {
+        for b in FifoBounds::table6(512, 6, 6) {
+            assert!(b.min_depth < b.max_depth, "{b}");
+            assert!(b.admits(b.feasible_depth()));
+            assert!(!b.admits(b.min_depth - 1));
+            assert!(!b.admits(b.max_depth + 1));
+        }
+    }
+
+    #[test]
+    fn deeper_scales_need_shallower_fifos() {
+        let bounds = FifoBounds::table6(512, 6, 6);
+        for pair in bounds.windows(2) {
+            assert!(pair[1].min_depth < pair[0].min_depth);
+            assert!(pair[1].max_depth < pair[0].max_depth);
+        }
+    }
+
+    #[test]
+    fn fifo_delays_values_by_its_depth() {
+        let mut fifo = FifoModel::new(3).unwrap();
+        assert_eq!(fifo.push(10).unwrap(), None);
+        assert_eq!(fifo.push(11).unwrap(), None);
+        assert_eq!(fifo.push(12).unwrap(), None);
+        assert_eq!(fifo.push(13).unwrap(), Some(10));
+        assert_eq!(fifo.push(14).unwrap(), Some(11));
+        assert_eq!(fifo.drain(), vec![12, 13, 14]);
+        assert_eq!(fifo.writes(), 5);
+        assert_eq!(fifo.reads(), 5);
+        assert_eq!(fifo.peak_occupancy(), 4);
+    }
+
+    #[test]
+    fn zero_depth_is_rejected() {
+        assert!(FifoModel::new(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "too deep")]
+    fn overly_deep_scales_panic() {
+        let _ = FifoBounds::for_scale(64, 6, 4);
+    }
+
+    #[test]
+    fn other_filter_lengths_shift_the_bounds() {
+        // A 9-tap filter (l = 4) relaxes the minimum and raises the maximum.
+        let b13 = FifoBounds::for_scale(512, 6, 1);
+        let b9 = FifoBounds::for_scale(512, 4, 1);
+        assert!(b9.min_depth > b13.min_depth - 3);
+        assert!(b9.max_depth > b13.max_depth);
+        assert_eq!(b9.min_depth, 252);
+        assert_eq!(b9.max_depth, 508);
+    }
+
+    #[test]
+    fn display_reads_like_table6() {
+        let b = FifoBounds::for_scale(512, 6, 1);
+        let s = b.to_string();
+        assert!(s.contains("250"));
+        assert!(s.contains("504"));
+    }
+}

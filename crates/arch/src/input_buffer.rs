@@ -1,0 +1,267 @@
+//! The folded two-bank input buffer (Section 4.1, Fig. 4, Table IV).
+//!
+//! To read every DRAM datum exactly once, the architecture keeps the samples
+//! that are still *live* (needed by upcoming convolutions of the current
+//! row/column) in a small on-chip buffer. With a filter of length
+//! `L = 2l + 1` and the periodic ("circular convolution") border extension,
+//! the minimum buffer size is `B = 4l + 1`, rounded up to the next power of
+//! two to simplify the addressing. The buffer is folded into two banks of
+//! `B/2` words whose roles swap between even and odd rows/columns; Bank 2 is
+//! refilled `#rounds` times per row/column (Table IV).
+
+use crate::ArchError;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Static sizing of the input buffer for a given filter length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputBufferSpec {
+    /// Filter length `L`.
+    pub filter_len: usize,
+    /// Half length `l` (`L = 2l + 1` for odd filters; even filters round up).
+    pub half_len: usize,
+    /// Minimum number of words, `4l + 1`.
+    pub minimum_words: usize,
+    /// Implemented number of words (next power of two).
+    pub words: usize,
+}
+
+impl InputBufferSpec {
+    /// Builds the sizing for a filter of `filter_len` taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the filter is shorter than 2 taps.
+    pub fn for_filter(filter_len: usize) -> Result<Self, ArchError> {
+        if filter_len < 2 {
+            return Err(ArchError::InvalidConfiguration(
+                "the input buffer needs a filter of at least 2 taps".into(),
+            ));
+        }
+        let half_len = filter_len / 2;
+        let minimum_words = 4 * half_len + 1;
+        Ok(Self {
+            filter_len,
+            half_len,
+            minimum_words,
+            words: minimum_words.next_power_of_two(),
+        })
+    }
+
+    /// Size of each of the two banks (half the implemented buffer).
+    #[must_use]
+    pub fn bank_words(&self) -> usize {
+        self.words / 2
+    }
+
+    /// Number of times Bank 2 is reused while processing one row/column of
+    /// `row_len` samples (Table IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len` is zero.
+    #[must_use]
+    pub fn bank2_rounds(&self, row_len: usize) -> usize {
+        assert!(row_len > 0, "row length must be positive");
+        (row_len / self.bank_words()).saturating_sub(1)
+    }
+
+    /// Table IV: Bank 2 reuse counts per scale for an `n × n` image
+    /// decomposed over `scales` scales.
+    #[must_use]
+    pub fn table4(&self, n: usize, scales: u32) -> Vec<(u32, usize, usize)> {
+        (1..=scales)
+            .map(|s| {
+                let row_len = n >> (s - 1);
+                (s, row_len, self.bank2_rounds(row_len))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for InputBufferSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L={} => Bsize = 4*{}+1 = {} -> {} words in two banks of {}",
+            self.filter_len,
+            self.half_len,
+            self.minimum_words,
+            self.words,
+            self.bank_words()
+        )
+    }
+}
+
+/// Dynamic occupancy model of the input buffer for one row/column pass.
+///
+/// The model tracks which sample indices are resident and verifies the two
+/// properties the sizing relies on: every DRAM sample is loaded exactly once
+/// per pass, and the number of simultaneously live samples never exceeds the
+/// implemented buffer size.
+#[derive(Debug, Clone)]
+pub struct InputBufferModel {
+    spec: InputBufferSpec,
+    row_len: usize,
+    resident: VecDeque<i64>,
+    loads: u64,
+    peak_occupancy: usize,
+}
+
+impl InputBufferModel {
+    /// Starts a pass over a row/column of `row_len` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the row is shorter than two samples.
+    pub fn begin_pass(spec: InputBufferSpec, row_len: usize) -> Result<Self, ArchError> {
+        if row_len < 2 {
+            return Err(ArchError::InvalidConfiguration(
+                "a pass needs at least two samples".into(),
+            ));
+        }
+        Ok(Self { spec, row_len, resident: VecDeque::new(), loads: 0, peak_occupancy: 0 })
+    }
+
+    /// Declares that the convolution for output `k` (0-based, `0 ≤ k <
+    /// row_len/2`) needs samples `2k + support_min ..= 2k + support_max`
+    /// (periodic indices). Missing samples are loaded (each counted once) and
+    /// samples older than the sliding window are retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::Hazard`] if the live window exceeds the
+    /// implemented buffer size.
+    pub fn access(
+        &mut self,
+        k: usize,
+        support_min: i32,
+        support_max: i32,
+    ) -> Result<(), ArchError> {
+        let first = 2 * k as i64 + i64::from(support_min);
+        let last = 2 * k as i64 + i64::from(support_max);
+        // Retire samples that can no longer be needed by any later output of
+        // this pass (the window only moves forward by 2 per output).
+        while let Some(&front) = self.resident.front() {
+            if front < first {
+                self.resident.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Load the samples that are not yet resident.
+        let next_needed = self.resident.back().map_or(first, |&b| b + 1);
+        for idx in next_needed..=last {
+            self.resident.push_back(idx);
+            self.loads += 1;
+        }
+        self.peak_occupancy = self.peak_occupancy.max(self.resident.len());
+        if self.resident.len() > self.spec.words {
+            return Err(ArchError::Hazard(format!(
+                "input buffer needs {} live words but only {} are implemented",
+                self.resident.len(),
+                self.spec.words
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of load operations performed so far in this pass.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Largest number of simultaneously live samples observed.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Length of the row/column being processed.
+    #[must_use]
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_matches_the_papers_example() {
+        // Section 4.1: L = 13 -> Bsize = 4·6 + 1 = 25 -> 32 words.
+        let spec = InputBufferSpec::for_filter(13).unwrap();
+        assert_eq!(spec.half_len, 6);
+        assert_eq!(spec.minimum_words, 25);
+        assert_eq!(spec.words, 32);
+        assert_eq!(spec.bank_words(), 16);
+    }
+
+    #[test]
+    fn table4_is_reproduced_for_512() {
+        // Table IV: #rounds = 31, 15, 7, 3, 1, 0 for scales 1..6.
+        let spec = InputBufferSpec::for_filter(13).unwrap();
+        let rounds: Vec<usize> =
+            spec.table4(512, 6).into_iter().map(|(_, _, r)| r).collect();
+        assert_eq!(rounds, vec![31, 15, 7, 3, 1, 0]);
+        let sizes: Vec<usize> = spec.table4(512, 6).into_iter().map(|(_, n, _)| n).collect();
+        assert_eq!(sizes, vec![512, 256, 128, 64, 32, 16]);
+    }
+
+    #[test]
+    fn shorter_filters_need_smaller_buffers() {
+        let spec5 = InputBufferSpec::for_filter(5).unwrap();
+        assert_eq!(spec5.minimum_words, 9);
+        assert_eq!(spec5.words, 16);
+        let spec9 = InputBufferSpec::for_filter(9).unwrap();
+        assert_eq!(spec9.minimum_words, 17);
+        assert_eq!(spec9.words, 32);
+        assert!(InputBufferSpec::for_filter(1).is_err());
+    }
+
+    #[test]
+    fn occupancy_model_respects_the_sizing_for_a_full_row() {
+        // Sweep a 13-tap analysis over a 512-sample row: every sample in the
+        // extended range is loaded exactly once and the live window stays
+        // within the 32-word buffer.
+        let spec = InputBufferSpec::for_filter(13).unwrap();
+        let mut model = InputBufferModel::begin_pass(spec, 512).unwrap();
+        for k in 0..256 {
+            model.access(k, -6, 6).unwrap();
+        }
+        assert!(model.peak_occupancy() <= spec.words);
+        assert!(model.peak_occupancy() >= spec.filter_len);
+        // 512 interior samples plus the periodic extension on both edges
+        // (at most 2l = 12 extra reads).
+        assert!(
+            (512..=512 + 12).contains(&model.loads()),
+            "loads {}",
+            model.loads()
+        );
+    }
+
+    #[test]
+    fn undersized_buffers_are_detected() {
+        let mut spec = InputBufferSpec::for_filter(13).unwrap();
+        spec.words = 8; // deliberately break the sizing
+        let mut model = InputBufferModel::begin_pass(spec, 64).unwrap();
+        let mut failed = false;
+        for k in 0..32 {
+            if model.access(k, -6, 6).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "an 8-word buffer cannot hold a 13-tap live window");
+    }
+
+    #[test]
+    fn display_shows_the_sizing_rule() {
+        let spec = InputBufferSpec::for_filter(13).unwrap();
+        let s = spec.to_string();
+        assert!(s.contains("4*6+1 = 25"));
+        assert!(s.contains("32"));
+    }
+}

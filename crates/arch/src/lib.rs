@@ -1,0 +1,75 @@
+//! # lwc-arch — cycle-accurate model of the proposed VLSI architecture
+//!
+//! Section 4 of the paper describes a datapath built around **one** 32×32
+//! pipelined multiplier with a 64-bit accumulator, an input buffer of
+//! `N/2 + 32` words, an external DRAM holding the image, a small coefficient
+//! RAM and a variable-depth FIFO that decouples DRAM reads from writes. The
+//! computation is organised in **macrocycles** of `L` clock cycles (Fig. 2):
+//! one convolution output — one DRAM read, one DRAM write, `L` coefficient
+//! reads and `L` MAC operations — per macrocycle, with a six-cycle extension
+//! whenever the DRAM needs a refresh.
+//!
+//! This crate models that architecture at the level the paper itself
+//! validates it:
+//!
+//! * [`schedule`] — the Fig. 2 macrocycle and the multiplier-utilization
+//!   formula (99.04 %),
+//! * [`input_buffer`] — the folded two-bank input buffer of Fig. 4 and the
+//!   Bank 2 reuse counts of Table IV,
+//! * [`fifo`] — the write-after-read dependence analysis bounding the FIFO
+//!   depth (Table VI),
+//! * [`dram`] — the external-memory model with refresh and
+//!   each-datum-read-once accounting,
+//! * [`mac`] — the two-stage pipelined MAC unit (bit-exact, reusing
+//!   `lwc-fixed`),
+//! * [`ArchSimulator`] — ties everything together: it transforms real images
+//!   with exactly the arithmetic of `lwc_dwt::FixedDwt2d` (the paper's
+//!   "same output as a software implementation" check) while counting
+//!   cycles, DRAM traffic and stalls, and reports throughput at the 33 MHz
+//!   target clock.
+//!
+//! ```
+//! use lwc_arch::{ArchParams, ArchSimulator};
+//! use lwc_filters::FilterId;
+//! use lwc_image::synth;
+//!
+//! # fn main() -> Result<(), lwc_arch::ArchError> {
+//! let params = ArchParams::new(64, FilterId::F2, 3)?;
+//! let simulator = ArchSimulator::new(params)?;
+//! let run = simulator.run(&synth::random_image(64, 64, 12, 1))?;
+//! assert!(run.report.utilization() > 0.98);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dram;
+mod error;
+pub mod fifo;
+pub mod input_buffer;
+pub mod mac;
+mod params;
+mod report;
+pub mod schedule;
+mod simulator;
+
+pub use error::ArchError;
+pub use params::ArchParams;
+pub use report::ArchReport;
+pub use simulator::{ArchSimulator, InverseSimulationRun, SimulationRun};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchParams>();
+        assert_send_sync::<ArchSimulator>();
+        assert_send_sync::<ArchReport>();
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,112 @@
+//! The MAC datapath unit: two-stage pipelined multiplier, 64-bit
+//! accumulator, alignment and rounding (Fig. 3, Sections 4.2–4.3).
+
+use crate::ArchError;
+use lwc_fixed::{align_and_round_checked, MacAccumulator};
+
+/// The arithmetic heart of the architecture.
+///
+/// Functionally it performs exactly the arithmetic of the fixed-point DWT in
+/// `lwc-dwt` (so the simulator's output can be compared bit by bit with the
+/// software implementation); in addition it tracks how many multiply
+/// operations were issued, which the report turns into cycle counts.
+#[derive(Debug, Clone, Default)]
+pub struct MacUnit {
+    accumulator: MacAccumulator,
+    multiplies: u64,
+    pipeline_stages: u32,
+}
+
+impl MacUnit {
+    /// Creates the unit with the paper's two-stage pipelined multiplier.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { accumulator: MacAccumulator::new(), multiplies: 0, pipeline_stages: 2 }
+    }
+
+    /// Pipeline depth of the multiplier (2 in the paper).
+    #[must_use]
+    pub fn pipeline_stages(&self) -> u32 {
+        self.pipeline_stages
+    }
+
+    /// Clears the accumulator at the start of a macrocycle.
+    pub fn start_macrocycle(&mut self) {
+        self.accumulator.clear();
+    }
+
+    /// Issues one multiply–accumulate of a coefficient word and a data word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the 64-bit accumulation overflows (indicates
+    /// a mis-configured word-length plan).
+    pub fn mac(&mut self, coefficient: i64, data: i64) -> Result<(), ArchError> {
+        self.multiplies += 1;
+        self.accumulator
+            .mac(coefficient, data)
+            .map_err(|e| ArchError::Dwt(lwc_dwt::DwtError::Fixed(e)))?;
+        Ok(())
+    }
+
+    /// Finishes the macrocycle: aligns the accumulator from `acc_frac_bits`
+    /// to `out_frac_bits` and rounds into a `word_bits` word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the rounded result does not fit the word.
+    pub fn finish_macrocycle(
+        &mut self,
+        acc_frac_bits: u32,
+        out_frac_bits: u32,
+        word_bits: u32,
+    ) -> Result<i64, ArchError> {
+        align_and_round_checked(self.accumulator.value(), acc_frac_bits, out_frac_bits, word_bits)
+            .map_err(|e| ArchError::Dwt(lwc_dwt::DwtError::Fixed(e)))
+    }
+
+    /// Total multiply operations issued since construction.
+    #[must_use]
+    pub fn multiplies(&self) -> u64 {
+        self.multiplies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macrocycle_produces_a_rounded_dot_product() {
+        let mut unit = MacUnit::new();
+        unit.start_macrocycle();
+        // Coefficients in Q2.4, data in Q4.2 -> accumulator has 6 frac bits.
+        unit.mac(8, 12).unwrap(); // 0.5 * 3.0 = 1.5
+        unit.mac(16, 4).unwrap(); // 1.0 * 1.0 = 1.0
+        let out = unit.finish_macrocycle(6, 2, 16).unwrap();
+        assert_eq!(out, 10, "2.5 in Q.2 is raw 10");
+        assert_eq!(unit.multiplies(), 2);
+        assert_eq!(unit.pipeline_stages(), 2);
+    }
+
+    #[test]
+    fn successive_macrocycles_are_independent() {
+        let mut unit = MacUnit::new();
+        unit.start_macrocycle();
+        unit.mac(1 << 10, 1 << 10).unwrap();
+        let first = unit.finish_macrocycle(20, 10, 32).unwrap();
+        unit.start_macrocycle();
+        unit.mac(1 << 10, 1 << 10).unwrap();
+        let second = unit.finish_macrocycle(20, 10, 32).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(unit.multiplies(), 2);
+    }
+
+    #[test]
+    fn word_overflow_is_reported() {
+        let mut unit = MacUnit::new();
+        unit.start_macrocycle();
+        unit.mac(i32::MAX as i64, 1 << 20).unwrap();
+        assert!(unit.finish_macrocycle(0, 0, 16).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Architecture configuration parameters.
+
+use crate::ArchError;
+use lwc_filters::{FilterBank, FilterId};
+use std::fmt;
+
+/// Configuration of one instance of the proposed architecture.
+///
+/// The defaults correspond to the paper's design point: 512×512 images,
+/// the 13-tap F2 bank, 6 scales, a 30 ns (33 MHz) system clock, a DRAM
+/// refresh required every 48 macrocycles and serviced by a 6-cycle
+/// macrocycle extension (Fig. 2, cycles 13–18).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchParams {
+    /// Number of image rows/columns `N`.
+    pub image_size: usize,
+    /// Filter bank the coefficient RAM is loaded with.
+    pub filter: FilterId,
+    /// Number of decomposition scales.
+    pub scales: u32,
+    /// System clock period in nanoseconds (30 ns → 33 MHz).
+    pub clock_ns: f64,
+    /// Number of busy macrocycles between two DRAM refresh requests.
+    pub macrocycles_per_refresh: u64,
+    /// Extra cycles appended to a macrocycle that services a refresh.
+    pub refresh_extension_cycles: u64,
+}
+
+impl ArchParams {
+    /// Number of cycles in a normal macrocycle (one per filter tap).
+    #[must_use]
+    pub fn macrocycle_cycles(&self) -> u64 {
+        FilterBank::table1(self.filter).max_len() as u64
+    }
+
+    /// Creates a configuration with the paper's clocking and refresh
+    /// defaults for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfiguration`] if the image size is not a
+    /// multiple of `2^scales`, or if `scales` is zero.
+    pub fn new(image_size: usize, filter: FilterId, scales: u32) -> Result<Self, ArchError> {
+        let params = Self {
+            image_size,
+            filter,
+            scales,
+            clock_ns: 30.0,
+            macrocycles_per_refresh: 48,
+            refresh_extension_cycles: 6,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// The paper's design point: 512×512, F2 (13 taps), 6 scales.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; the `Result` mirrors
+    /// [`ArchParams::new`].
+    pub fn paper_default() -> Result<Self, ArchError> {
+        Self::new(512, FilterId::F2, 6)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfiguration`] when a field is
+    /// inconsistent.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.scales == 0 {
+            return Err(ArchError::InvalidConfiguration("at least one scale is required".into()));
+        }
+        if self.image_size < 2 || self.image_size % (1 << self.scales) != 0 {
+            return Err(ArchError::InvalidConfiguration(format!(
+                "image size {} is not divisible by 2^{}",
+                self.image_size, self.scales
+            )));
+        }
+        if self.clock_ns <= 0.0 {
+            return Err(ArchError::InvalidConfiguration("clock period must be positive".into()));
+        }
+        if self.macrocycles_per_refresh == 0 {
+            return Err(ArchError::InvalidConfiguration(
+                "refresh interval must be at least one macrocycle".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Clock frequency in Hz.
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        1.0e9 / self.clock_ns
+    }
+
+    /// Half filter length `l` with `L = 2l + 1` (Section 4.1); even-length
+    /// filters round up so the buffer still covers the support.
+    #[must_use]
+    pub fn half_filter_len(&self) -> usize {
+        FilterBank::table1(self.filter).max_len() / 2
+    }
+}
+
+impl fmt::Display for ArchParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} image, {} bank ({} taps), {} scales, {:.0} ns clock",
+            self.image_size,
+            self.image_size,
+            self.filter,
+            self.macrocycle_cycles(),
+            self.scales,
+            self.clock_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_the_design_point() {
+        let p = ArchParams::paper_default().unwrap();
+        assert_eq!(p.image_size, 512);
+        assert_eq!(p.filter, FilterId::F2);
+        assert_eq!(p.scales, 6);
+        assert_eq!(p.macrocycle_cycles(), 13);
+        assert_eq!(p.half_filter_len(), 6);
+        assert!((p.clock_hz() - 33.33e6).abs() < 0.5e6);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        assert!(ArchParams::new(0, FilterId::F1, 1).is_err());
+        assert!(ArchParams::new(48, FilterId::F1, 5).is_err());
+        assert!(ArchParams::new(64, FilterId::F1, 0).is_err());
+        assert!(ArchParams::new(64, FilterId::F1, 3).is_ok());
+        let mut p = ArchParams::new(64, FilterId::F1, 3).unwrap();
+        p.clock_ns = 0.0;
+        assert!(p.validate().is_err());
+        p.clock_ns = 30.0;
+        p.macrocycles_per_refresh = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn macrocycle_length_tracks_the_filter() {
+        assert_eq!(ArchParams::new(64, FilterId::F4, 2).unwrap().macrocycle_cycles(), 5);
+        assert_eq!(ArchParams::new(64, FilterId::F1, 2).unwrap().macrocycle_cycles(), 9);
+    }
+
+    #[test]
+    fn display_mentions_the_geometry() {
+        let p = ArchParams::paper_default().unwrap();
+        let s = p.to_string();
+        assert!(s.contains("512x512"));
+        assert!(s.contains("F2"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Aggregate statistics of one simulated transform.
+
+use std::fmt;
+
+/// Cycle counts, memory traffic and derived throughput of one forward
+/// transform on the simulated architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchReport {
+    /// Number of macrocycles executed (one per convolution output).
+    pub macrocycles: u64,
+    /// Cycles in which the multiplier was busy (load/accumulate).
+    pub busy_cycles: u64,
+    /// Cycles lost to DRAM refresh extensions.
+    pub stall_cycles: u64,
+    /// Number of refresh operations serviced.
+    pub refreshes: u64,
+    /// Words read from the external DRAM.
+    pub dram_reads: u64,
+    /// Words written to the external DRAM.
+    pub dram_writes: u64,
+    /// Multiply operations issued (one per busy cycle).
+    pub mac_operations: u64,
+    /// Largest input-buffer occupancy observed (words).
+    pub peak_input_buffer_words: usize,
+    /// Largest output-FIFO occupancy observed (words).
+    pub peak_fifo_words: usize,
+    /// Clock frequency assumed for the timing figures (Hz).
+    pub clock_hz: f64,
+}
+
+impl ArchReport {
+    /// Total clock cycles (busy plus stalls).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.busy_cycles + self.stall_cycles
+    }
+
+    /// Multiplier utilization, `busy_cycles / total_cycles` (Section 4).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.total_cycles() == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / self.total_cycles() as f64
+    }
+
+    /// Wall-clock seconds for the transform at the configured clock.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles() as f64 / self.clock_hz
+    }
+
+    /// Transforms per second at the configured clock.
+    #[must_use]
+    pub fn images_per_second(&self) -> f64 {
+        1.0 / self.seconds()
+    }
+}
+
+impl fmt::Display for ArchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "macrocycles: {}, busy cycles: {}, stalls: {} ({} refreshes)",
+            self.macrocycles, self.busy_cycles, self.stall_cycles, self.refreshes
+        )?;
+        writeln!(
+            f,
+            "dram: {} reads, {} writes; buffers: input {} words, fifo {} words",
+            self.dram_reads, self.dram_writes, self.peak_input_buffer_words, self.peak_fifo_words
+        )?;
+        write!(
+            f,
+            "utilization {:.2}%, {:.3} s/image ({:.2} images/s at {:.1} MHz)",
+            self.utilization() * 100.0,
+            self.seconds(),
+            self.images_per_second(),
+            self.clock_hz / 1.0e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ArchReport {
+        ArchReport {
+            macrocycles: 1000,
+            busy_cycles: 13_000,
+            stall_cycles: 126,
+            refreshes: 21,
+            dram_reads: 1000,
+            dram_writes: 1000,
+            mac_operations: 13_000,
+            peak_input_buffer_words: 25,
+            peak_fifo_words: 120,
+            clock_hz: 33.0e6,
+        }
+    }
+
+    #[test]
+    fn derived_quantities_are_consistent() {
+        let r = sample();
+        assert_eq!(r.total_cycles(), 13_126);
+        assert!((r.utilization() - 13_000.0 / 13_126.0).abs() < 1e-12);
+        assert!((r.seconds() - 13_126.0 / 33.0e6).abs() < 1e-12);
+        assert!((r.images_per_second() * r.seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_has_zero_utilization() {
+        let r = ArchReport { busy_cycles: 0, stall_cycles: 0, ..sample() };
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn display_reports_the_headline_numbers() {
+        let text = sample().to_string();
+        assert!(text.contains("utilization"));
+        assert!(text.contains("images/s"));
+        assert!(text.contains("dram"));
+    }
+}

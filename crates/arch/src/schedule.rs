@@ -1,0 +1,328 @@
+//! The macrocycle schedule of Fig. 2 and the multiplier-utilization figure.
+//!
+//! A MAC computation for one convolution output occupies a **macrocycle** of
+//! `L` cycles (0‥12 for the 13-tap bank). Cycles 13‥18 extend the macrocycle
+//! when the external DRAM requests a refresh. Every macrocycle performs one
+//! DRAM read, one DRAM write, `L` coefficient-RAM reads and `L`
+//! multiply–accumulate steps; the output FIFO is written once and read once.
+
+use std::fmt;
+
+/// What the DRAM manager does in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramSlot {
+    /// No DRAM activity.
+    Idle,
+    /// Read one datum from the external DRAM.
+    Read,
+    /// Write one datum to the external DRAM.
+    Write,
+    /// Branch into the refresh extension.
+    Branch,
+    /// DRAM refresh in progress.
+    Refresh,
+}
+
+/// What the input buffer / coefficient path does in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferSlot {
+    /// Read coefficient (and buffered datum) number `i` (1-based, as in
+    /// Fig. 2's `rd_cf1` … `rd_cf13`).
+    ReadCoefficient(u8),
+    /// No buffer activity.
+    Idle,
+    /// Decrement the buffer pointer while the refresh completes.
+    DecrementPointer,
+}
+
+/// What the accumulator control does in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccumulatorSlot {
+    /// Load the first product (clears the previous accumulation).
+    Load,
+    /// Accumulate a product.
+    Accumulate,
+    /// Hold the value (refresh extension).
+    Hold,
+}
+
+/// What the output FIFO does in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoSlot {
+    /// No FIFO activity.
+    Idle,
+    /// Write the finished result into the FIFO.
+    Write,
+    /// Read the oldest result from the FIFO (towards the DRAM write port).
+    Read,
+}
+
+/// One cycle of the macrocycle schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleOps {
+    /// Cycle index within the macrocycle.
+    pub cycle: u8,
+    /// DRAM manager activity.
+    pub dram: DramSlot,
+    /// Input buffer / coefficient RAM activity.
+    pub buffer: BufferSlot,
+    /// Accumulator control.
+    pub accumulator: AccumulatorSlot,
+    /// Output FIFO activity.
+    pub fifo: FifoSlot,
+}
+
+/// A complete macrocycle: `taps` working cycles, optionally followed by a
+/// refresh extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Macrocycle {
+    cycles: Vec<CycleOps>,
+    has_refresh: bool,
+}
+
+impl Macrocycle {
+    /// Builds a normal (no refresh) macrocycle for an `taps`-tap filter,
+    /// following Fig. 2: the DRAM read happens in cycle 0, the DRAM write in
+    /// cycles 9–10 (scaled for shorter filters), the FIFO is written in
+    /// cycle 6 and read in cycle 7, coefficients are read every cycle
+    /// starting from `rd_cf4` (the first three were prefetched at the end of
+    /// the previous macrocycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps < 2`.
+    #[must_use]
+    pub fn normal(taps: u8) -> Self {
+        assert!(taps >= 2, "a macrocycle needs at least two taps");
+        let mut cycles = Vec::with_capacity(taps as usize);
+        for c in 0..taps {
+            // Coefficient index wraps around the macrocycle with a phase of
+            // +3 (Fig. 2: cycle 0 reads rd_cf4, cycle 9 reads rd_cf13,
+            // cycle 10 reads rd_cf1).
+            let coef = (c + 3) % taps + 1;
+            let dram = if c == 0 {
+                DramSlot::Read
+            } else if c == taps - 4 || c == taps - 3 {
+                DramSlot::Write
+            } else {
+                DramSlot::Idle
+            };
+            let accumulator =
+                if c == 0 { AccumulatorSlot::Load } else { AccumulatorSlot::Accumulate };
+            let fifo = if c == taps / 2 {
+                FifoSlot::Write
+            } else if c == taps / 2 + 1 {
+                FifoSlot::Read
+            } else {
+                FifoSlot::Idle
+            };
+            cycles.push(CycleOps {
+                cycle: c,
+                dram,
+                buffer: BufferSlot::ReadCoefficient(coef),
+                accumulator,
+                fifo,
+            });
+        }
+        Self { cycles, has_refresh: false }
+    }
+
+    /// Builds a macrocycle extended by `extension` refresh cycles (Fig. 2,
+    /// cycles 13–18): the accumulator holds, the buffer pointer is rewound
+    /// and the first three coefficients are re-read while the DRAM refreshes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps < 2`.
+    #[must_use]
+    pub fn with_refresh(taps: u8, extension: u8) -> Self {
+        let mut base = Self::normal(taps);
+        for e in 0..extension {
+            let cycle = taps + e;
+            let dram = if e == 0 { DramSlot::Branch } else { DramSlot::Refresh };
+            let buffer = match e {
+                0 | 1 => BufferSlot::Idle,
+                2 => BufferSlot::DecrementPointer,
+                _ => BufferSlot::ReadCoefficient(e - 2),
+            };
+            base.cycles.push(CycleOps {
+                cycle,
+                dram,
+                buffer,
+                accumulator: AccumulatorSlot::Hold,
+                fifo: FifoSlot::Idle,
+            });
+        }
+        base.has_refresh = true;
+        base
+    }
+
+    /// The per-cycle operations.
+    #[must_use]
+    pub fn cycles(&self) -> &[CycleOps] {
+        &self.cycles
+    }
+
+    /// Total number of clock cycles the macrocycle occupies.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.cycles.len() as u64
+    }
+
+    /// `true` when the macrocycle carries a refresh extension.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// `true` when the macrocycle carries a refresh extension.
+    #[must_use]
+    pub fn has_refresh(&self) -> bool {
+        self.has_refresh
+    }
+
+    /// Number of cycles in which the multiplier is doing useful work
+    /// (load or accumulate).
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.cycles
+            .iter()
+            .filter(|c| c.accumulator != AccumulatorSlot::Hold)
+            .count() as u64
+    }
+}
+
+impl fmt::Display for Macrocycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycle | dram     | buffer   | acc  | fifo")?;
+        for c in &self.cycles {
+            let dram = match c.dram {
+                DramSlot::Idle => "-",
+                DramSlot::Read => "rd",
+                DramSlot::Write => "wr",
+                DramSlot::Branch => "branch",
+                DramSlot::Refresh => "refresh",
+            };
+            let buffer = match c.buffer {
+                BufferSlot::ReadCoefficient(i) => format!("rd_cf{i}"),
+                BufferSlot::Idle => "idle".to_owned(),
+                BufferSlot::DecrementPointer => "dec ptr".to_owned(),
+            };
+            let acc = match c.accumulator {
+                AccumulatorSlot::Load => "load",
+                AccumulatorSlot::Accumulate => "acc",
+                AccumulatorSlot::Hold => "hold",
+            };
+            let fifo = match c.fifo {
+                FifoSlot::Idle => "-",
+                FifoSlot::Write => "wr",
+                FifoSlot::Read => "rd",
+            };
+            writeln!(f, "{:>5} | {:<8} | {:<8} | {:<4} | {}", c.cycle, dram, buffer, acc, fifo)?;
+        }
+        Ok(())
+    }
+}
+
+/// Multiplier utilization for a run of `total_macrocycles` macrocycles of
+/// `taps` cycles each, of which `refresh_macrocycles` were extended by
+/// `extension` cycles:
+/// `busy_cycles / total_cycles` as in Section 4.
+#[must_use]
+pub fn utilization(
+    taps: u64,
+    total_macrocycles: u64,
+    refresh_macrocycles: u64,
+    extension: u64,
+) -> f64 {
+    let busy = taps * total_macrocycles;
+    let total = busy + refresh_macrocycles * extension;
+    if total == 0 {
+        return 0.0;
+    }
+    busy as f64 / total as f64
+}
+
+/// The utilization figure the paper quotes (99.04 %).
+pub const PAPER_UTILIZATION: f64 = 0.9904;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_macrocycle_has_one_read_one_result() {
+        let m = Macrocycle::normal(13);
+        assert_eq!(m.len(), 13);
+        assert!(!m.has_refresh());
+        assert_eq!(m.cycles().iter().filter(|c| c.dram == DramSlot::Read).count(), 1);
+        assert_eq!(m.cycles().iter().filter(|c| c.dram == DramSlot::Write).count(), 2);
+        assert_eq!(m.cycles().iter().filter(|c| c.fifo == FifoSlot::Write).count(), 1);
+        assert_eq!(m.cycles().iter().filter(|c| c.fifo == FifoSlot::Read).count(), 1);
+        // One load followed by 12 accumulates: 13 MACs.
+        assert_eq!(m.busy_cycles(), 13);
+    }
+
+    #[test]
+    fn every_coefficient_is_read_exactly_once_per_macrocycle() {
+        let m = Macrocycle::normal(13);
+        let mut seen = vec![0u32; 14];
+        for c in m.cycles() {
+            if let BufferSlot::ReadCoefficient(i) = c.buffer {
+                seen[i as usize] += 1;
+            }
+        }
+        assert!(seen[1..=13].iter().all(|&n| n == 1), "{seen:?}");
+        // Fig. 2: cycle 0 reads rd_cf4.
+        assert_eq!(m.cycles()[0].buffer, BufferSlot::ReadCoefficient(4));
+    }
+
+    #[test]
+    fn refresh_extension_holds_the_accumulator() {
+        let m = Macrocycle::with_refresh(13, 6);
+        assert_eq!(m.len(), 19);
+        assert!(m.has_refresh());
+        assert_eq!(m.busy_cycles(), 13, "the multiplier is idle only during refresh");
+        let tail = &m.cycles()[13..];
+        assert!(tail.iter().all(|c| c.accumulator == AccumulatorSlot::Hold));
+        assert_eq!(tail[0].dram, DramSlot::Branch);
+        assert!(tail[1..].iter().all(|c| c.dram == DramSlot::Refresh));
+        assert_eq!(tail[2].buffer, BufferSlot::DecrementPointer);
+    }
+
+    #[test]
+    fn utilization_matches_the_paper_for_the_default_refresh_interval() {
+        // One refresh every 48 macrocycles of 13 cycles, 6-cycle extension.
+        let total_macro = 48_000;
+        let refreshes = total_macro / 48;
+        let u = utilization(13, total_macro, refreshes, 6);
+        assert!(
+            (u - PAPER_UTILIZATION).abs() < 0.0015,
+            "utilization {u:.4} vs paper {PAPER_UTILIZATION}"
+        );
+    }
+
+    #[test]
+    fn utilization_degrades_with_refresh_frequency() {
+        let relaxed = utilization(13, 1000, 10, 6);
+        let stressed = utilization(13, 1000, 100, 6);
+        assert!(relaxed > stressed);
+        assert_eq!(utilization(13, 0, 0, 6), 0.0);
+        assert_eq!(utilization(13, 100, 0, 6), 1.0);
+    }
+
+    #[test]
+    fn display_renders_the_fig2_table() {
+        let text = Macrocycle::with_refresh(13, 6).to_string();
+        assert!(text.contains("rd_cf4"));
+        assert!(text.contains("refresh"));
+        assert!(text.contains("hold"));
+    }
+
+    #[test]
+    fn shorter_filters_shrink_the_macrocycle() {
+        let m = Macrocycle::normal(5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.busy_cycles(), 5);
+    }
+}

@@ -1,0 +1,628 @@
+//! The full-architecture simulator: functional datapath plus cycle, traffic
+//! and buffer accounting.
+
+use crate::dram::DramModel;
+use crate::fifo::{FifoBounds, FifoModel};
+use crate::input_buffer::{InputBufferModel, InputBufferSpec};
+use crate::mac::MacUnit;
+use crate::{ArchError, ArchParams, ArchReport};
+use lwc_dwt::Decomposition;
+use lwc_filters::{FilterBank, QuantizedBank, QuantizedKernel};
+use lwc_image::Image;
+use lwc_wordlen::WordLengthPlan;
+
+/// Result of simulating one forward transform.
+#[derive(Debug, Clone)]
+pub struct SimulationRun {
+    /// The wavelet coefficients produced by the simulated datapath (raw
+    /// fixed-point words in the Mallat layout, identical to
+    /// [`lwc_dwt::FixedDwt2d::forward`]).
+    pub decomposition: Decomposition<i64>,
+    /// Cycle, traffic and throughput statistics.
+    pub report: ArchReport,
+}
+
+/// Result of simulating one inverse transform.
+#[derive(Debug, Clone)]
+pub struct InverseSimulationRun {
+    /// The reconstructed image (identical to
+    /// [`lwc_dwt::FixedDwt2d::inverse`]).
+    pub image: Image,
+    /// Cycle, traffic and throughput statistics.
+    pub report: ArchReport,
+}
+
+/// Cycle-accurate simulator of the proposed architecture.
+///
+/// The functional behaviour is exactly the fixed-point arithmetic of the
+/// paper's datapath (32-bit words, Table II integer parts, 64-bit MAC,
+/// round half up); on top of it the simulator accounts for:
+///
+/// * one macrocycle of `L` cycles per convolution output (Fig. 2),
+/// * a 6-cycle extension whenever the DRAM requests a refresh,
+/// * DRAM read/write traffic (each datum read and written once per pass),
+/// * input-buffer occupancy (must stay within the `4l+1 → 32` word sizing),
+/// * output-FIFO occupancy for the Table VI depths.
+#[derive(Debug, Clone)]
+pub struct ArchSimulator {
+    params: ArchParams,
+    bank: FilterBank,
+    quantized: QuantizedBank,
+    plan: WordLengthPlan,
+    buffer_spec: InputBufferSpec,
+}
+
+impl ArchSimulator {
+    /// Builds a simulator for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the word-length
+    /// plan cannot be built.
+    pub fn new(params: ArchParams) -> Result<Self, ArchError> {
+        params.validate()?;
+        let bank = FilterBank::table1(params.filter);
+        let plan = WordLengthPlan::paper_default(&bank, params.scales)
+            .map_err(|e| ArchError::Dwt(e.into()))?;
+        let quantized =
+            QuantizedBank::paper_default(&bank).map_err(|e| ArchError::Dwt(e.into()))?;
+        let buffer_spec = InputBufferSpec::for_filter(bank.max_len())?;
+        Ok(Self { params, bank, quantized, plan, buffer_spec })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn params(&self) -> &ArchParams {
+        &self.params
+    }
+
+    /// The word-length plan the datapath follows.
+    #[must_use]
+    pub fn plan(&self) -> &WordLengthPlan {
+        &self.plan
+    }
+
+    /// The input-buffer sizing (Fig. 4).
+    #[must_use]
+    pub fn input_buffer_spec(&self) -> InputBufferSpec {
+        self.buffer_spec
+    }
+
+    /// Simulates the forward transform of `image`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::WorkloadMismatch`] if the image geometry differs from
+    ///   the configured one.
+    /// * [`ArchError::Hazard`] if a buffer sizing is violated (indicates a
+    ///   model bug, not a data problem).
+    /// * [`ArchError::Dwt`] for arithmetic overflows.
+    pub fn run(&self, image: &Image) -> Result<SimulationRun, ArchError> {
+        if image.width() != self.params.image_size || image.height() != self.params.image_size {
+            return Err(ArchError::WorkloadMismatch(format!(
+                "image is {}x{} but the architecture is configured for {}x{}",
+                image.width(),
+                image.height(),
+                self.params.image_size,
+                self.params.image_size
+            )));
+        }
+        let n = self.params.image_size;
+        let taps = self.params.macrocycle_cycles();
+        let coeff_frac = self.plan.coeff_format().frac_bits();
+        let word_bits = self.plan.word_bits();
+
+        let mut state = SimulationState {
+            mac: MacUnit::new(),
+            dram: DramModel::new(n * n, self.params.macrocycles_per_refresh),
+            macrocycles: 0,
+            stall_cycles: 0,
+            peak_input_buffer: 0,
+            peak_fifo: 0,
+        };
+
+        // The DRAM image: raw fixed-point words in the Mallat layout.
+        let input_shift = self.plan.frac_bits_for_scale(0);
+        let mut data: Vec<i64> =
+            image.samples().iter().map(|&v| (v as i64) << input_shift).collect();
+
+        for s in 1..=self.params.scales {
+            let cur = n >> (s - 1);
+            // The Table VI dependence analysis applies while the row is at
+            // least as long as the filter support; for the degenerate deepest
+            // scales of small images fall back to a minimal legal depth.
+            let l = self.params.half_filter_len();
+            let fifo_depth = if cur >= 2 * l {
+                FifoBounds::for_scale(n, l, s).feasible_depth().max(1)
+            } else {
+                (cur / 2).max(1)
+            };
+
+            // Row pass: scale s-1 format in, scale s format out.
+            let in_frac = self.plan.frac_bits_for_scale(s - 1);
+            let out_frac = self.plan.frac_bits_for_scale(s);
+            for y in 0..cur {
+                let row: Vec<i64> = (0..cur).map(|x| data[y * n + x]).collect();
+                let (lo, hi) = self.simulate_pass(
+                    &row,
+                    coeff_frac + in_frac,
+                    out_frac,
+                    word_bits,
+                    taps,
+                    fifo_depth,
+                    &mut state,
+                )?;
+                for (k, &v) in lo.iter().enumerate() {
+                    data[y * n + k] = v;
+                }
+                for (k, &v) in hi.iter().enumerate() {
+                    data[y * n + cur / 2 + k] = v;
+                }
+            }
+
+            // Column pass: scale s format in and out.
+            let in_frac = self.plan.frac_bits_for_scale(s);
+            for x in 0..cur {
+                let col: Vec<i64> = (0..cur).map(|y| data[y * n + x]).collect();
+                let (lo, hi) = self.simulate_pass(
+                    &col,
+                    coeff_frac + in_frac,
+                    out_frac,
+                    word_bits,
+                    taps,
+                    fifo_depth,
+                    &mut state,
+                )?;
+                for (k, &v) in lo.iter().enumerate() {
+                    data[k * n + x] = v;
+                }
+                for (k, &v) in hi.iter().enumerate() {
+                    data[(cur / 2 + k) * n + x] = v;
+                }
+            }
+        }
+
+        let busy_cycles = state.macrocycles * taps;
+        let report = ArchReport {
+            macrocycles: state.macrocycles,
+            busy_cycles,
+            stall_cycles: state.stall_cycles,
+            refreshes: state.dram.refreshes(),
+            dram_reads: state.dram.reads(),
+            dram_writes: state.dram.writes(),
+            mac_operations: state.mac.multiplies(),
+            peak_input_buffer_words: state.peak_input_buffer,
+            peak_fifo_words: state.peak_fifo,
+            clock_hz: self.params.clock_hz(),
+        };
+        Ok(SimulationRun {
+            decomposition: Decomposition::from_raw(
+                data,
+                n,
+                n,
+                self.params.scales,
+                self.bank.id(),
+                image.bit_depth(),
+            ),
+            report,
+        })
+    }
+
+    /// Simulates the inverse transform of a decomposition produced by
+    /// [`ArchSimulator::run`] (or by `lwc_dwt::FixedDwt2d::forward` with the
+    /// same configuration). The paper's architecture computes the IDWT on the
+    /// same datapath with the alignment unit decrementing the integer part
+    /// per scale; the cycle cost equals the forward transform's.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArchError::WorkloadMismatch`] if the decomposition geometry or
+    ///   filter differs from the configuration.
+    /// * [`ArchError::Hazard`] / [`ArchError::Dwt`] as in [`ArchSimulator::run`].
+    pub fn run_inverse(
+        &self,
+        decomposition: &Decomposition<i64>,
+    ) -> Result<InverseSimulationRun, ArchError> {
+        let n = self.params.image_size;
+        if decomposition.width() != n
+            || decomposition.height() != n
+            || decomposition.scales() != self.params.scales
+            || decomposition.filter() != self.params.filter
+        {
+            return Err(ArchError::WorkloadMismatch(format!(
+                "decomposition is {}x{} ({} scales, {}) but the architecture is configured for {}x{} ({} scales, {})",
+                decomposition.width(),
+                decomposition.height(),
+                decomposition.scales(),
+                decomposition.filter(),
+                n,
+                n,
+                self.params.scales,
+                self.params.filter
+            )));
+        }
+        let taps = self.params.macrocycle_cycles();
+        let coeff_frac = self.plan.coeff_format().frac_bits();
+        let word_bits = self.plan.word_bits();
+
+        let mut state = SimulationState {
+            mac: MacUnit::new(),
+            dram: DramModel::new(n * n, self.params.macrocycles_per_refresh),
+            macrocycles: 0,
+            stall_cycles: 0,
+            peak_input_buffer: 0,
+            peak_fifo: 0,
+        };
+        let mut data = decomposition.data().to_vec();
+
+        for s in (1..=self.params.scales).rev() {
+            let cur = n >> (s - 1);
+            // Undo the column pass (scale s format in and out), then the row
+            // pass (dropping to the scale s-1 format) — the reverse of the
+            // forward schedule.
+            let col_out_frac = self.plan.frac_bits_for_scale(s);
+            let row_out_frac = self.plan.frac_bits_for_scale(s - 1);
+            let in_frac = self.plan.frac_bits_for_scale(s);
+
+            for x in 0..cur {
+                let approx: Vec<i64> = (0..cur / 2).map(|y| data[y * n + x]).collect();
+                let detail: Vec<i64> =
+                    (0..cur / 2).map(|y| data[(cur / 2 + y) * n + x]).collect();
+                let merged = self.simulate_synthesis_pass(
+                    &approx,
+                    &detail,
+                    coeff_frac + in_frac,
+                    col_out_frac,
+                    word_bits,
+                    taps,
+                    &mut state,
+                )?;
+                for (y, &v) in merged.iter().enumerate() {
+                    data[y * n + x] = v;
+                }
+            }
+            for y in 0..cur {
+                let approx: Vec<i64> = (0..cur / 2).map(|x| data[y * n + x]).collect();
+                let detail: Vec<i64> =
+                    (0..cur / 2).map(|x| data[y * n + cur / 2 + x]).collect();
+                let merged = self.simulate_synthesis_pass(
+                    &approx,
+                    &detail,
+                    coeff_frac + in_frac,
+                    row_out_frac,
+                    word_bits,
+                    taps,
+                    &mut state,
+                )?;
+                for (x, &v) in merged.iter().enumerate() {
+                    data[y * n + x] = v;
+                }
+            }
+        }
+
+        // Final rounding from the scale-0 format back to integer pixels.
+        let frac0 = self.plan.frac_bits_for_scale(0);
+        let max = (1i32 << decomposition.input_bit_depth()) - 1;
+        let samples: Vec<i32> = data
+            .iter()
+            .map(|&raw| (lwc_fixed::round_half_up_shift(raw, frac0) as i32).clamp(0, max))
+            .collect();
+        let image = Image::from_samples(n, n, decomposition.input_bit_depth(), samples)
+            .map_err(|e| ArchError::Dwt(e.into()))?;
+
+        let busy_cycles = state.macrocycles * taps;
+        let report = ArchReport {
+            macrocycles: state.macrocycles,
+            busy_cycles,
+            stall_cycles: state.stall_cycles,
+            refreshes: state.dram.refreshes(),
+            dram_reads: state.dram.reads(),
+            dram_writes: state.dram.writes(),
+            mac_operations: state.mac.multiplies(),
+            peak_input_buffer_words: state.peak_input_buffer,
+            peak_fifo_words: state.peak_fifo,
+            clock_hz: self.params.clock_hz(),
+        };
+        Ok(InverseSimulationRun { image, report })
+    }
+
+    /// Simulates one 1-D synthesis pass (the IDWT counterpart of
+    /// [`ArchSimulator::simulate_pass`]): each reconstructed sample is one
+    /// macrocycle gathering the synthesis-filter taps whose parity matches
+    /// the output position.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_synthesis_pass(
+        &self,
+        approx: &[i64],
+        detail: &[i64],
+        acc_frac: u32,
+        out_frac: u32,
+        word_bits: u32,
+        taps: u64,
+        state: &mut SimulationState,
+    ) -> Result<Vec<i64>, ArchError> {
+        let half = approx.len();
+        let n = (half * 2) as i64;
+        let lowpass = self.quantized.synthesis_lowpass();
+        let highpass = self.quantized.synthesis_highpass();
+        let fifo_depth = half.max(1);
+        let mut fifo = FifoModel::new(fifo_depth)?;
+        let mut out = Vec::with_capacity(half * 2);
+
+        for sample in 0..half * 2 {
+            state.mac.start_macrocycle();
+            let mut issued = 0u64;
+            for (kernel, coefficients) in [(lowpass, approx), (highpass, detail)] {
+                for (i, &c) in kernel.raw().iter().enumerate() {
+                    let m = kernel.min_index() + i as i32;
+                    // The scatter form adds a[k]·h̃[m] into position
+                    // (2k + m) mod n; gather the k that lands on `sample`.
+                    let diff = (sample as i64 - i64::from(m)).rem_euclid(n);
+                    if diff % 2 == 0 {
+                        let k = (diff / 2) as usize;
+                        state.mac.mac(c, coefficients[k])?;
+                        issued += 1;
+                    }
+                }
+            }
+            for _ in issued..taps {
+                state.mac.mac(0, 0)?;
+            }
+            let value = state
+                .mac
+                .finish_macrocycle(acc_frac, out_frac, word_bits)?;
+            if fifo.push(value)?.is_some() {
+                state.dram.record_write();
+            }
+            out.push(value);
+            state.dram.record_read();
+            if state.dram.tick_macrocycle() {
+                state.stall_cycles += self.params.refresh_extension_cycles;
+            }
+            state.macrocycles += 1;
+        }
+        for _ in fifo.drain() {
+            state.dram.record_write();
+        }
+        state.peak_fifo = state.peak_fifo.max(fifo.peak_occupancy());
+        Ok(out)
+    }
+
+    /// Simulates one 1-D analysis pass over `signal`, returning the low-pass
+    /// and high-pass outputs and charging macrocycles, DRAM traffic and
+    /// buffer occupancy to `state`.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_pass(
+        &self,
+        signal: &[i64],
+        acc_frac: u32,
+        out_frac: u32,
+        word_bits: u32,
+        taps: u64,
+        fifo_depth: usize,
+        state: &mut SimulationState,
+    ) -> Result<(Vec<i64>, Vec<i64>), ArchError> {
+        let len = signal.len();
+        let half = len / 2;
+        let lowpass = self.quantized.analysis_lowpass();
+        let highpass = self.quantized.analysis_highpass();
+        let support_min = lowpass.min_index().min(highpass.min_index());
+        let support_max = lowpass.max_index().max(highpass.max_index());
+
+        let mut buffer = InputBufferModel::begin_pass(self.buffer_spec, len)?;
+        let mut fifo = FifoModel::new(fifo_depth)?;
+        let mut low = Vec::with_capacity(half);
+        let mut high = Vec::with_capacity(half);
+
+        for k in 0..half {
+            buffer.access(k, support_min, support_max)?;
+            for (kernel, out) in [(lowpass, &mut low), (highpass, &mut high)] {
+                let value = self
+                    .macrocycle(signal, k, kernel, taps, acc_frac, out_frac, word_bits, state)?;
+                if fifo.push(value)?.is_some() {
+                    state.dram.record_write();
+                }
+                out.push(value);
+                state.dram.record_read();
+                if state.dram.tick_macrocycle() {
+                    state.stall_cycles += self.params.refresh_extension_cycles;
+                }
+                state.macrocycles += 1;
+            }
+        }
+        for _ in fifo.drain() {
+            state.dram.record_write();
+        }
+        state.peak_input_buffer = state.peak_input_buffer.max(buffer.peak_occupancy());
+        state.peak_fifo = state.peak_fifo.max(fifo.peak_occupancy());
+        Ok((low, high))
+    }
+
+    /// One macrocycle: `taps` MAC slots against the periodic signal followed
+    /// by alignment and rounding. Filters shorter than the macrocycle (e.g.
+    /// the 11-tap high-pass of the F2 bank) occupy the remaining slots with
+    /// zero coefficients, exactly like the zero-padded entries of the
+    /// coefficient RAM.
+    #[allow(clippy::too_many_arguments)]
+    fn macrocycle(
+        &self,
+        signal: &[i64],
+        k: usize,
+        kernel: &QuantizedKernel,
+        taps: u64,
+        acc_frac: u32,
+        out_frac: u32,
+        word_bits: u32,
+        state: &mut SimulationState,
+    ) -> Result<i64, ArchError> {
+        let n = signal.len() as i64;
+        state.mac.start_macrocycle();
+        for (i, &c) in kernel.raw().iter().enumerate() {
+            let m = kernel.min_index() + i as i32;
+            let idx = (2 * k as i64 + i64::from(m)).rem_euclid(n) as usize;
+            state.mac.mac(c, signal[idx])?;
+        }
+        for _ in kernel.len() as u64..taps {
+            state.mac.mac(0, 0)?;
+        }
+        state.mac.finish_macrocycle(acc_frac, out_frac, word_bits)
+    }
+}
+
+/// Mutable bookkeeping shared across the passes of one run.
+#[derive(Debug, Clone)]
+struct SimulationState {
+    mac: MacUnit,
+    dram: DramModel,
+    macrocycles: u64,
+    stall_cycles: u64,
+    peak_input_buffer: usize,
+    peak_fifo: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_dwt::FixedDwt2d;
+    use lwc_filters::FilterId;
+    use lwc_image::synth;
+
+    fn small_params() -> ArchParams {
+        ArchParams::new(64, FilterId::F2, 3).unwrap()
+    }
+
+    #[test]
+    fn simulated_output_matches_the_software_implementation_bit_by_bit() {
+        // The paper's validation: "simulated on data taken from random images
+        // and gave the same output as a software implementation".
+        let params = small_params();
+        let simulator = ArchSimulator::new(params).unwrap();
+        let image = synth::random_image(64, 64, 12, 99);
+        let run = simulator.run(&image).unwrap();
+
+        let software = FixedDwt2d::paper_default(&FilterBank::table1(params.filter), 3).unwrap();
+        let reference = software.forward(&image).unwrap();
+        assert_eq!(run.decomposition.data(), reference.data());
+    }
+
+    #[test]
+    fn cycle_counts_match_the_analytic_mac_count() {
+        let params = small_params();
+        let simulator = ArchSimulator::new(params).unwrap();
+        let run = simulator.run(&synth::ct_phantom(64, 64, 12, 1)).unwrap();
+        // One macrocycle per convolution output: 2·Σ (N/2^{s-1})² outputs.
+        let expected_macrocycles: u64 = (1..=3u32).map(|s| 2 * (64u64 >> (s - 1)).pow(2)).sum();
+        assert_eq!(run.report.macrocycles, expected_macrocycles);
+        assert_eq!(run.report.busy_cycles, expected_macrocycles * 13);
+        assert_eq!(run.report.mac_operations, run.report.busy_cycles);
+    }
+
+    #[test]
+    fn utilization_is_close_to_the_papers_figure() {
+        let params = small_params();
+        let simulator = ArchSimulator::new(params).unwrap();
+        let run = simulator.run(&synth::random_image(64, 64, 12, 5)).unwrap();
+        let u = run.report.utilization();
+        assert!(
+            (u - crate::schedule::PAPER_UTILIZATION).abs() < 0.002,
+            "utilization {u:.4}"
+        );
+    }
+
+    #[test]
+    fn dram_traffic_reads_and_writes_every_datum_once_per_pass() {
+        let params = small_params();
+        let simulator = ArchSimulator::new(params).unwrap();
+        let run = simulator.run(&synth::random_image(64, 64, 12, 5)).unwrap();
+        // Each pass writes exactly its outputs: 2 passes per scale over the
+        // shrinking region.
+        let expected_writes: u64 = (1..=3u32).map(|s| 2 * (64u64 >> (s - 1)).pow(2)).sum();
+        assert_eq!(run.report.dram_writes, expected_writes);
+        // Reads include the periodic border samples, so they exceed the
+        // writes by a few percent but stay well below 2x.
+        assert!(run.report.dram_reads >= expected_writes);
+        assert!(run.report.dram_reads < expected_writes * 2);
+    }
+
+    #[test]
+    fn buffer_occupancies_respect_the_paper_sizings() {
+        let params = small_params();
+        let simulator = ArchSimulator::new(params).unwrap();
+        let run = simulator.run(&synth::mr_slice(64, 64, 12, 2)).unwrap();
+        assert!(run.report.peak_input_buffer_words <= simulator.input_buffer_spec().words);
+        let max_depth = FifoBounds::for_scale(64, 6, 1).max_depth;
+        assert!(run.report.peak_fifo_words <= max_depth + 1);
+    }
+
+    #[test]
+    fn mismatched_images_are_rejected() {
+        let simulator = ArchSimulator::new(small_params()).unwrap();
+        let image = synth::flat(32, 32, 12, 0);
+        assert!(matches!(
+            simulator.run(&image),
+            Err(ArchError::WorkloadMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn shorter_filters_produce_proportionally_fewer_busy_cycles() {
+        let f4 = ArchSimulator::new(ArchParams::new(64, FilterId::F4, 3).unwrap()).unwrap();
+        let f2 = ArchSimulator::new(ArchParams::new(64, FilterId::F2, 3).unwrap()).unwrap();
+        let image = synth::random_image(64, 64, 12, 7);
+        let run4 = f4.run(&image).unwrap();
+        let run2 = f2.run(&image).unwrap();
+        assert_eq!(run4.report.macrocycles, run2.report.macrocycles);
+        assert_eq!(run4.report.busy_cycles * 13, run2.report.busy_cycles * 5);
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let simulator = ArchSimulator::new(small_params()).unwrap();
+        assert_eq!(simulator.params().image_size, 64);
+        assert_eq!(simulator.plan().scales(), 3);
+        assert_eq!(simulator.input_buffer_spec().words, 32);
+    }
+
+    #[test]
+    fn inverse_simulation_matches_the_software_idwt_and_restores_the_image() {
+        let params = small_params();
+        let simulator = ArchSimulator::new(params).unwrap();
+        let image = synth::random_image(64, 64, 12, 2024);
+
+        let forward = simulator.run(&image).unwrap();
+        let inverse = simulator.run_inverse(&forward.decomposition).unwrap();
+
+        // Word-for-word agreement with the software IDWT…
+        let software = FixedDwt2d::paper_default(&FilterBank::table1(params.filter), 3).unwrap();
+        let reference = software.inverse(&forward.decomposition).unwrap();
+        assert_eq!(inverse.image.samples(), reference.samples());
+        // …and the full hardware round trip is lossless.
+        assert_eq!(inverse.image.samples(), image.samples());
+    }
+
+    #[test]
+    fn inverse_costs_the_same_cycles_as_the_forward_transform() {
+        // Section 2: "The same result is valid for the IDWT."
+        let simulator = ArchSimulator::new(small_params()).unwrap();
+        let image = synth::ct_phantom(64, 64, 12, 4);
+        let forward = simulator.run(&image).unwrap();
+        let inverse = simulator.run_inverse(&forward.decomposition).unwrap();
+        assert_eq!(inverse.report.macrocycles, forward.report.macrocycles);
+        assert_eq!(inverse.report.busy_cycles, forward.report.busy_cycles);
+        assert!(
+            (inverse.report.utilization() - forward.report.utilization()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn inverse_rejects_foreign_decompositions() {
+        let simulator = ArchSimulator::new(small_params()).unwrap();
+        let other = ArchSimulator::new(ArchParams::new(64, FilterId::F4, 3).unwrap()).unwrap();
+        let image = synth::random_image(64, 64, 12, 8);
+        let forward = other.run(&image).unwrap();
+        assert!(matches!(
+            simulator.run_inverse(&forward.decomposition),
+            Err(ArchError::WorkloadMismatch(_))
+        ));
+    }
+}

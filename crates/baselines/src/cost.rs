@@ -1,0 +1,279 @@
+//! Hardware requirement formulas per architecture class.
+
+use lwc_tech::{MemoryModel, MultiplierDesign, MultiplierModel};
+use std::fmt;
+
+/// Workload / configuration parameters shared by all architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostParameters {
+    /// Filter length `L` (13 for the paper's sizing).
+    pub filter_len: usize,
+    /// Number of decomposition scales `S`.
+    pub scales: u32,
+    /// Number of image rows/columns `N`.
+    pub image_size: usize,
+    /// Datapath word length in bits (32 for lossless accuracy).
+    pub word_bits: u32,
+}
+
+impl CostParameters {
+    /// The paper's Table III configuration: L = 13, S = 6, N = 512, 32-bit
+    /// words.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { filter_len: 13, scales: 6, image_size: 512, word_bits: 32 }
+    }
+}
+
+/// The architecture classes compared in Table III, plus the proposed design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchitectureClass {
+    /// Two serial filters for the rows and two parallel filters for the
+    /// columns, fed with two rows at a time (survey \[14\]).
+    SerialParallel,
+    /// All four filters implemented as parallel filters, fed with one row
+    /// (survey \[14\]).
+    Parallel,
+    /// Lapped block processing: the image is split into filter-sized blocks
+    /// processed with a serial-parallel/parallel datapath (\[13\]).
+    BlockFiltering,
+    /// Recursive 1-D transform over all scales in row order, followed by a
+    /// transpose and a second pass (\[11\]).
+    Recursive1d,
+    /// The paper's proposed single-MAC architecture.
+    Proposed,
+}
+
+impl ArchitectureClass {
+    /// The four prior-art classes of Table III (without the proposed design).
+    pub const PRIOR_ART: [ArchitectureClass; 4] = [
+        ArchitectureClass::SerialParallel,
+        ArchitectureClass::Parallel,
+        ArchitectureClass::BlockFiltering,
+        ArchitectureClass::Recursive1d,
+    ];
+
+    /// Human-readable name as used in Table III.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchitectureClass::SerialParallel => "Serial-Parallel",
+            ArchitectureClass::Parallel => "Parallel",
+            ArchitectureClass::BlockFiltering => "Block Filtering",
+            ArchitectureClass::Recursive1d => "Recursive 1D",
+            ArchitectureClass::Proposed => "Proposed (single MAC)",
+        }
+    }
+
+    /// Number of multipliers the class needs (reconstructed formulas — see
+    /// the crate documentation).
+    #[must_use]
+    pub fn multipliers(self, p: CostParameters) -> u64 {
+        let l = p.filter_len as u64;
+        match self {
+            // Two serial row filters plus two fully parallel column filters.
+            ArchitectureClass::SerialParallel => 2 * l + 2,
+            // Four fully parallel filters.
+            ArchitectureClass::Parallel => 4 * l,
+            // One serial-parallel datapath reused across blocks.
+            ArchitectureClass::BlockFiltering => 2 * l,
+            // Two filter pairs sharing a recursive pyramid schedule.
+            ArchitectureClass::Recursive1d => 2 * l,
+            // The whole point of the paper: a single multiplier.
+            ArchitectureClass::Proposed => 1,
+        }
+    }
+
+    /// Number of on-chip memory words the class needs (reconstructed).
+    #[must_use]
+    pub fn memory_words(self, p: CostParameters) -> u64 {
+        let l = p.filter_len as u64;
+        let n = p.image_size as u64;
+        match self {
+            // Line buffers for the column filters plus a transpose row.
+            ArchitectureClass::SerialParallel => 2 * l * n + n,
+            // Half the line buffers (one row enters per cycle) plus a row.
+            ArchitectureClass::Parallel => l * n + n,
+            // Lapped blocks still need L lines of overlap storage per
+            // dimension.
+            ArchitectureClass::BlockFiltering => 2 * l * n,
+            // The recursive schedule stores L partially-filtered lines plus
+            // two transpose rows.
+            ArchitectureClass::Recursive1d => l * n + 2 * n,
+            // Input buffer of N/2 + 32 words plus the filter coefficients.
+            ArchitectureClass::Proposed => n / 2 + 32 + l,
+        }
+    }
+
+    /// Which multiplier cell the class would instantiate: the prior-art
+    /// designs use the compiled cell (they run well below the 40 MHz the
+    /// compiled cell supports per filter tap), the proposed design needs the
+    /// pipelined Wallace tree to sustain one MAC per 25 ns.
+    #[must_use]
+    pub fn multiplier_design(self) -> MultiplierDesign {
+        match self {
+            ArchitectureClass::Proposed => MultiplierDesign::PipelinedWallace,
+            _ => MultiplierDesign::Compiled,
+        }
+    }
+}
+
+impl fmt::Display for ArchitectureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Evaluated hardware cost of one architecture class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchitectureCost {
+    /// Which class was evaluated.
+    pub class: ArchitectureClass,
+    /// Number of multipliers.
+    pub multipliers: u64,
+    /// Number of on-chip memory words.
+    pub memory_words: u64,
+    /// Area spent on multipliers, mm².
+    pub multiplier_area_mm2: f64,
+    /// Area spent on on-chip memory, mm².
+    pub memory_area_mm2: f64,
+}
+
+impl ArchitectureCost {
+    /// Evaluates `class` for parameters `p` using the calibrated technology
+    /// model.
+    #[must_use]
+    pub fn evaluate(class: ArchitectureClass, p: CostParameters) -> Self {
+        Self::evaluate_with(class, p, &MemoryModel::calibrated_es2())
+    }
+
+    /// Evaluates with an explicit memory model (for sensitivity sweeps).
+    #[must_use]
+    pub fn evaluate_with(
+        class: ArchitectureClass,
+        p: CostParameters,
+        memory: &MemoryModel,
+    ) -> Self {
+        let multipliers = class.multipliers(p);
+        let memory_words = class.memory_words(p);
+        let mult_cell = MultiplierModel::paper(class.multiplier_design())
+            .scaled_to_width(p.word_bits);
+        ArchitectureCost {
+            class,
+            multipliers,
+            memory_words,
+            multiplier_area_mm2: multipliers as f64 * mult_cell.area_mm2,
+            memory_area_mm2: memory.area_for_words(memory_words, p.word_bits),
+        }
+    }
+
+    /// Total silicon area in mm².
+    #[must_use]
+    pub fn total_area_mm2(&self) -> f64 {
+        self.multiplier_area_mm2 + self.memory_area_mm2
+    }
+}
+
+impl fmt::Display for ArchitectureCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} multipliers, {} words, {:.1} mm2",
+            self.class,
+            self.multipliers,
+            self.memory_words,
+            self.total_area_mm2()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposed_design_uses_one_multiplier_and_small_buffers() {
+        let p = CostParameters::paper_default();
+        assert_eq!(ArchitectureClass::Proposed.multipliers(p), 1);
+        // N/2 + 32 data words plus 13 coefficient words.
+        assert_eq!(ArchitectureClass::Proposed.memory_words(p), 256 + 32 + 13);
+    }
+
+    #[test]
+    fn prior_art_needs_orders_of_magnitude_more_memory() {
+        let p = CostParameters::paper_default();
+        for class in ArchitectureClass::PRIOR_ART {
+            assert!(
+                class.memory_words(p) > 20 * ArchitectureClass::Proposed.memory_words(p),
+                "{class}"
+            );
+        }
+    }
+
+    #[test]
+    fn areas_have_the_papers_shape() {
+        let p = CostParameters::paper_default();
+        let proposed = ArchitectureCost::evaluate(ArchitectureClass::Proposed, p);
+        assert!((proposed.total_area_mm2() - 11.2).abs() < 0.5);
+        for class in ArchitectureClass::PRIOR_ART {
+            let cost = ArchitectureCost::evaluate(class, p);
+            assert!(
+                cost.total_area_mm2() > 140.0 && cost.total_area_mm2() < 300.0,
+                "{class}: {:.1} mm2",
+                cost.total_area_mm2()
+            );
+            assert!(
+                cost.total_area_mm2() / proposed.total_area_mm2() > 12.0,
+                "{class} should dwarf the proposed design"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_architecture_is_the_cheapest_prior_art() {
+        let p = CostParameters::paper_default();
+        let recursive = ArchitectureCost::evaluate(ArchitectureClass::Recursive1d, p);
+        for class in [
+            ArchitectureClass::SerialParallel,
+            ArchitectureClass::Parallel,
+            ArchitectureClass::BlockFiltering,
+        ] {
+            assert!(
+                recursive.total_area_mm2() < ArchitectureCost::evaluate(class, p).total_area_mm2(),
+                "{class}"
+            );
+        }
+    }
+
+    #[test]
+    fn proposed_design_is_the_only_one_needing_the_pipelined_multiplier() {
+        assert_eq!(
+            ArchitectureClass::Proposed.multiplier_design(),
+            MultiplierDesign::PipelinedWallace
+        );
+        for class in ArchitectureClass::PRIOR_ART {
+            assert_eq!(class.multiplier_design(), MultiplierDesign::Compiled);
+        }
+    }
+
+    #[test]
+    fn cost_display_is_readable() {
+        let p = CostParameters::paper_default();
+        let s = ArchitectureCost::evaluate(ArchitectureClass::Parallel, p).to_string();
+        assert!(s.contains("Parallel"));
+        assert!(s.contains("mm2"));
+    }
+
+    #[test]
+    fn narrower_words_shrink_every_architecture() {
+        let wide = CostParameters::paper_default();
+        let narrow = CostParameters { word_bits: 16, ..wide };
+        for class in ArchitectureClass::PRIOR_ART {
+            assert!(
+                ArchitectureCost::evaluate(class, narrow).total_area_mm2()
+                    < ArchitectureCost::evaluate(class, wide).total_area_mm2(),
+                "{class}"
+            );
+        }
+    }
+}

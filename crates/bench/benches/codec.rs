@@ -1,0 +1,66 @@
+//! Extension — end-to-end lossless codec throughput and compression ratios
+//! on the synthetic medical workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lwc_bench::{bench_image, bench_phantom};
+use lwc_core::prelude::*;
+
+fn bench_codec(c: &mut Criterion) {
+    let codec = LosslessCodec::new(5).unwrap();
+    for (name, image) in [
+        ("ct_phantom_256", bench_phantom(256)),
+        ("mr_slice_256", synth::mr_slice(256, 256, 12, 1)),
+        ("noise_256", bench_image(256)),
+    ] {
+        let (_bytes, report) = codec.compress_with_report(&image).unwrap();
+        eprintln!("codec {name}: {report}");
+    }
+
+    let phantom = bench_phantom(256);
+    let compressed = codec.compress(&phantom).unwrap();
+
+    let mut group = c.benchmark_group("codec_256x256");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((phantom.pixel_count() * 2) as u64));
+    group.bench_with_input(BenchmarkId::new("compress", "ct_phantom"), &phantom, |b, image| {
+        b.iter(|| std::hint::black_box(codec.compress(image).unwrap()))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("decompress", "ct_phantom"),
+        &compressed,
+        |b, bytes| b.iter(|| std::hint::black_box(codec.decompress(bytes).unwrap())),
+    );
+    group.finish();
+
+    // The entropy-coding layer on its own.
+    let detail: Vec<i32> = {
+        let lifting = Lifting53::new(5).unwrap();
+        lifting.forward(&phantom).unwrap().subband(1, 3)
+    };
+    c.bench_function("codec_rice_subband_encode", |b| {
+        let subbands = lwc_core::lwc_coder::SubbandCodec::new();
+        b.iter(|| {
+            let mut writer = lwc_core::lwc_coder::bitio::BitWriter::new();
+            subbands.encode_subband(&mut writer, &detail);
+            std::hint::black_box(writer.into_bytes())
+        })
+    });
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_codec
+}
+criterion_main!(benches);
+

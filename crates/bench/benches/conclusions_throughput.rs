@@ -1,0 +1,65 @@
+//! E-C1 — Conclusions: cycle-accurate throughput of the proposed
+//! architecture and the speedup over the desktop baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwc_bench::bench_image;
+use lwc_core::prelude::*;
+use lwc_core::reproduction;
+
+fn bench_conclusions(c: &mut Criterion) {
+    // Regenerate the headline figures on a mid-size workload first.
+    let conclusions = reproduction::conclusions(128).expect("128x128 configuration");
+    eprintln!(
+        "Conclusions (128x128 run): utilization {:.2}%, {:.2} images/s equivalent, speedup {:.0}x, area {:.1} mm2",
+        conclusions.arch_report.utilization() * 100.0,
+        conclusions.throughput.images_per_second,
+        conclusions.throughput.speedup,
+        conclusions.proposed_area_mm2
+    );
+
+    // Time the simulator itself at increasing image sizes (the 512 point is
+    // the paper's workload).
+    let mut group = c.benchmark_group("conclusions_architecture_simulation");
+    group.sample_size(10);
+    for size in [64usize, 128, 256] {
+        let params = ArchParams::new(size, FilterId::F2, 6.min(size.trailing_zeros())).unwrap();
+        let simulator = ArchSimulator::new(params).unwrap();
+        let image = bench_image(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &image, |b, image| {
+            b.iter(|| std::hint::black_box(simulator.run(image).unwrap()))
+        });
+    }
+    group.finish();
+
+    // The throughput-model arithmetic is negligible but part of the harness.
+    c.bench_function("conclusions_throughput_report", |b| {
+        let software = SoftwareModel::pentium_133();
+        let hardware = HardwareModel::paper_default();
+        b.iter(|| {
+            std::hint::black_box(ThroughputReport::new(
+                &hardware,
+                9_200_000,
+                &software,
+                lwc_core::lwc_perf::macs::paper_reference_macs(),
+            ))
+        })
+    });
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_conclusions
+}
+criterion_main!(benches);
+

@@ -1,0 +1,68 @@
+//! E-EQ2 — Eq. (1)/(2): MAC counts and the software baseline. Prints the
+//! regenerated numbers and times the software (f64) transform that stands in
+//! for the paper's desktop measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwc_bench::bench_image;
+use lwc_core::prelude::*;
+use lwc_core::reproduction;
+
+fn bench_eq2(c: &mut Criterion) {
+    let e = reproduction::eq2();
+    eprintln!(
+        "Eq. 2: {} MACs computed vs {:.2e} quoted; Pentium-133 model {:.1} s",
+        e.total, e.paper_total, e.pentium_seconds
+    );
+
+    c.bench_function("eq2_mac_count_formula", |b| {
+        b.iter(|| {
+            std::hint::black_box(lwc_core::lwc_perf::macs::total_macs(512, 13, 13, 6))
+        })
+    });
+
+    // The "software implementation" the hardware is compared against: the
+    // double-precision reference transform on this host.
+    let bank = FilterBank::table1(FilterId::F2);
+    let mut group = c.benchmark_group("eq2_software_reference_fdwt");
+    group.sample_size(10);
+    for size in [128usize, 256] {
+        let image = bench_image(size);
+        let scales = 6.min(image.max_scales());
+        let dwt = Dwt2d::new(bank.clone(), scales).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &image, |b, image| {
+            b.iter(|| std::hint::black_box(dwt.forward(image).unwrap()))
+        });
+    }
+    group.finish();
+
+    // And the bit-exact fixed-point software model of the datapath.
+    let mut group = c.benchmark_group("eq2_fixed_point_fdwt");
+    group.sample_size(10);
+    for size in [128usize, 256] {
+        let image = bench_image(size);
+        let scales = 6.min(image.max_scales());
+        let hw = FixedDwt2d::paper_default(&bank, scales).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &image, |b, image| {
+            b.iter(|| std::hint::black_box(hw.forward(image).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_eq2
+}
+criterion_main!(benches);
+

@@ -1,0 +1,49 @@
+//! E-F2 — Fig. 2: the macrocycle schedule and the utilization figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lwc_core::lwc_arch::schedule::{utilization, Macrocycle};
+use lwc_core::reproduction;
+
+fn bench_fig2(c: &mut Criterion) {
+    let f = reproduction::fig2();
+    eprintln!(
+        "Fig. 2: normal macrocycle {} cycles, refresh macrocycle {} cycles, utilization {:.2}%",
+        f.normal.len(),
+        f.with_refresh.len(),
+        f.utilization * 100.0
+    );
+
+    c.bench_function("fig2_macrocycle_construction", |b| {
+        b.iter(|| {
+            std::hint::black_box((Macrocycle::normal(13), Macrocycle::with_refresh(13, 6)))
+        })
+    });
+
+    c.bench_function("fig2_utilization_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for interval in 1..=256u64 {
+                acc += utilization(13, interval, 1, 6);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_fig2
+}
+criterion_main!(benches);
+

@@ -1,0 +1,59 @@
+//! E-L1 — the lossless criterion: forward + inverse fixed-point DWT per
+//! filter bank, verified bit exact, timed per bank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwc_bench::bench_image;
+use lwc_core::prelude::*;
+
+fn bench_lossless(c: &mut Criterion) {
+    let image = bench_image(128);
+    for id in FilterId::ALL {
+        let report = lwc_core::verify_lossless(&image, id, 5).expect("roundtrip");
+        eprintln!("lossless check {id}: {report}");
+        assert!(report.bit_exact);
+    }
+
+    let mut group = c.benchmark_group("lossless_fixed_roundtrip_128");
+    group.sample_size(10);
+    for id in FilterId::ALL {
+        let bank = FilterBank::table1(id);
+        let hw = FixedDwt2d::paper_default(&bank, 5).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(id), &image, |b, image| {
+            b.iter(|| {
+                let coeffs = hw.forward(image).unwrap();
+                std::hint::black_box(hw.inverse(&coeffs).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    // The reversible-lifting baseline for comparison (same guarantee, integer
+    // arithmetic only).
+    let mut group = c.benchmark_group("lossless_lifting_roundtrip_128");
+    group.bench_function("lifting_5_3", |b| {
+        let lifting = Lifting53::new(5).unwrap();
+        b.iter(|| {
+            let coeffs = lifting.forward(&image).unwrap();
+            std::hint::black_box(lifting.inverse(&coeffs).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_lossless
+}
+criterion_main!(benches);
+

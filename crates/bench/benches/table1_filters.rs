@@ -1,0 +1,66 @@
+//! E-T1 — Table I: filter-bank construction and 1-D filtering throughput for
+//! each of the six banks. Regenerates the Table I metrics before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwc_bench::all_banks;
+use lwc_core::prelude::*;
+use lwc_core::reproduction;
+
+fn bench_table1(c: &mut Criterion) {
+    for row in reproduction::table1() {
+        eprintln!(
+            "Table I {}: L(H)={} L(H~)={} sum|h|={:.6} sum|h~|={:.6}",
+            row.id,
+            row.metrics.analysis_len,
+            row.metrics.synthesis_len,
+            row.metrics.analysis_lowpass_abs_sum,
+            row.metrics.synthesis_lowpass_abs_sum
+        );
+    }
+
+    let mut group = c.benchmark_group("table1_bank_construction");
+    for id in FilterId::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
+            b.iter(|| {
+                let bank = FilterBank::table1(id);
+                std::hint::black_box(BankMetrics::of(&bank))
+            });
+        });
+    }
+    group.finish();
+
+    let signal: Vec<f64> = lwc_bench::bench_image(512)
+        .row(0)
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    let mut group = c.benchmark_group("table1_row_analysis_512");
+    for bank in all_banks() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bank.id()),
+            &bank,
+            |b, bank| {
+                b.iter(|| std::hint::black_box(lwc_core::lwc_dwt::analyze_periodic(&signal, bank)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_table1
+}
+criterion_main!(benches);
+

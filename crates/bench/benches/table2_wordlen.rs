@@ -1,0 +1,53 @@
+//! E-T2 — Table II: the word-length analysis. Regenerates the table and
+//! times the analysis plus plan construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lwc_core::prelude::*;
+use lwc_core::reproduction;
+
+fn bench_table2(c: &mut Criterion) {
+    let t2 = reproduction::table2();
+    for (id, row) in &t2.computed {
+        eprintln!("Table II {id}: {row:?}");
+    }
+    eprintln!("matches paper: {}", t2.matches_paper());
+
+    c.bench_function("table2_full_regeneration", |b| {
+        b.iter(|| std::hint::black_box(reproduction::table2().matches_paper()))
+    });
+
+    c.bench_function("table2_wordlength_plan_f2_6_scales", |b| {
+        let bank = FilterBank::table1(FilterId::F2);
+        b.iter(|| std::hint::black_box(WordLengthPlan::paper_default(&bank, 6).unwrap()))
+    });
+
+    c.bench_function("table2_error_budget_all_banks", |b| {
+        let banks = FilterBank::all_table1();
+        b.iter(|| {
+            for bank in &banks {
+                let plan = WordLengthPlan::paper_default(bank, 6).unwrap();
+                std::hint::black_box(lwc_core::lwc_wordlen::error_budget::error_budget(
+                    bank, &plan, 4095.0,
+                ));
+            }
+        })
+    });
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_table2
+}
+criterion_main!(benches);
+

@@ -1,0 +1,56 @@
+//! E-T3 — Table III: hardware cost of the prior architectures versus the
+//! proposed one. Regenerates the table and times the cost evaluation across
+//! a parameter sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lwc_core::prelude::*;
+use lwc_core::reproduction;
+
+fn bench_table3(c: &mut Criterion) {
+    for row in reproduction::table3() {
+        eprintln!("Table III {row}");
+    }
+
+    c.bench_function("table3_regeneration", |b| {
+        b.iter(|| std::hint::black_box(reproduction::table3()))
+    });
+
+    c.bench_function("table3_parameter_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for image_size in [256usize, 512, 1024] {
+                for filter_len in [5usize, 9, 13] {
+                    let p = CostParameters {
+                        image_size,
+                        filter_len,
+                        ..CostParameters::paper_default()
+                    };
+                    for class in ArchitectureClass::PRIOR_ART {
+                        total += ArchitectureCost::evaluate(class, p).total_area_mm2();
+                    }
+                    total +=
+                        ArchitectureCost::evaluate(ArchitectureClass::Proposed, p).total_area_mm2();
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_table3
+}
+criterion_main!(benches);
+

@@ -1,0 +1,54 @@
+//! E-F4/T4 — Table IV: input-buffer organization. Regenerates the reuse
+//! counts and times the occupancy model over a full 512-sample pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwc_core::lwc_arch::input_buffer::{InputBufferModel, InputBufferSpec};
+use lwc_core::reproduction;
+
+fn bench_table4(c: &mut Criterion) {
+    let t4 = reproduction::table4().expect("13-tap spec");
+    eprintln!("Table IV {}", t4.spec);
+    for (scale, row_len, rounds) in &t4.rounds {
+        eprintln!("  scale {scale}: row {row_len}, {rounds} rounds");
+    }
+
+    c.bench_function("table4_spec_and_rounds", |b| {
+        b.iter(|| {
+            let spec = InputBufferSpec::for_filter(13).unwrap();
+            std::hint::black_box(spec.table4(512, 6))
+        })
+    });
+
+    let spec = InputBufferSpec::for_filter(13).unwrap();
+    let mut group = c.benchmark_group("table4_occupancy_model");
+    for row_len in [64usize, 256, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(row_len), &row_len, |b, &row_len| {
+            b.iter(|| {
+                let mut model = InputBufferModel::begin_pass(spec, row_len).unwrap();
+                for k in 0..row_len / 2 {
+                    model.access(k, -6, 6).unwrap();
+                }
+                std::hint::black_box((model.loads(), model.peak_occupancy()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_table4
+}
+criterion_main!(benches);
+

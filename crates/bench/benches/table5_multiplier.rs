@@ -1,0 +1,58 @@
+//! E-T5 — Table V: the multiplier trade-off. Prints the design points and
+//! times the width-scaling model plus the MAC unit itself (the component the
+//! multiplier choice gates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwc_core::prelude::*;
+use lwc_core::reproduction;
+
+fn bench_table5(c: &mut Criterion) {
+    for m in reproduction::table5() {
+        eprintln!("Table V {m}");
+    }
+
+    c.bench_function("table5_width_scaling_sweep", |b| {
+        let base = MultiplierModel::paper(MultiplierDesign::PipelinedWallace);
+        b.iter(|| {
+            let mut area = 0.0;
+            for width in [8u32, 16, 24, 32, 48, 64] {
+                area += base.scaled_to_width(width).area_mm2;
+            }
+            std::hint::black_box(area)
+        })
+    });
+
+    let mut group = c.benchmark_group("table5_mac_macrocycle");
+    for taps in [5usize, 9, 13] {
+        group.bench_with_input(BenchmarkId::from_parameter(taps), &taps, |b, &taps| {
+            let coeffs: Vec<i64> = (0..taps as i64).map(|i| (i + 1) << 20).collect();
+            let data: Vec<i64> = (0..taps as i64).map(|i| (i * 37 + 11) << 12).collect();
+            b.iter(|| {
+                let mut acc = MacAccumulator::new();
+                for (&c, &d) in coeffs.iter().zip(&data) {
+                    acc.mac(c, d).unwrap();
+                }
+                std::hint::black_box(acc.value())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_table5
+}
+criterion_main!(benches);
+

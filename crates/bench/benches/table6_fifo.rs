@@ -1,0 +1,55 @@
+//! E-T6 — Table VI: FIFO depth bounds and the runtime FIFO model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lwc_core::lwc_arch::fifo::{FifoBounds, FifoModel};
+use lwc_core::reproduction;
+
+fn bench_table6(c: &mut Criterion) {
+    let t6 = reproduction::table6();
+    for b in &t6.bounds {
+        eprintln!("Table VI {b}");
+    }
+    eprintln!("matches paper: {}", t6.matches_paper());
+
+    c.bench_function("table6_bounds_regeneration", |b| {
+        b.iter(|| std::hint::black_box(FifoBounds::table6(512, 6, 6)))
+    });
+
+    let mut group = c.benchmark_group("table6_fifo_throughput");
+    for depth in [2usize, 58, 250] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut fifo = FifoModel::new(depth).unwrap();
+                let mut checksum = 0i64;
+                for v in 0..4096i64 {
+                    if let Some(out) = fifo.push(v).unwrap() {
+                        checksum ^= out;
+                    }
+                }
+                for out in fifo.drain() {
+                    checksum ^= out;
+                }
+                std::hint::black_box(checksum)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Shorter measurement windows than Criterion's defaults: the regenerated
+/// tables are printed once regardless, and the timed kernels are stable well
+/// before the default 5 s window, so the whole suite stays a few minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_table6
+}
+criterion_main!(benches);
+

@@ -1,0 +1,198 @@
+//! Regenerates every table and figure of the paper's evaluation and prints
+//! the computed values next to the published ones.
+//!
+//! ```text
+//! cargo run --release -p lwc-bench --bin reproduce            # everything
+//! cargo run --release -p lwc-bench --bin reproduce table2     # one artifact
+//! cargo run --release -p lwc-bench --bin reproduce conclusions 512
+//! ```
+//!
+//! The output of a full run is recorded in `EXPERIMENTS.md`.
+
+use lwc_core::prelude::*;
+use lwc_core::reproduction;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+
+    match which {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "table4" => table4()?,
+        "table5" => table5(),
+        "table6" => table6(),
+        "eq2" => eq2(),
+        "fig2" => fig2(),
+        "lossless" => lossless()?,
+        "conclusions" => conclusions(size)?,
+        "all" => {
+            table1();
+            table2();
+            eq2();
+            table3();
+            fig2();
+            table4()?;
+            table5();
+            table6();
+            lossless()?;
+            conclusions(size)?;
+        }
+        other => {
+            eprintln!("unknown artifact {other:?}; use table1..table6, eq2, fig2, lossless, conclusions or all");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1() {
+    heading("Table I — filter banks best suited to image compression");
+    println!(
+        "{:<5} {:>5} {:>6} {:>12} {:>12} {:>14} {:>16}",
+        "bank", "L(H)", "L(H~)", "sum|h|", "sum|h~|", "growth/scale", "PR residual"
+    );
+    for row in reproduction::table1() {
+        println!(
+            "{:<5} {:>5} {:>6} {:>12.6} {:>12.6} {:>13.3}x {:>16.2e}",
+            row.id.to_string(),
+            row.metrics.analysis_len,
+            row.metrics.synthesis_len,
+            row.metrics.analysis_lowpass_abs_sum,
+            row.metrics.synthesis_lowpass_abs_sum,
+            row.metrics.growth_2d,
+            row.biorthogonality.worst_error()
+        );
+    }
+}
+
+fn table2() {
+    heading("Table II — minimum integer part b_int(s) per scale (13-bit input)");
+    let t2 = reproduction::table2();
+    println!("{:<5} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}   (paper row)", "bank", 1, 2, 3, 4, 5, 6);
+    for ((id, row), paper) in t2.computed.iter().zip(t2.paper.iter()) {
+        let computed: Vec<String> = row.iter().map(|b| format!("{b:>4}")).collect();
+        let printed: Vec<String> = paper.iter().map(|b| b.to_string()).collect();
+        println!("{:<5} {}   ({})", id.to_string(), computed.join(" "), printed.join(" "));
+    }
+    println!(
+        "matches the paper exactly: {}",
+        if t2.matches_paper() { "yes" } else { "NO" }
+    );
+}
+
+fn table3() {
+    heading("Table III — hardware cost at lossless word lengths (L=13, S=6, N=512)");
+    for row in reproduction::table3() {
+        println!("{row}");
+    }
+    println!("(prior-art requirement formulas are reconstructions; see DESIGN.md)");
+}
+
+fn table4() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Fig. 4 / Table IV — input buffer organization");
+    let t4 = reproduction::table4()?;
+    println!("{}", t4.spec);
+    println!("{:<7} {:>12} {:>9} {:>14}", "scale", "row length", "#rounds", "(paper)");
+    for ((scale, row_len, rounds), paper) in t4.rounds.iter().zip(t4.paper_rounds.iter()) {
+        println!("{scale:<7} {row_len:>12} {rounds:>9} {paper:>14}");
+    }
+    Ok(())
+}
+
+fn table5() {
+    heading("Table V — 32x32 multiplier design points (0.7 um, worst case)");
+    for m in reproduction::table5() {
+        let verdict = if m.meets_clock(25.0) { "meets the 25 ns clock" } else { "too slow" };
+        println!("{m}  -> {verdict}");
+    }
+}
+
+fn table6() {
+    heading("Table VI — FIFO depth bounds (N=512, L=13)");
+    let t6 = reproduction::table6();
+    println!("{:<7} {:>8} {:>8} {:>18}", "scale", "MIN(D)", "MAX(D)", "(paper min/max)");
+    for (b, (min, max)) in t6.bounds.iter().zip(t6.paper_min.iter().zip(t6.paper_max.iter())) {
+        println!("{:<7} {:>8} {:>8} {:>12}/{}", b.scale, b.min_depth, b.max_depth, min, max);
+    }
+    println!(
+        "matches the paper exactly: {}",
+        if t6.matches_paper() { "yes" } else { "NO" }
+    );
+}
+
+fn eq2() {
+    heading("Eq. (1)/(2) — MAC counts and the desktop baseline (N=512, L=13, S=6)");
+    let e = reproduction::eq2();
+    for (j, macs) in e.per_scale.iter().enumerate() {
+        println!("scale {}: {:>12} MACs", j + 1, macs);
+    }
+    println!("total:   {:>12} MACs (paper: {:.2e})", e.total, e.paper_total);
+    println!(
+        "Pentium-133 model: {:.1} s per transform (paper: 42 s)",
+        e.pentium_seconds
+    );
+}
+
+fn fig2() {
+    heading("Fig. 2 — macrocycle operation schedule");
+    let f = reproduction::fig2();
+    println!("normal macrocycle ({} cycles):\n{}", f.normal.len(), f.normal);
+    println!(
+        "with DRAM refresh extension ({} cycles):\n{}",
+        f.with_refresh.len(),
+        f.with_refresh
+    );
+    println!(
+        "multiplier utilization: {:.2}% (paper: {:.2}%)",
+        f.utilization * 100.0,
+        f.paper_utilization * 100.0
+    );
+}
+
+fn lossless() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Lossless criterion — fixed-point round trip on a random 12-bit image");
+    for (id, exact) in reproduction::lossless_summary(128, 6)? {
+        println!("{id}: {}", if exact { "bit exact" } else { "NOT bit exact" });
+    }
+    Ok(())
+}
+
+fn conclusions(size: usize) -> Result<(), Box<dyn std::error::Error>> {
+    heading(&format!(
+        "Conclusions — simulated architecture on a {size}x{size} 12-bit image"
+    ));
+    let c = reproduction::conclusions(size)?;
+    println!("{}", c.arch_report);
+    println!("\nversus the Pentium-133 software model:\n{}", c.throughput);
+    println!(
+        "\nproposed datapath area: {:.1} mm2 (paper: {:.1} mm2)",
+        c.proposed_area_mm2, c.paper.area_mm2
+    );
+    println!(
+        "paper's headline figures: {:.1} images/s, {:.0}x speedup, {:.2}% utilization",
+        c.paper.images_per_second,
+        c.paper.speedup,
+        c.paper.utilization * 100.0
+    );
+    if size != 512 {
+        println!(
+            "(run with `reproduce conclusions 512` for the paper's full-size workload; \
+             utilization and per-pixel cycle cost are size independent)"
+        );
+    }
+    // Also report the host software time for context.
+    let bank = FilterBank::table1(FilterId::F2);
+    let image = synth::random_image(size, size, 12, 7);
+    let (model, seconds) = SoftwareModel::measure_host(&bank, &image, 6.min(image.max_scales()))?;
+    println!("host f64 reference for the same image: {seconds:.3} s ({model})");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # lwc-bench — benchmark harness and table regeneration
+//!
+//! This crate hosts two things:
+//!
+//! * the Criterion benchmarks under `benches/`, one per table/figure of the
+//!   paper (see `DESIGN.md` for the experiment index), and
+//! * the `reproduce` binary, which prints every regenerated table and figure
+//!   next to the values the paper reports (the data behind
+//!   `EXPERIMENTS.md`).
+//!
+//! The helpers here keep the workloads consistent across benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lwc_core::prelude::*;
+
+/// The deterministic 12-bit random image used by the benchmarks
+/// (the paper validates on random images).
+#[must_use]
+pub fn bench_image(size: usize) -> Image {
+    synth::random_image(size, size, 12, 0xD47E)
+}
+
+/// The deterministic CT-like phantom used by the compression benchmarks.
+#[must_use]
+pub fn bench_phantom(size: usize) -> Image {
+    synth::ct_phantom(size, size, 12, 0xD47E)
+}
+
+/// All six Table I banks, constructed once.
+#[must_use]
+pub fn all_banks() -> Vec<FilterBank> {
+    FilterBank::all_table1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(bench_image(32), bench_image(32));
+        assert_eq!(bench_phantom(32), bench_phantom(32));
+        assert_eq!(all_banks().len(), 6);
+    }
+}

@@ -1,0 +1,209 @@
+//! Bit-level writer and reader over byte buffers.
+//!
+//! Bits are packed most-significant-bit first inside each byte, which keeps
+//! the streams easy to inspect in a hex dump.
+
+use crate::CoderError;
+
+/// Accumulates bits into a byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    current: u8,
+    filled: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.current = (self.current << 1) | u8::from(bit);
+        self.filled += 1;
+        if self.filled == 8 {
+            self.bytes.push(self.current);
+            self.current = 0;
+            self.filled = 0;
+        }
+    }
+
+    /// Writes the `count` least-significant bits of `value`, most significant
+    /// of those first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Writes `count` as a unary run (`count` one-bits followed by a zero).
+    pub fn write_unary(&mut self, count: u64) {
+        for _ in 0..count {
+            self.write_bit(true);
+        }
+        self.write_bit(false);
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + u64::from(self.filled)
+    }
+
+    /// Finishes the stream, padding the last byte with zero bits.
+    #[must_use]
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.current <<= 8 - self.filled;
+            self.bytes.push(self.current);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    position: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, position: 0 }
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::MalformedStream`] at end of input.
+    pub fn read_bit(&mut self) -> Result<bool, CoderError> {
+        let byte_index = (self.position / 8) as usize;
+        if byte_index >= self.bytes.len() {
+            return Err(CoderError::MalformedStream("unexpected end of bitstream".to_owned()));
+        }
+        let bit_index = 7 - (self.position % 8) as u32;
+        self.position += 1;
+        Ok((self.bytes[byte_index] >> bit_index) & 1 == 1)
+    }
+
+    /// Reads `count` bits into the low bits of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::MalformedStream`] at end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, CoderError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut value = 0u64;
+        for _ in 0..count {
+            value = (value << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(value)
+    }
+
+    /// Reads a unary run (number of one-bits before the terminating zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::MalformedStream`] at end of input.
+    pub fn read_unary(&mut self) -> Result<u64, CoderError> {
+        let mut count = 0u64;
+        while self.read_bit()? {
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Number of bits consumed so far.
+    #[must_use]
+    pub fn bits_read(&self) -> u64 {
+        self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true, true, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len() as u64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.bits_read(), 37);
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let mut w = BitWriter::new();
+        for n in [0u64, 1, 5, 13] {
+            w.write_unary(n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for n in [0u64, 1, 5, 13] {
+            assert_eq!(r.read_unary().unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn end_of_stream_is_an_error() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bit().is_err());
+        // A unary run that never terminates also errors out.
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(r.read_unary().is_err());
+    }
+
+    #[test]
+    fn padding_is_zero_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1010_0000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 64 bits")]
+    fn oversized_write_rejected() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 65);
+    }
+}

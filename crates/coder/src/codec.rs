@@ -1,0 +1,276 @@
+//! End-to-end lossless image codec: reversible 5/3 transform + Rice-coded
+//! subbands.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{CoderError, SubbandCodec};
+use lwc_image::Image;
+use lwc_lifting::Lifting53;
+use std::fmt;
+
+/// Magic number identifying an `lwc` compressed stream ("LWC1").
+const MAGIC: u32 = 0x4C57_4331;
+
+/// Statistics of one compression run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionReport {
+    /// Size of the raw image in bytes (at its nominal bit depth, packed).
+    pub raw_bytes: usize,
+    /// Size of the compressed stream in bytes.
+    pub compressed_bytes: usize,
+    /// Average compressed bits per pixel.
+    pub bits_per_pixel: f64,
+}
+
+impl CompressionReport {
+    /// Compression ratio (raw / compressed); greater than 1 means the stream
+    /// shrank.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.compressed_bytes as f64
+    }
+}
+
+impl fmt::Display for CompressionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} bytes ({:.2}:1, {:.2} bpp)",
+            self.raw_bytes,
+            self.compressed_bytes,
+            self.ratio(),
+            self.bits_per_pixel
+        )
+    }
+}
+
+/// Lossless wavelet image codec.
+///
+/// The stream layout is:
+///
+/// ```text
+/// magic (32) | width (20) | height (20) | bit depth (5) | scales (4)
+/// deepest approximation subband, then for each scale from the deepest to
+/// the finest: horizontal, vertical, diagonal detail subbands
+/// ```
+///
+/// All subbands are Rice coded with a per-subband parameter
+/// (see [`SubbandCodec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LosslessCodec {
+    transform: Lifting53,
+    subbands: SubbandCodec,
+}
+
+impl LosslessCodec {
+    /// Creates a codec with the given decomposition depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scales` is zero.
+    pub fn new(scales: u32) -> Result<Self, CoderError> {
+        Ok(Self { transform: Lifting53::new(scales)?, subbands: SubbandCodec::new() })
+    }
+
+    /// Decomposition depth used by the codec.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.transform.scales()
+    }
+
+    /// Compresses `image` into a self-contained byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image cannot be decomposed to the configured
+    /// depth.
+    pub fn compress(&self, image: &Image) -> Result<Vec<u8>, CoderError> {
+        let coeffs = self.transform.forward(image)?;
+        let mut writer = BitWriter::new();
+        writer.write_bits(u64::from(MAGIC), 32);
+        writer.write_bits(image.width() as u64, 20);
+        writer.write_bits(image.height() as u64, 20);
+        writer.write_bits(u64::from(image.bit_depth()), 5);
+        writer.write_bits(u64::from(self.scales()), 4);
+
+        let deepest = self.scales();
+        self.subbands.encode_subband(&mut writer, &coeffs.subband(deepest, 0));
+        for scale in (1..=deepest).rev() {
+            for band in 1..=3 {
+                self.subbands.encode_subband(&mut writer, &coeffs.subband(scale, band));
+            }
+        }
+        Ok(writer.into_bytes())
+    }
+
+    /// Reconstructs the image from a stream produced by
+    /// [`LosslessCodec::compress`]. The result is pixel-exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams or mismatched configuration.
+    pub fn decompress(&self, bytes: &[u8]) -> Result<Image, CoderError> {
+        let mut reader = BitReader::new(bytes);
+        if reader.read_bits(32)? as u32 != MAGIC {
+            return Err(CoderError::UnsupportedFormat("bad magic number".to_owned()));
+        }
+        let width = reader.read_bits(20)? as usize;
+        let height = reader.read_bits(20)? as usize;
+        let bit_depth = reader.read_bits(5)? as u32;
+        let scales = reader.read_bits(4)? as u32;
+        if scales != self.scales() {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "stream uses {scales} scales but the codec is configured for {}",
+                self.scales()
+            )));
+        }
+        if width == 0 || height == 0 || width > (1 << 20) || height > (1 << 20) {
+            return Err(CoderError::MalformedStream(format!(
+                "implausible dimensions {width}x{height}"
+            )));
+        }
+
+        // Rebuild the Mallat layout buffer subband by subband.
+        let mut data = vec![0i32; width * height];
+        let deepest = self.scales();
+        let mut place = |samples: &[i32], scale: u32, band: usize| {
+            let w = width >> scale;
+            let h = height >> scale;
+            let (x0, y0) = match band {
+                0 => (0, 0),
+                1 => (w, 0),
+                2 => (0, h),
+                _ => (w, h),
+            };
+            for (i, &v) in samples.iter().enumerate() {
+                let x = x0 + i % w;
+                let y = y0 + i / w;
+                data[y * width + x] = v;
+            }
+        };
+
+        let approx_len = (width >> deepest) * (height >> deepest);
+        if approx_len == 0 {
+            return Err(CoderError::MalformedStream(
+                "image too small for the coded number of scales".to_owned(),
+            ));
+        }
+        let approx = self.subbands.decode_subband(&mut reader, approx_len)?;
+        place(&approx, deepest, 0);
+        for scale in (1..=deepest).rev() {
+            let len = (width >> scale) * (height >> scale);
+            for band in 1..=3 {
+                let samples = self.subbands.decode_subband(&mut reader, len)?;
+                place(&samples, scale, band);
+            }
+        }
+
+        let coeffs = lwc_lifting::LiftingCoefficients::from_raw(
+            data, width, height, scales, bit_depth,
+        )?;
+        Ok(self.transform.inverse(&coeffs)?)
+    }
+
+    /// Compresses and reports the sizes.
+    ///
+    /// # Errors
+    ///
+    /// See [`LosslessCodec::compress`].
+    pub fn compress_with_report(
+        &self,
+        image: &Image,
+    ) -> Result<(Vec<u8>, CompressionReport), CoderError> {
+        let bytes = self.compress(image)?;
+        let raw_bits = image.pixel_count() * image.bit_depth() as usize;
+        let report = CompressionReport {
+            raw_bytes: raw_bits.div_ceil(8),
+            compressed_bytes: bytes.len(),
+            bits_per_pixel: bytes.len() as f64 * 8.0 / image.pixel_count() as f64,
+        };
+        Ok((bytes, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_image::{stats, synth};
+
+    #[test]
+    fn compress_decompress_is_lossless_on_phantoms() {
+        let codec = LosslessCodec::new(4).unwrap();
+        for image in [
+            synth::ct_phantom(64, 64, 12, 1),
+            synth::mr_slice(64, 64, 12, 2),
+            synth::gradient(64, 64, 12),
+            synth::flat(64, 64, 12, 777),
+        ] {
+            let bytes = codec.compress(&image).unwrap();
+            let back = codec.decompress(&bytes).unwrap();
+            assert!(stats::bit_exact(&image, &back).unwrap());
+        }
+    }
+
+    #[test]
+    fn structured_images_actually_compress() {
+        // At clinically realistic raster sizes the phantom's smooth regions
+        // dominate and the codec removes a good third of the volume; the
+        // ratio keeps improving with resolution (1.9:1 at 512², see
+        // EXPERIMENTS.md).
+        let codec = LosslessCodec::new(5).unwrap();
+        let image = synth::ct_phantom(256, 256, 12, 3);
+        let (_bytes, report) = codec.compress_with_report(&image).unwrap();
+        assert!(
+            report.ratio() > 1.5,
+            "a CT phantom should compress well, got {report}"
+        );
+        assert!(report.bits_per_pixel < 8.0);
+    }
+
+    #[test]
+    fn random_images_do_not_compress_but_stay_lossless() {
+        let codec = LosslessCodec::new(3).unwrap();
+        let image = synth::random_image(64, 64, 12, 5);
+        let (bytes, report) = codec.compress_with_report(&image).unwrap();
+        assert!(report.ratio() < 1.1, "uniform noise is incompressible: {report}");
+        let back = codec.decompress(&bytes).unwrap();
+        assert!(stats::bit_exact(&image, &back).unwrap());
+    }
+
+    #[test]
+    fn rectangular_images_roundtrip() {
+        let codec = LosslessCodec::new(3).unwrap();
+        let image = synth::mr_slice(96, 48, 12, 9);
+        let bytes = codec.compress(&image).unwrap();
+        let back = codec.decompress(&bytes).unwrap();
+        assert!(stats::bit_exact(&image, &back).unwrap());
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let codec = LosslessCodec::new(3).unwrap();
+        let image = synth::ct_phantom(32, 32, 12, 0);
+        let mut bytes = codec.compress(&image).unwrap();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(codec.decompress(&bad).is_err());
+        // Truncation.
+        bytes.truncate(8);
+        assert!(codec.decompress(&bytes).is_err());
+        // Wrong codec configuration.
+        let other = LosslessCodec::new(4).unwrap();
+        let full = codec.compress(&image).unwrap();
+        assert!(other.decompress(&full).is_err());
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let report = CompressionReport {
+            raw_bytes: 1000,
+            compressed_bytes: 500,
+            bits_per_pixel: 6.0,
+        };
+        assert!(report.to_string().contains("2.00:1"));
+        assert!((report.ratio() - 2.0).abs() < 1e-12);
+    }
+}

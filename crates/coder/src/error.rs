@@ -1,0 +1,69 @@
+//! Error type for the entropy-coding crate.
+
+use lwc_image::ImageError;
+use lwc_lifting::LiftingError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while compressing or decompressing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoderError {
+    /// The compressed stream is truncated or corrupt.
+    MalformedStream(String),
+    /// The stream was produced by an incompatible version or configuration.
+    UnsupportedFormat(String),
+    /// A transform problem (undecomposable image, bad configuration).
+    Lifting(LiftingError),
+    /// An image container problem.
+    Image(ImageError),
+}
+
+impl fmt::Display for CoderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoderError::MalformedStream(msg) => write!(f, "malformed compressed stream: {msg}"),
+            CoderError::UnsupportedFormat(msg) => write!(f, "unsupported stream format: {msg}"),
+            CoderError::Lifting(e) => write!(f, "transform error: {e}"),
+            CoderError::Image(e) => write!(f, "image error: {e}"),
+        }
+    }
+}
+
+impl Error for CoderError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoderError::Lifting(e) => Some(e),
+            CoderError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LiftingError> for CoderError {
+    fn from(e: LiftingError) -> Self {
+        CoderError::Lifting(e)
+    }
+}
+
+impl From<ImageError> for CoderError {
+    fn from(e: ImageError) -> Self {
+        CoderError::Image(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoderError::MalformedStream("ran out of bits".to_owned());
+        assert!(e.to_string().contains("ran out of bits"));
+        assert!(Error::source(&e).is_none());
+        let e = CoderError::from(LiftingError::NoScales);
+        assert!(Error::source(&e).is_some());
+        let e = CoderError::from(ImageError::InvalidBitDepth(0));
+        assert!(Error::source(&e).is_some());
+    }
+}

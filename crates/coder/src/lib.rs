@@ -1,0 +1,58 @@
+//! # lwc-coder — lossless entropy coding of wavelet subbands
+//!
+//! The paper designs the *transform* hardware for a lossless medical-image
+//! compression system; the entropy-coding back end is out of its scope. To
+//! make this reproduction a complete, usable compressor, this crate adds:
+//!
+//! * [`bitio`] — bit-level writers/readers,
+//! * [`rice`] — Rice/Golomb codes with per-subband parameter selection
+//!   (the standard low-complexity choice for wavelet detail statistics),
+//! * [`SubbandCodec`] — serialization of a multi-scale integer decomposition
+//!   subband by subband,
+//! * [`LosslessCodec`] — an end-to-end image codec built on the reversible
+//!   5/3 lifting transform from `lwc-lifting`, byte-exact on decode.
+//!
+//! The fixed-point transform of the paper is validated for losslessness in
+//! `lwc-dwt`; its coefficients are wide fractional words and are not what one
+//! would entropy-code directly, so the end-to-end compression numbers in the
+//! examples use the reversible integer transform (see DESIGN.md §5).
+//!
+//! ```
+//! use lwc_coder::LosslessCodec;
+//! use lwc_image::synth;
+//!
+//! # fn main() -> Result<(), lwc_coder::CoderError> {
+//! let image = synth::ct_phantom(64, 64, 12, 1);
+//! let codec = LosslessCodec::new(4)?;
+//! let bytes = codec.compress(&image)?;
+//! let restored = codec.decompress(&bytes)?;
+//! assert_eq!(image.samples(), restored.samples());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitio;
+mod codec;
+mod error;
+pub mod rice;
+mod subband;
+
+pub use codec::{CompressionReport, LosslessCodec};
+pub use error::CoderError;
+pub use subband::SubbandCodec;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LosslessCodec>();
+        assert_send_sync::<CoderError>();
+        assert_send_sync::<CompressionReport>();
+    }
+}

@@ -1,0 +1,102 @@
+//! # lwc-core — lossless wavelet compression of medical images
+//!
+//! This is the umbrella crate of the **LWC** workspace, a from-scratch Rust
+//! reproduction of *"VLSI Architecture for Lossless Compression of Medical
+//! Images Using the Discrete Wavelet Transform"* (Urriza et al., DATE 1998).
+//! It re-exports the individual subsystems and adds the high-level entry
+//! points used by the examples, the integration tests and the benchmark
+//! harness:
+//!
+//! * [`prelude`] — one `use` for the common types,
+//! * [`reproduction`] — functions that regenerate every table and figure of
+//!   the paper's evaluation (Table I–VI, Eq. 2, Fig. 2, the conclusions), in
+//!   structured form,
+//! * [`verify_lossless`] — the headline check: forward + inverse fixed-point
+//!   DWT must reproduce the input image bit by bit.
+//!
+//! The individual subsystems live in their own crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`lwc_fixed`] | fixed-point formats, 64-bit MAC, round-half-up |
+//! | [`lwc_filters`] | the six Table I filter banks |
+//! | [`lwc_image`] | image container, synthetic medical phantoms, PGM I/O |
+//! | [`lwc_wordlen`] | dynamic-range analysis, Table II, word-length plans |
+//! | [`lwc_dwt`] | floating-point and fixed-point 2-D DWT |
+//! | [`lwc_arch`] | cycle-accurate model of the proposed architecture |
+//! | [`lwc_tech`] | 0.7 µm area/delay models (Table V) |
+//! | [`lwc_baselines`] | prior-architecture cost comparison (Table III) |
+//! | [`lwc_perf`] | MAC counts, software/hardware performance models |
+//! | [`lwc_lifting`] | reversible integer 5/3 transform (baseline) |
+//! | [`lwc_coder`] | Rice-coded lossless image codec |
+//!
+//! ```
+//! use lwc_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = synth::ct_phantom(64, 64, 12, 0);
+//! let report = lwc_core::verify_lossless(&image, FilterId::F1, 3)?;
+//! assert!(report.bit_exact);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prelude;
+pub mod reproduction;
+
+pub use lwc_arch;
+pub use lwc_baselines;
+pub use lwc_coder;
+pub use lwc_dwt;
+pub use lwc_filters;
+pub use lwc_fixed;
+pub use lwc_image;
+pub use lwc_lifting;
+pub use lwc_perf;
+pub use lwc_tech;
+pub use lwc_wordlen;
+
+use lwc_dwt::lossless::RoundtripReport;
+use lwc_dwt::DwtError;
+use lwc_filters::{FilterBank, FilterId};
+use lwc_image::Image;
+
+/// Runs the paper's lossless criterion on `image`: forward + inverse
+/// fixed-point DWT (32-bit datapath, Table II integer parts) must reproduce
+/// every pixel exactly.
+///
+/// # Errors
+///
+/// Returns an error if the image cannot be decomposed over `scales` scales
+/// or the word-length plan cannot be built.
+pub fn verify_lossless(
+    image: &Image,
+    filter: FilterId,
+    scales: u32,
+) -> Result<RoundtripReport, DwtError> {
+    lwc_dwt::lossless::fixed_roundtrip(image, &FilterBank::table1(filter), scales)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_image::synth;
+
+    #[test]
+    fn verify_lossless_succeeds_on_the_paper_configuration() {
+        let image = synth::random_image(64, 64, 12, 3);
+        for id in FilterId::ALL {
+            let report = verify_lossless(&image, id, 3).unwrap();
+            assert!(report.bit_exact, "{id}");
+        }
+    }
+
+    #[test]
+    fn verify_lossless_propagates_configuration_errors() {
+        let image = synth::flat(48, 48, 12, 0);
+        assert!(verify_lossless(&image, FilterId::F1, 5).is_err());
+    }
+}

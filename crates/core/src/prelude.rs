@@ -1,0 +1,43 @@
+//! Convenient re-exports of the types most programs need.
+//!
+//! ```
+//! use lwc_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bank = FilterBank::table1(FilterId::F4);
+//! let dwt = FixedDwt2d::paper_default(&bank, 3)?;
+//! let image = synth::mr_slice(64, 64, 12, 0);
+//! assert!(stats::bit_exact(&image, &dwt.roundtrip(&image)?)?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lwc_arch::{ArchParams, ArchReport, ArchSimulator, InverseSimulationRun, SimulationRun};
+pub use lwc_baselines::{table3, ArchitectureClass, ArchitectureCost, CostParameters};
+pub use lwc_coder::{CompressionReport, LosslessCodec};
+pub use lwc_dwt::{Decomposition, Dwt2d, DwtError, FixedDwt2d, Subband};
+pub use lwc_filters::{
+    BankMetrics, BiorthogonalityReport, CoefficientPrecision, FilterBank, FilterId, Kernel,
+    QuantizedBank,
+};
+pub use lwc_fixed::{Fx, MacAccumulator, QFormat};
+pub use lwc_image::{pgm, stats, synth, Image, ImageError};
+pub use lwc_lifting::Lifting53;
+pub use lwc_perf::hardware::{HardwareModel, ThroughputReport};
+pub use lwc_perf::software::SoftwareModel;
+pub use lwc_tech::{MemoryModel, MultiplierDesign, MultiplierModel, Process};
+pub use lwc_wordlen::{integer_bits, WordLengthPlan};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_types_are_usable_together() {
+        let bank = FilterBank::table1(FilterId::F5);
+        let plan = WordLengthPlan::paper_default(&bank, 2).unwrap();
+        assert_eq!(plan.word_bits(), 32);
+        let image = synth::flat(16, 16, 12, 9);
+        assert_eq!(stats::entropy_bits_per_pixel(&image), 0.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Regeneration of every table and figure of the paper's evaluation.
+//!
+//! Each function returns structured data so that the `reproduce` binary can
+//! print it, the Criterion benches can time it and the integration tests can
+//! assert on it. The experiment identifiers (`E-T1` … `E-C1`) follow the
+//! per-experiment index in `DESIGN.md`.
+
+use lwc_arch::schedule::{utilization, Macrocycle, PAPER_UTILIZATION};
+use lwc_arch::{ArchParams, ArchReport, ArchSimulator};
+use lwc_baselines::{CostParameters, Table3Row};
+use lwc_dwt::DwtError;
+use lwc_filters::{BankMetrics, BiorthogonalityReport, FilterBank, FilterId};
+use lwc_image::synth;
+use lwc_perf::hardware::{HardwareModel, ThroughputReport};
+use lwc_perf::macs;
+use lwc_perf::software::SoftwareModel;
+use lwc_tech::{MultiplierModel, TABLE5_PAPER};
+use lwc_wordlen::integer_bits::{self, TABLE2_PAPER};
+use lwc_arch::fifo::FifoBounds;
+use lwc_arch::input_buffer::InputBufferSpec;
+use lwc_arch::ArchError;
+
+/// E-T1 — one row of the regenerated Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Bank identifier.
+    pub id: FilterId,
+    /// Filter metrics (lengths, absolute sums, growth factors).
+    pub metrics: BankMetrics,
+    /// Perfect-reconstruction residual of the printed coefficients.
+    pub biorthogonality: BiorthogonalityReport,
+}
+
+/// E-T1 — regenerates Table I from the coefficient data.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    FilterBank::all_table1()
+        .iter()
+        .map(|bank| Table1Row {
+            id: bank.id(),
+            metrics: BankMetrics::of(bank),
+            biorthogonality: BiorthogonalityReport::of(bank),
+        })
+        .collect()
+}
+
+/// E-T2 — the regenerated Table II next to the printed one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Reproduction {
+    /// Per-bank computed integer-part widths for scales 1..=6.
+    pub computed: Vec<(FilterId, Vec<u32>)>,
+    /// The printed table.
+    pub paper: [[u32; 6]; 6],
+}
+
+impl Table2Reproduction {
+    /// `true` when every entry matches the paper exactly.
+    #[must_use]
+    pub fn matches_paper(&self) -> bool {
+        self.computed
+            .iter()
+            .zip(self.paper.iter())
+            .all(|((_, row), paper_row)| row.as_slice() == paper_row.as_slice())
+    }
+}
+
+/// E-T2 — regenerates Table II (minimum integer part per filter and scale).
+#[must_use]
+pub fn table2() -> Table2Reproduction {
+    Table2Reproduction { computed: integer_bits::table2(6), paper: TABLE2_PAPER }
+}
+
+/// E-T3 — regenerates Table III (hardware cost of prior architectures plus
+/// the proposed one) for the paper's parameters.
+#[must_use]
+pub fn table3() -> Vec<Table3Row> {
+    lwc_baselines::table3(CostParameters::paper_default())
+}
+
+/// E-F4/T4 — the input-buffer sizing and the Bank 2 reuse counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table4Reproduction {
+    /// Buffer sizing (Bsize = 4l+1 rounded to a power of two).
+    pub spec: InputBufferSpec,
+    /// Per scale: (scale, row/column length, #rounds).
+    pub rounds: Vec<(u32, usize, usize)>,
+    /// The printed #rounds column for the 512×512, 13-tap configuration.
+    pub paper_rounds: [usize; 6],
+}
+
+/// E-F4/T4 — regenerates Table IV for the paper configuration.
+///
+/// # Errors
+///
+/// Returns an error only if the buffer spec cannot be built (never for the
+/// 13-tap configuration).
+pub fn table4() -> Result<Table4Reproduction, ArchError> {
+    let spec = InputBufferSpec::for_filter(13)?;
+    Ok(Table4Reproduction {
+        spec,
+        rounds: spec.table4(512, 6),
+        paper_rounds: [31, 15, 7, 3, 1, 0],
+    })
+}
+
+/// E-T5 — the two multiplier design points of Table V.
+#[must_use]
+pub fn table5() -> [MultiplierModel; 2] {
+    TABLE5_PAPER
+}
+
+/// E-T6 — the FIFO depth bounds of Table VI next to the printed values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table6Reproduction {
+    /// Computed bounds per scale.
+    pub bounds: Vec<FifoBounds>,
+    /// Printed MIN(D) row.
+    pub paper_min: [usize; 6],
+    /// Printed MAX(D) row.
+    pub paper_max: [usize; 6],
+}
+
+impl Table6Reproduction {
+    /// `true` when every bound matches the paper exactly.
+    #[must_use]
+    pub fn matches_paper(&self) -> bool {
+        self.bounds.iter().zip(self.paper_min.iter().zip(self.paper_max.iter())).all(
+            |(b, (&min, &max))| b.min_depth == min && b.max_depth == max,
+        )
+    }
+}
+
+/// E-T6 — regenerates Table VI for N = 512, L = 13.
+#[must_use]
+pub fn table6() -> Table6Reproduction {
+    Table6Reproduction {
+        bounds: FifoBounds::table6(512, 6, 6),
+        paper_min: [250, 122, 58, 26, 10, 2],
+        paper_max: [504, 248, 120, 56, 24, 8],
+    }
+}
+
+/// E-EQ2 — MAC counts and the software baseline time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eq2Reproduction {
+    /// MACs per scale for the reference workload.
+    pub per_scale: Vec<u64>,
+    /// Total MACs (Eq. 2).
+    pub total: u64,
+    /// The value the paper quotes (8.99·10⁶).
+    pub paper_total: f64,
+    /// Predicted Pentium-133 execution time in seconds (paper: 42 s).
+    pub pentium_seconds: f64,
+}
+
+/// E-EQ2 — regenerates the Eq. (2) numbers for N = 512, L = 13, S = 6.
+#[must_use]
+pub fn eq2() -> Eq2Reproduction {
+    let per_scale: Vec<u64> = (1..=6).map(|j| macs::macs_for_scale(512, 13, 13, j)).collect();
+    let total = per_scale.iter().sum();
+    Eq2Reproduction {
+        per_scale,
+        total,
+        paper_total: macs::PAPER_QUOTED_MACS,
+        pentium_seconds: SoftwareModel::pentium_133().seconds_for(total),
+    }
+}
+
+/// E-F2 — the macrocycle schedule and the utilization figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Reproduction {
+    /// A normal 13-cycle macrocycle.
+    pub normal: Macrocycle,
+    /// A macrocycle extended by the 6-cycle DRAM refresh.
+    pub with_refresh: Macrocycle,
+    /// Utilization for the default refresh interval (one refresh per 48
+    /// macrocycles).
+    pub utilization: f64,
+    /// The figure the paper quotes (99.04 %).
+    pub paper_utilization: f64,
+}
+
+/// E-F2 — regenerates the Fig. 2 schedule.
+#[must_use]
+pub fn fig2() -> Fig2Reproduction {
+    Fig2Reproduction {
+        normal: Macrocycle::normal(13),
+        with_refresh: Macrocycle::with_refresh(13, 6),
+        utilization: utilization(13, 48, 1, 6),
+        paper_utilization: PAPER_UTILIZATION,
+    }
+}
+
+/// E-C1 — the headline numbers of the conclusions: area, throughput and
+/// speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConclusionsReproduction {
+    /// Image size the run used (the paper uses 512).
+    pub image_size: usize,
+    /// The architecture report of the simulated forward transform.
+    pub arch_report: ArchReport,
+    /// Throughput and speedup versus the Pentium-133 software model.
+    pub throughput: ThroughputReport,
+    /// Modelled silicon area of the proposed datapath (mm²).
+    pub proposed_area_mm2: f64,
+    /// The paper's numbers: 11.2 mm², 3.5 images/s, 154×, 99.04 %.
+    pub paper: PaperConclusions,
+}
+
+/// The figures printed in the paper's conclusions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperConclusions {
+    /// Datapath area in mm².
+    pub area_mm2: f64,
+    /// Images per second at 33 MHz.
+    pub images_per_second: f64,
+    /// Speedup over the 133 MHz Pentium.
+    pub speedup: f64,
+    /// Multiplier utilization.
+    pub utilization: f64,
+}
+
+/// E-C1 — runs the architecture simulator on a random `image_size`²
+/// 12-bit image (the paper's own validation workload) and assembles the
+/// conclusions figures. Use `image_size = 512` to match the paper; smaller
+/// sizes run faster and scale the cycle count accordingly.
+///
+/// # Errors
+///
+/// Returns an error if the architecture cannot be configured for
+/// `image_size` (it must be divisible by 2⁶).
+pub fn conclusions(image_size: usize) -> Result<ConclusionsReproduction, ArchError> {
+    let params = ArchParams::new(image_size, FilterId::F2, 6)?;
+    let simulator = ArchSimulator::new(params)?;
+    let image = synth::random_image(image_size, image_size, 12, 1998);
+    let run = simulator.run(&image)?;
+
+    // The software baseline transforms the same image size.
+    let software = SoftwareModel::pentium_133();
+    let software_macs = macs::total_macs(image_size, 13, 13, 6);
+    let hardware = HardwareModel { clock_hz: params.clock_hz() };
+    let throughput = ThroughputReport::new(
+        &hardware,
+        run.report.total_cycles(),
+        &software,
+        software_macs,
+    );
+
+    // The silicon area is a property of the chip, which the paper sizes for
+    // 512×512 images (input buffer of N/2 + 32 words with N = 512); report
+    // that design point even when the simulated workload is smaller.
+    let proposed = lwc_baselines::ArchitectureCost::evaluate(
+        lwc_baselines::ArchitectureClass::Proposed,
+        CostParameters::paper_default(),
+    );
+
+    Ok(ConclusionsReproduction {
+        image_size,
+        arch_report: run.report,
+        throughput,
+        proposed_area_mm2: proposed.total_area_mm2(),
+        paper: PaperConclusions {
+            area_mm2: 11.2,
+            images_per_second: 3.5,
+            speedup: 154.0,
+            utilization: PAPER_UTILIZATION,
+        },
+    })
+}
+
+/// E-L1 — the lossless round-trip verdict per filter bank on a random image.
+///
+/// # Errors
+///
+/// Propagates transform errors (undecomposable image).
+pub fn lossless_summary(
+    image_size: usize,
+    scales: u32,
+) -> Result<Vec<(FilterId, bool)>, DwtError> {
+    let image = synth::random_image(image_size, image_size, 12, 42);
+    FilterId::ALL
+        .iter()
+        .map(|&id| {
+            lwc_dwt::lossless::fixed_roundtrip(&image, &FilterBank::table1(id), scales)
+                .map(|r| (id, r.bit_exact))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_banks_and_is_biorthogonal() {
+        let rows = table1();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.biorthogonality.is_biorthogonal(5e-5), "{}", row.id);
+            assert!(row.metrics.growth_2d > 1.0);
+        }
+    }
+
+    #[test]
+    fn table2_matches_the_paper_exactly() {
+        assert!(table2().matches_paper());
+    }
+
+    #[test]
+    fn table3_has_the_expected_shape() {
+        let rows = table3();
+        assert_eq!(rows.len(), 5);
+        let proposed = rows.last().unwrap().cost.total_area_mm2();
+        assert!(proposed < 12.0);
+        assert!(rows[0].cost.total_area_mm2() / proposed > 12.0);
+    }
+
+    #[test]
+    fn table4_and_table6_match_the_paper() {
+        let t4 = table4().unwrap();
+        let rounds: Vec<usize> = t4.rounds.iter().map(|&(_, _, r)| r).collect();
+        assert_eq!(rounds, t4.paper_rounds.to_vec());
+        assert_eq!(t4.spec.words, 32);
+        assert!(table6().matches_paper());
+    }
+
+    #[test]
+    fn table5_is_the_paper_data() {
+        let t5 = table5();
+        assert_eq!(t5[0].area_mm2, 2.92);
+        assert_eq!(t5[1].access_time_ns, 23.45);
+    }
+
+    #[test]
+    fn eq2_and_fig2_reproduce_the_section_numbers() {
+        let e = eq2();
+        assert!((e.total as f64 - e.paper_total).abs() / e.paper_total < 0.02);
+        assert!((e.pentium_seconds - 42.0).abs() < 1.0);
+        let f = fig2();
+        assert!((f.utilization - f.paper_utilization).abs() < 0.002);
+        assert_eq!(f.normal.len(), 13);
+        assert_eq!(f.with_refresh.len(), 19);
+    }
+
+    #[test]
+    fn conclusions_scale_down_to_a_small_workload() {
+        // 64×64 instead of 512×512 keeps the test fast; the utilization and
+        // the per-pixel cycle cost are size independent.
+        let c = conclusions(64).unwrap();
+        assert!((c.arch_report.utilization() - c.paper.utilization).abs() < 0.002);
+        assert!(c.proposed_area_mm2 < 12.0);
+        assert!(c.throughput.speedup > 100.0);
+    }
+
+    #[test]
+    fn lossless_summary_reports_every_bank_exact() {
+        for (id, exact) in lossless_summary(64, 3).unwrap() {
+            assert!(exact, "{id}");
+        }
+    }
+}

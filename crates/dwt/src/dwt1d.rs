@@ -1,0 +1,198 @@
+//! One-dimensional analysis/synthesis with periodic extension
+//! (double-precision reference path).
+//!
+//! Conventions (see `lwc-filters` for the filter derivation):
+//!
+//! * analysis: `a[k] = Σ_m h[m]·x[(2k+m) mod N]`,
+//!   `d[k] = Σ_m g[m]·x[(2k+m) mod N]`,
+//! * synthesis: `x̂[n] = Σ_k a[k]·h̃[n-2k] + Σ_k d[k]·g̃[n-2k]`,
+//!   accumulated modulo `N`.
+//!
+//! With the Table I banks (which satisfy `Σ_n h[n]·h̃[n+2k] = δ[k]`) this is a
+//! perfect-reconstruction pair for any even-length periodic signal — the
+//! paper's *"circular convolution"* border treatment.
+
+use lwc_filters::{FilterBank, Kernel};
+
+/// Performs one level of periodic 1-D analysis, returning
+/// `(approximation, detail)`, each of length `x.len() / 2`.
+///
+/// # Panics
+///
+/// Panics if `x` has an odd or zero length.
+#[must_use]
+pub fn analyze_periodic(x: &[f64], bank: &FilterBank) -> (Vec<f64>, Vec<f64>) {
+    analyze_with(x, bank.analysis_lowpass(), bank.analysis_highpass())
+}
+
+/// Performs one level of periodic 1-D synthesis from `(approximation,
+/// detail)`, returning the reconstructed signal of length `2 * approx.len()`.
+///
+/// # Panics
+///
+/// Panics if the two halves have different lengths or are empty.
+#[must_use]
+pub fn synthesize_periodic(approx: &[f64], detail: &[f64], bank: &FilterBank) -> Vec<f64> {
+    synthesize_with(approx, detail, bank.synthesis_lowpass(), bank.synthesis_highpass())
+}
+
+/// Analysis with explicit kernels (exposed for tests and the lifting crate's
+/// cross-checks).
+#[must_use]
+pub fn analyze_with(x: &[f64], lowpass: &Kernel, highpass: &Kernel) -> (Vec<f64>, Vec<f64>) {
+    let n = x.len();
+    assert!(n >= 2 && n % 2 == 0, "signal length must be even and non-zero, got {n}");
+    let half = n / 2;
+    let mut approx = Vec::with_capacity(half);
+    let mut detail = Vec::with_capacity(half);
+    for k in 0..half {
+        let base = 2 * k as i64;
+        let mut a = 0.0;
+        for (m, c) in lowpass.iter_indexed() {
+            a += c * x[(base + m as i64).rem_euclid(n as i64) as usize];
+        }
+        approx.push(a);
+        let mut d = 0.0;
+        for (m, c) in highpass.iter_indexed() {
+            d += c * x[(base + m as i64).rem_euclid(n as i64) as usize];
+        }
+        detail.push(d);
+    }
+    (approx, detail)
+}
+
+/// Synthesis with explicit kernels.
+#[must_use]
+pub fn synthesize_with(
+    approx: &[f64],
+    detail: &[f64],
+    lowpass: &Kernel,
+    highpass: &Kernel,
+) -> Vec<f64> {
+    assert_eq!(approx.len(), detail.len(), "subband lengths must match");
+    assert!(!approx.is_empty(), "subbands must not be empty");
+    let n = approx.len() * 2;
+    let mut out = vec![0.0; n];
+    for k in 0..approx.len() {
+        let base = 2 * k as i64;
+        let a = approx[k];
+        for (m, c) in lowpass.iter_indexed() {
+            out[(base + m as i64).rem_euclid(n as i64) as usize] += a * c;
+        }
+        let d = detail[k];
+        for (m, c) in highpass.iter_indexed() {
+            out[(base + m as i64).rem_euclid(n as i64) as usize] += d * c;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_filters::{CoefficientPrecision, FilterBank, FilterId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-2048.0..2048.0)).collect()
+    }
+
+    #[test]
+    fn perfect_reconstruction_for_all_table1_banks() {
+        for id in FilterId::ALL {
+            let bank = FilterBank::table1(id);
+            for n in [16usize, 32, 64, 50] {
+                let x = random_signal(n, 7 + n as u64);
+                let (a, d) = analyze_periodic(&x, &bank);
+                assert_eq!(a.len(), n / 2);
+                assert_eq!(d.len(), n / 2);
+                let y = synthesize_periodic(&a, &d, &bank);
+                let max_err = x
+                    .iter()
+                    .zip(&y)
+                    .map(|(u, v)| (u - v).abs())
+                    .fold(0.0f64, f64::max);
+                // Table I coefficients carry ~1e-6 truncation, so the
+                // reconstruction error is a few 1e-3 for 11-bit data.
+                assert!(max_err < 2e-2, "{id}, n={n}: reconstruction error {max_err}");
+            }
+        }
+    }
+
+    #[test]
+    fn refined_banks_reconstruct_to_machine_precision() {
+        for id in [FilterId::F1, FilterId::F4, FilterId::F5, FilterId::F6] {
+            let bank = FilterBank::with_precision(id, CoefficientPrecision::Refined);
+            let x = random_signal(64, 99);
+            let (a, d) = analyze_periodic(&x, &bank);
+            let y = synthesize_periodic(&a, &d, &bank);
+            let max_err =
+                x.iter().zip(&y).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
+            assert!(max_err < 1e-9, "{id}: reconstruction error {max_err}");
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_zero_detail_and_scaled_approx() {
+        let bank = FilterBank::table1(FilterId::F4);
+        let x = vec![100.0; 32];
+        let (a, d) = analyze_periodic(&x, &bank);
+        for &v in &d {
+            assert!(v.abs() < 1e-3, "detail of a constant must vanish, got {v}");
+        }
+        for &v in &a {
+            // Low-pass DC gain is √2.
+            assert!((v - 100.0 * std::f64::consts::SQRT_2).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn energy_is_roughly_preserved() {
+        // The Table I banks are close to orthonormal, so Parseval holds
+        // approximately.
+        let bank = FilterBank::table1(FilterId::F1);
+        let x = random_signal(128, 3);
+        let (a, d) = analyze_periodic(&x, &bank);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = a.iter().chain(&d).map(|v| v * v).sum();
+        assert!((ex - ey).abs() / ex < 0.25, "energy ratio {}", ey / ex);
+    }
+
+    #[test]
+    fn impulse_response_appears_in_subbands() {
+        let bank = FilterBank::table1(FilterId::F4);
+        let mut x = vec![0.0; 32];
+        x[10] = 1.0;
+        let (a, d) = analyze_periodic(&x, &bank);
+        assert!(a.iter().any(|&v| v.abs() > 0.1));
+        assert!(d.iter().any(|&v| v.abs() > 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_rejected() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let _ = analyze_periodic(&[1.0, 2.0, 3.0], &bank);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_subbands_rejected() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let _ = synthesize_periodic(&[1.0, 2.0], &[1.0], &bank);
+    }
+
+    #[test]
+    fn small_periodic_signals_reconstruct_even_when_filter_wraps() {
+        // Signal shorter than the filter support: the periodic extension
+        // wraps several times; reconstruction must still hold.
+        let bank = FilterBank::table1(FilterId::F2); // 13 taps
+        let x = random_signal(8, 11);
+        let (a, d) = analyze_periodic(&x, &bank);
+        let y = synthesize_periodic(&a, &d, &bank);
+        let max_err = x.iter().zip(&y).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
+        assert!(max_err < 2e-2, "error {max_err}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the transform crates.
+
+use lwc_fixed::FixedError;
+use lwc_image::ImageError;
+use lwc_wordlen::PlanError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the forward/inverse wavelet transforms.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DwtError {
+    /// The image dimensions cannot be decomposed to the requested depth
+    /// (each scale requires both dimensions to be even).
+    NotDecomposable {
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+        /// Requested number of scales.
+        scales: u32,
+    },
+    /// The decomposition passed to the inverse transform was produced with a
+    /// different filter or scale count.
+    ConfigurationMismatch(String),
+    /// A word-length plan problem.
+    Plan(PlanError),
+    /// A fixed-point arithmetic problem (overflow of the datapath word).
+    Fixed(FixedError),
+    /// An image container problem.
+    Image(ImageError),
+}
+
+impl fmt::Display for DwtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DwtError::NotDecomposable { width, height, scales } => write!(
+                f,
+                "a {width}x{height} image cannot be decomposed over {scales} scales"
+            ),
+            DwtError::ConfigurationMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
+            DwtError::Plan(e) => write!(f, "word-length plan error: {e}"),
+            DwtError::Fixed(e) => write!(f, "fixed-point error: {e}"),
+            DwtError::Image(e) => write!(f, "image error: {e}"),
+        }
+    }
+}
+
+impl Error for DwtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DwtError::Plan(e) => Some(e),
+            DwtError::Fixed(e) => Some(e),
+            DwtError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for DwtError {
+    fn from(e: PlanError) -> Self {
+        DwtError::Plan(e)
+    }
+}
+
+impl From<FixedError> for DwtError {
+    fn from(e: FixedError) -> Self {
+        DwtError::Fixed(e)
+    }
+}
+
+impl From<ImageError> for DwtError {
+    fn from(e: ImageError) -> Self {
+        DwtError::Image(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DwtError::NotDecomposable { width: 30, height: 20, scales: 4 };
+        assert!(e.to_string().contains("30x20"));
+        let e = DwtError::ConfigurationMismatch("filter differs".to_owned());
+        assert!(e.to_string().contains("filter differs"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: DwtError = FixedError::NonFinite.into();
+        assert!(Error::source(&e).is_some());
+        let e: DwtError = PlanError::NoScales.into();
+        assert!(Error::source(&e).is_some());
+        let io = ImageError::InvalidBitDepth(33);
+        let e: DwtError = io.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,300 @@
+//! One-dimensional analysis/synthesis in the paper's fixed-point arithmetic.
+//!
+//! Every output sample is produced exactly the way the hardware datapath
+//! produces it (Sections 4.2 and 4.3):
+//!
+//! 1. multiply–accumulate the quantized coefficients against the raw
+//!    fixed-point samples in a 64-bit accumulator,
+//! 2. align the accumulator to the destination scale's format (the integer
+//!    part grows with the scale, Table II),
+//! 3. round: truncate, and add one if the most significant discarded bit
+//!    was set.
+//!
+//! The [`FixedStep`] value captures the formats involved in one pass so the
+//! 2-D driver and the cycle-accurate architecture model use identical
+//! arithmetic.
+
+use crate::DwtError;
+use lwc_filters::QuantizedKernel;
+use lwc_fixed::{align_and_round_checked, MacAccumulator};
+
+/// Fixed-point formats of one 1-D pass: input samples, output samples and
+/// coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedStep {
+    /// Fractional bits of the input samples.
+    pub in_frac_bits: u32,
+    /// Fractional bits of the stored output samples.
+    pub out_frac_bits: u32,
+    /// Fractional bits of the filter coefficients.
+    pub coeff_frac_bits: u32,
+    /// Word length the rounded output must fit (32 in the paper).
+    pub word_bits: u32,
+}
+
+impl FixedStep {
+    /// Number of fractional bits held by the accumulator during this pass.
+    #[must_use]
+    pub fn accumulator_frac_bits(&self) -> u32 {
+        self.in_frac_bits + self.coeff_frac_bits
+    }
+
+    /// Aligns and rounds an accumulator value into the output format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fixed-point overflow error if the rounded value does not fit
+    /// the output word — i.e. the Table II integer part was violated.
+    pub fn round(&self, acc: i64) -> Result<i64, DwtError> {
+        Ok(align_and_round_checked(
+            acc,
+            self.accumulator_frac_bits(),
+            self.out_frac_bits,
+            self.word_bits,
+        )?)
+    }
+}
+
+/// One level of periodic 1-D fixed-point analysis, returning
+/// `(approximation, detail)` raw words in the output format of `step`.
+///
+/// # Errors
+///
+/// Returns an error if the 64-bit accumulator or the output word overflows.
+///
+/// # Panics
+///
+/// Panics if `x` has an odd or zero length.
+pub fn analyze_periodic_fixed(
+    x: &[i64],
+    lowpass: &QuantizedKernel,
+    highpass: &QuantizedKernel,
+    step: FixedStep,
+) -> Result<(Vec<i64>, Vec<i64>), DwtError> {
+    let n = x.len();
+    assert!(n >= 2 && n % 2 == 0, "signal length must be even and non-zero, got {n}");
+    let half = n / 2;
+    let mut approx = Vec::with_capacity(half);
+    let mut detail = Vec::with_capacity(half);
+    let mut acc = MacAccumulator::new();
+    for k in 0..half {
+        let base = 2 * k as i64;
+        acc.clear();
+        for (m, c) in indexed(lowpass) {
+            acc.mac(c, x[(base + m as i64).rem_euclid(n as i64) as usize])?;
+        }
+        approx.push(step.round(acc.value())?);
+        acc.clear();
+        for (m, c) in indexed(highpass) {
+            acc.mac(c, x[(base + m as i64).rem_euclid(n as i64) as usize])?;
+        }
+        detail.push(step.round(acc.value())?);
+    }
+    Ok((approx, detail))
+}
+
+/// One level of periodic 1-D fixed-point synthesis from `(approximation,
+/// detail)`, returning raw words in the output format of `step`.
+///
+/// # Errors
+///
+/// Returns an error if the 64-bit accumulator or the output word overflows.
+///
+/// # Panics
+///
+/// Panics if the two halves have different lengths or are empty.
+pub fn synthesize_periodic_fixed(
+    approx: &[i64],
+    detail: &[i64],
+    lowpass: &QuantizedKernel,
+    highpass: &QuantizedKernel,
+    step: FixedStep,
+) -> Result<Vec<i64>, DwtError> {
+    assert_eq!(approx.len(), detail.len(), "subband lengths must match");
+    assert!(!approx.is_empty(), "subbands must not be empty");
+    let n = approx.len() * 2;
+    // Scatter-accumulate in 64 bits: each output receives contributions from
+    // roughly L/2 taps of each synthesis filter, which the word-length plan
+    // keeps within the 64-bit range (the hardware uses the same 64-bit
+    // accumulator).
+    let mut acc = vec![0i64; n];
+    for k in 0..approx.len() {
+        let base = 2 * k as i64;
+        let a = approx[k];
+        for (m, c) in indexed(lowpass) {
+            let idx = (base + m as i64).rem_euclid(n as i64) as usize;
+            acc[idx] = acc[idx]
+                .checked_add(
+                    c.checked_mul(a).ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?,
+                )
+                .ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?;
+        }
+        let d = detail[k];
+        for (m, c) in indexed(highpass) {
+            let idx = (base + m as i64).rem_euclid(n as i64) as usize;
+            acc[idx] = acc[idx]
+                .checked_add(
+                    c.checked_mul(d).ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?,
+                )
+                .ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?;
+        }
+    }
+    acc.into_iter().map(|v| step.round(v)).collect()
+}
+
+/// Iterates over `(tap index, raw coefficient)` pairs of a quantized kernel.
+fn indexed(kernel: &QuantizedKernel) -> impl Iterator<Item = (i32, i64)> + '_ {
+    let min = kernel.min_index();
+    kernel.raw().iter().enumerate().map(move |(i, &c)| (min + i as i32, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dwt1d;
+    use lwc_filters::{FilterBank, FilterId, QuantizedBank};
+    use lwc_wordlen::WordLengthPlan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(id: FilterId) -> (FilterBank, QuantizedBank, WordLengthPlan) {
+        let bank = FilterBank::table1(id);
+        let qbank = QuantizedBank::paper_default(&bank).unwrap();
+        let plan = WordLengthPlan::paper_default(&bank, 6).unwrap();
+        (bank, qbank, plan)
+    }
+
+    fn random_raw(n: usize, frac_bits: u32, peak: i64, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..=peak) << frac_bits).collect()
+    }
+
+    #[test]
+    fn fixed_analysis_matches_float_reference_closely() {
+        for id in FilterId::ALL {
+            let (bank, qbank, plan) = setup(id);
+            let step = FixedStep {
+                in_frac_bits: plan.frac_bits_for_scale(0),
+                out_frac_bits: plan.frac_bits_for_scale(1),
+                coeff_frac_bits: plan.coeff_format().frac_bits(),
+                word_bits: plan.word_bits(),
+            };
+            let raw = random_raw(32, plan.frac_bits_for_scale(0), 4095, 5);
+            let float: Vec<f64> = raw
+                .iter()
+                .map(|&r| r as f64 / (plan.frac_bits_for_scale(0) as f64).exp2())
+                .collect();
+
+            let (fa, fd) = analyze_periodic_fixed(
+                &raw,
+                qbank.analysis_lowpass(),
+                qbank.analysis_highpass(),
+                step,
+            )
+            .unwrap();
+            let (ra, rd) = dwt1d::analyze_periodic(&float, &bank);
+
+            let out_lsb = (plan.frac_bits_for_scale(1) as f64).exp2().recip();
+            for (f, r) in fa.iter().zip(&ra).chain(fd.iter().zip(&rd)) {
+                let fixed_value = *f as f64 * out_lsb;
+                assert!(
+                    (fixed_value - r).abs() < 1e-3,
+                    "{id}: fixed {fixed_value} vs float {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_roundtrip_error_is_below_half_input_lsb() {
+        for id in FilterId::ALL {
+            let (_bank, qbank, plan) = setup(id);
+            let in_frac = plan.frac_bits_for_scale(0);
+            let analysis_step = FixedStep {
+                in_frac_bits: in_frac,
+                out_frac_bits: plan.frac_bits_for_scale(1),
+                coeff_frac_bits: plan.coeff_format().frac_bits(),
+                word_bits: plan.word_bits(),
+            };
+            let synthesis_step = FixedStep {
+                in_frac_bits: plan.frac_bits_for_scale(1),
+                out_frac_bits: in_frac,
+                coeff_frac_bits: plan.coeff_format().frac_bits(),
+                word_bits: plan.word_bits(),
+            };
+            let raw = random_raw(64, in_frac, 4095, 17);
+            let (a, d) = analyze_periodic_fixed(
+                &raw,
+                qbank.analysis_lowpass(),
+                qbank.analysis_highpass(),
+                analysis_step,
+            )
+            .unwrap();
+            let back = synthesize_periodic_fixed(
+                &a,
+                &d,
+                qbank.synthesis_lowpass(),
+                qbank.synthesis_highpass(),
+                synthesis_step,
+            )
+            .unwrap();
+            let lsb = (in_frac as f64).exp2().recip();
+            let max_err = raw
+                .iter()
+                .zip(&back)
+                .map(|(&x, &y)| ((x - y) as f64 * lsb).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_err < 0.5, "{id}: 1-D fixed round-trip error {max_err}");
+        }
+    }
+
+    #[test]
+    fn overflow_of_the_output_word_is_detected() {
+        let (_bank, qbank, plan) = setup(FilterId::F4);
+        // Deliberately keep the output integer part as small as the input's:
+        // the ×2.12 low-pass gain overflows 13 integer bits for full-scale
+        // data.
+        let step = FixedStep {
+            in_frac_bits: plan.frac_bits_for_scale(0),
+            out_frac_bits: plan.frac_bits_for_scale(0),
+            coeff_frac_bits: plan.coeff_format().frac_bits(),
+            word_bits: plan.word_bits(),
+        };
+        let raw = vec![4095i64 << plan.frac_bits_for_scale(0); 16];
+        let result =
+            analyze_periodic_fixed(&raw, qbank.analysis_lowpass(), qbank.analysis_highpass(), step);
+        assert!(result.is_err(), "storing grown data in the input format must overflow");
+    }
+
+    #[test]
+    fn step_reports_accumulator_precision() {
+        let step = FixedStep {
+            in_frac_bits: 19,
+            out_frac_bits: 17,
+            coeff_frac_bits: 30,
+            word_bits: 32,
+        };
+        assert_eq!(step.accumulator_frac_bits(), 49);
+        // Rounding half up: 1.5 LSBs of the output -> 2.
+        let acc = 3i64 << (49 - 17 - 1);
+        assert_eq!(step.round(acc).unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_signals_are_rejected() {
+        let (_bank, qbank, plan) = setup(FilterId::F1);
+        let step = FixedStep {
+            in_frac_bits: plan.frac_bits_for_scale(0),
+            out_frac_bits: plan.frac_bits_for_scale(1),
+            coeff_frac_bits: 30,
+            word_bits: 32,
+        };
+        let _ = analyze_periodic_fixed(
+            &[1, 2, 3],
+            qbank.analysis_lowpass(),
+            qbank.analysis_highpass(),
+            step,
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! # lwc-dwt — the 2-D discrete wavelet transform (floating point and
+//! fixed point)
+//!
+//! This crate implements the algorithmic core of the paper: Mallat's pyramid
+//! decomposition (Fig. 1) computed with the Table I quadrature-mirror filter
+//! banks, in two arithmetic flavours:
+//!
+//! * [`Dwt2d`] — a double-precision reference implementation used to validate
+//!   the filter banks and as the "software implementation" the paper checks
+//!   its hardware against,
+//! * [`FixedDwt2d`] — the bit-exact model of the paper's datapath:
+//!   32-bit fixed-point words whose integer part follows Table II
+//!   (via [`lwc_wordlen::WordLengthPlan`]), 64-bit accumulation, and the
+//!   alignment/round-half-up unit of Section 4.3. The architecture simulator
+//!   in `lwc-arch` reproduces this arithmetic cycle by cycle and is checked
+//!   against it.
+//!
+//! Border handling uses the paper's *"so called circular convolution"*: the
+//! image is extended periodically along rows and columns (Section 4.1).
+//!
+//! The decomposition is stored in the usual Mallat layout (approximation in
+//! the top-left corner) inside a single image-sized buffer — exactly like the
+//! hardware, which keeps one image-sized DRAM for initial, intermediate and
+//! final results.
+//!
+//! ```
+//! use lwc_dwt::{Dwt2d, FixedDwt2d};
+//! use lwc_filters::{FilterBank, FilterId};
+//! use lwc_image::synth;
+//!
+//! # fn main() -> Result<(), lwc_dwt::DwtError> {
+//! let image = synth::ct_phantom(64, 64, 12, 1);
+//! let bank = FilterBank::table1(FilterId::F4);
+//!
+//! // Floating-point reference round trip.
+//! let dwt = Dwt2d::new(bank.clone(), 3)?;
+//! let decomposition = dwt.forward(&image)?;
+//! let restored = dwt.inverse(&decomposition)?;
+//! assert!(lwc_image::stats::max_abs_diff(&image, &restored)? == 0);
+//!
+//! // Fixed-point (hardware) round trip — the lossless claim of the paper.
+//! let hw = FixedDwt2d::paper_default(&bank, 3)?;
+//! let coeffs = hw.forward(&image)?;
+//! let restored = hw.inverse(&coeffs)?;
+//! assert!(lwc_image::stats::bit_exact(&image, &restored)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dwt1d;
+mod error;
+mod fixed1d;
+mod fixed2d;
+pub mod lossless;
+mod subbands;
+mod transform2d;
+
+pub use dwt1d::{analyze_periodic, synthesize_periodic};
+pub use error::DwtError;
+pub use fixed1d::{analyze_periodic_fixed, synthesize_periodic_fixed, FixedStep};
+pub use fixed2d::FixedDwt2d;
+pub use subbands::{Decomposition, Subband, SubbandRect};
+pub use transform2d::Dwt2d;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Dwt2d>();
+        assert_send_sync::<FixedDwt2d>();
+        assert_send_sync::<Decomposition<f64>>();
+        assert_send_sync::<Decomposition<i64>>();
+        assert_send_sync::<DwtError>();
+    }
+}

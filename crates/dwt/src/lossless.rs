@@ -1,0 +1,161 @@
+//! Lossless round-trip verification — the acceptance criterion of Section 3.
+//!
+//! *"Due to finite precision arithmetic, the reconstructed image might be not
+//! numerically identical to the original one, on a pixel-by-pixel basis. That
+//! means that lossless compression is not achieved."* These helpers run the
+//! forward + inverse transform and report whether the reconstruction is
+//! pixel-exact, for both the floating-point reference and the fixed-point
+//! hardware model.
+
+use crate::{Dwt2d, DwtError, FixedDwt2d};
+use lwc_filters::FilterBank;
+use lwc_image::{stats, Image};
+use lwc_wordlen::WordLengthPlan;
+use std::fmt;
+
+/// Result of one forward + inverse round trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundtripReport {
+    /// Largest absolute pixel error after reconstruction.
+    pub max_abs_error: i32,
+    /// Mean squared pixel error.
+    pub mse: f64,
+    /// `true` when every pixel was reconstructed exactly.
+    pub bit_exact: bool,
+}
+
+impl fmt::Display for RoundtripReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bit_exact {
+            write!(f, "lossless (every pixel exact)")
+        } else {
+            write!(f, "lossy: max |error| = {}, mse = {:.3e}", self.max_abs_error, self.mse)
+        }
+    }
+}
+
+/// Builds a report comparing an original and a reconstructed image.
+///
+/// # Errors
+///
+/// Returns an error if the images have different shapes.
+pub fn compare(original: &Image, reconstructed: &Image) -> Result<RoundtripReport, DwtError> {
+    let max_abs_error = stats::max_abs_diff(original, reconstructed)?;
+    let mse = stats::mse(original, reconstructed)?;
+    Ok(RoundtripReport { max_abs_error, mse, bit_exact: max_abs_error == 0 })
+}
+
+/// Runs the double-precision round trip and reports the reconstruction
+/// error.
+///
+/// # Errors
+///
+/// Propagates transform errors (undecomposable image, mismatched
+/// configuration).
+pub fn float_roundtrip(
+    image: &Image,
+    bank: &FilterBank,
+    scales: u32,
+) -> Result<RoundtripReport, DwtError> {
+    let dwt = Dwt2d::new(bank.clone(), scales)?;
+    let back = dwt.roundtrip(image)?;
+    compare(image, &back)
+}
+
+/// Runs the fixed-point (hardware) round trip with the paper's default word
+/// lengths and reports the reconstruction error.
+///
+/// # Errors
+///
+/// Propagates transform errors.
+pub fn fixed_roundtrip(
+    image: &Image,
+    bank: &FilterBank,
+    scales: u32,
+) -> Result<RoundtripReport, DwtError> {
+    let hw = FixedDwt2d::paper_default(bank, scales)?;
+    let back = hw.roundtrip(image)?;
+    compare(image, &back)
+}
+
+/// Runs the fixed-point round trip with an explicit word-length plan
+/// (the oracle used by the minimum-word-length search).
+///
+/// # Errors
+///
+/// Propagates transform errors. A word overflow (possible for deliberately
+/// narrow plans) is reported as a lossy result rather than an error so that
+/// word-length sweeps can treat it uniformly.
+pub fn fixed_roundtrip_with_plan(
+    image: &Image,
+    bank: &FilterBank,
+    plan: &WordLengthPlan,
+) -> Result<RoundtripReport, DwtError> {
+    let hw = FixedDwt2d::with_plan(bank, plan.clone())?;
+    match hw.roundtrip(image) {
+        Ok(back) => compare(image, &back),
+        Err(DwtError::Fixed(_)) => Ok(RoundtripReport {
+            max_abs_error: i32::MAX,
+            mse: f64::INFINITY,
+            bit_exact: false,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_filters::FilterId;
+    use lwc_image::synth;
+
+    #[test]
+    fn fixed_roundtrip_is_lossless_for_paper_configuration() {
+        let image = synth::random_image(64, 64, 12, 21);
+        for id in FilterId::ALL {
+            let report = fixed_roundtrip(&image, &FilterBank::table1(id), 4).unwrap();
+            assert!(report.bit_exact, "{id}: {report}");
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_is_lossless_after_rounding() {
+        let image = synth::ct_phantom(64, 64, 12, 2);
+        let report = float_roundtrip(&image, &FilterBank::table1(FilterId::F1), 4).unwrap();
+        assert!(report.bit_exact, "{report}");
+        assert_eq!(report.max_abs_error, 0);
+        assert_eq!(report.mse, 0.0);
+    }
+
+    #[test]
+    fn narrow_plans_lose_information() {
+        // An 18-bit datapath drops to zero fractional bits from scale 4 on
+        // for the F5 bank: the round trip must report errors rather than
+        // pretend to be lossless. (Empirically the transform tolerates much
+        // narrower words than the paper's 32 bits — see EXPERIMENTS.md — so
+        // this probes the first genuinely lossy configuration.)
+        let bank = FilterBank::table1(FilterId::F5);
+        let plan = WordLengthPlan::new(&bank, 18, 18, 13, 4).unwrap();
+        let image = synth::random_image(64, 64, 12, 8);
+        let report = fixed_roundtrip_with_plan(&image, &bank, &plan).unwrap();
+        assert!(!report.bit_exact, "an 18-bit datapath should not be lossless");
+        assert!(report.max_abs_error > 0);
+    }
+
+    #[test]
+    fn display_of_reports() {
+        let exact = RoundtripReport { max_abs_error: 0, mse: 0.0, bit_exact: true };
+        assert!(exact.to_string().contains("lossless"));
+        let lossy = RoundtripReport { max_abs_error: 3, mse: 0.5, bit_exact: false };
+        assert!(lossy.to_string().contains("max |error| = 3"));
+    }
+
+    #[test]
+    fn compare_detects_differences() {
+        let a = synth::flat(8, 8, 8, 3);
+        let b = synth::flat(8, 8, 8, 5);
+        let r = compare(&a, &b).unwrap();
+        assert_eq!(r.max_abs_error, 2);
+        assert!(!r.bit_exact);
+    }
+}

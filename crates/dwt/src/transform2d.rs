@@ -1,0 +1,314 @@
+//! Two-dimensional pyramid transform, double-precision reference path.
+
+use crate::dwt1d::{analyze_periodic, synthesize_periodic};
+use crate::{Decomposition, DwtError};
+use lwc_filters::FilterBank;
+use lwc_image::Image;
+
+/// The double-precision 2-D discrete wavelet transform (Mallat pyramid,
+/// Fig. 1 of the paper).
+///
+/// This is the "software implementation" the paper validates its hardware
+/// against; it is also what the performance model times to stand in for the
+/// 133 MHz Pentium measurement.
+///
+/// ```
+/// use lwc_dwt::Dwt2d;
+/// use lwc_filters::{FilterBank, FilterId};
+/// use lwc_image::synth;
+///
+/// # fn main() -> Result<(), lwc_dwt::DwtError> {
+/// let dwt = Dwt2d::new(FilterBank::table1(FilterId::F1), 3)?;
+/// let image = synth::mr_slice(64, 64, 12, 0);
+/// let coeffs = dwt.forward(&image)?;
+/// let back = dwt.inverse(&coeffs)?;
+/// assert_eq!(lwc_image::stats::max_abs_diff(&image, &back)?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dwt2d {
+    bank: FilterBank,
+    scales: u32,
+}
+
+impl Dwt2d {
+    /// Creates a transform with the given filter bank and decomposition
+    /// depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DwtError::NotDecomposable`] if `scales` is zero.
+    pub fn new(bank: FilterBank, scales: u32) -> Result<Self, DwtError> {
+        if scales == 0 {
+            return Err(DwtError::NotDecomposable { width: 0, height: 0, scales });
+        }
+        Ok(Self { bank, scales })
+    }
+
+    /// The filter bank in use.
+    #[must_use]
+    pub fn bank(&self) -> &FilterBank {
+        &self.bank
+    }
+
+    /// The decomposition depth.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.scales
+    }
+
+    /// Checks that an image of `width × height` supports `scales` scales.
+    pub(crate) fn check_decomposable(
+        width: usize,
+        height: usize,
+        scales: u32,
+    ) -> Result<(), DwtError> {
+        let mut w = width;
+        let mut h = height;
+        for _ in 0..scales {
+            if w < 2 || h < 2 || w % 2 != 0 || h % 2 != 0 {
+                return Err(DwtError::NotDecomposable { width, height, scales });
+            }
+            w /= 2;
+            h /= 2;
+        }
+        Ok(())
+    }
+
+    /// Forward transform of `image` over all configured scales.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DwtError::NotDecomposable`] if the image dimensions do not
+    /// support the configured depth.
+    pub fn forward(&self, image: &Image) -> Result<Decomposition<f64>, DwtError> {
+        Self::check_decomposable(image.width(), image.height(), self.scales)?;
+        let width = image.width();
+        let height = image.height();
+        let mut data: Vec<f64> = image.samples().iter().map(|&v| v as f64).collect();
+        let mut cur_w = width;
+        let mut cur_h = height;
+        for _ in 0..self.scales {
+            forward_scale(&mut data, width, cur_w, cur_h, &self.bank);
+            cur_w /= 2;
+            cur_h /= 2;
+        }
+        Ok(Decomposition::from_raw(
+            data,
+            width,
+            height,
+            self.scales,
+            self.bank.id(),
+            image.bit_depth(),
+        ))
+    }
+
+    /// Inverse transform, returning an image with samples rounded to the
+    /// nearest integer and clamped to the original bit depth.
+    ///
+    /// # Errors
+    ///
+    /// * [`DwtError::ConfigurationMismatch`] if the decomposition was made
+    ///   with a different filter or depth.
+    /// * [`DwtError::Image`] if the reconstructed samples cannot form an
+    ///   image (never happens for decompositions produced by
+    ///   [`Dwt2d::forward`]).
+    pub fn inverse(&self, decomposition: &Decomposition<f64>) -> Result<Image, DwtError> {
+        if decomposition.filter() != self.bank.id() {
+            return Err(DwtError::ConfigurationMismatch(format!(
+                "decomposition was made with {} but the transform uses {}",
+                decomposition.filter(),
+                self.bank.id()
+            )));
+        }
+        if decomposition.scales() != self.scales {
+            return Err(DwtError::ConfigurationMismatch(format!(
+                "decomposition has {} scales but the transform expects {}",
+                decomposition.scales(),
+                self.scales
+            )));
+        }
+        let width = decomposition.width();
+        let height = decomposition.height();
+        let mut data = decomposition.data().to_vec();
+        for s in (1..=self.scales).rev() {
+            let cur_w = width >> (s - 1);
+            let cur_h = height >> (s - 1);
+            inverse_scale(&mut data, width, cur_w, cur_h, &self.bank);
+        }
+        let max = (1i32 << decomposition.input_bit_depth()) - 1;
+        let samples: Vec<i32> = data
+            .iter()
+            .map(|&v| (v.round() as i32).clamp(0, max))
+            .collect();
+        Ok(Image::from_samples(width, height, decomposition.input_bit_depth(), samples)?)
+    }
+
+    /// Convenience helper: forward followed by inverse, returning the
+    /// reconstructed image (used by the lossless round-trip checks).
+    ///
+    /// # Errors
+    ///
+    /// See [`Dwt2d::forward`] and [`Dwt2d::inverse`].
+    pub fn roundtrip(&self, image: &Image) -> Result<Image, DwtError> {
+        let d = self.forward(image)?;
+        self.inverse(&d)
+    }
+}
+
+/// One forward scale applied in place to the `cur_w × cur_h` top-left region
+/// of a `stride`-wide buffer.
+fn forward_scale(data: &mut [f64], stride: usize, cur_w: usize, cur_h: usize, bank: &FilterBank) {
+    // Row pass: each row of the region is analyzed; approximation goes to the
+    // left half, detail to the right half.
+    let mut row = vec![0.0; cur_w];
+    for y in 0..cur_h {
+        let base = y * stride;
+        row.copy_from_slice(&data[base..base + cur_w]);
+        let (a, d) = analyze_periodic(&row, bank);
+        data[base..base + cur_w / 2].copy_from_slice(&a);
+        data[base + cur_w / 2..base + cur_w].copy_from_slice(&d);
+    }
+    // Column pass: each column is analyzed; approximation to the top half,
+    // detail to the bottom half.
+    let mut col = vec![0.0; cur_h];
+    for x in 0..cur_w {
+        for y in 0..cur_h {
+            col[y] = data[y * stride + x];
+        }
+        let (a, d) = analyze_periodic(&col, bank);
+        for y in 0..cur_h / 2 {
+            data[y * stride + x] = a[y];
+            data[(y + cur_h / 2) * stride + x] = d[y];
+        }
+    }
+}
+
+/// One inverse scale applied in place to the `cur_w × cur_h` top-left region.
+fn inverse_scale(data: &mut [f64], stride: usize, cur_w: usize, cur_h: usize, bank: &FilterBank) {
+    // Undo the column pass.
+    let mut approx = vec![0.0; cur_h / 2];
+    let mut detail = vec![0.0; cur_h / 2];
+    for x in 0..cur_w {
+        for y in 0..cur_h / 2 {
+            approx[y] = data[y * stride + x];
+            detail[y] = data[(y + cur_h / 2) * stride + x];
+        }
+        let col = synthesize_periodic(&approx, &detail, bank);
+        for (y, &v) in col.iter().enumerate() {
+            data[y * stride + x] = v;
+        }
+    }
+    // Undo the row pass.
+    let mut approx = vec![0.0; cur_w / 2];
+    let mut detail = vec![0.0; cur_w / 2];
+    for y in 0..cur_h {
+        let base = y * stride;
+        approx.copy_from_slice(&data[base..base + cur_w / 2]);
+        detail.copy_from_slice(&data[base + cur_w / 2..base + cur_w]);
+        let row = synthesize_periodic(&approx, &detail, bank);
+        data[base..base + cur_w].copy_from_slice(&row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Subband as Band;
+    use lwc_filters::FilterId;
+    use lwc_image::{stats, synth};
+
+    #[test]
+    fn roundtrip_is_exact_after_integer_rounding_for_all_banks() {
+        for id in FilterId::ALL {
+            let dwt = Dwt2d::new(FilterBank::table1(id), 3).unwrap();
+            let image = synth::ct_phantom(64, 64, 12, 4);
+            let back = dwt.roundtrip(&image).unwrap();
+            assert_eq!(
+                stats::max_abs_diff(&image, &back).unwrap(),
+                0,
+                "{id}: float roundtrip should be exact after rounding"
+            );
+        }
+    }
+
+    #[test]
+    fn six_scale_roundtrip_on_random_image() {
+        // Smaller than 512 to keep tests fast, but deep enough to exercise
+        // every scale transition of the paper's configuration.
+        let dwt = Dwt2d::new(FilterBank::table1(FilterId::F2), 6).unwrap();
+        let image = synth::random_image(128, 128, 12, 9);
+        let back = dwt.roundtrip(&image).unwrap();
+        assert_eq!(stats::max_abs_diff(&image, &back).unwrap(), 0);
+    }
+
+    #[test]
+    fn flat_image_concentrates_energy_in_the_approximation() {
+        let dwt = Dwt2d::new(FilterBank::table1(FilterId::F4), 2).unwrap();
+        let image = synth::flat(32, 32, 12, 1000);
+        let d = dwt.forward(&image).unwrap();
+        for s in 1..=2 {
+            for band in Band::DETAILS {
+                let max = d
+                    .subband(s, band)
+                    .iter()
+                    .fold(0.0f64, |m, &v| m.max(v.abs()));
+                assert!(max < 1e-2, "scale {s} {band}: detail magnitude {max}");
+            }
+        }
+        // DC gain per 2-D scale is 2, so after 2 scales the approximation is
+        // about 4x the input level.
+        let approx = d.subband(2, Band::Approx);
+        let mean = approx.iter().sum::<f64>() / approx.len() as f64;
+        assert!((mean - 4000.0).abs() < 10.0, "approximation mean {mean}");
+    }
+
+    #[test]
+    fn detail_energy_reflects_image_content() {
+        let dwt = Dwt2d::new(FilterBank::table1(FilterId::F1), 1).unwrap();
+        let smooth = dwt.forward(&synth::gradient(64, 64, 12)).unwrap();
+        let busy = dwt.forward(&synth::checkerboard(64, 64, 12, 1)).unwrap();
+        let energy = |d: &Decomposition<f64>, band| {
+            d.subband(1, band).iter().map(|v| v * v).sum::<f64>()
+        };
+        assert!(
+            energy(&busy, Band::DiagonalDetail) > 100.0 * energy(&smooth, Band::DiagonalDetail)
+        );
+    }
+
+    #[test]
+    fn rejects_undecomposable_images() {
+        let dwt = Dwt2d::new(FilterBank::table1(FilterId::F1), 4).unwrap();
+        let image = synth::flat(24, 24, 8, 0); // 24 = 2^3·3, only 3 scales
+        assert!(matches!(dwt.forward(&image), Err(DwtError::NotDecomposable { .. })));
+        assert!(Dwt2d::new(FilterBank::table1(FilterId::F1), 0).is_err());
+    }
+
+    #[test]
+    fn inverse_rejects_mismatched_decompositions() {
+        let dwt_a = Dwt2d::new(FilterBank::table1(FilterId::F1), 2).unwrap();
+        let dwt_b = Dwt2d::new(FilterBank::table1(FilterId::F4), 2).unwrap();
+        let dwt_c = Dwt2d::new(FilterBank::table1(FilterId::F1), 3).unwrap();
+        let image = synth::mr_slice(32, 32, 12, 2);
+        let d = dwt_a.forward(&image).unwrap();
+        assert!(matches!(dwt_b.inverse(&d), Err(DwtError::ConfigurationMismatch(_))));
+        assert!(matches!(dwt_c.inverse(&d), Err(DwtError::ConfigurationMismatch(_))));
+        assert!(dwt_a.inverse(&d).is_ok());
+    }
+
+    #[test]
+    fn rectangular_images_are_supported() {
+        let dwt = Dwt2d::new(FilterBank::table1(FilterId::F3), 2).unwrap();
+        let image = synth::random_image(64, 32, 10, 3);
+        let back = dwt.roundtrip(&image).unwrap();
+        assert_eq!(stats::max_abs_diff(&image, &back).unwrap(), 0);
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let dwt = Dwt2d::new(FilterBank::table1(FilterId::F6), 5).unwrap();
+        assert_eq!(dwt.scales(), 5);
+        assert_eq!(dwt.bank().id(), FilterId::F6);
+    }
+}

@@ -1,0 +1,356 @@
+//! Complete biorthogonal filter banks.
+
+use crate::table1::TABLE1;
+use crate::Kernel;
+use std::fmt;
+
+/// Identifier of one of the six Table I filter banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FilterId {
+    /// The 9/7 bank (Cohen–Daubechies–Feauveau 9/7).
+    F1,
+    /// The 13/11 bank.
+    F2,
+    /// The 6/10 bank (half-sample symmetric).
+    F3,
+    /// The 5/3 bank (LeGall).
+    F4,
+    /// The 2/6 bank (Haar analysis low-pass).
+    F5,
+    /// The 9/3 bank.
+    F6,
+}
+
+impl FilterId {
+    /// All six identifiers in Table I order.
+    pub const ALL: [FilterId; 6] = [
+        FilterId::F1,
+        FilterId::F2,
+        FilterId::F3,
+        FilterId::F4,
+        FilterId::F5,
+        FilterId::F6,
+    ];
+
+    /// Index of the bank in Table I (0-based).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FilterId::F1 => 0,
+            FilterId::F2 => 1,
+            FilterId::F3 => 2,
+            FilterId::F4 => 3,
+            FilterId::F5 => 4,
+            FilterId::F6 => 5,
+        }
+    }
+
+    /// The printed label ("F1" … "F6").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        TABLE1[self.index()].label
+    }
+}
+
+impl fmt::Display for FilterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which coefficient values to instantiate a bank from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoefficientPrecision {
+    /// The values exactly as printed in Table I (6 decimal digits). This is
+    /// what the paper's hardware stores, so it is the default.
+    #[default]
+    Table1,
+    /// Higher-precision values for the banks whose coefficients have simple
+    /// closed forms (F1: CDF 9/7 to 15 digits; F4, F5, F6: dyadic rationals
+    /// times √2). Banks without a simple closed form (F2, F3) fall back to
+    /// the Table I values. Useful to separate coefficient-quantization error
+    /// from datapath rounding error in the lossless analysis.
+    Refined,
+}
+
+/// A biorthogonal analysis/synthesis filter bank.
+///
+/// * `analysis_lowpass` (`H`) and `synthesis_lowpass` (`H̃`) come from
+///   Table I.
+/// * `analysis_highpass` (`G`) and `synthesis_highpass` (`G̃`) are derived
+///   through the quadrature-mirror relations
+///   `g[n] = (-1)^n h̃[1-n]` and `g̃[n] = (-1)^n h[1-n]`,
+///   which yield perfect reconstruction whenever
+///   `Σ_n h[n]·h̃[n+2k] = δ[k]` (checked by
+///   [`BankMetrics`](crate::BankMetrics)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterBank {
+    id: FilterId,
+    precision: CoefficientPrecision,
+    analysis_lowpass: Kernel,
+    analysis_highpass: Kernel,
+    synthesis_lowpass: Kernel,
+    synthesis_highpass: Kernel,
+}
+
+impl FilterBank {
+    /// Builds the bank `id` from the Table I coefficients.
+    #[must_use]
+    pub fn table1(id: FilterId) -> Self {
+        Self::with_precision(id, CoefficientPrecision::Table1)
+    }
+
+    /// Builds the bank `id` from the requested coefficient source.
+    #[must_use]
+    pub fn with_precision(id: FilterId, precision: CoefficientPrecision) -> Self {
+        let (analysis_lowpass, synthesis_lowpass) = lowpass_pair(id, precision);
+        let analysis_highpass = synthesis_lowpass.quadrature_mirror();
+        let synthesis_highpass = analysis_lowpass.quadrature_mirror();
+        Self {
+            id,
+            precision,
+            analysis_lowpass,
+            analysis_highpass,
+            synthesis_lowpass,
+            synthesis_highpass,
+        }
+    }
+
+    /// Builds every Table I bank.
+    #[must_use]
+    pub fn all_table1() -> Vec<Self> {
+        FilterId::ALL.iter().map(|&id| Self::table1(id)).collect()
+    }
+
+    /// The bank identifier.
+    #[must_use]
+    pub fn id(&self) -> FilterId {
+        self.id
+    }
+
+    /// The coefficient source used to build the bank.
+    #[must_use]
+    pub fn precision(&self) -> CoefficientPrecision {
+        self.precision
+    }
+
+    /// Analysis low-pass filter `H`.
+    #[must_use]
+    pub fn analysis_lowpass(&self) -> &Kernel {
+        &self.analysis_lowpass
+    }
+
+    /// Analysis high-pass filter `G` (derived).
+    #[must_use]
+    pub fn analysis_highpass(&self) -> &Kernel {
+        &self.analysis_highpass
+    }
+
+    /// Synthesis low-pass filter `H̃`.
+    #[must_use]
+    pub fn synthesis_lowpass(&self) -> &Kernel {
+        &self.synthesis_lowpass
+    }
+
+    /// Synthesis high-pass filter `G̃` (derived).
+    #[must_use]
+    pub fn synthesis_highpass(&self) -> &Kernel {
+        &self.synthesis_highpass
+    }
+
+    /// Length of the longest filter in the bank — the `L` used for buffer
+    /// sizing and MAC-count formulas in the paper (13 for the F2 bank).
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        self.analysis_lowpass
+            .len()
+            .max(self.analysis_highpass.len())
+            .max(self.synthesis_lowpass.len())
+            .max(self.synthesis_highpass.len())
+    }
+
+    /// Per-scale 2-D dynamic-range growth bound `(max(Σ|h|, Σ|g|))²`
+    /// (Section 3: *"The rate of increase is upper bounded by (Σ|c_n|)²"*).
+    #[must_use]
+    pub fn analysis_growth_bound(&self) -> f64 {
+        let m = self.analysis_lowpass.abs_sum().max(self.analysis_highpass.abs_sum());
+        m * m
+    }
+}
+
+impl fmt::Display for FilterBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}/{} bank)",
+            self.id,
+            self.analysis_lowpass.len(),
+            self.synthesis_lowpass.len()
+        )
+    }
+}
+
+/// Returns `(analysis lowpass, synthesis lowpass)` for the chosen precision.
+fn lowpass_pair(id: FilterId, precision: CoefficientPrecision) -> (Kernel, Kernel) {
+    if precision == CoefficientPrecision::Refined {
+        if let Some(pair) = refined_pair(id) {
+            return pair;
+        }
+    }
+    let entry = &TABLE1[id.index()];
+    let expand = |half: &[f64], len: usize| {
+        if len % 2 == 1 {
+            Kernel::symmetric_odd(half)
+        } else {
+            Kernel::symmetric_even(half)
+        }
+    };
+    (
+        expand(entry.analysis_half, entry.analysis_len),
+        expand(entry.synthesis_half, entry.synthesis_len),
+    )
+}
+
+/// Higher-precision coefficient sets for the banks that have them.
+fn refined_pair(id: FilterId) -> Option<(Kernel, Kernel)> {
+    let sqrt2 = std::f64::consts::SQRT_2;
+    let scale = |v: &[f64]| -> Vec<f64> { v.iter().map(|c| c * sqrt2).collect() };
+    match id {
+        // CDF 9/7 to full double precision (JPEG 2000 Part 1 values).
+        FilterId::F1 => {
+            let h = scale(&[
+                0.602_949_018_236_360,
+                0.266_864_118_442_875,
+                -0.078_223_266_528_990,
+                -0.016_864_118_442_875,
+                0.026_748_757_410_810,
+            ]);
+            let ht = scale(&[
+                0.557_543_526_228_500,
+                0.295_635_881_557_125,
+                -0.028_771_763_114_250,
+                -0.045_635_881_557_125,
+            ]);
+            Some((Kernel::symmetric_odd(&h), Kernel::symmetric_odd(&ht)))
+        }
+        // LeGall 5/3: dyadic rationals times √2.
+        FilterId::F4 => {
+            let h = scale(&[0.75, 0.25, -0.125]);
+            let ht = scale(&[0.5, 0.25]);
+            Some((Kernel::symmetric_odd(&h), Kernel::symmetric_odd(&ht)))
+        }
+        // 2/6 bank: dyadic rationals times √2.
+        FilterId::F5 => {
+            let h = scale(&[0.5]);
+            let ht = scale(&[0.5, 0.0625, -0.0625]);
+            Some((Kernel::symmetric_even(&h), Kernel::symmetric_even(&ht)))
+        }
+        // 9/3 bank: dyadic rationals times √2.
+        FilterId::F6 => {
+            let h = scale(&[45.0 / 64.0, 19.0 / 64.0, -0.125, -3.0 / 64.0, 3.0 / 128.0]);
+            let ht = scale(&[0.5, 0.25]);
+            Some((Kernel::symmetric_odd(&h), Kernel::symmetric_odd(&ht)))
+        }
+        FilterId::F2 | FilterId::F3 => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_lengths_match_table1() {
+        let expected = [(9, 7), (13, 11), (6, 10), (5, 3), (2, 6), (9, 3)];
+        for (id, (la, ls)) in FilterId::ALL.iter().zip(expected) {
+            let bank = FilterBank::table1(*id);
+            assert_eq!(bank.analysis_lowpass().len(), la, "{id}");
+            assert_eq!(bank.synthesis_lowpass().len(), ls, "{id}");
+            // Derived high-pass lengths mirror the opposite low-pass.
+            assert_eq!(bank.analysis_highpass().len(), ls, "{id}");
+            assert_eq!(bank.synthesis_highpass().len(), la, "{id}");
+        }
+    }
+
+    #[test]
+    fn highpass_filters_reject_dc() {
+        for bank in FilterBank::all_table1() {
+            assert!(
+                bank.analysis_highpass().sum().abs() < 1e-4,
+                "{}: analysis high-pass DC = {}",
+                bank.id(),
+                bank.analysis_highpass().sum()
+            );
+            assert!(
+                bank.synthesis_highpass().sum().abs() < 1e-4,
+                "{}: synthesis high-pass DC = {}",
+                bank.id(),
+                bank.synthesis_highpass().sum()
+            );
+        }
+    }
+
+    #[test]
+    fn abs_sums_match_printed_table() {
+        for (bank, entry) in FilterBank::all_table1().iter().zip(TABLE1.iter()) {
+            assert!((bank.analysis_lowpass().abs_sum() - entry.analysis_abs_sum).abs() < 5e-5);
+            assert!((bank.synthesis_lowpass().abs_sum() - entry.synthesis_abs_sum).abs() < 5e-5);
+        }
+    }
+
+    #[test]
+    fn f2_is_the_13_tap_bank_used_for_sizing() {
+        let bank = FilterBank::table1(FilterId::F2);
+        assert_eq!(bank.max_len(), 13);
+    }
+
+    #[test]
+    fn growth_bound_exceeds_unity() {
+        for bank in FilterBank::all_table1() {
+            assert!(bank.analysis_growth_bound() > 1.0, "{}", bank.id());
+        }
+    }
+
+    #[test]
+    fn refined_precision_is_close_to_table1() {
+        for id in [FilterId::F1, FilterId::F4, FilterId::F5, FilterId::F6] {
+            let table = FilterBank::table1(id);
+            let refined = FilterBank::with_precision(id, CoefficientPrecision::Refined);
+            assert_eq!(table.analysis_lowpass().len(), refined.analysis_lowpass().len());
+            for (a, b) in table
+                .analysis_lowpass()
+                .coeffs()
+                .iter()
+                .zip(refined.analysis_lowpass().coeffs())
+            {
+                assert!((a - b).abs() < 1e-5, "{id}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn refined_falls_back_to_table_for_f2_f3() {
+        for id in [FilterId::F2, FilterId::F3] {
+            let table = FilterBank::table1(id);
+            let refined = FilterBank::with_precision(id, CoefficientPrecision::Refined);
+            assert_eq!(table.analysis_lowpass(), refined.analysis_lowpass());
+        }
+    }
+
+    #[test]
+    fn display_and_labels() {
+        assert_eq!(FilterId::F3.to_string(), "F3");
+        assert_eq!(FilterId::F3.label(), "F3");
+        let bank = FilterBank::table1(FilterId::F1);
+        assert_eq!(bank.to_string(), "F1 (9/7 bank)");
+        assert_eq!(bank.id(), FilterId::F1);
+        assert_eq!(bank.precision(), CoefficientPrecision::Table1);
+    }
+
+    #[test]
+    fn filter_id_index_roundtrip() {
+        for (i, id) in FilterId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Indexed FIR filter kernels.
+
+use std::fmt;
+
+/// A finite impulse response filter with an explicit support: coefficient
+/// `i` of `coeffs` is the tap at index `min_index + i`.
+///
+/// Indexing matters for the wavelet filter banks: analysis and synthesis
+/// filters must be aligned so that their cross-correlation at even lags is a
+/// unit impulse (the biorthogonality condition), and the derived high-pass
+/// filters carry an index offset from the quadrature-mirror relation.
+///
+/// ```
+/// use lwc_filters::Kernel;
+/// let k = Kernel::symmetric_odd(&[0.75, 0.25, -0.125]); // 5/3 low-pass / sqrt(2)
+/// assert_eq!(k.len(), 5);
+/// assert_eq!(k.min_index(), -2);
+/// assert_eq!(k.at(2), -0.125);
+/// assert_eq!(k.at(3), 0.0); // outside the support
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    coeffs: Vec<f64>,
+    min_index: i32,
+}
+
+impl Kernel {
+    /// Creates a kernel from explicit coefficients and the index of the first
+    /// tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    #[must_use]
+    pub fn new(coeffs: Vec<f64>, min_index: i32) -> Self {
+        assert!(!coeffs.is_empty(), "a kernel needs at least one tap");
+        Self { coeffs, min_index }
+    }
+
+    /// Builds a whole-sample symmetric (odd-length) kernel from its
+    /// non-negative-index half `[c0, c1, …, ck]`: the result has taps
+    /// `c[|n|]` for `n = -k..=k`.
+    ///
+    /// This is the convention Table I of the paper uses for odd-length
+    /// filters (*"Origin is the leftmost coefficient. Coefficients for
+    /// negative indices follow by the symmetry of QMFs"*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is empty.
+    #[must_use]
+    pub fn symmetric_odd(half: &[f64]) -> Self {
+        assert!(!half.is_empty(), "a kernel needs at least one tap");
+        let k = half.len() - 1;
+        let mut coeffs = Vec::with_capacity(2 * k + 1);
+        for i in (1..=k).rev() {
+            coeffs.push(half[i]);
+        }
+        coeffs.extend_from_slice(half);
+        Self { coeffs, min_index: -(k as i32) }
+    }
+
+    /// Builds a half-sample symmetric (even-length) kernel from its right
+    /// half `[c1, c2, …, ck]`: the result has taps at indices
+    /// `-(k-1)..=k` with `h[n] = h[1-n]`, i.e. `h[1] = h[0] = c1`,
+    /// `h[2] = h[-1] = c2`, and so on.
+    ///
+    /// This matches Table I's even-length entries (F3 and F5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is empty.
+    #[must_use]
+    pub fn symmetric_even(half: &[f64]) -> Self {
+        assert!(!half.is_empty(), "a kernel needs at least one tap");
+        let k = half.len();
+        let mut coeffs = Vec::with_capacity(2 * k);
+        for i in (0..k).rev() {
+            coeffs.push(half[i]);
+        }
+        coeffs.extend_from_slice(half);
+        Self { coeffs, min_index: -(k as i32 - 1) }
+    }
+
+    /// Number of taps.
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Index of the first (leftmost) tap.
+    #[must_use]
+    pub fn min_index(&self) -> i32 {
+        self.min_index
+    }
+
+    /// Index of the last (rightmost) tap.
+    #[must_use]
+    pub fn max_index(&self) -> i32 {
+        self.min_index + self.coeffs.len() as i32 - 1
+    }
+
+    /// Coefficient at index `n`, or zero outside the support.
+    #[must_use]
+    pub fn at(&self, n: i32) -> f64 {
+        if n < self.min_index || n > self.max_index() {
+            0.0
+        } else {
+            self.coeffs[(n - self.min_index) as usize]
+        }
+    }
+
+    /// The coefficients as a slice, ordered from `min_index` upwards.
+    #[must_use]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Iterates over `(index, coefficient)` pairs.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (i32, f64)> + '_ {
+        self.coeffs
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.min_index + i as i32, c))
+    }
+
+    /// Sum of coefficients (DC gain).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.coeffs.iter().sum()
+    }
+
+    /// Sum of absolute coefficient values — the `Σ|c_n|` column of Table I,
+    /// which upper-bounds the per-stage dynamic-range growth.
+    #[must_use]
+    pub fn abs_sum(&self) -> f64 {
+        self.coeffs.iter().map(|c| c.abs()).sum()
+    }
+
+    /// Largest absolute coefficient value (determines the integer bits needed
+    /// by the coefficient format).
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.coeffs.iter().fold(0.0, |m, c| m.max(c.abs()))
+    }
+
+    /// Returns the modulated, time-reversed kernel `q[n] = (-1)^n p[1-n]`
+    /// used to derive a high-pass filter from the opposite low-pass filter of
+    /// a biorthogonal pair.
+    #[must_use]
+    pub fn quadrature_mirror(&self) -> Self {
+        // support of q: n such that 1-n is in [min, max]  =>  n in [1-max, 1-min]
+        let min = 1 - self.max_index();
+        let max = 1 - self.min_index;
+        let mut coeffs = Vec::with_capacity((max - min + 1) as usize);
+        for n in min..=max {
+            let sign = if n.rem_euclid(2) == 0 { 1.0 } else { -1.0 };
+            coeffs.push(sign * self.at(1 - n));
+        }
+        Self { coeffs, min_index: min }
+    }
+
+    /// Cross-correlation with another kernel at lag `lag`:
+    /// `Σ_n self[n] · other[n + lag]`.
+    #[must_use]
+    pub fn cross_correlation(&self, other: &Kernel, lag: i32) -> f64 {
+        self.iter_indexed().map(|(n, c)| c * other.at(n + lag)).sum()
+    }
+
+    /// Returns `true` when the kernel is symmetric (whole- or half-sample).
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        let n = self.coeffs.len();
+        (0..n / 2).all(|i| (self.coeffs[i] - self.coeffs[n - 1 - i]).abs() < 1e-12)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]: ", self.min_index, self.max_index())?;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.6}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_odd_expansion() {
+        let k = Kernel::symmetric_odd(&[3.0, 2.0, 1.0]);
+        assert_eq!(k.coeffs(), &[1.0, 2.0, 3.0, 2.0, 1.0]);
+        assert_eq!(k.min_index(), -2);
+        assert_eq!(k.max_index(), 2);
+        assert!(k.is_symmetric());
+    }
+
+    #[test]
+    fn symmetric_even_expansion() {
+        let k = Kernel::symmetric_even(&[3.0, 2.0, 1.0]);
+        assert_eq!(k.coeffs(), &[1.0, 2.0, 3.0, 3.0, 2.0, 1.0]);
+        assert_eq!(k.min_index(), -2);
+        assert_eq!(k.max_index(), 3);
+        assert!(k.is_symmetric());
+        // half-sample symmetry about +1/2: h[n] == h[1-n]
+        for n in k.min_index()..=k.max_index() {
+            assert_eq!(k.at(n), k.at(1 - n));
+        }
+    }
+
+    #[test]
+    fn at_is_zero_outside_support() {
+        let k = Kernel::symmetric_odd(&[1.0, 0.5]);
+        assert_eq!(k.at(-2), 0.0);
+        assert_eq!(k.at(2), 0.0);
+        assert_eq!(k.at(0), 1.0);
+    }
+
+    #[test]
+    fn sums_and_max_abs() {
+        let k = Kernel::new(vec![-1.0, 2.0, -3.0], 0);
+        assert_eq!(k.sum(), -2.0);
+        assert_eq!(k.abs_sum(), 6.0);
+        assert_eq!(k.max_abs(), 3.0);
+    }
+
+    #[test]
+    fn quadrature_mirror_of_haar() {
+        // h̃ = [1/sqrt2, 1/sqrt2] at indices 0..1 ; g[n] = (-1)^n h̃[1-n]
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let ht = Kernel::new(vec![s, s], 0);
+        let g = ht.quadrature_mirror();
+        assert_eq!(g.min_index(), 0);
+        assert_eq!(g.max_index(), 1);
+        assert!((g.at(0) - s).abs() < 1e-15);
+        assert!((g.at(1) + s).abs() < 1e-15);
+        // A high-pass filter has zero DC gain.
+        assert!(g.sum().abs() < 1e-15);
+    }
+
+    #[test]
+    fn quadrature_mirror_of_symmetric_odd_filter() {
+        let h = Kernel::symmetric_odd(&[0.75, 0.25, -0.125]);
+        let g = h.quadrature_mirror();
+        assert_eq!(g.len(), h.len());
+        // support of g: [1-2, 1+2] = [-1, 3]
+        assert_eq!(g.min_index(), -1);
+        assert_eq!(g.max_index(), 3);
+        assert!(g.sum().abs() < 1e-12, "high-pass must kill DC");
+    }
+
+    #[test]
+    fn cross_correlation_of_orthonormal_haar() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let h = Kernel::new(vec![s, s], 0);
+        assert!((h.cross_correlation(&h, 0) - 1.0).abs() < 1e-15);
+        assert!(h.cross_correlation(&h, 2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn iter_indexed_yields_support() {
+        let k = Kernel::new(vec![1.0, 2.0], -3);
+        let v: Vec<(i32, f64)> = k.iter_indexed().collect();
+        assert_eq!(v, vec![(-3, 1.0), (-2, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_kernel_rejected() {
+        let _ = Kernel::new(vec![], 0);
+    }
+
+    #[test]
+    fn display_lists_support_and_coefficients() {
+        let k = Kernel::new(vec![1.0, -0.5], 0);
+        let s = k.to_string();
+        assert!(s.contains("[0..1]"));
+        assert!(s.contains("-0.500000"));
+    }
+}

@@ -1,0 +1,69 @@
+//! # lwc-filters — the QMF filter banks of Table I
+//!
+//! The paper restricts itself to the six filter banks that its reference
+//! \[15\] (Villasenor, Belzer, Liao, *"Wavelet Filter Evaluation for Image
+//! Compression"*, IEEE TIP 1995) identifies as best suited to image
+//! compression. Table I of the paper lists, for each bank `F1…F6`, the
+//! analysis low-pass filter `H`, the synthesis low-pass filter `H̃`, their
+//! lengths and the sum of absolute coefficient values (which drives the
+//! dynamic-range analysis of Table II).
+//!
+//! This crate provides:
+//!
+//! * [`Kernel`] — an indexed FIR filter (coefficients plus support offsets),
+//! * [`FilterBank`] — a complete biorthogonal bank: analysis/synthesis
+//!   low-pass and the high-pass filters derived from them through the
+//!   quadrature-mirror relations `g[n] = (-1)^n h̃[1-n]`,
+//!   `g̃[n] = (-1)^n h[1-n]`,
+//! * [`FilterId`] — the `F1…F6` identifiers of Table I,
+//! * [`QuantizedBank`] — the same bank with coefficients quantized to the
+//!   32-bit fixed-point representation used by the hardware datapath,
+//! * filter metrics (absolute sums, DC gains, biorthogonality residuals)
+//!   used to regenerate Table I and to feed the word-length analysis.
+//!
+//! ```
+//! use lwc_filters::{FilterBank, FilterId};
+//!
+//! let bank = FilterBank::table1(FilterId::F1);
+//! assert_eq!(bank.analysis_lowpass().len(), 9);
+//! assert_eq!(bank.synthesis_lowpass().len(), 7);
+//! // Table I, last column: sum of absolute values of the coefficients.
+//! assert!((bank.analysis_lowpass().abs_sum() - 1.952105).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod kernel;
+mod metrics;
+mod quantized;
+mod table1;
+
+pub use bank::{CoefficientPrecision, FilterBank, FilterId};
+pub use kernel::Kernel;
+pub use metrics::{BankMetrics, BiorthogonalityReport};
+pub use quantized::{QuantizedBank, QuantizedKernel};
+pub use table1::{Table1Entry, TABLE1};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn all_six_banks_are_constructible() {
+        for id in FilterId::ALL {
+            let bank = FilterBank::table1(id);
+            assert!(bank.analysis_lowpass().len() >= 2);
+            assert!(bank.synthesis_lowpass().len() >= 2);
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Kernel>();
+        assert_send_sync::<FilterBank>();
+        assert_send_sync::<QuantizedBank>();
+    }
+}

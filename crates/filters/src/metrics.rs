@@ -1,0 +1,216 @@
+//! Filter-bank metrics: Table I columns and perfect-reconstruction checks.
+
+use crate::{FilterBank, FilterId};
+use std::fmt;
+
+/// Summary metrics of a filter bank — the quantities the paper's analysis
+/// consumes (Table I's `Σ|c_n|` column and the dynamic-range growth factors
+/// behind Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankMetrics {
+    /// Which bank the metrics describe.
+    pub id: FilterId,
+    /// Length of the analysis low-pass filter.
+    pub analysis_len: usize,
+    /// Length of the synthesis low-pass filter.
+    pub synthesis_len: usize,
+    /// `Σ|h[n]|` of the analysis low-pass filter.
+    pub analysis_lowpass_abs_sum: f64,
+    /// `Σ|g[n]|` of the derived analysis high-pass filter
+    /// (equals `Σ|h̃[n]|` of the synthesis low-pass filter).
+    pub analysis_highpass_abs_sum: f64,
+    /// `Σ|h̃[n]|` of the synthesis low-pass filter.
+    pub synthesis_lowpass_abs_sum: f64,
+    /// `Σ|g̃[n]|` of the derived synthesis high-pass filter.
+    pub synthesis_highpass_abs_sum: f64,
+    /// One-dimensional per-stage growth bound `max(Σ|h|, Σ|g|)`.
+    pub growth_1d: f64,
+    /// Two-dimensional per-scale growth bound `growth_1d²` — the
+    /// `(Σ|c_n|)²` bound quoted in Section 3.
+    pub growth_2d: f64,
+    /// Largest absolute coefficient over the whole bank (drives the integer
+    /// part of the coefficient fixed-point format).
+    pub max_abs_coefficient: f64,
+}
+
+impl BankMetrics {
+    /// Computes the metrics of `bank`.
+    #[must_use]
+    pub fn of(bank: &FilterBank) -> Self {
+        let h = bank.analysis_lowpass();
+        let g = bank.analysis_highpass();
+        let ht = bank.synthesis_lowpass();
+        let gt = bank.synthesis_highpass();
+        let growth_1d = h.abs_sum().max(g.abs_sum());
+        Self {
+            id: bank.id(),
+            analysis_len: h.len(),
+            synthesis_len: ht.len(),
+            analysis_lowpass_abs_sum: h.abs_sum(),
+            analysis_highpass_abs_sum: g.abs_sum(),
+            synthesis_lowpass_abs_sum: ht.abs_sum(),
+            synthesis_highpass_abs_sum: gt.abs_sum(),
+            growth_1d,
+            growth_2d: growth_1d * growth_1d,
+            max_abs_coefficient: h
+                .max_abs()
+                .max(g.max_abs())
+                .max(ht.max_abs())
+                .max(gt.max_abs()),
+        }
+    }
+
+    /// Bits of dynamic-range growth per 2-D scale, `log2(growth_2d)`.
+    #[must_use]
+    pub fn growth_bits_per_scale(&self) -> f64 {
+        self.growth_2d.log2()
+    }
+}
+
+impl fmt::Display for BankMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: L(H)={} L(H~)={} sum|h|={:.6} sum|h~|={:.6} growth2d={:.3}",
+            self.id,
+            self.analysis_len,
+            self.synthesis_len,
+            self.analysis_lowpass_abs_sum,
+            self.synthesis_lowpass_abs_sum,
+            self.growth_2d
+        )
+    }
+}
+
+/// Result of checking the biorthogonality (perfect-reconstruction) condition
+/// `Σ_n h[n]·h̃[n+2k] = δ[k]` for a bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiorthogonalityReport {
+    /// Which bank was checked.
+    pub id: FilterId,
+    /// `|Σ_n h[n]·h̃[n] - 1|` — deviation of the zero-lag correlation from 1.
+    pub zero_lag_error: f64,
+    /// Largest `|Σ_n h[n]·h̃[n+2k]|` over all non-zero even lags `2k`.
+    pub max_even_lag_leak: f64,
+}
+
+impl BiorthogonalityReport {
+    /// Checks the even-lag biorthogonality of `bank`'s low-pass pair.
+    #[must_use]
+    pub fn of(bank: &FilterBank) -> Self {
+        let h = bank.analysis_lowpass();
+        let ht = bank.synthesis_lowpass();
+        let zero_lag_error = (h.cross_correlation(ht, 0) - 1.0).abs();
+        let reach = (h.len() + ht.len()) as i32;
+        let mut max_even_lag_leak: f64 = 0.0;
+        let mut lag = 2;
+        while lag <= reach {
+            max_even_lag_leak = max_even_lag_leak
+                .max(h.cross_correlation(ht, lag).abs())
+                .max(h.cross_correlation(ht, -lag).abs());
+            lag += 2;
+        }
+        Self { id: bank.id(), zero_lag_error, max_even_lag_leak }
+    }
+
+    /// Worst deviation from exact biorthogonality.
+    #[must_use]
+    pub fn worst_error(&self) -> f64 {
+        self.zero_lag_error.max(self.max_even_lag_leak)
+    }
+
+    /// Returns `true` when the deviation is below `tolerance`.
+    #[must_use]
+    pub fn is_biorthogonal(&self, tolerance: f64) -> bool {
+        self.worst_error() <= tolerance
+    }
+}
+
+impl fmt::Display for BiorthogonalityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: zero-lag error {:.2e}, even-lag leak {:.2e}",
+            self.id, self.zero_lag_error, self.max_even_lag_leak
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoefficientPrecision;
+
+    #[test]
+    fn metrics_match_table1_abs_sums() {
+        let expected = [
+            (1.952105, 1.835126),
+            (1.857495, 2.125814),
+            (1.930526, 1.683160),
+            (2.121320, 1.414214),
+            (1.414214, 1.767767),
+            (2.386485, 1.414213),
+        ];
+        for (id, (a, s)) in FilterId::ALL.iter().zip(expected) {
+            let m = BankMetrics::of(&FilterBank::table1(*id));
+            assert!((m.analysis_lowpass_abs_sum - a).abs() < 5e-5, "{id}");
+            assert!((m.synthesis_lowpass_abs_sum - s).abs() < 5e-5, "{id}");
+            // The derived analysis high-pass has the synthesis low-pass taps
+            // (up to sign), so the absolute sums coincide.
+            assert!((m.analysis_highpass_abs_sum - s).abs() < 5e-5, "{id}");
+        }
+    }
+
+    #[test]
+    fn growth_is_between_one_and_three_bits_per_scale() {
+        for id in FilterId::ALL {
+            let m = BankMetrics::of(&FilterBank::table1(id));
+            let bits = m.growth_bits_per_scale();
+            assert!(bits > 0.9 && bits < 2.6, "{id}: {bits}");
+        }
+    }
+
+    #[test]
+    fn all_table1_banks_are_biorthogonal_to_printed_precision() {
+        // Coefficients are printed with 6 decimals, so the residual of the
+        // perfect-reconstruction condition is a few 1e-6.
+        for bank in FilterBank::all_table1() {
+            let rep = BiorthogonalityReport::of(&bank);
+            assert!(
+                rep.is_biorthogonal(5e-5),
+                "{}: worst biorthogonality error {:.3e}",
+                bank.id(),
+                rep.worst_error()
+            );
+        }
+    }
+
+    #[test]
+    fn refined_banks_are_biorthogonal_to_much_higher_precision() {
+        for id in [FilterId::F1, FilterId::F4, FilterId::F5, FilterId::F6] {
+            let bank = FilterBank::with_precision(id, CoefficientPrecision::Refined);
+            let rep = BiorthogonalityReport::of(&bank);
+            assert!(
+                rep.is_biorthogonal(1e-12),
+                "{id}: worst refined biorthogonality error {:.3e}",
+                rep.worst_error()
+            );
+        }
+    }
+
+    #[test]
+    fn max_abs_coefficient_is_reasonable() {
+        for id in FilterId::ALL {
+            let m = BankMetrics::of(&FilterBank::table1(id));
+            assert!(m.max_abs_coefficient > 0.3);
+            assert!(m.max_abs_coefficient < 1.25, "{id}: {}", m.max_abs_coefficient);
+        }
+    }
+
+    #[test]
+    fn reports_display_meaningfully() {
+        let bank = FilterBank::table1(FilterId::F4);
+        assert!(BankMetrics::of(&bank).to_string().contains("F4"));
+        assert!(BiorthogonalityReport::of(&bank).to_string().contains("zero-lag"));
+    }
+}

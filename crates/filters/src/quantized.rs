@@ -1,0 +1,265 @@
+//! Fixed-point quantization of filter coefficients.
+//!
+//! The paper stores the wavelet filter coefficients in a small RAM as 32-bit
+//! fixed-point words (Section 3: *"32 bits for wavelet filter"*). The largest
+//! coefficient magnitude over all Table I banks is 1.06066 (F4), so two
+//! integer bits (sign + one) are enough; the remaining 30 bits hold the
+//! fraction.
+
+use crate::{FilterBank, FilterId, Kernel};
+use lwc_fixed::{FixedError, QFormat};
+
+/// A [`Kernel`] quantized to a fixed-point format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedKernel {
+    raw: Vec<i64>,
+    min_index: i32,
+    format: QFormat,
+}
+
+impl QuantizedKernel {
+    /// Quantizes `kernel` to `format`, rounding each coefficient to the
+    /// nearest representable value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any coefficient does not fit `format`.
+    pub fn quantize(kernel: &Kernel, format: QFormat) -> Result<Self, FixedError> {
+        let raw = kernel
+            .coeffs()
+            .iter()
+            .map(|&c| format.quantize(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { raw, min_index: kernel.min_index(), format })
+    }
+
+    /// Raw coefficient words, ordered from `min_index` upwards.
+    #[must_use]
+    pub fn raw(&self) -> &[i64] {
+        &self.raw
+    }
+
+    /// Index of the first tap.
+    #[must_use]
+    pub fn min_index(&self) -> i32 {
+        self.min_index
+    }
+
+    /// Index of the last tap.
+    #[must_use]
+    pub fn max_index(&self) -> i32 {
+        self.min_index + self.raw.len() as i32 - 1
+    }
+
+    /// Number of taps.
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Raw word at index `n`, or zero outside the support.
+    #[must_use]
+    pub fn at(&self, n: i32) -> i64 {
+        if n < self.min_index || n > self.max_index() {
+            0
+        } else {
+            self.raw[(n - self.min_index) as usize]
+        }
+    }
+
+    /// The fixed-point format of the coefficients.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Reconstructs the real-valued kernel represented by the quantized
+    /// coefficients (useful for error analysis).
+    #[must_use]
+    pub fn to_kernel(&self) -> Kernel {
+        Kernel::new(self.raw.iter().map(|&r| self.format.dequantize(r)).collect(), self.min_index)
+    }
+
+    /// Largest absolute quantization error over the taps, in real units.
+    #[must_use]
+    pub fn max_quantization_error(&self, original: &Kernel) -> f64 {
+        self.to_kernel()
+            .coeffs()
+            .iter()
+            .zip(original.coeffs())
+            .map(|(q, o)| (q - o).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A complete filter bank quantized for the hardware datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedBank {
+    id: FilterId,
+    analysis_lowpass: QuantizedKernel,
+    analysis_highpass: QuantizedKernel,
+    synthesis_lowpass: QuantizedKernel,
+    synthesis_highpass: QuantizedKernel,
+    format: QFormat,
+}
+
+impl QuantizedBank {
+    /// Default number of integer bits for coefficient words: sign plus one
+    /// magnitude bit, enough for the largest Table I coefficient (1.06066).
+    pub const COEFF_INT_BITS: u32 = 2;
+
+    /// Quantizes `bank` to `word_bits`-bit coefficients with
+    /// [`Self::COEFF_INT_BITS`] integer bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the format cannot be built or a coefficient does
+    /// not fit (neither happens for the Table I banks with `word_bits >= 3`).
+    pub fn new(bank: &FilterBank, word_bits: u32) -> Result<Self, FixedError> {
+        let format = QFormat::new(word_bits, Self::COEFF_INT_BITS)?;
+        Ok(Self {
+            id: bank.id(),
+            analysis_lowpass: QuantizedKernel::quantize(bank.analysis_lowpass(), format)?,
+            analysis_highpass: QuantizedKernel::quantize(bank.analysis_highpass(), format)?,
+            synthesis_lowpass: QuantizedKernel::quantize(bank.synthesis_lowpass(), format)?,
+            synthesis_highpass: QuantizedKernel::quantize(bank.synthesis_highpass(), format)?,
+            format,
+        })
+    }
+
+    /// Quantizes with the paper's 32-bit coefficient word.
+    ///
+    /// # Errors
+    ///
+    /// See [`QuantizedBank::new`].
+    pub fn paper_default(bank: &FilterBank) -> Result<Self, FixedError> {
+        Self::new(bank, lwc_fixed::COEFFICIENT_BITS)
+    }
+
+    /// Bank identifier.
+    #[must_use]
+    pub fn id(&self) -> FilterId {
+        self.id
+    }
+
+    /// Quantized analysis low-pass filter.
+    #[must_use]
+    pub fn analysis_lowpass(&self) -> &QuantizedKernel {
+        &self.analysis_lowpass
+    }
+
+    /// Quantized analysis high-pass filter.
+    #[must_use]
+    pub fn analysis_highpass(&self) -> &QuantizedKernel {
+        &self.analysis_highpass
+    }
+
+    /// Quantized synthesis low-pass filter.
+    #[must_use]
+    pub fn synthesis_lowpass(&self) -> &QuantizedKernel {
+        &self.synthesis_lowpass
+    }
+
+    /// Quantized synthesis high-pass filter.
+    #[must_use]
+    pub fn synthesis_highpass(&self) -> &QuantizedKernel {
+        &self.synthesis_highpass
+    }
+
+    /// Coefficient word format.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Number of coefficient words the on-chip coefficient RAM must hold for
+    /// one pass (the longest filter of the bank).
+    #[must_use]
+    pub fn coefficient_ram_words(&self) -> usize {
+        self.analysis_lowpass
+            .len()
+            .max(self.analysis_highpass.len())
+            .max(self.synthesis_lowpass.len())
+            .max(self.synthesis_highpass.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FilterBank;
+
+    #[test]
+    fn quantization_error_is_below_half_lsb() {
+        for bank in FilterBank::all_table1() {
+            let q = QuantizedBank::paper_default(&bank).unwrap();
+            let lsb = q.format().lsb();
+            assert!(
+                q.analysis_lowpass().max_quantization_error(bank.analysis_lowpass()) <= lsb / 2.0
+            );
+            assert!(
+                q.synthesis_lowpass().max_quantization_error(bank.synthesis_lowpass())
+                    <= lsb / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn paper_format_is_q2_30() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let q = QuantizedBank::paper_default(&bank).unwrap();
+        assert_eq!(q.format().total_bits(), 32);
+        assert_eq!(q.format().int_bits(), 2);
+        assert_eq!(q.format().frac_bits(), 30);
+    }
+
+    #[test]
+    fn largest_coefficient_fits_two_integer_bits() {
+        // F4's 1.060660 is the largest coefficient in Table I; with 2 integer
+        // bits the representable maximum is just below 2.0.
+        let bank = FilterBank::table1(FilterId::F4);
+        let q = QuantizedBank::paper_default(&bank).unwrap();
+        let max = q
+            .analysis_lowpass()
+            .to_kernel()
+            .max_abs()
+            .max(q.synthesis_highpass().to_kernel().max_abs());
+        assert!(max > 1.06 && max < 2.0);
+    }
+
+    #[test]
+    fn too_narrow_words_are_rejected() {
+        let bank = FilterBank::table1(FilterId::F4);
+        // A 1-bit word cannot even hold the 2 integer bits of the format.
+        assert!(QuantizedBank::new(&bank, 1).is_err());
+    }
+
+    #[test]
+    fn indexing_matches_original_support() {
+        let bank = FilterBank::table1(FilterId::F2);
+        let q = QuantizedBank::paper_default(&bank).unwrap();
+        assert_eq!(q.analysis_lowpass().min_index(), bank.analysis_lowpass().min_index());
+        assert_eq!(q.analysis_lowpass().max_index(), bank.analysis_lowpass().max_index());
+        assert_eq!(q.analysis_lowpass().at(100), 0);
+        assert_eq!(q.coefficient_ram_words(), 13);
+    }
+
+    #[test]
+    fn dequantized_kernel_is_close_to_original() {
+        let bank = FilterBank::table1(FilterId::F6);
+        let q = QuantizedBank::paper_default(&bank).unwrap();
+        let k = q.analysis_lowpass().to_kernel();
+        for (a, b) in k.coeffs().iter().zip(bank.analysis_lowpass().coeffs()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn coarse_quantization_has_visible_error() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let q = QuantizedBank::new(&bank, 8).unwrap();
+        let err = q.analysis_lowpass().max_quantization_error(bank.analysis_lowpass());
+        assert!(err > 1e-4, "8-bit coefficients should be visibly coarse, err={err}");
+    }
+}

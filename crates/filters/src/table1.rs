@@ -1,0 +1,193 @@
+//! The raw data of Table I of the paper.
+//!
+//! Each entry records the analysis (`H`) and synthesis (`H̃`) low-pass
+//! filters of one of the six Villasenor banks, exactly as printed: the filter
+//! length and the coefficients from the origin outwards (negative indices
+//! follow from the symmetry of the QMF).
+
+/// One row pair of Table I: a filter bank's two low-pass prototypes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Entry {
+    /// Bank label as printed ("F1" … "F6").
+    pub label: &'static str,
+    /// Length of the analysis low-pass filter `H`.
+    pub analysis_len: usize,
+    /// Printed coefficients of `H` (origin outwards; the remaining taps
+    /// follow by symmetry).
+    pub analysis_half: &'static [f64],
+    /// Sum of absolute values of all taps of `H` as printed in Table I.
+    pub analysis_abs_sum: f64,
+    /// Length of the synthesis low-pass filter `H̃`.
+    pub synthesis_len: usize,
+    /// Printed coefficients of `H̃`.
+    pub synthesis_half: &'static [f64],
+    /// Sum of absolute values of all taps of `H̃` as printed in Table I.
+    pub synthesis_abs_sum: f64,
+}
+
+/// Table I of the paper: the six filter banks best suited to image
+/// compression according to Villasenor et al.
+pub const TABLE1: [Table1Entry; 6] = [
+    // F1 — the 9/7 bank
+    Table1Entry {
+        label: "F1",
+        analysis_len: 9,
+        analysis_half: &[0.852699, 0.377402, -0.110624, -0.023849, 0.037828],
+        analysis_abs_sum: 1.952105,
+        synthesis_len: 7,
+        synthesis_half: &[0.788486, 0.418092, -0.040689, -0.064539],
+        synthesis_abs_sum: 1.835126,
+    },
+    // F2 — the 13/11 bank
+    Table1Entry {
+        label: "F2",
+        analysis_len: 13,
+        analysis_half: &[
+            0.767245, 0.383269, -0.068878, -0.033475, 0.047282, 0.003759, -0.008473,
+        ],
+        analysis_abs_sum: 1.857495,
+        synthesis_len: 11,
+        synthesis_half: &[0.832848, 0.448109, -0.069163, -0.108737, 0.006292, 0.014182],
+        synthesis_abs_sum: 2.125814,
+    },
+    // F3 — the 6/10 bank (half-sample symmetric)
+    Table1Entry {
+        label: "F3",
+        analysis_len: 6,
+        analysis_half: &[0.788486, 0.047699, -0.129078],
+        analysis_abs_sum: 1.930526,
+        synthesis_len: 10,
+        synthesis_half: &[0.615051, 0.133389, -0.067237, 0.006989, 0.018914],
+        synthesis_abs_sum: 1.683160,
+    },
+    // F4 — the 5/3 bank (LeGall)
+    Table1Entry {
+        label: "F4",
+        analysis_len: 5,
+        analysis_half: &[1.060660, 0.353553, -0.176777],
+        analysis_abs_sum: 2.121320,
+        synthesis_len: 3,
+        synthesis_half: &[0.707107, 0.353553],
+        synthesis_abs_sum: 1.414214,
+    },
+    // F5 — the 2/6 bank (Haar analysis, half-sample symmetric)
+    Table1Entry {
+        label: "F5",
+        analysis_len: 2,
+        analysis_half: &[0.707107],
+        analysis_abs_sum: 1.414214,
+        synthesis_len: 6,
+        synthesis_half: &[0.707107, 0.088388, -0.088388],
+        synthesis_abs_sum: 1.767767,
+    },
+    // F6 — the 9/3 bank
+    Table1Entry {
+        label: "F6",
+        analysis_len: 9,
+        analysis_half: &[0.994369, 0.419845, -0.176777, -0.066291, 0.033145],
+        analysis_abs_sum: 2.386485,
+        synthesis_len: 3,
+        synthesis_half: &[0.707107, 0.353553],
+        synthesis_abs_sum: 1.414213,
+    },
+];
+
+impl Table1Entry {
+    /// Returns `true` when the analysis filter length is odd (whole-sample
+    /// symmetric bank).
+    #[must_use]
+    pub fn is_whole_sample_symmetric(&self) -> bool {
+        self.analysis_len % 2 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expanded_abs_sum(half: &[f64], len: usize) -> f64 {
+        if len % 2 == 1 {
+            // whole-sample symmetric: c0 counted once, the rest twice
+            half[0].abs() + 2.0 * half[1..].iter().map(|c| c.abs()).sum::<f64>()
+        } else {
+            2.0 * half.iter().map(|c| c.abs()).sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn six_banks_present_with_expected_lengths() {
+        assert_eq!(TABLE1.len(), 6);
+        let lens: Vec<(usize, usize)> =
+            TABLE1.iter().map(|e| (e.analysis_len, e.synthesis_len)).collect();
+        assert_eq!(lens, vec![(9, 7), (13, 11), (6, 10), (5, 3), (2, 6), (9, 3)]);
+    }
+
+    #[test]
+    fn half_lists_have_consistent_length() {
+        for e in &TABLE1 {
+            let expected_analysis = if e.analysis_len % 2 == 1 {
+                e.analysis_len / 2 + 1
+            } else {
+                e.analysis_len / 2
+            };
+            let expected_synthesis = if e.synthesis_len % 2 == 1 {
+                e.synthesis_len / 2 + 1
+            } else {
+                e.synthesis_len / 2
+            };
+            assert_eq!(e.analysis_half.len(), expected_analysis, "{}", e.label);
+            assert_eq!(e.synthesis_half.len(), expected_synthesis, "{}", e.label);
+        }
+    }
+
+    #[test]
+    fn printed_abs_sums_match_expansion() {
+        // The Σ|c_n| column of Table I must agree with the expanded filters
+        // to the printed precision (6 decimals, so tolerate a couple of ulps
+        // of the last printed digit).
+        for e in &TABLE1 {
+            let a = expanded_abs_sum(e.analysis_half, e.analysis_len);
+            let s = expanded_abs_sum(e.synthesis_half, e.synthesis_len);
+            assert!(
+                (a - e.analysis_abs_sum).abs() < 5e-5,
+                "{}: analysis abs sum {a} vs printed {}",
+                e.label,
+                e.analysis_abs_sum
+            );
+            assert!(
+                (s - e.synthesis_abs_sum).abs() < 5e-5,
+                "{}: synthesis abs sum {s} vs printed {}",
+                e.label,
+                e.synthesis_abs_sum
+            );
+        }
+    }
+
+    #[test]
+    fn dc_gain_is_sqrt_two() {
+        // All Table I low-pass filters are normalized to a DC gain of √2.
+        for e in &TABLE1 {
+            let expand_sum = |half: &[f64], len: usize| {
+                if len % 2 == 1 {
+                    half[0] + 2.0 * half[1..].iter().sum::<f64>()
+                } else {
+                    2.0 * half.iter().sum::<f64>()
+                }
+            };
+            let a = expand_sum(e.analysis_half, e.analysis_len);
+            let s = expand_sum(e.synthesis_half, e.synthesis_len);
+            assert!((a - std::f64::consts::SQRT_2).abs() < 1e-5, "{} analysis DC {a}", e.label);
+            assert!((s - std::f64::consts::SQRT_2).abs() < 1e-5, "{} synthesis DC {s}", e.label);
+        }
+    }
+
+    #[test]
+    fn symmetry_classes() {
+        let whole: Vec<&str> = TABLE1
+            .iter()
+            .filter(|e| e.is_whole_sample_symmetric())
+            .map(|e| e.label)
+            .collect();
+        assert_eq!(whole, vec!["F1", "F2", "F4", "F6"]);
+    }
+}

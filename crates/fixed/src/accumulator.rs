@@ -1,0 +1,160 @@
+//! 64-bit multiply–accumulate unit model.
+
+use crate::{FixedError, ACCUMULATOR_BITS};
+
+/// Software model of the paper's MAC unit: a 32×32 multiplier feeding a
+/// 64-bit accumulator (Section 4.2, *"The accumulation is performed in 64
+/// bits to increase the accuracy"*).
+///
+/// The accumulator tracks the number of MAC operations performed so the
+/// architecture simulator and the performance model can count work without a
+/// second bookkeeping path.
+///
+/// ```
+/// use lwc_fixed::MacAccumulator;
+/// # fn main() -> Result<(), lwc_fixed::FixedError> {
+/// let mut acc = MacAccumulator::new();
+/// acc.mac(3, 5)?;
+/// acc.mac(-2, 4)?;
+/// assert_eq!(acc.value(), 7);
+/// assert_eq!(acc.ops(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacAccumulator {
+    value: i64,
+    ops: u64,
+}
+
+impl MacAccumulator {
+    /// Creates an accumulator cleared to zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the accumulated value (the `load` control step of Fig. 2 loads
+    /// the first product, which is equivalent to clearing then accumulating).
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+
+    /// Current accumulated value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Number of multiply–accumulate operations performed since creation.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Performs one multiply–accumulate step: `acc += a * b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::AccumulatorOverflow`] if the product or the sum
+    /// exceeds the signed 64-bit range; the word-length plan of the paper
+    /// guarantees this never happens for in-spec operands, so hitting the
+    /// error indicates a mis-configured format rather than a data problem.
+    pub fn mac(&mut self, a: i64, b: i64) -> Result<i64, FixedError> {
+        let product = (a as i128) * (b as i128);
+        let sum = product + self.value as i128;
+        if sum > i64::MAX as i128 || sum < i64::MIN as i128 {
+            return Err(FixedError::AccumulatorOverflow);
+        }
+        self.value = sum as i64;
+        self.ops += 1;
+        Ok(self.value)
+    }
+
+    /// Performs a full dot product, clearing the accumulator first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FixedError::AccumulatorOverflow`] from [`Self::mac`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot(&mut self, a: &[i64], b: &[i64]) -> Result<i64, FixedError> {
+        assert_eq!(a.len(), b.len(), "dot product operands must have equal length");
+        self.clear();
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            self.mac(x, y)?;
+        }
+        Ok(self.value)
+    }
+
+    /// Width of the accumulator in bits (always 64, mirroring the hardware).
+    #[must_use]
+    pub fn width_bits(&self) -> u32 {
+        ACCUMULATOR_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_products() {
+        let mut acc = MacAccumulator::new();
+        acc.mac(10, 10).unwrap();
+        acc.mac(-3, 7).unwrap();
+        assert_eq!(acc.value(), 79);
+        assert_eq!(acc.ops(), 2);
+    }
+
+    #[test]
+    fn clear_resets_value_but_not_op_count() {
+        let mut acc = MacAccumulator::new();
+        acc.mac(2, 2).unwrap();
+        acc.clear();
+        assert_eq!(acc.value(), 0);
+        assert_eq!(acc.ops(), 1);
+    }
+
+    #[test]
+    fn dot_product_matches_manual_sum() {
+        let mut acc = MacAccumulator::new();
+        let a = [1i64, -2, 3, -4];
+        let b = [5i64, 6, 7, 8];
+        let expected: i64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(acc.dot(&a, &b).unwrap(), expected);
+        assert_eq!(acc.ops(), 4);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut acc = MacAccumulator::new();
+        // Two maximal 32-bit operands fit comfortably…
+        acc.mac(i32::MAX as i64, i32::MAX as i64).unwrap();
+        // …but repeatedly accumulating 63-bit products eventually overflows.
+        let mut acc = MacAccumulator::new();
+        acc.mac(1 << 31, 1 << 31).unwrap();
+        let mut overflowed = false;
+        for _ in 0..2 {
+            if acc.mac(i64::MAX / 2, 2).is_err() {
+                overflowed = true;
+                break;
+            }
+        }
+        assert!(overflowed);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dot_rejects_mismatched_lengths() {
+        let mut acc = MacAccumulator::new();
+        let _ = acc.dot(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn width_is_64_bits() {
+        assert_eq!(MacAccumulator::new().width_bits(), 64);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared by the fixed-point primitives.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing formats or converting values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FixedError {
+    /// The requested format is not representable (e.g. zero total bits,
+    /// integer part wider than the word, or a word wider than 63 bits).
+    InvalidFormat {
+        /// Total word length requested.
+        total_bits: u32,
+        /// Integer part (including sign) requested.
+        int_bits: u32,
+    },
+    /// A value does not fit in the destination format.
+    Overflow {
+        /// The value that overflowed, expressed in real units.
+        value: f64,
+        /// Human readable description of the destination format.
+        format: String,
+    },
+    /// The accumulator exceeded its 64-bit range.
+    AccumulatorOverflow,
+    /// A non-finite floating point value was supplied.
+    NonFinite,
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::InvalidFormat { total_bits, int_bits } => write!(
+                f,
+                "invalid fixed-point format: {int_bits} integer bits in a {total_bits}-bit word"
+            ),
+            FixedError::Overflow { value, format } => {
+                write!(f, "value {value} does not fit in format {format}")
+            }
+            FixedError::AccumulatorOverflow => write!(f, "64-bit accumulator overflow"),
+            FixedError::NonFinite => write!(f, "non-finite floating point value"),
+        }
+    }
+}
+
+impl Error for FixedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            FixedError::InvalidFormat { total_bits: 32, int_bits: 40 },
+            FixedError::Overflow { value: 1.0e9, format: "Q13.19".to_owned() },
+            FixedError::AccumulatorOverflow,
+            FixedError::NonFinite,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with('6'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error>() {}
+        assert_error::<FixedError>();
+    }
+}

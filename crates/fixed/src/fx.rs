@@ -1,0 +1,216 @@
+//! Scalar fixed-point value wrapper.
+
+use crate::{FixedError, QFormat};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single fixed-point value: a raw two's-complement integer together with
+/// the [`QFormat`] that gives it meaning.
+///
+/// The DWT hot paths keep raw `i64` buffers and track the format at the
+/// container level for speed; `Fx` is the convenient, type-checked view used
+/// by tests, examples and the configuration code.
+///
+/// ```
+/// use lwc_fixed::{Fx, QFormat};
+/// # fn main() -> Result<(), lwc_fixed::FixedError> {
+/// let q = QFormat::new(16, 4)?;
+/// let x = Fx::from_f64(1.5, q)?;
+/// let y = x.rescale(QFormat::new(16, 8)?)?;
+/// assert_eq!(y.to_f64(), 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fx {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fx {
+    /// Builds a value from its raw integer representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] if `raw` does not fit the format.
+    pub fn from_raw(raw: i64, format: QFormat) -> Result<Self, FixedError> {
+        if !format.contains_raw(raw) {
+            return Err(FixedError::Overflow {
+                value: format.dequantize(raw),
+                format: format.to_string(),
+            });
+        }
+        Ok(Self { raw, format })
+    }
+
+    /// Quantizes a real value into the format (round to nearest).
+    ///
+    /// # Errors
+    ///
+    /// See [`QFormat::quantize`].
+    pub fn from_f64(value: f64, format: QFormat) -> Result<Self, FixedError> {
+        Ok(Self { raw: format.quantize(value)?, format })
+    }
+
+    /// The zero value in the given format.
+    #[must_use]
+    pub fn zero(format: QFormat) -> Self {
+        Self { raw: 0, format }
+    }
+
+    /// Raw two's-complement representation.
+    #[must_use]
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Format of this value.
+    #[must_use]
+    pub fn format(self) -> QFormat {
+        self.format
+    }
+
+    /// Real value represented.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.format.dequantize(self.raw)
+    }
+
+    /// Converts to another format, preserving the represented value exactly
+    /// when precision allows and rounding half up otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] if the value does not fit the target.
+    pub fn rescale(self, target: QFormat) -> Result<Self, FixedError> {
+        let src_frac = self.format.frac_bits();
+        let dst_frac = target.frac_bits();
+        let raw = match dst_frac.cmp(&src_frac) {
+            Ordering::Equal => self.raw,
+            Ordering::Greater => {
+                let shift = dst_frac - src_frac;
+                self.raw.checked_shl(shift).ok_or(FixedError::AccumulatorOverflow)?
+            }
+            Ordering::Less => crate::round_half_up_shift(self.raw, src_frac - dst_frac),
+        };
+        Self::from_raw(raw, target)
+    }
+
+    /// Checked addition of two values in the same format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] if the sum leaves the format range,
+    /// or [`FixedError::InvalidFormat`] if the formats differ.
+    pub fn checked_add(self, other: Self) -> Result<Self, FixedError> {
+        self.same_format(other)?;
+        Self::from_raw(self.raw + other.raw, self.format)
+    }
+
+    /// Checked subtraction of two values in the same format.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fx::checked_add`].
+    pub fn checked_sub(self, other: Self) -> Result<Self, FixedError> {
+        self.same_format(other)?;
+        Self::from_raw(self.raw - other.raw, self.format)
+    }
+
+    /// Full-precision product: the raw result has
+    /// `self.frac_bits() + other.frac_bits()` fractional bits and is meant to
+    /// be fed to an accumulator / alignment stage.
+    #[must_use]
+    pub fn widening_mul_raw(self, other: Self) -> i64 {
+        self.raw * other.raw
+    }
+
+    fn same_format(self, other: Self) -> Result<(), FixedError> {
+        if self.format == other.format {
+            Ok(())
+        } else {
+            Err(FixedError::InvalidFormat {
+                total_bits: other.format.total_bits(),
+                int_bits: other.format.int_bits(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(total: u32, int: u32) -> QFormat {
+        QFormat::new(total, int).unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_f64() {
+        let fmt = q(32, 13);
+        for v in [-4000.0, -0.5, 0.0, 1.25, 4095.0] {
+            let x = Fx::from_f64(v, fmt).unwrap();
+            assert!((x.to_f64() - v).abs() <= fmt.lsb() / 2.0);
+        }
+    }
+
+    #[test]
+    fn from_raw_validates_range() {
+        let fmt = q(8, 8);
+        assert!(Fx::from_raw(127, fmt).is_ok());
+        assert!(Fx::from_raw(128, fmt).is_err());
+    }
+
+    #[test]
+    fn rescale_preserves_value_when_widening_fraction() {
+        let x = Fx::from_f64(2.5, q(16, 8)).unwrap();
+        let y = x.rescale(q(24, 8)).unwrap();
+        assert_eq!(y.to_f64(), 2.5);
+    }
+
+    #[test]
+    fn rescale_rounds_when_narrowing_fraction() {
+        // 0.75 with 2 frac bits -> 1 frac bit rounds to 1.0 (half up)
+        let x = Fx::from_raw(3, q(8, 6)).unwrap();
+        let y = x.rescale(q(8, 7)).unwrap();
+        assert_eq!(y.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn rescale_detects_overflow() {
+        let x = Fx::from_f64(100.0, q(16, 8)).unwrap();
+        assert!(x.rescale(q(8, 6)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_checks_formats_and_ranges() {
+        let a = Fx::from_f64(3.0, q(8, 6)).unwrap();
+        let b = Fx::from_f64(2.0, q(8, 6)).unwrap();
+        assert_eq!(a.checked_add(b).unwrap().to_f64(), 5.0);
+        assert_eq!(a.checked_sub(b).unwrap().to_f64(), 1.0);
+        let c = Fx::from_f64(2.0, q(8, 7)).unwrap();
+        assert!(a.checked_add(c).is_err());
+        let big = Fx::from_f64(31.0, q(8, 6)).unwrap();
+        assert!(big.checked_add(big).is_err());
+    }
+
+    #[test]
+    fn widening_mul_has_combined_fraction() {
+        let a = Fx::from_f64(1.5, q(8, 6)).unwrap(); // raw 6, 2 frac bits
+        let b = Fx::from_f64(2.5, q(8, 5)).unwrap(); // raw 20, 3 frac bits
+        let raw = a.widening_mul_raw(b); // 120 with 5 frac bits = 3.75
+        assert_eq!(raw as f64 / 32.0, 3.75);
+    }
+
+    #[test]
+    fn display_mentions_format() {
+        let x = Fx::from_f64(1.0, q(8, 4)).unwrap();
+        assert_eq!(x.to_string(), "1 (Q4.4)");
+    }
+}

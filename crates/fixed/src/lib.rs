@@ -1,0 +1,82 @@
+//! # lwc-fixed — fixed-point arithmetic for the lossless DWT datapath
+//!
+//! This crate models the numeric system adopted by the paper
+//! *"VLSI Architecture for Lossless Compression of Medical Images Using the
+//! Discrete Wavelet Transform"* (Urriza et al., DATE 1998), Section 3:
+//!
+//! * fixed-point **two's complement** values,
+//! * a configurable split between **integer part** (including the sign bit)
+//!   and **fractional part** described by [`QFormat`],
+//! * a **64-bit multiply–accumulate** path ([`MacAccumulator`]) feeding an
+//!   **alignment and rounding** stage ([`align_and_round`]) that narrows the
+//!   result back to the datapath word length (32 bits in the paper),
+//! * round-half-up behaviour exactly as described in Section 4.3: *"If the
+//!   MSB of the truncated bits is 0, truncation is performed; if the MSB is
+//!   1, then round-up by one is performed."*
+//!
+//! The hot paths of the DWT crates operate on raw `i64` values tagged with a
+//! [`QFormat`] at the container level; the [`Fx`] wrapper offers an ergonomic,
+//! type-checked view for scalar manipulation, tests and examples.
+//!
+//! ```
+//! use lwc_fixed::{QFormat, Fx};
+//!
+//! # fn main() -> Result<(), lwc_fixed::FixedError> {
+//! // 32-bit word, 13 integer bits (incl. sign) as used for the input image.
+//! let fmt = QFormat::new(32, 13)?;
+//! let a = Fx::from_f64(3.25, fmt)?;
+//! let b = Fx::from_f64(-1.5, fmt)?;
+//! assert_eq!(a.to_f64() + b.to_f64(), 1.75);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accumulator;
+mod error;
+mod fx;
+mod qformat;
+mod rounding;
+
+pub use accumulator::MacAccumulator;
+pub use error::FixedError;
+pub use fx::Fx;
+pub use qformat::QFormat;
+pub use rounding::{align_and_round, align_and_round_checked, round_half_up_shift};
+
+/// Datapath word length used by the paper's architecture (bits).
+pub const DATAPATH_WORD_BITS: u32 = 32;
+
+/// Accumulator width used by the paper's MAC unit (bits).
+pub const ACCUMULATOR_BITS: u32 = 64;
+
+/// Word length of the input medical images, including the sign bit
+/// (12-bit magnitude + sign in the paper).
+pub const INPUT_IMAGE_BITS: u32 = 13;
+
+/// Word length of the quantized wavelet filter coefficients.
+pub const COEFFICIENT_BITS: u32 = 32;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_constants_match_paper() {
+        assert_eq!(DATAPATH_WORD_BITS, 32);
+        assert_eq!(ACCUMULATOR_BITS, 64);
+        assert_eq!(INPUT_IMAGE_BITS, 13);
+        assert_eq!(COEFFICIENT_BITS, 32);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QFormat>();
+        assert_send_sync::<Fx>();
+        assert_send_sync::<MacAccumulator>();
+        assert_send_sync::<FixedError>();
+    }
+}

@@ -1,0 +1,219 @@
+//! Fixed-point format descriptor.
+
+use crate::FixedError;
+use std::fmt;
+
+/// A two's-complement fixed-point format: `total_bits` in the word, of which
+/// `int_bits` form the integer part (sign bit included) and
+/// `total_bits - int_bits` form the fractional part.
+///
+/// The paper's datapath uses 32-bit words whose integer part grows with the
+/// decomposition scale (Table II); this type is the vocabulary used to carry
+/// that per-scale information around the code base.
+///
+/// ```
+/// use lwc_fixed::QFormat;
+/// # fn main() -> Result<(), lwc_fixed::FixedError> {
+/// let q = QFormat::new(32, 15)?;
+/// assert_eq!(q.frac_bits(), 17);
+/// assert!(q.max_value() > 16_383.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QFormat {
+    total_bits: u32,
+    int_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a format with `total_bits` word length and `int_bits` integer
+    /// bits (including the sign bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::InvalidFormat`] if `total_bits` is zero or
+    /// larger than 63, or if `int_bits` is zero or exceeds `total_bits`.
+    pub fn new(total_bits: u32, int_bits: u32) -> Result<Self, FixedError> {
+        if total_bits == 0 || total_bits > 63 || int_bits == 0 || int_bits > total_bits {
+            return Err(FixedError::InvalidFormat { total_bits, int_bits });
+        }
+        Ok(Self { total_bits, int_bits })
+    }
+
+    /// Total word length in bits.
+    #[must_use]
+    pub fn total_bits(self) -> u32 {
+        self.total_bits
+    }
+
+    /// Integer part width in bits (sign bit included).
+    #[must_use]
+    pub fn int_bits(self) -> u32 {
+        self.int_bits
+    }
+
+    /// Fractional part width in bits.
+    #[must_use]
+    pub fn frac_bits(self) -> u32 {
+        self.total_bits - self.int_bits
+    }
+
+    /// The weight of one least-significant bit, `2^-frac_bits`.
+    #[must_use]
+    pub fn lsb(self) -> f64 {
+        (self.frac_bits() as f64).exp2().recip()
+    }
+
+    /// Smallest raw integer representable in the format.
+    #[must_use]
+    pub fn min_raw(self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Largest raw integer representable in the format.
+    #[must_use]
+    pub fn max_raw(self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Smallest representable real value.
+    #[must_use]
+    pub fn min_value(self) -> f64 {
+        self.min_raw() as f64 * self.lsb()
+    }
+
+    /// Largest representable real value.
+    #[must_use]
+    pub fn max_value(self) -> f64 {
+        self.max_raw() as f64 * self.lsb()
+    }
+
+    /// Returns `true` if `raw` lies inside the representable range.
+    #[must_use]
+    pub fn contains_raw(self, raw: i64) -> bool {
+        raw >= self.min_raw() && raw <= self.max_raw()
+    }
+
+    /// Quantizes a real value to the nearest representable raw integer
+    /// (ties away from zero).
+    ///
+    /// # Errors
+    ///
+    /// * [`FixedError::NonFinite`] if `value` is NaN or infinite.
+    /// * [`FixedError::Overflow`] if the rounded value falls outside the
+    ///   representable range.
+    pub fn quantize(self, value: f64) -> Result<i64, FixedError> {
+        if !value.is_finite() {
+            return Err(FixedError::NonFinite);
+        }
+        let scaled = value * (self.frac_bits() as f64).exp2();
+        let raw = scaled.round();
+        if raw < self.min_raw() as f64 || raw > self.max_raw() as f64 {
+            return Err(FixedError::Overflow { value, format: self.to_string() });
+        }
+        Ok(raw as i64)
+    }
+
+    /// Converts a raw integer in this format back to a real value.
+    #[must_use]
+    pub fn dequantize(self, raw: i64) -> f64 {
+        raw as f64 * self.lsb()
+    }
+
+    /// Returns a copy of this format with a different integer-part width,
+    /// keeping the total word length.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QFormat::new`].
+    pub fn with_int_bits(self, int_bits: u32) -> Result<Self, FixedError> {
+        Self::new(self.total_bits, int_bits)
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_arguments() {
+        assert!(QFormat::new(32, 13).is_ok());
+        assert!(QFormat::new(0, 0).is_err());
+        assert!(QFormat::new(32, 0).is_err());
+        assert!(QFormat::new(32, 33).is_err());
+        assert!(QFormat::new(64, 13).is_err(), "64-bit words would overflow i64 products");
+    }
+
+    #[test]
+    fn ranges_match_twos_complement() {
+        let q = QFormat::new(16, 16).unwrap();
+        assert_eq!(q.min_raw(), -32768);
+        assert_eq!(q.max_raw(), 32767);
+        assert_eq!(q.frac_bits(), 0);
+        assert_eq!(q.lsb(), 1.0);
+    }
+
+    #[test]
+    fn quantize_round_trips_representable_values() {
+        let q = QFormat::new(32, 13).unwrap();
+        for v in [-4096.0, -1.5, -0.25, 0.0, 0.25, 1.0, 4095.9921875] {
+            let raw = q.quantize(v).unwrap();
+            assert!((q.dequantize(raw) - v).abs() <= q.lsb() / 2.0);
+        }
+    }
+
+    #[test]
+    fn quantize_rejects_out_of_range() {
+        let q = QFormat::new(16, 8).unwrap();
+        assert!(matches!(q.quantize(200.0), Err(FixedError::Overflow { .. })));
+        assert!(matches!(q.quantize(f64::NAN), Err(FixedError::NonFinite)));
+        assert!(matches!(q.quantize(f64::INFINITY), Err(FixedError::NonFinite)));
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let q = QFormat::new(16, 15).unwrap(); // 1 fractional bit
+        assert_eq!(q.quantize(0.24).unwrap(), 0);
+        assert_eq!(q.quantize(0.26).unwrap(), 1);
+        assert_eq!(q.quantize(-0.26).unwrap(), -1);
+    }
+
+    #[test]
+    fn display_shows_q_notation() {
+        let q = QFormat::new(32, 15).unwrap();
+        assert_eq!(q.to_string(), "Q15.17");
+    }
+
+    #[test]
+    fn with_int_bits_keeps_word_length() {
+        let q = QFormat::new(32, 13).unwrap();
+        let q2 = q.with_int_bits(25).unwrap();
+        assert_eq!(q2.total_bits(), 32);
+        assert_eq!(q2.int_bits(), 25);
+        assert!(q.with_int_bits(40).is_err());
+    }
+
+    #[test]
+    fn contains_raw_boundary() {
+        let q = QFormat::new(8, 8).unwrap();
+        assert!(q.contains_raw(127));
+        assert!(q.contains_raw(-128));
+        assert!(!q.contains_raw(128));
+        assert!(!q.contains_raw(-129));
+    }
+
+    #[test]
+    fn paper_input_format_covers_12_bit_images() {
+        // 13 integer bits (sign included) must hold magnitudes up to 4095.
+        let q = QFormat::new(32, 13).unwrap();
+        assert!(q.max_value() >= 4095.0);
+        assert!(q.min_value() <= -4096.0);
+    }
+}

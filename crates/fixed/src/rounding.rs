@@ -1,0 +1,160 @@
+//! Alignment and rounding of the 64-bit accumulator down to the datapath word.
+//!
+//! Section 4.3 of the paper: *"After the accumulation in 64 bits and the bit
+//! alignment, rounding narrows the datapath word length to 32 bits. If the
+//! MSB of the truncated bits is 0, truncation is performed; if the MSB is 1,
+//! then round-up by one is performed."*
+//!
+//! That rule is the classic *round half up* (towards +infinity on ties) on
+//! two's-complement values, implemented here without resorting to floating
+//! point so the hardware behaviour is reproduced bit by bit.
+
+use crate::FixedError;
+
+/// Shifts `acc` right by `shift` bits applying the paper's rounding rule:
+/// truncate, then add one if the most significant discarded bit was 1.
+///
+/// A `shift` of zero returns the accumulator unchanged. Shifts of 63 bits or
+/// more collapse the value onto the rounded sign information.
+///
+/// ```
+/// use lwc_fixed::round_half_up_shift;
+/// assert_eq!(round_half_up_shift(0b1011, 2), 0b11);    // 2.75 -> 3
+/// assert_eq!(round_half_up_shift(0b1001, 2), 0b10);    // 2.25 -> 2
+/// assert_eq!(round_half_up_shift(-5, 1), -2);          // -2.5 -> -2 (half up)
+/// ```
+#[must_use]
+pub fn round_half_up_shift(acc: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return acc;
+    }
+    if shift >= 64 {
+        // Everything is discarded; only the rounding carry of the sign range
+        // could remain, which is zero for any finite accumulator.
+        return if acc < 0 { round_half_up_shift(acc, 63) >> 1 } else { 0 };
+    }
+    let truncated = acc >> shift;
+    let msb_of_discarded = (acc >> (shift - 1)) & 1;
+    truncated + msb_of_discarded
+}
+
+/// Aligns the accumulator from `in_frac_bits` fractional bits to
+/// `out_frac_bits` and rounds with the paper's rule.
+///
+/// The DWT datapath multiplies a coefficient with `c_frac` fractional bits by
+/// a sample with `x_frac` fractional bits, so the accumulator holds
+/// `c_frac + x_frac` fractional bits; storing the result at the next scale's
+/// format requires shifting right by `in_frac_bits - out_frac_bits`.
+///
+/// # Panics
+///
+/// Panics if `out_frac_bits > in_frac_bits`: the architecture only ever
+/// narrows precision; widening would silently fabricate bits.
+#[must_use]
+pub fn align_and_round(acc: i64, in_frac_bits: u32, out_frac_bits: u32) -> i64 {
+    assert!(
+        out_frac_bits <= in_frac_bits,
+        "alignment can only discard fractional bits ({in_frac_bits} -> {out_frac_bits})"
+    );
+    round_half_up_shift(acc, in_frac_bits - out_frac_bits)
+}
+
+/// Like [`align_and_round`] but verifies the rounded result fits in a word of
+/// `word_bits` bits.
+///
+/// # Errors
+///
+/// Returns [`FixedError::Overflow`] if the result does not fit; this is the
+/// runtime check that the per-scale integer parts of Table II are sufficient.
+pub fn align_and_round_checked(
+    acc: i64,
+    in_frac_bits: u32,
+    out_frac_bits: u32,
+    word_bits: u32,
+) -> Result<i64, FixedError> {
+    let rounded = align_and_round(acc, in_frac_bits, out_frac_bits);
+    let min = -(1i64 << (word_bits - 1));
+    let max = (1i64 << (word_bits - 1)) - 1;
+    if rounded < min || rounded > max {
+        return Err(FixedError::Overflow {
+            value: rounded as f64 / (out_frac_bits as f64).exp2(),
+            format: format!("{word_bits}-bit word with {out_frac_bits} fractional bits"),
+        });
+    }
+    Ok(rounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shift_is_identity() {
+        for v in [-100, -1, 0, 1, 12345] {
+            assert_eq!(round_half_up_shift(v, 0), v);
+        }
+    }
+
+    #[test]
+    fn rounds_half_up_positive() {
+        // value 5.5 with one fractional bit -> 6
+        assert_eq!(round_half_up_shift(11, 1), 6);
+        // value 5.25 with two fractional bits -> 5
+        assert_eq!(round_half_up_shift(21, 2), 5);
+        // value 5.75 -> 6
+        assert_eq!(round_half_up_shift(23, 2), 6);
+    }
+
+    #[test]
+    fn rounds_half_up_negative() {
+        // -2.5 -> -2 (round half towards +inf)
+        assert_eq!(round_half_up_shift(-5, 1), -2);
+        // -2.75 -> -3
+        assert_eq!(round_half_up_shift(-11, 2), -3);
+        // -2.25 -> -2
+        assert_eq!(round_half_up_shift(-9, 2), -2);
+    }
+
+    #[test]
+    fn matches_floating_point_round_half_up() {
+        for acc in -2000i64..2000 {
+            for shift in 1..8u32 {
+                let expected = ((acc as f64) / (shift as f64).exp2() + 0.5).floor() as i64;
+                assert_eq!(
+                    round_half_up_shift(acc, shift),
+                    expected,
+                    "acc={acc} shift={shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn align_and_round_narrows_fraction() {
+        // 3.625 in Q.3 (raw 29) aligned to Q.1 -> 3.5 (raw 7)
+        assert_eq!(align_and_round(29, 3, 1), 7);
+        // identity when formats match
+        assert_eq!(align_and_round(29, 3, 3), 29);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment can only discard")]
+    fn align_and_round_rejects_widening() {
+        let _ = align_and_round(1, 1, 2);
+    }
+
+    #[test]
+    fn checked_variant_detects_overflow() {
+        // Result 128 does not fit an 8-bit signed word.
+        let acc = 128 << 4;
+        assert!(align_and_round_checked(acc, 4, 0, 8).is_err());
+        assert_eq!(align_and_round_checked(127 << 4, 4, 0, 8).unwrap(), 127);
+        assert_eq!(align_and_round_checked(-128 << 4, 4, 0, 8).unwrap(), -128);
+    }
+
+    #[test]
+    fn large_shift_collapses_to_sign() {
+        assert_eq!(round_half_up_shift(123, 64), 0);
+        assert_eq!(round_half_up_shift(i64::MIN, 70), -1);
+    }
+}

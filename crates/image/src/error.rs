@@ -1,0 +1,100 @@
+//! Error type for image construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by image construction, access and PGM I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// Width or height is zero, or the sample buffer length does not match
+    /// `width * height`.
+    InvalidDimensions {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+        /// Length of the provided sample buffer.
+        samples: usize,
+    },
+    /// The requested bit depth is outside the supported 1–16 range.
+    InvalidBitDepth(u32),
+    /// A sample value does not fit the declared bit depth.
+    SampleOutOfRange {
+        /// The offending value.
+        value: i32,
+        /// Declared bit depth.
+        bit_depth: u32,
+    },
+    /// Two images that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the first image (width, height).
+        left: (usize, usize),
+        /// Shape of the second image (width, height).
+        right: (usize, usize),
+    },
+    /// A PGM stream could not be parsed.
+    MalformedPgm(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions { width, height, samples } => write!(
+                f,
+                "invalid image dimensions {width}x{height} for {samples} samples"
+            ),
+            ImageError::InvalidBitDepth(b) => write!(f, "unsupported bit depth {b}"),
+            ImageError::SampleOutOfRange { value, bit_depth } => {
+                write!(f, "sample {value} does not fit {bit_depth}-bit range")
+            }
+            ImageError::ShapeMismatch { left, right } => write!(
+                f,
+                "image shapes differ: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            ImageError::MalformedPgm(msg) => write!(f, "malformed pgm stream: {msg}"),
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for ImageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ImageError::InvalidDimensions { width: 0, height: 4, samples: 0 };
+        assert!(e.to_string().contains("0x4"));
+        let e = ImageError::SampleOutOfRange { value: 5000, bit_depth: 12 };
+        assert!(e.to_string().contains("5000"));
+        let e = ImageError::ShapeMismatch { left: (4, 4), right: (8, 8) };
+        assert!(e.to_string().contains("4x4"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e = ImageError::from(io);
+        assert!(e.to_string().contains("missing"));
+        assert!(Error::source(&e).is_some());
+    }
+}

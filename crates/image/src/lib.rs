@@ -1,0 +1,48 @@
+//! # lwc-image — image containers, synthetic medical phantoms and statistics
+//!
+//! The paper targets the lossless compression of medical images (X-ray CT,
+//! 512×512, 12-bit resolution) and validates its hardware on *"data taken
+//! from random images"*. Real radiological data cannot ship with an
+//! open-source reproduction, so this crate supplies:
+//!
+//! * [`Image`] — a simple row-major integer raster with an explicit bit
+//!   depth, used as the exchange type across the whole workspace,
+//! * synthetic workloads in [`synth`]: uniformly random images (the paper's
+//!   own validation input), an elliptical CT-like phantom, an MR-like
+//!   smooth-plus-texture field, and step/gradient patterns for edge cases,
+//! * [`pgm`] — portable graymap I/O so users can run the pipeline on their
+//!   own data,
+//! * [`stats`] — entropy, MSE/PSNR and exactness checks used by the lossless
+//!   verification and by the compression examples.
+//!
+//! ```
+//! use lwc_image::{synth, stats};
+//!
+//! let img = synth::random_image(64, 64, 12, 7);
+//! assert_eq!(img.width(), 64);
+//! assert!(stats::max_abs_diff(&img, &img).unwrap() == 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod image;
+pub mod pgm;
+pub mod stats;
+pub mod synth;
+
+pub use error::ImageError;
+pub use image::Image;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Image>();
+        assert_send_sync::<ImageError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! Portable graymap (PGM, binary `P5`) reading and writing.
+//!
+//! PGM is the simplest interchange format that supports the 12–16 bit sample
+//! depths used by medical modalities, so it is what the examples read and
+//! write when users want to run the pipeline on their own data.
+
+use crate::{Image, ImageError};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Writes `image` as a binary (`P5`) PGM stream.
+///
+/// Samples wider than 8 bits are written big-endian, as the Netpbm
+/// specification requires.
+///
+/// # Errors
+///
+/// Returns an error if writing to `writer` fails.
+pub fn write_pgm<W: Write>(image: &Image, mut writer: W) -> Result<(), ImageError> {
+    let max = image.max_sample();
+    writeln!(writer, "P5")?;
+    writeln!(writer, "# written by lwc-image")?;
+    writeln!(writer, "{} {}", image.width(), image.height())?;
+    writeln!(writer, "{max}")?;
+    if max < 256 {
+        let bytes: Vec<u8> = image.samples().iter().map(|&v| v as u8).collect();
+        writer.write_all(&bytes)?;
+    } else {
+        let mut bytes = Vec::with_capacity(image.pixel_count() * 2);
+        for &v in image.samples() {
+            bytes.extend_from_slice(&(v as u16).to_be_bytes());
+        }
+        writer.write_all(&bytes)?;
+    }
+    Ok(())
+}
+
+/// Reads a binary (`P5`) PGM stream.
+///
+/// # Errors
+///
+/// Returns [`ImageError::MalformedPgm`] for syntax problems and
+/// [`ImageError::Io`] for I/O failures.
+pub fn read_pgm<R: Read>(mut reader: R) -> Result<Image, ImageError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let mut pos = 0usize;
+
+    let mut next_token = |data: &[u8]| -> Result<String, ImageError> {
+        // Skip whitespace and comments.
+        loop {
+            while pos < data.len() && data[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < data.len() && data[pos] == b'#' {
+                while pos < data.len() && data[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(ImageError::MalformedPgm("unexpected end of header".to_owned()));
+        }
+        Ok(String::from_utf8_lossy(&data[start..pos]).into_owned())
+    };
+
+    let magic = next_token(&data)?;
+    if magic != "P5" {
+        return Err(ImageError::MalformedPgm(format!("unsupported magic {magic:?}")));
+    }
+    let width: usize = next_token(&data)?
+        .parse()
+        .map_err(|_| ImageError::MalformedPgm("bad width".to_owned()))?;
+    let height: usize = next_token(&data)?
+        .parse()
+        .map_err(|_| ImageError::MalformedPgm("bad height".to_owned()))?;
+    let maxval: u32 = next_token(&data)?
+        .parse()
+        .map_err(|_| ImageError::MalformedPgm("bad maxval".to_owned()))?;
+    if maxval == 0 || maxval > 65535 {
+        return Err(ImageError::MalformedPgm(format!("unsupported maxval {maxval}")));
+    }
+    // Exactly one whitespace byte separates the header from the raster.
+    pos += 1;
+
+    let bit_depth = 32 - maxval.leading_zeros();
+    let pixels = width
+        .checked_mul(height)
+        .ok_or_else(|| ImageError::MalformedPgm("image too large".to_owned()))?;
+    let samples = if maxval < 256 {
+        let raster = data
+            .get(pos..pos + pixels)
+            .ok_or_else(|| ImageError::MalformedPgm("truncated raster".to_owned()))?;
+        raster.iter().map(|&b| i32::from(b)).collect()
+    } else {
+        let raster = data
+            .get(pos..pos + 2 * pixels)
+            .ok_or_else(|| ImageError::MalformedPgm("truncated raster".to_owned()))?;
+        raster
+            .chunks_exact(2)
+            .map(|c| i32::from(u16::from_be_bytes([c[0], c[1]])))
+            .collect()
+    };
+    Image::from_samples(width, height, bit_depth, samples)
+}
+
+/// Convenience wrapper: writes `image` to a file at `path`.
+///
+/// # Errors
+///
+/// See [`write_pgm`].
+pub fn save<P: AsRef<Path>>(image: &Image, path: P) -> Result<(), ImageError> {
+    let file = std::fs::File::create(path)?;
+    write_pgm(image, std::io::BufWriter::new(file))
+}
+
+/// Convenience wrapper: reads an image from a file at `path`.
+///
+/// # Errors
+///
+/// See [`read_pgm`].
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Image, ImageError> {
+    let file = std::fs::File::open(path)?;
+    read_pgm(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn roundtrip_8_bit() {
+        let img = synth::random_image(17, 9, 8, 1);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn roundtrip_12_bit() {
+        let img = synth::ct_phantom(32, 24, 12, 2);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(img.samples(), back.samples());
+        assert_eq!(back.bit_depth(), 12);
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let img = synth::flat(2, 2, 8, 9);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(back.get(0, 0), 9);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        assert!(read_pgm(&b"P2\n2 2\n255\n0 0 0 0"[..]).is_err(), "ascii pgm unsupported");
+        assert!(read_pgm(&b"P5\n2 2\n255\n\x00"[..]).is_err(), "truncated raster");
+        assert!(read_pgm(&b"P5\nx 2\n255\n"[..]).is_err(), "bad width");
+        assert!(read_pgm(&b""[..]).is_err(), "empty stream");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lwc_image_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("phantom.pgm");
+        let img = synth::mr_slice(16, 16, 12, 3);
+        save(&img, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(img.samples(), back.samples());
+        std::fs::remove_file(&path).ok();
+    }
+}

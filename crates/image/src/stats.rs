@@ -1,0 +1,202 @@
+//! Image statistics used by the lossless verification and the compression
+//! examples.
+
+use crate::{Image, ImageError};
+use std::collections::HashMap;
+
+/// Minimum and maximum sample value of an image.
+#[must_use]
+pub fn min_max(image: &Image) -> (i32, i32) {
+    let mut min = i32::MAX;
+    let mut max = i32::MIN;
+    for &v in image.samples() {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+/// Mean sample value.
+#[must_use]
+pub fn mean(image: &Image) -> f64 {
+    image.samples().iter().map(|&v| v as f64).sum::<f64>() / image.pixel_count() as f64
+}
+
+/// Sample variance (population form).
+#[must_use]
+pub fn variance(image: &Image) -> f64 {
+    let m = mean(image);
+    image.samples().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>()
+        / image.pixel_count() as f64
+}
+
+/// Zeroth-order entropy of the sample values in bits per pixel.
+///
+/// This is the information-theoretic lower bound for a memoryless coder and
+/// the usual yardstick compression examples report against.
+#[must_use]
+pub fn entropy_bits_per_pixel(image: &Image) -> f64 {
+    let mut counts: HashMap<i32, u64> = HashMap::new();
+    for &v in image.samples() {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let n = image.pixel_count() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Zeroth-order entropy of the horizontal first differences in bits per
+/// pixel — a crude but effective measure of how compressible the image is
+/// with any predictive/transform scheme.
+#[must_use]
+pub fn first_difference_entropy(image: &Image) -> f64 {
+    let mut counts: HashMap<i32, u64> = HashMap::new();
+    let mut n = 0u64;
+    for y in 0..image.height() {
+        let row = image.row(y);
+        for x in 1..row.len() {
+            *counts.entry(row[x] - row[x - 1]).or_insert(0) += 1;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Largest absolute pixel difference between two images.
+///
+/// A value of `0` is the paper's lossless criterion: *"the reconstructed
+/// image might be not numerically identical to the original one, on a
+/// pixel-by-pixel basis"* — we require that it is.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn max_abs_diff(a: &Image, b: &Image) -> Result<i32, ImageError> {
+    a.check_same_shape(b)?;
+    Ok(a.samples()
+        .iter()
+        .zip(b.samples())
+        .map(|(&x, &y)| (x - y).abs())
+        .max()
+        .unwrap_or(0))
+}
+
+/// Mean squared error between two images.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn mse(a: &Image, b: &Image) -> Result<f64, ImageError> {
+    a.check_same_shape(b)?;
+    let sum: f64 = a
+        .samples()
+        .iter()
+        .zip(b.samples())
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum();
+    Ok(sum / a.pixel_count() as f64)
+}
+
+/// Peak signal-to-noise ratio in dB, relative to the peak of `a`'s bit depth.
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn psnr(a: &Image, b: &Image) -> Result<f64, ImageError> {
+    let e = mse(a, b)?;
+    if e == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    let peak = a.max_sample() as f64;
+    Ok(10.0 * (peak * peak / e).log10())
+}
+
+/// Returns `true` when two images are identical pixel-by-pixel.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn bit_exact(a: &Image, b: &Image) -> Result<bool, ImageError> {
+    Ok(max_abs_diff(a, b)? == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn min_max_mean_variance_of_known_image() {
+        let img = Image::from_samples(2, 2, 8, vec![0, 2, 4, 6]).unwrap();
+        assert_eq!(min_max(&img), (0, 6));
+        assert_eq!(mean(&img), 3.0);
+        assert_eq!(variance(&img), 5.0);
+    }
+
+    #[test]
+    fn entropy_of_flat_image_is_zero() {
+        let img = synth::flat(16, 16, 12, 100);
+        assert_eq!(entropy_bits_per_pixel(&img), 0.0);
+        assert_eq!(first_difference_entropy(&img), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_random_image_approaches_bit_depth() {
+        let img = synth::random_image(128, 128, 8, 5);
+        let h = entropy_bits_per_pixel(&img);
+        assert!(h > 7.8 && h <= 8.0, "uniform 8-bit noise has ~8 bpp entropy, got {h}");
+    }
+
+    #[test]
+    fn difference_entropy_rewards_smoothness() {
+        let smooth = synth::gradient(128, 128, 12);
+        let noisy = synth::random_image(128, 128, 12, 5);
+        assert!(first_difference_entropy(&smooth) < 2.0);
+        assert!(first_difference_entropy(&noisy) > 10.0);
+    }
+
+    #[test]
+    fn diff_metrics_between_identical_images() {
+        let img = synth::ct_phantom(32, 32, 12, 0);
+        assert_eq!(max_abs_diff(&img, &img).unwrap(), 0);
+        assert_eq!(mse(&img, &img).unwrap(), 0.0);
+        assert_eq!(psnr(&img, &img).unwrap(), f64::INFINITY);
+        assert!(bit_exact(&img, &img).unwrap());
+    }
+
+    #[test]
+    fn diff_metrics_detect_single_pixel_change() {
+        let a = synth::flat(4, 4, 8, 10);
+        let mut samples = a.samples().to_vec();
+        samples[5] = 13;
+        let b = Image::from_samples(4, 4, 8, samples).unwrap();
+        assert_eq!(max_abs_diff(&a, &b).unwrap(), 3);
+        assert!((mse(&a, &b).unwrap() - 9.0 / 16.0).abs() < 1e-12);
+        assert!(!bit_exact(&a, &b).unwrap());
+        assert!(psnr(&a, &b).unwrap() > 40.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = synth::flat(4, 4, 8, 1);
+        let b = synth::flat(4, 8, 8, 1);
+        assert!(max_abs_diff(&a, &b).is_err());
+        assert!(mse(&a, &b).is_err());
+        assert!(psnr(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Synthetic workload generators.
+//!
+//! The paper validates its hardware on *"data taken from random images"* and
+//! motivates the design with 512×512 12-bit X-ray CT studies. Real patient
+//! data cannot ship with a reproduction, so these generators provide the
+//! closest synthetic equivalents:
+//!
+//! * [`random_image`] — uniformly random samples, the paper's own validation
+//!   input and the worst case for dynamic-range growth,
+//! * [`ct_phantom`] — a Shepp–Logan-style elliptical phantom with 12-bit
+//!   tissue contrast, mimicking the statistics of a CT slice,
+//! * [`mr_slice`] — a smooth anatomical background with superimposed fine
+//!   texture and mild noise, mimicking an MR acquisition,
+//! * [`gradient`] and [`checkerboard`] — deterministic patterns used by edge
+//!   case and schedule tests.
+
+use crate::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniformly random image of the given bit depth (each sample independent),
+/// reproducible from `seed`.
+///
+/// # Panics
+///
+/// Panics if the dimensions are zero or the bit depth is outside 1–16
+/// (programmer error in test/bench setup code).
+#[must_use]
+pub fn random_image(width: usize, height: usize, bit_depth: u32, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = (1i32 << bit_depth) - 1;
+    let samples = (0..width * height).map(|_| rng.gen_range(0..=max)).collect();
+    Image::from_samples(width, height, bit_depth, samples)
+        .expect("random_image parameters must be valid")
+}
+
+/// An ellipse description used by [`ct_phantom`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ellipse {
+    /// Center, as a fraction of the image size in [-1, 1].
+    cx: f64,
+    cy: f64,
+    /// Semi-axes as fractions of the half-size.
+    rx: f64,
+    ry: f64,
+    /// Rotation in radians.
+    theta: f64,
+    /// Additive intensity contribution in normalized units.
+    intensity: f64,
+}
+
+const PHANTOM_ELLIPSES: [Ellipse; 8] = [
+    Ellipse { cx: 0.0, cy: 0.0, rx: 0.92, ry: 0.69, theta: 1.5707963, intensity: 1.0 },
+    Ellipse { cx: 0.0, cy: -0.0184, rx: 0.874, ry: 0.6624, theta: 1.5707963, intensity: -0.8 },
+    Ellipse { cx: 0.22, cy: 0.0, rx: 0.31, ry: 0.11, theta: 1.2566370, intensity: -0.2 },
+    Ellipse { cx: -0.22, cy: 0.0, rx: 0.41, ry: 0.16, theta: 1.8849555, intensity: -0.2 },
+    Ellipse { cx: 0.0, cy: 0.35, rx: 0.25, ry: 0.21, theta: 1.5707963, intensity: 0.1 },
+    Ellipse { cx: 0.0, cy: 0.1, rx: 0.046, ry: 0.046, theta: 0.0, intensity: 0.15 },
+    Ellipse { cx: -0.08, cy: -0.605, rx: 0.046, ry: 0.023, theta: 0.0, intensity: 0.15 },
+    Ellipse { cx: 0.06, cy: -0.605, rx: 0.046, ry: 0.023, theta: 1.5707963, intensity: 0.15 },
+];
+
+/// A CT-like elliptical phantom (Shepp–Logan inspired) rendered at the given
+/// size and bit depth, with a small amount of acquisition noise controlled by
+/// `seed`.
+///
+/// The result has the large smooth regions, sharp tissue boundaries and
+/// bounded contrast typical of reconstructed CT slices — the workload the
+/// paper's compression target cares about.
+///
+/// # Panics
+///
+/// Panics on zero dimensions or unsupported bit depth.
+#[must_use]
+pub fn ct_phantom(width: usize, height: usize, bit_depth: u32, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = (1i32 << bit_depth) - 1;
+    let mut samples = Vec::with_capacity(width * height);
+    // 3×3 supersampling softens the tissue boundaries over about one pixel,
+    // like the finite resolution of a real reconstruction kernel. Without it
+    // every ellipse boundary would be an ideal step edge, which makes the
+    // phantom unrealistically hard to compress at small raster sizes.
+    const SS: usize = 3;
+    for y in 0..height {
+        for x in 0..width {
+            let mut v = 0.0;
+            for sy in 0..SS {
+                for sx in 0..SS {
+                    // Map the sub-sample to [-1, 1] coordinates.
+                    let fx = 2.0 * (x as f64 + (sx as f64 + 0.5) / SS as f64) / width as f64
+                        - 1.0;
+                    let fy = 2.0 * (y as f64 + (sy as f64 + 0.5) / SS as f64) / height as f64
+                        - 1.0;
+                    for e in &PHANTOM_ELLIPSES {
+                        let dx = fx - e.cx;
+                        let dy = fy - e.cy;
+                        let (s, c) = e.theta.sin_cos();
+                        let xr = dx * c + dy * s;
+                        let yr = -dx * s + dy * c;
+                        if (xr / e.rx).powi(2) + (yr / e.ry).powi(2) <= 1.0 {
+                            v += e.intensity;
+                        }
+                    }
+                }
+            }
+            v /= (SS * SS) as f64;
+            // Normalize into [0, 1], add a small amount of acquisition
+            // noise (a few grey levels, as in a well-dosed CT), quantize.
+            let noise = rng.gen_range(-0.001..0.001);
+            let norm = ((v + 0.2) / 1.4 + noise).clamp(0.0, 1.0);
+            samples.push((norm * max as f64).round() as i32);
+        }
+    }
+    Image::from_samples(width, height, bit_depth, samples)
+        .expect("ct_phantom parameters must be valid")
+}
+
+/// An MR-like slice: smooth low-frequency anatomy plus fine sinusoidal
+/// texture and mild noise.
+///
+/// # Panics
+///
+/// Panics on zero dimensions or unsupported bit depth.
+#[must_use]
+pub fn mr_slice(width: usize, height: usize, bit_depth: u32, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = (1i32 << bit_depth) - 1;
+    let mut samples = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let fx = x as f64 / width as f64;
+            let fy = y as f64 / height as f64;
+            // Smooth anatomy: two broad Gaussian-ish lobes.
+            let lobe = |cx: f64, cy: f64, s: f64| {
+                let d2 = (fx - cx).powi(2) + (fy - cy).powi(2);
+                (-d2 / s).exp()
+            };
+            let anatomy = 0.65 * lobe(0.38, 0.5, 0.06) + 0.65 * lobe(0.62, 0.5, 0.06);
+            // Fine texture (gyri-like ripples) plus acquisition noise.
+            let texture = 0.06 * ((fx * 40.0).sin() * (fy * 34.0).cos());
+            let noise = rng.gen_range(-0.01..0.01);
+            let norm = (anatomy + texture + noise).clamp(0.0, 1.0);
+            samples.push((norm * max as f64).round() as i32);
+        }
+    }
+    Image::from_samples(width, height, bit_depth, samples)
+        .expect("mr_slice parameters must be valid")
+}
+
+/// A horizontal gradient covering the full dynamic range — useful to probe
+/// border handling (the circular extension wraps a bright edge onto a dark
+/// one).
+///
+/// # Panics
+///
+/// Panics on zero dimensions or unsupported bit depth.
+#[must_use]
+pub fn gradient(width: usize, height: usize, bit_depth: u32) -> Image {
+    let max = (1i32 << bit_depth) - 1;
+    let samples = (0..width * height)
+        .map(|i| {
+            let x = i % width;
+            ((x as i64 * max as i64) / (width.max(2) as i64 - 1)) as i32
+        })
+        .collect();
+    Image::from_samples(width, height, bit_depth, samples)
+        .expect("gradient parameters must be valid")
+}
+
+/// A full-contrast checkerboard with `period`-pixel squares — the highest
+/// frequency content possible, maximizing detail-band energy.
+///
+/// # Panics
+///
+/// Panics on zero dimensions, unsupported bit depth or zero period.
+#[must_use]
+pub fn checkerboard(width: usize, height: usize, bit_depth: u32, period: usize) -> Image {
+    assert!(period > 0, "checkerboard period must be positive");
+    let max = (1i32 << bit_depth) - 1;
+    let samples = (0..width * height)
+        .map(|i| {
+            let x = (i % width) / period;
+            let y = (i / width) / period;
+            if (x + y) % 2 == 0 {
+                max
+            } else {
+                0
+            }
+        })
+        .collect();
+    Image::from_samples(width, height, bit_depth, samples)
+        .expect("checkerboard parameters must be valid")
+}
+
+/// A constant (flat) image — the degenerate case where every detail subband
+/// must be exactly zero for a DC-preserving filter bank.
+///
+/// # Panics
+///
+/// Panics on zero dimensions, unsupported bit depth or out-of-range value.
+#[must_use]
+pub fn flat(width: usize, height: usize, bit_depth: u32, value: i32) -> Image {
+    Image::from_samples(width, height, bit_depth, vec![value; width * height])
+        .expect("flat parameters must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn random_image_is_reproducible_and_in_range() {
+        let a = random_image(32, 16, 12, 42);
+        let b = random_image(32, 16, 12, 42);
+        let c = random_image(32, 16, 12, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.samples().iter().all(|&v| (0..=4095).contains(&v)));
+    }
+
+    #[test]
+    fn ct_phantom_has_structure() {
+        let img = ct_phantom(64, 64, 12, 1);
+        // The phantom has both dark background and bright tissue.
+        let (min, max) = stats::min_max(&img);
+        assert!(min < 1000, "background should be dark, min={min}");
+        assert!(max > 2500, "tissue should be bright, max={max}");
+        // The center belongs to the head ellipse, the corner to background.
+        assert!(img.get(32, 32) > img.get(1, 1));
+    }
+
+    #[test]
+    fn ct_phantom_is_smoother_than_noise() {
+        let phantom = ct_phantom(64, 64, 12, 1);
+        let noise = random_image(64, 64, 12, 1);
+        assert!(stats::first_difference_entropy(&phantom) < stats::first_difference_entropy(&noise));
+    }
+
+    #[test]
+    fn mr_slice_in_range_and_structured() {
+        let img = mr_slice(64, 64, 12, 3);
+        assert!(img.samples().iter().all(|&v| (0..=4095).contains(&v)));
+        // The lobes are brighter than the corners.
+        assert!(img.get(24, 32) > img.get(0, 0));
+    }
+
+    #[test]
+    fn gradient_spans_range() {
+        let img = gradient(64, 4, 8);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(63, 0), 255);
+        assert!(img.get(32, 0) > img.get(16, 0));
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(8, 8, 8, 2);
+        assert_eq!(img.get(0, 0), 255);
+        assert_eq!(img.get(2, 0), 0);
+        assert_eq!(img.get(0, 2), 0);
+        assert_eq!(img.get(2, 2), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn checkerboard_rejects_zero_period() {
+        let _ = checkerboard(8, 8, 8, 0);
+    }
+
+    #[test]
+    fn flat_image_is_constant() {
+        let img = flat(16, 16, 12, 1234);
+        assert!(img.samples().iter().all(|&v| v == 1234));
+    }
+
+    #[test]
+    fn generators_honour_requested_shape() {
+        for img in [
+            random_image(48, 24, 10, 0),
+            ct_phantom(48, 24, 10, 0),
+            mr_slice(48, 24, 10, 0),
+            gradient(48, 24, 10),
+            checkerboard(48, 24, 10, 3),
+            flat(48, 24, 10, 7),
+        ] {
+            assert_eq!(img.width(), 48);
+            assert_eq!(img.height(), 24);
+            assert_eq!(img.bit_depth(), 10);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the lifting transform.
+
+use lwc_image::ImageError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the lifting transform.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LiftingError {
+    /// The image dimensions cannot be decomposed to the requested depth.
+    NotDecomposable {
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+        /// Requested scales.
+        scales: u32,
+    },
+    /// Zero scales requested.
+    NoScales,
+    /// The coefficient set passed to the inverse transform has a different
+    /// geometry or depth.
+    ConfigurationMismatch(String),
+    /// An image container problem.
+    Image(ImageError),
+}
+
+impl fmt::Display for LiftingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftingError::NotDecomposable { width, height, scales } => write!(
+                f,
+                "a {width}x{height} image cannot be lifted over {scales} scales"
+            ),
+            LiftingError::NoScales => write!(f, "at least one scale is required"),
+            LiftingError::ConfigurationMismatch(msg) => {
+                write!(f, "configuration mismatch: {msg}")
+            }
+            LiftingError::Image(e) => write!(f, "image error: {e}"),
+        }
+    }
+}
+
+impl Error for LiftingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LiftingError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImageError> for LiftingError {
+    fn from(e: ImageError) -> Self {
+        LiftingError::Image(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LiftingError::NotDecomposable { width: 10, height: 6, scales: 3 };
+        assert!(e.to_string().contains("10x6"));
+        assert!(Error::source(&e).is_none());
+        let e = LiftingError::from(ImageError::InvalidBitDepth(0));
+        assert!(Error::source(&e).is_some());
+    }
+}

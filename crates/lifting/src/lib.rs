@@ -1,0 +1,54 @@
+//! # lwc-lifting — reversible integer 5/3 lifting transform (baseline)
+//!
+//! The paper achieves losslessness by giving the conventional filter-bank
+//! datapath enough fixed-point precision. The modern alternative — adopted a
+//! few years later by JPEG 2000 — is the **lifting scheme** with integer
+//! rounding inside each lifting step, which is reversible by construction at
+//! any word length. This crate implements the reversible LeGall 5/3 lifting
+//! transform (the integer relative of the paper's F4 bank) as:
+//!
+//! * an algorithmic **baseline/ablation** against the wide-word approach
+//!   (identical lossless guarantee, different arithmetic cost), and
+//! * the transform behind the end-to-end compression examples, because its
+//!   integer subbands feed an entropy coder directly.
+//!
+//! The 2-D transform uses the same Mallat layout and symmetric (mirror)
+//! boundary extension as JPEG 2000.
+//!
+//! ```
+//! use lwc_lifting::Lifting53;
+//! use lwc_image::synth;
+//!
+//! # fn main() -> Result<(), lwc_lifting::LiftingError> {
+//! let image = synth::ct_phantom(64, 64, 12, 0);
+//! let lifting = Lifting53::new(3)?;
+//! let coeffs = lifting.forward(&image)?;
+//! let back = lifting.inverse(&coeffs)?;
+//! assert_eq!(lwc_image::stats::max_abs_diff(&image, &back)?, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lifting1d;
+mod transform;
+
+pub use error::LiftingError;
+pub use lifting1d::{forward_53, inverse_53};
+pub use transform::{Lifting53, LiftingCoefficients};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Lifting53>();
+        assert_send_sync::<LiftingCoefficients>();
+        assert_send_sync::<LiftingError>();
+    }
+}

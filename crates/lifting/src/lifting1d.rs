@@ -1,0 +1,174 @@
+//! One-dimensional reversible 5/3 lifting steps.
+//!
+//! The reversible LeGall 5/3 transform (JPEG 2000 Part 1, Annex F):
+//!
+//! ```text
+//! predict: d[k] = x[2k+1] - floor((x[2k] + x[2k+2]) / 2)
+//! update:  a[k] = x[2k]   + floor((d[k-1] + d[k] + 2) / 4)
+//! ```
+//!
+//! with symmetric (mirror) extension at the borders. Every step adds an
+//! integer to an integer, so the inverse recovers the input exactly at any
+//! word length — the property the paper instead buys with a wide datapath.
+
+/// Forward reversible 5/3 lifting of an even-length signal, returning
+/// `(approximation, detail)`.
+///
+/// # Panics
+///
+/// Panics if `x` has an odd length or fewer than 2 samples.
+#[must_use]
+pub fn forward_53(x: &[i32]) -> (Vec<i32>, Vec<i32>) {
+    let n = x.len();
+    assert!(n >= 2 && n % 2 == 0, "signal length must be even and non-zero, got {n}");
+    let half = n / 2;
+    // Mirror extension helper for even (x[2k]) samples.
+    let even = |k: i64| -> i64 {
+        let k = mirror(k, half as i64);
+        x[2 * k as usize] as i64
+    };
+    let odd = |k: i64| -> i64 {
+        let k = mirror(k, half as i64);
+        x[2 * k as usize + 1] as i64
+    };
+
+    // Predict step.
+    let mut detail = Vec::with_capacity(half);
+    for k in 0..half as i64 {
+        let predicted = (even(k) + even(k + 1)).div_euclid(2);
+        detail.push((odd(k) - predicted) as i32);
+    }
+    // Update step.
+    let d = |k: i64| -> i64 {
+        let k = mirror(k, half as i64);
+        detail[k as usize] as i64
+    };
+    let mut approx = Vec::with_capacity(half);
+    for k in 0..half as i64 {
+        let update = (d(k - 1) + d(k) + 2).div_euclid(4);
+        approx.push((even(k) + update) as i32);
+    }
+    (approx, detail)
+}
+
+/// Inverse reversible 5/3 lifting, reconstructing the interleaved signal.
+///
+/// # Panics
+///
+/// Panics if the halves have different lengths or are empty.
+#[must_use]
+pub fn inverse_53(approx: &[i32], detail: &[i32]) -> Vec<i32> {
+    assert_eq!(approx.len(), detail.len(), "subband lengths must match");
+    assert!(!approx.is_empty(), "subbands must not be empty");
+    let half = approx.len();
+    let d = |k: i64| -> i64 {
+        let k = mirror(k, half as i64);
+        detail[k as usize] as i64
+    };
+    // Undo the update step to recover the even samples.
+    let mut even = Vec::with_capacity(half);
+    for k in 0..half as i64 {
+        let update = (d(k - 1) + d(k) + 2).div_euclid(4);
+        even.push(approx[k as usize] as i64 - update);
+    }
+    let e = |k: i64| -> i64 {
+        let k = mirror(k, half as i64);
+        even[k as usize]
+    };
+    // Undo the predict step to recover the odd samples, interleaving.
+    let mut out = Vec::with_capacity(half * 2);
+    for k in 0..half as i64 {
+        let predicted = (e(k) + e(k + 1)).div_euclid(2);
+        out.push(even[k as usize] as i32);
+        out.push((d(k) + predicted) as i32);
+    }
+    out
+}
+
+/// Symmetric (whole-sample mirror) index extension into `0..n`.
+fn mirror(k: i64, n: i64) -> i64 {
+    if n == 1 {
+        return 0;
+    }
+    let period = 2 * (n - 1);
+    let mut k = k.rem_euclid(period);
+    if k >= n {
+        k = period - k;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn mirror_extension_reflects_indices() {
+        assert_eq!(mirror(0, 4), 0);
+        assert_eq!(mirror(-1, 4), 1);
+        assert_eq!(mirror(-2, 4), 2);
+        assert_eq!(mirror(4, 4), 2);
+        assert_eq!(mirror(5, 4), 1);
+        assert_eq!(mirror(3, 1), 0);
+    }
+
+    #[test]
+    fn roundtrip_is_exact_for_random_signals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [2usize, 4, 8, 16, 64, 250] {
+            let x: Vec<i32> = (0..n).map(|_| rng.gen_range(-4096..4096)).collect();
+            let (a, d) = forward_53(&x);
+            assert_eq!(a.len(), n / 2);
+            assert_eq!(d.len(), n / 2);
+            let y = inverse_53(&a, &d);
+            assert_eq!(x, y, "n={n}");
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_zero_detail() {
+        let x = vec![77; 16];
+        let (a, d) = forward_53(&x);
+        assert!(d.iter().all(|&v| v == 0));
+        assert!(a.iter().all(|&v| v == 77), "5/3 approximation preserves DC level");
+    }
+
+    #[test]
+    fn ramp_has_small_detail() {
+        let x: Vec<i32> = (0..32).collect();
+        let (_a, d) = forward_53(&x);
+        assert!(
+            d.iter().all(|&v| v.abs() <= 2),
+            "a ramp is predicted almost exactly (mirror boundary allows a residual of 2): {d:?}"
+        );
+    }
+
+    #[test]
+    fn detail_captures_high_frequency() {
+        let x: Vec<i32> = (0..32).map(|i| if i % 2 == 0 { 0 } else { 100 }).collect();
+        let (_a, d) = forward_53(&x);
+        assert!(d.iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let x = vec![i32::MAX / 4, i32::MIN / 4, i32::MAX / 4, i32::MIN / 4];
+        let (a, d) = forward_53(&x);
+        let y = inverse_53(&a, &d);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_rejected() {
+        let _ = forward_53(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_halves_rejected() {
+        let _ = inverse_53(&[1, 2], &[3]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Two-dimensional reversible 5/3 transform in the Mallat layout.
+
+use crate::lifting1d::{forward_53, inverse_53};
+use crate::LiftingError;
+use lwc_image::Image;
+
+/// Integer wavelet coefficients in the Mallat layout, produced by
+/// [`Lifting53::forward`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiftingCoefficients {
+    data: Vec<i32>,
+    width: usize,
+    height: usize,
+    scales: u32,
+    input_bit_depth: u32,
+}
+
+impl LiftingCoefficients {
+    /// Assembles a coefficient container from a Mallat-layout buffer — the
+    /// entry point used by entropy decoders that rebuild the layout subband
+    /// by subband.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftingError::NotDecomposable`] if the geometry does not
+    /// support `scales` scales or the buffer length does not match.
+    pub fn from_raw(
+        data: Vec<i32>,
+        width: usize,
+        height: usize,
+        scales: u32,
+        input_bit_depth: u32,
+    ) -> Result<Self, LiftingError> {
+        if scales == 0 {
+            return Err(LiftingError::NoScales);
+        }
+        check_decomposable(width, height, scales)?;
+        if data.len() != width * height {
+            return Err(LiftingError::ConfigurationMismatch(format!(
+                "buffer holds {} samples but the layout needs {}",
+                data.len(),
+                width * height
+            )));
+        }
+        Ok(Self { data, width, height, scales, input_bit_depth })
+    }
+
+    /// Width of the layout.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the layout.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Decomposition depth.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.scales
+    }
+
+    /// Bit depth of the source image.
+    #[must_use]
+    pub fn input_bit_depth(&self) -> u32 {
+        self.input_bit_depth
+    }
+
+    /// The whole coefficient buffer, row major, Mallat layout.
+    #[must_use]
+    pub fn data(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Copies the samples of one subband. `band` is indexed like
+    /// `lwc_dwt::Subband`: 0 = approximation, 1 = horizontal detail,
+    /// 2 = vertical detail, 3 = diagonal detail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is out of range or `band > 3`.
+    #[must_use]
+    pub fn subband(&self, scale: u32, band: usize) -> Vec<i32> {
+        assert!(scale >= 1 && scale <= self.scales, "scale {scale} out of range");
+        assert!(band <= 3, "band {band} out of range");
+        let w = self.width >> scale;
+        let h = self.height >> scale;
+        let (x0, y0) = match band {
+            0 => (0, 0),
+            1 => (w, 0),
+            2 => (0, h),
+            _ => (w, h),
+        };
+        let mut out = Vec::with_capacity(w * h);
+        for y in y0..y0 + h {
+            let start = y * self.width + x0;
+            out.extend_from_slice(&self.data[start..start + w]);
+        }
+        out
+    }
+}
+
+/// The reversible 2-D LeGall 5/3 lifting transform.
+///
+/// See the crate documentation for an end-to-end example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifting53 {
+    scales: u32,
+}
+
+impl Lifting53 {
+    /// Creates a transform with the given decomposition depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftingError::NoScales`] if `scales` is zero.
+    pub fn new(scales: u32) -> Result<Self, LiftingError> {
+        if scales == 0 {
+            return Err(LiftingError::NoScales);
+        }
+        Ok(Self { scales })
+    }
+
+    /// Decomposition depth.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.scales
+    }
+
+    /// Forward reversible transform of `image`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftingError::NotDecomposable`] if the image does not
+    /// support the configured depth.
+    pub fn forward(&self, image: &Image) -> Result<LiftingCoefficients, LiftingError> {
+        check_decomposable(image.width(), image.height(), self.scales)?;
+        let width = image.width();
+        let height = image.height();
+        let mut data = image.samples().to_vec();
+        let mut cur_w = width;
+        let mut cur_h = height;
+        for _ in 0..self.scales {
+            forward_scale(&mut data, width, cur_w, cur_h);
+            cur_w /= 2;
+            cur_h /= 2;
+        }
+        Ok(LiftingCoefficients {
+            data,
+            width,
+            height,
+            scales: self.scales,
+            input_bit_depth: image.bit_depth(),
+        })
+    }
+
+    /// Inverse reversible transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftingError::ConfigurationMismatch`] if the coefficients
+    /// carry a different depth, or an image error if the reconstructed
+    /// samples fall outside the original bit depth (impossible for
+    /// coefficients produced by [`Lifting53::forward`]).
+    pub fn inverse(&self, coeffs: &LiftingCoefficients) -> Result<Image, LiftingError> {
+        if coeffs.scales != self.scales {
+            return Err(LiftingError::ConfigurationMismatch(format!(
+                "coefficients have {} scales but the transform expects {}",
+                coeffs.scales, self.scales
+            )));
+        }
+        let width = coeffs.width;
+        let height = coeffs.height;
+        let mut data = coeffs.data.clone();
+        for s in (1..=self.scales).rev() {
+            let cur_w = width >> (s - 1);
+            let cur_h = height >> (s - 1);
+            inverse_scale(&mut data, width, cur_w, cur_h);
+        }
+        Ok(Image::from_samples(width, height, coeffs.input_bit_depth, data)?)
+    }
+
+    /// Convenience round trip used by tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lifting53::forward`] and [`Lifting53::inverse`].
+    pub fn roundtrip(&self, image: &Image) -> Result<Image, LiftingError> {
+        let c = self.forward(image)?;
+        self.inverse(&c)
+    }
+}
+
+fn check_decomposable(width: usize, height: usize, scales: u32) -> Result<(), LiftingError> {
+    let mut w = width;
+    let mut h = height;
+    for _ in 0..scales {
+        if w < 2 || h < 2 || w % 2 != 0 || h % 2 != 0 {
+            return Err(LiftingError::NotDecomposable { width, height, scales });
+        }
+        w /= 2;
+        h /= 2;
+    }
+    Ok(())
+}
+
+fn forward_scale(data: &mut [i32], stride: usize, cur_w: usize, cur_h: usize) {
+    let mut row = vec![0i32; cur_w];
+    for y in 0..cur_h {
+        let base = y * stride;
+        row.copy_from_slice(&data[base..base + cur_w]);
+        let (a, d) = forward_53(&row);
+        data[base..base + cur_w / 2].copy_from_slice(&a);
+        data[base + cur_w / 2..base + cur_w].copy_from_slice(&d);
+    }
+    let mut col = vec![0i32; cur_h];
+    for x in 0..cur_w {
+        for y in 0..cur_h {
+            col[y] = data[y * stride + x];
+        }
+        let (a, d) = forward_53(&col);
+        for y in 0..cur_h / 2 {
+            data[y * stride + x] = a[y];
+            data[(y + cur_h / 2) * stride + x] = d[y];
+        }
+    }
+}
+
+fn inverse_scale(data: &mut [i32], stride: usize, cur_w: usize, cur_h: usize) {
+    let mut approx = vec![0i32; cur_h / 2];
+    let mut detail = vec![0i32; cur_h / 2];
+    for x in 0..cur_w {
+        for y in 0..cur_h / 2 {
+            approx[y] = data[y * stride + x];
+            detail[y] = data[(y + cur_h / 2) * stride + x];
+        }
+        let col = inverse_53(&approx, &detail);
+        for (y, &v) in col.iter().enumerate() {
+            data[y * stride + x] = v;
+        }
+    }
+    let mut approx = vec![0i32; cur_w / 2];
+    let mut detail = vec![0i32; cur_w / 2];
+    for y in 0..cur_h {
+        let base = y * stride;
+        approx.copy_from_slice(&data[base..base + cur_w / 2]);
+        detail.copy_from_slice(&data[base + cur_w / 2..base + cur_w]);
+        let row = inverse_53(&approx, &detail);
+        data[base..base + cur_w].copy_from_slice(&row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_image::{stats, synth};
+
+    #[test]
+    fn roundtrip_is_exact_on_all_workloads() {
+        let lifting = Lifting53::new(4).unwrap();
+        for image in [
+            synth::random_image(64, 64, 12, 1),
+            synth::ct_phantom(64, 64, 12, 2),
+            synth::mr_slice(64, 64, 12, 3),
+            synth::checkerboard(64, 64, 12, 1),
+            synth::gradient(64, 64, 12),
+        ] {
+            let back = lifting.roundtrip(&image).unwrap();
+            assert_eq!(stats::max_abs_diff(&image, &back).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn rectangular_and_deep_decompositions_work() {
+        let lifting = Lifting53::new(6).unwrap();
+        let image = synth::random_image(128, 64, 12, 5);
+        let back = lifting.roundtrip(&image).unwrap();
+        assert_eq!(stats::max_abs_diff(&image, &back).unwrap(), 0);
+    }
+
+    #[test]
+    fn detail_subbands_of_smooth_images_are_small() {
+        let lifting = Lifting53::new(2).unwrap();
+        let coeffs = lifting.forward(&synth::gradient(64, 64, 12)).unwrap();
+        for band in 1..=3 {
+            let max = coeffs.subband(1, band).iter().map(|v| v.abs()).max().unwrap();
+            // The gradient steps by ~65 grey levels per pixel; detail stays
+            // within a couple of steps (mirror boundary doubles one of them),
+            // i.e. tiny compared with the 4095 dynamic range.
+            assert!(max <= 150, "band {band}: max {max}");
+        }
+        // The approximation keeps the DC level (unlike the √2-gain banks).
+        let approx = coeffs.subband(2, 0);
+        let max_in = 4095;
+        assert!(approx.iter().all(|&v| v.abs() <= 2 * max_in));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(Lifting53::new(0).is_err());
+        let lifting = Lifting53::new(5).unwrap();
+        let image = synth::flat(48, 48, 8, 0);
+        assert!(matches!(
+            lifting.forward(&image),
+            Err(LiftingError::NotDecomposable { .. })
+        ));
+        let coeffs = Lifting53::new(2).unwrap().forward(&synth::flat(32, 32, 8, 1)).unwrap();
+        assert!(matches!(
+            Lifting53::new(3).unwrap().inverse(&coeffs),
+            Err(LiftingError::ConfigurationMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn accessors_report_geometry() {
+        let lifting = Lifting53::new(2).unwrap();
+        assert_eq!(lifting.scales(), 2);
+        let coeffs = lifting.forward(&synth::flat(32, 16, 12, 5)).unwrap();
+        assert_eq!(coeffs.width(), 32);
+        assert_eq!(coeffs.height(), 16);
+        assert_eq!(coeffs.scales(), 2);
+        assert_eq!(coeffs.input_bit_depth(), 12);
+        assert_eq!(coeffs.data().len(), 512);
+        assert_eq!(coeffs.subband(1, 3).len(), 16 * 8);
+    }
+
+    #[test]
+    fn flat_image_detail_is_zero_and_approx_preserves_level() {
+        let lifting = Lifting53::new(3).unwrap();
+        let coeffs = lifting.forward(&synth::flat(64, 64, 12, 1000)).unwrap();
+        for s in 1..=3 {
+            for band in 1..=3 {
+                assert!(coeffs.subband(s, band).iter().all(|&v| v == 0));
+            }
+        }
+        assert!(coeffs.subband(3, 0).iter().all(|&v| v == 1000));
+    }
+}

@@ -1,0 +1,40 @@
+//! # lwc-perf — arithmetic complexity and performance models
+//!
+//! Section 2 of the paper counts the multiply–accumulate (MAC) operations of
+//! the forward DWT (Eq. 1 and Eq. 2), observes that a 133 MHz Pentium needs
+//! 42 s for a 512×512, 6-scale, 13-tap transform, and the conclusions claim
+//! the proposed 33 MHz architecture delivers 3.5 images/s — roughly **154×**
+//! faster. This crate provides those models:
+//!
+//! * [`macs`] — the per-scale and total MAC counts of Eq. (1)/(2), plus an
+//!   exact operation count obtained by instrumenting the transform,
+//! * [`software`] — a software execution-time model calibrated on the paper's
+//!   Pentium figure, together with a measurement helper that times the actual
+//!   Rust implementation on the host,
+//! * [`hardware`] — cycles → seconds → images/s for the dedicated datapath,
+//!   and the speedup relative to the software model.
+//!
+//! ```
+//! use lwc_perf::macs;
+//!
+//! // Eq. (2) with the paper's parameters: N = 512, L = 13, S = 6.
+//! let total = macs::total_macs(512, 13, 13, 6);
+//! assert!((total as f64 - 8.99e6).abs() / 8.99e6 < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hardware;
+pub mod macs;
+pub mod software;
+
+#[cfg(test)]
+mod crate_tests {
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::software::SoftwareModel>();
+        assert_send_sync::<crate::hardware::HardwareModel>();
+    }
+}

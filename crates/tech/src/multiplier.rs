@@ -1,0 +1,168 @@
+//! Multiplier area/delay model — Table V of the paper.
+
+use std::fmt;
+
+/// The two 32×32 multiplier implementations the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MultiplierDesign {
+    /// The multiplier produced by the ES2 megacell compiler: small but too
+    /// slow for a 25 ns cycle.
+    Compiled,
+    /// The custom two-stage pipelined Wallace-tree multiplier: larger, but
+    /// its per-stage delay fits the 25 ns clock.
+    PipelinedWallace,
+}
+
+impl fmt::Display for MultiplierDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiplierDesign::Compiled => f.write_str("ES2 compiled"),
+            MultiplierDesign::PipelinedWallace => f.write_str("2-stage pipelined Wallace tree"),
+        }
+    }
+}
+
+/// One row of Table V: a 32×32 multiplier implementation with its access time
+/// and cell area under worst-case industrial conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiplierModel {
+    /// Which implementation this row describes.
+    pub design: MultiplierDesign,
+    /// Operand width in bits (32 in the paper).
+    pub width_bits: u32,
+    /// Access (propagation) time in nanoseconds.
+    pub access_time_ns: f64,
+    /// Cell area in mm².
+    pub area_mm2: f64,
+    /// Pipeline depth (1 for the combinational compiled cell).
+    pub pipeline_stages: u32,
+}
+
+/// Table V exactly as printed: the compiled and the pipelined 32×32
+/// multiplier.
+pub const TABLE5_PAPER: [MultiplierModel; 2] = [
+    MultiplierModel {
+        design: MultiplierDesign::Compiled,
+        width_bits: 32,
+        access_time_ns: 50.88,
+        area_mm2: 2.92,
+        pipeline_stages: 1,
+    },
+    MultiplierModel {
+        design: MultiplierDesign::PipelinedWallace,
+        width_bits: 32,
+        access_time_ns: 23.45,
+        area_mm2: 8.03,
+        pipeline_stages: 2,
+    },
+];
+
+impl MultiplierModel {
+    /// The paper's row for `design`.
+    #[must_use]
+    pub fn paper(design: MultiplierDesign) -> Self {
+        match design {
+            MultiplierDesign::Compiled => TABLE5_PAPER[0],
+            MultiplierDesign::PipelinedWallace => TABLE5_PAPER[1],
+        }
+    }
+
+    /// Scales the model to a different operand width, using the usual
+    /// first-order rules: array area grows quadratically with the width,
+    /// carry/compression delay grows logarithmically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero.
+    #[must_use]
+    pub fn scaled_to_width(&self, width_bits: u32) -> Self {
+        assert!(width_bits > 0, "multiplier width must be positive");
+        let ratio = width_bits as f64 / self.width_bits as f64;
+        let delay_ratio = ((width_bits as f64).log2() / (self.width_bits as f64).log2()).max(0.1);
+        Self {
+            design: self.design,
+            width_bits,
+            access_time_ns: self.access_time_ns * delay_ratio,
+            area_mm2: self.area_mm2 * ratio * ratio,
+            pipeline_stages: self.pipeline_stages,
+        }
+    }
+
+    /// Whether the multiplier can issue one operation per `clock_ns`
+    /// nanoseconds (each pipeline stage must fit the clock period).
+    #[must_use]
+    pub fn meets_clock(&self, clock_ns: f64) -> bool {
+        self.access_time_ns / f64::from(self.pipeline_stages) <= clock_ns + 1e-9
+            && (self.pipeline_stages == 1 || self.access_time_ns <= 2.0 * clock_ns)
+    }
+
+    /// Highest sustained operating frequency in Hz (one result per cycle once
+    /// the pipeline is full).
+    #[must_use]
+    pub fn max_frequency_hz(&self) -> f64 {
+        1.0e9 / (self.access_time_ns / f64::from(self.pipeline_stages))
+    }
+}
+
+impl fmt::Display for MultiplierModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}x{}: {:.2} ns, {:.2} mm2",
+            self.design, self.width_bits, self.width_bits, self.access_time_ns, self.area_mm2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_rows_match_the_paper() {
+        let compiled = MultiplierModel::paper(MultiplierDesign::Compiled);
+        assert_eq!(compiled.access_time_ns, 50.88);
+        assert_eq!(compiled.area_mm2, 2.92);
+        let pipelined = MultiplierModel::paper(MultiplierDesign::PipelinedWallace);
+        assert_eq!(pipelined.access_time_ns, 23.45);
+        assert_eq!(pipelined.area_mm2, 8.03);
+        assert_eq!(pipelined.pipeline_stages, 2);
+    }
+
+    #[test]
+    fn only_the_pipelined_design_meets_the_25ns_clock() {
+        // Section 4.2: the compiled multiplier is "too slow for our
+        // purposes"; the pipelined one allows a 25 ns clock period.
+        let clock_ns = 25.0;
+        assert!(!MultiplierModel::paper(MultiplierDesign::Compiled).meets_clock(clock_ns));
+        assert!(MultiplierModel::paper(MultiplierDesign::PipelinedWallace).meets_clock(clock_ns));
+    }
+
+    #[test]
+    fn pipelined_design_pays_area_for_speed() {
+        let compiled = MultiplierModel::paper(MultiplierDesign::Compiled);
+        let pipelined = MultiplierModel::paper(MultiplierDesign::PipelinedWallace);
+        assert!(pipelined.area_mm2 > 2.0 * compiled.area_mm2);
+        assert!(pipelined.max_frequency_hz() > compiled.max_frequency_hz());
+        assert!(pipelined.max_frequency_hz() >= 33.0e6);
+    }
+
+    #[test]
+    fn width_scaling_is_monotonic() {
+        let base = MultiplierModel::paper(MultiplierDesign::Compiled);
+        let narrow = base.scaled_to_width(16);
+        let wide = base.scaled_to_width(64);
+        assert!(narrow.area_mm2 < base.area_mm2);
+        assert!(wide.area_mm2 > base.area_mm2);
+        assert!(narrow.access_time_ns < base.access_time_ns);
+        assert!(wide.access_time_ns > base.access_time_ns);
+        assert!((narrow.area_mm2 - base.area_mm2 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let s = MultiplierModel::paper(MultiplierDesign::PipelinedWallace).to_string();
+        assert!(s.contains("Wallace"));
+        assert!(s.contains("8.03"));
+    }
+}

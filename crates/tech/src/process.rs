@@ -1,0 +1,51 @@
+//! Process description.
+
+use std::fmt;
+
+/// A CMOS process node, the container for the calibrated cell models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Process {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Drawn feature size in micrometres.
+    pub feature_um: f64,
+    /// Shortest clock period the paper's datapath targets on this process,
+    /// in nanoseconds (25 ns in the paper, run at a 30 ns / 33 MHz system
+    /// clock).
+    pub target_clock_ns: f64,
+}
+
+impl Process {
+    /// The ES2 ECPD07-like 0.7 µm process the paper uses.
+    #[must_use]
+    pub fn es2_ecpd07() -> Self {
+        Self { name: "ES2 ECPD07-class 0.7 um CMOS", feature_um: 0.7, target_clock_ns: 25.0 }
+    }
+
+    /// System clock frequency in Hz implied by a 30 ns cycle (the paper's
+    /// 33 MHz figure).
+    #[must_use]
+    pub fn system_clock_hz(&self) -> f64 {
+        33.0e6
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} um)", self.name, self.feature_um)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_process_parameters() {
+        let p = Process::es2_ecpd07();
+        assert_eq!(p.feature_um, 0.7);
+        assert_eq!(p.target_clock_ns, 25.0);
+        assert_eq!(p.system_clock_hz(), 33.0e6);
+        assert!(p.to_string().contains("0.7"));
+    }
+}

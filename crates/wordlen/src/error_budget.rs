@@ -1,0 +1,145 @@
+//! Statistical rounding-error budget for the lossless criterion.
+//!
+//! Every pass through the alignment/rounding unit perturbs a value by at most
+//! half an LSB of the destination format. The reconstruction is bit exact as
+//! long as the error accumulated over the forward and inverse transforms
+//! stays below half an LSB of the *input* format (±0.5 of an integer pixel),
+//! so that the final rounding snaps back to the original value.
+//!
+//! A strict worst-case bound (all rounding errors aligned, amplified by the
+//! worst-case synthesis gain at every stage) is hopelessly pessimistic — it
+//! exceeds ±0.5 even for configurations the paper demonstrates to be
+//! lossless. The paper and its companion reference \[16\] therefore argue
+//! statistically and confirm by simulation. This module provides the same
+//! kind of statistical estimate: rounding errors are modelled as independent,
+//! uniform in ±½ LSB, propagated through a filter bank whose ℓ² gain is
+//! close to one (the Table I banks are near-orthonormal), and reported as a
+//! three-sigma excursion. [`ErrorBudget::predicts_lossless`] is a *prediction*
+//! to be confirmed by the exact fixed-point round-trip tests in `lwc-dwt`,
+//! not a proof.
+
+use crate::WordLengthPlan;
+use lwc_filters::FilterBank;
+
+/// Statistical estimate of the reconstruction error (in input LSBs) after a
+/// forward + inverse transform with a given plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// Root-mean-square reconstruction error estimate, in input-image LSBs.
+    pub rms_error: f64,
+    /// Three-sigma excursion of the reconstruction error.
+    pub three_sigma: f64,
+    /// Deterministic contribution of coefficient quantization.
+    pub coefficient_error: f64,
+}
+
+impl ErrorBudget {
+    /// Estimated worst practical excursion: three sigma plus the
+    /// deterministic coefficient-quantization part.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.three_sigma + self.coefficient_error
+    }
+
+    /// Whether the estimate predicts a bit-exact round trip
+    /// (total below 0.5 input LSBs).
+    #[must_use]
+    pub fn predicts_lossless(&self) -> bool {
+        self.total() < 0.5
+    }
+}
+
+/// Estimates the round-trip error of `plan` applied to `bank` on images whose
+/// samples are bounded by `input_peak` (4095 for 12-bit data).
+///
+/// The model charges, per scale and per transform direction, `2·L`
+/// independent uniform(±½ LSB) roundings per reconstructed pixel (row and
+/// column pass, `L` taps each), carried back to the pixel domain with unit
+/// ℓ² gain, plus the deterministic coefficient-quantization error
+/// `2·L·2^-frac(coeff)·input_peak`.
+#[must_use]
+pub fn error_budget(bank: &FilterBank, plan: &WordLengthPlan, input_peak: f64) -> ErrorBudget {
+    let taps = bank.max_len() as f64;
+    let mut variance = 0.0;
+    for s in 1..=plan.scales() {
+        let lsb_s = (plan.frac_bits_for_scale(s) as f64).exp2().recip();
+        let lsb_prev = (plan.frac_bits_for_scale(s - 1) as f64).exp2().recip();
+        // Forward: the coefficients stored at scale s carry two roundings
+        // (row + column pass) in the scale-s format.
+        variance += 2.0 * taps * lsb_s * lsb_s / 12.0;
+        // Inverse: reconstructing scale s-1 data rounds again in the
+        // scale-(s-1) format.
+        variance += 2.0 * taps * lsb_prev * lsb_prev / 12.0;
+    }
+    let rms_error = variance.sqrt();
+    let coeff_lsb = (plan.coeff_format().frac_bits() as f64).exp2().recip();
+    let coefficient_error = 2.0 * taps * coeff_lsb * input_peak;
+    ErrorBudget { rms_error, three_sigma: 3.0 * rms_error, coefficient_error }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_filters::FilterId;
+
+    #[test]
+    fn paper_configuration_predicts_lossless() {
+        for id in FilterId::ALL {
+            let bank = FilterBank::table1(id);
+            let plan = WordLengthPlan::paper_default(&bank, 6).unwrap();
+            let budget = error_budget(&bank, &plan, 4095.0);
+            assert!(
+                budget.predicts_lossless(),
+                "{id}: estimate {} should be below 0.5 input LSBs",
+                budget.total()
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_datapaths_do_not_predict_lossless() {
+        // With a 21-bit datapath the deepest F5 scale keeps a single
+        // fractional bit, so the estimate blows past 0.5 input LSBs.
+        let bank = FilterBank::table1(FilterId::F5);
+        let plan = WordLengthPlan::new(&bank, 21, 32, 13, 6)
+            .expect("the F5 plan with 21-bit words is constructible");
+        let budget = error_budget(&bank, &plan, 4095.0);
+        assert!(
+            !budget.predicts_lossless(),
+            "narrow datapath should not predict lossless, estimate {}",
+            budget.total()
+        );
+    }
+
+    #[test]
+    fn budget_grows_with_scales() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let plan3 = WordLengthPlan::paper_default(&bank, 3).unwrap();
+        let plan6 = WordLengthPlan::paper_default(&bank, 6).unwrap();
+        assert!(
+            error_budget(&bank, &plan6, 4095.0).total()
+                > error_budget(&bank, &plan3, 4095.0).total()
+        );
+    }
+
+    #[test]
+    fn components_are_positive_and_consistent() {
+        let bank = FilterBank::table1(FilterId::F2);
+        let plan = WordLengthPlan::paper_default(&bank, 6).unwrap();
+        let b = error_budget(&bank, &plan, 4095.0);
+        assert!(b.rms_error > 0.0);
+        assert!((b.three_sigma - 3.0 * b.rms_error).abs() < 1e-15);
+        assert!(b.coefficient_error > 0.0);
+        assert!(b.total() >= b.three_sigma);
+    }
+
+    #[test]
+    fn coefficient_error_scales_with_peak() {
+        let bank = FilterBank::table1(FilterId::F3);
+        let plan = WordLengthPlan::paper_default(&bank, 6).unwrap();
+        let b12 = error_budget(&bank, &plan, 4095.0);
+        let b8 = error_budget(&bank, &plan, 255.0);
+        assert!(b12.coefficient_error > b8.coefficient_error);
+        assert_eq!(b12.rms_error, b8.rms_error);
+    }
+}

@@ -1,0 +1,146 @@
+//! Dynamic-range growth of the subbands with the decomposition scale.
+//!
+//! For each scale the 2-D filtering multiplies the worst-case magnitude by at
+//! most `Σ|h|·Σ|f|` where `h` and `f` are the row and column filters applied
+//! to that subband. Only the `HH` (low-pass/low-pass) subband feeds the next
+//! scale, so the recursion is:
+//!
+//! * magnitude of the approximation after `s-1` scales grows by
+//!   `(Σ|h|)^(2(s-1))`,
+//! * the four subbands produced at scale `s` grow by at most another
+//!   `max(Σ|h|, Σ|g|)²`.
+//!
+//! Section 3 of the paper quotes the `(Σ|c_n|)²` bound; combining it per
+//! subband as above reproduces Table II exactly (see
+//! [`integer_bits`](crate::integer_bits)).
+
+use lwc_filters::{BankMetrics, FilterBank};
+
+/// Worst-case magnitude growth factors of a filter bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthModel {
+    /// `Σ|h[n]|` of the analysis low-pass filter.
+    pub lowpass_abs_sum: f64,
+    /// `Σ|g[n]|` of the analysis high-pass filter.
+    pub highpass_abs_sum: f64,
+}
+
+impl GrowthModel {
+    /// Builds the growth model of `bank`.
+    #[must_use]
+    pub fn of(bank: &FilterBank) -> Self {
+        let m = BankMetrics::of(bank);
+        Self {
+            lowpass_abs_sum: m.analysis_lowpass_abs_sum,
+            highpass_abs_sum: m.analysis_highpass_abs_sum,
+        }
+    }
+
+    /// Growth factor of the approximation (`HH` in the paper's notation)
+    /// after `scales` complete 2-D scales.
+    #[must_use]
+    pub fn approximation_growth(&self, scales: u32) -> f64 {
+        self.lowpass_abs_sum.powi(2 * scales as i32)
+    }
+
+    /// Worst-case growth factor over the four subbands produced at scale `s`
+    /// (1-based), relative to the original image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero (scales are 1-based, as in the paper).
+    #[must_use]
+    pub fn subband_growth(&self, s: u32) -> f64 {
+        assert!(s >= 1, "scales are 1-based");
+        let worst_1d = self.lowpass_abs_sum.max(self.highpass_abs_sum);
+        self.approximation_growth(s - 1) * worst_1d * worst_1d
+    }
+
+    /// Bits of magnitude growth at scale `s`: `log2(subband_growth(s))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    #[must_use]
+    pub fn growth_bits(&self, s: u32) -> f64 {
+        self.subband_growth(s).log2()
+    }
+
+    /// Upper bound on the absolute value of any coefficient at scale `s`
+    /// when the input samples are bounded by `input_peak`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    #[must_use]
+    pub fn magnitude_bound(&self, input_peak: f64, s: u32) -> f64 {
+        input_peak * self.subband_growth(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_filters::FilterId;
+
+    #[test]
+    fn growth_is_monotonic_in_scale() {
+        for id in FilterId::ALL {
+            let g = GrowthModel::of(&FilterBank::table1(id));
+            for s in 1..6 {
+                assert!(g.subband_growth(s + 1) > g.subband_growth(s), "{id} scale {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_scale_growth_matches_2d_bound() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let g = GrowthModel::of(&bank);
+        // At the first scale the approximation has not grown yet, so the
+        // subband bound is exactly the (Σ|c|)² bound of Section 3.
+        let expected = bank.analysis_growth_bound();
+        assert!((g.subband_growth(1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haar_analysis_bank_grows_most_slowly() {
+        // F5's analysis low-pass is the 2-tap Haar filter with Σ|h| = √2 —
+        // the smallest possible for a √2-normalized filter — so its
+        // approximation growth is the slowest of the six banks.
+        let f5 = GrowthModel::of(&FilterBank::table1(FilterId::F5));
+        for id in FilterId::ALL {
+            if id == FilterId::F5 {
+                continue;
+            }
+            let other = GrowthModel::of(&FilterBank::table1(id));
+            assert!(
+                f5.approximation_growth(6) <= other.approximation_growth(6) + 1e-9,
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn magnitude_bound_scales_with_input_peak() {
+        let g = GrowthModel::of(&FilterBank::table1(FilterId::F4));
+        let b1 = g.magnitude_bound(4096.0, 3);
+        let b2 = g.magnitude_bound(8192.0, 3);
+        assert!((b2 / b1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn scale_zero_is_rejected() {
+        let g = GrowthModel::of(&FilterBank::table1(FilterId::F1));
+        let _ = g.subband_growth(0);
+    }
+
+    #[test]
+    fn growth_bits_are_about_two_per_scale() {
+        let g = GrowthModel::of(&FilterBank::table1(FilterId::F1));
+        // F1 grows by ~1.93 bits per scale (2·log2(1.952105)).
+        let per_scale = g.growth_bits(2) - g.growth_bits(1);
+        assert!((per_scale - 2.0 * 1.952105f64.log2()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimum integer-part width per scale — Table II of the paper.
+//!
+//! The forward DWT grows the subband magnitudes (see
+//! [`growth`](crate::growth)); to avoid overflow, the integer part of the
+//! fixed-point intermediate word must widen with the scale. For an input word
+//! of `b_in` integer bits (sign included), the minimum integer part at scale
+//! `s` is
+//!
+//! ```text
+//! b_int(s) = b_in + ceil( 2·(s-1)·log2(Σ|h|) + 2·log2(max(Σ|h|, Σ|g|)) )
+//! ```
+//!
+//! which reproduces Table II of the paper (reference \[16\] carries the full
+//! derivation) for all six filter banks and all six scales.
+
+use crate::growth::GrowthModel;
+use lwc_filters::{FilterBank, FilterId};
+
+/// Table II exactly as printed in the paper: minimum integer part `b_int(s)`
+/// for input images of 13 bits (12-bit magnitude + sign), filters F1…F6
+/// (rows) and scales 1…6 (columns).
+pub const TABLE2_PAPER: [[u32; 6]; 6] = [
+    [15, 17, 19, 21, 23, 25], // F1
+    [16, 17, 19, 21, 23, 25], // F2
+    [15, 17, 19, 21, 23, 25], // F3
+    [16, 18, 20, 22, 24, 27], // F4
+    [15, 16, 17, 18, 19, 20], // F5
+    [16, 19, 21, 24, 26, 29], // F6
+];
+
+/// Input word length (bits, sign included) Table II assumes.
+pub const TABLE2_INPUT_BITS: u32 = 13;
+
+/// Minimum integer-part width (bits, sign included) needed at scale `s`
+/// (1-based) so the subbands produced at that scale cannot overflow, for an
+/// input of `input_bits` integer bits.
+///
+/// # Panics
+///
+/// Panics if `s` is zero.
+#[must_use]
+pub fn minimum_integer_bits(bank: &FilterBank, input_bits: u32, s: u32) -> u32 {
+    assert!(s >= 1, "scales are 1-based");
+    let growth = GrowthModel::of(bank);
+    let extra_bits = growth.growth_bits(s);
+    input_bits + extra_bits.ceil() as u32
+}
+
+/// The whole Table II row for a bank: `b_int(s)` for `s = 1..=scales`.
+#[must_use]
+pub fn table2_row(bank: &FilterBank, input_bits: u32, scales: u32) -> Vec<u32> {
+    (1..=scales).map(|s| minimum_integer_bits(bank, input_bits, s)).collect()
+}
+
+/// Regenerates the full Table II (all six banks, `scales` columns) for the
+/// paper's 13-bit input.
+#[must_use]
+pub fn table2(scales: u32) -> Vec<(FilterId, Vec<u32>)> {
+    FilterId::ALL
+        .iter()
+        .map(|&id| (id, table2_row(&FilterBank::table1(id), TABLE2_INPUT_BITS, scales)))
+        .collect()
+}
+
+/// Integer-part widths for the *inverse* transform: thanks to the perfect
+/// reconstruction property the dynamic range shrinks back as the scales are
+/// undone, so the same per-scale widths are sufficient, traversed from the
+/// deepest scale down to the input format.
+#[must_use]
+pub fn idwt_integer_bits(bank: &FilterBank, input_bits: u32, scales: u32) -> Vec<u32> {
+    let mut bits = table2_row(bank, input_bits, scales);
+    bits.reverse();
+    bits.push(input_bits);
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2_exactly() {
+        for (row, id) in TABLE2_PAPER.iter().zip(FilterId::ALL) {
+            let bank = FilterBank::table1(id);
+            let computed = table2_row(&bank, TABLE2_INPUT_BITS, 6);
+            assert_eq!(&computed[..], &row[..], "Table II row for {id}");
+        }
+    }
+
+    #[test]
+    fn table2_helper_covers_all_banks() {
+        let t = table2(6);
+        assert_eq!(t.len(), 6);
+        for ((id, row), paper_row) in t.iter().zip(TABLE2_PAPER.iter()) {
+            assert_eq!(&row[..], &paper_row[..], "{id}");
+        }
+    }
+
+    #[test]
+    fn integer_bits_grow_monotonically() {
+        for id in FilterId::ALL {
+            let bank = FilterBank::table1(id);
+            let row = table2_row(&bank, 13, 8);
+            for w in row.windows(2) {
+                assert!(w[1] >= w[0], "{id}: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_inputs_shift_the_table_up() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let b13 = table2_row(&bank, 13, 6);
+        let b16 = table2_row(&bank, 16, 6);
+        for (a, b) in b13.iter().zip(&b16) {
+            assert_eq!(b - a, 3);
+        }
+    }
+
+    #[test]
+    fn first_scale_needs_two_to_three_extra_bits() {
+        for id in FilterId::ALL {
+            let bank = FilterBank::table1(id);
+            let b = minimum_integer_bits(&bank, 13, 1);
+            assert!((15..=16).contains(&b), "{id}: {b}");
+        }
+    }
+
+    #[test]
+    fn idwt_bits_mirror_the_forward_plan() {
+        let bank = FilterBank::table1(FilterId::F2);
+        let idwt = idwt_integer_bits(&bank, 13, 6);
+        assert_eq!(idwt.len(), 7);
+        assert_eq!(idwt[0], 25, "starts at the deepest scale");
+        assert_eq!(*idwt.last().unwrap(), 13, "ends at the input format");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn scale_zero_is_rejected() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let _ = minimum_integer_bits(&bank, 13, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # lwc-wordlen — word-length analysis for lossless DWT computation
+//!
+//! Section 3 of the paper chooses the fixed-point formats that make the
+//! forward + inverse DWT bit-exact on 13-bit medical images:
+//!
+//! * the dynamic range of the subbands grows with the scale, bounded per
+//!   2-D scale by `(Σ|c_n|)²` ([`growth`]),
+//! * therefore the **integer part** of the 32-bit intermediate word must grow
+//!   with the scale; Table II lists the minimum integer bits `b_int(s)` per
+//!   filter and scale ([`integer_bits`], reproduced exactly),
+//! * the resulting per-scale formats are bundled into a [`WordLengthPlan`]
+//!   that the fixed-point DWT and the architecture simulator consume,
+//! * [`error_budget`] bounds the accumulated rounding error and
+//!   [`search`] finds the smallest datapath word empirically (an ablation the
+//!   companion paper \[16\] explores).
+//!
+//! ```
+//! use lwc_filters::{FilterBank, FilterId};
+//! use lwc_wordlen::integer_bits;
+//!
+//! let bank = FilterBank::table1(FilterId::F1);
+//! // Table II, row F1: 15 17 19 21 23 25
+//! let bits = integer_bits::table2_row(&bank, 13, 6);
+//! assert_eq!(bits, vec![15, 17, 19, 21, 23, 25]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error_budget;
+pub mod growth;
+pub mod integer_bits;
+mod plan;
+pub mod search;
+
+pub use plan::{PlanError, WordLengthPlan};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+    use lwc_filters::{FilterBank, FilterId};
+
+    #[test]
+    fn plan_is_constructible_for_paper_configuration() {
+        let bank = FilterBank::table1(FilterId::F2);
+        let plan = WordLengthPlan::paper_default(&bank, 6).unwrap();
+        assert_eq!(plan.word_bits(), 32);
+        assert_eq!(plan.scales(), 6);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WordLengthPlan>();
+        assert_send_sync::<PlanError>();
+    }
+}

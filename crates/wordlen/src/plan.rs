@@ -1,0 +1,346 @@
+//! Per-scale fixed-point format plan consumed by the DWT datapath.
+
+use crate::integer_bits;
+use lwc_filters::{FilterBank, FilterId, QuantizedBank};
+use lwc_fixed::{FixedError, QFormat};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building a [`WordLengthPlan`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The required integer part at some scale exceeds the datapath word.
+    WordTooNarrow {
+        /// Scale at which the word overflows.
+        scale: u32,
+        /// Integer bits required at that scale.
+        required_int_bits: u32,
+        /// Datapath word length.
+        word_bits: u32,
+    },
+    /// Zero scales requested.
+    NoScales,
+    /// An underlying fixed-point format could not be built.
+    Format(FixedError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::WordTooNarrow { scale, required_int_bits, word_bits } => write!(
+                f,
+                "scale {scale} needs {required_int_bits} integer bits but the word is only {word_bits} bits wide"
+            ),
+            PlanError::NoScales => write!(f, "a word-length plan needs at least one scale"),
+            PlanError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FixedError> for PlanError {
+    fn from(e: FixedError) -> Self {
+        PlanError::Format(e)
+    }
+}
+
+/// The complete fixed-point configuration of the paper's datapath for one
+/// filter bank and decomposition depth:
+///
+/// * input format (13 integer bits by default),
+/// * per-scale intermediate formats with the Table II integer parts,
+/// * coefficient format (Q2.30 inside a 32-bit word by default),
+/// * the alignment shifts the rounding unit applies between scales.
+///
+/// ```
+/// use lwc_filters::{FilterBank, FilterId};
+/// use lwc_wordlen::WordLengthPlan;
+///
+/// # fn main() -> Result<(), lwc_wordlen::PlanError> {
+/// let bank = FilterBank::table1(FilterId::F1);
+/// let plan = WordLengthPlan::paper_default(&bank, 6)?;
+/// assert_eq!(plan.format_for_scale(0)?.int_bits(), 13); // the input image
+/// assert_eq!(plan.format_for_scale(6)?.int_bits(), 25); // Table II, F1, s=6
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordLengthPlan {
+    filter: FilterId,
+    word_bits: u32,
+    input_bits: u32,
+    scales: u32,
+    coeff_format: QFormat,
+    scale_int_bits: Vec<u32>,
+}
+
+impl WordLengthPlan {
+    /// Builds the plan the paper uses: 32-bit datapath words, 32-bit
+    /// coefficients, 13-bit inputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`WordLengthPlan::new`].
+    pub fn paper_default(bank: &FilterBank, scales: u32) -> Result<Self, PlanError> {
+        Self::new(
+            bank,
+            lwc_fixed::DATAPATH_WORD_BITS,
+            lwc_fixed::COEFFICIENT_BITS,
+            lwc_fixed::INPUT_IMAGE_BITS,
+            scales,
+        )
+    }
+
+    /// Builds a plan with explicit word lengths.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::NoScales`] if `scales` is zero.
+    /// * [`PlanError::WordTooNarrow`] if some scale's Table II integer part
+    ///   does not fit `word_bits`.
+    /// * [`PlanError::Format`] if a fixed-point format cannot be built.
+    pub fn new(
+        bank: &FilterBank,
+        word_bits: u32,
+        coeff_bits: u32,
+        input_bits: u32,
+        scales: u32,
+    ) -> Result<Self, PlanError> {
+        if scales == 0 {
+            return Err(PlanError::NoScales);
+        }
+        let coeff_format = QFormat::new(coeff_bits, QuantizedBank::COEFF_INT_BITS)?;
+        let mut scale_int_bits = Vec::with_capacity(scales as usize + 1);
+        scale_int_bits.push(input_bits);
+        for s in 1..=scales {
+            let required = integer_bits::minimum_integer_bits(bank, input_bits, s);
+            if required > word_bits {
+                return Err(PlanError::WordTooNarrow {
+                    scale: s,
+                    required_int_bits: required,
+                    word_bits,
+                });
+            }
+            scale_int_bits.push(required);
+        }
+        // Validate that every per-scale format is constructible.
+        for &bits in &scale_int_bits {
+            QFormat::new(word_bits, bits)?;
+        }
+        Ok(Self {
+            filter: bank.id(),
+            word_bits,
+            input_bits,
+            scales,
+            coeff_format,
+            scale_int_bits,
+        })
+    }
+
+    /// The filter bank this plan was derived for.
+    #[must_use]
+    pub fn filter(&self) -> FilterId {
+        self.filter
+    }
+
+    /// Datapath word length in bits.
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Input image word length (integer bits, sign included).
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Number of decomposition scales the plan covers.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.scales
+    }
+
+    /// The fixed-point format of the filter coefficients.
+    #[must_use]
+    pub fn coeff_format(&self) -> QFormat {
+        self.coeff_format
+    }
+
+    /// Integer bits used at scale `s` (`s = 0` is the input image).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s > scales`.
+    #[must_use]
+    pub fn int_bits_for_scale(&self, s: u32) -> u32 {
+        self.scale_int_bits[s as usize]
+    }
+
+    /// The data format at scale `s` (`s = 0` is the input image).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Format`] only if the plan was built with
+    /// inconsistent parameters (never for plans returned by the
+    /// constructors); callers may treat the error as unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s > scales`.
+    pub fn format_for_scale(&self, s: u32) -> Result<QFormat, PlanError> {
+        assert!(s <= self.scales, "scale {s} outside plan (max {})", self.scales);
+        Ok(QFormat::new(self.word_bits, self.scale_int_bits[s as usize])?)
+    }
+
+    /// Fractional bits at scale `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s > scales`.
+    #[must_use]
+    pub fn frac_bits_for_scale(&self, s: u32) -> u32 {
+        self.word_bits - self.scale_int_bits[s as usize]
+    }
+
+    /// The number of bits the alignment unit discards when a MAC result
+    /// computed **from** scale-`from` data is stored **at** scale-`to`
+    /// format: the accumulator holds `coeff_frac + frac(from)` fractional
+    /// bits and the destination keeps `frac(to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either scale is outside the plan or if the destination
+    /// would require *more* fractional bits than the accumulator holds
+    /// (cannot happen for Table II plans).
+    #[must_use]
+    pub fn alignment_shift(&self, from: u32, to: u32) -> u32 {
+        let acc_frac = self.coeff_format.frac_bits() + self.frac_bits_for_scale(from);
+        let out_frac = self.frac_bits_for_scale(to);
+        assert!(
+            out_frac <= acc_frac,
+            "destination format has more fractional bits than the accumulator"
+        );
+        acc_frac - out_frac
+    }
+
+    /// Per-scale integer bit widths, index 0 being the input image.
+    #[must_use]
+    pub fn int_bits_table(&self) -> &[u32] {
+        &self.scale_int_bits
+    }
+}
+
+impl fmt::Display for WordLengthPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}-bit word, coeff {}, int bits {:?}",
+            self.filter, self.word_bits, self.coeff_format, self.scale_int_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integer_bits::TABLE2_PAPER;
+
+    #[test]
+    fn paper_default_reproduces_table2_per_filter() {
+        for (id, row) in FilterId::ALL.iter().zip(TABLE2_PAPER.iter()) {
+            let bank = FilterBank::table1(*id);
+            let plan = WordLengthPlan::paper_default(&bank, 6).unwrap();
+            assert_eq!(plan.int_bits_for_scale(0), 13);
+            for s in 1..=6u32 {
+                assert_eq!(plan.int_bits_for_scale(s), row[(s - 1) as usize], "{id} scale {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn formats_partition_the_32_bit_word() {
+        let bank = FilterBank::table1(FilterId::F6);
+        let plan = WordLengthPlan::paper_default(&bank, 6).unwrap();
+        for s in 0..=6 {
+            let fmt = plan.format_for_scale(s).unwrap();
+            assert_eq!(fmt.total_bits(), 32);
+            assert_eq!(fmt.int_bits() + fmt.frac_bits(), 32);
+            assert_eq!(plan.frac_bits_for_scale(s), fmt.frac_bits());
+        }
+    }
+
+    #[test]
+    fn narrow_words_are_rejected_at_the_right_scale() {
+        // F6 needs 29 integer bits at scale 6; a 24-bit word fails earlier.
+        let bank = FilterBank::table1(FilterId::F6);
+        let err = WordLengthPlan::new(&bank, 24, 32, 13, 6).unwrap_err();
+        match err {
+            PlanError::WordTooNarrow { scale, required_int_bits, word_bits } => {
+                assert_eq!(word_bits, 24);
+                assert!(required_int_bits > 24);
+                assert!(scale >= 4, "F6 needs 24 bits only from scale 4 on, got scale {scale}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_scales_is_an_error() {
+        let bank = FilterBank::table1(FilterId::F1);
+        assert!(matches!(
+            WordLengthPlan::paper_default(&bank, 0),
+            Err(PlanError::NoScales)
+        ));
+    }
+
+    #[test]
+    fn alignment_shift_accounts_for_integer_growth() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let plan = WordLengthPlan::paper_default(&bank, 6).unwrap();
+        // Forward, scale 0 -> 1: accumulator has 30 + 19 fractional bits,
+        // destination keeps 32 - 15 = 17, so 32 bits are dropped.
+        assert_eq!(plan.alignment_shift(0, 1), 30 + (32 - 13) - (32 - 15));
+        // Inverse, scale 1 -> 0 drops fewer bits because precision widens.
+        assert!(plan.alignment_shift(1, 0) < plan.alignment_shift(0, 1));
+        // Same-scale passes (row pass storing at the same scale) are valid.
+        assert_eq!(plan.alignment_shift(1, 1), 30);
+    }
+
+    #[test]
+    fn display_reports_the_filter_and_widths() {
+        let bank = FilterBank::table1(FilterId::F4);
+        let plan = WordLengthPlan::paper_default(&bank, 3).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("F4"));
+        assert!(s.contains("32-bit"));
+    }
+
+    #[test]
+    fn plan_error_display_and_source() {
+        let e = PlanError::WordTooNarrow { scale: 5, required_int_bits: 26, word_bits: 24 };
+        assert!(e.to_string().contains("scale 5"));
+        assert!(Error::source(&e).is_none());
+        let e = PlanError::from(FixedError::NonFinite);
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn sixteen_bit_inputs_still_fit_32_bit_words_except_f6() {
+        // With 16-bit inputs F6 needs 32 integer bits at scale 6 — exactly
+        // the word width — while F4 needs 30.
+        let f6 = FilterBank::table1(FilterId::F6);
+        let plan = WordLengthPlan::new(&f6, 32, 32, 16, 6).unwrap();
+        assert_eq!(plan.int_bits_for_scale(6), 32);
+        assert_eq!(plan.frac_bits_for_scale(6), 0);
+    }
+}

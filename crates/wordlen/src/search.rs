@@ -1,0 +1,122 @@
+//! Empirical minimum-word-length search (ablation).
+//!
+//! The paper fixes the datapath at 32 bits; its companion reference \[16\]
+//! studies how narrow the word can get before the lossless property breaks.
+//! This module provides the search harness: given a caller-supplied oracle
+//! that runs the actual fixed-point round trip at a candidate word length and
+//! reports whether it was bit exact, it finds the smallest lossless word.
+//!
+//! The oracle lives with the caller (usually `lwc-dwt` or an example binary)
+//! to keep the dependency graph acyclic.
+
+use crate::{PlanError, WordLengthPlan};
+use lwc_filters::FilterBank;
+
+/// Outcome of probing one candidate word length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The round trip was bit exact at this word length.
+    Lossless,
+    /// The round trip produced at least one pixel error.
+    Lossy,
+    /// The plan could not even be built (integer part exceeds the word).
+    Infeasible,
+}
+
+/// Result of a minimum-word-length search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// The smallest word length for which the oracle reported `Lossless`,
+    /// if any candidate in the range succeeded.
+    pub minimum_lossless_bits: Option<u32>,
+    /// The probed word lengths and their outcomes, in ascending order.
+    pub probes: Vec<(u32, Probe)>,
+}
+
+/// Probes every word length in `range` (ascending) with `oracle` and returns
+/// the smallest one that is lossless.
+///
+/// `oracle` receives the word length and the plan built for it; it should run
+/// the fixed-point forward + inverse transform and return `true` when the
+/// reconstruction is bit exact.
+pub fn minimum_word_length<F>(
+    bank: &FilterBank,
+    scales: u32,
+    input_bits: u32,
+    range: std::ops::RangeInclusive<u32>,
+    mut oracle: F,
+) -> SearchResult
+where
+    F: FnMut(u32, &WordLengthPlan) -> bool,
+{
+    let mut probes = Vec::new();
+    let mut minimum_lossless_bits = None;
+    for word_bits in range {
+        let probe = match WordLengthPlan::new(bank, word_bits, word_bits, input_bits, scales) {
+            Ok(plan) => {
+                if oracle(word_bits, &plan) {
+                    if minimum_lossless_bits.is_none() {
+                        minimum_lossless_bits = Some(word_bits);
+                    }
+                    Probe::Lossless
+                } else {
+                    Probe::Lossy
+                }
+            }
+            Err(PlanError::WordTooNarrow { .. }) => Probe::Infeasible,
+            Err(_) => Probe::Infeasible,
+        };
+        probes.push((word_bits, probe));
+    }
+    SearchResult { minimum_lossless_bits, probes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_filters::FilterId;
+
+    #[test]
+    fn finds_the_threshold_of_a_synthetic_oracle() {
+        // Pretend the transform becomes lossless from 28 bits on.
+        let bank = FilterBank::table1(FilterId::F1);
+        let result =
+            minimum_word_length(&bank, 6, 13, 20..=32, |bits, _plan| bits >= 28);
+        assert_eq!(result.minimum_lossless_bits, Some(28));
+        assert_eq!(result.probes.len(), 13);
+        assert!(result.probes.iter().any(|&(b, p)| b == 27 && p == Probe::Lossy));
+        assert!(result.probes.iter().any(|&(b, p)| b == 30 && p == Probe::Lossless));
+    }
+
+    #[test]
+    fn infeasible_words_are_reported() {
+        // F6 needs 29 integer bits at scale 6, so words below 29 bits cannot
+        // even represent the integer part.
+        let bank = FilterBank::table1(FilterId::F6);
+        let result = minimum_word_length(&bank, 6, 13, 24..=30, |_bits, _plan| true);
+        assert!(result
+            .probes
+            .iter()
+            .take_while(|&&(b, _)| b < 29)
+            .all(|&(_, p)| p == Probe::Infeasible));
+        assert_eq!(result.minimum_lossless_bits, Some(29));
+    }
+
+    #[test]
+    fn reports_none_when_nothing_succeeds() {
+        let bank = FilterBank::table1(FilterId::F4);
+        let result = minimum_word_length(&bank, 6, 13, 27..=32, |_b, _p| false);
+        assert_eq!(result.minimum_lossless_bits, None);
+        assert!(result.probes.iter().all(|&(_, p)| p == Probe::Lossy));
+    }
+
+    #[test]
+    fn oracle_receives_consistent_plans() {
+        let bank = FilterBank::table1(FilterId::F2);
+        minimum_word_length(&bank, 4, 13, 30..=32, |bits, plan| {
+            assert_eq!(plan.word_bits(), bits);
+            assert_eq!(plan.scales(), 4);
+            true
+        });
+    }
+}

@@ -1,0 +1,58 @@
+//! Simulate the proposed VLSI architecture on the paper's workload and
+//! reproduce the headline numbers of the conclusions: ~99 % multiplier
+//! utilization, a few images per second at 33 MHz, two orders of magnitude
+//! faster than the desktop software baseline, ~11 mm² of silicon.
+//!
+//! Run with `cargo run --release --example architecture_sim [image_size]`
+//! (default 512, the paper's workload; smaller sizes run faster).
+
+use lwc_core::prelude::*;
+use lwc_core::reproduction;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image_size: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(512);
+
+    println!("=== proposed architecture, {image_size}x{image_size} 12-bit image, F2 bank, 6 scales ===\n");
+
+    let params = ArchParams::new(image_size, FilterId::F2, 6)?;
+    let simulator = ArchSimulator::new(params)?;
+    println!("configuration: {params}");
+    println!("input buffer:  {}", simulator.input_buffer_spec());
+
+    // The paper validates the datapath on random images; do the same.
+    let image = synth::random_image(image_size, image_size, 12, 1998);
+    let run = simulator.run(&image)?;
+    println!("\n--- simulation report ---\n{}", run.report);
+
+    // The same transform in the bit-exact software model must agree word for
+    // word (the paper's own validation criterion).
+    let software = FixedDwt2d::paper_default(&FilterBank::table1(FilterId::F2), 6)?;
+    let reference = software.forward(&image)?;
+    assert_eq!(run.decomposition.data(), reference.data());
+    println!("\nfunctional check: simulator output == software implementation (bit exact)");
+
+    // Speedup against the paper's Pentium-133 baseline and against this host.
+    let pentium = SoftwareModel::pentium_133();
+    let work = lwc_core::lwc_perf::macs::total_macs(image_size, 13, 13, 6);
+    let hardware = HardwareModel { clock_hz: params.clock_hz() };
+    let vs_pentium = ThroughputReport::new(&hardware, run.report.total_cycles(), &pentium, work);
+    println!("\n--- versus the paper's desktop baseline ---\n{vs_pentium}");
+
+    let (host_model, host_seconds) =
+        SoftwareModel::measure_host(&FilterBank::table1(FilterId::F2), &image, 6)?;
+    println!(
+        "host reference implementation: {host_seconds:.3} s for the same transform ({host_model})"
+    );
+
+    // Silicon cost versus the prior art (Table III).
+    println!("\n--- silicon area (Table III, calibrated 0.7 um model) ---");
+    for row in reproduction::table3() {
+        println!("  {row}");
+    }
+
+    Ok(())
+}

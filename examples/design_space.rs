@@ -1,0 +1,72 @@
+//! Design-space exploration: how wide does the datapath really need to be,
+//! and what does each choice cost in silicon?
+//!
+//! This extends the paper's word-length analysis (Section 3, Table II and
+//! reference [16]) with an empirical sweep: for every filter bank the example
+//! finds the narrowest datapath word for which the forward + inverse
+//! transform is still bit exact on a random 12-bit image, and prints the
+//! minimum integer parts of Table II next to it. It then shows how the
+//! multiplier choice (Table V) and the word length move the datapath area.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use lwc_core::prelude::*;
+use lwc_core::lwc_dwt::lossless;
+use lwc_core::lwc_wordlen::search;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scales = 6;
+    let image = synth::random_image(128, 128, 12, 2024);
+
+    println!("=== Table II: minimum integer part per scale (13-bit input) ===");
+    println!("{:<6} {}", "bank", "s=1  s=2  s=3  s=4  s=5  s=6");
+    for (id, row) in integer_bits::table2(scales) {
+        let cells: Vec<String> = row.iter().map(|b| format!("{b:>3}")).collect();
+        println!("{:<6} {}", id.to_string(), cells.join("  "));
+    }
+
+    println!("\n=== empirical minimum lossless word length (random 12-bit image) ===");
+    println!("{:<6} {:>16} {:>22}", "bank", "min feasible word", "min lossless word");
+    for id in FilterId::ALL {
+        let bank = FilterBank::table1(id);
+        let result = search::minimum_word_length(&bank, scales, 13, 18..=32, |_bits, plan| {
+            lossless::fixed_roundtrip_with_plan(&image, &bank, plan)
+                .map(|r| r.bit_exact)
+                .unwrap_or(false)
+        });
+        let first_feasible = result
+            .probes
+            .iter()
+            .find(|(_, p)| *p != search::Probe::Infeasible)
+            .map(|&(b, _)| b);
+        println!(
+            "{:<6} {:>16} {:>22}",
+            id.to_string(),
+            first_feasible.map_or("-".into(), |b| b.to_string()),
+            result.minimum_lossless_bits.map_or("none".into(), |b| b.to_string())
+        );
+    }
+    println!("(the paper fixes the word length at 32 bits, leaving a comfortable margin)");
+
+    println!("\n=== Table V: multiplier design points ===");
+    for m in lwc_core::reproduction::table5() {
+        let ok = if m.meets_clock(25.0) { "meets 25 ns clock" } else { "too slow for 25 ns" };
+        println!("  {m} -> {ok}");
+    }
+
+    println!("\n=== datapath area versus word length (proposed architecture) ===");
+    let memory = MemoryModel::calibrated_es2();
+    for word_bits in [16u32, 24, 32, 40] {
+        let multiplier = MultiplierModel::paper(MultiplierDesign::PipelinedWallace)
+            .scaled_to_width(word_bits);
+        let words = 512 / 2 + 32 + 13;
+        let area = multiplier.area_mm2 + memory.area_for_words(words, word_bits);
+        let lossless = word_bits >= 29; // F6 needs 29 integer bits at scale 6
+        println!(
+            "  {word_bits:>2}-bit word: {area:6.2} mm2  ({})",
+            if lossless { "lossless for every Table I bank" } else { "not lossless for all banks" }
+        );
+    }
+
+    Ok(())
+}

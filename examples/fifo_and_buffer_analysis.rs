@@ -1,0 +1,41 @@
+//! The micro-architectural analyses of Section 4: the Fig. 2 macrocycle
+//! schedule, the input-buffer organization (Fig. 4 / Table IV), the FIFO
+//! depth bounds (Table VI) and the sensitivity of the multiplier utilization
+//! to the DRAM refresh interval.
+//!
+//! Run with `cargo run --release --example fifo_and_buffer_analysis`.
+
+use lwc_core::lwc_arch::fifo::FifoBounds;
+use lwc_core::lwc_arch::input_buffer::InputBufferSpec;
+use lwc_core::lwc_arch::schedule::{utilization, Macrocycle, PAPER_UTILIZATION};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Fig. 2: operation schedule of one macrocycle (13-tap bank) ===\n");
+    println!("normal macrocycle:\n{}", Macrocycle::normal(13));
+    println!("macrocycle extended by a DRAM refresh:\n{}", Macrocycle::with_refresh(13, 6));
+
+    println!("=== Fig. 4 / Table IV: input buffer organization (N = 512, L = 13) ===");
+    let spec = InputBufferSpec::for_filter(13)?;
+    println!("  {spec}");
+    println!("  {:<7} {:>12} {:>9}", "scale", "row length", "#rounds");
+    for (scale, row_len, rounds) in spec.table4(512, 6) {
+        println!("  {scale:<7} {row_len:>12} {rounds:>9}");
+    }
+
+    println!("\n=== Table VI: FIFO depth bounds (N = 512, L = 13) ===");
+    println!("  {:<7} {:>8} {:>8}", "scale", "MIN(D)", "MAX(D)");
+    for b in FifoBounds::table6(512, 6, 6) {
+        println!("  {:<7} {:>8} {:>8}", b.scale, b.min_depth, b.max_depth);
+    }
+
+    println!("\n=== multiplier utilization versus DRAM refresh interval ===");
+    println!("  {:<28} {:>12}", "refresh every", "utilization");
+    for macrocycles in [8u64, 16, 32, 48, 64, 128] {
+        let u = utilization(13, macrocycles, 1, 6);
+        let marker = if macrocycles == 48 { "  <- paper operating point" } else { "" };
+        println!("  {:<28} {:>11.2}%{}", format!("{macrocycles} macrocycles"), u * 100.0, marker);
+    }
+    println!("  (the paper reports {:.2}%)", PAPER_UTILIZATION * 100.0);
+
+    Ok(())
+}

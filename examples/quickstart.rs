@@ -1,0 +1,53 @@
+//! Quickstart: transform a synthetic CT slice with the paper's fixed-point
+//! datapath, verify the lossless round trip, and compress it with the
+//! end-to-end codec.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use lwc_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 256x256, 12-bit synthetic CT slice (real data can be loaded with
+    // `pgm::load`).
+    let image = synth::ct_phantom(256, 256, 12, 7);
+    println!("input: {image}");
+    println!(
+        "  entropy {:.2} bpp, first-difference entropy {:.2} bpp",
+        stats::entropy_bits_per_pixel(&image),
+        stats::first_difference_entropy(&image)
+    );
+
+    // --- The paper's transform: 9/7 bank, 5 scales, 32-bit fixed point. ---
+    let bank = FilterBank::table1(FilterId::F1);
+    let dwt = FixedDwt2d::paper_default(&bank, 5)?;
+    let coefficients = dwt.forward(&image)?;
+
+    println!("\nfixed-point DWT ({bank}, 5 scales):");
+    for scale in 1..=5 {
+        let frac = dwt.plan().frac_bits_for_scale(scale);
+        let lsb = (frac as f64).exp2().recip();
+        let detail = coefficients.subband(scale, Subband::DiagonalDetail);
+        let max = detail.iter().map(|v| v.abs()).max().unwrap_or(0) as f64 * lsb;
+        println!(
+            "  scale {scale}: format Q{}.{}, max |diagonal detail| = {max:.1}",
+            dwt.plan().int_bits_for_scale(scale),
+            frac
+        );
+    }
+
+    // --- The lossless criterion (Section 3 of the paper). ---
+    let restored = dwt.inverse(&coefficients)?;
+    let report = lwc_core::verify_lossless(&image, FilterId::F1, 5)?;
+    println!("\nround trip: {report}");
+    assert!(stats::bit_exact(&image, &restored)?);
+
+    // --- End-to-end lossless compression (reversible 5/3 + Rice coding). ---
+    let codec = LosslessCodec::new(5)?;
+    let (bytes, compression) = codec.compress_with_report(&image)?;
+    let decoded = codec.decompress(&bytes)?;
+    assert!(stats::bit_exact(&image, &decoded)?);
+    println!("\nlossless codec: {compression}");
+
+    println!("\nquickstart finished: every check passed");
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Integration tests for the architecture simulator: the paper's validation
+//! criterion is that the VHDL model, fed with random images, "gave the same
+//! output as a software implementation". The Rust simulator must satisfy the
+//! same criterion against the bit-exact software datapath, and its cycle
+//! accounting must reproduce the utilization/throughput figures.
+
+use lwc_core::prelude::*;
+use lwc_core::lwc_perf::macs;
+
+fn run_and_compare(size: usize, filter: FilterId, scales: u32, seed: u64) -> ArchReport {
+    let params = ArchParams::new(size, filter, scales).unwrap();
+    let simulator = ArchSimulator::new(params).unwrap();
+    let image = synth::random_image(size, size, 12, seed);
+    let run = simulator.run(&image).unwrap();
+
+    let software = FixedDwt2d::paper_default(&FilterBank::table1(filter), scales).unwrap();
+    let reference = software.forward(&image).unwrap();
+    assert_eq!(
+        run.decomposition.data(),
+        reference.data(),
+        "simulator output differs from the software implementation"
+    );
+    run.report
+}
+
+#[test]
+fn simulator_matches_software_for_several_configurations() {
+    for (size, filter, scales, seed) in [
+        (64usize, FilterId::F2, 3u32, 1u64),
+        (64, FilterId::F1, 2, 2),
+        (128, FilterId::F4, 4, 3),
+        (64, FilterId::F5, 3, 4),
+    ] {
+        let report = run_and_compare(size, filter, scales, seed);
+        // The utilization depends on the macrocycle length (shorter filters
+        // lose relatively more to the fixed 6-cycle refresh): compare against
+        // the analytic value rather than the 13-tap figure.
+        let taps = FilterBank::table1(filter).max_len() as u64;
+        let expected =
+            lwc_core::lwc_arch::schedule::utilization(taps, 48, 1, 6);
+        assert!(
+            (report.utilization() - expected).abs() < 0.003,
+            "{filter}: {} vs expected {expected}",
+            report.utilization()
+        );
+    }
+}
+
+#[test]
+fn cycle_count_tracks_the_analytic_mac_count() {
+    let report = run_and_compare(128, FilterId::F2, 5, 9);
+    let expected_busy = macs::total_macs(128, 13, 13, 5);
+    assert_eq!(report.busy_cycles, expected_busy);
+    // Stalls are the only other cycles, and they are a small fraction.
+    assert!(report.stall_cycles * 50 < report.busy_cycles);
+}
+
+#[test]
+fn utilization_matches_the_papers_figure_at_the_default_refresh_interval() {
+    let report = run_and_compare(128, FilterId::F2, 5, 10);
+    assert!(
+        (report.utilization() - 0.9904).abs() < 0.002,
+        "utilization {:.4}",
+        report.utilization()
+    );
+}
+
+#[test]
+fn throughput_and_speedup_have_the_papers_shape() {
+    // Cycle cost per pixel is independent of the image size, so a 128x128 run
+    // predicts the 512x512 headline numbers exactly up to the refresh
+    // rounding.
+    let report = run_and_compare(128, FilterId::F2, 5, 11);
+    let cycles_per_pixel = report.total_cycles() as f64 / (128.0 * 128.0);
+    let cycles_512 = cycles_per_pixel * 512.0 * 512.0;
+    let hardware = HardwareModel::paper_default();
+    let images_per_second = hardware.clock_hz / cycles_512;
+    assert!(
+        (images_per_second - 3.5).abs() < 0.4,
+        "predicted {images_per_second:.2} images/s for the 512x512 workload"
+    );
+
+    let software = SoftwareModel::pentium_133();
+    let speedup = software.seconds_for(macs::total_macs(512, 13, 13, 6))
+        / (cycles_512 / hardware.clock_hz);
+    assert!(
+        (speedup - 154.0).abs() / 154.0 < 0.15,
+        "predicted speedup {speedup:.0}x vs paper 154x"
+    );
+}
+
+#[test]
+fn buffer_sizings_are_respected_during_whole_transforms() {
+    let params = ArchParams::new(128, FilterId::F2, 5).unwrap();
+    let simulator = ArchSimulator::new(params).unwrap();
+    let run = simulator.run(&synth::ct_phantom(128, 128, 12, 5)).unwrap();
+    assert!(run.report.peak_input_buffer_words <= simulator.input_buffer_spec().words);
+    assert!(run.report.dram_reads > 0 && run.report.dram_writes > 0);
+    // Every output leaves through the FIFO and reaches the DRAM exactly once.
+    let expected_writes: u64 = (1..=5u32).map(|s| 2 * (128u64 >> (s - 1)).pow(2)).sum();
+    assert_eq!(run.report.dram_writes, expected_writes);
+}
+
+#[test]
+fn inverse_simulation_restores_the_image_and_matches_the_software_idwt() {
+    let params = ArchParams::new(128, FilterId::F2, 5).unwrap();
+    let simulator = ArchSimulator::new(params).unwrap();
+    let image = synth::ct_phantom(128, 128, 12, 21);
+
+    let forward = simulator.run(&image).unwrap();
+    let inverse = simulator.run_inverse(&forward.decomposition).unwrap();
+    assert_eq!(inverse.image.samples(), image.samples(), "hardware round trip must be lossless");
+
+    let software = FixedDwt2d::paper_default(&FilterBank::table1(FilterId::F2), 5).unwrap();
+    let reference = software.inverse(&forward.decomposition).unwrap();
+    assert_eq!(inverse.image.samples(), reference.samples());
+
+    // Section 2 of the paper: the IDWT costs the same number of operations.
+    assert_eq!(inverse.report.busy_cycles, forward.report.busy_cycles);
+}
+
+#[test]
+fn simulator_rejects_wrong_workloads_and_configurations() {
+    let simulator = ArchSimulator::new(ArchParams::new(64, FilterId::F2, 3).unwrap()).unwrap();
+    assert!(simulator.run(&synth::flat(32, 32, 12, 0)).is_err());
+    assert!(ArchParams::new(100, FilterId::F2, 3).is_err());
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the headline claim of the paper: with 32-bit
+//! fixed-point words and per-scale integer parts, the forward + inverse DWT
+//! reproduces the input image exactly.
+
+use lwc_core::prelude::*;
+
+/// The paper's own validation workload: random images.
+#[test]
+fn random_images_roundtrip_losslessly_with_every_bank() {
+    let image = synth::random_image(128, 128, 12, 4242);
+    for id in FilterId::ALL {
+        let report = lwc_core::verify_lossless(&image, id, 6).unwrap();
+        assert!(report.bit_exact, "{id}: {report}");
+    }
+}
+
+/// Medical-like content (the motivating application).
+#[test]
+fn phantom_studies_roundtrip_losslessly() {
+    for (name, image) in [
+        ("ct", synth::ct_phantom(128, 128, 12, 1)),
+        ("mr", synth::mr_slice(128, 128, 12, 2)),
+        ("gradient", synth::gradient(128, 128, 12)),
+        ("checkerboard", synth::checkerboard(128, 128, 12, 1)),
+        ("flat", synth::flat(128, 128, 12, 2048)),
+    ] {
+        for id in [FilterId::F1, FilterId::F2, FilterId::F4] {
+            let report = lwc_core::verify_lossless(&image, id, 5).unwrap();
+            assert!(report.bit_exact, "{name} with {id}: {report}");
+        }
+    }
+}
+
+/// Worst-case amplitudes: every pixel at the extremes of the 12-bit range.
+#[test]
+fn extreme_amplitude_images_do_not_overflow_the_datapath() {
+    let bright = synth::flat(64, 64, 12, 4095);
+    let dark = synth::flat(64, 64, 12, 0);
+    let harsh = synth::checkerboard(64, 64, 12, 1);
+    for id in FilterId::ALL {
+        for image in [&bright, &dark, &harsh] {
+            let report = lwc_core::verify_lossless(image, id, 6).unwrap();
+            assert!(report.bit_exact, "{id}");
+        }
+    }
+}
+
+/// The floating-point reference transform also reconstructs exactly after
+/// rounding, and its coefficients agree with the fixed-point ones to within
+/// a fraction of a quantization step.
+#[test]
+fn fixed_point_coefficients_track_the_floating_point_reference() {
+    let image = synth::ct_phantom(64, 64, 12, 9);
+    let bank = FilterBank::table1(FilterId::F1);
+    let float = Dwt2d::new(bank.clone(), 4).unwrap();
+    let fixed = FixedDwt2d::paper_default(&bank, 4).unwrap();
+    let reference = float.forward(&image).unwrap();
+    let hardware = fixed.forward(&image).unwrap();
+    let lsb = (fixed.plan().frac_bits_for_scale(4) as f64).exp2().recip();
+    for band in [Subband::Approx, Subband::DiagonalDetail] {
+        let r = reference.subband(4, band);
+        let h = hardware.subband(4, band);
+        for (rv, hv) in r.iter().zip(&h) {
+            let value = *hv as f64 * lsb;
+            assert!(
+                (value - rv).abs() < 0.02,
+                "{band}: fixed {value} vs reference {rv}"
+            );
+        }
+    }
+    assert!(stats::bit_exact(&image, &float.inverse(&reference).unwrap()).unwrap());
+}
+
+/// Twelve-bit inputs are the paper's case, but shallower medical data (8- and
+/// 10-bit) must round-trip as well.
+#[test]
+fn other_bit_depths_roundtrip() {
+    for depth in [8, 10, 12] {
+        let image = synth::random_image(64, 64, depth, depth as u64);
+        let report = lwc_core::verify_lossless(&image, FilterId::F3, 4).unwrap();
+        assert!(report.bit_exact, "{depth}-bit");
+    }
+}
+
+/// The reversible integer lifting baseline is lossless by construction and
+/// must agree with the original exactly too.
+#[test]
+fn lifting_baseline_is_also_lossless() {
+    let image = synth::mr_slice(128, 128, 12, 3);
+    let lifting = Lifting53::new(5).unwrap();
+    let restored = lifting.roundtrip(&image).unwrap();
+    assert!(stats::bit_exact(&image, &restored).unwrap());
+}
+
+/// Rectangular (non-square) images exercise the row/column passes with
+/// different lengths.
+#[test]
+fn rectangular_images_roundtrip() {
+    let image = synth::random_image(128, 64, 12, 77);
+    for id in [FilterId::F2, FilterId::F5] {
+        let report = lwc_core::verify_lossless(&image, id, 4).unwrap();
+        assert!(report.bit_exact, "{id}");
+    }
+}

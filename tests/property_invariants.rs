@@ -1,0 +1,127 @@
+//! Property-based tests (proptest) on the core invariants of the workspace:
+//! perfect reconstruction, rounding behaviour, entropy-coding round trips and
+//! the monotonicity of the analytic models.
+
+use lwc_core::prelude::*;
+use lwc_core::lwc_coder::bitio::{BitReader, BitWriter};
+use lwc_core::lwc_coder::rice;
+use lwc_core::lwc_fixed::round_half_up_shift;
+use lwc_core::lwc_lifting::{forward_53, inverse_53};
+use lwc_core::lwc_perf::macs;
+use lwc_core::lwc_wordlen::integer_bits;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fixed-point hardware round trip is lossless for any image content
+    /// at the paper's word lengths (the central claim).
+    #[test]
+    fn fixed_dwt_roundtrip_is_lossless(
+        seed in 0u64..10_000,
+        filter_index in 0usize..6,
+        scales in 1u32..=4,
+        bit_depth in 8u32..=12,
+    ) {
+        let id = FilterId::ALL[filter_index];
+        let image = synth::random_image(32, 32, bit_depth, seed);
+        let report = lwc_core::verify_lossless(&image, id, scales).unwrap();
+        prop_assert!(report.bit_exact);
+    }
+
+    /// The reversible lifting transform is exact for arbitrary signals.
+    #[test]
+    fn lifting_1d_roundtrip_is_exact(values in prop::collection::vec(-40960i32..40960, 1..64)) {
+        let mut signal = values;
+        if signal.len() % 2 == 1 {
+            signal.push(0);
+        }
+        let (a, d) = forward_53(&signal);
+        prop_assert_eq!(inverse_53(&a, &d), signal);
+    }
+
+    /// Round-half-up shifting agrees with the floating-point definition.
+    #[test]
+    fn round_half_up_matches_reference(value in -1_000_000i64..1_000_000, shift in 0u32..20) {
+        let expected = ((value as f64) / (shift as f64).exp2() + 0.5).floor() as i64;
+        prop_assert_eq!(round_half_up_shift(value, shift), expected);
+    }
+
+    /// Rice coding round-trips arbitrary signed values for any parameter.
+    #[test]
+    fn rice_roundtrip(values in prop::collection::vec(-100_000i32..100_000, 1..200), k in 0u32..20) {
+        let mut writer = BitWriter::new();
+        for &v in &values {
+            rice::encode_value(&mut writer, v, k);
+        }
+        let bytes = writer.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(rice::decode_value(&mut reader, k).unwrap(), v);
+        }
+    }
+
+    /// The zig-zag map is a bijection.
+    #[test]
+    fn zigzag_bijection(v in any::<i32>()) {
+        prop_assert_eq!(rice::zigzag_decode(rice::zigzag_encode(v)), v);
+    }
+
+    /// Quantizing a representable value and back never moves it by more than
+    /// half an LSB.
+    #[test]
+    fn qformat_quantization_error_is_bounded(
+        value in -1000.0f64..1000.0,
+        int_bits in 12u32..28,
+    ) {
+        let format = QFormat::new(32, int_bits).unwrap();
+        let raw = format.quantize(value).unwrap();
+        prop_assert!((format.dequantize(raw) - value).abs() <= format.lsb() / 2.0 + 1e-15);
+    }
+
+    /// Table II integer parts never decrease with scale or with wider inputs.
+    #[test]
+    fn integer_bits_are_monotonic(filter_index in 0usize..6, input_bits in 8u32..16) {
+        let bank = FilterBank::table1(FilterId::ALL[filter_index]);
+        let row = integer_bits::table2_row(&bank, input_bits, 6);
+        for pair in row.windows(2) {
+            prop_assert!(pair[1] >= pair[0]);
+        }
+        let wider = integer_bits::table2_row(&bank, input_bits + 1, 6);
+        for (a, b) in row.iter().zip(&wider) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// The MAC-count formula is additive across scales and shrinks by 4x per
+    /// scale.
+    #[test]
+    fn mac_counts_shrink_geometrically(exp in 6u32..10, scales in 2u32..5) {
+        let n = 1usize << exp;
+        let total = macs::total_macs(n, 13, 13, scales);
+        let first = macs::macs_for_scale(n, 13, 13, 1);
+        prop_assert!(total >= first);
+        prop_assert!((total as f64) < first as f64 * 4.0 / 3.0 + 1.0);
+        prop_assert_eq!(macs::macs_for_scale(n, 13, 13, 2) * 4, first);
+    }
+
+    /// The subband codec reproduces arbitrary subband data.
+    #[test]
+    fn subband_codec_roundtrip(values in prop::collection::vec(-5000i32..5000, 1..300)) {
+        let codec = lwc_core::lwc_coder::SubbandCodec::new();
+        let mut writer = BitWriter::new();
+        codec.encode_subband(&mut writer, &values);
+        let bytes = writer.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        prop_assert_eq!(codec.decode_subband(&mut reader, values.len()).unwrap(), values);
+    }
+
+    /// The end-to-end codec is lossless for arbitrary small images.
+    #[test]
+    fn codec_roundtrip_arbitrary_images(seed in 0u64..10_000, scales in 1u32..=3) {
+        let image = synth::random_image(32, 32, 12, seed);
+        let codec = LosslessCodec::new(scales).unwrap();
+        let decoded = codec.decompress(&codec.compress(&image).unwrap()).unwrap();
+        prop_assert!(stats::bit_exact(&image, &decoded).unwrap());
+    }
+}

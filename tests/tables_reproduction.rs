@@ -1,0 +1,111 @@
+//! Integration tests that pin the regenerated tables/figures to the paper's
+//! printed values (exact where the quantity is pure arithmetic, in shape
+//! where it depends on the substituted technology model).
+
+use lwc_core::reproduction;
+
+#[test]
+fn table1_filter_banks_match_the_printed_metrics() {
+    let rows = reproduction::table1();
+    assert_eq!(rows.len(), 6);
+    let expected_lengths = [(9, 7), (13, 11), (6, 10), (5, 3), (2, 6), (9, 3)];
+    let expected_abs_sums = [1.952105, 1.857495, 1.930526, 2.121320, 1.414214, 2.386485];
+    for ((row, (la, ls)), abs_sum) in rows.iter().zip(expected_lengths).zip(expected_abs_sums) {
+        assert_eq!(row.metrics.analysis_len, la, "{}", row.id);
+        assert_eq!(row.metrics.synthesis_len, ls, "{}", row.id);
+        assert!(
+            (row.metrics.analysis_lowpass_abs_sum - abs_sum).abs() < 5e-5,
+            "{}: Σ|h| = {}",
+            row.id,
+            row.metrics.analysis_lowpass_abs_sum
+        );
+        assert!(row.biorthogonality.is_biorthogonal(5e-5), "{}", row.id);
+    }
+}
+
+#[test]
+fn table2_integer_parts_match_exactly() {
+    let t2 = reproduction::table2();
+    assert!(t2.matches_paper(), "computed: {:?}", t2.computed);
+}
+
+#[test]
+fn table3_keeps_the_papers_area_ranking_and_gap() {
+    let rows = reproduction::table3();
+    assert_eq!(rows.len(), 5);
+    let proposed = rows.last().unwrap();
+    assert!((proposed.cost.total_area_mm2() - 11.2).abs() < 0.5);
+    for row in &rows[..4] {
+        // Reconstructed formulas land within a third of the printed areas…
+        assert!(row.area_deviation().unwrap().abs() < 0.35, "{}", row.cost.class);
+        // …and the proposed design stays more than an order of magnitude
+        // smaller, which is the conclusion the table supports.
+        assert!(row.cost.total_area_mm2() / proposed.cost.total_area_mm2() > 12.0);
+    }
+}
+
+#[test]
+fn table4_buffer_rounds_match_exactly() {
+    let t4 = reproduction::table4().unwrap();
+    assert_eq!(t4.spec.minimum_words, 25);
+    assert_eq!(t4.spec.words, 32);
+    let rounds: Vec<usize> = t4.rounds.iter().map(|&(_, _, r)| r).collect();
+    assert_eq!(rounds, t4.paper_rounds.to_vec());
+}
+
+#[test]
+fn table5_multiplier_design_points_match_exactly() {
+    let t5 = reproduction::table5();
+    assert_eq!(t5[0].access_time_ns, 50.88);
+    assert_eq!(t5[0].area_mm2, 2.92);
+    assert_eq!(t5[1].access_time_ns, 23.45);
+    assert_eq!(t5[1].area_mm2, 8.03);
+    assert!(!t5[0].meets_clock(25.0));
+    assert!(t5[1].meets_clock(25.0));
+}
+
+#[test]
+fn table6_fifo_bounds_match_exactly() {
+    let t6 = reproduction::table6();
+    assert!(t6.matches_paper());
+}
+
+#[test]
+fn eq2_mac_count_and_pentium_time_match_within_tolerance() {
+    let e = reproduction::eq2();
+    assert!((e.total as f64 - e.paper_total).abs() / e.paper_total < 0.02);
+    assert!((e.pentium_seconds - 42.0).abs() < 1.0);
+    assert_eq!(e.per_scale.len(), 6);
+    assert_eq!(e.per_scale[0], 512 * 512 * 26);
+}
+
+#[test]
+fn fig2_schedule_and_utilization_match() {
+    let f = reproduction::fig2();
+    assert_eq!(f.normal.len(), 13);
+    assert_eq!(f.normal.busy_cycles(), 13);
+    assert_eq!(f.with_refresh.len(), 19);
+    assert_eq!(f.with_refresh.busy_cycles(), 13);
+    assert!((f.utilization - f.paper_utilization).abs() < 0.002);
+}
+
+#[test]
+fn conclusions_figures_have_the_papers_shape() {
+    // A 128x128 run keeps the test fast; utilization and per-pixel cycle cost
+    // are size independent, and the speedup compares like for like.
+    let c = reproduction::conclusions(128).unwrap();
+    assert!((c.arch_report.utilization() - c.paper.utilization).abs() < 0.002);
+    assert!((c.proposed_area_mm2 - c.paper.area_mm2).abs() < 1.0);
+    assert!(
+        (c.throughput.speedup - c.paper.speedup).abs() / c.paper.speedup < 0.15,
+        "speedup {:.0}",
+        c.throughput.speedup
+    );
+}
+
+#[test]
+fn lossless_summary_is_exact_for_every_bank() {
+    for (id, exact) in reproduction::lossless_summary(64, 4).unwrap() {
+        assert!(exact, "{id}");
+    }
+}
