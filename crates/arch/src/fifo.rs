@@ -46,12 +46,7 @@ impl FifoBounds {
         assert!(s >= 1, "scales are 1-based");
         let row_len = n >> (s - 1);
         assert!(row_len >= 2 * l, "scale {s} is too deep for an image of {n} rows");
-        Self {
-            scale: s,
-            row_len,
-            min_depth: row_len / 2 - l,
-            max_depth: row_len - 2 * l + 4,
-        }
+        Self { scale: s, row_len, min_depth: row_len / 2 - l, max_depth: row_len - 2 * l + 4 }
     }
 
     /// Bounds for every scale — the rows of Table VI.

@@ -40,12 +40,7 @@ impl InputBufferSpec {
         }
         let half_len = filter_len / 2;
         let minimum_words = 4 * half_len + 1;
-        Ok(Self {
-            filter_len,
-            half_len,
-            minimum_words,
-            words: minimum_words.next_power_of_two(),
-        })
+        Ok(Self { filter_len, half_len, minimum_words, words: minimum_words.next_power_of_two() })
     }
 
     /// Size of each of the two banks (half the implemented buffer).
@@ -203,8 +198,7 @@ mod tests {
     fn table4_is_reproduced_for_512() {
         // Table IV: #rounds = 31, 15, 7, 3, 1, 0 for scales 1..6.
         let spec = InputBufferSpec::for_filter(13).unwrap();
-        let rounds: Vec<usize> =
-            spec.table4(512, 6).into_iter().map(|(_, _, r)| r).collect();
+        let rounds: Vec<usize> = spec.table4(512, 6).into_iter().map(|(_, _, r)| r).collect();
         assert_eq!(rounds, vec![31, 15, 7, 3, 1, 0]);
         let sizes: Vec<usize> = spec.table4(512, 6).into_iter().map(|(_, n, _)| n).collect();
         assert_eq!(sizes, vec![512, 256, 128, 64, 32, 16]);
@@ -235,11 +229,7 @@ mod tests {
         assert!(model.peak_occupancy() >= spec.filter_len);
         // 512 interior samples plus the periodic extension on both edges
         // (at most 2l = 12 extra reads).
-        assert!(
-            (512..=512 + 12).contains(&model.loads()),
-            "loads {}",
-            model.loads()
-        );
+        assert!((512..=512 + 12).contains(&model.loads()), "loads {}", model.loads());
     }
 
     #[test]

@@ -185,10 +185,7 @@ impl Macrocycle {
     /// (load or accumulate).
     #[must_use]
     pub fn busy_cycles(&self) -> u64 {
-        self.cycles
-            .iter()
-            .filter(|c| c.accumulator != AccumulatorSlot::Hold)
-            .count() as u64
+        self.cycles.iter().filter(|c| c.accumulator != AccumulatorSlot::Hold).count() as u64
     }
 }
 

@@ -266,8 +266,7 @@ impl ArchSimulator {
 
             for x in 0..cur {
                 let approx: Vec<i64> = (0..cur / 2).map(|y| data[y * n + x]).collect();
-                let detail: Vec<i64> =
-                    (0..cur / 2).map(|y| data[(cur / 2 + y) * n + x]).collect();
+                let detail: Vec<i64> = (0..cur / 2).map(|y| data[(cur / 2 + y) * n + x]).collect();
                 let merged = self.simulate_synthesis_pass(
                     &approx,
                     &detail,
@@ -283,8 +282,7 @@ impl ArchSimulator {
             }
             for y in 0..cur {
                 let approx: Vec<i64> = (0..cur / 2).map(|x| data[y * n + x]).collect();
-                let detail: Vec<i64> =
-                    (0..cur / 2).map(|x| data[y * n + cur / 2 + x]).collect();
+                let detail: Vec<i64> = (0..cur / 2).map(|x| data[y * n + cur / 2 + x]).collect();
                 let merged = self.simulate_synthesis_pass(
                     &approx,
                     &detail,
@@ -368,9 +366,7 @@ impl ArchSimulator {
             for _ in issued..taps {
                 state.mac.mac(0, 0)?;
             }
-            let value = state
-                .mac
-                .finish_macrocycle(acc_frac, out_frac, word_bits)?;
+            let value = state.mac.finish_macrocycle(acc_frac, out_frac, word_bits)?;
             if fifo.push(value)?.is_some() {
                 state.dram.record_write();
             }
@@ -417,8 +413,8 @@ impl ArchSimulator {
         for k in 0..half {
             buffer.access(k, support_min, support_max)?;
             for (kernel, out) in [(lowpass, &mut low), (highpass, &mut high)] {
-                let value = self
-                    .macrocycle(signal, k, kernel, taps, acc_frac, out_frac, word_bits, state)?;
+                let value =
+                    self.macrocycle(signal, k, kernel, taps, acc_frac, out_frac, word_bits, state)?;
                 if fifo.push(value)?.is_some() {
                     state.dram.record_write();
                 }
@@ -523,10 +519,7 @@ mod tests {
         let simulator = ArchSimulator::new(params).unwrap();
         let run = simulator.run(&synth::random_image(64, 64, 12, 5)).unwrap();
         let u = run.report.utilization();
-        assert!(
-            (u - crate::schedule::PAPER_UTILIZATION).abs() < 0.002,
-            "utilization {u:.4}"
-        );
+        assert!((u - crate::schedule::PAPER_UTILIZATION).abs() < 0.002, "utilization {u:.4}");
     }
 
     #[test]
@@ -558,10 +551,7 @@ mod tests {
     fn mismatched_images_are_rejected() {
         let simulator = ArchSimulator::new(small_params()).unwrap();
         let image = synth::flat(32, 32, 12, 0);
-        assert!(matches!(
-            simulator.run(&image),
-            Err(ArchError::WorkloadMismatch(_))
-        ));
+        assert!(matches!(simulator.run(&image), Err(ArchError::WorkloadMismatch(_))));
     }
 
     #[test]
@@ -609,9 +599,7 @@ mod tests {
         let inverse = simulator.run_inverse(&forward.decomposition).unwrap();
         assert_eq!(inverse.report.macrocycles, forward.report.macrocycles);
         assert_eq!(inverse.report.busy_cycles, forward.report.busy_cycles);
-        assert!(
-            (inverse.report.utilization() - forward.report.utilization()).abs() < 1e-6
-        );
+        assert!((inverse.report.utilization() - forward.report.utilization()).abs() < 1e-6);
     }
 
     #[test]

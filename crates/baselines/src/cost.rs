@@ -156,8 +156,8 @@ impl ArchitectureCost {
     ) -> Self {
         let multipliers = class.multipliers(p);
         let memory_words = class.memory_words(p);
-        let mult_cell = MultiplierModel::paper(class.multiplier_design())
-            .scaled_to_width(p.word_bits);
+        let mult_cell =
+            MultiplierModel::paper(class.multiplier_design()).scaled_to_width(p.word_bits);
         ArchitectureCost {
             class,
             multipliers,

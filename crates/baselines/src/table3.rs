@@ -26,8 +26,7 @@ impl Table3Row {
     /// the paper provides one.
     #[must_use]
     pub fn area_deviation(&self) -> Option<f64> {
-        self.paper_area_mm2
-            .map(|paper| (self.cost.total_area_mm2() - paper) / paper)
+        self.paper_area_mm2.map(|paper| (self.cost.total_area_mm2() - paper) / paper)
     }
 }
 

@@ -63,4 +63,3 @@ criterion_group! {
     targets = bench_codec
 }
 criterion_main!(benches);
-

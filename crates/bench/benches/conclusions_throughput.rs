@@ -62,4 +62,3 @@ criterion_group! {
     targets = bench_conclusions
 }
 criterion_main!(benches);
-

@@ -15,9 +15,7 @@ fn bench_eq2(c: &mut Criterion) {
     );
 
     c.bench_function("eq2_mac_count_formula", |b| {
-        b.iter(|| {
-            std::hint::black_box(lwc_core::lwc_perf::macs::total_macs(512, 13, 13, 6))
-        })
+        b.iter(|| std::hint::black_box(lwc_core::lwc_perf::macs::total_macs(512, 13, 13, 6)))
     });
 
     // The "software implementation" the hardware is compared against: the
@@ -65,4 +63,3 @@ criterion_group! {
     targets = bench_eq2
 }
 criterion_main!(benches);
-

@@ -14,9 +14,7 @@ fn bench_fig2(c: &mut Criterion) {
     );
 
     c.bench_function("fig2_macrocycle_construction", |b| {
-        b.iter(|| {
-            std::hint::black_box((Macrocycle::normal(13), Macrocycle::with_refresh(13, 6)))
-        })
+        b.iter(|| std::hint::black_box((Macrocycle::normal(13), Macrocycle::with_refresh(13, 6))))
     });
 
     c.bench_function("fig2_utilization_sweep", |b| {
@@ -46,4 +44,3 @@ criterion_group! {
     targets = bench_fig2
 }
 criterion_main!(benches);
-

@@ -56,4 +56,3 @@ criterion_group! {
     targets = bench_lossless
 }
 criterion_main!(benches);
-

@@ -29,20 +29,12 @@ fn bench_table1(c: &mut Criterion) {
     }
     group.finish();
 
-    let signal: Vec<f64> = lwc_bench::bench_image(512)
-        .row(0)
-        .iter()
-        .map(|&v| v as f64)
-        .collect();
+    let signal: Vec<f64> = lwc_bench::bench_image(512).row(0).iter().map(|&v| v as f64).collect();
     let mut group = c.benchmark_group("table1_row_analysis_512");
     for bank in all_banks() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(bank.id()),
-            &bank,
-            |b, bank| {
-                b.iter(|| std::hint::black_box(lwc_core::lwc_dwt::analyze_periodic(&signal, bank)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(bank.id()), &bank, |b, bank| {
+            b.iter(|| std::hint::black_box(lwc_core::lwc_dwt::analyze_periodic(&signal, bank)));
+        });
     }
     group.finish();
 }
@@ -63,4 +55,3 @@ criterion_group! {
     targets = bench_table1
 }
 criterion_main!(benches);
-

@@ -50,4 +50,3 @@ criterion_group! {
     targets = bench_table2
 }
 criterion_main!(benches);
-

@@ -53,4 +53,3 @@ criterion_group! {
     targets = bench_table3
 }
 criterion_main!(benches);
-

@@ -51,4 +51,3 @@ criterion_group! {
     targets = bench_table4
 }
 criterion_main!(benches);
-

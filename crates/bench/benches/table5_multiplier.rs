@@ -55,4 +55,3 @@ criterion_group! {
     targets = bench_table5
 }
 criterion_main!(benches);
-

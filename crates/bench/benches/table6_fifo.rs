@@ -52,4 +52,3 @@ criterion_group! {
     targets = bench_table6
 }
 criterion_main!(benches);
-

@@ -83,10 +83,7 @@ fn table2() {
         let printed: Vec<String> = paper.iter().map(|b| b.to_string()).collect();
         println!("{:<5} {}   ({})", id.to_string(), computed.join(" "), printed.join(" "));
     }
-    println!(
-        "matches the paper exactly: {}",
-        if t2.matches_paper() { "yes" } else { "NO" }
-    );
+    println!("matches the paper exactly: {}", if t2.matches_paper() { "yes" } else { "NO" });
 }
 
 fn table3() {
@@ -123,10 +120,7 @@ fn table6() {
     for (b, (min, max)) in t6.bounds.iter().zip(t6.paper_min.iter().zip(t6.paper_max.iter())) {
         println!("{:<7} {:>8} {:>8} {:>12}/{}", b.scale, b.min_depth, b.max_depth, min, max);
     }
-    println!(
-        "matches the paper exactly: {}",
-        if t6.matches_paper() { "yes" } else { "NO" }
-    );
+    println!("matches the paper exactly: {}", if t6.matches_paper() { "yes" } else { "NO" });
 }
 
 fn eq2() {
@@ -136,21 +130,14 @@ fn eq2() {
         println!("scale {}: {:>12} MACs", j + 1, macs);
     }
     println!("total:   {:>12} MACs (paper: {:.2e})", e.total, e.paper_total);
-    println!(
-        "Pentium-133 model: {:.1} s per transform (paper: 42 s)",
-        e.pentium_seconds
-    );
+    println!("Pentium-133 model: {:.1} s per transform (paper: 42 s)", e.pentium_seconds);
 }
 
 fn fig2() {
     heading("Fig. 2 — macrocycle operation schedule");
     let f = reproduction::fig2();
     println!("normal macrocycle ({} cycles):\n{}", f.normal.len(), f.normal);
-    println!(
-        "with DRAM refresh extension ({} cycles):\n{}",
-        f.with_refresh.len(),
-        f.with_refresh
-    );
+    println!("with DRAM refresh extension ({} cycles):\n{}", f.with_refresh.len(), f.with_refresh);
     println!(
         "multiplier utilization: {:.2}% (paper: {:.2}%)",
         f.utilization * 100.0,
@@ -167,9 +154,7 @@ fn lossless() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn conclusions(size: usize) -> Result<(), Box<dyn std::error::Error>> {
-    heading(&format!(
-        "Conclusions — simulated architecture on a {size}x{size} 12-bit image"
-    ));
+    heading(&format!("Conclusions — simulated architecture on a {size}x{size} 12-bit image"));
     let c = reproduction::conclusions(size)?;
     println!("{}", c.arch_report);
     println!("\nversus the Pentium-133 software model:\n{}", c.throughput);
@@ -194,5 +179,32 @@ fn conclusions(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     let image = synth::random_image(size, size, 12, 7);
     let (model, seconds) = SoftwareModel::measure_host(&bank, &image, 6.min(image.max_scales()))?;
     println!("host f64 reference for the same image: {seconds:.3} s ({model})");
+
+    // Batch compression engine — the software analogue of the paper's
+    // pipelined datapath: images flow through a pool of workers, each
+    // running the end-to-end lossless codec.
+    let scales = 5.min(image.max_scales());
+    let batch: Vec<Image> = (0..8)
+        .map(|k| match k % 2 {
+            0 => synth::ct_phantom(size, size, 12, 40 + k),
+            _ => synth::mr_slice(size, size, 12, 40 + k),
+        })
+        .collect();
+    let sequential = BatchCompressor::new(scales, 1)?;
+    let parallel = BatchCompressor::with_codec(*sequential.codec(), 0);
+    let (streams, seq) = sequential.compress_batch(&batch)?;
+    let (par_streams, par) = parallel.compress_batch(&batch)?;
+    assert_eq!(streams, par_streams, "parallel streams must be byte-identical");
+    println!(
+        "\nbatch compression engine ({} images of {size}x{size}, {scales} scales):",
+        batch.len()
+    );
+    println!("  1 worker  : {seq}");
+    println!("  {} workers : {par}", par.workers);
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    println!(
+        "  speedup: {:.2}x on {cores} logical cores, streams byte-identical",
+        par.speedup_over(&seq)
+    );
     Ok(())
 }

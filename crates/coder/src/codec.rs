@@ -164,9 +164,8 @@ impl LosslessCodec {
             }
         }
 
-        let coeffs = lwc_lifting::LiftingCoefficients::from_raw(
-            data, width, height, scales, bit_depth,
-        )?;
+        let coeffs =
+            lwc_lifting::LiftingCoefficients::from_raw(data, width, height, scales, bit_depth)?;
         Ok(self.transform.inverse(&coeffs)?)
     }
 
@@ -219,10 +218,7 @@ mod tests {
         let codec = LosslessCodec::new(5).unwrap();
         let image = synth::ct_phantom(256, 256, 12, 3);
         let (_bytes, report) = codec.compress_with_report(&image).unwrap();
-        assert!(
-            report.ratio() > 1.5,
-            "a CT phantom should compress well, got {report}"
-        );
+        assert!(report.ratio() > 1.5, "a CT phantom should compress well, got {report}");
         assert!(report.bits_per_pixel < 8.0);
     }
 
@@ -265,11 +261,8 @@ mod tests {
 
     #[test]
     fn report_display_is_readable() {
-        let report = CompressionReport {
-            raw_bytes: 1000,
-            compressed_bytes: 500,
-            bits_per_pixel: 6.0,
-        };
+        let report =
+            CompressionReport { raw_bytes: 1000, compressed_bytes: 500, bits_per_pixel: 6.0 };
         assert!(report.to_string().contains("2.00:1"));
         assert!((report.ratio() - 2.0).abs() < 1e-12);
     }

@@ -33,8 +33,8 @@ pub fn optimal_parameter(values: &[i32]) -> u32 {
     if values.is_empty() {
         return 0;
     }
-    let mean: f64 = values.iter().map(|&v| zigzag_encode(v) as f64).sum::<f64>()
-        / values.len() as f64;
+    let mean: f64 =
+        values.iter().map(|&v| zigzag_encode(v) as f64).sum::<f64>() / values.len() as f64;
     let mut k = 0;
     while k < MAX_RICE_PARAMETER && (1u64 << (k + 1)) as f64 <= mean + 1.0 {
         k += 1;
@@ -47,7 +47,7 @@ pub fn encode_value(writer: &mut BitWriter, value: i32, k: u32) {
     let u = zigzag_encode(value);
     let quotient = u >> k;
     writer.write_unary(quotient);
-    writer.write_bits(u & ((1u64 << k) - 1).max(0), k);
+    writer.write_bits(u & ((1u64 << k) - 1), k);
 }
 
 /// Reads one value coded with Rice parameter `k`.
@@ -142,15 +142,8 @@ mod tests {
     fn peaked_distributions_compress_well() {
         // Two-sided geometric-ish data: mostly zeros with occasional spikes.
         let mut rng = StdRng::seed_from_u64(3);
-        let values: Vec<i32> = (0..4000)
-            .map(|_| {
-                if rng.gen_bool(0.85) {
-                    0
-                } else {
-                    rng.gen_range(-6..=6)
-                }
-            })
-            .collect();
+        let values: Vec<i32> =
+            (0..4000).map(|_| if rng.gen_bool(0.85) { 0 } else { rng.gen_range(-6..=6) }).collect();
         let k = optimal_parameter(&values);
         let mut w = BitWriter::new();
         encode_slice(&mut w, &values, k);

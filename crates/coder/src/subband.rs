@@ -26,7 +26,7 @@ impl SubbandCodec {
         Self
     }
 
-    /// Encodes one subband as a sequence of [`BLOCK_SIZE`]-sample blocks,
+    /// Encodes one subband as a sequence of `BLOCK_SIZE` (64) sample blocks,
     /// each preceded by its 5-bit Rice parameter. Returns the number of bits
     /// written.
     pub fn encode_subband(self, writer: &mut BitWriter, samples: &[i32]) -> u64 {

@@ -5,7 +5,10 @@
 //! assert on it. The experiment identifiers (`E-T1` … `E-C1`) follow the
 //! per-experiment index in `DESIGN.md`.
 
+use lwc_arch::fifo::FifoBounds;
+use lwc_arch::input_buffer::InputBufferSpec;
 use lwc_arch::schedule::{utilization, Macrocycle, PAPER_UTILIZATION};
+use lwc_arch::ArchError;
 use lwc_arch::{ArchParams, ArchReport, ArchSimulator};
 use lwc_baselines::{CostParameters, Table3Row};
 use lwc_dwt::DwtError;
@@ -16,9 +19,6 @@ use lwc_perf::macs;
 use lwc_perf::software::SoftwareModel;
 use lwc_tech::{MultiplierModel, TABLE5_PAPER};
 use lwc_wordlen::integer_bits::{self, TABLE2_PAPER};
-use lwc_arch::fifo::FifoBounds;
-use lwc_arch::input_buffer::InputBufferSpec;
-use lwc_arch::ArchError;
 
 /// E-T1 — one row of the regenerated Table I.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,11 +96,7 @@ pub struct Table4Reproduction {
 /// 13-tap configuration).
 pub fn table4() -> Result<Table4Reproduction, ArchError> {
     let spec = InputBufferSpec::for_filter(13)?;
-    Ok(Table4Reproduction {
-        spec,
-        rounds: spec.table4(512, 6),
-        paper_rounds: [31, 15, 7, 3, 1, 0],
-    })
+    Ok(Table4Reproduction { spec, rounds: spec.table4(512, 6), paper_rounds: [31, 15, 7, 3, 1, 0] })
 }
 
 /// E-T5 — the two multiplier design points of Table V.
@@ -124,9 +120,10 @@ impl Table6Reproduction {
     /// `true` when every bound matches the paper exactly.
     #[must_use]
     pub fn matches_paper(&self) -> bool {
-        self.bounds.iter().zip(self.paper_min.iter().zip(self.paper_max.iter())).all(
-            |(b, (&min, &max))| b.min_depth == min && b.max_depth == max,
-        )
+        self.bounds
+            .iter()
+            .zip(self.paper_min.iter().zip(self.paper_max.iter()))
+            .all(|(b, (&min, &max))| b.min_depth == min && b.max_depth == max)
     }
 }
 
@@ -239,12 +236,8 @@ pub fn conclusions(image_size: usize) -> Result<ConclusionsReproduction, ArchErr
     let software = SoftwareModel::pentium_133();
     let software_macs = macs::total_macs(image_size, 13, 13, 6);
     let hardware = HardwareModel { clock_hz: params.clock_hz() };
-    let throughput = ThroughputReport::new(
-        &hardware,
-        run.report.total_cycles(),
-        &software,
-        software_macs,
-    );
+    let throughput =
+        ThroughputReport::new(&hardware, run.report.total_cycles(), &software, software_macs);
 
     // The silicon area is a property of the chip, which the paper sizes for
     // 512×512 images (input buffer of N/2 + 32 words with N = 512); report
@@ -273,10 +266,7 @@ pub fn conclusions(image_size: usize) -> Result<ConclusionsReproduction, ArchErr
 /// # Errors
 ///
 /// Propagates transform errors (undecomposable image).
-pub fn lossless_summary(
-    image_size: usize,
-    scales: u32,
-) -> Result<Vec<(FilterId, bool)>, DwtError> {
+pub fn lossless_summary(image_size: usize, scales: u32) -> Result<Vec<(FilterId, bool)>, DwtError> {
     let image = synth::random_image(image_size, image_size, 12, 42);
     FilterId::ALL
         .iter()

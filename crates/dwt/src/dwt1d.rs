@@ -109,11 +109,7 @@ mod tests {
                 assert_eq!(a.len(), n / 2);
                 assert_eq!(d.len(), n / 2);
                 let y = synthesize_periodic(&a, &d, &bank);
-                let max_err = x
-                    .iter()
-                    .zip(&y)
-                    .map(|(u, v)| (u - v).abs())
-                    .fold(0.0f64, f64::max);
+                let max_err = x.iter().zip(&y).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
                 // Table I coefficients carry ~1e-6 truncation, so the
                 // reconstruction error is a few 1e-3 for 11-bit data.
                 assert!(max_err < 2e-2, "{id}, n={n}: reconstruction error {max_err}");
@@ -128,8 +124,7 @@ mod tests {
             let x = random_signal(64, 99);
             let (a, d) = analyze_periodic(&x, &bank);
             let y = synthesize_periodic(&a, &d, &bank);
-            let max_err =
-                x.iter().zip(&y).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
+            let max_err = x.iter().zip(&y).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
             assert!(max_err < 1e-9, "{id}: reconstruction error {max_err}");
         }
     }

@@ -34,10 +34,9 @@ pub enum DwtError {
 impl fmt::Display for DwtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DwtError::NotDecomposable { width, height, scales } => write!(
-                f,
-                "a {width}x{height} image cannot be decomposed over {scales} scales"
-            ),
+            DwtError::NotDecomposable { width, height, scales } => {
+                write!(f, "a {width}x{height} image cannot be decomposed over {scales} scales")
+            }
             DwtError::ConfigurationMismatch(msg) => write!(f, "configuration mismatch: {msg}"),
             DwtError::Plan(e) => write!(f, "word-length plan error: {e}"),
             DwtError::Fixed(e) => write!(f, "fixed-point error: {e}"),

@@ -124,18 +124,14 @@ pub fn synthesize_periodic_fixed(
         for (m, c) in indexed(lowpass) {
             let idx = (base + m as i64).rem_euclid(n as i64) as usize;
             acc[idx] = acc[idx]
-                .checked_add(
-                    c.checked_mul(a).ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?,
-                )
+                .checked_add(c.checked_mul(a).ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?)
                 .ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?;
         }
         let d = detail[k];
         for (m, c) in indexed(highpass) {
             let idx = (base + m as i64).rem_euclid(n as i64) as usize;
             acc[idx] = acc[idx]
-                .checked_add(
-                    c.checked_mul(d).ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?,
-                )
+                .checked_add(c.checked_mul(d).ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?)
                 .ok_or(lwc_fixed::FixedError::AccumulatorOverflow)?;
         }
     }
@@ -197,10 +193,7 @@ mod tests {
             let out_lsb = (plan.frac_bits_for_scale(1) as f64).exp2().recip();
             for (f, r) in fa.iter().zip(&ra).chain(fd.iter().zip(&rd)) {
                 let fixed_value = *f as f64 * out_lsb;
-                assert!(
-                    (fixed_value - r).abs() < 1e-3,
-                    "{id}: fixed {fixed_value} vs float {r}"
-                );
+                assert!((fixed_value - r).abs() < 1e-3, "{id}: fixed {fixed_value} vs float {r}");
             }
         }
     }
@@ -268,12 +261,8 @@ mod tests {
 
     #[test]
     fn step_reports_accumulator_precision() {
-        let step = FixedStep {
-            in_frac_bits: 19,
-            out_frac_bits: 17,
-            coeff_frac_bits: 30,
-            word_bits: 32,
-        };
+        let step =
+            FixedStep { in_frac_bits: 19, out_frac_bits: 17, coeff_frac_bits: 30, word_bits: 32 };
         assert_eq!(step.accumulator_frac_bits(), 49);
         // Rounding half up: 1.5 LSBs of the output -> 2.
         let acc = 3i64 << (49 - 17 - 1);

@@ -94,9 +94,12 @@ impl FixedDwt2d {
         self.plan.scales()
     }
 
-    /// Fixed-point analysis step for the pass producing scale `to` data from
-    /// scale `from` data.
-    fn step(&self, from: u32, to: u32) -> FixedStep {
+    /// Fixed-point step for the pass producing scale `to` data from scale
+    /// `from` data — the per-pass alignment/rounding schedule. Public so
+    /// alternative drivers (e.g. the row-parallel transform in
+    /// `lwc-pipeline`) reuse the exact schedule instead of mirroring it.
+    #[must_use]
+    pub fn step(&self, from: u32, to: u32) -> FixedStep {
         FixedStep {
             in_frac_bits: self.plan.frac_bits_for_scale(from),
             out_frac_bits: self.plan.frac_bits_for_scale(to),
@@ -114,6 +117,32 @@ impl FixedDwt2d {
     /// * [`DwtError::Fixed`] if a word overflows (cannot happen when the
     ///   image respects the plan's input bit depth).
     pub fn forward(&self, image: &Image) -> Result<Decomposition<i64>, DwtError> {
+        self.forward_with(image, |data, stride, cur_w, cur_h, s| {
+            self.forward_scale(data, stride, cur_w, cur_h, s)
+        })
+    }
+
+    /// Drives the forward transform with a caller-supplied per-scale pass:
+    /// validation, the input shift, the scale schedule and the result
+    /// packaging are all handled here, so alternative pass implementations
+    /// (e.g. the row-parallel one in `lwc-pipeline`) cannot diverge from the
+    /// sequential transform's driver.
+    ///
+    /// `pass` receives `(data, stride, cur_w, cur_h, scale)` and must perform
+    /// exactly one 2-D analysis pass over the active `cur_w × cur_h` region.
+    ///
+    /// # Errors
+    ///
+    /// See [`FixedDwt2d::forward`]; additionally propagates any error the
+    /// pass returns.
+    pub fn forward_with<F>(
+        &self,
+        image: &Image,
+        mut pass: F,
+    ) -> Result<Decomposition<i64>, DwtError>
+    where
+        F: FnMut(&mut [i64], usize, usize, usize, u32) -> Result<(), DwtError>,
+    {
         Dwt2d::check_decomposable(image.width(), image.height(), self.scales())?;
         let width = image.width();
         let height = image.height();
@@ -124,7 +153,7 @@ impl FixedDwt2d {
         let mut cur_w = width;
         let mut cur_h = height;
         for s in 1..=self.scales() {
-            self.forward_scale(&mut data, width, cur_w, cur_h, s)?;
+            pass(&mut data, width, cur_w, cur_h, s)?;
             cur_w /= 2;
             cur_h /= 2;
         }
@@ -147,6 +176,28 @@ impl FixedDwt2d {
     ///   with a different filter or depth.
     /// * [`DwtError::Fixed`] if a word overflows during reconstruction.
     pub fn inverse(&self, decomposition: &Decomposition<i64>) -> Result<Image, DwtError> {
+        self.inverse_with(decomposition, |data, stride, cur_w, cur_h, s| {
+            self.inverse_scale(data, stride, cur_w, cur_h, s)
+        })
+    }
+
+    /// Drives the inverse transform with a caller-supplied per-scale pass;
+    /// the counterpart of [`FixedDwt2d::forward_with`], owning the
+    /// configuration checks, the reversed scale schedule and the final
+    /// round-half-up narrowing to integer pixels.
+    ///
+    /// # Errors
+    ///
+    /// See [`FixedDwt2d::inverse`]; additionally propagates any error the
+    /// pass returns.
+    pub fn inverse_with<F>(
+        &self,
+        decomposition: &Decomposition<i64>,
+        mut pass: F,
+    ) -> Result<Image, DwtError>
+    where
+        F: FnMut(&mut [i64], usize, usize, usize, u32) -> Result<(), DwtError>,
+    {
         if decomposition.filter() != self.bank.id() {
             return Err(DwtError::ConfigurationMismatch(format!(
                 "decomposition was made with {} but the transform uses {}",
@@ -167,7 +218,7 @@ impl FixedDwt2d {
         for s in (1..=self.scales()).rev() {
             let cur_w = width >> (s - 1);
             let cur_h = height >> (s - 1);
-            self.inverse_scale(&mut data, width, cur_w, cur_h, s)?;
+            pass(&mut data, width, cur_w, cur_h, s)?;
         }
         // Final rounding from the scale-0 format back to integer pixels.
         let frac0 = self.plan.frac_bits_for_scale(0);

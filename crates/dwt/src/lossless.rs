@@ -94,11 +94,9 @@ pub fn fixed_roundtrip_with_plan(
     let hw = FixedDwt2d::with_plan(bank, plan.clone())?;
     match hw.roundtrip(image) {
         Ok(back) => compare(image, &back),
-        Err(DwtError::Fixed(_)) => Ok(RoundtripReport {
-            max_abs_error: i32::MAX,
-            mse: f64::INFINITY,
-            bit_exact: false,
-        }),
+        Err(DwtError::Fixed(_)) => {
+            Ok(RoundtripReport { max_abs_error: i32::MAX, mse: f64::INFINITY, bit_exact: false })
+        }
         Err(e) => Err(e),
     }
 }

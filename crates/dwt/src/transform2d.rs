@@ -59,11 +59,12 @@ impl Dwt2d {
     }
 
     /// Checks that an image of `width × height` supports `scales` scales.
-    pub(crate) fn check_decomposable(
-        width: usize,
-        height: usize,
-        scales: u32,
-    ) -> Result<(), DwtError> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DwtError::NotDecomposable`] if any of the first `scales`
+    /// halvings would leave an odd or empty dimension.
+    pub fn check_decomposable(width: usize, height: usize, scales: u32) -> Result<(), DwtError> {
         let mut w = width;
         let mut h = height;
         for _ in 0..scales {
@@ -138,10 +139,7 @@ impl Dwt2d {
             inverse_scale(&mut data, width, cur_w, cur_h, &self.bank);
         }
         let max = (1i32 << decomposition.input_bit_depth()) - 1;
-        let samples: Vec<i32> = data
-            .iter()
-            .map(|&v| (v.round() as i32).clamp(0, max))
-            .collect();
+        let samples: Vec<i32> = data.iter().map(|&v| (v.round() as i32).clamp(0, max)).collect();
         Ok(Image::from_samples(width, height, decomposition.input_bit_depth(), samples)?)
     }
 
@@ -250,10 +248,7 @@ mod tests {
         let d = dwt.forward(&image).unwrap();
         for s in 1..=2 {
             for band in Band::DETAILS {
-                let max = d
-                    .subband(s, band)
-                    .iter()
-                    .fold(0.0f64, |m, &v| m.max(v.abs()));
+                let max = d.subband(s, band).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
                 assert!(max < 1e-2, "scale {s} {band}: detail magnitude {max}");
             }
         }
@@ -269,9 +264,8 @@ mod tests {
         let dwt = Dwt2d::new(FilterBank::table1(FilterId::F1), 1).unwrap();
         let smooth = dwt.forward(&synth::gradient(64, 64, 12)).unwrap();
         let busy = dwt.forward(&synth::checkerboard(64, 64, 12, 1)).unwrap();
-        let energy = |d: &Decomposition<f64>, band| {
-            d.subband(1, band).iter().map(|v| v * v).sum::<f64>()
-        };
+        let energy =
+            |d: &Decomposition<f64>, band| d.subband(1, band).iter().map(|v| v * v).sum::<f64>();
         assert!(
             energy(&busy, Band::DiagonalDetail) > 100.0 * energy(&smooth, Band::DiagonalDetail)
         );

@@ -23,14 +23,8 @@ pub enum FilterId {
 
 impl FilterId {
     /// All six identifiers in Table I order.
-    pub const ALL: [FilterId; 6] = [
-        FilterId::F1,
-        FilterId::F2,
-        FilterId::F3,
-        FilterId::F4,
-        FilterId::F5,
-        FilterId::F6,
-    ];
+    pub const ALL: [FilterId; 6] =
+        [FilterId::F1, FilterId::F2, FilterId::F3, FilterId::F4, FilterId::F5, FilterId::F6];
 
     /// Index of the bank in Table I (0-based).
     #[must_use]
@@ -317,11 +311,8 @@ mod tests {
             let table = FilterBank::table1(id);
             let refined = FilterBank::with_precision(id, CoefficientPrecision::Refined);
             assert_eq!(table.analysis_lowpass().len(), refined.analysis_lowpass().len());
-            for (a, b) in table
-                .analysis_lowpass()
-                .coeffs()
-                .iter()
-                .zip(refined.analysis_lowpass().coeffs())
+            for (a, b) in
+                table.analysis_lowpass().coeffs().iter().zip(refined.analysis_lowpass().coeffs())
             {
                 assert!((a - b).abs() < 1e-5, "{id}: {a} vs {b}");
             }

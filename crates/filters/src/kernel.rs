@@ -119,10 +119,7 @@ impl Kernel {
 
     /// Iterates over `(index, coefficient)` pairs.
     pub fn iter_indexed(&self) -> impl Iterator<Item = (i32, f64)> + '_ {
-        self.coeffs
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.min_index + i as i32, c))
+        self.coeffs.iter().enumerate().map(move |(i, &c)| (self.min_index + i as i32, c))
     }
 
     /// Sum of coefficients (DC gain).

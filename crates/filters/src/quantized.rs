@@ -25,11 +25,8 @@ impl QuantizedKernel {
     ///
     /// Returns an error if any coefficient does not fit `format`.
     pub fn quantize(kernel: &Kernel, format: QFormat) -> Result<Self, FixedError> {
-        let raw = kernel
-            .coeffs()
-            .iter()
-            .map(|&c| format.quantize(c))
-            .collect::<Result<Vec<_>, _>>()?;
+        let raw =
+            kernel.coeffs().iter().map(|&c| format.quantize(c)).collect::<Result<Vec<_>, _>>()?;
         Ok(Self { raw, min_index: kernel.min_index(), format })
     }
 
@@ -199,8 +196,7 @@ mod tests {
                 q.analysis_lowpass().max_quantization_error(bank.analysis_lowpass()) <= lsb / 2.0
             );
             assert!(
-                q.synthesis_lowpass().max_quantization_error(bank.synthesis_lowpass())
-                    <= lsb / 2.0
+                q.synthesis_lowpass().max_quantization_error(bank.synthesis_lowpass()) <= lsb / 2.0
             );
         }
     }

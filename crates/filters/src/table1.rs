@@ -27,6 +27,9 @@ pub struct Table1Entry {
 
 /// Table I of the paper: the six filter banks best suited to image
 /// compression according to Villasenor et al.
+// Coefficients are the paper's printed 6-decimal values (e.g. 0.707107),
+// kept verbatim rather than replaced with f64 consts.
+#[allow(clippy::approx_constant)]
 pub const TABLE1: [Table1Entry; 6] = [
     // F1 — the 9/7 bank
     Table1Entry {
@@ -42,9 +45,7 @@ pub const TABLE1: [Table1Entry; 6] = [
     Table1Entry {
         label: "F2",
         analysis_len: 13,
-        analysis_half: &[
-            0.767245, 0.383269, -0.068878, -0.033475, 0.047282, 0.003759, -0.008473,
-        ],
+        analysis_half: &[0.767245, 0.383269, -0.068878, -0.033475, 0.047282, 0.003759, -0.008473],
         analysis_abs_sum: 1.857495,
         synthesis_len: 11,
         synthesis_half: &[0.832848, 0.448109, -0.069163, -0.108737, 0.006292, 0.014182],
@@ -125,11 +126,8 @@ mod tests {
     #[test]
     fn half_lists_have_consistent_length() {
         for e in &TABLE1 {
-            let expected_analysis = if e.analysis_len % 2 == 1 {
-                e.analysis_len / 2 + 1
-            } else {
-                e.analysis_len / 2
-            };
+            let expected_analysis =
+                if e.analysis_len % 2 == 1 { e.analysis_len / 2 + 1 } else { e.analysis_len / 2 };
             let expected_synthesis = if e.synthesis_len % 2 == 1 {
                 e.synthesis_len / 2 + 1
             } else {
@@ -183,11 +181,8 @@ mod tests {
 
     #[test]
     fn symmetry_classes() {
-        let whole: Vec<&str> = TABLE1
-            .iter()
-            .filter(|e| e.is_whole_sample_symmetric())
-            .map(|e| e.label)
-            .collect();
+        let whole: Vec<&str> =
+            TABLE1.iter().filter(|e| e.is_whole_sample_symmetric()).map(|e| e.label).collect();
         assert_eq!(whole, vec!["F1", "F2", "F4", "F6"]);
     }
 }

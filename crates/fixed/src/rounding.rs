@@ -120,11 +120,7 @@ mod tests {
         for acc in -2000i64..2000 {
             for shift in 1..8u32 {
                 let expected = ((acc as f64) / (shift as f64).exp2() + 0.5).floor() as i64;
-                assert_eq!(
-                    round_half_up_shift(acc, shift),
-                    expected,
-                    "acc={acc} shift={shift}"
-                );
+                assert_eq!(round_half_up_shift(acc, shift), expected, "acc={acc} shift={shift}");
             }
         }
     }

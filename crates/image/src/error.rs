@@ -42,19 +42,16 @@ pub enum ImageError {
 impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ImageError::InvalidDimensions { width, height, samples } => write!(
-                f,
-                "invalid image dimensions {width}x{height} for {samples} samples"
-            ),
+            ImageError::InvalidDimensions { width, height, samples } => {
+                write!(f, "invalid image dimensions {width}x{height} for {samples} samples")
+            }
             ImageError::InvalidBitDepth(b) => write!(f, "unsupported bit depth {b}"),
             ImageError::SampleOutOfRange { value, bit_depth } => {
                 write!(f, "sample {value} does not fit {bit_depth}-bit range")
             }
-            ImageError::ShapeMismatch { left, right } => write!(
-                f,
-                "image shapes differ: {}x{} vs {}x{}",
-                left.0, left.1, right.0, right.1
-            ),
+            ImageError::ShapeMismatch { left, right } => {
+                write!(f, "image shapes differ: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
+            }
             ImageError::MalformedPgm(msg) => write!(f, "malformed pgm stream: {msg}"),
             ImageError::Io(e) => write!(f, "i/o error: {e}"),
         }

@@ -74,9 +74,8 @@ pub fn read_pgm<R: Read>(mut reader: R) -> Result<Image, ImageError> {
     if magic != "P5" {
         return Err(ImageError::MalformedPgm(format!("unsupported magic {magic:?}")));
     }
-    let width: usize = next_token(&data)?
-        .parse()
-        .map_err(|_| ImageError::MalformedPgm("bad width".to_owned()))?;
+    let width: usize =
+        next_token(&data)?.parse().map_err(|_| ImageError::MalformedPgm("bad width".to_owned()))?;
     let height: usize = next_token(&data)?
         .parse()
         .map_err(|_| ImageError::MalformedPgm("bad height".to_owned()))?;
@@ -102,10 +101,7 @@ pub fn read_pgm<R: Read>(mut reader: R) -> Result<Image, ImageError> {
         let raster = data
             .get(pos..pos + 2 * pixels)
             .ok_or_else(|| ImageError::MalformedPgm("truncated raster".to_owned()))?;
-        raster
-            .chunks_exact(2)
-            .map(|c| i32::from(u16::from_be_bytes([c[0], c[1]])))
-            .collect()
+        raster.chunks_exact(2).map(|c| i32::from(u16::from_be_bytes([c[0], c[1]]))).collect()
     };
     Image::from_samples(width, height, bit_depth, samples)
 }

@@ -87,12 +87,7 @@ pub fn first_difference_entropy(image: &Image) -> f64 {
 /// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
 pub fn max_abs_diff(a: &Image, b: &Image) -> Result<i32, ImageError> {
     a.check_same_shape(b)?;
-    Ok(a.samples()
-        .iter()
-        .zip(b.samples())
-        .map(|(&x, &y)| (x - y).abs())
-        .max()
-        .unwrap_or(0))
+    Ok(a.samples().iter().zip(b.samples()).map(|(&x, &y)| (x - y).abs()).max().unwrap_or(0))
 }
 
 /// Mean squared error between two images.
@@ -102,12 +97,8 @@ pub fn max_abs_diff(a: &Image, b: &Image) -> Result<i32, ImageError> {
 /// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
 pub fn mse(a: &Image, b: &Image) -> Result<f64, ImageError> {
     a.check_same_shape(b)?;
-    let sum: f64 = a
-        .samples()
-        .iter()
-        .zip(b.samples())
-        .map(|(&x, &y)| ((x - y) as f64).powi(2))
-        .sum();
+    let sum: f64 =
+        a.samples().iter().zip(b.samples()).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum();
     Ok(sum / a.pixel_count() as f64)
 }
 

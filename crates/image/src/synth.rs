@@ -49,6 +49,9 @@ struct Ellipse {
     intensity: f64,
 }
 
+// The ellipse parameters follow the Shepp-Logan convention; 1.5707963 is
+// the table's printed 7-digit right angle, kept verbatim rather than PI/2.
+#[allow(clippy::approx_constant)]
 const PHANTOM_ELLIPSES: [Ellipse; 8] = [
     Ellipse { cx: 0.0, cy: 0.0, rx: 0.92, ry: 0.69, theta: 1.5707963, intensity: 1.0 },
     Ellipse { cx: 0.0, cy: -0.0184, rx: 0.874, ry: 0.6624, theta: 1.5707963, intensity: -0.8 },
@@ -87,10 +90,8 @@ pub fn ct_phantom(width: usize, height: usize, bit_depth: u32, seed: u64) -> Ima
             for sy in 0..SS {
                 for sx in 0..SS {
                     // Map the sub-sample to [-1, 1] coordinates.
-                    let fx = 2.0 * (x as f64 + (sx as f64 + 0.5) / SS as f64) / width as f64
-                        - 1.0;
-                    let fy = 2.0 * (y as f64 + (sy as f64 + 0.5) / SS as f64) / height as f64
-                        - 1.0;
+                    let fx = 2.0 * (x as f64 + (sx as f64 + 0.5) / SS as f64) / width as f64 - 1.0;
+                    let fy = 2.0 * (y as f64 + (sy as f64 + 0.5) / SS as f64) / height as f64 - 1.0;
                     for e in &PHANTOM_ELLIPSES {
                         let dx = fx - e.cx;
                         let dy = fy - e.cy;
@@ -234,7 +235,9 @@ mod tests {
     fn ct_phantom_is_smoother_than_noise() {
         let phantom = ct_phantom(64, 64, 12, 1);
         let noise = random_image(64, 64, 12, 1);
-        assert!(stats::first_difference_entropy(&phantom) < stats::first_difference_entropy(&noise));
+        assert!(
+            stats::first_difference_entropy(&phantom) < stats::first_difference_entropy(&noise)
+        );
     }
 
     #[test]

@@ -29,10 +29,9 @@ pub enum LiftingError {
 impl fmt::Display for LiftingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LiftingError::NotDecomposable { width, height, scales } => write!(
-                f,
-                "a {width}x{height} image cannot be lifted over {scales} scales"
-            ),
+            LiftingError::NotDecomposable { width, height, scales } => {
+                write!(f, "a {width}x{height} image cannot be lifted over {scales} scales")
+            }
             LiftingError::NoScales => write!(f, "at least one scale is required"),
             LiftingError::ConfigurationMismatch(msg) => {
                 write!(f, "configuration mismatch: {msg}")

@@ -303,10 +303,7 @@ mod tests {
         assert!(Lifting53::new(0).is_err());
         let lifting = Lifting53::new(5).unwrap();
         let image = synth::flat(48, 48, 8, 0);
-        assert!(matches!(
-            lifting.forward(&image),
-            Err(LiftingError::NotDecomposable { .. })
-        ));
+        assert!(matches!(lifting.forward(&image), Err(LiftingError::NotDecomposable { .. })));
         let coeffs = Lifting53::new(2).unwrap().forward(&synth::flat(32, 32, 8, 1)).unwrap();
         assert!(matches!(
             Lifting53::new(3).unwrap().inverse(&coeffs),

@@ -89,10 +89,7 @@ mod tests {
         for scales in 1..=6 {
             let sum = total_macs(512, 13, 13, scales) as f64;
             let closed = total_macs_closed_form(512, 13, 13, scales);
-            assert!(
-                (sum - closed).abs() / sum < 1e-12,
-                "scales={scales}: {sum} vs {closed}"
-            );
+            assert!((sum - closed).abs() / sum < 1e-12, "scales={scales}: {sum} vs {closed}");
         }
     }
 

@@ -67,10 +67,7 @@ impl SoftwareModel {
         let l_h = bank.analysis_lowpass().len();
         let l_g = bank.analysis_highpass().len();
         let total = macs::total_macs(image.width(), l_h, l_g, scales);
-        Ok((
-            Self { name: "host f64 reference", macs_per_second: total as f64 / elapsed },
-            elapsed,
-        ))
+        Ok((Self { name: "host f64 reference", macs_per_second: total as f64 / elapsed }, elapsed))
     }
 }
 

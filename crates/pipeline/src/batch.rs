@@ -1,0 +1,281 @@
+//! Inter-image parallelism: the batch Rice-codec engine.
+
+use crate::report::BatchReport;
+use crate::stream::{spawn_ordered, OrderedStream};
+use crate::PipelineError;
+use lwc_coder::LosslessCodec;
+use lwc_image::Image;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+use std::time::Instant;
+
+/// Fans batches of images across worker threads, each running the
+/// end-to-end lossless Rice codec.
+///
+/// The engine never re-orders or re-encodes anything: every image is
+/// compressed by the very same [`LosslessCodec`] a sequential caller would
+/// use, so each output stream is **byte-identical** to
+/// [`LosslessCodec::compress`] and results always come back in input order.
+///
+/// ```
+/// use lwc_image::synth;
+/// use lwc_pipeline::BatchCompressor;
+///
+/// # fn main() -> Result<(), lwc_pipeline::PipelineError> {
+/// let engine = BatchCompressor::new(4, 2)?;
+/// let batch: Vec<_> = (0..4).map(|s| synth::ct_phantom(64, 64, 12, s)).collect();
+/// let (streams, report) = engine.compress_batch(&batch)?;
+/// assert_eq!(streams.len(), 4);
+/// assert!(report.megabytes_per_second() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchCompressor {
+    codec: LosslessCodec,
+    workers: usize,
+}
+
+impl BatchCompressor {
+    /// Creates an engine with the given decomposition depth and worker
+    /// count. `workers == 0` selects the machine's available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scales` is zero.
+    pub fn new(scales: u32, workers: usize) -> Result<Self, PipelineError> {
+        Ok(Self::with_codec(LosslessCodec::new(scales)?, workers))
+    }
+
+    /// Wraps an existing codec. `workers == 0` selects the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn with_codec(codec: LosslessCodec, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            workers
+        };
+        Self { codec, workers }
+    }
+
+    /// The codec every worker runs.
+    #[must_use]
+    pub fn codec(&self) -> &LosslessCodec {
+        &self.codec
+    }
+
+    /// Number of worker threads used for batches.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Compresses a whole batch, returning the per-image streams (in input
+    /// order) and the wall-clock throughput of the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-image codec error, if any.
+    pub fn compress_batch(
+        &self,
+        images: &[Image],
+    ) -> Result<(Vec<Vec<u8>>, BatchReport), PipelineError> {
+        let raw_bytes: usize =
+            images.iter().map(|i| (i.pixel_count() * i.bit_depth() as usize).div_ceil(8)).sum();
+        let start = Instant::now();
+        let streams = self.run_indexed(images, |image| Ok(self.codec.compress(image)?))?;
+        let wall = start.elapsed();
+        let compressed_bytes = streams.iter().map(Vec::len).sum();
+        let report = BatchReport {
+            images: images.len(),
+            raw_bytes,
+            compressed_bytes,
+            workers: self.workers.min(images.len().max(1)),
+            wall,
+        };
+        Ok((streams, report))
+    }
+
+    /// Decompresses a whole batch of streams, returning the images in input
+    /// order and the wall-clock throughput (rated against the *decoded* raw
+    /// volume).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-stream codec error, if any.
+    pub fn decompress_batch(
+        &self,
+        streams: &[Vec<u8>],
+    ) -> Result<(Vec<Image>, BatchReport), PipelineError> {
+        let start = Instant::now();
+        let images = self.run_indexed(streams, |bytes| Ok(self.codec.decompress(bytes)?))?;
+        let wall = start.elapsed();
+        let raw_bytes =
+            images.iter().map(|i| (i.pixel_count() * i.bit_depth() as usize).div_ceil(8)).sum();
+        let report = BatchReport {
+            images: images.len(),
+            raw_bytes,
+            compressed_bytes: streams.iter().map(Vec::len).sum(),
+            workers: self.workers.min(streams.len().max(1)),
+            wall,
+        };
+        Ok((images, report))
+    }
+
+    /// Streaming compression: images are pulled from `images` as worker
+    /// capacity frees up and compressed streams are yielded in input order.
+    /// Peak memory is bounded by the worker count, not the batch length.
+    pub fn compress_iter<I>(&self, images: I) -> OrderedStream<Vec<u8>>
+    where
+        I: IntoIterator<Item = Image>,
+        I::IntoIter: Send + 'static,
+    {
+        let codec = self.codec;
+        spawn_ordered(self.workers, images.into_iter(), move |image| Ok(codec.compress(&image)?))
+    }
+
+    /// Streaming decompression, the inverse of
+    /// [`BatchCompressor::compress_iter`].
+    pub fn decompress_iter<I>(&self, streams: I) -> OrderedStream<Image>
+    where
+        I: IntoIterator<Item = Vec<u8>>,
+        I::IntoIter: Send + 'static,
+    {
+        let codec = self.codec;
+        spawn_ordered(self.workers, streams.into_iter(), move |bytes| Ok(codec.decompress(&bytes)?))
+    }
+
+    /// Applies `job` to every element of `inputs` on the worker pool and
+    /// collects the outputs in input order.
+    fn run_indexed<In, Out, Job>(&self, inputs: &[In], job: Job) -> Result<Vec<Out>, PipelineError>
+    where
+        In: Sync,
+        Out: Send,
+        Job: Fn(&In) -> Result<Out, PipelineError> + Sync,
+    {
+        let workers = self.workers.min(inputs.len()).max(1);
+        if workers == 1 {
+            return inputs.iter().map(job).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let mut collected: Vec<Vec<(usize, Out)>> = Vec::new();
+        let outcome: Result<Vec<Vec<(usize, Out)>>, PipelineError> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            // Once any worker has errored the batch is doomed:
+                            // stop pulling work instead of compressing the
+                            // whole remainder just to throw it away.
+                            if failed.load(Ordering::Relaxed) {
+                                return Ok(local);
+                            }
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(input) = inputs.get(index) else {
+                                return Ok(local);
+                            };
+                            match job(input) {
+                                Ok(output) => local.push((index, output)),
+                                Err(error) => {
+                                    failed.store(true, Ordering::Relaxed);
+                                    return Err(error);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+        });
+        collected.extend(outcome?);
+
+        let mut slots: Vec<Option<Out>> = (0..inputs.len()).map(|_| None).collect();
+        for (index, output) in collected.into_iter().flatten() {
+            slots[index] = Some(output);
+        }
+        // Every slot is filled unless a worker errored, and errors returned
+        // above. (A worker that observed an error stops early, but then the
+        // `?` has already propagated it.)
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.ok_or_else(|| {
+                    PipelineError::Config("batch worker abandoned an input slot".into())
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_image::{stats, synth};
+
+    fn batch(n: usize, size: usize) -> Vec<Image> {
+        (0..n)
+            .map(|s| match s % 3 {
+                0 => synth::ct_phantom(size, size, 12, s as u64),
+                1 => synth::mr_slice(size, size, 12, s as u64),
+                _ => synth::random_image(size, size, 12, s as u64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_streams_match_the_sequential_codec_exactly() {
+        let engine = BatchCompressor::new(4, 3).unwrap();
+        let images = batch(7, 64);
+        let (streams, report) = engine.compress_batch(&images).unwrap();
+        assert_eq!(report.images, 7);
+        for (image, stream) in images.iter().zip(&streams) {
+            assert_eq!(stream, &engine.codec().compress(image).unwrap());
+        }
+        let (decoded, _) = engine.decompress_batch(&streams).unwrap();
+        for (image, back) in images.iter().zip(&decoded) {
+            assert!(stats::bit_exact(image, back).unwrap());
+        }
+    }
+
+    #[test]
+    fn streaming_api_preserves_order_and_content() {
+        let engine = BatchCompressor::new(3, 2).unwrap();
+        let images = batch(9, 32);
+        let sequential: Vec<Vec<u8>> =
+            images.iter().map(|i| engine.codec().compress(i).unwrap()).collect();
+        let streamed: Vec<Vec<u8>> =
+            engine.compress_iter(images.clone()).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, sequential);
+
+        let roundtripped: Vec<Image> =
+            engine.decompress_iter(streamed).map(|r| r.unwrap()).collect();
+        for (image, back) in images.iter().zip(&roundtripped) {
+            assert!(stats::bit_exact(image, back).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_workers_selects_available_parallelism() {
+        let engine = BatchCompressor::new(2, 0).unwrap();
+        assert!(engine.workers() >= 1);
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let engine = BatchCompressor::new(5, 2).unwrap();
+        // 16x16 cannot be decomposed over 5 scales.
+        let images = vec![synth::flat(16, 16, 12, 1)];
+        assert!(engine.compress_batch(&images).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = BatchCompressor::new(3, 2).unwrap();
+        let (streams, report) = engine.compress_batch(&[]).unwrap();
+        assert!(streams.is_empty());
+        assert_eq!(report.images, 0);
+    }
+}

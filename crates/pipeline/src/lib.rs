@@ -1,0 +1,37 @@
+//! # lwc-pipeline — multithreaded batch compression engine
+//!
+//! The paper's architecture earns its throughput from pipelining: the row and
+//! column passes of the 2-D DWT overlap in hardware, and one image follows
+//! the next through the datapath with no dead cycles. This crate is the
+//! software analogue of that organisation, layered on the bit-exact models of
+//! the rest of the workspace:
+//!
+//! * [`ParallelFixedDwt2d`] — *intra-image* parallelism: the rows (and the
+//!   column gathers) of every scale of the fixed-point 2-D DWT are fanned
+//!   across `std::thread` workers. The arithmetic per row/column is untouched,
+//!   so the result is bit-identical to [`lwc_dwt::FixedDwt2d`].
+//! * [`BatchCompressor`] — *inter-image* parallelism: a batch of images is
+//!   fanned across worker threads, each running the end-to-end Rice codec
+//!   ([`lwc_coder::LosslessCodec`]). Streams are byte-identical to the
+//!   sequential codec and come back in input order.
+//! * [`BatchCompressor::compress_iter`] / [`BatchCompressor::decompress_iter`]
+//!   — the streaming form: images flow through a bounded channel into the
+//!   worker pool and compressed streams come out in order, so an arbitrarily
+//!   long study never has to be resident in memory at once.
+//! * [`BatchReport`] — wall-clock throughput of a batch run (MB/s, images/s,
+//!   compression ratio).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod error;
+mod pardwt;
+mod report;
+mod stream;
+
+pub use batch::BatchCompressor;
+pub use error::PipelineError;
+pub use pardwt::ParallelFixedDwt2d;
+pub use report::BatchReport;
+pub use stream::OrderedStream;

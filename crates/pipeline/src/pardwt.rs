@@ -1,0 +1,314 @@
+//! Intra-image parallelism: the row-parallel fixed-point 2-D DWT.
+
+use lwc_dwt::{analyze_periodic_fixed, synthesize_periodic_fixed, FixedStep};
+use lwc_dwt::{Decomposition, DwtError, FixedDwt2d};
+use lwc_filters::FilterBank;
+use lwc_image::Image;
+use std::thread;
+
+/// Row-parallel version of the bit-exact fixed-point 2-D DWT.
+///
+/// The software analogue of the paper's pipelined row/column datapath: at
+/// every scale the independent row filterings (and the column gathers) are
+/// fanned across `std::thread` workers. The per-row arithmetic is exactly
+/// [`lwc_dwt::FixedDwt2d`]'s, and rows do not interact within a pass, so the
+/// result is **bit-identical** to the sequential transform — only the wall
+/// clock changes.
+///
+/// ```
+/// use lwc_filters::{FilterBank, FilterId};
+/// use lwc_image::synth;
+/// use lwc_pipeline::ParallelFixedDwt2d;
+///
+/// # fn main() -> Result<(), lwc_dwt::DwtError> {
+/// let bank = FilterBank::table1(FilterId::F1);
+/// let dwt = ParallelFixedDwt2d::new(&bank, 3, 2)?;
+/// let image = synth::ct_phantom(64, 64, 12, 0);
+/// assert!(lwc_image::stats::bit_exact(&image, &dwt.roundtrip(&image)?)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelFixedDwt2d {
+    inner: FixedDwt2d,
+    workers: usize,
+}
+
+impl ParallelFixedDwt2d {
+    /// Builds the transform with the paper's default word lengths and the
+    /// given worker count. `workers == 0` selects the machine's available
+    /// parallelism.
+    ///
+    /// # Errors
+    ///
+    /// See [`FixedDwt2d::paper_default`].
+    pub fn new(bank: &FilterBank, scales: u32, workers: usize) -> Result<Self, DwtError> {
+        Ok(Self::with_transform(FixedDwt2d::paper_default(bank, scales)?, workers))
+    }
+
+    /// Wraps an existing sequential transform. `workers == 0` selects the
+    /// machine's available parallelism.
+    #[must_use]
+    pub fn with_transform(inner: FixedDwt2d, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            workers
+        };
+        Self { inner, workers }
+    }
+
+    /// The sequential transform this parallel version reproduces bit for bit.
+    #[must_use]
+    pub fn inner(&self) -> &FixedDwt2d {
+        &self.inner
+    }
+
+    /// Number of worker threads per pass.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The decomposition depth.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.inner.scales()
+    }
+
+    /// The sequential transform's per-pass alignment/rounding schedule,
+    /// reused verbatim so the two drivers cannot diverge.
+    fn step(&self, from: u32, to: u32) -> FixedStep {
+        self.inner.step(from, to)
+    }
+
+    /// Forward transform, bit-identical to [`FixedDwt2d::forward`].
+    ///
+    /// The sequential transform drives the whole schedule
+    /// ([`FixedDwt2d::forward_with`]); only the per-scale pass is replaced
+    /// with the row-parallel implementation.
+    ///
+    /// # Errors
+    ///
+    /// See [`FixedDwt2d::forward`].
+    pub fn forward(&self, image: &Image) -> Result<Decomposition<i64>, DwtError> {
+        self.inner.forward_with(image, |data, stride, cur_w, cur_h, s| {
+            self.forward_scale(data, stride, cur_w, cur_h, s)
+        })
+    }
+
+    /// Inverse transform, bit-identical to [`FixedDwt2d::inverse`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FixedDwt2d::inverse`].
+    pub fn inverse(&self, decomposition: &Decomposition<i64>) -> Result<Image, DwtError> {
+        self.inner.inverse_with(decomposition, |data, stride, cur_w, cur_h, s| {
+            self.inverse_scale(data, stride, cur_w, cur_h, s)
+        })
+    }
+
+    /// Convenience helper: forward followed by inverse.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelFixedDwt2d::forward`] and [`ParallelFixedDwt2d::inverse`].
+    pub fn roundtrip(&self, image: &Image) -> Result<Image, DwtError> {
+        let d = self.forward(image)?;
+        self.inverse(&d)
+    }
+
+    fn forward_scale(
+        &self,
+        data: &mut [i64],
+        stride: usize,
+        cur_w: usize,
+        cur_h: usize,
+        s: u32,
+    ) -> Result<(), DwtError> {
+        let row_step = self.step(s - 1, s);
+        let col_step = self.step(s, s);
+        let quantized = self.inner.quantized_bank();
+        let lp = quantized.analysis_lowpass();
+        let hp = quantized.analysis_highpass();
+
+        // Row pass: every active row filtered in place, rows fanned across
+        // workers.
+        for_each_row(data, stride, cur_w, cur_h, self.workers, |row| {
+            let (a, d) = analyze_periodic_fixed(row, lp, hp, row_step)?;
+            row[..cur_w / 2].copy_from_slice(&a);
+            row[cur_w / 2..].copy_from_slice(&d);
+            Ok(())
+        })?;
+
+        // Column pass: gather + filter in parallel (read-only on `data`),
+        // then scatter sequentially.
+        let columns = map_columns(data, stride, cur_w, cur_h, self.workers, |col| {
+            analyze_periodic_fixed(col, lp, hp, col_step)
+        })?;
+        for (x, (a, d)) in columns.into_iter().enumerate() {
+            for y in 0..cur_h / 2 {
+                data[y * stride + x] = a[y];
+                data[(y + cur_h / 2) * stride + x] = d[y];
+            }
+        }
+        Ok(())
+    }
+
+    fn inverse_scale(
+        &self,
+        data: &mut [i64],
+        stride: usize,
+        cur_w: usize,
+        cur_h: usize,
+        s: u32,
+    ) -> Result<(), DwtError> {
+        let col_step = self.step(s, s);
+        let row_step = self.step(s, s - 1);
+        let quantized = self.inner.quantized_bank();
+        let lp = quantized.synthesis_lowpass();
+        let hp = quantized.synthesis_highpass();
+
+        // Undo the column pass: gather + synthesize in parallel, scatter
+        // sequentially.
+        let columns = map_columns(data, stride, cur_w, cur_h, self.workers, |col| {
+            let (approx, detail) = col.split_at(cur_h / 2);
+            synthesize_periodic_fixed(approx, detail, lp, hp, col_step)
+        })?;
+        for (x, col) in columns.into_iter().enumerate() {
+            for (y, &v) in col.iter().enumerate() {
+                data[y * stride + x] = v;
+            }
+        }
+
+        // Undo the row pass in place, rows fanned across workers.
+        for_each_row(data, stride, cur_w, cur_h, self.workers, |row| {
+            let (approx, detail) = row.split_at(cur_w / 2);
+            let full = synthesize_periodic_fixed(approx, detail, lp, hp, row_step)?;
+            row.copy_from_slice(&full);
+            Ok(())
+        })
+    }
+}
+
+/// Applies `op` to the first `cur_w` samples of each of the first `cur_h`
+/// rows, in place, fanning rows across `workers` scoped threads.
+fn for_each_row(
+    data: &mut [i64],
+    stride: usize,
+    cur_w: usize,
+    cur_h: usize,
+    workers: usize,
+    op: impl Fn(&mut [i64]) -> Result<(), DwtError> + Sync,
+) -> Result<(), DwtError> {
+    let mut rows: Vec<&mut [i64]> =
+        data.chunks_mut(stride).take(cur_h).map(|chunk| &mut chunk[..cur_w]).collect();
+    let per_worker = rows.len().div_ceil(workers.max(1)).max(1);
+    thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks_mut(per_worker)
+            .map(|segment| {
+                scope.spawn(|| -> Result<(), DwtError> {
+                    for row in segment.iter_mut() {
+                        op(row)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("row worker panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// Gathers each of the first `cur_w` columns (`cur_h` samples tall), applies
+/// `op`, and returns the per-column outputs in column order. The gathers and
+/// the filtering run across `workers` scoped threads; `data` is only read.
+fn map_columns<Out: Send>(
+    data: &[i64],
+    stride: usize,
+    cur_w: usize,
+    cur_h: usize,
+    workers: usize,
+    op: impl Fn(&[i64]) -> Result<Out, DwtError> + Sync,
+) -> Result<Vec<Out>, DwtError> {
+    let per_worker = cur_w.div_ceil(workers.max(1)).max(1);
+    let ranges: Vec<std::ops::Range<usize>> =
+        (0..cur_w).step_by(per_worker).map(|x0| x0..(x0 + per_worker).min(cur_w)).collect();
+    thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                scope.spawn(|| -> Result<Vec<Out>, DwtError> {
+                    let mut column = vec![0i64; cur_h];
+                    let mut outputs = Vec::with_capacity(range.len());
+                    for x in range {
+                        for (y, slot) in column.iter_mut().enumerate() {
+                            *slot = data[y * stride + x];
+                        }
+                        outputs.push(op(&column)?);
+                    }
+                    Ok(outputs)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(cur_w);
+        for handle in handles {
+            let outputs: Vec<Out> = handle.join().expect("column worker panicked")?;
+            all.extend(outputs);
+        }
+        Ok(all)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_filters::FilterId;
+    use lwc_image::{stats, synth};
+
+    #[test]
+    fn forward_is_bit_identical_to_the_sequential_transform() {
+        for id in FilterId::ALL {
+            let bank = FilterBank::table1(id);
+            let sequential = FixedDwt2d::paper_default(&bank, 3).unwrap();
+            let parallel = ParallelFixedDwt2d::with_transform(sequential.clone(), 3);
+            let image = synth::mr_slice(64, 32, 12, 7);
+            let expected = sequential.forward(&image).unwrap();
+            let actual = parallel.forward(&image).unwrap();
+            assert_eq!(actual.data(), expected.data(), "{id}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_bit_identical_and_roundtrip_is_lossless() {
+        let bank = FilterBank::table1(FilterId::F2);
+        let sequential = FixedDwt2d::paper_default(&bank, 4).unwrap();
+        let parallel = ParallelFixedDwt2d::with_transform(sequential.clone(), 3);
+        let image = synth::ct_phantom(64, 64, 12, 3);
+        let coeffs = parallel.forward(&image).unwrap();
+        let back_parallel = parallel.inverse(&coeffs).unwrap();
+        let back_sequential = sequential.inverse(&coeffs).unwrap();
+        assert_eq!(back_parallel.samples(), back_sequential.samples());
+        assert!(stats::bit_exact(&image, &back_parallel).unwrap());
+    }
+
+    #[test]
+    fn one_worker_degenerates_to_the_sequential_order() {
+        let bank = FilterBank::table1(FilterId::F4);
+        let parallel = ParallelFixedDwt2d::new(&bank, 2, 1).unwrap();
+        let image = synth::random_image(32, 32, 12, 9);
+        assert!(stats::bit_exact(&image, &parallel.roundtrip(&image).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn mismatched_decompositions_are_rejected() {
+        let f1 = ParallelFixedDwt2d::new(&FilterBank::table1(FilterId::F1), 2, 2).unwrap();
+        let f3 = ParallelFixedDwt2d::new(&FilterBank::table1(FilterId::F3), 2, 2).unwrap();
+        let image = synth::ct_phantom(32, 32, 12, 0);
+        let coeffs = f1.forward(&image).unwrap();
+        assert!(f3.inverse(&coeffs).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Order-preserving worker-pool plumbing shared by the streaming APIs.
+
+use crate::PipelineError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Sentinel for "the feeder has not finished counting the source yet".
+const UNKNOWN: usize = usize::MAX;
+
+/// How many in-flight items the feeder may run ahead of the workers, per
+/// worker. Bounds peak memory of the streaming APIs.
+const FEED_AHEAD: usize = 2;
+
+/// An iterator over pipeline results, restored to input order.
+///
+/// Produced by [`crate::BatchCompressor::compress_iter`] and
+/// [`crate::BatchCompressor::decompress_iter`]. Items come out in exactly the
+/// order their inputs went in, even though the worker pool completes them out
+/// of order; a small reorder buffer holds early finishers.
+///
+/// Dropping the stream early shuts the pool down: workers fail to send their
+/// next result and exit, and the feeder fails to hand out further work.
+#[derive(Debug)]
+pub struct OrderedStream<T> {
+    results: mpsc::Receiver<(usize, Result<T, PipelineError>)>,
+    pending: BTreeMap<usize, Result<T, PipelineError>>,
+    next: usize,
+    /// Total item count, published by the feeder once the source is drained
+    /// ([`UNKNOWN`] until then). Lets the stream tell a clean end from a
+    /// trailing worker death.
+    total: Arc<AtomicUsize>,
+}
+
+impl<T> Iterator for OrderedStream<T> {
+    type Item = Result<T, PipelineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(ready) = self.pending.remove(&self.next) {
+                self.next += 1;
+                return Some(ready);
+            }
+            match self.results.recv() {
+                Ok((index, result)) => {
+                    self.pending.insert(index, result);
+                }
+                // All workers are gone; anything not in the buffer will never
+                // arrive. A missing index means a worker died (e.g. the job
+                // panicked) without sending its result: surface that as an
+                // error in the gap's position rather than silently dropping
+                // the item or misaligning every later one.
+                Err(mpsc::RecvError) => {
+                    let end = match self.pending.first_key_value() {
+                        Some((&first, _)) => first,
+                        None => {
+                            let total = self.total.load(Ordering::Acquire);
+                            if total == UNKNOWN || self.next >= total {
+                                return None;
+                            }
+                            total
+                        }
+                    };
+                    if end != self.next {
+                        let error = PipelineError::Config(format!(
+                            "pipeline worker died; results {}..{end} were lost",
+                            self.next
+                        ));
+                        self.next = end;
+                        return Some(Err(error));
+                    }
+                    self.next += 1;
+                    return self.pending.remove(&end);
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a feeder thread plus `workers` worker threads applying `job` to
+/// every item of `source`, and returns the order-preserving result stream.
+pub(crate) fn spawn_ordered<In, Out, Job>(
+    workers: usize,
+    source: impl Iterator<Item = In> + Send + 'static,
+    job: Job,
+) -> OrderedStream<Out>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+    Job: Fn(In) -> Result<Out, PipelineError> + Send + Sync + 'static,
+{
+    let workers = workers.max(1);
+    let (feed_tx, feed_rx) = mpsc::sync_channel::<(usize, In)>(workers * FEED_AHEAD);
+    let (result_tx, result_rx) = mpsc::channel();
+    let total = Arc::new(AtomicUsize::new(UNKNOWN));
+
+    let fed_total = Arc::clone(&total);
+    // The feeder holds a clone of the result sender so the result channel
+    // cannot disconnect before the feeder has exited — which guarantees the
+    // consumer never observes RecvError without the published count.
+    let feeder_result_tx = result_tx.clone();
+    thread::spawn(move || {
+        let mut count = 0;
+        for item in source.enumerate() {
+            if feed_tx.send(item).is_err() {
+                // Every worker has exited: either the stream was dropped
+                // (nobody is reading) or every worker died. Publish what was
+                // actually handed out so a still-alive consumer can tell the
+                // fed-but-lost items from a clean end.
+                break;
+            }
+            count += 1;
+        }
+        fed_total.store(count, Ordering::Release);
+        drop(feeder_result_tx);
+    });
+
+    let feed_rx = Arc::new(Mutex::new(feed_rx));
+    let job = Arc::new(job);
+    for _ in 0..workers {
+        let feed_rx = Arc::clone(&feed_rx);
+        let result_tx = result_tx.clone();
+        let job = Arc::clone(&job);
+        thread::spawn(move || loop {
+            // Hold the lock only for the receive, never during the job.
+            let received = match feed_rx.lock() {
+                Ok(rx) => rx.recv(),
+                Err(_) => return,
+            };
+            match received {
+                Ok((index, input)) => {
+                    if result_tx.send((index, job(input))).is_err() {
+                        return;
+                    }
+                }
+                Err(mpsc::RecvError) => return,
+            }
+        });
+    }
+
+    OrderedStream { results: result_rx, pending: BTreeMap::new(), next: 0, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Jitter completion times so later items often finish first.
+        let stream = spawn_ordered(4, 0..64usize, |n| {
+            std::thread::sleep(std::time::Duration::from_micros(((64 - n) % 7) as u64 * 50));
+            Ok(n * n)
+        });
+        let squares: Vec<usize> = stream.map(|r| r.unwrap()).collect();
+        assert_eq!(squares, (0..64usize).map(|n| n * n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn errors_are_delivered_in_position() {
+        let stream = spawn_ordered(3, 0..10usize, |n| {
+            if n == 5 {
+                Err(PipelineError::Config("boom".into()))
+            } else {
+                Ok(n)
+            }
+        });
+        let results: Vec<Result<usize, PipelineError>> = stream.collect();
+        assert_eq!(results.len(), 10);
+        assert!(results[5].is_err());
+        assert!(results.iter().enumerate().all(|(i, r)| i == 5 || matches!(r, Ok(v) if *v == i)));
+    }
+
+    #[test]
+    fn a_dead_worker_surfaces_an_error_instead_of_misaligning() {
+        // Item 3's job panics, killing its worker without a result being
+        // sent; the stream must report an error at position 3 and keep every
+        // later item in its right slot.
+        let stream = spawn_ordered(2, 0..6usize, |n| {
+            assert_ne!(n, 3, "injected worker death");
+            Ok(n * 10)
+        });
+        let results: Vec<Result<usize, PipelineError>> = stream.collect();
+        assert_eq!(results.len(), 6);
+        for (i, result) in results.iter().enumerate() {
+            if i == 3 {
+                assert!(matches!(result, Err(PipelineError::Config(_))), "{result:?}");
+            } else {
+                assert!(matches!(result, Ok(v) if *v == i * 10), "{i}: {result:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_death_on_the_last_item_is_reported_not_truncated() {
+        // The sole worker dies on the final item; without the feeder's total
+        // count the stream would just end one item short.
+        let stream = spawn_ordered(1, 0..6usize, |n| {
+            assert_ne!(n, 5, "injected worker death");
+            Ok(n)
+        });
+        let results: Vec<Result<usize, PipelineError>> = stream.collect();
+        assert_eq!(results.len(), 6);
+        assert!(results[..5].iter().enumerate().all(|(i, r)| matches!(r, Ok(v) if *v == i)));
+        assert!(matches!(&results[5], Err(PipelineError::Config(_))));
+    }
+
+    #[test]
+    fn dropping_the_stream_early_does_not_hang() {
+        let stream = spawn_ordered(2, 0..1_000_000usize, Ok);
+        let first: Vec<usize> = stream.take(3).map(|r| r.unwrap()).collect();
+        assert_eq!(first, vec![0, 1, 2]);
+        // The pool shuts down on its own; nothing to join, nothing leaks the
+        // full million items.
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline stand-in for the subset of the `criterion` crate (0.5 API) used by
+//! the benches in `crates/bench`.
+//!
+//! It is a deliberately small wall-clock harness: each benchmark runs a short
+//! warm-up, then a fixed number of timed samples, and the mean time per
+//! iteration (plus derived throughput, when declared) is printed to stdout.
+//! There is no statistical analysis, outlier detection or HTML report — the
+//! point is that `cargo bench` compiles and runs the same sources that the
+//! real Criterion would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: a function name, a parameter,
+/// or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        Self { id: value.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        Self { id: value }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Declared per-iteration volume, used to print derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// Same as [`Throughput::Bytes`] but reported in decimal multiples.
+    BytesDecimal(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean nanoseconds per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Measurement: as many iterations as fit the measurement window,
+        // clamped to a sane range.
+        let iters = if per_iter > 0.0 {
+            (self.measurement_time.as_secs_f64() / per_iter).ceil() as u64
+        } else {
+            1_000
+        }
+        .clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<48} time: [{}]", human_time(mean_ns));
+    if let Some(tp) = throughput {
+        let per_second = move |volume: u64| volume as f64 / (mean_ns / 1e9);
+        match tp {
+            Throughput::Bytes(b) | Throughput::BytesDecimal(b) => {
+                line.push_str(&format!(" thrpt: [{:.2} MiB/s]", per_second(b) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(e) => {
+                line.push_str(&format!(" thrpt: [{:.2} Melem/s]", per_second(e) / 1e6));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness reports a single mean, so
+    /// the sample count has no effect.
+    #[must_use]
+    pub fn sample_size(self, _samples: usize) -> Self {
+        self
+    }
+
+    /// Applies command-line arguments: the first non-flag argument is kept as
+    /// a substring filter on benchmark names; flags (including the `--bench`
+    /// marker Cargo appends) are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            mean_ns: f64::NAN,
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        if self.enabled(name) {
+            let mut bencher = self.bencher();
+            routine(&mut bencher);
+            report(name, bencher.mean_ns, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; see [`Criterion::sample_size`].
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.criterion.measurement_time = duration;
+        self
+    }
+
+    /// Declares the per-iteration data volume for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark of this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut routine: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into());
+        if self.criterion.enabled(&name) {
+            let mut bencher = self.criterion.bencher();
+            routine(&mut bencher);
+            report(&name, bencher.mean_ns, self.throughput);
+        }
+        self
+    }
+
+    /// Runs one benchmark of this group with a borrowed input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut routine: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into());
+        if self.criterion.enabled(&name) {
+            let mut bencher = self.criterion.bencher();
+            routine(&mut bencher, input);
+            report(&name, bencher.mean_ns, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

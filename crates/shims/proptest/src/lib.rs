@@ -1,0 +1,271 @@
+//! Offline stand-in for the subset of the `proptest` crate used by the LWC
+//! workspace's property tests.
+//!
+//! Supported surface: the `proptest!` macro with `arg in strategy` bindings
+//! and an optional `#![proptest_config(...)]` header, range strategies over
+//! integers and floats, `prop::collection::vec`, `any::<T>()`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Unlike the real proptest there is **no shrinking** and no persistent
+//! failure file: each test simply runs its body over a deterministic,
+//! seed-derived sequence of random cases (so failures are reproducible run
+//! to run). That is enough for the invariants exercised here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases every test body is run with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of random values for one macro binding.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's entire domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (stand-in for `proptest::arbitrary::any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { marker: std::marker::PhantomData }
+}
+
+/// Strategy combinators namespaced like the real crate (`prop::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with random length and random elements.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy producing vectors whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Error raised by the `prop_assert*` macros; carries the failure message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property test: `run` is called `config.cases` times with a
+/// deterministic, case-indexed generator. Called by the `proptest!` macro.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first case whose body
+/// returns an error.
+pub fn run_cases(name: &str, config: &ProptestConfig, run: impl Fn(&mut StdRng) -> TestCaseResult) {
+    // Stable per-test seed: failures reproduce run to run.
+    let base =
+        name.bytes().fold(0xC0FF_EE00_5EED_1234u64, |acc, b| acc.rotate_left(7) ^ u64::from(b));
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(base ^ (u64::from(case) << 32));
+        if let Err(TestCaseError(message)) = run(&mut rng) {
+            panic!("property '{name}' failed on case {case}: {message}");
+        }
+    }
+}
+
+/// Declares property tests: each function body is run over many random cases
+/// with its arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (@config ($config:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $(let $arg = $strategy;)*
+                // Shadowed names: above, the strategies; below, the values.
+                #[allow(unused_parens)]
+                let strategies = ($(&$arg),*);
+                $crate::run_cases(stringify!($name), &config, |rng| {
+                    #[allow(unused_parens)]
+                    let ($($arg),*) = strategies;
+                    $(let $arg = $crate::Strategy::generate($arg, rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the failing case
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// One-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, TestCaseError, TestCaseResult};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_hold(v in 10i32..20, w in 0u64..=5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!(w <= 5);
+        }
+
+        #[test]
+        fn vectors_respect_bounds(values in prop::collection::vec(-3i32..3, 1..10)) {
+            prop_assert!(!values.is_empty() && values.len() < 10);
+            prop_assert!(values.iter().all(|v| (-3..3).contains(v)));
+        }
+
+        #[test]
+        fn any_produces_values(v in any::<i32>()) {
+            let roundtrip = i64::from(v);
+            prop_assert_eq!(roundtrip as i32, v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(v in 0usize..3) {
+            prop_assert!(v < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failures_panic_with_case_number() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(1), |_| {
+            Err(TestCaseError("nope".into()))
+        });
+    }
+}

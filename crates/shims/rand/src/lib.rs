@@ -1,0 +1,233 @@
+//! Offline stand-in for the subset of the `rand` crate (0.8 API) used by the
+//! LWC workspace: a seedable deterministic generator plus `gen_range` over
+//! integer and floating-point ranges.
+//!
+//! The stream is produced by xoshiro256++ seeded through SplitMix64. It is
+//! *not* the same stream as the real `rand::rngs::StdRng`; the workspace only
+//! relies on determinism per seed, never on the exact values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly distributed over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Types that can be drawn uniformly from a range. The single blanket
+/// [`SampleRange`] impl below (mirroring the real `rand`'s structure) is what
+/// lets type inference flow from the range literal to the sampled value.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_half_open<G: RngCore>(lo: Self, hi: Self, rng: &mut G) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_inclusive<G: RngCore>(lo: Self, hi: Self, rng: &mut G) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Maps 64 random bits onto `[0, bound)` with Lemire's multiply-shift
+/// reduction (bias is below 2^-64, irrelevant for test workloads).
+fn bounded(rng: &mut impl RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo < hi, "cannot sample from an empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + bounded(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<G: RngCore>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Only reachable for the full u64/i64 domain: use raw bits.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + bounded(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo < hi, "cannot sample from an empty range");
+                // 53 significant bits mapped to [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                lo + (hi - lo) * unit as $t
+            }
+            fn sample_inclusive<G: RngCore>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                // The closed/half-open distinction is immaterial at float
+                // resolution; reuse the half-open draw.
+                Self::sample_half_open(lo, hi, rng)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Generators shipped with the crate.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { state: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..=4095), b.gen_range(0..=4095));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let sa: Vec<i32> = (0..32).map(|_| a.gen_range(0..1_000_000)).collect();
+        let sb: Vec<i32> = (0..32).map(|_| b.gen_range(0..1_000_000)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i32 = rng.gen_range(-300..300);
+            assert!((-300..300).contains(&v));
+            let w: i32 = rng.gen_range(-6..=6);
+            assert!((-6..=6).contains(&w));
+            let f: f64 = rng.gen_range(-0.01..0.01);
+            assert!((-0.01..0.01).contains(&f));
+            let u: usize = rng.gen_range(0..17);
+            assert!(u < 17);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match rng.gen_range(0..=3) {
+                0 => saw_lo = true,
+                3 => saw_hi = true,
+                _ => {}
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

@@ -67,10 +67,7 @@ mod tests {
         let multiplier = crate::TABLE5_PAPER[1].area_mm2;
         let storage = mem.area_for_words(512 / 2 + 32, 32) + mem.area_for_words(13, 32);
         let total = multiplier + storage;
-        assert!(
-            (total - PAPER_PROPOSED_AREA_MM2).abs() < 1e-9,
-            "calibrated total {total} mm2"
-        );
+        assert!((total - PAPER_PROPOSED_AREA_MM2).abs() < 1e-9, "calibrated total {total} mm2");
     }
 
     #[test]
@@ -78,8 +75,11 @@ mod tests {
         // A compiled SRAM bit cell plus overhead in 0.7 µm lands in the
         // hundreds of µm² range.
         let mem = MemoryModel::calibrated_es2();
-        assert!(mem.area_per_bit_mm2 > 1.0e-4 && mem.area_per_bit_mm2 < 1.0e-3,
-            "{} mm2/bit", mem.area_per_bit_mm2);
+        assert!(
+            mem.area_per_bit_mm2 > 1.0e-4 && mem.area_per_bit_mm2 < 1.0e-3,
+            "{} mm2/bit",
+            mem.area_per_bit_mm2
+        );
     }
 
     #[test]

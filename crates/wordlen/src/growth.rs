@@ -114,10 +114,7 @@ mod tests {
                 continue;
             }
             let other = GrowthModel::of(&FilterBank::table1(id));
-            assert!(
-                f5.approximation_growth(6) <= other.approximation_growth(6) + 1e-9,
-                "{id}"
-            );
+            assert!(f5.approximation_growth(6) <= other.approximation_growth(6) + 1e-9, "{id}");
         }
     }
 

@@ -136,14 +136,7 @@ impl WordLengthPlan {
         for &bits in &scale_int_bits {
             QFormat::new(word_bits, bits)?;
         }
-        Ok(Self {
-            filter: bank.id(),
-            word_bits,
-            input_bits,
-            scales,
-            coeff_format,
-            scale_int_bits,
-        })
+        Ok(Self { filter: bank.id(), word_bits, input_bits, scales, coeff_format, scale_int_bits })
     }
 
     /// The filter bank this plan was derived for.
@@ -297,10 +290,7 @@ mod tests {
     #[test]
     fn zero_scales_is_an_error() {
         let bank = FilterBank::table1(FilterId::F1);
-        assert!(matches!(
-            WordLengthPlan::paper_default(&bank, 0),
-            Err(PlanError::NoScales)
-        ));
+        assert!(matches!(WordLengthPlan::paper_default(&bank, 0), Err(PlanError::NoScales)));
     }
 
     #[test]

@@ -80,8 +80,7 @@ mod tests {
     fn finds_the_threshold_of_a_synthetic_oracle() {
         // Pretend the transform becomes lossless from 28 bits on.
         let bank = FilterBank::table1(FilterId::F1);
-        let result =
-            minimum_word_length(&bank, 6, 13, 20..=32, |bits, _plan| bits >= 28);
+        let result = minimum_word_length(&bank, 6, 13, 20..=32, |bits, _plan| bits >= 28);
         assert_eq!(result.minimum_lossless_bits, Some(28));
         assert_eq!(result.probes.len(), 13);
         assert!(result.probes.iter().any(|&(b, p)| b == 27 && p == Probe::Lossy));

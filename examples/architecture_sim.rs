@@ -10,11 +10,7 @@ use lwc_core::prelude::*;
 use lwc_core::reproduction;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let image_size: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(512);
+    let image_size: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(512);
 
     println!("=== proposed architecture, {image_size}x{image_size} 12-bit image, F2 bank, 6 scales ===\n");
 

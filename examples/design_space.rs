@@ -10,16 +10,16 @@
 //!
 //! Run with `cargo run --release --example design_space`.
 
-use lwc_core::prelude::*;
 use lwc_core::lwc_dwt::lossless;
 use lwc_core::lwc_wordlen::search;
+use lwc_core::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scales = 6;
     let image = synth::random_image(128, 128, 12, 2024);
 
     println!("=== Table II: minimum integer part per scale (13-bit input) ===");
-    println!("{:<6} {}", "bank", "s=1  s=2  s=3  s=4  s=5  s=6");
+    println!("{:<6} s=1  s=2  s=3  s=4  s=5  s=6", "bank");
     for (id, row) in integer_bits::table2(scales) {
         let cells: Vec<String> = row.iter().map(|b| format!("{b:>3}")).collect();
         println!("{:<6} {}", id.to_string(), cells.join("  "));
@@ -34,11 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|r| r.bit_exact)
                 .unwrap_or(false)
         });
-        let first_feasible = result
-            .probes
-            .iter()
-            .find(|(_, p)| *p != search::Probe::Infeasible)
-            .map(|&(b, _)| b);
+        let first_feasible =
+            result.probes.iter().find(|(_, p)| *p != search::Probe::Infeasible).map(|&(b, _)| b);
         println!(
             "{:<6} {:>16} {:>22}",
             id.to_string(),
@@ -57,8 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== datapath area versus word length (proposed architecture) ===");
     let memory = MemoryModel::calibrated_es2();
     for word_bits in [16u32, 24, 32, 40] {
-        let multiplier = MultiplierModel::paper(MultiplierDesign::PipelinedWallace)
-            .scaled_to_width(word_bits);
+        let multiplier =
+            MultiplierModel::paper(MultiplierDesign::PipelinedWallace).scaled_to_width(word_bits);
         let words = 512 / 2 + 32 + 13;
         let area = multiplier.area_mm2 + memory.area_for_words(words, word_bits);
         let lossless = word_bits >= 29; // F6 needs 29 integer bits at scale 6

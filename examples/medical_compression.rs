@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let studies = vec![
         Study { name: "CT head phantom", image: synth::ct_phantom(size, size, 12, 11) },
         Study { name: "MR brain-like slice", image: synth::mr_slice(size, size, 12, 22) },
-        Study { name: "uniform noise (worst case)", image: synth::random_image(size, size, 12, 33) },
+        Study {
+            name: "uniform noise (worst case)",
+            image: synth::random_image(size, size, 12, 33),
+        },
     ];
 
     println!("=== lossless transform check (paper Section 3) ===");
@@ -49,6 +52,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ""
         );
     }
+
+    println!("\n=== batch engine: whole study through the worker pool ===");
+    // The streaming API pulls images through a bounded channel as worker
+    // capacity frees up, so a long study never has to be resident at once.
+    let engine = BatchCompressor::with_codec(codec, 0);
+    let study: Vec<Image> = studies.iter().map(|s| s.image.clone()).collect();
+    let (batch_streams, batch_report) = engine.compress_batch(&study)?;
+    for (image, stream) in study.iter().zip(&batch_streams) {
+        assert_eq!(stream, &codec.compress(image)?, "batch stream must match the sequential codec");
+    }
+    println!("  {batch_report}");
+    let streamed: Vec<Vec<u8>> = engine.compress_iter(study.clone()).collect::<Result<_, _>>()?;
+    assert_eq!(streamed, batch_streams);
+    let restored: Vec<Image> = engine.decompress_iter(streamed).collect::<Result<_, _>>()?;
+    for (original, back) in study.iter().zip(&restored) {
+        assert!(stats::bit_exact(original, back)?);
+    }
+    println!("  streaming round trip: {} images bit exact", restored.len());
 
     // Persist one study for visual inspection with any PGM viewer.
     let out = std::env::temp_dir().join("lwc_ct_phantom.pgm");

@@ -4,8 +4,8 @@
 //! same criterion against the bit-exact software datapath, and its cycle
 //! accounting must reproduce the utilization/throughput figures.
 
-use lwc_core::prelude::*;
 use lwc_core::lwc_perf::macs;
+use lwc_core::prelude::*;
 
 fn run_and_compare(size: usize, filter: FilterId, scales: u32, seed: u64) -> ArchReport {
     let params = ArchParams::new(size, filter, scales).unwrap();
@@ -36,8 +36,7 @@ fn simulator_matches_software_for_several_configurations() {
         // lose relatively more to the fixed 6-cycle refresh): compare against
         // the analytic value rather than the 13-tap figure.
         let taps = FilterBank::table1(filter).max_len() as u64;
-        let expected =
-            lwc_core::lwc_arch::schedule::utilization(taps, 48, 1, 6);
+        let expected = lwc_core::lwc_arch::schedule::utilization(taps, 48, 1, 6);
         assert!(
             (report.utilization() - expected).abs() < 0.003,
             "{filter}: {} vs expected {expected}",
@@ -81,8 +80,8 @@ fn throughput_and_speedup_have_the_papers_shape() {
     );
 
     let software = SoftwareModel::pentium_133();
-    let speedup = software.seconds_for(macs::total_macs(512, 13, 13, 6))
-        / (cycles_512 / hardware.clock_hz);
+    let speedup =
+        software.seconds_for(macs::total_macs(512, 13, 13, 6)) / (cycles_512 / hardware.clock_hz);
     assert!(
         (speedup - 154.0).abs() / 154.0 < 0.15,
         "predicted speedup {speedup:.0}x vs paper 154x"

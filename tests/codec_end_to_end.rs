@@ -26,8 +26,7 @@ fn every_workload_decodes_bit_exactly() {
 fn structured_content_compresses_noise_does_not() {
     let codec = LosslessCodec::new(5).unwrap();
     let (_b, ct) = codec.compress_with_report(&synth::ct_phantom(256, 256, 12, 7)).unwrap();
-    let (_b, noise) =
-        codec.compress_with_report(&synth::random_image(256, 256, 12, 7)).unwrap();
+    let (_b, noise) = codec.compress_with_report(&synth::random_image(256, 256, 12, 7)).unwrap();
     assert!(ct.ratio() > 1.5, "CT phantom: {ct}");
     assert!(noise.ratio() < 1.05, "uniform noise: {noise}");
     assert!(ct.bits_per_pixel < noise.bits_per_pixel);

@@ -62,10 +62,7 @@ fn fixed_point_coefficients_track_the_floating_point_reference() {
         let h = hardware.subband(4, band);
         for (rv, hv) in r.iter().zip(&h) {
             let value = *hv as f64 * lsb;
-            assert!(
-                (value - rv).abs() < 0.02,
-                "{band}: fixed {value} vs reference {rv}"
-            );
+            assert!((value - rv).abs() < 0.02, "{band}: fixed {value} vs reference {rv}");
         }
     }
     assert!(stats::bit_exact(&image, &float.inverse(&reference).unwrap()).unwrap());

@@ -2,13 +2,13 @@
 //! perfect reconstruction, rounding behaviour, entropy-coding round trips and
 //! the monotonicity of the analytic models.
 
-use lwc_core::prelude::*;
 use lwc_core::lwc_coder::bitio::{BitReader, BitWriter};
 use lwc_core::lwc_coder::rice;
 use lwc_core::lwc_fixed::round_half_up_shift;
 use lwc_core::lwc_lifting::{forward_53, inverse_53};
 use lwc_core::lwc_perf::macs;
 use lwc_core::lwc_wordlen::integer_bits;
+use lwc_core::prelude::*;
 use proptest::prelude::*;
 
 proptest! {

@@ -9,6 +9,9 @@ fn table1_filter_banks_match_the_printed_metrics() {
     let rows = reproduction::table1();
     assert_eq!(rows.len(), 6);
     let expected_lengths = [(9, 7), (13, 11), (6, 10), (5, 3), (2, 6), (9, 3)];
+    // Printed 6-decimal values from Table I, kept verbatim (1.414214 is the
+    // paper's rounding of sqrt(2), not the f64 constant).
+    #[allow(clippy::approx_constant)]
     let expected_abs_sums = [1.952105, 1.857495, 1.930526, 2.121320, 1.414214, 2.386485];
     for ((row, (la, ls)), abs_sum) in rows.iter().zip(expected_lengths).zip(expected_abs_sums) {
         assert_eq!(row.metrics.analysis_len, la, "{}", row.id);
