@@ -34,6 +34,18 @@ pub fn all_banks() -> Vec<FilterBank> {
     FilterBank::all_table1()
 }
 
+/// The fixed synthetic corpus of the throughput harness (`reproduce
+/// perfjson`): a deterministic CT/MR mix at `size`×`size`, 12-bit.
+#[must_use]
+pub fn perf_corpus(count: usize, size: usize) -> Vec<Image> {
+    (0..count)
+        .map(|k| match k % 2 {
+            0 => synth::ct_phantom(size, size, 12, 4000 + k as u64),
+            _ => synth::mr_slice(size, size, 12, 4000 + k as u64),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

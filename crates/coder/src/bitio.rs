@@ -2,15 +2,34 @@
 //!
 //! Bits are packed most-significant-bit first inside each byte, which keeps
 //! the streams easy to inspect in a hex dump.
+//!
+//! Both ends work a word at a time instead of a bit at a time: the writer
+//! collects bits in a 64-bit accumulator and emits whole bytes, multi-bit
+//! fields go through a single shift-and-or, and unary runs are emitted and
+//! scanned as whole `0xFF` bytes with `leading_ones` picking out the
+//! terminator. The stream layout is unchanged from the original per-bit
+//! implementation (the test module keeps that implementation around as a
+//! byte-for-byte reference).
 
 use crate::CoderError;
 
+/// Largest field the single-shift fast path of [`BitWriter::write_bits`] can
+/// take while the accumulator still holds up to 7 pending bits.
+const MAX_SINGLE_SHIFT_BITS: u32 = 57;
+
 /// Accumulates bits into a byte vector.
+///
+/// Internally the writer keeps up to 7 not-yet-emitted bits right-aligned in
+/// a 64-bit accumulator; every write shifts the new field in below them and
+/// drains whole bytes into the output buffer.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    current: u8,
-    filled: u32,
+    /// Pending bits, right-aligned; only the low [`Self::pending`] bits are
+    /// meaningful (higher bits may hold stale data and are masked on output).
+    acc: u64,
+    /// Number of valid bits in `acc`; always `< 8` between calls.
+    pending: u32,
 }
 
 impl BitWriter {
@@ -22,12 +41,11 @@ impl BitWriter {
 
     /// Writes a single bit.
     pub fn write_bit(&mut self, bit: bool) {
-        self.current = (self.current << 1) | u8::from(bit);
-        self.filled += 1;
-        if self.filled == 8 {
-            self.bytes.push(self.current);
-            self.current = 0;
-            self.filled = 0;
+        self.acc = (self.acc << 1) | u64::from(bit);
+        self.pending += 1;
+        if self.pending == 8 {
+            self.bytes.push(self.acc as u8);
+            self.pending = 0;
         }
     }
 
@@ -37,50 +55,174 @@ impl BitWriter {
     /// # Panics
     ///
     /// Panics if `count > 64`.
+    #[inline]
     pub fn write_bits(&mut self, value: u64, count: u32) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
-        for i in (0..count).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        if count > MAX_SINGLE_SHIFT_BITS {
+            // The accumulator may hold up to 7 pending bits, so a single
+            // shift only has room for 57 more; split the field once.
+            self.write_bits(value >> 32, count - 32);
+            self.write_bits(value & 0xFFFF_FFFF, 32);
+            return;
+        }
+        if count == 0 {
+            return;
+        }
+        let masked = value & (u64::MAX >> (64 - count));
+        self.acc = (self.acc << count) | masked;
+        self.pending += count;
+        if self.pending >= 8 {
+            // Drain all whole bytes at once instead of a loop per byte (one
+            // byte is the common case for short Rice codewords).
+            let drained = (self.pending / 8) as usize;
+            self.pending %= 8;
+            if drained == 1 {
+                self.bytes.push((self.acc >> self.pending) as u8);
+            } else {
+                let aligned = (self.acc >> self.pending) << (64 - 8 * drained as u32);
+                self.bytes.extend_from_slice(&aligned.to_be_bytes()[..drained]);
+            }
         }
     }
 
     /// Writes `count` as a unary run (`count` one-bits followed by a zero).
+    ///
+    /// Long runs are emitted as whole `0xFF` bytes rather than bit by bit;
+    /// see [`crate::rice`] for the bound that keeps encoder-produced runs
+    /// short in the first place.
     pub fn write_unary(&mut self, count: u64) {
-        for _ in 0..count {
-            self.write_bit(true);
+        let mut remaining = count;
+        // Top off the partial byte so whole-byte emission can take over.
+        if self.pending != 0 {
+            let room = u64::from(8 - self.pending);
+            if remaining >= room {
+                self.write_bits(u64::MAX >> (64 - room), room as u32);
+                remaining -= room;
+            }
         }
-        self.write_bit(false);
+        if self.pending == 0 {
+            let whole = remaining / 8;
+            self.bytes.resize(self.bytes.len() + whole as usize, 0xFF);
+            remaining %= 8;
+        }
+        // `remaining < 8` here: emit the leftover ones and the terminator in
+        // one field (`remaining` ones followed by a zero bit).
+        self.write_bits((1 << (remaining + 1)) - 2, remaining as u32 + 1);
+    }
+
+    /// Appends the first `bit_len` bits of `bytes` (MSB-first, the layout
+    /// [`BitWriter::into_bytes`] produces) to this stream.
+    ///
+    /// This is the splice primitive of the per-subband parallel codec: each
+    /// worker fills its own writer and the fragments are concatenated at
+    /// arbitrary bit offsets. When this writer happens to be byte-aligned the
+    /// fragment's whole bytes are copied directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `bit_len` bits.
+    pub fn append(&mut self, bytes: &[u8], bit_len: u64) {
+        assert!(
+            bytes.len() as u64 * 8 >= bit_len,
+            "fragment of {} bytes cannot hold {bit_len} bits",
+            bytes.len()
+        );
+        let whole = (bit_len / 8) as usize;
+        let rem = (bit_len % 8) as u32;
+        if self.pending == 0 {
+            self.bytes.extend_from_slice(&bytes[..whole]);
+        } else {
+            let mut chunks = bytes[..whole].chunks_exact(4);
+            for chunk in &mut chunks {
+                let word = u32::from_be_bytes(chunk.try_into().expect("chunk of 4"));
+                self.write_bits(u64::from(word), 32);
+            }
+            for &byte in chunks.remainder() {
+                self.write_bits(u64::from(byte), 8);
+            }
+        }
+        if rem > 0 {
+            self.write_bits(u64::from(bytes[whole] >> (8 - rem)), rem);
+        }
     }
 
     /// Number of bits written so far.
     #[must_use]
     pub fn bit_len(&self) -> u64 {
-        self.bytes.len() as u64 * 8 + u64::from(self.filled)
+        self.bytes.len() as u64 * 8 + u64::from(self.pending)
     }
 
     /// Finishes the stream, padding the last byte with zero bits.
     #[must_use]
     pub fn into_bytes(mut self) -> Vec<u8> {
-        if self.filled > 0 {
-            self.current <<= 8 - self.filled;
-            self.bytes.push(self.current);
+        if self.pending > 0 {
+            self.bytes.push((self.acc << (8 - self.pending)) as u8);
         }
         self.bytes
     }
 }
 
 /// Reads bits from a byte slice.
+///
+/// The reader keeps a 64-bit look-ahead accumulator of upcoming bits
+/// (left-aligned, so bit 63 is the next stream bit) and refills it from the
+/// byte buffer roughly once per seven byte-sized reads — small fields and
+/// unary scans are a shift and a mask, not a loop per bit.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    position: u64,
+    /// Index of the next byte not yet loaded into `acc`.
+    next_byte: usize,
+    /// Upcoming bits, left-aligned; only the top `avail` bits are valid and
+    /// the bits below them are always zero.
+    acc: u64,
+    /// Number of valid bits at the top of `acc`.
+    avail: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Wraps a byte slice.
     #[must_use]
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, position: 0 }
+        Self { bytes, next_byte: 0, acc: 0, avail: 0 }
+    }
+
+    /// Total number of bits in the underlying buffer.
+    fn total_bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8
+    }
+
+    fn end_of_stream() -> CoderError {
+        CoderError::MalformedStream("unexpected end of bitstream".to_owned())
+    }
+
+    /// Loads bytes into the accumulator until it holds at least 57 bits or
+    /// the input is exhausted. Away from the end of the buffer the refill is
+    /// a single unaligned 8-byte load instead of a per-byte loop.
+    fn refill(&mut self) {
+        let take_bits = (64 - self.avail) & !7;
+        if take_bits == 0 {
+            return;
+        }
+        if let Some(chunk) = self.bytes.get(self.next_byte..self.next_byte + 8) {
+            let word = u64::from_be_bytes(chunk.try_into().expect("chunk of 8"));
+            self.acc |= (word >> (64 - take_bits)) << (64 - self.avail - take_bits);
+            self.avail += take_bits;
+            self.next_byte += (take_bits / 8) as usize;
+        } else {
+            while self.avail <= 56 && self.next_byte < self.bytes.len() {
+                self.acc |= u64::from(self.bytes[self.next_byte]) << (56 - self.avail);
+                self.avail += 8;
+                self.next_byte += 1;
+            }
+        }
+    }
+
+    /// Drops the top `count <= avail` bits of the accumulator.
+    #[inline]
+    fn consume(&mut self, count: u32) {
+        self.acc = if count == 64 { 0 } else { self.acc << count };
+        self.avail -= count;
     }
 
     /// Reads a single bit.
@@ -88,17 +230,23 @@ impl<'a> BitReader<'a> {
     /// # Errors
     ///
     /// Returns [`CoderError::MalformedStream`] at end of input.
+    #[inline]
     pub fn read_bit(&mut self) -> Result<bool, CoderError> {
-        let byte_index = (self.position / 8) as usize;
-        if byte_index >= self.bytes.len() {
-            return Err(CoderError::MalformedStream("unexpected end of bitstream".to_owned()));
+        if self.avail == 0 {
+            self.refill();
+            if self.avail == 0 {
+                return Err(Self::end_of_stream());
+            }
         }
-        let bit_index = 7 - (self.position % 8) as u32;
-        self.position += 1;
-        Ok((self.bytes[byte_index] >> bit_index) & 1 == 1)
+        let bit = self.acc >> 63 == 1;
+        self.consume(1);
+        Ok(bit)
     }
 
     /// Reads `count` bits into the low bits of a `u64`.
+    ///
+    /// The whole field comes out of the look-ahead accumulator with one
+    /// shift — there is no per-bit loop.
     ///
     /// # Errors
     ///
@@ -107,38 +255,302 @@ impl<'a> BitReader<'a> {
     /// # Panics
     ///
     /// Panics if `count > 64`.
+    #[inline]
     pub fn read_bits(&mut self, count: u32) -> Result<u64, CoderError> {
         assert!(count <= 64, "cannot read more than 64 bits at once");
-        let mut value = 0u64;
-        for _ in 0..count {
-            value = (value << 1) | u64::from(self.read_bit()?);
+        if count == 0 {
+            return Ok(0);
         }
+        if count > 57 {
+            // The refill tops out at 63 buffered bits, which cannot satisfy
+            // a 58..=64-bit field at every alignment; split it once.
+            let high = self.read_bits(count - 32)?;
+            let low = self.read_bits(32)?;
+            return Ok((high << 32) | low);
+        }
+        if self.avail < count {
+            self.refill();
+            if self.avail < count {
+                return Err(Self::end_of_stream());
+            }
+        }
+        let value = self.acc >> (64 - count);
+        self.consume(count);
         Ok(value)
     }
 
     /// Reads a unary run (number of one-bits before the terminating zero).
+    ///
+    /// The run is counted with `leading_ones` over the look-ahead
+    /// accumulator, so long runs cost a few instructions per 56 bits instead
+    /// of a call per bit.
     ///
     /// # Errors
     ///
     /// Returns [`CoderError::MalformedStream`] at end of input.
     pub fn read_unary(&mut self) -> Result<u64, CoderError> {
         let mut count = 0u64;
-        while self.read_bit()? {
-            count += 1;
+        loop {
+            if self.avail == 0 {
+                self.refill();
+                if self.avail == 0 {
+                    return Err(Self::end_of_stream());
+                }
+            }
+            // Bits below the valid region are zero, so `leading_ones` can
+            // only overshoot `avail` when all valid bits are ones.
+            let ones = self.acc.leading_ones().min(self.avail);
+            if ones < self.avail {
+                self.consume(ones + 1);
+                return Ok(count + u64::from(ones));
+            }
+            count += u64::from(ones);
+            self.consume(ones);
         }
-        Ok(count)
+    }
+
+    /// Reads a unary run immediately followed by a `count`-bit field — the
+    /// shape of one Rice codeword — in a single accumulator transaction.
+    ///
+    /// Equivalent to [`BitReader::read_unary`] followed by
+    /// [`BitReader::read_bits`], but the common case (the whole codeword
+    /// already buffered) pays for one refill check instead of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::MalformedStream`] at end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn read_unary_then_bits(&mut self, count: u32) -> Result<(u64, u64), CoderError> {
+        if self.avail < 57 {
+            self.refill();
+        }
+        let ones = self.acc.leading_ones().min(self.avail);
+        if ones < self.avail && ones + 1 + count <= self.avail {
+            // With `count >= 1` the constraint `ones + 1 + count <= 64`
+            // keeps the run shift below 64; the `count == 0` arm never
+            // shifts, so a 63-one run cannot overflow the shift either.
+            let field = if count == 0 { 0 } else { (self.acc << (ones + 1)) >> (64 - count) };
+            self.consume(ones + 1 + count);
+            return Ok((u64::from(ones), field));
+        }
+        let quotient = self.read_unary()?;
+        let field = self.read_bits(count)?;
+        Ok((quotient, field))
+    }
+
+    /// Skips `count` bits without decoding them (used by the subband
+    /// directory scanner of the parallel codec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::MalformedStream`] if fewer than `count` bits
+    /// remain.
+    pub fn skip_bits(&mut self, count: u64) -> Result<(), CoderError> {
+        if u64::from(self.avail) >= count {
+            self.consume(count as u32);
+            return Ok(());
+        }
+        let target = self.bits_read() + count;
+        if target > self.total_bits() {
+            return Err(Self::end_of_stream());
+        }
+        self.next_byte = (target / 8) as usize;
+        self.acc = 0;
+        self.avail = 0;
+        let offset = (target % 8) as u32;
+        if offset != 0 {
+            // Re-load the rest of the byte the target lands inside.
+            self.acc = u64::from(self.bytes[self.next_byte]) << (56 + offset);
+            self.avail = 8 - offset;
+            self.next_byte += 1;
+        }
+        Ok(())
     }
 
     /// Number of bits consumed so far.
     #[must_use]
     pub fn bits_read(&self) -> u64 {
-        self.position
+        self.next_byte as u64 * 8 - u64::from(self.avail)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The original bit-at-a-time writer, kept verbatim as the behavioural
+    /// reference for the word-at-a-time rewrite: every stream the fast writer
+    /// produces must be byte-identical to this one's.
+    #[derive(Debug, Default)]
+    struct ReferenceBitWriter {
+        bytes: Vec<u8>,
+        current: u8,
+        filled: u32,
+    }
+
+    impl ReferenceBitWriter {
+        fn write_bit(&mut self, bit: bool) {
+            self.current = (self.current << 1) | u8::from(bit);
+            self.filled += 1;
+            if self.filled == 8 {
+                self.bytes.push(self.current);
+                self.current = 0;
+                self.filled = 0;
+            }
+        }
+
+        fn write_bits(&mut self, value: u64, count: u32) {
+            for i in (0..count).rev() {
+                self.write_bit((value >> i) & 1 == 1);
+            }
+        }
+
+        fn write_unary(&mut self, count: u64) {
+            for _ in 0..count {
+                self.write_bit(true);
+            }
+            self.write_bit(false);
+        }
+
+        fn into_bytes(mut self) -> Vec<u8> {
+            if self.filled > 0 {
+                self.current <<= 8 - self.filled;
+                self.bytes.push(self.current);
+            }
+            self.bytes
+        }
+    }
+
+    /// One random writer operation of the property mix.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Bit(bool),
+        Bits(u64, u32),
+        Unary(u64),
+    }
+
+    fn random_ops(rng: &mut StdRng, len: usize) -> Vec<Op> {
+        (0..len)
+            .map(|_| match rng.gen_range(0..3u32) {
+                0 => Op::Bit(rng.gen_range(0..2) == 1),
+                1 => {
+                    let count = rng.gen_range(0..=64u32);
+                    Op::Bits(rng.gen_range(0..=u64::MAX), count)
+                }
+                // Heavy tail: include runs far beyond 64 bits so the
+                // whole-byte emission and scanning paths are exercised.
+                _ => Op::Unary(if rng.gen_range(0..4u32) == 0 {
+                    rng.gen_range(64..400u64)
+                } else {
+                    rng.gen_range(0..20u64)
+                }),
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Byte-identical streams: any mix of bit, multi-bit and unary writes
+        /// produces exactly the bytes of the original per-bit implementation.
+        #[test]
+        fn writer_matches_the_per_bit_reference(seed in 0u64..1_000_000, len in 1usize..120) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ops = random_ops(&mut rng, len);
+            let mut fast = BitWriter::new();
+            let mut reference = ReferenceBitWriter::default();
+            for &op in &ops {
+                match op {
+                    Op::Bit(b) => {
+                        fast.write_bit(b);
+                        reference.write_bit(b);
+                    }
+                    Op::Bits(v, c) => {
+                        fast.write_bits(v, c);
+                        reference.write_bits(v, c);
+                    }
+                    Op::Unary(n) => {
+                        fast.write_unary(n);
+                        reference.write_unary(n);
+                    }
+                }
+            }
+            prop_assert_eq!(fast.into_bytes(), reference.into_bytes());
+        }
+
+        /// Identical read-back: whatever was written comes back value for
+        /// value through the word-at-a-time reader.
+        #[test]
+        fn reader_roundtrips_random_op_mixes(seed in 0u64..1_000_000, len in 1usize..120) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ops = random_ops(&mut rng, len);
+            let mut writer = BitWriter::new();
+            for &op in &ops {
+                match op {
+                    Op::Bit(b) => writer.write_bit(b),
+                    Op::Bits(v, c) => writer.write_bits(v, c),
+                    Op::Unary(n) => writer.write_unary(n),
+                }
+            }
+            let bytes = writer.into_bytes();
+            let mut reader = BitReader::new(&bytes);
+            for &op in &ops {
+                match op {
+                    Op::Bit(b) => prop_assert_eq!(reader.read_bit().unwrap(), b),
+                    Op::Bits(v, c) => {
+                        let expected = if c == 0 { 0 } else { v & (u64::MAX >> (64 - c)) };
+                        prop_assert_eq!(reader.read_bits(c).unwrap(), expected);
+                    }
+                    Op::Unary(n) => prop_assert_eq!(reader.read_unary().unwrap(), n),
+                }
+            }
+        }
+
+        /// Splicing fragments at arbitrary bit offsets reproduces the stream
+        /// a single writer would have produced.
+        #[test]
+        fn append_equals_writing_in_one_stream(seed in 0u64..1_000_000, pieces in 1usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fragments: Vec<Vec<Op>> = (0..pieces)
+                .map(|_| {
+                    let len = rng.gen_range(1..40);
+                    random_ops(&mut rng, len)
+                })
+                .collect();
+            let mut single = BitWriter::new();
+            let mut spliced = BitWriter::new();
+            for ops in &fragments {
+                let mut fragment = BitWriter::new();
+                for &op in ops {
+                    match op {
+                        Op::Bit(b) => {
+                            single.write_bit(b);
+                            fragment.write_bit(b);
+                        }
+                        Op::Bits(v, c) => {
+                            single.write_bits(v, c);
+                            fragment.write_bits(v, c);
+                        }
+                        Op::Unary(n) => {
+                            single.write_unary(n);
+                            fragment.write_unary(n);
+                        }
+                    }
+                }
+                let bits = fragment.bit_len();
+                spliced.append(&fragment.into_bytes(), bits);
+            }
+            prop_assert_eq!(spliced.bit_len(), single.bit_len());
+            prop_assert_eq!(spliced.into_bytes(), single.into_bytes());
+        }
+    }
 
     #[test]
     fn bit_roundtrip() {
@@ -170,6 +582,21 @@ mod tests {
     }
 
     #[test]
+    fn full_width_fields_roundtrip_at_any_alignment() {
+        for lead in 0u32..8 {
+            let mut w = BitWriter::new();
+            w.write_bits(0, lead);
+            w.write_bits(u64::MAX, 64);
+            w.write_bits(0x0123_4567_89AB_CDEF, 64);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.read_bits(lead).unwrap(), 0);
+            assert_eq!(r.read_bits(64).unwrap(), u64::MAX, "lead {lead}");
+            assert_eq!(r.read_bits(64).unwrap(), 0x0123_4567_89AB_CDEF, "lead {lead}");
+        }
+    }
+
+    #[test]
     fn unary_roundtrip() {
         let mut w = BitWriter::new();
         for n in [0u64, 1, 5, 13] {
@@ -183,6 +610,25 @@ mod tests {
     }
 
     #[test]
+    fn long_unary_runs_roundtrip() {
+        // Runs beyond 64 bits exercise the whole-0xFF-byte paths.
+        let runs = [63u64, 64, 65, 127, 128, 1000];
+        for lead in 0u32..8 {
+            let mut w = BitWriter::new();
+            w.write_bits(0, lead);
+            for &n in &runs {
+                w.write_unary(n);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.read_bits(lead).unwrap(), 0);
+            for &n in &runs {
+                assert_eq!(r.read_unary().unwrap(), n, "lead {lead}");
+            }
+        }
+    }
+
+    #[test]
     fn end_of_stream_is_an_error() {
         let mut r = BitReader::new(&[0xFF]);
         assert_eq!(r.read_bits(8).unwrap(), 0xFF);
@@ -190,6 +636,21 @@ mod tests {
         // A unary run that never terminates also errors out.
         let mut r = BitReader::new(&[0xFF]);
         assert!(r.read_unary().is_err());
+        // Same for a run reaching the end mid-byte.
+        let mut r = BitReader::new(&[0b0111_1111, 0xFF]);
+        assert_eq!(r.read_unary().unwrap(), 0);
+        assert!(r.read_unary().is_err());
+    }
+
+    #[test]
+    fn skip_bits_advances_and_bounds_checks() {
+        let mut r = BitReader::new(&[0xAB, 0xCD]);
+        r.skip_bits(4).unwrap();
+        assert_eq!(r.read_bits(8).unwrap(), 0xBC);
+        assert_eq!(r.bits_read(), 12);
+        assert!(r.skip_bits(5).is_err());
+        r.skip_bits(4).unwrap();
+        assert!(r.skip_bits(1).is_err());
     }
 
     #[test]
@@ -205,5 +666,12 @@ mod tests {
     fn oversized_write_rejected() {
         let mut w = BitWriter::new();
         w.write_bits(0, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn oversized_append_rejected() {
+        let mut w = BitWriter::new();
+        w.append(&[0xFF], 9);
     }
 }

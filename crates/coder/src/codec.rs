@@ -10,6 +10,105 @@ use std::fmt;
 /// Magic number identifying an `lwc` compressed stream ("LWC1").
 const MAGIC: u32 = 0x4C57_4331;
 
+/// Parsed fixed-size stream header (see [`LosslessCodec`] for the layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Nominal bit depth of the pixels.
+    pub bit_depth: u32,
+    /// Decomposition depth the stream was coded with.
+    pub scales: u32,
+}
+
+impl StreamHeader {
+    /// Size of the serialized header in bits.
+    pub const BITS: u64 = 32 + 20 + 20 + 5 + 4;
+
+    /// Reads and validates a header.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoderError::MalformedStream`] if the stream ends inside the
+    ///   header, or a dimension, the bit depth or the scale count is zero.
+    /// * [`CoderError::UnsupportedFormat`] if the magic number is wrong.
+    pub fn read(reader: &mut BitReader<'_>) -> Result<Self, CoderError> {
+        let magic = reader
+            .read_bits(32)
+            .map_err(|_| CoderError::MalformedStream("truncated header: no magic".to_owned()))?;
+        if magic as u32 != MAGIC {
+            return Err(CoderError::UnsupportedFormat("bad magic number".to_owned()));
+        }
+        let mut field = |bits: u32, name: &str| {
+            reader.read_bits(bits).map_err(|_| {
+                CoderError::MalformedStream(format!("truncated header: missing {name}"))
+            })
+        };
+        let width = field(20, "width")? as usize;
+        let height = field(20, "height")? as usize;
+        let bit_depth = field(5, "bit depth")? as u32;
+        let scales = field(4, "scale count")? as u32;
+        // The 20-bit fields bound the dimensions at 2^20 - 1 by construction;
+        // only the zero cases need rejecting.
+        if width == 0 || height == 0 {
+            return Err(CoderError::MalformedStream(format!(
+                "implausible dimensions {width}x{height}"
+            )));
+        }
+        if bit_depth == 0 {
+            return Err(CoderError::MalformedStream("zero bit depth".to_owned()));
+        }
+        if scales == 0 {
+            return Err(CoderError::MalformedStream("zero decomposition scales".to_owned()));
+        }
+        Ok(Self { width, height, bit_depth, scales })
+    }
+
+    /// Checks the header's scale count against a codec's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::UnsupportedFormat`] on a mismatch.
+    pub fn ensure_scales(&self, expected: u32) -> Result<(), CoderError> {
+        if self.scales != expected {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "stream uses {} scales but the codec is configured for {expected}",
+                self.scales
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serializes the header.
+    pub fn write(&self, writer: &mut BitWriter) {
+        writer.write_bits(u64::from(MAGIC), 32);
+        writer.write_bits(self.width as u64, 20);
+        writer.write_bits(self.height as u64, 20);
+        writer.write_bits(u64::from(self.bit_depth), 5);
+        writer.write_bits(u64::from(self.scales), 4);
+    }
+
+    /// Sample count of any one subband at `scale` (the approximation and all
+    /// three detail bands of a scale share it by construction).
+    #[must_use]
+    pub fn subband_len(&self, scale: u32) -> usize {
+        (self.width >> scale) * (self.height >> scale)
+    }
+}
+
+/// The `(scale, band)` sequence in which subbands are serialized: the deepest
+/// approximation first, then for each scale from the deepest to the finest
+/// the horizontal, vertical and diagonal details — `3 * scales + 1` entries.
+///
+/// Shared by the sequential codec and the per-subband parallel codec in
+/// `lwc-pipeline` so the two can never disagree on the layout.
+pub fn subband_order(scales: u32) -> impl Iterator<Item = (u32, usize)> {
+    std::iter::once((scales, 0))
+        .chain((1..=scales).rev().flat_map(|scale| (1..=3).map(move |band| (scale, band))))
+}
+
 /// Statistics of one compression run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompressionReport {
@@ -77,6 +176,110 @@ impl LosslessCodec {
         self.transform.scales()
     }
 
+    /// The reversible transform the codec runs (shared with the per-subband
+    /// parallel codec in `lwc-pipeline`).
+    #[must_use]
+    pub fn transform(&self) -> &Lifting53 {
+        &self.transform
+    }
+
+    /// The subband entropy coder.
+    #[must_use]
+    pub fn subband_codec(&self) -> &SubbandCodec {
+        &self.subbands
+    }
+
+    /// The header this codec would write for `image`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::UnsupportedFormat`] if the dimensions or scale
+    /// count do not fit the header's fixed-width fields — the serializer
+    /// would otherwise truncate them silently (the image bit depth always
+    /// fits: `lwc_image::Image` caps it at 16).
+    pub fn header_for(&self, image: &Image) -> Result<StreamHeader, CoderError> {
+        let header = StreamHeader {
+            width: image.width(),
+            height: image.height(),
+            bit_depth: image.bit_depth(),
+            scales: self.scales(),
+        };
+        if header.width >= (1 << 20) || header.height >= (1 << 20) {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "image dimensions {}x{} exceed the stream format's 20-bit fields",
+                header.width, header.height
+            )));
+        }
+        if header.scales >= (1 << 4) {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "{} scales exceed the stream format's 4-bit field",
+                header.scales
+            )));
+        }
+        Ok(header)
+    }
+
+    /// Rebuilds the Mallat-layout coefficient container from per-subband
+    /// sample vectors in [`subband_order`] order, then runs the inverse
+    /// transform. Shared by [`LosslessCodec::decompress`] and the parallel
+    /// decoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the header is inconsistent with the subband data
+    /// or the inverse transform fails.
+    pub fn reassemble(
+        &self,
+        header: &StreamHeader,
+        subbands: &[Vec<i32>],
+    ) -> Result<Image, CoderError> {
+        let width = header.width;
+        let height = header.height;
+        let expected = 3 * self.scales() as usize + 1;
+        if subbands.len() != expected {
+            return Err(CoderError::MalformedStream(format!(
+                "{} subbands supplied but the layout has {expected}",
+                subbands.len()
+            )));
+        }
+        if header.subband_len(self.scales()) == 0 {
+            return Err(CoderError::MalformedStream(
+                "image too small for the coded number of scales".to_owned(),
+            ));
+        }
+        for ((scale, _band), samples) in subband_order(self.scales()).zip(subbands) {
+            if samples.len() != header.subband_len(scale) {
+                return Err(CoderError::MalformedStream(format!(
+                    "subband at scale {scale} holds {} samples but the header implies {}",
+                    samples.len(),
+                    header.subband_len(scale)
+                )));
+            }
+        }
+        let mut data = vec![0i32; width * height];
+        for ((scale, band), samples) in subband_order(self.scales()).zip(subbands) {
+            let w = width >> scale;
+            let (x0, y0) = match band {
+                0 => (0, 0),
+                1 => (w, 0),
+                2 => (0, height >> scale),
+                _ => (w, height >> scale),
+            };
+            for (row_index, row) in samples.chunks(w).enumerate() {
+                let start = (y0 + row_index) * width + x0;
+                data[start..start + row.len()].copy_from_slice(row);
+            }
+        }
+        let coeffs = lwc_lifting::LiftingCoefficients::from_raw(
+            data,
+            width,
+            height,
+            self.scales(),
+            header.bit_depth,
+        )?;
+        Ok(self.transform.inverse(&coeffs)?)
+    }
+
     /// Compresses `image` into a self-contained byte stream.
     ///
     /// # Errors
@@ -84,20 +287,12 @@ impl LosslessCodec {
     /// Returns an error if the image cannot be decomposed to the configured
     /// depth.
     pub fn compress(&self, image: &Image) -> Result<Vec<u8>, CoderError> {
+        let header = self.header_for(image)?;
         let coeffs = self.transform.forward(image)?;
         let mut writer = BitWriter::new();
-        writer.write_bits(u64::from(MAGIC), 32);
-        writer.write_bits(image.width() as u64, 20);
-        writer.write_bits(image.height() as u64, 20);
-        writer.write_bits(u64::from(image.bit_depth()), 5);
-        writer.write_bits(u64::from(self.scales()), 4);
-
-        let deepest = self.scales();
-        self.subbands.encode_subband(&mut writer, &coeffs.subband(deepest, 0));
-        for scale in (1..=deepest).rev() {
-            for band in 1..=3 {
-                self.subbands.encode_subband(&mut writer, &coeffs.subband(scale, band));
-            }
+        header.write(&mut writer);
+        for (scale, band) in subband_order(self.scales()) {
+            self.subbands.encode_subband(&mut writer, &coeffs.subband(scale, band));
         }
         Ok(writer.into_bytes())
     }
@@ -110,63 +305,19 @@ impl LosslessCodec {
     /// Returns an error for malformed streams or mismatched configuration.
     pub fn decompress(&self, bytes: &[u8]) -> Result<Image, CoderError> {
         let mut reader = BitReader::new(bytes);
-        if reader.read_bits(32)? as u32 != MAGIC {
-            return Err(CoderError::UnsupportedFormat("bad magic number".to_owned()));
-        }
-        let width = reader.read_bits(20)? as usize;
-        let height = reader.read_bits(20)? as usize;
-        let bit_depth = reader.read_bits(5)? as u32;
-        let scales = reader.read_bits(4)? as u32;
-        if scales != self.scales() {
-            return Err(CoderError::UnsupportedFormat(format!(
-                "stream uses {scales} scales but the codec is configured for {}",
-                self.scales()
-            )));
-        }
-        if width == 0 || height == 0 || width > (1 << 20) || height > (1 << 20) {
-            return Err(CoderError::MalformedStream(format!(
-                "implausible dimensions {width}x{height}"
-            )));
-        }
-
-        // Rebuild the Mallat layout buffer subband by subband.
-        let mut data = vec![0i32; width * height];
-        let deepest = self.scales();
-        let mut place = |samples: &[i32], scale: u32, band: usize| {
-            let w = width >> scale;
-            let h = height >> scale;
-            let (x0, y0) = match band {
-                0 => (0, 0),
-                1 => (w, 0),
-                2 => (0, h),
-                _ => (w, h),
-            };
-            for (i, &v) in samples.iter().enumerate() {
-                let x = x0 + i % w;
-                let y = y0 + i / w;
-                data[y * width + x] = v;
-            }
-        };
-
-        let approx_len = (width >> deepest) * (height >> deepest);
-        if approx_len == 0 {
+        let header = StreamHeader::read(&mut reader)?;
+        header.ensure_scales(self.scales())?;
+        if header.subband_len(self.scales()) == 0 {
             return Err(CoderError::MalformedStream(
                 "image too small for the coded number of scales".to_owned(),
             ));
         }
-        let approx = self.subbands.decode_subband(&mut reader, approx_len)?;
-        place(&approx, deepest, 0);
-        for scale in (1..=deepest).rev() {
-            let len = (width >> scale) * (height >> scale);
-            for band in 1..=3 {
-                let samples = self.subbands.decode_subband(&mut reader, len)?;
-                place(&samples, scale, band);
-            }
-        }
-
-        let coeffs =
-            lwc_lifting::LiftingCoefficients::from_raw(data, width, height, scales, bit_depth)?;
-        Ok(self.transform.inverse(&coeffs)?)
+        let subbands: Vec<Vec<i32>> = subband_order(self.scales())
+            .map(|(scale, _band)| {
+                self.subbands.decode_subband(&mut reader, header.subband_len(scale))
+            })
+            .collect::<Result<_, _>>()?;
+        self.reassemble(&header, &subbands)
     }
 
     /// Compresses and reports the sizes.
@@ -257,6 +408,103 @@ mod tests {
         let other = LosslessCodec::new(4).unwrap();
         let full = codec.compress(&image).unwrap();
         assert!(other.decompress(&full).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_an_unsupported_format_error() {
+        let codec = LosslessCodec::new(3).unwrap();
+        let mut bytes = codec.compress(&synth::ct_phantom(32, 32, 12, 1)).unwrap();
+        bytes[3] ^= 0x01;
+        assert!(matches!(codec.decompress(&bytes), Err(CoderError::UnsupportedFormat(_))));
+    }
+
+    #[test]
+    fn truncated_headers_are_malformed_not_garbage() {
+        let codec = LosslessCodec::new(3).unwrap();
+        let bytes = codec.compress(&synth::ct_phantom(32, 32, 12, 2)).unwrap();
+        // Every header-length prefix, including the empty stream, must be
+        // rejected with a specific malformed-stream error (the magic check
+        // needs 4 whole bytes, so shorter prefixes are truncation too).
+        for len in 0..StreamHeader::BITS.div_ceil(8) as usize {
+            let prefix = &bytes[..len];
+            match codec.decompress(prefix) {
+                Err(CoderError::MalformedStream(msg)) => {
+                    assert!(msg.contains("truncated header"), "len {len}: {msg}");
+                }
+                other => panic!("len {len}: expected MalformedStream, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_and_depths_are_rejected() {
+        // Hand-craft headers with invalid fields; the payload is irrelevant
+        // because validation must fail first.
+        let craft = |width: u64, height: u64, depth: u64, scales: u64| {
+            let mut w = BitWriter::new();
+            w.write_bits(u64::from(super::MAGIC), 32);
+            w.write_bits(width, 20);
+            w.write_bits(height, 20);
+            w.write_bits(depth, 5);
+            w.write_bits(scales, 4);
+            w.write_bits(0, 64);
+            w.into_bytes()
+        };
+        let codec = LosslessCodec::new(3).unwrap();
+        for (bytes, what) in [
+            (craft(0, 32, 12, 3), "zero width"),
+            (craft(32, 0, 12, 3), "zero height"),
+            (craft(32, 32, 0, 3), "zero bit depth"),
+            (craft(32, 32, 12, 0), "zero scales"),
+        ] {
+            assert!(
+                matches!(codec.decompress(&bytes), Err(CoderError::MalformedStream(_))),
+                "{what} must be a malformed-stream error"
+            );
+        }
+    }
+
+    #[test]
+    fn reassemble_rejects_inconsistent_subband_shapes() {
+        let codec = LosslessCodec::new(2).unwrap();
+        let header = StreamHeader { width: 16, height: 16, bit_depth: 12, scales: 2 };
+        // Wrong subband count.
+        assert!(matches!(
+            codec.reassemble(&header, &[vec![0; 16]]),
+            Err(CoderError::MalformedStream(_))
+        ));
+        // Right count, one band oversized.
+        let mut bands: Vec<Vec<i32>> =
+            subband_order(2).map(|(scale, _)| vec![0i32; header.subband_len(scale)]).collect();
+        bands[3].push(7);
+        assert!(matches!(codec.reassemble(&header, &bands), Err(CoderError::MalformedStream(_))));
+        // Too many scales for the geometry.
+        let tiny = StreamHeader { width: 2, height: 2, bit_depth: 12, scales: 2 };
+        let empty: Vec<Vec<i32>> =
+            subband_order(2).map(|(scale, _)| vec![0i32; tiny.subband_len(scale)]).collect();
+        assert!(matches!(codec.reassemble(&tiny, &empty), Err(CoderError::MalformedStream(_))));
+    }
+
+    #[test]
+    fn header_roundtrips_through_the_bit_layer() {
+        let header = StreamHeader { width: 640, height: 480, bit_depth: 12, scales: 5 };
+        let mut w = BitWriter::new();
+        header.write(&mut w);
+        assert_eq!(w.bit_len(), StreamHeader::BITS);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(StreamHeader::read(&mut r).unwrap(), header);
+        assert_eq!(header.subband_len(5), 20 * 15);
+    }
+
+    #[test]
+    fn subband_order_visits_every_band_once() {
+        let order: Vec<(u32, usize)> = subband_order(3).collect();
+        assert_eq!(
+            order,
+            vec![(3, 0), (3, 1), (3, 2), (3, 3), (2, 1), (2, 2), (2, 3), (1, 1), (1, 2), (1, 3)]
+        );
+        assert_eq!(subband_order(6).count(), 3 * 6 + 1);
     }
 
     #[test]

@@ -40,9 +40,9 @@ mod error;
 pub mod rice;
 mod subband;
 
-pub use codec::{CompressionReport, LosslessCodec};
+pub use codec::{subband_order, CompressionReport, LosslessCodec, StreamHeader};
 pub use error::CoderError;
-pub use subband::SubbandCodec;
+pub use subband::{SubbandCodec, BLOCK_SIZE, MAX_UNARY_RUN_BITS};
 
 #[cfg(test)]
 mod crate_tests {

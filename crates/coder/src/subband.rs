@@ -14,6 +14,28 @@ use crate::CoderError;
 /// Number of samples coded with one shared Rice parameter.
 pub const BLOCK_SIZE: usize = 64;
 
+/// Upper bound on the unary run length (quotient plus terminator, in bits) of
+/// any value the block-adaptive encoder emits — for **any** `i32` input, not
+/// just plan-conformant coefficients.
+///
+/// Why no escape code is needed: within a block of `B <= BLOCK_SIZE` samples
+/// the parameter is `k = optimal_parameter(block)`, which satisfies
+/// `2^(k+1) > mean + 1` unless capped at [`MAX_RICE_PARAMETER`]. For any
+/// zig-zagged value `u` in the block, `u <= sum(u_i) = B * mean`, so the
+/// quotient obeys
+///
+/// ```text
+/// u >> k  <=  u / 2^k  <  2u / (mean + 1)  <=  2 * B * mean / (mean + 1)  <  2B
+/// ```
+///
+/// and in the capped case `k = 30` the largest zig-zag value (`2^32 - 1`,
+/// from `i32::MIN`) still quotients to at most 3. The run is therefore at
+/// most `max(2B, 4) <= 2 * BLOCK_SIZE` bits, which the tests below exercise
+/// with adversarial blocks. This is why the stream format can stay
+/// escape-free (and byte-stable) while [`crate::bitio::BitWriter::write_unary`]
+/// never sees a pathological run from the encoder.
+pub const MAX_UNARY_RUN_BITS: u64 = 2 * BLOCK_SIZE as u64;
+
 /// Encodes/decodes the subbands of an integer wavelet decomposition with a
 /// block-adaptive Rice code.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,10 +53,23 @@ impl SubbandCodec {
     /// written.
     pub fn encode_subband(self, writer: &mut BitWriter, samples: &[i32]) -> u64 {
         let before = writer.bit_len();
+        // Zig-zag each block once into a stack scratch, summing for the
+        // parameter rule in the same pass; the value coder then consumes the
+        // mapped values without re-mapping.
+        let mut zigzag = [0u64; BLOCK_SIZE];
         for block in samples.chunks(BLOCK_SIZE) {
-            let k = rice::optimal_parameter(block);
+            let mut sum = 0u64;
+            for (slot, &v) in zigzag.iter_mut().zip(block) {
+                let u = rice::zigzag_encode(v);
+                *slot = u;
+                sum += u;
+            }
+            let mapped = &zigzag[..block.len()];
+            let k = rice::parameter_for_zigzag_sum(sum, mapped.len());
             writer.write_bits(u64::from(k), 5);
-            rice::encode_slice(writer, block, k);
+            for &u in mapped {
+                rice::encode_zigzag(writer, u, k);
+            }
         }
         writer.bit_len() - before
     }
@@ -60,10 +95,42 @@ impl SubbandCodec {
                     "rice parameter {k} exceeds the supported maximum"
                 )));
             }
-            out.extend(rice::decode_slice(reader, block_len, k)?);
+            rice::decode_into(reader, &mut out, block_len, k)?;
             remaining -= block_len;
         }
         Ok(out)
+    }
+
+    /// Advances `reader` past one subband of `count` samples without
+    /// materializing the values (the unary prefixes still have to be scanned,
+    /// but the remainders are skipped in one hop per value and nothing is
+    /// zig-zag decoded or collected).
+    ///
+    /// This is how the parallel decoder builds its subband directory from a
+    /// plain sequential stream: one cheap scan finds every subband's bit
+    /// offset, then the subbands decode concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::MalformedStream`] if the stream is truncated or
+    /// a stored parameter is out of range.
+    pub fn skip_subband(self, reader: &mut BitReader<'_>, count: usize) -> Result<(), CoderError> {
+        let mut remaining = count;
+        while remaining > 0 {
+            let block_len = remaining.min(BLOCK_SIZE);
+            let k = reader.read_bits(5)? as u32;
+            if k > MAX_RICE_PARAMETER {
+                return Err(CoderError::MalformedStream(format!(
+                    "rice parameter {k} exceeds the supported maximum"
+                )));
+            }
+            for _ in 0..block_len {
+                reader.read_unary()?;
+                reader.skip_bits(u64::from(k))?;
+            }
+            remaining -= block_len;
+        }
+        Ok(())
     }
 }
 
@@ -150,6 +217,101 @@ mod tests {
         bytes.truncate(1);
         let mut r = BitReader::new(&bytes);
         assert!(codec.decode_subband(&mut r, 4).is_err());
+    }
+
+    #[test]
+    fn skip_subband_lands_exactly_on_the_next_subband() {
+        let codec = SubbandCodec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let first: Vec<i32> = (0..333).map(|_| rng.gen_range(-4000..4000)).collect();
+        let second: Vec<i32> = (0..100).map(|_| rng.gen_range(-7..7)).collect();
+        let mut w = BitWriter::new();
+        codec.encode_subband(&mut w, &first);
+        let first_bits = w.bit_len();
+        codec.encode_subband(&mut w, &second);
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        codec.skip_subband(&mut r, first.len()).unwrap();
+        assert_eq!(r.bits_read(), first_bits);
+        assert_eq!(codec.decode_subband(&mut r, second.len()).unwrap(), second);
+    }
+
+    #[test]
+    fn skip_subband_rejects_truncation_and_bad_parameters() {
+        let codec = SubbandCodec::new();
+        let mut w = BitWriter::new();
+        codec.encode_subband(&mut w, &[100, -100, 300, -300]);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(1);
+        let mut r = BitReader::new(&bytes);
+        assert!(codec.skip_subband(&mut r, 4).is_err());
+
+        let mut w = BitWriter::new();
+        w.write_bits(31, 5);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(codec.skip_subband(&mut r, 4).is_err());
+    }
+
+    /// The [`MAX_UNARY_RUN_BITS`] bound: even adversarial blocks — a lone
+    /// extreme value among zeros is the worst case for the mean-based
+    /// parameter rule — never make the encoder emit a unary run beyond
+    /// `2 * BLOCK_SIZE` bits, so no escape code is needed.
+    #[test]
+    fn encoder_unary_runs_never_exceed_the_documented_bound() {
+        let mut adversarial: Vec<Vec<i32>> = vec![
+            // Lone spikes that drag the block mean down.
+            {
+                let mut v = vec![0i32; BLOCK_SIZE];
+                v[17] = i32::MIN;
+                v
+            },
+            {
+                let mut v = vec![0i32; BLOCK_SIZE];
+                v[0] = i32::MAX;
+                v
+            },
+            // Saturated blocks (parameter capped at MAX_RICE_PARAMETER).
+            vec![i32::MIN; BLOCK_SIZE],
+            vec![i32::MAX; 2 * BLOCK_SIZE + 1],
+            // Tiny partial blocks, including the capped single-sample case.
+            vec![i32::MIN],
+            vec![i32::MAX, 0],
+            vec![0, 0, -1, i32::MIN, 1, 0, 0],
+        ];
+        let mut rng = StdRng::seed_from_u64(21);
+        adversarial.extend((0..50).map(|_| {
+            let len = rng.gen_range(1..=2 * BLOCK_SIZE);
+            (0..len).map(|_| rng.gen_range(i32::MIN..=i32::MAX)).collect::<Vec<i32>>()
+        }));
+
+        let codec = SubbandCodec::new();
+        for samples in &adversarial {
+            let mut w = BitWriter::new();
+            codec.encode_subband(&mut w, samples);
+            let bytes = w.into_bytes();
+            // Re-parse the stream measuring every unary run.
+            let mut r = BitReader::new(&bytes);
+            let mut remaining = samples.len();
+            while remaining > 0 {
+                let block_len = remaining.min(BLOCK_SIZE);
+                let k = r.read_bits(5).unwrap();
+                for _ in 0..block_len {
+                    let quotient = r.read_unary().unwrap();
+                    assert!(
+                        quotient < MAX_UNARY_RUN_BITS,
+                        "unary run of {} bits exceeds the bound {MAX_UNARY_RUN_BITS}",
+                        quotient + 1
+                    );
+                    r.skip_bits(k).unwrap();
+                }
+                remaining -= block_len;
+            }
+            // And the stream still round-trips.
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(codec.decode_subband(&mut r, samples.len()).unwrap(), *samples);
+        }
     }
 
     #[test]

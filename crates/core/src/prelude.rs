@@ -25,7 +25,10 @@ pub use lwc_image::{pgm, stats, synth, Image, ImageError};
 pub use lwc_lifting::Lifting53;
 pub use lwc_perf::hardware::{HardwareModel, ThroughputReport};
 pub use lwc_perf::software::SoftwareModel;
-pub use lwc_pipeline::{BatchCompressor, BatchReport, ParallelFixedDwt2d, PipelineError};
+pub use lwc_pipeline::{
+    BatchCompressor, BatchReport, ParallelCodec, ParallelFixedDwt2d, PipelineError,
+    SubbandDirectory,
+};
 pub use lwc_tech::{MemoryModel, MultiplierDesign, MultiplierModel, Process};
 pub use lwc_wordlen::{integer_bits, WordLengthPlan};
 

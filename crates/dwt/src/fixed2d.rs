@@ -7,6 +7,19 @@ use lwc_fixed::round_half_up_shift;
 use lwc_image::Image;
 use lwc_wordlen::WordLengthPlan;
 
+/// Number of columns gathered into the contiguous scratch buffer per block.
+///
+/// The column passes used to walk the image with a stride of one row per
+/// tap — a cache miss per access for any realistically sized image. Instead,
+/// a block of this many columns is transposed into a scratch buffer with
+/// row-wise (sequential) reads, filtered as contiguous 1-D signals, and
+/// transposed back with row-wise writes. The win comes from making every
+/// image access sequential (the hardware prefetcher's favourite pattern) and
+/// from filtering columns as contiguous slices; 32 columns keep the
+/// transpose's working set of distinct cache lines per row small while
+/// amortizing the two copies over the whole filter length.
+const COLUMN_BLOCK: usize = 32;
+
 /// The bit-exact software model of the paper's datapath: 2-D pyramid DWT with
 /// 32-bit fixed-point words, Table II per-scale integer parts, 64-bit
 /// accumulation and round-half-up narrowing.
@@ -261,18 +274,13 @@ impl FixedDwt2d {
             data[base..base + cur_w / 2].copy_from_slice(&a);
             data[base + cur_w / 2..base + cur_w].copy_from_slice(&d);
         }
-        let mut col = vec![0i64; cur_h];
-        for x in 0..cur_w {
-            for y in 0..cur_h {
-                col[y] = data[y * stride + x];
-            }
-            let (a, d) = analyze_periodic_fixed(&col, lp, hp, col_step)?;
-            for y in 0..cur_h / 2 {
-                data[y * stride + x] = a[y];
-                data[(y + cur_h / 2) * stride + x] = d[y];
-            }
-        }
-        Ok(())
+        blocked_column_pass(data, stride, cur_w, cur_h, |col| {
+            let (a, d) = analyze_periodic_fixed(col, lp, hp, col_step)?;
+            let half = col.len() / 2;
+            col[..half].copy_from_slice(&a);
+            col[half..].copy_from_slice(&d);
+            Ok(())
+        })
     }
 
     fn inverse_scale(
@@ -288,19 +296,16 @@ impl FixedDwt2d {
         let lp = self.quantized.synthesis_lowpass();
         let hp = self.quantized.synthesis_highpass();
 
-        // Undo the column pass.
-        let mut approx = vec![0i64; cur_h / 2];
-        let mut detail = vec![0i64; cur_h / 2];
-        for x in 0..cur_w {
-            for y in 0..cur_h / 2 {
-                approx[y] = data[y * stride + x];
-                detail[y] = data[(y + cur_h / 2) * stride + x];
-            }
-            let col = synthesize_periodic_fixed(&approx, &detail, lp, hp, col_step)?;
-            for (y, &v) in col.iter().enumerate() {
-                data[y * stride + x] = v;
-            }
-        }
+        // Undo the column pass, through the same blocked transpose as the
+        // forward column pass (the gather naturally lands the approximation
+        // rows in the first half of each scratch column and the detail rows
+        // in the second).
+        blocked_column_pass(data, stride, cur_w, cur_h, |col| {
+            let (a, d) = col.split_at(col.len() / 2);
+            let full = synthesize_periodic_fixed(a, d, lp, hp, col_step)?;
+            col.copy_from_slice(&full);
+            Ok(())
+        })?;
         // Undo the row pass, dropping back to the shallower scale's format.
         let mut approx = vec![0i64; cur_w / 2];
         let mut detail = vec![0i64; cur_w / 2];
@@ -313,6 +318,46 @@ impl FixedDwt2d {
         }
         Ok(())
     }
+}
+
+/// Drives one column pass of the active `cur_w × cur_h` region through the
+/// blocked transpose scratch: a block of [`COLUMN_BLOCK`] columns is gathered
+/// with sequential row reads, each column is handed to `filter_column` as a
+/// contiguous signal to transform in place, and the block is scattered back
+/// with sequential row writes.
+fn blocked_column_pass<F>(
+    data: &mut [i64],
+    stride: usize,
+    cur_w: usize,
+    cur_h: usize,
+    mut filter_column: F,
+) -> Result<(), DwtError>
+where
+    F: FnMut(&mut [i64]) -> Result<(), DwtError>,
+{
+    let block = COLUMN_BLOCK.min(cur_w);
+    let mut scratch = vec![0i64; cur_h * block];
+    for x0 in (0..cur_w).step_by(block) {
+        let bw = block.min(cur_w - x0);
+        // Transpose a block of columns in with sequential row reads.
+        for y in 0..cur_h {
+            let row = &data[y * stride + x0..y * stride + x0 + bw];
+            for (j, &v) in row.iter().enumerate() {
+                scratch[j * cur_h + y] = v;
+            }
+        }
+        for j in 0..bw {
+            filter_column(&mut scratch[j * cur_h..(j + 1) * cur_h])?;
+        }
+        // Transpose back out with sequential row writes.
+        for y in 0..cur_h {
+            let row = &mut data[y * stride + x0..y * stride + x0 + bw];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = scratch[j * cur_h + y];
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -71,6 +71,21 @@ impl MacAccumulator {
         Ok(self.value)
     }
 
+    /// Performs one multiply–accumulate step **without** the per-tap overflow
+    /// check: `acc += a * b` in plain 64-bit arithmetic.
+    ///
+    /// This is the interior fast path of the DWT inner loops. It is only
+    /// sound when the caller has already established, once per pass, that the
+    /// whole dot product cannot leave the 64-bit range — see
+    /// [`dot_product_fits_i64`] for the worst-case bound derived from the
+    /// kernel's L1 norm. Callers that cannot prove the bound must use
+    /// [`Self::mac`].
+    pub fn mac_unchecked(&mut self, a: i64, b: i64) -> i64 {
+        self.value += a * b;
+        self.ops += 1;
+        self.value
+    }
+
     /// Performs a full dot product, clearing the accumulator first.
     ///
     /// # Errors
@@ -94,6 +109,20 @@ impl MacAccumulator {
     pub fn width_bits(&self) -> u32 {
         ACCUMULATOR_BITS
     }
+}
+
+/// Whether a dot product of coefficients with L1 norm `coeff_abs_sum`
+/// against samples of magnitude at most `max_abs_sample` is guaranteed to fit
+/// the signed 64-bit accumulator.
+///
+/// Every partial sum of such a dot product is bounded in magnitude by
+/// `coeff_abs_sum * max_abs_sample`, so one evaluation of this predicate per
+/// pass replaces a `checked_mul`/`checked_add` pair per tap — the software
+/// analogue of the paper's word-length plan, which sizes the 64-bit
+/// accumulator once at design time rather than checking in the datapath.
+#[must_use]
+pub fn dot_product_fits_i64(coeff_abs_sum: u128, max_abs_sample: u128) -> bool {
+    coeff_abs_sum.saturating_mul(max_abs_sample) <= i64::MAX as u128
 }
 
 #[cfg(test)]
@@ -156,5 +185,32 @@ mod tests {
     #[test]
     fn width_is_64_bits() {
         assert_eq!(MacAccumulator::new().width_bits(), 64);
+    }
+
+    #[test]
+    fn unchecked_mac_matches_checked_mac_within_the_bound() {
+        let mut checked = MacAccumulator::new();
+        let mut unchecked = MacAccumulator::new();
+        for (a, b) in [(3i64, 5i64), (-70_000, 40_000), (1 << 30, -(1 << 20))] {
+            checked.mac(a, b).unwrap();
+            unchecked.mac_unchecked(a, b);
+        }
+        assert_eq!(checked.value(), unchecked.value());
+        assert_eq!(checked.ops(), unchecked.ops());
+    }
+
+    #[test]
+    fn dot_product_bound_predicate() {
+        // A Table I kernel's L1 norm is below 3.0 in real units (3 * 2^30 in
+        // Q2.30 raw words); against full-range 32-bit samples that fits.
+        let coeff_l1 = 3u128 << 30;
+        assert!(dot_product_fits_i64(coeff_l1, 1 << 31));
+        // A hypothetical kernel with L1 norm 8.0 would not.
+        assert!(!dot_product_fits_i64(8 << 30, 1 << 31));
+        // Astronomical operands do not, and the saturating product must not
+        // wrap around into a false positive.
+        assert!(!dot_product_fits_i64(u128::MAX / 2, 4));
+        assert!(!dot_product_fits_i64(1 << 40, 1 << 40));
+        assert!(dot_product_fits_i64(0, u128::MAX));
     }
 }

@@ -71,6 +71,34 @@ impl BatchCompressor {
         self.workers
     }
 
+    /// The per-subband parallel codec sharing this engine's codec and worker
+    /// budget — the low-latency path for a single image, where the batch
+    /// fan-out has nothing to parallelize over.
+    #[must_use]
+    pub fn single_image_codec(&self) -> crate::ParallelCodec {
+        crate::ParallelCodec::with_codec(self.codec, self.workers)
+    }
+
+    /// Compresses one image with per-subband parallelism (byte-identical to
+    /// [`lwc_coder::LosslessCodec::compress`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the image cannot be decomposed to the configured
+    /// depth.
+    pub fn compress_one(&self, image: &Image) -> Result<Vec<u8>, PipelineError> {
+        self.single_image_codec().compress(image)
+    }
+
+    /// Decompresses one stream with per-subband parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams or mismatched configuration.
+    pub fn decompress_one(&self, bytes: &[u8]) -> Result<Image, PipelineError> {
+        self.single_image_codec().decompress(bytes)
+    }
+
     /// Compresses a whole batch, returning the per-image streams (in input
     /// order) and the wall-clock throughput of the run.
     ///
@@ -269,6 +297,17 @@ mod tests {
         // 16x16 cannot be decomposed over 5 scales.
         let images = vec![synth::flat(16, 16, 12, 1)];
         assert!(engine.compress_batch(&images).is_err());
+    }
+
+    #[test]
+    fn single_image_path_matches_the_sequential_codec() {
+        let engine = BatchCompressor::new(4, 2).unwrap();
+        let image = synth::ct_phantom(64, 64, 12, 31);
+        let stream = engine.compress_one(&image).unwrap();
+        assert_eq!(stream, engine.codec().compress(&image).unwrap());
+        let back = engine.decompress_one(&stream).unwrap();
+        assert!(stats::bit_exact(&image, &back).unwrap());
+        assert_eq!(engine.single_image_codec().workers(), engine.workers());
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   fanned across worker threads, each running the end-to-end Rice codec
 //!   ([`lwc_coder::LosslessCodec`]). Streams are byte-identical to the
 //!   sequential codec and come back in input order.
+//! * [`ParallelCodec`] — *intra-image* parallelism on the entropy-coding
+//!   side: the `3 * scales + 1` subbands of one image are Rice-coded on the
+//!   worker pool and the fragments are spliced at bit level into the exact
+//!   sequential stream; a [`SubbandDirectory`] of bit offsets drives the
+//!   concurrent decode. This is the low-latency path when a single image is
+//!   in flight, where [`BatchCompressor`] has nothing to fan out.
 //! * [`BatchCompressor::compress_iter`] / [`BatchCompressor::decompress_iter`]
 //!   — the streaming form: images flow through a bounded channel into the
 //!   worker pool and compressed streams come out in order, so an arbitrarily
@@ -26,12 +32,14 @@
 
 mod batch;
 mod error;
+mod parcodec;
 mod pardwt;
 mod report;
 mod stream;
 
 pub use batch::BatchCompressor;
 pub use error::PipelineError;
+pub use parcodec::{ParallelCodec, SubbandDirectory};
 pub use pardwt::ParallelFixedDwt2d;
 pub use report::BatchReport;
 pub use stream::OrderedStream;
