@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "lossless" => lossless()?,
         "conclusions" => conclusions(size)?,
         "perfjson" => perfjson(size)?,
+        "tiled" => tiled(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
         "all" => {
             table1();
             table2();
@@ -49,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!(
                 "unknown artifact {other:?}; use table1..table6, eq2, fig2, lossless, \
-                 conclusions, perfjson or all"
+                 conclusions, perfjson, tiled or all"
             );
             std::process::exit(2);
         }
@@ -288,9 +289,121 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
             count as f64 / mode.decompress_seconds,
         );
     }
+    json.push_str("  },\n");
+
+    // Tiled engine: one image of twice the corpus side, swept over tile
+    // sizes, next to the single-threaded whole-image baseline on the same
+    // image — the intra-image scaling story in one object.
+    let large = 2 * size;
+    let large_image = synth::ct_phantom(large, large, 12, 77);
+    let large_mb = (large_image.pixel_count() * 12).div_ceil(8) as f64 / 1e6;
+    let whole_seconds = best(&|| {
+        std::hint::black_box(sequential.compress(&large_image)?);
+        Ok(())
+    })?;
+    json.push_str(&format!(
+        "  \"tiled\": {{\n    \"image\": {{\"width\": {large}, \"height\": {large}, \
+         \"bit_depth\": 12, \"scales\": {scales}}},\n    \"whole_image_sequential\": \
+         {{\"seconds\": {whole_seconds:.6}, \"mb_per_s\": {:.3}}},\n",
+        large_mb / whole_seconds
+    ));
+    println!(
+        "whole-image sequential ({large}x{large}): compress {:>8.1} MB/s",
+        large_mb / whole_seconds
+    );
+    let tile_sizes = [64usize, 128, 256];
+    for (index, &tile) in tile_sizes.iter().enumerate() {
+        let engine = TiledCompressor::with_codec(sequential, tile, tile, 0)?;
+        let tiles = engine.grid(large, large)?.tile_count();
+        let streamed = engine.compress(&large_image)?;
+        let compress_seconds = best(&|| {
+            std::hint::black_box(engine.compress(&large_image)?);
+            Ok(())
+        })?;
+        let decompress_seconds = best(&|| {
+            std::hint::black_box(engine.decompress(&streamed)?);
+            Ok(())
+        })?;
+        let comma = if index + 1 == tile_sizes.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"tile_{tile}\": {{\"workers\": {}, \"tiles\": {tiles}, \"compress\": \
+             {{\"seconds\": {compress_seconds:.6}, \"mb_per_s\": {:.3}, \"tiles_per_s\": \
+             {:.3}}}, \"decompress\": {{\"seconds\": {decompress_seconds:.6}, \"mb_per_s\": \
+             {:.3}, \"tiles_per_s\": {:.3}}}}}{comma}\n",
+            engine.workers(),
+            large_mb / compress_seconds,
+            tiles as f64 / compress_seconds,
+            large_mb / decompress_seconds,
+            tiles as f64 / decompress_seconds,
+        ));
+        println!(
+            "tiled tile={tile:<4} ({} workers, {tiles:>3} tiles): compress {:>8.1} MB/s \
+             ({:>7.1} tiles/s), decompress {:>8.1} MB/s",
+            engine.workers(),
+            large_mb / compress_seconds,
+            tiles as f64 / compress_seconds,
+            large_mb / decompress_seconds,
+        );
+    }
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_throughput.json", &json)?;
-    println!("wrote BENCH_throughput.json ({} modes, best of {reps} reps)", modes.len());
+    println!(
+        "wrote BENCH_throughput.json ({} modes + {} tiled sweeps, best of {reps} reps)",
+        modes.len(),
+        tile_sizes.len()
+    );
+    Ok(())
+}
+
+/// End-to-end smoke of the tile-parallel path on one large synthetic image:
+/// compress, full decompress, row-band streaming decompress — all three must
+/// agree bit for bit with the source. CI runs this at 4096x4096, a size the
+/// monolithic path would happily thrash caches on.
+fn tiled(size: usize) -> Result<(), Box<dyn std::error::Error>> {
+    heading(&format!("Tiled engine smoke — {size}x{size} 12-bit synthetic image"));
+    let image = synth::ct_phantom(size, size, 12, 42);
+    let engine = TiledCompressor::new(5, DEFAULT_TILE_SIZE, 0)?;
+    let grid = engine.grid(size, size)?;
+    println!(
+        "tile grid: {}x{} tiles of {}x{} ({} tiles), {} workers",
+        grid.tiles_x(),
+        grid.tiles_y(),
+        grid.tile_width(),
+        grid.tile_height(),
+        grid.tile_count(),
+        engine.workers()
+    );
+    let (bytes, report) = engine.compress_with_report(&image)?;
+    println!("compress:   {report}");
+
+    let start = std::time::Instant::now();
+    let back = engine.decompress(&bytes)?;
+    let wall = start.elapsed().as_secs_f64();
+    let exact = stats::bit_exact(&image, &back)?;
+    println!(
+        "decompress: {:.3} s ({:.1} MB/s), lossless: {}",
+        wall,
+        report.raw_bytes as f64 / 1e6 / wall.max(1e-9),
+        if exact { "yes" } else { "NO" }
+    );
+    assert!(exact, "tiled round trip must be bit exact");
+
+    // Row-band streaming decode: bounded memory, same pixels.
+    let start = std::time::Instant::now();
+    let mut rows = 0usize;
+    let mut streamed_exact = true;
+    for band in engine.decompress_row_bands(&bytes)? {
+        let band = band?;
+        let rect = TileRect { x: 0, y: band.y, width: size, height: band.image.height() };
+        streamed_exact &= stats::bit_exact(&image.crop(rect)?, &band.image)?;
+        rows += band.image.height();
+    }
+    println!(
+        "row-band streaming decode: {:.3} s, {rows} rows, lossless: {}",
+        start.elapsed().as_secs_f64(),
+        if streamed_exact { "yes" } else { "NO" }
+    );
+    assert!(rows == size && streamed_exact, "row-band streaming decode must be bit exact");
     Ok(())
 }
 
@@ -367,5 +480,13 @@ fn conclusions(size: usize) -> Result<(), Box<dyn std::error::Error>> {
         seq_single.as_secs_f64() / par_single.as_secs_f64().max(1e-9),
         subband_codec.workers()
     );
+
+    // Tile-parallel engine — the paper's line-buffer locality argument taken
+    // to software: one large image sharded into independently coded tiles.
+    let tiled_engine = parallel.tiled((size / 4).max(32), (size / 4).max(32))?;
+    let (tiled_bytes, tiled_report) = tiled_engine.compress_with_report(single)?;
+    let tiled_back = tiled_engine.decompress(&tiled_bytes)?;
+    assert!(stats::bit_exact(single, &tiled_back)?, "tiled round trip must be lossless");
+    println!("  tile-parallel ({}px tiles): {tiled_report}", tiled_engine.tile_width());
     Ok(())
 }

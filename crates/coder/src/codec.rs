@@ -3,7 +3,8 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::{CoderError, SubbandCodec};
-use lwc_image::Image;
+use lwc_image::{Image, ImageView};
+use lwc_lifting::geometry::{band_len, band_rect};
 use lwc_lifting::Lifting53;
 use std::fmt;
 
@@ -90,11 +91,13 @@ impl StreamHeader {
         writer.write_bits(u64::from(self.scales), 4);
     }
 
-    /// Sample count of any one subband at `scale` (the approximation and all
-    /// three detail bands of a scale share it by construction).
+    /// Sample count of subband `(scale, band)`. For dimensions divisible by
+    /// `2^scale` all four bands of a scale share `(w >> scale) * (h >> scale)`
+    /// samples; ragged dimensions follow the `ceil(n / 2)` pyramid of
+    /// [`lwc_lifting::geometry`], where detail bands may even be empty.
     #[must_use]
-    pub fn subband_len(&self, scale: u32) -> usize {
-        (self.width >> scale) * (self.height >> scale)
+    pub fn band_len(&self, scale: u32, band: usize) -> usize {
+        band_len(self.width, self.height, scale, band)
     }
 }
 
@@ -198,10 +201,20 @@ impl LosslessCodec {
     /// would otherwise truncate them silently (the image bit depth always
     /// fits: `lwc_image::Image` caps it at 16).
     pub fn header_for(&self, image: &Image) -> Result<StreamHeader, CoderError> {
+        self.header_for_view(&image.view())
+    }
+
+    /// The header this codec would write for a borrowed window; see
+    /// [`LosslessCodec::header_for`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LosslessCodec::header_for`].
+    pub fn header_for_view(&self, view: &ImageView<'_>) -> Result<StreamHeader, CoderError> {
         let header = StreamHeader {
-            width: image.width(),
-            height: image.height(),
-            bit_depth: image.bit_depth(),
+            width: view.width(),
+            height: view.height(),
+            bit_depth: view.bit_depth(),
             scales: self.scales(),
         };
         if header.width >= (1 << 20) || header.height >= (1 << 20) {
@@ -242,31 +255,23 @@ impl LosslessCodec {
                 subbands.len()
             )));
         }
-        if header.subband_len(self.scales()) == 0 {
-            return Err(CoderError::MalformedStream(
-                "image too small for the coded number of scales".to_owned(),
-            ));
-        }
-        for ((scale, _band), samples) in subband_order(self.scales()).zip(subbands) {
-            if samples.len() != header.subband_len(scale) {
+        for ((scale, band), samples) in subband_order(self.scales()).zip(subbands) {
+            if samples.len() != header.band_len(scale, band) {
                 return Err(CoderError::MalformedStream(format!(
                     "subband at scale {scale} holds {} samples but the header implies {}",
                     samples.len(),
-                    header.subband_len(scale)
+                    header.band_len(scale, band)
                 )));
             }
         }
         let mut data = vec![0i32; width * height];
         for ((scale, band), samples) in subband_order(self.scales()).zip(subbands) {
-            let w = width >> scale;
-            let (x0, y0) = match band {
-                0 => (0, 0),
-                1 => (w, 0),
-                2 => (0, height >> scale),
-                _ => (w, height >> scale),
-            };
-            for (row_index, row) in samples.chunks(w).enumerate() {
-                let start = (y0 + row_index) * width + x0;
+            let rect = band_rect(width, height, scale, band);
+            if rect.is_empty() {
+                continue;
+            }
+            for (row_index, row) in samples.chunks(rect.width).enumerate() {
+                let start = (rect.y + row_index) * width + rect.x;
                 data[start..start + row.len()].copy_from_slice(row);
             }
         }
@@ -287,8 +292,20 @@ impl LosslessCodec {
     /// Returns an error if the image cannot be decomposed to the configured
     /// depth.
     pub fn compress(&self, image: &Image) -> Result<Vec<u8>, CoderError> {
-        let header = self.header_for(image)?;
-        let coeffs = self.transform.forward(image)?;
+        self.compress_view(&image.view())
+    }
+
+    /// Compresses a borrowed (possibly strided) window of a larger frame —
+    /// the entry point of the tile-parallel engine, which compresses tiles
+    /// straight out of the frame without copying them into owned images. For
+    /// a full-frame view this is exactly [`LosslessCodec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LosslessCodec::compress`].
+    pub fn compress_view(&self, view: &ImageView<'_>) -> Result<Vec<u8>, CoderError> {
+        let header = self.header_for_view(view)?;
+        let coeffs = self.transform.forward_view(view)?;
         let mut writer = BitWriter::new();
         header.write(&mut writer);
         for (scale, band) in subband_order(self.scales()) {
@@ -307,14 +324,9 @@ impl LosslessCodec {
         let mut reader = BitReader::new(bytes);
         let header = StreamHeader::read(&mut reader)?;
         header.ensure_scales(self.scales())?;
-        if header.subband_len(self.scales()) == 0 {
-            return Err(CoderError::MalformedStream(
-                "image too small for the coded number of scales".to_owned(),
-            ));
-        }
         let subbands: Vec<Vec<i32>> = subband_order(self.scales())
-            .map(|(scale, _band)| {
-                self.subbands.decode_subband(&mut reader, header.subband_len(scale))
+            .map(|(scale, band)| {
+                self.subbands.decode_subband(&mut reader, header.band_len(scale, band))
             })
             .collect::<Result<_, _>>()?;
         self.reassemble(&header, &subbands)
@@ -474,15 +486,46 @@ mod tests {
             Err(CoderError::MalformedStream(_))
         ));
         // Right count, one band oversized.
-        let mut bands: Vec<Vec<i32>> =
-            subband_order(2).map(|(scale, _)| vec![0i32; header.subband_len(scale)]).collect();
+        let mut bands: Vec<Vec<i32>> = subband_order(2)
+            .map(|(scale, band)| vec![0i32; header.band_len(scale, band)])
+            .collect();
         bands[3].push(7);
         assert!(matches!(codec.reassemble(&header, &bands), Err(CoderError::MalformedStream(_))));
-        // Too many scales for the geometry.
+        // Scales deeper than the geometry are no longer an error: the ragged
+        // pyramid saturates at one sample, so a 2x2 image reassembles at any
+        // depth as long as the band lengths agree.
         let tiny = StreamHeader { width: 2, height: 2, bit_depth: 12, scales: 2 };
-        let empty: Vec<Vec<i32>> =
-            subband_order(2).map(|(scale, _)| vec![0i32; tiny.subband_len(scale)]).collect();
-        assert!(matches!(codec.reassemble(&tiny, &empty), Err(CoderError::MalformedStream(_))));
+        let bands: Vec<Vec<i32>> =
+            subband_order(2).map(|(scale, band)| vec![0i32; tiny.band_len(scale, band)]).collect();
+        assert_eq!(codec.reassemble(&tiny, &bands).unwrap().pixel_count(), 4);
+    }
+
+    #[test]
+    fn odd_and_prime_dimensions_roundtrip() {
+        // The ragged pyramid: sizes the original even-only codec rejected now
+        // compress and reconstruct exactly, at any depth.
+        for (w, h) in [(37, 53), (1, 1), (1, 17), (101, 63), (64, 37), (3, 3)] {
+            for scales in [1u32, 3, 5] {
+                let codec = LosslessCodec::new(scales).unwrap();
+                let image = synth::random_image(w, h, 12, (w * h + scales as usize) as u64);
+                let bytes = codec.compress(&image).unwrap();
+                let back = codec.decompress(&bytes).unwrap();
+                assert!(stats::bit_exact(&image, &back).unwrap(), "{w}x{h} at {scales} scales");
+            }
+        }
+    }
+
+    #[test]
+    fn compress_view_of_a_tile_matches_compressing_the_owned_tile() {
+        use lwc_image::TileRect;
+        let frame = synth::ct_phantom(96, 96, 12, 5);
+        let codec = LosslessCodec::new(3).unwrap();
+        let rect = TileRect { x: 17, y: 32, width: 41, height: 33 };
+        let via_view = codec.compress_view(&frame.view_rect(rect).unwrap()).unwrap();
+        let via_copy = codec.compress(&frame.crop(rect).unwrap()).unwrap();
+        assert_eq!(via_view, via_copy);
+        let back = codec.decompress(&via_view).unwrap();
+        assert!(stats::bit_exact(&frame.crop(rect).unwrap(), &back).unwrap());
     }
 
     #[test]
@@ -494,7 +537,12 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         assert_eq!(StreamHeader::read(&mut r).unwrap(), header);
-        assert_eq!(header.subband_len(5), 20 * 15);
+        assert_eq!(header.band_len(5, 0), 20 * 15);
+        assert_eq!(header.band_len(5, 3), 20 * 15);
+        // Ragged geometry: a 5-wide layout splits 3 | 2 at the first scale.
+        let ragged = StreamHeader { width: 5, height: 4, bit_depth: 12, scales: 1 };
+        assert_eq!(ragged.band_len(1, 0), 3 * 2);
+        assert_eq!(ragged.band_len(1, 1), 2 * 2);
     }
 
     #[test]

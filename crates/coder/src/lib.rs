@@ -10,7 +10,11 @@
 //! * [`SubbandCodec`] — serialization of a multi-scale integer decomposition
 //!   subband by subband,
 //! * [`LosslessCodec`] — an end-to-end image codec built on the reversible
-//!   5/3 lifting transform from `lwc-lifting`, byte-exact on decode.
+//!   5/3 lifting transform from `lwc-lifting`, byte-exact on decode,
+//! * [`tiled`] — the versioned tiled container format (`LWCT`): a tile-grid
+//!   header plus a per-tile byte-offset directory wrapping independent
+//!   per-tile streams, the format behind the tile-parallel engine in
+//!   `lwc-pipeline`.
 //!
 //! The fixed-point transform of the paper is validated for losslessness in
 //! `lwc-dwt`; its coefficients are wide fractional words and are not what one
@@ -39,10 +43,12 @@ mod codec;
 mod error;
 pub mod rice;
 mod subband;
+pub mod tiled;
 
 pub use codec::{subband_order, CompressionReport, LosslessCodec, StreamHeader};
 pub use error::CoderError;
 pub use subband::{SubbandCodec, BLOCK_SIZE, MAX_UNARY_RUN_BITS};
+pub use tiled::{TiledHeader, TiledStream};
 
 #[cfg(test)]
 mod crate_tests {

@@ -21,13 +21,15 @@ pub use lwc_filters::{
     QuantizedBank,
 };
 pub use lwc_fixed::{Fx, MacAccumulator, QFormat};
-pub use lwc_image::{pgm, stats, synth, Image, ImageError};
+pub use lwc_image::{
+    pgm, stats, synth, Image, ImageError, ImageView, ImageViewMut, TileGrid, TileRect,
+};
 pub use lwc_lifting::Lifting53;
 pub use lwc_perf::hardware::{HardwareModel, ThroughputReport};
 pub use lwc_perf::software::SoftwareModel;
 pub use lwc_pipeline::{
-    BatchCompressor, BatchReport, ParallelCodec, ParallelFixedDwt2d, PipelineError,
-    SubbandDirectory,
+    BatchCompressor, BatchReport, ParallelCodec, ParallelFixedDwt2d, PipelineError, RowBand,
+    SubbandDirectory, TiledCompressor, TiledReport, DEFAULT_TILE_SIZE,
 };
 pub use lwc_tech::{MemoryModel, MultiplierDesign, MultiplierModel, Process};
 pub use lwc_wordlen::{integer_bits, WordLengthPlan};

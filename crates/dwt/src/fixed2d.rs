@@ -4,7 +4,7 @@ use crate::fixed1d::{analyze_periodic_fixed, synthesize_periodic_fixed, FixedSte
 use crate::{Decomposition, Dwt2d, DwtError};
 use lwc_filters::{FilterBank, QuantizedBank};
 use lwc_fixed::round_half_up_shift;
-use lwc_image::Image;
+use lwc_image::{Image, ImageView, ImageViewMut};
 use lwc_wordlen::WordLengthPlan;
 
 /// Number of columns gathered into the contiguous scratch buffer per block.
@@ -130,7 +130,35 @@ impl FixedDwt2d {
     /// * [`DwtError::Fixed`] if a word overflows (cannot happen when the
     ///   image respects the plan's input bit depth).
     pub fn forward(&self, image: &Image) -> Result<Decomposition<i64>, DwtError> {
-        self.forward_with(image, |data, stride, cur_w, cur_h, s| {
+        self.forward_view(&image.view())
+    }
+
+    /// Forward transform of a borrowed (possibly strided) window of a larger
+    /// frame — the tile-parallel entry point: a tile is gathered straight out
+    /// of the frame with stride-aware row reads, so no copy of the full frame
+    /// (or even an owned tile image) is ever made.
+    ///
+    /// ```
+    /// use lwc_dwt::FixedDwt2d;
+    /// use lwc_filters::{FilterBank, FilterId};
+    /// use lwc_image::{synth, TileRect};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let bank = FilterBank::table1(FilterId::F1);
+    /// let hw = FixedDwt2d::paper_default(&bank, 2)?;
+    /// let frame = synth::ct_phantom(128, 128, 12, 0);
+    /// let rect = TileRect { x: 32, y: 64, width: 32, height: 32 };
+    /// let coeffs = hw.forward_view(&frame.view_rect(rect)?)?;
+    /// assert_eq!(coeffs, hw.forward(&frame.crop(rect)?)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`FixedDwt2d::forward`].
+    pub fn forward_view(&self, view: &ImageView<'_>) -> Result<Decomposition<i64>, DwtError> {
+        self.forward_view_with(view, |data, stride, cur_w, cur_h, s| {
             self.forward_scale(data, stride, cur_w, cur_h, s)
         })
     }
@@ -148,20 +176,36 @@ impl FixedDwt2d {
     ///
     /// See [`FixedDwt2d::forward`]; additionally propagates any error the
     /// pass returns.
-    pub fn forward_with<F>(
+    pub fn forward_with<F>(&self, image: &Image, pass: F) -> Result<Decomposition<i64>, DwtError>
+    where
+        F: FnMut(&mut [i64], usize, usize, usize, u32) -> Result<(), DwtError>,
+    {
+        self.forward_view_with(&image.view(), pass)
+    }
+
+    /// View-based form of [`FixedDwt2d::forward_with`]; the window is
+    /// gathered with strided row reads and the pass runs on the contiguous
+    /// tile-sized working buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`FixedDwt2d::forward_with`].
+    pub fn forward_view_with<F>(
         &self,
-        image: &Image,
+        view: &ImageView<'_>,
         mut pass: F,
     ) -> Result<Decomposition<i64>, DwtError>
     where
         F: FnMut(&mut [i64], usize, usize, usize, u32) -> Result<(), DwtError>,
     {
-        Dwt2d::check_decomposable(image.width(), image.height(), self.scales())?;
-        let width = image.width();
-        let height = image.height();
+        Dwt2d::check_decomposable(view.width(), view.height(), self.scales())?;
+        let width = view.width();
+        let height = view.height();
         let input_shift = self.plan.frac_bits_for_scale(0);
-        let mut data: Vec<i64> =
-            image.samples().iter().map(|&v| (v as i64) << input_shift).collect();
+        let mut data: Vec<i64> = Vec::with_capacity(width * height);
+        for y in 0..height {
+            data.extend(view.row(y).iter().map(|&v| (v as i64) << input_shift));
+        }
 
         let mut cur_w = width;
         let mut cur_h = height;
@@ -176,7 +220,7 @@ impl FixedDwt2d {
             height,
             self.scales(),
             self.bank.id(),
-            image.bit_depth(),
+            view.bit_depth(),
         ))
     }
 
@@ -206,8 +250,79 @@ impl FixedDwt2d {
     pub fn inverse_with<F>(
         &self,
         decomposition: &Decomposition<i64>,
-        mut pass: F,
+        pass: F,
     ) -> Result<Image, DwtError>
+    where
+        F: FnMut(&mut [i64], usize, usize, usize, u32) -> Result<(), DwtError>,
+    {
+        let data = self.inverse_core(decomposition, pass)?;
+        // Final rounding from the scale-0 format back to integer pixels.
+        let frac0 = self.plan.frac_bits_for_scale(0);
+        let max = (1i32 << decomposition.input_bit_depth()) - 1;
+        let samples: Vec<i32> = data
+            .iter()
+            .map(|&raw| (round_half_up_shift(raw, frac0) as i32).clamp(0, max))
+            .collect();
+        Ok(Image::from_samples(
+            decomposition.width(),
+            decomposition.height(),
+            decomposition.input_bit_depth(),
+            samples,
+        )?)
+    }
+
+    /// Inverse transform scattered into a window of an existing frame — the
+    /// decode counterpart of [`FixedDwt2d::forward_view`]. The reconstructed
+    /// pixels are written row by row into `out`; nothing outside the window
+    /// is touched and no frame-sized intermediate is allocated.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FixedDwt2d::inverse`] reports, plus
+    /// [`DwtError::ConfigurationMismatch`] if the window's shape or bit depth
+    /// differs from the decomposition's.
+    pub fn inverse_into(
+        &self,
+        decomposition: &Decomposition<i64>,
+        out: &mut ImageViewMut<'_>,
+    ) -> Result<(), DwtError> {
+        if out.width() != decomposition.width()
+            || out.height() != decomposition.height()
+            || out.bit_depth() != decomposition.input_bit_depth()
+        {
+            return Err(DwtError::ConfigurationMismatch(format!(
+                "decomposition is {}x{} at {} bits but the target window is {}x{} at {} bits",
+                decomposition.width(),
+                decomposition.height(),
+                decomposition.input_bit_depth(),
+                out.width(),
+                out.height(),
+                out.bit_depth()
+            )));
+        }
+        let data = self.inverse_core(decomposition, |data, stride, cur_w, cur_h, s| {
+            self.inverse_scale(data, stride, cur_w, cur_h, s)
+        })?;
+        let frac0 = self.plan.frac_bits_for_scale(0);
+        let max = (1i32 << decomposition.input_bit_depth()) - 1;
+        let width = decomposition.width();
+        for y in 0..decomposition.height() {
+            let row = &data[y * width..(y + 1) * width];
+            for (slot, &raw) in out.row_mut(y).iter_mut().zip(row) {
+                *slot = (round_half_up_shift(raw, frac0) as i32).clamp(0, max);
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared driver of the inverse passes: configuration checks, the
+    /// reversed scale schedule, and the raw scale-0 words (before the final
+    /// rounding to pixels).
+    fn inverse_core<F>(
+        &self,
+        decomposition: &Decomposition<i64>,
+        mut pass: F,
+    ) -> Result<Vec<i64>, DwtError>
     where
         F: FnMut(&mut [i64], usize, usize, usize, u32) -> Result<(), DwtError>,
     {
@@ -233,14 +348,7 @@ impl FixedDwt2d {
             let cur_h = height >> (s - 1);
             pass(&mut data, width, cur_w, cur_h, s)?;
         }
-        // Final rounding from the scale-0 format back to integer pixels.
-        let frac0 = self.plan.frac_bits_for_scale(0);
-        let max = (1i32 << decomposition.input_bit_depth()) - 1;
-        let samples: Vec<i32> = data
-            .iter()
-            .map(|&raw| (round_half_up_shift(raw, frac0) as i32).clamp(0, max))
-            .collect();
-        Ok(Image::from_samples(width, height, decomposition.input_bit_depth(), samples)?)
+        Ok(data)
     }
 
     /// Convenience helper: forward followed by inverse.
@@ -470,6 +578,48 @@ mod tests {
         assert_eq!(hw.bank().id(), FilterId::F3);
         assert_eq!(hw.plan().word_bits(), 32);
         assert_eq!(hw.quantized_bank().format().frac_bits(), 30);
+    }
+
+    #[test]
+    fn tile_views_transform_identically_to_owned_tiles() {
+        use lwc_image::TileRect;
+        let bank = FilterBank::table1(FilterId::F2);
+        let hw = FixedDwt2d::paper_default(&bank, 3).unwrap();
+        let frame = synth::ct_phantom(128, 96, 12, 12);
+        for rect in [
+            TileRect { x: 0, y: 0, width: 64, height: 64 },
+            TileRect { x: 64, y: 32, width: 64, height: 64 },
+            TileRect { x: 24, y: 8, width: 32, height: 40 },
+        ] {
+            let via_view = hw.forward_view(&frame.view_rect(rect).unwrap()).unwrap();
+            let tile = frame.crop(rect).unwrap();
+            assert_eq!(via_view, hw.forward(&tile).unwrap(), "{rect:?}");
+            // And the inverse scatters the tile back into a frame window.
+            let mut out = Image::zeros(128, 96, 12).unwrap();
+            hw.inverse_into(&via_view, &mut out.view_rect_mut(rect).unwrap()).unwrap();
+            assert!(stats::bit_exact(&out.crop(rect).unwrap(), &tile).unwrap());
+        }
+    }
+
+    #[test]
+    fn inverse_into_rejects_mismatched_windows() {
+        let bank = FilterBank::table1(FilterId::F1);
+        let hw = FixedDwt2d::paper_default(&bank, 2).unwrap();
+        let image = synth::random_image(32, 32, 12, 3);
+        let d = hw.forward(&image).unwrap();
+        let mut wrong_shape = Image::zeros(16, 32, 12).unwrap();
+        assert!(matches!(
+            hw.inverse_into(&d, &mut wrong_shape.view_mut()),
+            Err(DwtError::ConfigurationMismatch(_))
+        ));
+        let mut wrong_depth = Image::zeros(32, 32, 8).unwrap();
+        assert!(matches!(
+            hw.inverse_into(&d, &mut wrong_depth.view_mut()),
+            Err(DwtError::ConfigurationMismatch(_))
+        ));
+        let mut ok = Image::zeros(32, 32, 12).unwrap();
+        hw.inverse_into(&d, &mut ok.view_mut()).unwrap();
+        assert!(stats::bit_exact(&ok, &image).unwrap());
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub enum ImageError {
         /// Shape of the second image (width, height).
         right: (usize, usize),
     },
+    /// A requested view rectangle does not fit inside the image.
+    RegionOutOfBounds {
+        /// Requested rectangle as (x, y, width, height).
+        rect: (usize, usize, usize, usize),
+        /// Shape of the image (width, height).
+        image: (usize, usize),
+    },
     /// A PGM stream could not be parsed.
     MalformedPgm(String),
     /// An underlying I/O failure.
@@ -51,6 +58,13 @@ impl fmt::Display for ImageError {
             }
             ImageError::ShapeMismatch { left, right } => {
                 write!(f, "image shapes differ: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
+            }
+            ImageError::RegionOutOfBounds { rect, image } => {
+                write!(
+                    f,
+                    "region {}x{} at ({},{}) does not fit a {}x{} image",
+                    rect.2, rect.3, rect.0, rect.1, image.0, image.1
+                )
             }
             ImageError::MalformedPgm(msg) => write!(f, "malformed pgm stream: {msg}"),
             ImageError::Io(e) => write!(f, "i/o error: {e}"),

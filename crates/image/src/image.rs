@@ -1,6 +1,7 @@
 //! Row-major integer raster.
 
-use crate::ImageError;
+use crate::view::check_rect;
+use crate::{ImageError, ImageView, ImageViewMut, TileRect};
 use std::fmt;
 
 /// A grayscale image with signed integer samples and an explicit bit depth.
@@ -104,8 +105,7 @@ impl Image {
     /// Panics if `x >= width` or `y >= height`.
     #[must_use]
     pub fn get(&self, x: usize, y: usize) -> i32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
-        self.samples[y * self.width + x]
+        self.view().get(x, y)
     }
 
     /// Row `y` as a slice.
@@ -115,8 +115,72 @@ impl Image {
     /// Panics if `y >= height`.
     #[must_use]
     pub fn row(&self, y: usize) -> &[i32] {
-        assert!(y < self.height, "row {y} out of bounds");
-        &self.samples[y * self.width..(y + 1) * self.width]
+        self.view().row(y)
+    }
+
+    /// The borrowed full-frame view of this image (O(1), no copy). All
+    /// rectangular accessors are defined in terms of this view, so owned and
+    /// tiled code paths share one implementation.
+    ///
+    /// ```
+    /// use lwc_image::synth;
+    ///
+    /// let image = synth::gradient(32, 16, 12);
+    /// let view = image.view();
+    /// assert_eq!(view.row(3), image.row(3));
+    /// ```
+    #[must_use]
+    pub fn view(&self) -> ImageView<'_> {
+        ImageView::from_raw(&self.samples, self.width, self.height, self.width, self.bit_depth)
+            .expect("a validated image is always a valid view")
+    }
+
+    /// A borrowed view of the `rect` window of this image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::RegionOutOfBounds`] if `rect` does not fit.
+    pub fn view_rect(&self, rect: TileRect) -> Result<ImageView<'_>, ImageError> {
+        self.view().subview(rect)
+    }
+
+    /// The mutable full-frame view.
+    #[must_use]
+    pub fn view_mut(&mut self) -> ImageViewMut<'_> {
+        ImageViewMut::from_raw(
+            &mut self.samples,
+            self.width,
+            self.height,
+            self.width,
+            self.bit_depth,
+        )
+        .expect("a validated image is always a valid view")
+    }
+
+    /// A mutable view of the `rect` window, used to scatter decoded tiles
+    /// into a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::RegionOutOfBounds`] if `rect` does not fit.
+    pub fn view_rect_mut(&mut self, rect: TileRect) -> Result<ImageViewMut<'_>, ImageError> {
+        check_rect(rect, self.width, self.height)?;
+        ImageViewMut::from_raw(
+            &mut self.samples[rect.y * self.width + rect.x..],
+            rect.width,
+            rect.height,
+            self.width,
+            self.bit_depth,
+        )
+    }
+
+    /// Copies the `rect` window out into an owned image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::RegionOutOfBounds`] if `rect` does not fit.
+    pub fn crop(&self, rect: TileRect) -> Result<Image, ImageError> {
+        self.view_rect(rect)?.to_image()
     }
 
     /// All samples in row-major order.
@@ -143,15 +207,7 @@ impl Image {
     /// until the last scale).
     #[must_use]
     pub fn max_scales(&self) -> u32 {
-        let mut scales = 0;
-        let mut w = self.width;
-        let mut h = self.height;
-        while w >= 2 && h >= 2 && w % 2 == 0 && h % 2 == 0 {
-            scales += 1;
-            w /= 2;
-            h /= 2;
-        }
-        scales
+        self.view().max_scales()
     }
 
     /// Checks that two images have identical dimensions.

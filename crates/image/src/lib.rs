@@ -7,6 +7,9 @@
 //!
 //! * [`Image`] — a simple row-major integer raster with an explicit bit
 //!   depth, used as the exchange type across the whole workspace,
+//! * [`ImageView`] / [`ImageViewMut`] — borrowed strided windows into an
+//!   image, and [`TileGrid`] / [`TileRect`] — the tile partition used by the
+//!   tile-parallel compression engine (`lwc-pipeline`),
 //! * synthetic workloads in [`synth`]: uniformly random images (the paper's
 //!   own validation input), an elliptical CT-like phantom, an MR-like
 //!   smooth-plus-texture field, and step/gradient patterns for edge cases,
@@ -31,9 +34,11 @@ mod image;
 pub mod pgm;
 pub mod stats;
 pub mod synth;
+mod view;
 
 pub use error::ImageError;
 pub use image::Image;
+pub use view::{ImageView, ImageViewMut, TileGrid, TileRect};
 
 #[cfg(test)]
 mod crate_tests {

@@ -92,15 +92,18 @@ pub fn read_pgm<R: Read>(mut reader: R) -> Result<Image, ImageError> {
     let pixels = width
         .checked_mul(height)
         .ok_or_else(|| ImageError::MalformedPgm("image too large".to_owned()))?;
+    // Samples above 255 are two big-endian bytes each (the Netpbm "plain
+    // 16-bit" convention medical exporters use); the length math is checked
+    // so an adversarial header cannot overflow the raster bounds.
+    let raster_bytes = if maxval < 256 { Some(pixels) } else { pixels.checked_mul(2) }
+        .ok_or_else(|| ImageError::MalformedPgm("image too large".to_owned()))?;
+    let raster = pos
+        .checked_add(raster_bytes)
+        .and_then(|end| data.get(pos..end))
+        .ok_or_else(|| ImageError::MalformedPgm("truncated raster".to_owned()))?;
     let samples = if maxval < 256 {
-        let raster = data
-            .get(pos..pos + pixels)
-            .ok_or_else(|| ImageError::MalformedPgm("truncated raster".to_owned()))?;
         raster.iter().map(|&b| i32::from(b)).collect()
     } else {
-        let raster = data
-            .get(pos..pos + 2 * pixels)
-            .ok_or_else(|| ImageError::MalformedPgm("truncated raster".to_owned()))?;
         raster.chunks_exact(2).map(|c| i32::from(u16::from_be_bytes([c[0], c[1]]))).collect()
     };
     Image::from_samples(width, height, bit_depth, samples)
@@ -148,6 +151,73 @@ mod tests {
         let back = read_pgm(buf.as_slice()).unwrap();
         assert_eq!(img.samples(), back.samples());
         assert_eq!(back.bit_depth(), 12);
+    }
+
+    #[test]
+    fn roundtrip_16_bit() {
+        // Full 16-bit medical depth: maxval 65535, two big-endian bytes per
+        // sample, including values above 32767 (no sign confusion).
+        let img = Image::from_samples(3, 2, 16, vec![0, 255, 256, 32767, 40000, 65535]).unwrap();
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf[..20]);
+        assert!(text.contains("P5"), "header: {text}");
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(img, back);
+        assert_eq!(back.bit_depth(), 16);
+        assert_eq!(back.max_sample(), 65535);
+    }
+
+    #[test]
+    fn sixteen_bit_raster_is_big_endian() {
+        let img = Image::from_samples(2, 1, 16, vec![0x1234, 0xFEDC]).unwrap();
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        assert_eq!(&buf[buf.len() - 4..], &[0x12, 0x34, 0xFE, 0xDC]);
+        let back = read_pgm(buf.as_slice()).unwrap();
+        assert_eq!(back.samples(), &[0x1234, 0xFEDC]);
+    }
+
+    #[test]
+    fn wide_maxvals_map_to_the_smallest_covering_depth() {
+        // A 12-bit exporter writes maxval 4095; a nonstandard one may write
+        // e.g. 1000 — both must parse with the smallest covering bit depth.
+        for (maxval, depth) in [(4095u32, 12u32), (1000, 10), (256, 9), (65535, 16)] {
+            let mut stream = format!("P5\n2 1\n{maxval}\n").into_bytes();
+            stream.extend_from_slice(&[0x00, 0x01, 0x00, 0x02]);
+            let img = read_pgm(stream.as_slice()).unwrap();
+            assert_eq!(img.bit_depth(), depth, "maxval {maxval}");
+            assert_eq!(img.samples(), &[1, 2]);
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_truncation_and_oversized_maxvals_are_rejected() {
+        // One byte short of the two-byte raster.
+        let mut stream = b"P5\n2 1\n65535\n".to_vec();
+        stream.extend_from_slice(&[0, 1, 0]);
+        assert!(read_pgm(stream.as_slice()).is_err());
+        // maxval beyond 16 bits is not a valid PGM.
+        assert!(read_pgm(&b"P5\n1 1\n70000\n\x00\x00\x00"[..]).is_err());
+        // Absurd dimensions must error, not overflow the bounds math —
+        // including a pixel count that only overflows once doubled for the
+        // two-byte raster.
+        let huge = format!("P5\n{} {}\n65535\n", usize::MAX, 2);
+        assert!(read_pgm(huge.as_bytes()).is_err());
+        let half = format!("P5\n{} 1\n65535\n", usize::MAX / 2 + 1);
+        assert!(read_pgm(half.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn sixteen_bit_file_roundtrip() {
+        let dir = std::env::temp_dir().join("lwc_image_pgm16_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slice16.pgm");
+        let img = synth::random_image(32, 20, 16, 9);
+        save(&img, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(img, back);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

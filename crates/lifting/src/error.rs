@@ -8,15 +8,6 @@ use std::fmt;
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum LiftingError {
-    /// The image dimensions cannot be decomposed to the requested depth.
-    NotDecomposable {
-        /// Image width.
-        width: usize,
-        /// Image height.
-        height: usize,
-        /// Requested scales.
-        scales: u32,
-    },
     /// Zero scales requested.
     NoScales,
     /// The coefficient set passed to the inverse transform has a different
@@ -29,9 +20,6 @@ pub enum LiftingError {
 impl fmt::Display for LiftingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LiftingError::NotDecomposable { width, height, scales } => {
-                write!(f, "a {width}x{height} image cannot be lifted over {scales} scales")
-            }
             LiftingError::NoScales => write!(f, "at least one scale is required"),
             LiftingError::ConfigurationMismatch(msg) => {
                 write!(f, "configuration mismatch: {msg}")
@@ -62,8 +50,8 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = LiftingError::NotDecomposable { width: 10, height: 6, scales: 3 };
-        assert!(e.to_string().contains("10x6"));
+        let e = LiftingError::NoScales;
+        assert!(e.to_string().contains("at least one scale"));
         assert!(Error::source(&e).is_none());
         let e = LiftingError::from(ImageError::InvalidBitDepth(0));
         assert!(Error::source(&e).is_some());

@@ -13,7 +13,11 @@
 //!   integer subbands feed an entropy coder directly.
 //!
 //! The 2-D transform uses the same Mallat layout and symmetric (mirror)
-//! boundary extension as JPEG 2000.
+//! boundary extension as JPEG 2000, and — like JPEG 2000 — supports images
+//! of **any** dimensions: every pass halves the active region rounding up
+//! (see [`geometry`]), so odd, prime and single-sample sides decompose and
+//! reconstruct exactly. This is what lets the tile-sharded codec in
+//! `lwc-pipeline` feed ragged edge tiles through the ordinary transform.
 //!
 //! ```
 //! use lwc_lifting::Lifting53;
@@ -33,11 +37,12 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod geometry;
 mod lifting1d;
 mod transform;
 
 pub use error::LiftingError;
-pub use lifting1d::{forward_53, inverse_53};
+pub use lifting1d::{approx_len, detail_len, forward_53, inverse_53};
 pub use transform::{Lifting53, LiftingCoefficients};
 
 #[cfg(test)]

@@ -10,77 +10,130 @@
 //! with symmetric (mirror) extension at the borders. Every step adds an
 //! integer to an integer, so the inverse recovers the input exactly at any
 //! word length — the property the paper instead buys with a wide datapath.
+//!
+//! Signals of **any** length `n >= 1` are supported (the tile-sharded codec
+//! feeds ragged edge tiles with odd and even dimensions alike): the
+//! approximation keeps the `ceil(n / 2)` even-indexed samples and the detail
+//! the `floor(n / 2)` odd-indexed ones. For even `n` the output is
+//! bit-identical to the original even-only implementation (the test module
+//! keeps that implementation as a reference and diffs against it).
+//!
+//! Both directions are split into an **interior fast path** — every filter
+//! tap in range, plain shifts, no index mirroring — and explicit boundary
+//! taps at the first/last positions, mirroring PR 2's interior/boundary
+//! split of the fixed-point DWT loops. Only the two edge samples of each
+//! half ever pay for the mirror arithmetic.
 
-/// Forward reversible 5/3 lifting of an even-length signal, returning
-/// `(approximation, detail)`.
+/// Number of approximation (even-indexed) samples of an `n`-sample signal.
+#[must_use]
+pub fn approx_len(n: usize) -> usize {
+    n.div_ceil(2)
+}
+
+/// Number of detail (odd-indexed) samples of an `n`-sample signal.
+#[must_use]
+pub fn detail_len(n: usize) -> usize {
+    n / 2
+}
+
+/// Forward reversible 5/3 lifting, returning `(approximation, detail)` of
+/// lengths `ceil(n / 2)` and `floor(n / 2)`.
 ///
 /// # Panics
 ///
-/// Panics if `x` has an odd length or fewer than 2 samples.
+/// Panics if `x` is empty.
 #[must_use]
 pub fn forward_53(x: &[i32]) -> (Vec<i32>, Vec<i32>) {
     let n = x.len();
-    assert!(n >= 2 && n % 2 == 0, "signal length must be even and non-zero, got {n}");
-    let half = n / 2;
-    // Mirror extension helper for even (x[2k]) samples.
-    let even = |k: i64| -> i64 {
-        let k = mirror(k, half as i64);
-        x[2 * k as usize] as i64
-    };
-    let odd = |k: i64| -> i64 {
-        let k = mirror(k, half as i64);
-        x[2 * k as usize + 1] as i64
-    };
-
-    // Predict step.
-    let mut detail = Vec::with_capacity(half);
-    for k in 0..half as i64 {
-        let predicted = (even(k) + even(k + 1)).div_euclid(2);
-        detail.push((odd(k) - predicted) as i32);
+    assert!(n >= 1, "signal must not be empty");
+    let half_a = approx_len(n);
+    let half_d = detail_len(n);
+    if half_d == 0 {
+        return (vec![x[0]], Vec::new());
     }
-    // Update step.
-    let d = |k: i64| -> i64 {
-        let k = mirror(k, half as i64);
-        detail[k as usize] as i64
-    };
-    let mut approx = Vec::with_capacity(half);
-    for k in 0..half as i64 {
-        let update = (d(k - 1) + d(k) + 2).div_euclid(4);
-        approx.push((even(k) + update) as i32);
+
+    // Predict. Interior: every window [x[2k], x[2k+1], x[2k+2]] is in range.
+    let mut detail = Vec::with_capacity(half_d);
+    for w in x.windows(3).step_by(2) {
+        let predicted = (w[0] as i64 + w[2] as i64) >> 1;
+        detail.push((w[1] as i64 - predicted) as i32);
+    }
+    if n % 2 == 0 {
+        // Boundary: the last odd sample's right even neighbour is mirrored in
+        // even-subsequence index space.
+        let k = half_d - 1;
+        let m = mirror(k as i64 + 1, half_a as i64) as usize;
+        let predicted = (x[2 * k] as i64 + x[2 * m] as i64) >> 1;
+        detail.push((x[2 * k + 1] as i64 - predicted) as i32);
+    }
+
+    // Update. Boundary at k = 0 (left detail neighbour mirrored), interior
+    // for 1..half_d, and for odd `n` a mirrored tail at the last even sample.
+    let d = |k: i64| -> i64 { detail[mirror(k, half_d as i64) as usize] as i64 };
+    let mut approx = Vec::with_capacity(half_a);
+    approx.push((x[0] as i64 + ((d(-1) + d(0) + 2) >> 2)) as i32);
+    for (k, w) in detail.windows(2).enumerate() {
+        let update = (w[0] as i64 + w[1] as i64 + 2) >> 2;
+        approx.push((x[2 * (k + 1)] as i64 + update) as i32);
+    }
+    if half_a > half_d {
+        let k = half_a as i64 - 1;
+        let update = (d(k - 1) + d(k) + 2) >> 2;
+        approx.push((x[2 * (half_a - 1)] as i64 + update) as i32);
     }
     (approx, detail)
 }
 
-/// Inverse reversible 5/3 lifting, reconstructing the interleaved signal.
+/// Inverse reversible 5/3 lifting, reconstructing the interleaved signal of
+/// length `approx.len() + detail.len()`.
 ///
 /// # Panics
 ///
-/// Panics if the halves have different lengths or are empty.
+/// Panics if `approx` is empty or the halves are not a valid split (the
+/// approximation must hold the detail's length or one more).
 #[must_use]
 pub fn inverse_53(approx: &[i32], detail: &[i32]) -> Vec<i32> {
-    assert_eq!(approx.len(), detail.len(), "subband lengths must match");
-    assert!(!approx.is_empty(), "subbands must not be empty");
-    let half = approx.len();
-    let d = |k: i64| -> i64 {
-        let k = mirror(k, half as i64);
-        detail[k as usize] as i64
-    };
-    // Undo the update step to recover the even samples.
-    let mut even = Vec::with_capacity(half);
-    for k in 0..half as i64 {
-        let update = (d(k - 1) + d(k) + 2).div_euclid(4);
-        even.push(approx[k as usize] as i64 - update);
+    let half_a = approx.len();
+    let half_d = detail.len();
+    assert!(half_a >= 1, "subbands must not be empty");
+    assert!(
+        half_a == half_d || half_a == half_d + 1,
+        "subband lengths must match: {half_a} approximation vs {half_d} detail samples"
+    );
+    if half_d == 0 {
+        return vec![approx[0]];
     }
-    let e = |k: i64| -> i64 {
-        let k = mirror(k, half as i64);
-        even[k as usize]
-    };
-    // Undo the predict step to recover the odd samples, interleaving.
-    let mut out = Vec::with_capacity(half * 2);
-    for k in 0..half as i64 {
-        let predicted = (e(k) + e(k + 1)).div_euclid(2);
-        out.push(even[k as usize] as i32);
-        out.push((d(k) + predicted) as i32);
+    let n = half_a + half_d;
+
+    // Undo the update step to recover the even samples. Same split as the
+    // forward update: one mirrored tap at each end, plain shifts between.
+    let d = |k: i64| -> i64 { detail[mirror(k, half_d as i64) as usize] as i64 };
+    let mut even = Vec::with_capacity(half_a);
+    even.push(approx[0] as i64 - ((d(-1) + d(0) + 2) >> 2));
+    for (k, w) in detail.windows(2).enumerate() {
+        let update = (w[0] as i64 + w[1] as i64 + 2) >> 2;
+        even.push(approx[k + 1] as i64 - update);
+    }
+    if half_a > half_d {
+        let k = half_a as i64 - 1;
+        even.push(approx[half_a - 1] as i64 - ((d(k - 1) + d(k) + 2) >> 2));
+    }
+
+    // Undo the predict step, interleaving. The interior pairs every detail
+    // sample with its two natural even neighbours; only an even-length
+    // signal's last detail needs the mirrored right neighbour.
+    let mut out = Vec::with_capacity(n);
+    for (w, &dk) in even.windows(2).zip(detail) {
+        out.push(w[0] as i32);
+        out.push((dk as i64 + ((w[0] + w[1]) >> 1)) as i32);
+    }
+    if n % 2 == 0 {
+        let k = half_d - 1;
+        let m = mirror(k as i64 + 1, half_a as i64) as usize;
+        out.push(even[k] as i32);
+        out.push((detail[k] as i64 + ((even[k] + even[m]) >> 1)) as i32);
+    } else {
+        out.push(even[half_a - 1] as i32);
     }
     out
 }
@@ -104,6 +157,64 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    /// The original even-only implementation, kept verbatim as the
+    /// byte-compatibility reference for even-length signals.
+    fn reference_forward_even(x: &[i32]) -> (Vec<i32>, Vec<i32>) {
+        let n = x.len();
+        assert!(n >= 2 && n % 2 == 0);
+        let half = n / 2;
+        let even = |k: i64| -> i64 {
+            let k = mirror(k, half as i64);
+            x[2 * k as usize] as i64
+        };
+        let odd = |k: i64| -> i64 {
+            let k = mirror(k, half as i64);
+            x[2 * k as usize + 1] as i64
+        };
+        let mut detail = Vec::with_capacity(half);
+        for k in 0..half as i64 {
+            let predicted = (even(k) + even(k + 1)).div_euclid(2);
+            detail.push((odd(k) - predicted) as i32);
+        }
+        let d = |k: i64| -> i64 {
+            let k = mirror(k, half as i64);
+            detail[k as usize] as i64
+        };
+        let mut approx = Vec::with_capacity(half);
+        for k in 0..half as i64 {
+            let update = (d(k - 1) + d(k) + 2).div_euclid(4);
+            approx.push((even(k) + update) as i32);
+        }
+        (approx, detail)
+    }
+
+    /// The original even-only inverse, kept verbatim as the reference.
+    fn reference_inverse_even(approx: &[i32], detail: &[i32]) -> Vec<i32> {
+        assert_eq!(approx.len(), detail.len());
+        assert!(!approx.is_empty());
+        let half = approx.len();
+        let d = |k: i64| -> i64 {
+            let k = mirror(k, half as i64);
+            detail[k as usize] as i64
+        };
+        let mut even = Vec::with_capacity(half);
+        for k in 0..half as i64 {
+            let update = (d(k - 1) + d(k) + 2).div_euclid(4);
+            even.push(approx[k as usize] as i64 - update);
+        }
+        let e = |k: i64| -> i64 {
+            let k = mirror(k, half as i64);
+            even[k as usize]
+        };
+        let mut out = Vec::with_capacity(half * 2);
+        for k in 0..half as i64 {
+            let predicted = (e(k) + e(k + 1)).div_euclid(2);
+            out.push(even[k as usize] as i32);
+            out.push((d(k) + predicted) as i32);
+        }
+        out
+    }
+
     #[test]
     fn mirror_extension_reflects_indices() {
         assert_eq!(mirror(0, 4), 0);
@@ -115,34 +226,65 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_is_exact_for_random_signals() {
-        let mut rng = StdRng::seed_from_u64(4);
-        for n in [2usize, 4, 8, 16, 64, 250] {
-            let x: Vec<i32> = (0..n).map(|_| rng.gen_range(-4096..4096)).collect();
+    fn even_lengths_match_the_original_implementation_exactly() {
+        // The fast-path rewrite and the odd-length generalization must not
+        // move a single bit on the inputs the original code accepted — the
+        // compressed-stream format depends on it.
+        let mut rng = StdRng::seed_from_u64(11);
+        for case in 0..500 {
+            let n = 2 * rng.gen_range(1usize..130);
+            let x: Vec<i32> = (0..n).map(|_| rng.gen_range(-40960..40960)).collect();
             let (a, d) = forward_53(&x);
-            assert_eq!(a.len(), n / 2);
-            assert_eq!(d.len(), n / 2);
-            let y = inverse_53(&a, &d);
-            assert_eq!(x, y, "n={n}");
+            let (ra, rd) = reference_forward_even(&x);
+            assert_eq!(a, ra, "case {case}: approximation diverged for n={n}");
+            assert_eq!(d, rd, "case {case}: detail diverged for n={n}");
+            assert_eq!(inverse_53(&a, &d), reference_inverse_even(&ra, &rd), "case {case}");
         }
     }
 
     #[test]
+    fn roundtrip_is_exact_for_random_signals_of_any_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 16, 17, 63, 64, 250, 251] {
+            for _ in 0..20 {
+                let x: Vec<i32> = (0..n).map(|_| rng.gen_range(-4096..4096)).collect();
+                let (a, d) = forward_53(&x);
+                assert_eq!(a.len(), approx_len(n));
+                assert_eq!(d.len(), detail_len(n));
+                let y = inverse_53(&a, &d);
+                assert_eq!(x, y, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_sample_signals_pass_through() {
+        let (a, d) = forward_53(&[42]);
+        assert_eq!(a, vec![42]);
+        assert!(d.is_empty());
+        assert_eq!(inverse_53(&a, &d), vec![42]);
+    }
+
+    #[test]
     fn constant_signal_has_zero_detail() {
-        let x = vec![77; 16];
-        let (a, d) = forward_53(&x);
-        assert!(d.iter().all(|&v| v == 0));
-        assert!(a.iter().all(|&v| v == 77), "5/3 approximation preserves DC level");
+        for n in [3usize, 16, 17] {
+            let x = vec![77; n];
+            let (a, d) = forward_53(&x);
+            assert!(d.iter().all(|&v| v == 0));
+            assert!(a.iter().all(|&v| v == 77), "5/3 approximation preserves DC level");
+        }
     }
 
     #[test]
     fn ramp_has_small_detail() {
-        let x: Vec<i32> = (0..32).collect();
-        let (_a, d) = forward_53(&x);
-        assert!(
-            d.iter().all(|&v| v.abs() <= 2),
-            "a ramp is predicted almost exactly (mirror boundary allows a residual of 2): {d:?}"
-        );
+        for n in [31usize, 32] {
+            let x: Vec<i32> = (0..n as i32).collect();
+            let (_a, d) = forward_53(&x);
+            assert!(
+                d.iter().all(|&v| v.abs() <= 2),
+                "a ramp is predicted almost exactly (mirror boundary allows a residual of 2): {d:?}"
+            );
+        }
     }
 
     #[test]
@@ -154,21 +296,25 @@ mod tests {
 
     #[test]
     fn extreme_values_do_not_overflow() {
-        let x = vec![i32::MAX / 4, i32::MIN / 4, i32::MAX / 4, i32::MIN / 4];
-        let (a, d) = forward_53(&x);
-        let y = inverse_53(&a, &d);
-        assert_eq!(x, y);
+        for x in [
+            vec![i32::MAX / 4, i32::MIN / 4, i32::MAX / 4, i32::MIN / 4],
+            vec![i32::MAX / 4, i32::MIN / 4, i32::MAX / 4],
+        ] {
+            let (a, d) = forward_53(&x);
+            let y = inverse_53(&a, &d);
+            assert_eq!(x, y);
+        }
     }
 
     #[test]
-    #[should_panic(expected = "even")]
-    fn odd_length_rejected() {
-        let _ = forward_53(&[1, 2, 3]);
+    #[should_panic(expected = "must not be empty")]
+    fn empty_signal_rejected() {
+        let _ = forward_53(&[]);
     }
 
     #[test]
     #[should_panic(expected = "lengths must match")]
     fn mismatched_halves_rejected() {
-        let _ = inverse_53(&[1, 2], &[3]);
+        let _ = inverse_53(&[1], &[3, 4]);
     }
 }

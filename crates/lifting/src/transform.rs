@@ -1,8 +1,9 @@
 //! Two-dimensional reversible 5/3 transform in the Mallat layout.
 
+use crate::geometry::{band_rect, scaled_dim};
 use crate::lifting1d::{forward_53, inverse_53};
 use crate::LiftingError;
-use lwc_image::Image;
+use lwc_image::{Image, ImageView, ImageViewMut};
 
 /// Integer wavelet coefficients in the Mallat layout, produced by
 /// [`Lifting53::forward`].
@@ -18,12 +19,15 @@ pub struct LiftingCoefficients {
 impl LiftingCoefficients {
     /// Assembles a coefficient container from a Mallat-layout buffer — the
     /// entry point used by entropy decoders that rebuild the layout subband
-    /// by subband.
+    /// by subband. Any `width x height >= 1 x 1` geometry is accepted; ragged
+    /// (non-power-of-two) dimensions follow the `ceil(n / 2)` pyramid of
+    /// [`crate::geometry`].
     ///
     /// # Errors
     ///
-    /// Returns [`LiftingError::NotDecomposable`] if the geometry does not
-    /// support `scales` scales or the buffer length does not match.
+    /// Returns [`LiftingError::NoScales`] for zero scales and
+    /// [`LiftingError::ConfigurationMismatch`] if the buffer length does not
+    /// match the geometry.
     pub fn from_raw(
         data: Vec<i32>,
         width: usize,
@@ -34,8 +38,7 @@ impl LiftingCoefficients {
         if scales == 0 {
             return Err(LiftingError::NoScales);
         }
-        check_decomposable(width, height, scales)?;
-        if data.len() != width * height {
+        if width == 0 || height == 0 || data.len() != width * height {
             return Err(LiftingError::ConfigurationMismatch(format!(
                 "buffer holds {} samples but the layout needs {}",
                 data.len(),
@@ -77,7 +80,8 @@ impl LiftingCoefficients {
 
     /// Copies the samples of one subband. `band` is indexed like
     /// `lwc_dwt::Subband`: 0 = approximation, 1 = horizontal detail,
-    /// 2 = vertical detail, 3 = diagonal detail.
+    /// 2 = vertical detail, 3 = diagonal detail. A detail band of a
+    /// dimension that has contracted to one sample is empty.
     ///
     /// # Panics
     ///
@@ -85,25 +89,23 @@ impl LiftingCoefficients {
     #[must_use]
     pub fn subband(&self, scale: u32, band: usize) -> Vec<i32> {
         assert!(scale >= 1 && scale <= self.scales, "scale {scale} out of range");
-        assert!(band <= 3, "band {band} out of range");
-        let w = self.width >> scale;
-        let h = self.height >> scale;
-        let (x0, y0) = match band {
-            0 => (0, 0),
-            1 => (w, 0),
-            2 => (0, h),
-            _ => (w, h),
-        };
-        let mut out = Vec::with_capacity(w * h);
-        for y in y0..y0 + h {
-            let start = y * self.width + x0;
-            out.extend_from_slice(&self.data[start..start + w]);
+        let rect = band_rect(self.width, self.height, scale, band);
+        let mut out = Vec::with_capacity(rect.pixel_count());
+        for y in rect.y..rect.bottom() {
+            let start = y * self.width + rect.x;
+            out.extend_from_slice(&self.data[start..start + rect.width]);
         }
         out
     }
 }
 
 /// The reversible 2-D LeGall 5/3 lifting transform.
+///
+/// Images of **any** dimensions (down to a single pixel, including odd and
+/// prime sizes) decompose to any depth: every pass halves the active region
+/// rounding up, so a dimension saturates at one sample instead of failing.
+/// For dimensions divisible by `2^scales` the transform is bit-identical to
+/// the classic even-only pyramid.
 ///
 /// See the crate documentation for an end-to-end example.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,26 +136,55 @@ impl Lifting53 {
     ///
     /// # Errors
     ///
-    /// Returns [`LiftingError::NotDecomposable`] if the image does not
-    /// support the configured depth.
+    /// Currently infallible for any valid image; the `Result` is kept for
+    /// API stability.
     pub fn forward(&self, image: &Image) -> Result<LiftingCoefficients, LiftingError> {
-        check_decomposable(image.width(), image.height(), self.scales)?;
-        let width = image.width();
-        let height = image.height();
-        let mut data = image.samples().to_vec();
+        self.forward_view(&image.view())
+    }
+
+    /// Forward transform of a borrowed (possibly strided) window — the entry
+    /// point of the tile-parallel engine, which transforms tiles straight out
+    /// of the full frame without materializing each tile as an owned image.
+    ///
+    /// ```
+    /// use lwc_image::{synth, TileRect};
+    /// use lwc_lifting::Lifting53;
+    ///
+    /// # fn main() -> Result<(), lwc_lifting::LiftingError> {
+    /// let frame = synth::ct_phantom(64, 64, 12, 1);
+    /// let rect = TileRect { x: 16, y: 8, width: 31, height: 27 };
+    /// let tile = frame.view_rect(rect)?;
+    /// let lifting = Lifting53::new(3)?;
+    /// // Identical to transforming an owned copy of the tile.
+    /// assert_eq!(lifting.forward_view(&tile)?, lifting.forward(&frame.crop(rect)?)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for any valid view; the `Result` is kept for
+    /// API stability.
+    pub fn forward_view(&self, view: &ImageView<'_>) -> Result<LiftingCoefficients, LiftingError> {
+        let width = view.width();
+        let height = view.height();
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            data.extend_from_slice(view.row(y));
+        }
         let mut cur_w = width;
         let mut cur_h = height;
         for _ in 0..self.scales {
             forward_scale(&mut data, width, cur_w, cur_h);
-            cur_w /= 2;
-            cur_h /= 2;
+            cur_w = cur_w.div_ceil(2);
+            cur_h = cur_h.div_ceil(2);
         }
         Ok(LiftingCoefficients {
             data,
             width,
             height,
             scales: self.scales,
-            input_bit_depth: image.bit_depth(),
+            input_bit_depth: view.bit_depth(),
         })
     }
 
@@ -176,11 +207,50 @@ impl Lifting53 {
         let height = coeffs.height;
         let mut data = coeffs.data.clone();
         for s in (1..=self.scales).rev() {
-            let cur_w = width >> (s - 1);
-            let cur_h = height >> (s - 1);
+            let cur_w = scaled_dim(width, s - 1);
+            let cur_h = scaled_dim(height, s - 1);
             inverse_scale(&mut data, width, cur_w, cur_h);
         }
         Ok(Image::from_samples(width, height, coeffs.input_bit_depth, data)?)
+    }
+
+    /// Inverse transform scattered into a window of an existing frame — the
+    /// decode counterpart of [`Lifting53::forward_view`], used by the tiled
+    /// decoder to place reconstructed tiles into the output frame. The
+    /// reconstruction itself runs on a tile-sized working buffer (whose
+    /// samples are range-validated exactly like [`Lifting53::inverse`])
+    /// before the rows are copied into the window; nothing outside the
+    /// window is touched.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Lifting53::inverse`] reports, plus
+    /// [`LiftingError::ConfigurationMismatch`] if the window's shape or bit
+    /// depth differs from the coefficients'.
+    pub fn inverse_into(
+        &self,
+        coeffs: &LiftingCoefficients,
+        out: &mut ImageViewMut<'_>,
+    ) -> Result<(), LiftingError> {
+        if out.width() != coeffs.width || out.height() != coeffs.height {
+            return Err(LiftingError::ConfigurationMismatch(format!(
+                "coefficients are {}x{} but the target window is {}x{}",
+                coeffs.width,
+                coeffs.height,
+                out.width(),
+                out.height()
+            )));
+        }
+        if out.bit_depth() != coeffs.input_bit_depth {
+            return Err(LiftingError::ConfigurationMismatch(format!(
+                "coefficients carry {}-bit pixels but the target window is {}-bit",
+                coeffs.input_bit_depth,
+                out.bit_depth()
+            )));
+        }
+        let image = self.inverse(coeffs)?;
+        out.copy_from_image(&image)?;
+        Ok(())
     }
 
     /// Convenience round trip used by tests and examples.
@@ -194,69 +264,72 @@ impl Lifting53 {
     }
 }
 
-fn check_decomposable(width: usize, height: usize, scales: u32) -> Result<(), LiftingError> {
-    let mut w = width;
-    let mut h = height;
-    for _ in 0..scales {
-        if w < 2 || h < 2 || w % 2 != 0 || h % 2 != 0 {
-            return Err(LiftingError::NotDecomposable { width, height, scales });
-        }
-        w /= 2;
-        h /= 2;
-    }
-    Ok(())
-}
-
 fn forward_scale(data: &mut [i32], stride: usize, cur_w: usize, cur_h: usize) {
-    let mut row = vec![0i32; cur_w];
-    for y in 0..cur_h {
-        let base = y * stride;
-        row.copy_from_slice(&data[base..base + cur_w]);
-        let (a, d) = forward_53(&row);
-        data[base..base + cur_w / 2].copy_from_slice(&a);
-        data[base + cur_w / 2..base + cur_w].copy_from_slice(&d);
-    }
-    let mut col = vec![0i32; cur_h];
-    for x in 0..cur_w {
+    if cur_w >= 2 {
+        let a_w = cur_w.div_ceil(2);
+        let mut row = vec![0i32; cur_w];
         for y in 0..cur_h {
-            col[y] = data[y * stride + x];
+            let base = y * stride;
+            row.copy_from_slice(&data[base..base + cur_w]);
+            let (a, d) = forward_53(&row);
+            data[base..base + a_w].copy_from_slice(&a);
+            data[base + a_w..base + cur_w].copy_from_slice(&d);
         }
-        let (a, d) = forward_53(&col);
-        for y in 0..cur_h / 2 {
-            data[y * stride + x] = a[y];
-            data[(y + cur_h / 2) * stride + x] = d[y];
+    }
+    if cur_h >= 2 {
+        let a_h = cur_h.div_ceil(2);
+        let mut col = vec![0i32; cur_h];
+        for x in 0..cur_w {
+            for (y, slot) in col.iter_mut().enumerate() {
+                *slot = data[y * stride + x];
+            }
+            let (a, d) = forward_53(&col);
+            for (y, &v) in a.iter().enumerate() {
+                data[y * stride + x] = v;
+            }
+            for (y, &v) in d.iter().enumerate() {
+                data[(y + a_h) * stride + x] = v;
+            }
         }
     }
 }
 
 fn inverse_scale(data: &mut [i32], stride: usize, cur_w: usize, cur_h: usize) {
-    let mut approx = vec![0i32; cur_h / 2];
-    let mut detail = vec![0i32; cur_h / 2];
-    for x in 0..cur_w {
-        for y in 0..cur_h / 2 {
-            approx[y] = data[y * stride + x];
-            detail[y] = data[(y + cur_h / 2) * stride + x];
-        }
-        let col = inverse_53(&approx, &detail);
-        for (y, &v) in col.iter().enumerate() {
-            data[y * stride + x] = v;
+    if cur_h >= 2 {
+        let a_h = cur_h.div_ceil(2);
+        let mut approx = vec![0i32; a_h];
+        let mut detail = vec![0i32; cur_h - a_h];
+        for x in 0..cur_w {
+            for (y, slot) in approx.iter_mut().enumerate() {
+                *slot = data[y * stride + x];
+            }
+            for (y, slot) in detail.iter_mut().enumerate() {
+                *slot = data[(y + a_h) * stride + x];
+            }
+            let col = inverse_53(&approx, &detail);
+            for (y, &v) in col.iter().enumerate() {
+                data[y * stride + x] = v;
+            }
         }
     }
-    let mut approx = vec![0i32; cur_w / 2];
-    let mut detail = vec![0i32; cur_w / 2];
-    for y in 0..cur_h {
-        let base = y * stride;
-        approx.copy_from_slice(&data[base..base + cur_w / 2]);
-        detail.copy_from_slice(&data[base + cur_w / 2..base + cur_w]);
-        let row = inverse_53(&approx, &detail);
-        data[base..base + cur_w].copy_from_slice(&row);
+    if cur_w >= 2 {
+        let a_w = cur_w.div_ceil(2);
+        let mut approx = vec![0i32; a_w];
+        let mut detail = vec![0i32; cur_w - a_w];
+        for y in 0..cur_h {
+            let base = y * stride;
+            approx.copy_from_slice(&data[base..base + a_w]);
+            detail.copy_from_slice(&data[base + a_w..base + cur_w]);
+            let row = inverse_53(&approx, &detail);
+            data[base..base + cur_w].copy_from_slice(&row);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lwc_image::{stats, synth};
+    use lwc_image::{stats, synth, TileRect};
 
     #[test]
     fn roundtrip_is_exact_on_all_workloads() {
@@ -282,6 +355,61 @@ mod tests {
     }
 
     #[test]
+    fn ragged_odd_and_prime_dimensions_roundtrip() {
+        // The generalized pyramid: odd, prime and single-sample dimensions
+        // all decompose and reconstruct exactly, at any depth.
+        for (w, h) in [(37, 53), (1, 1), (1, 17), (17, 1), (3, 3), (101, 63), (64, 37), (2, 5)] {
+            for scales in [1u32, 2, 3, 6] {
+                let lifting = Lifting53::new(scales).unwrap();
+                let image = synth::random_image(w, h, 12, (w * h) as u64 + scales as u64);
+                let back = lifting.roundtrip(&image).unwrap();
+                assert_eq!(
+                    stats::max_abs_diff(&image, &back).unwrap(),
+                    0,
+                    "{w}x{h} at {scales} scales"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_view_matches_owned_tile_transform() {
+        let frame = synth::ct_phantom(96, 80, 12, 9);
+        let lifting = Lifting53::new(3).unwrap();
+        for rect in [
+            TileRect { x: 0, y: 0, width: 32, height: 32 },
+            TileRect { x: 33, y: 17, width: 31, height: 29 },
+            TileRect { x: 95, y: 0, width: 1, height: 80 },
+        ] {
+            let via_view = lifting.forward_view(&frame.view_rect(rect).unwrap()).unwrap();
+            let via_copy = lifting.forward(&frame.crop(rect).unwrap()).unwrap();
+            assert_eq!(via_view, via_copy, "{rect:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_into_scatters_tiles_into_a_frame() {
+        let lifting = Lifting53::new(2).unwrap();
+        let tile = synth::mr_slice(24, 17, 12, 4);
+        let coeffs = lifting.forward(&tile).unwrap();
+        let mut frame = Image::zeros(60, 40, 12).unwrap();
+        let rect = TileRect { x: 30, y: 20, width: 24, height: 17 };
+        lifting.inverse_into(&coeffs, &mut frame.view_rect_mut(rect).unwrap()).unwrap();
+        assert_eq!(frame.crop(rect).unwrap(), tile);
+        // Mismatched window shape and bit depth are configuration errors.
+        let wrong = TileRect { x: 0, y: 0, width: 23, height: 17 };
+        assert!(matches!(
+            lifting.inverse_into(&coeffs, &mut frame.view_rect_mut(wrong).unwrap()),
+            Err(LiftingError::ConfigurationMismatch(_))
+        ));
+        let mut depth8 = Image::zeros(24, 17, 8).unwrap();
+        assert!(matches!(
+            lifting.inverse_into(&coeffs, &mut depth8.view_mut()),
+            Err(LiftingError::ConfigurationMismatch(_))
+        ));
+    }
+
+    #[test]
     fn detail_subbands_of_smooth_images_are_small() {
         let lifting = Lifting53::new(2).unwrap();
         let coeffs = lifting.forward(&synth::gradient(64, 64, 12)).unwrap();
@@ -299,15 +427,38 @@ mod tests {
     }
 
     #[test]
+    fn ragged_subbands_partition_the_layout() {
+        let lifting = Lifting53::new(3).unwrap();
+        let image = synth::random_image(37, 21, 12, 8);
+        let coeffs = lifting.forward(&image).unwrap();
+        // Per scale, the four bands cover the parent region exactly.
+        for scale in 1..=3u32 {
+            let parent = scaled_dim(37, scale - 1) * scaled_dim(21, scale - 1);
+            let total: usize = (0..=3).map(|b| coeffs.subband(scale, b).len()).sum();
+            assert_eq!(total, parent, "scale {scale}");
+        }
+        // A one-wide image has empty horizontal details.
+        let thin = Lifting53::new(2).unwrap().forward(&synth::flat(1, 9, 8, 3)).unwrap();
+        assert!(thin.subband(1, 1).is_empty());
+        assert!(thin.subband(1, 3).is_empty());
+        assert_eq!(thin.subband(1, 0).len(), 5);
+    }
+
+    #[test]
     fn invalid_configurations_are_rejected() {
         assert!(Lifting53::new(0).is_err());
-        let lifting = Lifting53::new(5).unwrap();
-        let image = synth::flat(48, 48, 8, 0);
-        assert!(matches!(lifting.forward(&image), Err(LiftingError::NotDecomposable { .. })));
         let coeffs = Lifting53::new(2).unwrap().forward(&synth::flat(32, 32, 8, 1)).unwrap();
         assert!(matches!(
             Lifting53::new(3).unwrap().inverse(&coeffs),
             Err(LiftingError::ConfigurationMismatch(_))
+        ));
+        assert!(matches!(
+            LiftingCoefficients::from_raw(vec![0; 10], 4, 4, 1, 8),
+            Err(LiftingError::ConfigurationMismatch(_))
+        ));
+        assert!(matches!(
+            LiftingCoefficients::from_raw(vec![0; 16], 4, 4, 0, 8),
+            Err(LiftingError::NoScales)
         ));
     }
 

@@ -2,7 +2,7 @@
 
 use crate::report::BatchReport;
 use crate::stream::{spawn_ordered, OrderedStream};
-use crate::PipelineError;
+use crate::{PipelineError, TiledCompressor};
 use lwc_coder::LosslessCodec;
 use lwc_image::Image;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -77,6 +77,21 @@ impl BatchCompressor {
     #[must_use]
     pub fn single_image_codec(&self) -> crate::ParallelCodec {
         crate::ParallelCodec::with_codec(self.codec, self.workers)
+    }
+
+    /// The tile-parallel engine sharing this engine's codec and worker
+    /// budget — the scaling path for images too large to transform (or even
+    /// address, past the legacy format's 2^20-pixel sides) as one block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PipelineError::Config`] for an invalid tile shape.
+    pub fn tiled(
+        &self,
+        tile_width: usize,
+        tile_height: usize,
+    ) -> Result<TiledCompressor, PipelineError> {
+        TiledCompressor::with_codec(self.codec, tile_width, tile_height, self.workers)
     }
 
     /// Compresses one image with per-subband parallelism (byte-identical to
@@ -294,9 +309,38 @@ mod tests {
     #[test]
     fn errors_propagate_from_workers() {
         let engine = BatchCompressor::new(5, 2).unwrap();
-        // 16x16 cannot be decomposed over 5 scales.
-        let images = vec![synth::flat(16, 16, 12, 1)];
-        assert!(engine.compress_batch(&images).is_err());
+        // A corrupt stream in the middle of an otherwise fine batch must
+        // surface as an error, not as a wrong image.
+        let images = batch(4, 64);
+        let (mut streams, _) = engine.compress_batch(&images).unwrap();
+        let half = streams[2].len() / 2;
+        streams[2].truncate(half);
+        assert!(engine.decompress_batch(&streams).is_err());
+    }
+
+    #[test]
+    fn small_images_now_decompose_at_any_depth() {
+        // The ragged pyramid removed the old even-dimensions restriction:
+        // 16x16 over 5 scales is valid and lossless.
+        let engine = BatchCompressor::new(5, 2).unwrap();
+        let images = vec![synth::flat(16, 16, 12, 1), synth::random_image(15, 9, 12, 2)];
+        let (streams, _) = engine.compress_batch(&images).unwrap();
+        let (decoded, _) = engine.decompress_batch(&streams).unwrap();
+        for (image, back) in images.iter().zip(&decoded) {
+            assert!(stats::bit_exact(image, back).unwrap());
+        }
+    }
+
+    #[test]
+    fn tiled_engine_shares_codec_and_workers() {
+        let engine = BatchCompressor::new(3, 2).unwrap();
+        let tiled = engine.tiled(32, 32).unwrap();
+        assert_eq!(tiled.workers(), engine.workers());
+        assert_eq!(tiled.codec().scales(), engine.codec().scales());
+        let image = synth::ct_phantom(80, 80, 12, 11);
+        let bytes = tiled.compress(&image).unwrap();
+        assert!(stats::bit_exact(&image, &tiled.decompress(&bytes).unwrap()).unwrap());
+        assert!(engine.tiled(0, 4).is_err());
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   sequential stream; a [`SubbandDirectory`] of bit offsets drives the
 //!   concurrent decode. This is the low-latency path when a single image is
 //!   in flight, where [`BatchCompressor`] has nothing to fan out.
+//! * [`TiledCompressor`] — *intra-image* parallelism at the **tile** level:
+//!   the image is sharded by a [`lwc_image::TileGrid`] into independently
+//!   coded tiles wrapped in the versioned `LWCT` container
+//!   ([`lwc_coder::tiled`]), lifting the whole-image size limit, fanning one
+//!   large image across the pool, and enabling bounded-memory row-band
+//!   streaming decode ([`TiledCompressor::decompress_row_bands`]).
 //! * [`BatchCompressor::compress_iter`] / [`BatchCompressor::decompress_iter`]
 //!   — the streaming form: images flow through a bounded channel into the
 //!   worker pool and compressed streams come out in order, so an arbitrarily
@@ -36,10 +42,12 @@ mod parcodec;
 mod pardwt;
 mod report;
 mod stream;
+mod tiled;
 
 pub use batch::BatchCompressor;
 pub use error::PipelineError;
 pub use parcodec::{ParallelCodec, SubbandDirectory};
 pub use pardwt::ParallelFixedDwt2d;
-pub use report::BatchReport;
+pub use report::{BatchReport, TiledReport};
 pub use stream::OrderedStream;
+pub use tiled::{RowBand, RowBands, TiledCompressor, DEFAULT_TILE_SIZE};

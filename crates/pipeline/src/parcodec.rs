@@ -56,9 +56,9 @@ impl SubbandDirectory {
         header.ensure_scales(codec.scales())?;
         let subbands = codec.subband_codec();
         let mut offsets = Vec::with_capacity(3 * header.scales as usize + 1);
-        for (scale, _band) in subband_order(header.scales) {
+        for (scale, band) in subband_order(header.scales) {
             offsets.push(reader.bits_read());
-            subbands.skip_subband(&mut reader, header.subband_len(scale))?;
+            subbands.skip_subband(&mut reader, header.band_len(scale, band))?;
         }
         Ok(Self { header, offsets })
     }
@@ -221,12 +221,6 @@ impl ParallelCodec {
             ))
             .into());
         }
-        if header.subband_len(self.codec.scales()) == 0 {
-            return Err(CoderError::MalformedStream(
-                "image too small for the coded number of scales".to_owned(),
-            )
-            .into());
-        }
         let order: Vec<(u32, usize)> = subband_order(header.scales).collect();
         if directory.offsets.len() != order.len() {
             return Err(CoderError::MalformedStream(format!(
@@ -240,7 +234,8 @@ impl ParallelCodec {
         let decoded: Vec<Vec<i32>> = run_indexed(self.workers, order.len(), |i| {
             let mut reader = BitReader::new(bytes);
             reader.skip_bits(directory.offsets[i])?;
-            let samples = subbands.decode_subband(&mut reader, header.subband_len(order[i].0))?;
+            let (scale, band) = order[i];
+            let samples = subbands.decode_subband(&mut reader, header.band_len(scale, band))?;
             // Each subband must end exactly where the directory says the
             // next one starts — Rice data is self-delimiting at any bit
             // offset, so without this check a directory from a different
@@ -260,8 +255,13 @@ impl ParallelCodec {
 }
 
 /// Runs `job(0..count)` across `workers` scoped threads with dynamic work
-/// stealing and returns the outputs in index order.
-fn run_indexed<Out, Job>(workers: usize, count: usize, job: Job) -> Result<Vec<Out>, PipelineError>
+/// stealing and returns the outputs in index order. Shared with the
+/// tile-parallel engine in [`crate::TiledCompressor`].
+pub(crate) fn run_indexed<Out, Job>(
+    workers: usize,
+    count: usize,
+    job: Job,
+) -> Result<Vec<Out>, PipelineError>
 where
     Out: Send,
     Job: Fn(usize) -> Result<Out, CoderError> + Sync,

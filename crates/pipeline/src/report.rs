@@ -61,6 +61,57 @@ impl fmt::Display for BatchReport {
     }
 }
 
+/// Throughput of one tiled compression run (see
+/// [`crate::TiledCompressor::compress_with_report`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TiledReport {
+    /// Number of tiles in the grid.
+    pub tiles: usize,
+    /// Raw input volume in bytes (pixels at their nominal packed bit depth).
+    pub raw_bytes: usize,
+    /// Size of the produced stream in bytes.
+    pub compressed_bytes: usize,
+    /// Worker threads that served the run.
+    pub workers: usize,
+    /// Wall-clock time of the whole image.
+    pub wall: Duration,
+}
+
+impl TiledReport {
+    /// Raw megabytes (10^6 bytes) processed per second of wall time.
+    #[must_use]
+    pub fn megabytes_per_second(&self) -> f64 {
+        self.raw_bytes as f64 / 1e6 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Tiles completed per second of wall time.
+    #[must_use]
+    pub fn tiles_per_second(&self) -> f64 {
+        self.tiles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Compression ratio (raw / compressed).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / (self.compressed_bytes as f64).max(1.0)
+    }
+}
+
+impl fmt::Display for TiledReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tiles in {:.3} s on {} workers: {:.1} MB/s, {:.1} tiles/s, {:.2}:1",
+            self.tiles,
+            self.wall.as_secs_f64(),
+            self.workers,
+            self.megabytes_per_second(),
+            self.tiles_per_second(),
+            self.ratio()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +146,22 @@ mod tests {
         let text = sample().to_string();
         assert!(text.contains("4 images"));
         assert!(text.contains("MB/s"));
+    }
+
+    #[test]
+    fn tiled_report_rates_and_display() {
+        let r = TiledReport {
+            tiles: 16,
+            raw_bytes: 8_000_000,
+            compressed_bytes: 2_000_000,
+            workers: 4,
+            wall: Duration::from_secs(2),
+        };
+        assert!((r.megabytes_per_second() - 4.0).abs() < 1e-9);
+        assert!((r.tiles_per_second() - 8.0).abs() < 1e-9);
+        assert!((r.ratio() - 4.0).abs() < 1e-9);
+        let text = r.to_string();
+        assert!(text.contains("16 tiles"));
+        assert!(text.contains("tiles/s"));
     }
 }

@@ -1,0 +1,494 @@
+//! Intra-image parallelism for arbitrarily large images: the tile-sharded
+//! compression engine.
+//!
+//! [`BatchCompressor`](crate::BatchCompressor) fans *images* across workers
+//! and [`ParallelCodec`](crate::ParallelCodec) fans the *subbands* of one
+//! image; this module fans the **tiles** of one image. Each tile of a
+//! [`TileGrid`] is an independent [`LosslessCodec`] stream (transformed with
+//! the same boundary extension the whole-image transform uses, just over the
+//! tile), wrapped in the versioned [`lwc_coder::tiled`] container with a
+//! per-tile byte-offset directory. That buys three things at once:
+//!
+//! * **scale** — the legacy stream format caps dimensions at 2^20 - 1 and the
+//!   monolithic transform keeps the whole frame plus intermediates hot; tiles
+//!   bound the working set per worker to one tile regardless of image size,
+//! * **intra-image parallelism** — one 16k x 16k plate becomes thousands of
+//!   independent encode/decode jobs for the worker pool,
+//! * **bounded-memory decode** — [`TiledCompressor::decompress_row_bands`]
+//!   walks the directory one tile-row at a time, so a consumer can stream a
+//!   huge image top to bottom without ever materializing all of it.
+
+use crate::parcodec::run_indexed;
+use crate::report::TiledReport;
+use crate::{ParallelCodec, PipelineError};
+use lwc_coder::tiled::{is_tiled, write_container, TiledHeader, TiledStream};
+use lwc_coder::{CoderError, LosslessCodec};
+use lwc_image::{Image, TileGrid};
+use std::thread;
+use std::time::Instant;
+
+/// Default nominal tile side: big enough to amortize per-tile headers and
+/// keep deep decompositions meaningful, small enough that a tile (i32
+/// samples plus codec scratch) stays comfortably inside L2.
+pub const DEFAULT_TILE_SIZE: usize = 256;
+
+/// Tile-parallel lossless codec for single large images.
+///
+/// Streams are deterministic for a given tile size — the worker count never
+/// changes a byte — and a grid that degenerates to one tile emits the legacy
+/// single-image stream unchanged, so `TiledCompressor` with a tile at least
+/// as large as the image is **byte-identical** to [`LosslessCodec::compress`].
+/// Decoding sniffs the container magic and accepts both formats.
+///
+/// ```
+/// use lwc_image::synth;
+/// use lwc_pipeline::TiledCompressor;
+///
+/// # fn main() -> Result<(), lwc_pipeline::PipelineError> {
+/// let engine = TiledCompressor::new(4, 64, 0)?;
+/// let image = synth::ct_phantom(200, 150, 12, 1); // ragged 64-pixel grid
+/// let bytes = engine.compress(&image)?;
+/// let back = engine.decompress(&bytes)?;
+/// assert_eq!(image.samples(), back.samples());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TiledCompressor {
+    codec: LosslessCodec,
+    tile_width: usize,
+    tile_height: usize,
+    workers: usize,
+}
+
+impl TiledCompressor {
+    /// Creates an engine with the given decomposition depth, square tile
+    /// side and worker count. `workers == 0` selects the machine's available
+    /// parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scales` is zero or the tile size is out of range.
+    pub fn new(scales: u32, tile_size: usize, workers: usize) -> Result<Self, PipelineError> {
+        Self::with_codec(LosslessCodec::new(scales)?, tile_size, tile_size, workers)
+    }
+
+    /// Wraps an existing codec with an explicit (possibly non-square) tile
+    /// shape. `workers == 0` selects the machine's available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Config`] if a tile dimension is zero or does
+    /// not fit the per-tile stream format's 20-bit fields.
+    pub fn with_codec(
+        codec: LosslessCodec,
+        tile_width: usize,
+        tile_height: usize,
+        workers: usize,
+    ) -> Result<Self, PipelineError> {
+        if tile_width == 0 || tile_height == 0 {
+            return Err(PipelineError::Config("tile dimensions must be nonzero".into()));
+        }
+        if tile_width >= (1 << 20) || tile_height >= (1 << 20) {
+            return Err(PipelineError::Config(format!(
+                "tile dimensions {tile_width}x{tile_height} exceed the per-tile stream format's \
+                 20-bit fields"
+            )));
+        }
+        let workers = if workers == 0 {
+            thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            workers
+        };
+        Ok(Self { codec, tile_width, tile_height, workers })
+    }
+
+    /// The per-tile codec.
+    #[must_use]
+    pub fn codec(&self) -> &LosslessCodec {
+        &self.codec
+    }
+
+    /// Nominal tile width.
+    #[must_use]
+    pub fn tile_width(&self) -> usize {
+        self.tile_width
+    }
+
+    /// Nominal tile height.
+    #[must_use]
+    pub fn tile_height(&self) -> usize {
+        self.tile_height
+    }
+
+    /// Worker threads used per image.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The tile grid this engine would use for a `width x height` image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero image dimensions.
+    pub fn grid(&self, width: usize, height: usize) -> Result<TileGrid, PipelineError> {
+        TileGrid::new(width, height, self.tile_width, self.tile_height)
+            .map_err(|e| PipelineError::Config(format!("invalid tile grid: {e}")))
+    }
+
+    /// Compresses `image`, fanning the tiles across the worker pool.
+    ///
+    /// Single-tile grids produce the legacy stream byte-identically; larger
+    /// grids produce the tiled container. Either way the bytes depend only on
+    /// the image and the tile shape, never on the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-tile codec error, if any.
+    pub fn compress(&self, image: &Image) -> Result<Vec<u8>, PipelineError> {
+        Ok(self.compress_with_report(image)?.0)
+    }
+
+    /// Compresses and reports tile-level throughput.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledCompressor::compress`].
+    pub fn compress_with_report(
+        &self,
+        image: &Image,
+    ) -> Result<(Vec<u8>, TiledReport), PipelineError> {
+        let start = Instant::now();
+        let grid = self.grid(image.width(), image.height())?;
+        let bytes = if grid.is_single() {
+            // Byte-identical legacy fast path: one tile covering the image is
+            // exactly the whole-image codec (tile dimensions fit the legacy
+            // 20-bit fields by construction).
+            self.codec.compress(image)?
+        } else {
+            let header = TiledHeader {
+                width: image.width(),
+                height: image.height(),
+                bit_depth: image.bit_depth(),
+                scales: self.codec.scales(),
+                tile_width: grid.tile_width(),
+                tile_height: grid.tile_height(),
+            };
+            let codec = self.codec;
+            let payloads = run_indexed(self.workers, grid.tile_count(), |index| {
+                let view = image.view_rect(grid.rect(index))?;
+                codec.compress_view(&view)
+            })?;
+            write_container(&header, &payloads)?
+        };
+        let report = TiledReport {
+            tiles: grid.tile_count(),
+            raw_bytes: (image.pixel_count() * image.bit_depth() as usize).div_ceil(8),
+            compressed_bytes: bytes.len(),
+            workers: self.workers.min(grid.tile_count()),
+            wall: start.elapsed(),
+        };
+        Ok((bytes, report))
+    }
+
+    /// Reconstructs the image from a tiled container **or** a legacy
+    /// single-image stream (the magic is sniffed). The result is pixel-exact.
+    ///
+    /// Tiles are decoded in bounded batches (a few per worker) and scattered
+    /// into the frame as each batch completes, so peak memory stays at the
+    /// output frame plus one batch of tiles — not two copies of the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams, mismatched configuration, or
+    /// tiles that disagree with the container's grid geometry.
+    pub fn decompress(&self, bytes: &[u8]) -> Result<Image, PipelineError> {
+        if !is_tiled(bytes) {
+            // Legacy stream: reuse the per-subband parallel decoder.
+            return ParallelCodec::with_codec(self.codec, self.workers).decompress(bytes);
+        }
+        let stream = TiledStream::parse(bytes)?;
+        let header = *stream.header();
+        self.ensure_scales(&header)?;
+        let grid = stream.grid()?;
+        let mut frame = Image::zeros(header.width, header.height, header.bit_depth)
+            .map_err(CoderError::from)?;
+        // Enough tiles per batch to keep every worker busy, few enough that
+        // the decoded-but-not-yet-scattered set stays small.
+        let batch = (self.workers * 4).max(4);
+        let mut index = 0;
+        while index < grid.tile_count() {
+            let count = batch.min(grid.tile_count() - index);
+            let tiles = self.decode_tiles(&stream, &grid, index, count)?;
+            for (offset, tile) in tiles.iter().enumerate() {
+                let rect = grid.rect(index + offset);
+                frame
+                    .view_rect_mut(rect)
+                    .and_then(|mut window| window.copy_from_image(tile))
+                    .map_err(CoderError::from)?;
+            }
+            index += count;
+        }
+        Ok(frame)
+    }
+
+    /// Streaming decode: yields the image one tile-row **band** at a time
+    /// (top to bottom), decoding each band's tiles on the worker pool. Peak
+    /// memory is bounded by one band — the decoded tiles of one tile-row
+    /// plus the `image_width x tile_height` band image they assemble into —
+    /// plus the compressed bytes, regardless of the image height. Legacy
+    /// streams yield a single band covering the whole image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the container header or directory is malformed;
+    /// per-band decode errors surface through the iterator's items.
+    pub fn decompress_row_bands<'a>(&self, bytes: &'a [u8]) -> Result<RowBands<'a>, PipelineError> {
+        if !is_tiled(bytes) {
+            return Ok(RowBands { engine: *self, source: RowBandSource::Legacy(Some(bytes)) });
+        }
+        let stream = TiledStream::parse(bytes)?;
+        self.ensure_scales(stream.header())?;
+        let grid = stream.grid()?;
+        Ok(RowBands { engine: *self, source: RowBandSource::Tiled { stream, grid, next_row: 0 } })
+    }
+
+    fn ensure_scales(&self, header: &TiledHeader) -> Result<(), PipelineError> {
+        if header.scales != self.codec.scales() {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "tiled stream uses {} scales but the codec is configured for {}",
+                header.scales,
+                self.codec.scales()
+            ))
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Decodes tiles `first..first + count` (row-major) on the worker pool,
+    /// validating each decoded tile against its grid rectangle.
+    fn decode_tiles(
+        &self,
+        stream: &TiledStream<'_>,
+        grid: &TileGrid,
+        first: usize,
+        count: usize,
+    ) -> Result<Vec<Image>, PipelineError> {
+        let header = *stream.header();
+        let codec = self.codec;
+        run_indexed(self.workers, count, |offset| {
+            let index = first + offset;
+            let rect = grid.rect(index);
+            let tile = codec.decompress(stream.tile_bytes(index))?;
+            if tile.width() != rect.width || tile.height() != rect.height {
+                return Err(CoderError::MalformedStream(format!(
+                    "tile {index} decodes to {}x{} but the grid places a {}x{} tile there",
+                    tile.width(),
+                    tile.height(),
+                    rect.width,
+                    rect.height
+                )));
+            }
+            if tile.bit_depth() != header.bit_depth {
+                return Err(CoderError::MalformedStream(format!(
+                    "tile {index} carries {}-bit pixels but the container header says {}-bit",
+                    tile.bit_depth(),
+                    header.bit_depth
+                )));
+            }
+            Ok(tile)
+        })
+    }
+}
+
+/// One horizontal band of a streamed tiled decode; see
+/// [`TiledCompressor::decompress_row_bands`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowBand {
+    /// Row of the full image where this band starts.
+    pub y: usize,
+    /// The decoded band (full image width, one tile-row tall).
+    pub image: Image,
+}
+
+enum RowBandSource<'a> {
+    /// A legacy stream decodes as one full-image band (taken on first `next`).
+    Legacy(Option<&'a [u8]>),
+    Tiled {
+        stream: TiledStream<'a>,
+        grid: TileGrid,
+        next_row: usize,
+    },
+}
+
+/// Iterator over the row bands of a compressed stream, yielded top to bottom.
+pub struct RowBands<'a> {
+    engine: TiledCompressor,
+    source: RowBandSource<'a>,
+}
+
+impl RowBands<'_> {
+    fn next_tiled_band(&mut self) -> Option<Result<RowBand, PipelineError>> {
+        let RowBandSource::Tiled { stream, grid, next_row } = &mut self.source else {
+            unreachable!("only called for tiled sources");
+        };
+        if *next_row >= grid.tiles_y() {
+            return None;
+        }
+        let ty = *next_row;
+        *next_row += 1;
+        let tiles_x = grid.tiles_x();
+        let band_rect = grid.rect_at(0, ty);
+        let result = (|| {
+            let tiles = self.engine.decode_tiles(stream, grid, ty * tiles_x, tiles_x)?;
+            let mut band =
+                Image::zeros(grid.image_width(), band_rect.height, stream.header().bit_depth)
+                    .map_err(CoderError::from)?;
+            for (tx, tile) in tiles.iter().enumerate() {
+                let mut rect = grid.rect_at(tx, ty);
+                rect.y = 0; // band-local coordinates
+                band.view_rect_mut(rect)
+                    .and_then(|mut window| window.copy_from_image(tile))
+                    .map_err(CoderError::from)?;
+            }
+            Ok(RowBand { y: band_rect.y, image: band })
+        })();
+        Some(result)
+    }
+}
+
+impl Iterator for RowBands<'_> {
+    type Item = Result<RowBand, PipelineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.source {
+            RowBandSource::Legacy(bytes) => {
+                let bytes = bytes.take()?;
+                Some(self.engine.decompress(bytes).map(|image| RowBand { y: 0, image }))
+            }
+            RowBandSource::Tiled { .. } => self.next_tiled_band(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_coder::tiled::TILED_HEADER_BYTES;
+    use lwc_image::{stats, synth};
+
+    #[test]
+    fn multi_tile_roundtrip_is_lossless() {
+        let engine = TiledCompressor::new(3, 32, 3).unwrap();
+        for image in [
+            synth::ct_phantom(100, 60, 12, 1),  // ragged both edges
+            synth::random_image(64, 64, 12, 2), // exact grid
+            synth::mr_slice(33, 97, 12, 3),     // ragged, odd dims
+        ] {
+            let bytes = engine.compress(&image).unwrap();
+            let back = engine.decompress(&bytes).unwrap();
+            assert!(stats::bit_exact(&image, &back).unwrap());
+        }
+    }
+
+    #[test]
+    fn single_tile_grid_is_byte_identical_to_the_legacy_codec() {
+        let engine = TiledCompressor::new(4, 256, 2).unwrap();
+        let image = synth::ct_phantom(96, 64, 12, 7);
+        let tiled = engine.compress(&image).unwrap();
+        let legacy = engine.codec().compress(&image).unwrap();
+        assert_eq!(tiled, legacy);
+        assert!(!is_tiled(&tiled));
+        // And the engine decodes plain legacy streams.
+        let back = engine.decompress(&legacy).unwrap();
+        assert!(stats::bit_exact(&image, &back).unwrap());
+    }
+
+    #[test]
+    fn streams_do_not_depend_on_the_worker_count() {
+        let image = synth::ct_phantom(150, 110, 12, 5);
+        let reference = TiledCompressor::new(3, 48, 1).unwrap().compress(&image).unwrap();
+        for workers in [2, 3, 8] {
+            let engine = TiledCompressor::new(3, 48, workers).unwrap();
+            assert_eq!(engine.compress(&image).unwrap(), reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn row_band_streaming_decode_reassembles_the_image() {
+        let engine = TiledCompressor::new(3, 32, 2).unwrap();
+        let image = synth::mr_slice(100, 83, 12, 9);
+        let bytes = engine.compress(&image).unwrap();
+        let mut rebuilt = Image::zeros(100, 83, 12).unwrap();
+        let mut bands = 0;
+        let mut next_y = 0;
+        for band in engine.decompress_row_bands(&bytes).unwrap() {
+            let band = band.unwrap();
+            assert_eq!(band.y, next_y, "bands arrive top to bottom");
+            assert_eq!(band.image.width(), 100);
+            next_y += band.image.height();
+            let rect = lwc_image::TileRect {
+                x: 0,
+                y: band.y,
+                width: band.image.width(),
+                height: band.image.height(),
+            };
+            rebuilt.view_rect_mut(rect).unwrap().copy_from_image(&band.image).unwrap();
+            bands += 1;
+        }
+        assert_eq!(bands, 83usize.div_ceil(32));
+        assert_eq!(next_y, 83);
+        assert!(stats::bit_exact(&image, &rebuilt).unwrap());
+    }
+
+    #[test]
+    fn legacy_streams_stream_as_one_band() {
+        let engine = TiledCompressor::new(3, 256, 2).unwrap();
+        let image = synth::ct_phantom(64, 64, 12, 0);
+        let bytes = engine.codec().compress(&image).unwrap();
+        let bands: Vec<RowBand> =
+            engine.decompress_row_bands(&bytes).unwrap().map(|b| b.unwrap()).collect();
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].y, 0);
+        assert!(stats::bit_exact(&image, &bands[0].image).unwrap());
+    }
+
+    #[test]
+    fn corrupt_containers_are_rejected() {
+        let engine = TiledCompressor::new(3, 32, 2).unwrap();
+        let image = synth::ct_phantom(100, 60, 12, 4);
+        let bytes = engine.compress(&image).unwrap();
+        // Truncations at every structural boundary.
+        for len in [2, TILED_HEADER_BYTES, bytes.len() / 2, bytes.len() - 1] {
+            assert!(engine.decompress(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+        // A flipped payload byte corrupts exactly one tile.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(engine.decompress(&flipped).is_err());
+        // Mismatched codec depth.
+        let other = TiledCompressor::new(4, 32, 2).unwrap();
+        assert!(other.decompress(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_tile_shapes_are_rejected() {
+        assert!(TiledCompressor::new(3, 0, 1).is_err());
+        let codec = LosslessCodec::new(3).unwrap();
+        assert!(TiledCompressor::with_codec(codec, 1 << 20, 32, 1).is_err());
+        assert!(TiledCompressor::with_codec(codec, 32, 0, 1).is_err());
+    }
+
+    #[test]
+    fn zero_workers_selects_available_parallelism_and_report_counts_tiles() {
+        let engine = TiledCompressor::new(2, 16, 0).unwrap();
+        assert!(engine.workers() >= 1);
+        let image = synth::ct_phantom(48, 48, 12, 2);
+        let (_bytes, report) = engine.compress_with_report(&image).unwrap();
+        assert_eq!(report.tiles, 9);
+        assert!(report.tiles_per_second() > 0.0);
+        assert!(report.ratio() > 0.0);
+    }
+}
