@@ -17,6 +17,25 @@
 use lwc_core::prelude::*;
 use lwc_core::reproduction;
 
+/// Every artifact this binary can regenerate, in the order `all` runs the
+/// paper-facing ones. Unknown subcommands print this list and exit nonzero.
+const ARTIFACTS: &[(&str, &str)] = &[
+    ("table1", "filter banks best suited to image compression"),
+    ("table2", "minimum integer part per scale (exact-match vs the paper)"),
+    ("table3", "hardware cost at lossless word lengths"),
+    ("table4", "input buffer organization (Fig. 4 / Table IV)"),
+    ("table5", "32x32 multiplier design points"),
+    ("table6", "FIFO depth bounds"),
+    ("eq2", "MAC counts and the desktop baseline"),
+    ("fig2", "macrocycle operation schedule"),
+    ("lossless", "fixed-point lossless criterion"),
+    ("conclusions", "simulated architecture + software engines [size]"),
+    ("perfjson", "throughput trajectory -> BENCH_throughput.json [size]"),
+    ("tiled", "tile-parallel engine smoke [size]"),
+    ("serve", "loopback compression service + load generator [connections]"),
+    ("all", "every paper artifact above"),
+];
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
@@ -35,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "conclusions" => conclusions(size)?,
         "perfjson" => perfjson(size)?,
         "tiled" => tiled(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
+        "serve" => serve(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4))?,
         "all" => {
             table1();
             table2();
@@ -48,10 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             conclusions(size)?;
         }
         other => {
-            eprintln!(
-                "unknown artifact {other:?}; use table1..table6, eq2, fig2, lossless, \
-                 conclusions, perfjson, tiled or all"
-            );
+            eprintln!("unknown artifact {other:?}; available artifacts:");
+            for (name, what) in ARTIFACTS {
+                eprintln!("  {name:<12} {what}");
+            }
             std::process::exit(2);
         }
     }
@@ -345,13 +365,85 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
             large_mb / decompress_seconds,
         );
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+
+    // Serving layer: a loopback LWCP server driven by the concurrent load
+    // generator — requests/s and MB/s through real sockets, recorded next to
+    // the in-process engines so the service overhead stays visible.
+    let serve_connections = 4usize;
+    let (serve_report, serve_stats, serve_config) = measure_serve(serve_connections, 8, size)?;
+    json.push_str(&format!(
+        "  \"serve\": {{\"connections\": {serve_connections}, \"workers\": {}, \
+         \"queue_depth\": {}, \"requests\": {}, \"completed\": {}, \"rejected_busy\": {}, \
+         \"requests_per_s\": {:.3}, \"upload_mb_per_s\": {:.3}, \
+         \"download_mb_per_s\": {:.3}}}\n",
+        serve_config.workers,
+        serve_config.queue_depth,
+        serve_report.requests,
+        serve_report.completed,
+        serve_report.rejected_busy,
+        serve_report.requests_per_second(),
+        serve_report.upload_mb_per_second(),
+        serve_report.download_mb_per_second(),
+    ));
+    println!(
+        "serve ({serve_connections} conns, {} workers): {:.1} req/s, {:.1} MB/s up, \
+         {:.1} MB/s down ({} busy)",
+        serve_config.workers,
+        serve_report.requests_per_second(),
+        serve_report.upload_mb_per_second(),
+        serve_report.download_mb_per_second(),
+        serve_stats.rejected_busy,
+    );
+
+    json.push_str("}\n");
     std::fs::write("BENCH_throughput.json", &json)?;
     println!(
-        "wrote BENCH_throughput.json ({} modes + {} tiled sweeps, best of {reps} reps)",
+        "wrote BENCH_throughput.json ({} modes + {} tiled sweeps + serve, best of {reps} reps)",
         modes.len(),
         tile_sizes.len()
     );
+    Ok(())
+}
+
+/// One loopback measurement of the serving layer: a server on an ephemeral
+/// port, `connections` concurrent clients pipelining compress requests for a
+/// deterministic 12-bit phantom.
+fn measure_serve(
+    connections: usize,
+    requests_per_connection: usize,
+    size: usize,
+) -> Result<(LoadReport, ServerStats, ServerConfig), Box<dyn std::error::Error>> {
+    let config = ServerConfig { scales: 4, tile_size: 128, ..ServerConfig::default() };
+    let mut server = Server::bind("127.0.0.1:0", config)?;
+    let image = synth::ct_phantom(size, size, 12, 0xC0DE);
+    let load = LoadGenConfig { connections, requests_per_connection, pipeline_depth: 4 };
+    let report = loadgen::run(server.local_addr(), &load, &image)?;
+    let stats = server.stats();
+    let resolved = *server.config();
+    server.shutdown();
+    Ok((report, stats, resolved))
+}
+
+/// Serving smoke: start a loopback server, drive it with the concurrent
+/// load generator, print throughput and the server's own counters, and fail
+/// loudly if nothing completed. CI runs this on every push.
+fn serve(connections: usize) -> Result<(), Box<dyn std::error::Error>> {
+    heading(&format!("Serving smoke — loopback LWCP service, {connections} connections"));
+    let (report, stats, config) = measure_serve(connections, 16, 256)?;
+    println!(
+        "server: {} workers, queue depth {}, scales {}, tile {}",
+        config.workers, config.queue_depth, config.scales, config.tile_size
+    );
+    println!("load:   {report}");
+    println!("stats:  {stats}");
+    assert!(report.completed > 0, "the load generator must complete requests");
+    assert_eq!(report.failed, 0, "no request may fail outright");
+    assert_eq!(
+        stats.completed_requests, report.completed,
+        "server and client must agree on the completed count"
+    );
+    println!("(the machine-readable serve figures land in BENCH_throughput.json via perfjson)");
     Ok(())
 }
 

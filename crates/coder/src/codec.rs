@@ -67,6 +67,30 @@ impl StreamHeader {
         Ok(Self { width, height, bit_depth, scales })
     }
 
+    /// Checks that a stream of `stream_bytes` total bytes could plausibly
+    /// encode the dimensions this header declares. Every sample costs at
+    /// least one bit in the Rice layout (a `k = 0` zero is the lone
+    /// terminator bit), so a header whose pixel count exceeds the stream's
+    /// bit count is forged or corrupt — and must be rejected **before** any
+    /// buffer is sized from the declared dimensions. A ~30-byte stream
+    /// claiming a (2^20 - 1)^2 image would otherwise drive terabyte-scale
+    /// allocations (a decompression bomb).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoderError::MalformedStream`] if the dimensions cannot fit.
+    pub fn ensure_plausible_length(&self, stream_bytes: usize) -> Result<(), CoderError> {
+        let pixels = self.width as u64 * self.height as u64;
+        if pixels > stream_bytes as u64 * 8 {
+            return Err(CoderError::MalformedStream(format!(
+                "header declares {}x{} pixels but the {stream_bytes}-byte stream cannot encode \
+                 even one bit per sample",
+                self.width, self.height
+            )));
+        }
+        Ok(())
+    }
+
     /// Checks the header's scale count against a codec's configuration.
     ///
     /// # Errors
@@ -324,6 +348,7 @@ impl LosslessCodec {
         let mut reader = BitReader::new(bytes);
         let header = StreamHeader::read(&mut reader)?;
         header.ensure_scales(self.scales())?;
+        header.ensure_plausible_length(bytes.len())?;
         let subbands: Vec<Vec<i32>> = subband_order(self.scales())
             .map(|(scale, band)| {
                 self.subbands.decode_subband(&mut reader, header.band_len(scale, band))
@@ -474,6 +499,36 @@ mod tests {
                 "{what} must be a malformed-stream error"
             );
         }
+    }
+
+    #[test]
+    fn forged_huge_dimensions_are_rejected_before_any_allocation() {
+        // Decompression-bomb regression: a ~30-byte stream whose header
+        // claims a (2^20 - 1)^2 image must come back as a fast typed error —
+        // the declared pixel count exceeds the stream's bit count, and no
+        // buffer may ever be sized from those dimensions.
+        let mut w = BitWriter::new();
+        w.write_bits(u64::from(super::MAGIC), 32);
+        w.write_bits((1 << 20) - 1, 20);
+        w.write_bits((1 << 20) - 1, 20);
+        w.write_bits(12, 5);
+        w.write_bits(3, 4);
+        w.write_bits(0, 64); // a token payload, irrelevant
+        let bytes = w.into_bytes();
+        let codec = LosslessCodec::new(3).unwrap();
+        match codec.decompress(&bytes) {
+            Err(CoderError::MalformedStream(msg)) => {
+                assert!(msg.contains("cannot encode"), "{msg}");
+            }
+            other => panic!("expected MalformedStream, got {other:?}"),
+        }
+        // The plausibility rule never rejects a real stream: every legit
+        // stream carries at least one bit per pixel by construction.
+        let image = synth::ct_phantom(48, 40, 12, 5);
+        let real = codec.compress(&image).unwrap();
+        let header = StreamHeader::read(&mut BitReader::new(&real)).unwrap();
+        header.ensure_plausible_length(real.len()).unwrap();
+        assert_eq!(codec.decompress(&real).unwrap().samples(), image.samples());
     }
 
     #[test]

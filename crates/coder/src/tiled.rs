@@ -259,6 +259,20 @@ impl<'a> TiledStream<'a> {
         // controlled, and tiles_x * tiles_y on a forged header can exceed
         // both memory and usize. Every real container carries tile_count + 1
         // directory entries, so the stream length is a hard ceiling.
+        // Same decompression-bomb guard as the legacy header: every sample
+        // costs at least one payload bit across the per-tile streams, so a
+        // pixel count beyond the stream's bit count is forged — reject it
+        // before the frame buffer is sized from the 32-bit dimensions.
+        let pixels = header.width as u128 * header.height as u128;
+        if pixels > bytes.len() as u128 * 8 {
+            return Err(CoderError::MalformedStream(format!(
+                "header declares {}x{} pixels but the {}-byte container cannot encode even one \
+                 bit per sample",
+                header.width,
+                header.height,
+                bytes.len()
+            )));
+        }
         let claimed = grid.tiles_x() as u128 * grid.tiles_y() as u128;
         let entry_bytes = OFFSET_BITS as usize / 8;
         let available = (bytes.len().saturating_sub(TILED_HEADER_BYTES) / entry_bytes) as u128;
@@ -475,6 +489,31 @@ mod tests {
                 matches!(TiledStream::parse(&bytes), Err(CoderError::MalformedStream(_))),
                 "{width}x{height} forged header"
             );
+        }
+    }
+
+    #[test]
+    fn forged_pixel_counts_beyond_the_stream_bits_are_rejected() {
+        // A structurally valid container (header + consistent directory)
+        // whose 32-bit dimensions declare more pixels than the stream has
+        // bits must be refused before the frame buffer is sized — the
+        // container-level decompression-bomb guard.
+        let header = TiledHeader {
+            width: 1 << 31,
+            height: 16,
+            bit_depth: 12,
+            scales: 3,
+            tile_width: (1 << 20) - 1,
+            tile_height: 16,
+        };
+        let grid = header.grid().unwrap();
+        let payloads = vec![Vec::new(); grid.tile_count()];
+        let bytes = write_container(&header, &payloads).unwrap();
+        match TiledStream::parse(&bytes) {
+            Err(CoderError::MalformedStream(msg)) => {
+                assert!(msg.contains("cannot encode"), "{msg}");
+            }
+            other => panic!("expected MalformedStream, got {other:?}"),
         }
     }
 

@@ -30,6 +30,7 @@
 //! | [`lwc_lifting`] | reversible integer 5/3 transform (baseline) |
 //! | [`lwc_coder`] | Rice-coded lossless image codec |
 //! | [`lwc_pipeline`] | multithreaded batch/streaming compression engine |
+//! | [`lwc_server`] | concurrent TCP compression service (`LWCP` protocol) |
 //!
 //! ```
 //! use lwc_core::prelude::*;
@@ -58,6 +59,7 @@ pub use lwc_image;
 pub use lwc_lifting;
 pub use lwc_perf;
 pub use lwc_pipeline;
+pub use lwc_server;
 pub use lwc_tech;
 pub use lwc_wordlen;
 

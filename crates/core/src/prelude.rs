@@ -31,6 +31,9 @@ pub use lwc_pipeline::{
     BatchCompressor, BatchReport, ParallelCodec, ParallelFixedDwt2d, PipelineError, RowBand,
     SubbandDirectory, TiledCompressor, TiledReport, DEFAULT_TILE_SIZE,
 };
+pub use lwc_server::{
+    loadgen, Client, LoadGenConfig, LoadReport, Server, ServerConfig, ServerError, ServerStats,
+};
 pub use lwc_tech::{MemoryModel, MultiplierDesign, MultiplierModel, Process};
 pub use lwc_wordlen::{integer_bits, WordLengthPlan};
 

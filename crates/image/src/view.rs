@@ -452,6 +452,17 @@ impl TileGrid {
     pub fn rects(&self) -> impl Iterator<Item = TileRect> + '_ {
         (0..self.tile_count()).map(|i| self.rect(i))
     }
+
+    /// Row-major index of the tile containing pixel `(x, y)`, or `None` if
+    /// the pixel lies outside the image — the lookup behind random tile
+    /// access by coordinate (region-of-interest decode).
+    #[must_use]
+    pub fn tile_index_at(&self, x: usize, y: usize) -> Option<usize> {
+        if x >= self.image_width || y >= self.image_height {
+            return None;
+        }
+        Some((y / self.tile_height) * self.tiles_x() + x / self.tile_width)
+    }
 }
 
 fn check_raw_geometry(

@@ -54,6 +54,7 @@ impl SubbandDirectory {
         let mut reader = BitReader::new(bytes);
         let header = StreamHeader::read(&mut reader)?;
         header.ensure_scales(codec.scales())?;
+        header.ensure_plausible_length(bytes.len())?;
         let subbands = codec.subband_codec();
         let mut offsets = Vec::with_capacity(3 * header.scales as usize + 1);
         for (scale, band) in subband_order(header.scales) {
@@ -205,6 +206,7 @@ impl ParallelCodec {
     ) -> Result<Image, PipelineError> {
         let header = directory.header;
         header.ensure_scales(self.codec.scales())?;
+        header.ensure_plausible_length(bytes.len())?;
         // The directory is side information: make sure it actually describes
         // this stream before decoding at its offsets.
         let stream_header = StreamHeader::read(&mut BitReader::new(bytes))?;

@@ -21,9 +21,10 @@
 use crate::parcodec::run_indexed;
 use crate::report::TiledReport;
 use crate::{ParallelCodec, PipelineError};
+use lwc_coder::bitio::BitReader;
 use lwc_coder::tiled::{is_tiled, write_container, TiledHeader, TiledStream};
-use lwc_coder::{CoderError, LosslessCodec};
-use lwc_image::{Image, TileGrid};
+use lwc_coder::{CoderError, LosslessCodec, StreamHeader};
+use lwc_image::{Image, TileGrid, TileRect};
 use std::thread;
 use std::time::Instant;
 
@@ -231,6 +232,95 @@ impl TiledCompressor {
             index += count;
         }
         Ok(frame)
+    }
+
+    /// Random tile access: decodes exactly one tile (row-major `index`) of a
+    /// tiled container without touching any other tile — the directory's
+    /// 48-bit byte offsets make this a slice-and-decode, not a scan. A
+    /// legacy single-image stream counts as one tile (index 0 yields the
+    /// whole image), so callers can treat every stream uniformly.
+    ///
+    /// This is the code path behind the server's `decompress-tile` op and
+    /// the natural seed for region-of-interest decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams, mismatched configuration, or
+    /// an `index` outside the container's tile grid.
+    pub fn decompress_tile(&self, bytes: &[u8], index: usize) -> Result<Image, PipelineError> {
+        if !is_tiled(bytes) {
+            if index != 0 {
+                return Err(CoderError::MalformedStream(format!(
+                    "tile index {index} out of range: a legacy stream is a single tile"
+                ))
+                .into());
+            }
+            return ParallelCodec::with_codec(self.codec, self.workers).decompress(bytes);
+        }
+        self.decompress_parsed_tile(&TiledStream::parse(bytes)?, index)
+    }
+
+    /// [`TiledCompressor::decompress_tile`] over an already-parsed container
+    /// — the path for callers that hold a [`TiledStream`] (e.g. a server
+    /// that parsed it once to learn the tile count) and must not pay for a
+    /// second directory parse per tile.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledCompressor::decompress_tile`].
+    pub fn decompress_parsed_tile(
+        &self,
+        stream: &TiledStream<'_>,
+        index: usize,
+    ) -> Result<Image, PipelineError> {
+        self.ensure_scales(stream.header())?;
+        let grid = stream.grid()?;
+        if index >= grid.tile_count() {
+            return Err(CoderError::MalformedStream(format!(
+                "tile index {index} out of range: the container has {} tiles",
+                grid.tile_count()
+            ))
+            .into());
+        }
+        let mut tiles = self.decode_tiles(stream, &grid, index, 1)?;
+        Ok(tiles.pop().expect("decode_tiles returns exactly one tile"))
+    }
+
+    /// Random tile access by coordinate: decodes the tile containing pixel
+    /// `(x, y)`, returning the tile's rectangle in image coordinates along
+    /// with its pixels (via [`TileGrid::tile_index_at`]). For a legacy
+    /// stream the whole image is the one tile.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledCompressor::decompress_tile`]; additionally errors if
+    /// `(x, y)` lies outside the image.
+    pub fn decompress_tile_at(
+        &self,
+        bytes: &[u8],
+        x: usize,
+        y: usize,
+    ) -> Result<(TileRect, Image), PipelineError> {
+        let locate = |grid: &TileGrid| {
+            grid.tile_index_at(x, y).ok_or_else(|| {
+                CoderError::MalformedStream(format!(
+                    "pixel ({x}, {y}) lies outside the {}x{} image",
+                    grid.image_width(),
+                    grid.image_height()
+                ))
+            })
+        };
+        if is_tiled(bytes) {
+            let stream = TiledStream::parse(bytes)?;
+            let grid = stream.grid()?;
+            let index = locate(&grid)?;
+            Ok((grid.rect(index), self.decompress_parsed_tile(&stream, index)?))
+        } else {
+            let header = StreamHeader::read(&mut BitReader::new(bytes))?;
+            let grid = TileGrid::single(header.width, header.height).map_err(CoderError::from)?;
+            let index = locate(&grid)?;
+            Ok((grid.rect(index), self.decompress_tile(bytes, index)?))
+        }
     }
 
     /// Streaming decode: yields the image one tile-row **band** at a time
@@ -452,6 +542,66 @@ mod tests {
         assert_eq!(bands.len(), 1);
         assert_eq!(bands[0].y, 0);
         assert!(stats::bit_exact(&image, &bands[0].image).unwrap());
+    }
+
+    #[test]
+    fn single_tiles_decode_independently_and_match_their_crops() {
+        let engine = TiledCompressor::new(3, 32, 2).unwrap();
+        let image = synth::ct_phantom(100, 60, 12, 6);
+        let bytes = engine.compress(&image).unwrap();
+        let grid = engine.grid(100, 60).unwrap();
+        for index in 0..grid.tile_count() {
+            let tile = engine.decompress_tile(&bytes, index).unwrap();
+            let expected = image.crop(grid.rect(index)).unwrap();
+            assert!(stats::bit_exact(&expected, &tile).unwrap(), "tile {index}");
+        }
+        // Out-of-range indices are typed errors, not panics.
+        assert!(engine.decompress_tile(&bytes, grid.tile_count()).is_err());
+        // By-coordinate lookup agrees with the row-major index.
+        let (rect, tile) = engine.decompress_tile_at(&bytes, 99, 59).unwrap();
+        assert_eq!(rect, grid.rect(grid.tile_count() - 1));
+        assert!(stats::bit_exact(&image.crop(rect).unwrap(), &tile).unwrap());
+        assert!(engine.decompress_tile_at(&bytes, 100, 0).is_err(), "x out of bounds");
+    }
+
+    #[test]
+    fn legacy_streams_are_a_single_tile() {
+        let engine = TiledCompressor::new(3, 256, 2).unwrap();
+        let image = synth::mr_slice(64, 48, 12, 8);
+        let legacy = engine.codec().compress(&image).unwrap();
+        let tile = engine.decompress_tile(&legacy, 0).unwrap();
+        assert!(stats::bit_exact(&image, &tile).unwrap());
+        assert!(engine.decompress_tile(&legacy, 1).is_err());
+        let (rect, whole) = engine.decompress_tile_at(&legacy, 63, 47).unwrap();
+        assert_eq!((rect.width, rect.height), (64, 48));
+        assert!(stats::bit_exact(&image, &whole).unwrap());
+    }
+
+    #[test]
+    fn sniffing_short_buffers_returns_typed_errors() {
+        // Regression: every 0..8-byte prefix of both container formats (and
+        // raw garbage) must surface as Err from the magic-sniffing entry
+        // points, never a panic or slice failure.
+        let engine = TiledCompressor::new(3, 32, 2).unwrap();
+        let image = synth::ct_phantom(70, 50, 12, 2);
+        let tiled = engine.compress(&image).unwrap();
+        let legacy = engine.codec().compress(&image).unwrap();
+        for stream in [&tiled, &legacy, &vec![0xA5u8; 8]] {
+            for len in 0..=8.min(stream.len()) {
+                let prefix = &stream[..len];
+                assert!(engine.decompress(prefix).is_err(), "decompress, prefix {len}");
+                assert!(engine.decompress_tile(prefix, 0).is_err(), "tile, prefix {len}");
+                assert!(engine.decompress_tile_at(prefix, 0, 0).is_err(), "at, prefix {len}");
+                // The row-band iterator may defer the failure to the first
+                // item (legacy sniff) — either way it must be an Err.
+                match engine.decompress_row_bands(prefix) {
+                    Err(_) => {}
+                    Ok(mut bands) => {
+                        assert!(matches!(bands.next(), Some(Err(_))), "bands, prefix {len}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! The `serve` binary: put the `LWCP` compression service on a TCP port.
+//!
+//! ```text
+//! cargo run --release -p lwc-server --bin serve -- [flags]
+//!
+//!   --addr HOST:PORT    listen address           (default 127.0.0.1:7453)
+//!   --workers N         codec worker threads     (default 0 = all cores)
+//!   --queue N           request queue depth      (default 0 = 4 x workers)
+//!   --scales N          compress decomposition   (default 4)
+//!   --tile N            compress tile size       (default 256)
+//!   --max-frame-mb N    per-frame payload limit  (default 64)
+//!   --duration SECS     serve then exit          (default 0 = forever)
+//! ```
+
+use lwc_server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--scales N] [--tile N] \
+         [--max-frame-mb N] [--duration SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:7453".to_owned();
+    let mut config = ServerConfig::default();
+    let mut duration = 0u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => config.workers = value("--workers").parse()?,
+            "--queue" => config.queue_depth = value("--queue").parse()?,
+            "--scales" => config.scales = value("--scales").parse()?,
+            "--tile" => config.tile_size = value("--tile").parse()?,
+            "--max-frame-mb" => {
+                config.max_payload_bytes = value("--max-frame-mb").parse::<usize>()? << 20;
+            }
+            "--duration" => duration = value("--duration").parse()?,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let mut server = Server::bind(addr.as_str(), config)?;
+    let resolved = *server.config();
+    println!(
+        "lwc-server listening on {} ({} workers, queue depth {}, scales {}, tile {}, \
+         max frame {} MiB)",
+        server.local_addr(),
+        resolved.workers,
+        resolved.queue_depth,
+        resolved.scales,
+        resolved.tile_size,
+        resolved.max_payload_bytes >> 20
+    );
+    if duration == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(duration));
+    let stats = server.stats();
+    server.shutdown();
+    println!("served for {duration} s: {stats}");
+    Ok(())
+}

@@ -1,0 +1,260 @@
+//! Synchronous client for the `LWCP` compression service.
+//!
+//! [`Client`] offers two shapes of interaction over one connection:
+//!
+//! * **request/response** — [`Client::compress`], [`Client::decompress`],
+//!   [`Client::decompress_tile`], [`Client::stats`]: one frame out, one
+//!   frame back.
+//! * **pipelined** — [`Client::submit`] any number of requests without
+//!   waiting, then [`Client::receive`] the responses as the workers finish
+//!   them (possibly out of order; the request id correlates), or use
+//!   [`Client::pipeline`] to submit a batch and get the results back in
+//!   request order. Pipelining is what keeps every server worker busy from a
+//!   single connection — the wire analogue of the paper's FIFO-coupled
+//!   stages, where the next row enters the pipeline before the previous one
+//!   has left.
+
+use crate::error::ServerError;
+use crate::frame::{into_frame, read_frame, write_frame};
+use crate::protocol::{ErrorCode, Frame, Op, DEFAULT_MAX_PAYLOAD_BYTES};
+use lwc_image::{pgm, Image};
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How many consecutive read-timeout quanta [`Client::receive`] waits for a
+/// response before giving up (with the default 100 ms read timeout this is a
+/// 10-minute ceiling — compression of a large frame is slow work, not a hang).
+const RESPONSE_PATIENCE_POLLS: u32 = 6000;
+
+/// Maximum outstanding requests [`Client::pipeline`] keeps in flight: enough
+/// lookahead to saturate a worker pool (compare the server's default queue
+/// of `4 x workers`), small enough that responses are drained long before
+/// either side's socket buffers fill.
+pub const PIPELINE_WINDOW: usize = 32;
+
+/// A connection to a running [`Server`](crate::Server).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_payload: usize,
+}
+
+/// One response received over a pipelined connection.
+#[derive(Debug)]
+pub struct Response {
+    /// Id of the request this answers.
+    pub request_id: u64,
+    /// The request's payload on success, or the typed failure: a
+    /// [`ServerError::Remote`] for an error frame, never a transport error.
+    pub result: Result<Vec<u8>, ServerError>,
+}
+
+impl Client {
+    /// Connects with default timeouts (100 ms read quantum, 10 s write) and
+    /// the default 64 MiB frame limit — the same ceiling the server applies
+    /// in both directions, so a response the server agrees to send is always
+    /// readable here. Talking to a server running with a raised
+    /// `--max-frame-mb`, pass the matching limit via
+    /// [`Client::connect_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServerError> {
+        Self::connect_with(
+            addr,
+            Duration::from_millis(100),
+            Duration::from_secs(10),
+            DEFAULT_MAX_PAYLOAD_BYTES,
+        )
+    }
+
+    /// Connects with explicit socket timeouts and response-payload limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection cannot be established or the
+    /// timeouts are rejected by the platform.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        read_timeout: Duration,
+        write_timeout: Duration,
+        max_payload: usize,
+    ) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
+        Ok(Self { stream, next_id: 1, max_payload })
+    }
+
+    /// Sends one request frame without waiting for the response; returns the
+    /// request id to correlate the response with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Config`] if `op` is not a request op, or an
+    /// I/O error if the write fails.
+    pub fn submit(&mut self, op: Op, payload: Vec<u8>) -> Result<u64, ServerError> {
+        if !op.is_request() {
+            return Err(ServerError::Config(format!("{op:?} is not a request op")));
+        }
+        let request_id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &Frame { op, request_id, payload })?;
+        Ok(request_id)
+    }
+
+    /// Receives the next response frame, in server completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport-level error if the connection fails or the frame
+    /// is malformed. A server-side failure is **not** an `Err` here — it
+    /// comes back inside [`Response::result`] so pipelined callers can keep
+    /// receiving.
+    pub fn receive(&mut self) -> Result<Response, ServerError> {
+        let (header, payload) =
+            read_frame(&mut self.stream, self.max_payload, RESPONSE_PATIENCE_POLLS)?;
+        let frame = into_frame(header, payload)?;
+        if frame.op.is_request() {
+            return Err(ServerError::Protocol {
+                code: ErrorCode::MalformedFrame,
+                message: format!("peer sent a request op {:?} on the response path", frame.op),
+            });
+        }
+        let request_id = frame.request_id;
+        let result = match frame.error_info() {
+            Some((code, message)) => Err(ServerError::Remote { code, message }),
+            None => Ok(frame.payload),
+        };
+        Ok(Response { request_id, result })
+    }
+
+    /// One full request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations **and** server error frames
+    /// all surface as `Err` (the latter as [`ServerError::Remote`]).
+    pub fn request(&mut self, op: Op, payload: Vec<u8>) -> Result<Vec<u8>, ServerError> {
+        let id = self.submit(op, payload)?;
+        let response = self.receive()?;
+        if response.request_id != id {
+            return Err(ServerError::Protocol {
+                code: ErrorCode::MalformedFrame,
+                message: format!(
+                    "response correlates to request {} but {id} is the only one outstanding",
+                    response.request_id
+                ),
+            });
+        }
+        response.result
+    }
+
+    /// Submits a batch of requests down the connection with a bounded
+    /// sliding window of [`PIPELINE_WINDOW`] outstanding frames, then
+    /// collects every response; results come back in **request order**
+    /// regardless of the order the workers finished in.
+    ///
+    /// The window matters: submitting an unbounded batch without reading
+    /// anything back would let completed responses fill this side's receive
+    /// buffer until the server's writes time out and the remaining
+    /// responses are lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` only for transport/protocol failures; per-request
+    /// server errors land in the corresponding result slot.
+    #[allow(clippy::type_complexity)]
+    pub fn pipeline(
+        &mut self,
+        requests: Vec<(Op, Vec<u8>)>,
+    ) -> Result<Vec<Result<Vec<u8>, ServerError>>, ServerError> {
+        let count = requests.len();
+        let mut slot_of = HashMap::with_capacity(PIPELINE_WINDOW);
+        let mut results: Vec<Option<Result<Vec<u8>, ServerError>>> =
+            (0..count).map(|_| None).collect();
+        let mut pending = requests.into_iter().enumerate();
+        let mut outstanding = 0usize;
+        loop {
+            while outstanding < PIPELINE_WINDOW {
+                let Some((slot, (op, payload))) = pending.next() else { break };
+                let id = self.submit(op, payload)?;
+                slot_of.insert(id, slot);
+                outstanding += 1;
+            }
+            if outstanding == 0 {
+                break;
+            }
+            let response = self.receive()?;
+            outstanding -= 1;
+            let slot =
+                slot_of.remove(&response.request_id).ok_or_else(|| ServerError::Protocol {
+                    code: ErrorCode::MalformedFrame,
+                    message: format!("response for unknown request id {}", response.request_id),
+                })?;
+            results[slot] = Some(response.result);
+        }
+        Ok(results.into_iter().map(|r| r.expect("every slot answered")).collect())
+    }
+
+    /// Compresses raw binary PGM bytes; returns the `LWC1`/`LWCT` stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compress(&mut self, pgm_bytes: &[u8]) -> Result<Vec<u8>, ServerError> {
+        self.request(Op::Compress, pgm_bytes.to_vec())
+    }
+
+    /// Compresses an in-memory [`Image`] (serialized as PGM on the wire).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compress_image(&mut self, image: &Image) -> Result<Vec<u8>, ServerError> {
+        let mut payload = Vec::with_capacity(image.pixel_count() * 2 + 64);
+        pgm::write_pgm(image, &mut payload)?;
+        self.request(Op::Compress, payload)
+    }
+
+    /// Decompresses an `LWC1`/`LWCT` stream into an [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; additionally fails if the returned PGM does
+    /// not parse.
+    pub fn decompress(&mut self, stream: &[u8]) -> Result<Image, ServerError> {
+        let payload = self.request(Op::Decompress, stream.to_vec())?;
+        Ok(pgm::read_pgm(payload.as_slice())?)
+    }
+
+    /// Decompresses one tile (row-major `index`) of an `LWCT` stream — or
+    /// tile 0 of a legacy stream, which is the whole image.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; an out-of-range index comes back as
+    /// [`ServerError::Remote`] with
+    /// [`ErrorCode::TileIndexOutOfRange`].
+    pub fn decompress_tile(&mut self, stream: &[u8], index: u32) -> Result<Image, ServerError> {
+        let mut payload = Vec::with_capacity(4 + stream.len());
+        payload.extend_from_slice(&index.to_be_bytes());
+        payload.extend_from_slice(stream);
+        let response = self.request(Op::DecompressTile, payload)?;
+        Ok(pgm::read_pgm(response.as_slice())?)
+    }
+
+    /// Fetches the server's counters as a JSON string (see `ServerStats`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn stats(&mut self) -> Result<String, ServerError> {
+        let payload = self.request(Op::Stats, Vec::new())?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type of the compression service.
+
+use crate::protocol::ErrorCode;
+use lwc_coder::CoderError;
+use lwc_image::ImageError;
+use lwc_pipeline::PipelineError;
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the server, the client library and the load generator.
+#[derive(Debug)]
+pub enum ServerError {
+    /// A socket or stream operation failed (includes timeouts).
+    Io(io::Error),
+    /// A frame received from the peer violated the `LWCP` protocol.
+    Protocol {
+        /// Typed classification of the violation.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The peer answered with an [`Op::Error`](crate::Op::Error) frame.
+    Remote {
+        /// Typed error code carried by the frame.
+        code: ErrorCode,
+        /// Message carried by the frame.
+        message: String,
+    },
+    /// The underlying compression machinery failed.
+    Pipeline(PipelineError),
+    /// An image payload could not be parsed or serialized.
+    Image(ImageError),
+    /// The server or client was misconfigured.
+    Config(String),
+}
+
+impl ServerError {
+    /// `true` if this is an I/O error representing a clean end of stream —
+    /// the peer hung up between frames, which is how connections end.
+    #[must_use]
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, Self::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+
+    /// `true` if this is a [`ServerError::Remote`] busy rejection — the
+    /// server's bounded queue was full and the request should be retried.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Self::Remote { code: ErrorCode::Busy, .. })
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Protocol { code, message } => write!(f, "protocol violation ({code}): {message}"),
+            Self::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+            Self::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            Self::Image(e) => write!(f, "image error: {e}"),
+            Self::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Pipeline(e) => Some(e),
+            Self::Image(e) => Some(e),
+            Self::Protocol { .. } | Self::Remote { .. } | Self::Config(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<PipelineError> for ServerError {
+    fn from(e: PipelineError) -> Self {
+        Self::Pipeline(e)
+    }
+}
+
+impl From<CoderError> for ServerError {
+    fn from(e: CoderError) -> Self {
+        Self::Pipeline(PipelineError::from(e))
+    }
+}
+
+impl From<ImageError> for ServerError {
+    fn from(e: ImageError) -> Self {
+        Self::Image(e)
+    }
+}

@@ -1,0 +1,225 @@
+//! Blocking frame I/O over byte streams.
+//!
+//! The server reads with a short socket timeout so it can poll its shutdown
+//! flag between frames; [`read_frame_idle`] distinguishes "no frame started
+//! yet" (a normal idle tick, [`ReadOutcome::Idle`]) from a timeout *inside*
+//! a frame (a protocol error — a peer that starts a frame must finish it
+//! within the patience window, or it is holding a connection slot hostage).
+
+use crate::error::ServerError;
+use crate::protocol::{parse_header, ErrorCode, Frame, FrameHeader, FRAME_HEADER_BYTES};
+use std::io::{ErrorKind, Read, Write};
+
+/// `true` for the error kinds a timed-out socket read surfaces.
+fn is_timeout(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Serializes `frame` to `writer` and flushes: the fixed header goes out
+/// from a stack buffer and the payload is written in place — no per-frame
+/// allocation or payload copy on the hot path.
+///
+/// # Errors
+///
+/// Returns [`ServerError::Io`] if the write fails (including a write
+/// timeout, if one is set on the stream).
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> Result<(), ServerError> {
+    writer.write_all(&frame.header_bytes())?;
+    writer.write_all(&frame.payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Fills `buf` from `reader`, tolerating up to `max_idle_polls` consecutive
+/// timed-out reads (each one costs the stream's read timeout of wall clock).
+///
+/// # Errors
+///
+/// * [`ServerError::Io`] with kind `UnexpectedEof` if the stream ends first.
+/// * [`ServerError::Io`] with the timeout kind once the patience runs out.
+fn read_full<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    max_idle_polls: u32,
+) -> Result<(), ServerError> {
+    let mut filled = 0usize;
+    let mut idle_polls = 0u32;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ServerError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    format!("stream ended after {filled} of {} frame bytes", buf.len()),
+                )))
+            }
+            Ok(n) => {
+                filled += n;
+                idle_polls = 0;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(e.kind()) => {
+                idle_polls += 1;
+                if idle_polls > max_idle_polls {
+                    return Err(ServerError::Io(e));
+                }
+            }
+            Err(e) => return Err(ServerError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one complete frame, header then payload, with the payload length
+/// validated against `max_payload` before the payload buffer is allocated.
+///
+/// Socket timeouts are retried up to `max_idle_polls` times at every
+/// position, so this blocks until a frame arrives or the patience window
+/// (`max_idle_polls` x the stream's read timeout) elapses.
+///
+/// # Errors
+///
+/// * [`ServerError::Io`] on stream failure, timeout or mid-frame EOF.
+/// * [`ServerError::Protocol`] for header violations (see
+///   [`parse_header`]).
+pub fn read_frame<R: Read>(
+    reader: &mut R,
+    max_payload: usize,
+    max_idle_polls: u32,
+) -> Result<(FrameHeader, Vec<u8>), ServerError> {
+    let mut header_bytes = [0u8; FRAME_HEADER_BYTES];
+    read_full(reader, &mut header_bytes, max_idle_polls)?;
+    let header = parse_header(&header_bytes)?;
+    header.ensure_within(max_payload)?;
+    let mut payload = vec![0u8; header.payload_len];
+    read_full(reader, &mut payload, max_idle_polls)?;
+    Ok((header, payload))
+}
+
+/// What one patient read attempt on an idle-capable connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// No frame byte arrived within one read-timeout quantum — poll your
+    /// shutdown flag and call again.
+    Idle,
+    /// One complete frame (header validated, payload within the limit).
+    Frame(FrameHeader, Vec<u8>),
+    /// A syntactically valid header declaring a payload beyond the limit.
+    /// The payload was **not** read (the frame boundary is lost), but the
+    /// header's request id lets the caller address its error reply before
+    /// closing.
+    Oversized(FrameHeader),
+}
+
+/// Like [`read_frame`], but an idle connection is not an error
+/// ([`ReadOutcome::Idle`]), and an oversized declaration hands back the
+/// parsed header ([`ReadOutcome::Oversized`]) so the caller can reply with
+/// the request id. Once the first byte of a header is in, the frame must
+/// complete within the patience window.
+///
+/// # Errors
+///
+/// See [`read_frame`]; a clean EOF before any frame byte surfaces as an
+/// `UnexpectedEof` I/O error ([`ServerError::is_disconnect`]).
+pub fn read_frame_idle<R: Read>(
+    reader: &mut R,
+    max_payload: usize,
+    max_idle_polls: u32,
+) -> Result<ReadOutcome, ServerError> {
+    let mut first = [0u8; 1];
+    loop {
+        match reader.read(&mut first) {
+            Ok(0) => {
+                return Err(ServerError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "peer closed the connection",
+                )))
+            }
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(e.kind()) => return Ok(ReadOutcome::Idle),
+            Err(e) => return Err(ServerError::Io(e)),
+        }
+    }
+    let mut header_bytes = [0u8; FRAME_HEADER_BYTES];
+    header_bytes[0] = first[0];
+    read_full(reader, &mut header_bytes[1..], max_idle_polls)?;
+    let header = parse_header(&header_bytes)?;
+    if header.ensure_within(max_payload).is_err() {
+        return Ok(ReadOutcome::Oversized(header));
+    }
+    let mut payload = vec![0u8; header.payload_len];
+    read_full(reader, &mut payload, max_idle_polls)?;
+    Ok(ReadOutcome::Frame(header, payload))
+}
+
+/// Converts a validated `(header, payload)` pair into a [`Frame`], rejecting
+/// unknown op codes.
+///
+/// # Errors
+///
+/// Returns [`ServerError::Protocol`] with [`ErrorCode::UnknownOp`] if the
+/// op byte is not one this build speaks.
+pub fn into_frame(header: FrameHeader, payload: Vec<u8>) -> Result<Frame, ServerError> {
+    let op =
+        crate::protocol::Op::from_code(header.op_code).ok_or_else(|| ServerError::Protocol {
+            code: ErrorCode::UnknownOp,
+            message: format!("unknown op code 0x{:02X}", header.op_code),
+        })?;
+    Ok(Frame { op, request_id: header.request_id, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Op;
+
+    #[test]
+    fn frames_roundtrip_through_a_byte_stream() {
+        let frames = [
+            Frame { op: Op::Compress, request_id: 1, payload: vec![9; 100] },
+            Frame { op: Op::Stats, request_id: 2, payload: vec![] },
+            Frame::error(3, ErrorCode::Busy, "later"),
+        ];
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame).unwrap();
+        }
+        let mut cursor = wire.as_slice();
+        for frame in &frames {
+            let (header, payload) = read_frame(&mut cursor, 1 << 20, 0).unwrap();
+            assert_eq!(into_frame(header, payload).unwrap(), *frame);
+        }
+        // The stream is exactly consumed; one more read is a clean EOF.
+        let err = read_frame(&mut cursor, 1 << 20, 0).unwrap_err();
+        assert!(err.is_disconnect(), "{err}");
+    }
+
+    #[test]
+    fn truncated_frames_are_mid_frame_eof() {
+        let bytes = Frame { op: Op::Compress, request_id: 1, payload: vec![7; 32] }.encode();
+        for len in [1, FRAME_HEADER_BYTES - 1, FRAME_HEADER_BYTES + 5] {
+            let mut cursor = &bytes[..len];
+            let err = read_frame(&mut cursor, 1 << 20, 0).unwrap_err();
+            assert!(matches!(err, ServerError::Io(_)), "prefix of {len} bytes: {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_payloads_fail_before_the_payload_reads() {
+        let bytes = Frame { op: Op::Compress, request_id: 1, payload: vec![7; 64] }.encode();
+        // Limit below the declared length: the strict reader must bail.
+        let mut cursor = bytes.as_slice();
+        let err = read_frame(&mut cursor, 16, 0).unwrap_err();
+        assert!(matches!(err, ServerError::Protocol { code: ErrorCode::FrameTooLarge, .. }));
+        // The idle-capable reader instead surfaces the header, so the server
+        // can address its FrameTooLarge reply to the real request id.
+        let mut cursor = bytes.as_slice();
+        match read_frame_idle(&mut cursor, 16, 0).unwrap() {
+            ReadOutcome::Oversized(header) => {
+                assert_eq!(header.request_id, 1);
+                assert_eq!(header.payload_len, 64);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # lwc-server — the compression service
+//!
+//! The paper's architecture is a streaming producer/consumer pipeline:
+//! stages coupled by bounded FIFOs, each sized so the datapath never stalls
+//! and never buffers more than a few rows. This crate is that organisation
+//! lifted to the network boundary — the serving layer the ROADMAP's
+//! "millions of users" north star calls for, layered on the engines the
+//! workspace already has:
+//!
+//! * [`protocol`] — the versioned, length-prefixed `LWCP` wire format
+//!   ([`Frame`], [`Op`], typed [`ErrorCode`]s), with payload limits enforced
+//!   *before* allocation,
+//! * [`frame`] — blocking frame I/O with idle/mid-frame timeout discipline,
+//! * [`Server`] — a TCP acceptor feeding a **bounded** request queue drained
+//!   by a pool of codec workers over the
+//!   [`TiledCompressor`](lwc_pipeline::TiledCompressor) machinery; a full
+//!   queue answers `busy` instead of buffering without bound (explicit
+//!   backpressure, the FIFO-sizing trade-off made observable),
+//! * [`Client`] — synchronous request/response plus pipelined multi-request
+//!   submission over one connection,
+//! * [`loadgen`] — a concurrent load generator measuring requests/s and
+//!   MB/s against a live server (the data behind `BENCH_throughput.json`'s
+//!   `serve` section),
+//! * the `serve` binary — `cargo run -p lwc-server --bin serve` — which puts
+//!   the service on a real port.
+//!
+//! ```
+//! use lwc_image::synth;
+//! use lwc_server::{Client, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), lwc_server::ServerError> {
+//! let config = ServerConfig { workers: 2, scales: 3, tile_size: 64, ..ServerConfig::default() };
+//! let server = Server::bind("127.0.0.1:0", config)?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let image = synth::mr_slice(80, 60, 12, 5);
+//! let stream = client.compress_image(&image)?;
+//! let back = client.decompress(&stream)?;
+//! assert_eq!(image.samples(), back.samples());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod frame;
+pub mod loadgen;
+pub mod protocol;
+mod queue;
+mod server;
+
+pub use client::{Client, Response, PIPELINE_WINDOW};
+pub use error::ServerError;
+pub use loadgen::{LoadGenConfig, LoadReport};
+pub use protocol::{ErrorCode, Frame, Op, DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION};
+pub use queue::ServerStats;
+pub use server::{Server, ServerConfig};

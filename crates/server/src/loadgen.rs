@@ -1,0 +1,226 @@
+//! Concurrent load generator for the compression service.
+//!
+//! Drives `connections` parallel clients against a server, each issuing
+//! `requests_per_connection` compress requests with a bounded pipeline of
+//! `pipeline_depth` outstanding frames, and aggregates throughput. Busy
+//! rejections (the server's bounded queue pushing back) are counted
+//! separately from completions, so the queue-depth-versus-worker-count trade
+//! is *measured*, not guessed — the same trade the paper works through when
+//! sizing its inter-stage FIFOs.
+
+use crate::client::Client;
+use crate::error::ServerError;
+use crate::protocol::{Op, FRAME_HEADER_BYTES};
+use lwc_image::{pgm, Image};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Shape of one load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Compress requests each connection issues.
+    pub requests_per_connection: usize,
+    /// Outstanding (pipelined) requests per connection.
+    pub pipeline_depth: usize,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self { connections: 4, requests_per_connection: 16, pipeline_depth: 4 }
+    }
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Requests submitted across all connections.
+    pub requests: u64,
+    /// Requests answered with a success frame.
+    pub completed: u64,
+    /// Requests rejected with `busy` (queue backpressure).
+    pub rejected_busy: u64,
+    /// Requests answered with any other error frame.
+    pub failed: u64,
+    /// Request bytes written (frames + payloads).
+    pub bytes_up: u64,
+    /// Response payload bytes received from successful requests.
+    pub bytes_down: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Completed requests per second of wall clock.
+    #[must_use]
+    pub fn requests_per_second(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Uploaded megabytes per second (raw PGM payload direction).
+    #[must_use]
+    pub fn upload_mb_per_second(&self) -> f64 {
+        self.bytes_up as f64 / 1e6 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Downloaded megabytes per second (compressed stream direction).
+    #[must_use]
+    pub fn download_mb_per_second(&self) -> f64 {
+        self.bytes_down as f64 / 1e6 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} conns, {}/{} ok ({} busy, {} failed) in {:.3} s: {:.1} req/s, \
+             {:.1} MB/s up, {:.1} MB/s down",
+            self.connections,
+            self.completed,
+            self.requests,
+            self.rejected_busy,
+            self.failed,
+            self.wall.as_secs_f64(),
+            self.requests_per_second(),
+            self.upload_mb_per_second(),
+            self.download_mb_per_second()
+        )
+    }
+}
+
+struct ConnectionTally {
+    completed: u64,
+    rejected_busy: u64,
+    failed: u64,
+    bytes_up: u64,
+    bytes_down: u64,
+}
+
+/// Drives one connection with a sliding window of pipelined requests.
+fn drive_connection(
+    addr: SocketAddr,
+    pgm_payload: &[u8],
+    requests: usize,
+    depth: usize,
+) -> Result<ConnectionTally, ServerError> {
+    let mut client = Client::connect(addr)?;
+    let frame_bytes = (FRAME_HEADER_BYTES + pgm_payload.len()) as u64;
+    let mut tally =
+        ConnectionTally { completed: 0, rejected_busy: 0, failed: 0, bytes_up: 0, bytes_down: 0 };
+    let mut submitted = 0usize;
+    let mut outstanding = 0usize;
+    while submitted < requests || outstanding > 0 {
+        while outstanding < depth && submitted < requests {
+            client.submit(Op::Compress, pgm_payload.to_vec())?;
+            tally.bytes_up += frame_bytes;
+            submitted += 1;
+            outstanding += 1;
+        }
+        let response = client.receive()?;
+        outstanding -= 1;
+        match response.result {
+            Ok(stream) => {
+                tally.completed += 1;
+                tally.bytes_down += stream.len() as u64;
+            }
+            Err(e) if e.is_busy() => tally.rejected_busy += 1,
+            Err(_) => tally.failed += 1,
+        }
+    }
+    Ok(tally)
+}
+
+/// Runs the load generator against a server at `addr`, compressing `image`
+/// over and over from every connection.
+///
+/// # Errors
+///
+/// Returns the first transport-level failure, if any (per-request server
+/// errors are tallied in the report instead).
+pub fn run(
+    addr: SocketAddr,
+    config: &LoadGenConfig,
+    image: &Image,
+) -> Result<LoadReport, ServerError> {
+    if config.connections == 0 || config.requests_per_connection == 0 {
+        return Err(ServerError::Config(
+            "load generation needs at least one connection and one request".to_owned(),
+        ));
+    }
+    let depth = config.pipeline_depth.max(1);
+    let mut payload = Vec::with_capacity(image.pixel_count() * 2 + 64);
+    pgm::write_pgm(image, &mut payload)?;
+    let payload = Arc::new(payload);
+
+    let start = Instant::now();
+    let tallies: Vec<Result<ConnectionTally, ServerError>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|_| {
+                let payload = Arc::clone(&payload);
+                scope.spawn(move || {
+                    drive_connection(addr, &payload, config.requests_per_connection, depth)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen thread panicked")).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut report = LoadReport {
+        connections: config.connections,
+        requests: (config.connections * config.requests_per_connection) as u64,
+        completed: 0,
+        rejected_busy: 0,
+        failed: 0,
+        bytes_up: 0,
+        bytes_down: 0,
+        wall,
+    };
+    for tally in tallies {
+        let tally = tally?;
+        report.completed += tally.completed;
+        report.rejected_busy += tally.rejected_busy;
+        report.failed += tally.failed;
+        report.bytes_up += tally.bytes_up;
+        report.bytes_down += tally.bytes_down;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_rates_are_wall_clock_relative() {
+        let report = LoadReport {
+            connections: 2,
+            requests: 10,
+            completed: 8,
+            rejected_busy: 2,
+            failed: 0,
+            bytes_up: 2_000_000,
+            bytes_down: 1_000_000,
+            wall: Duration::from_secs(2),
+        };
+        assert!((report.requests_per_second() - 4.0).abs() < 1e-9);
+        assert!((report.upload_mb_per_second() - 1.0).abs() < 1e-9);
+        assert!((report.download_mb_per_second() - 0.5).abs() < 1e-9);
+        let line = report.to_string();
+        assert!(line.contains("8/10 ok"), "{line}");
+    }
+
+    #[test]
+    fn zero_shapes_are_rejected() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let image = lwc_image::synth::flat(8, 8, 8, 1);
+        let bad = LoadGenConfig { connections: 0, ..LoadGenConfig::default() };
+        assert!(run(addr, &bad, &image).is_err());
+    }
+}

@@ -1,0 +1,506 @@
+//! The `LWCP` wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message on the wire — request or response, in either direction — is
+//! one frame. Layout (all integers big-endian):
+//!
+//! ```text
+//! offset  field        size
+//! 0       magic        4 bytes   0x4C574350 ("LWCP")
+//! 4       version      1 byte    currently 1
+//! 5       op           1 byte    see [`Op`]
+//! 6       request id   8 bytes   chosen by the client, echoed by the server
+//! 14      payload len  4 bytes   bytes that follow, bounded by the receiver
+//! 18      payload      payload-len bytes
+//! ```
+//!
+//! The declared payload length is validated against the receiver's configured
+//! limit **before** any payload allocation, so a hostile or corrupt length
+//! field cannot balloon memory. Responses carry the request's id (responses
+//! to pipelined requests may arrive out of order — the id is the correlation
+//! key) and either the request's response op or [`Op::Error`] with a typed
+//! [`ErrorCode`] payload.
+
+use crate::error::ServerError;
+
+/// Magic number opening every `LWCP` frame ("LWCP").
+pub const FRAME_MAGIC: u32 = 0x4C57_4350;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Serialized size of the fixed frame header, in bytes.
+pub const FRAME_HEADER_BYTES: usize = 18;
+
+/// Default per-frame payload ceiling (64 MiB) — enough for a 16-bit
+/// 4096 x 4096 plate with headroom, small enough that one hostile frame
+/// cannot exhaust memory.
+pub const DEFAULT_MAX_PAYLOAD_BYTES: usize = 64 << 20;
+
+/// Frame operation codes.
+///
+/// Requests use the low range; each successful response echoes the request op
+/// with the top bit set; [`Op::Error`] answers any request that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Request: compress a raw binary PGM (`P5`) payload; the response
+    /// payload is an `LWC1`/`LWCT` stream.
+    Compress,
+    /// Request: decompress an `LWC1`/`LWCT` payload; the response payload is
+    /// a binary PGM.
+    Decompress,
+    /// Request: decompress one tile of an `LWCT` payload. The payload is a
+    /// 4-byte big-endian tile index followed by the stream; the response
+    /// payload is the tile as a binary PGM.
+    DecompressTile,
+    /// Request: empty payload; the response payload is a JSON object of
+    /// server counters (see `ServerStats`).
+    Stats,
+    /// Successful response to [`Op::Compress`].
+    OkCompress,
+    /// Successful response to [`Op::Decompress`].
+    OkDecompress,
+    /// Successful response to [`Op::DecompressTile`].
+    OkDecompressTile,
+    /// Successful response to [`Op::Stats`].
+    OkStats,
+    /// Error response to any request: payload is a 2-byte big-endian
+    /// [`ErrorCode`] followed by a UTF-8 message.
+    Error,
+}
+
+impl Op {
+    /// The wire code of this op.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Op::Compress => 0x01,
+            Op::Decompress => 0x02,
+            Op::DecompressTile => 0x03,
+            Op::Stats => 0x04,
+            Op::OkCompress => 0x81,
+            Op::OkDecompress => 0x82,
+            Op::OkDecompressTile => 0x83,
+            Op::OkStats => 0x84,
+            Op::Error => 0xFF,
+        }
+    }
+
+    /// Parses a wire code; `None` for codes this build does not know.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0x01 => Some(Op::Compress),
+            0x02 => Some(Op::Decompress),
+            0x03 => Some(Op::DecompressTile),
+            0x04 => Some(Op::Stats),
+            0x81 => Some(Op::OkCompress),
+            0x82 => Some(Op::OkDecompress),
+            0x83 => Some(Op::OkDecompressTile),
+            0x84 => Some(Op::OkStats),
+            0xFF => Some(Op::Error),
+            _ => None,
+        }
+    }
+
+    /// `true` for the four client-to-server request ops.
+    #[must_use]
+    pub fn is_request(self) -> bool {
+        matches!(self, Op::Compress | Op::Decompress | Op::DecompressTile | Op::Stats)
+    }
+
+    /// The success-response op answering this request op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a request op.
+    #[must_use]
+    pub fn response(self) -> Self {
+        match self {
+            Op::Compress => Op::OkCompress,
+            Op::Decompress => Op::OkDecompress,
+            Op::DecompressTile => Op::OkDecompressTile,
+            Op::Stats => Op::OkStats,
+            other => panic!("{other:?} is not a request op"),
+        }
+    }
+
+    /// All ops a frame may legally carry, for exhaustive tests.
+    pub const ALL: [Op; 9] = [
+        Op::Compress,
+        Op::Decompress,
+        Op::DecompressTile,
+        Op::Stats,
+        Op::OkCompress,
+        Op::OkDecompress,
+        Op::OkDecompressTile,
+        Op::OkStats,
+        Op::Error,
+    ];
+}
+
+/// Typed error codes carried by [`Op::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The bounded request queue was full — retry later (backpressure).
+    Busy,
+    /// The declared payload length exceeds the receiver's limit.
+    FrameTooLarge,
+    /// The frame itself could not be parsed (bad magic, truncation).
+    MalformedFrame,
+    /// The frame's protocol version is not supported by this build.
+    UnsupportedVersion,
+    /// The op code is not known to this build.
+    UnknownOp,
+    /// The request payload is invalid (bad PGM, corrupt stream, ...).
+    BadPayload,
+    /// The requested tile index is outside the stream's tile grid.
+    TileIndexOutOfRange,
+    /// The server failed internally while executing a valid request.
+    Internal,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire code of this error.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            ErrorCode::Busy => 1,
+            ErrorCode::FrameTooLarge => 2,
+            ErrorCode::MalformedFrame => 3,
+            ErrorCode::UnsupportedVersion => 4,
+            ErrorCode::UnknownOp => 5,
+            ErrorCode::BadPayload => 6,
+            ErrorCode::TileIndexOutOfRange => 7,
+            ErrorCode::Internal => 8,
+            ErrorCode::ShuttingDown => 9,
+        }
+    }
+
+    /// Parses a wire code; unknown codes map to [`ErrorCode::Internal`] so a
+    /// newer peer's error still surfaces as an error rather than a parse
+    /// failure.
+    #[must_use]
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => ErrorCode::Busy,
+            2 => ErrorCode::FrameTooLarge,
+            3 => ErrorCode::MalformedFrame,
+            4 => ErrorCode::UnsupportedVersion,
+            5 => ErrorCode::UnknownOp,
+            6 => ErrorCode::BadPayload,
+            7 => ErrorCode::TileIndexOutOfRange,
+            8 => ErrorCode::Internal,
+            9 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::FrameTooLarge => "frame too large",
+            ErrorCode::MalformedFrame => "malformed frame",
+            ErrorCode::UnsupportedVersion => "unsupported version",
+            ErrorCode::UnknownOp => "unknown op",
+            ErrorCode::BadPayload => "bad payload",
+            ErrorCode::TileIndexOutOfRange => "tile index out of range",
+            ErrorCode::Internal => "internal error",
+            ErrorCode::ShuttingDown => "shutting down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The parsed fixed-size header of one frame.
+///
+/// The op is kept as its raw wire byte: an unknown op is a *replyable*
+/// condition (the request id is known), so op validation is the caller's
+/// decision, not a parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Raw op byte; see [`Op::from_code`].
+    pub op_code: u8,
+    /// Client-chosen request id this frame belongs to.
+    pub request_id: u64,
+    /// Number of payload bytes following the header.
+    pub payload_len: usize,
+}
+
+impl FrameHeader {
+    /// Checks the declared payload length against a receiver's limit —
+    /// callers must do this **before** sizing any buffer from the field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] with [`ErrorCode::FrameTooLarge`]
+    /// on violation.
+    pub fn ensure_within(&self, max_payload: usize) -> Result<(), ServerError> {
+        if self.payload_len > max_payload {
+            return Err(ServerError::Protocol {
+                code: ErrorCode::FrameTooLarge,
+                message: format!(
+                    "declared payload of {} bytes exceeds the {max_payload}-byte limit",
+                    self.payload_len
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Parses and validates a frame header from its first
+/// [`FRAME_HEADER_BYTES`] bytes. The declared payload length is **not**
+/// checked here — call [`FrameHeader::ensure_within`] before allocating —
+/// because an oversized declaration still carries a valid request id the
+/// server can address its error reply to.
+///
+/// # Errors
+///
+/// Returns [`ServerError::Protocol`] with
+///
+/// * [`ErrorCode::MalformedFrame`] if fewer than [`FRAME_HEADER_BYTES`]
+///   bytes are supplied or the magic is wrong,
+/// * [`ErrorCode::UnsupportedVersion`] for an unknown protocol version.
+pub fn parse_header(bytes: &[u8]) -> Result<FrameHeader, ServerError> {
+    let header: &[u8; FRAME_HEADER_BYTES] = bytes
+        .get(..FRAME_HEADER_BYTES)
+        .and_then(|h| h.try_into().ok())
+        .ok_or_else(|| ServerError::Protocol {
+            code: ErrorCode::MalformedFrame,
+            message: format!("frame header needs {FRAME_HEADER_BYTES} bytes, got {}", bytes.len()),
+        })?;
+    let magic = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(ServerError::Protocol {
+            code: ErrorCode::MalformedFrame,
+            message: format!("bad frame magic 0x{magic:08X}"),
+        });
+    }
+    let version = header[4];
+    if version != PROTOCOL_VERSION {
+        return Err(ServerError::Protocol {
+            code: ErrorCode::UnsupportedVersion,
+            message: format!(
+                "protocol version {version} is not supported (this build speaks \
+                 {PROTOCOL_VERSION})"
+            ),
+        });
+    }
+    let request_id = u64::from_be_bytes(header[6..14].try_into().expect("8 bytes"));
+    let payload_len = u32::from_be_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+    Ok(FrameHeader { op_code: header[5], request_id, payload_len })
+}
+
+/// One `LWCP` frame: a validated op, the correlation id and the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What this frame asks for or answers.
+    pub op: Op,
+    /// Correlation id; responses echo the request's.
+    pub request_id: u64,
+    /// Op-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds an [`Op::Error`] response frame.
+    #[must_use]
+    pub fn error(request_id: u64, code: ErrorCode, message: &str) -> Self {
+        let mut payload = Vec::with_capacity(2 + message.len());
+        payload.extend_from_slice(&code.code().to_be_bytes());
+        payload.extend_from_slice(message.as_bytes());
+        Self { op: Op::Error, request_id, payload }
+    }
+
+    /// Decodes the payload of an [`Op::Error`] frame into its typed code and
+    /// message. `None` if this is not an error frame or the payload is too
+    /// short to carry a code.
+    #[must_use]
+    pub fn error_info(&self) -> Option<(ErrorCode, String)> {
+        if self.op != Op::Error || self.payload.len() < 2 {
+            return None;
+        }
+        let code = ErrorCode::from_code(u16::from_be_bytes([self.payload[0], self.payload[1]]));
+        Some((code, String::from_utf8_lossy(&self.payload[2..]).into_owned()))
+    }
+
+    /// Total size of the encoded frame in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Serializes just the fixed header — the frame on the wire is this
+    /// followed by the payload, which lets writers send the payload without
+    /// copying it into a fresh buffer first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the 32-bit length field (the server and
+    /// client APIs bound payloads well below this).
+    #[must_use]
+    pub fn header_bytes(&self) -> [u8; FRAME_HEADER_BYTES] {
+        assert!(self.payload.len() <= u32::MAX as usize, "payload exceeds the 32-bit length field");
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        header[0..4].copy_from_slice(&FRAME_MAGIC.to_be_bytes());
+        header[4] = PROTOCOL_VERSION;
+        header[5] = self.op.code();
+        header[6..14].copy_from_slice(&self.request_id.to_be_bytes());
+        header[14..18].copy_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        header
+    }
+
+    /// Serializes the frame into one contiguous buffer.
+    ///
+    /// # Panics
+    ///
+    /// See [`Frame::header_bytes`].
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.encoded_len());
+        bytes.extend_from_slice(&self.header_bytes());
+        bytes.extend_from_slice(&self.payload);
+        bytes
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// See [`parse_header`]; additionally returns
+    /// [`ErrorCode::MalformedFrame`] if the buffer is shorter than the
+    /// declared payload, and [`ErrorCode::UnknownOp`] for an op byte this
+    /// build does not know.
+    pub fn decode(bytes: &[u8], max_payload: usize) -> Result<(Self, usize), ServerError> {
+        let header = parse_header(bytes)?;
+        header.ensure_within(max_payload)?;
+        let end = FRAME_HEADER_BYTES + header.payload_len;
+        let payload = bytes.get(FRAME_HEADER_BYTES..end).ok_or_else(|| ServerError::Protocol {
+            code: ErrorCode::MalformedFrame,
+            message: format!(
+                "frame declares {} payload bytes but only {} follow the header",
+                header.payload_len,
+                bytes.len() - FRAME_HEADER_BYTES
+            ),
+        })?;
+        let op = Op::from_code(header.op_code).ok_or_else(|| ServerError::Protocol {
+            code: ErrorCode::UnknownOp,
+            message: format!("unknown op code 0x{:02X}", header.op_code),
+        })?;
+        Ok((Self { op, request_id: header.request_id, payload: payload.to_vec() }, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_roundtrip_their_wire_codes() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Op::from_code(0x00), None);
+        assert_eq!(Op::from_code(0x7E), None);
+    }
+
+    #[test]
+    fn request_response_pairing() {
+        assert_eq!(Op::Compress.response(), Op::OkCompress);
+        assert_eq!(Op::Decompress.response(), Op::OkDecompress);
+        assert_eq!(Op::DecompressTile.response(), Op::OkDecompressTile);
+        assert_eq!(Op::Stats.response(), Op::OkStats);
+        assert!(Op::Compress.is_request());
+        assert!(!Op::OkCompress.is_request());
+        assert!(!Op::Error.is_request());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frame = Frame { op: Op::Compress, request_id: 0xDEAD_BEEF, payload: vec![1, 2, 3] };
+        let bytes = frame.encode();
+        assert_eq!(bytes.len(), frame.encoded_len());
+        let (back, consumed) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD_BYTES).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn error_frames_carry_typed_codes() {
+        let frame = Frame::error(7, ErrorCode::Busy, "queue full");
+        let (code, message) = frame.error_info().unwrap();
+        assert_eq!(code, ErrorCode::Busy);
+        assert_eq!(message, "queue full");
+        let ok = Frame { op: Op::OkStats, request_id: 7, payload: vec![] };
+        assert!(ok.error_info().is_none());
+    }
+
+    #[test]
+    fn oversized_declared_lengths_are_rejected_before_allocation() {
+        let mut bytes = Frame { op: Op::Compress, request_id: 1, payload: vec![0; 8] }.encode();
+        // Forge an absurd length field; the parse must fail on the limit, not
+        // try to slice or allocate 4 GiB.
+        bytes[14..18].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = Frame::decode(&bytes, 1 << 20).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Protocol { code: ErrorCode::FrameTooLarge, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn short_buffers_and_bad_magic_are_typed_errors() {
+        for len in 0..FRAME_HEADER_BYTES {
+            let err = parse_header(&vec![0x4C; len]).unwrap_err();
+            assert!(
+                matches!(err, ServerError::Protocol { code: ErrorCode::MalformedFrame, .. }),
+                "{len}-byte header"
+            );
+        }
+        let mut bytes = Frame { op: Op::Stats, request_id: 0, payload: vec![] }.encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Frame::decode(&bytes, 1024),
+            Err(ServerError::Protocol { code: ErrorCode::MalformedFrame, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_versions_and_ops_are_typed_errors() {
+        let good = Frame { op: Op::Stats, request_id: 3, payload: vec![] }.encode();
+        let mut versioned = good.clone();
+        versioned[4] = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            Frame::decode(&versioned, 1024),
+            Err(ServerError::Protocol { code: ErrorCode::UnsupportedVersion, .. })
+        ));
+        let mut op = good;
+        op[5] = 0x7E;
+        assert!(matches!(
+            Frame::decode(&op, 1024),
+            Err(ServerError::Protocol { code: ErrorCode::UnknownOp, .. })
+        ));
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::Busy,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::MalformedFrame,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::UnknownOp,
+            ErrorCode::BadPayload,
+            ErrorCode::TileIndexOutOfRange,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::from_code(code.code()), code);
+        }
+    }
+}

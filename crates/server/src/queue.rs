@@ -1,0 +1,276 @@
+//! The bounded request queue and the server's counters.
+//!
+//! The queue is the software analogue of the FIFOs between the paper's
+//! pipeline stages: it decouples the connection readers (producers) from the
+//! codec workers (consumers), and its *bounded* depth is what turns overload
+//! into explicit, measurable backpressure — a full queue answers
+//! [`ErrorCode::Busy`](crate::ErrorCode::Busy) immediately instead of
+//! buffering without limit, exactly the throughput-versus-buffering trade the
+//! paper sizes its FIFOs around.
+
+use crate::protocol::{Frame, Op};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+
+/// One queued unit of work: a validated request frame plus the channel that
+/// routes the response frame back to its connection's writer thread.
+#[derive(Debug)]
+pub(crate) struct Job {
+    /// The request op (always one of the four request ops).
+    pub op: Op,
+    /// Correlation id the response must echo.
+    pub request_id: u64,
+    /// The request payload.
+    pub payload: Vec<u8>,
+    /// Sends the response frame to the connection's writer.
+    pub reply: Sender<Frame>,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity — the caller should answer busy.
+    Full,
+    /// The queue was closed by shutdown.
+    Closed,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO of [`Job`]s.
+pub(crate) struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Enqueues without blocking; a full or closed queue hands the job back.
+    pub fn try_push(&self, job: Job) -> Result<(), (Job, PushError)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err((job, PushError::Closed));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err((job, PushError::Full));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes are refused,
+    /// and blocked consumers wake up.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Lock-free counters the connection and worker threads bump as they go.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub accepted_connections: AtomicU64,
+    pub received_requests: AtomicU64,
+    pub completed_requests: AtomicU64,
+    pub rejected_busy: AtomicU64,
+    pub error_replies: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+}
+
+impl Metrics {
+    pub fn add(counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+}
+
+/// A point-in-time snapshot of a server's counters — the payload of the
+/// `stats` op and the return of [`Server::stats`](crate::Server::stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Codec worker threads draining the queue.
+    pub workers: usize,
+    /// Capacity of the bounded request queue.
+    pub queue_depth: usize,
+    /// Requests waiting in the queue at snapshot time.
+    pub queue_len: usize,
+    /// Connections accepted since startup.
+    pub accepted_connections: u64,
+    /// Request frames read off connections.
+    pub received_requests: u64,
+    /// Requests executed successfully.
+    pub completed_requests: u64,
+    /// Requests refused with `busy` because the queue was full.
+    pub rejected_busy: u64,
+    /// Error frames sent (any code, including busy).
+    pub error_replies: u64,
+    /// Frame bytes read from clients.
+    pub bytes_in: u64,
+    /// Frame bytes written to clients.
+    pub bytes_out: u64,
+}
+
+impl ServerStats {
+    pub(crate) fn snapshot(metrics: &Metrics, workers: usize, queue: &JobQueue) -> Self {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Self {
+            workers,
+            queue_depth: queue.capacity(),
+            queue_len: queue.len(),
+            accepted_connections: get(&metrics.accepted_connections),
+            received_requests: get(&metrics.received_requests),
+            completed_requests: get(&metrics.completed_requests),
+            rejected_busy: get(&metrics.rejected_busy),
+            error_replies: get(&metrics.error_replies),
+            bytes_in: get(&metrics.bytes_in),
+            bytes_out: get(&metrics.bytes_out),
+        }
+    }
+
+    /// Serializes the snapshot as a flat JSON object (the `stats` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\": {}, \"queue_depth\": {}, \"queue_len\": {}, \
+             \"accepted_connections\": {}, \"received_requests\": {}, \
+             \"completed_requests\": {}, \"rejected_busy\": {}, \"error_replies\": {}, \
+             \"bytes_in\": {}, \"bytes_out\": {}}}",
+            self.workers,
+            self.queue_depth,
+            self.queue_len,
+            self.accepted_connections,
+            self.received_requests,
+            self.completed_requests,
+            self.rejected_busy,
+            self.error_replies,
+            self.bytes_in,
+            self.bytes_out
+        )
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} workers, queue {}/{}, {} conns, {} reqs ({} ok, {} busy, {} errors), \
+             {} B in / {} B out",
+            self.workers,
+            self.queue_len,
+            self.queue_depth,
+            self.accepted_connections,
+            self.received_requests,
+            self.completed_requests,
+            self.rejected_busy,
+            self.error_replies,
+            self.bytes_in,
+            self.bytes_out
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn job(id: u64) -> Job {
+        let (tx, _rx) = channel();
+        Job { op: Op::Stats, request_id: id, payload: vec![], reply: tx }
+    }
+
+    #[test]
+    fn queue_is_bounded_and_fifo() {
+        let queue = JobQueue::new(2);
+        queue.try_push(job(1)).unwrap();
+        queue.try_push(job(2)).unwrap();
+        let (_, err) = queue.try_push(job(3)).unwrap_err();
+        assert_eq!(err, PushError::Full);
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop().unwrap().request_id, 1);
+        assert_eq!(queue.pop().unwrap().request_id, 2);
+    }
+
+    #[test]
+    fn closed_queues_drain_then_return_none() {
+        let queue = JobQueue::new(4);
+        queue.try_push(job(1)).unwrap();
+        queue.close();
+        let (_, err) = queue.try_push(job(2)).unwrap_err();
+        assert_eq!(err, PushError::Closed);
+        assert_eq!(queue.pop().unwrap().request_id, 1);
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let queue = std::sync::Arc::new(JobQueue::new(1));
+        let waiter = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop().is_none())
+        };
+        // Give the waiter a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn stats_snapshot_serializes_to_json() {
+        let metrics = Metrics::default();
+        Metrics::bump(&metrics.completed_requests);
+        Metrics::add(&metrics.bytes_in, 123);
+        let queue = JobQueue::new(8);
+        let stats = ServerStats::snapshot(&metrics, 4, &queue);
+        assert_eq!(stats.completed_requests, 1);
+        assert_eq!(stats.bytes_in, 123);
+        let json = stats.to_json();
+        assert!(json.contains("\"completed_requests\": 1"), "{json}");
+        assert!(json.contains("\"queue_depth\": 8"), "{json}");
+        assert!(stats.to_string().contains("4 workers"));
+    }
+}

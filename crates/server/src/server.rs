@@ -1,0 +1,627 @@
+//! The concurrent compression server.
+//!
+//! One acceptor thread takes TCP connections; each connection gets a reader
+//! (the connection's own thread) and a writer thread joined by an in-process
+//! channel; readers validate frames and feed the bounded [`JobQueue`]; a
+//! fixed pool of codec workers drains the queue through the tiled engine and
+//! routes response frames back to the right connection. Overload is explicit:
+//! a full queue answers `busy` immediately, oversized frames are refused
+//! before allocation, and reads/writes carry timeouts so a stalled peer can
+//! never wedge a worker.
+
+use crate::error::ServerError;
+use crate::frame::{into_frame, read_frame_idle, write_frame, ReadOutcome};
+use crate::protocol::{ErrorCode, Frame, Op, DEFAULT_MAX_PAYLOAD_BYTES, FRAME_HEADER_BYTES};
+use crate::queue::{Job, JobQueue, Metrics, PushError, ServerStats};
+use lwc_coder::bitio::BitReader;
+use lwc_coder::tiled::is_tiled;
+use lwc_coder::{LosslessCodec, StreamHeader, TiledHeader, TiledStream};
+use lwc_image::pgm;
+use lwc_pipeline::{TiledCompressor, DEFAULT_TILE_SIZE};
+use std::io::Read;
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Codec worker threads; `0` selects the machine's available parallelism.
+    pub workers: usize,
+    /// Capacity of the bounded request queue; `0` selects `4 x workers`
+    /// (a few requests of lookahead per worker, like the paper's FIFOs hold a
+    /// few rows per pipeline stage).
+    pub queue_depth: usize,
+    /// Decomposition depth used for `compress` requests.
+    pub scales: u32,
+    /// Square tile size used for `compress` requests (images larger than one
+    /// tile produce `LWCT` containers).
+    pub tile_size: usize,
+    /// Per-frame payload ceiling, validated before allocation.
+    pub max_payload_bytes: usize,
+    /// Socket read timeout; doubles as the shutdown poll quantum.
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 0,
+            scales: 4,
+            tile_size: DEFAULT_TILE_SIZE,
+            max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How many consecutive timed-out reads a peer gets *inside* a frame before
+/// the connection is dropped (multiplied by `read_timeout`, this is the
+/// slow-loris budget: 100 polls x 100 ms = 10 s to finish a started frame).
+const MID_FRAME_PATIENCE_POLLS: u32 = 100;
+
+/// How many already-sent peer bytes a connection drains after replying to a
+/// protocol violation, so closing the socket doesn't reset the reply away.
+/// Bounded: a peer still flooding past this simply gets the reset.
+const MAX_VIOLATION_DRAIN_BYTES: usize = 1 << 20;
+
+struct Shared {
+    config: ServerConfig,
+    engine: TiledCompressor,
+    queue: JobQueue,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats::snapshot(&self.metrics, self.config.workers, &self.queue)
+    }
+}
+
+/// A running compression service bound to a TCP address.
+///
+/// Dropping the server shuts it down gracefully: the acceptor stops, queued
+/// requests drain through the workers, connections close, threads join.
+///
+/// ```
+/// use lwc_image::synth;
+/// use lwc_server::{Client, Server, ServerConfig};
+///
+/// # fn main() -> Result<(), lwc_server::ServerError> {
+/// let config = ServerConfig { workers: 2, scales: 3, tile_size: 64, ..ServerConfig::default() };
+/// let server = Server::bind("127.0.0.1:0", config)?;
+/// let mut client = Client::connect(server.local_addr())?;
+/// let image = synth::ct_phantom(96, 80, 12, 1);
+/// let stream = client.compress_image(&image)?;
+/// let back = client.decompress(&stream)?;
+/// assert_eq!(image.samples(), back.samples());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the acceptor and the worker pool.
+    ///
+    /// Bind to port 0 for an OS-assigned loopback port
+    /// ([`Server::local_addr`] reports it).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound or the configuration
+    /// is invalid (zero scales, out-of-range tile size).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> Result<Self, ServerError> {
+        let mut config = config;
+        if config.workers == 0 {
+            config.workers = thread::available_parallelism().map(usize::from).unwrap_or(1);
+        }
+        if config.queue_depth == 0 {
+            config.queue_depth = 4 * config.workers;
+        }
+        if config.max_payload_bytes < FRAME_HEADER_BYTES {
+            return Err(ServerError::Config(format!(
+                "max payload of {} bytes cannot carry any request",
+                config.max_payload_bytes
+            )));
+        }
+        // Each worker runs the engine with one inner thread: the pool's
+        // parallelism lives across requests, not inside one.
+        let codec = LosslessCodec::new(config.scales).map_err(ServerError::from)?;
+        let engine = TiledCompressor::with_codec(codec, config.tile_size, config.tile_size, 1)?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            engine,
+            queue: JobQueue::new(config.queue_depth),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Self { shared, addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The resolved configuration (workers and queue depth filled in).
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    /// A snapshot of the server's counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Gracefully shuts the server down: stop accepting, refuse new work,
+    /// drain queued requests, close connections, join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.queue.close();
+        // Wake the acceptor out of its blocking accept. A wildcard bind
+        // address (0.0.0.0 / ::) is not connectable on every platform, so
+        // aim the wake-up at loopback on the bound port.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let connections = std::mem::take(&mut *self.shared.connections.lock().expect("poisoned"));
+        for handle in connections {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                Metrics::bump(&shared.metrics.accepted_connections);
+                let shared_conn = Arc::clone(shared);
+                let handle = thread::spawn(move || serve_connection(&shared_conn, stream));
+                let mut connections = shared.connections.lock().expect("poisoned");
+                // Reap handles of connections that already ended, so a
+                // long-running server doesn't accumulate one per connection
+                // it ever served (dropping a finished handle just detaches).
+                connections.retain(|h| !h.is_finished());
+                connections.push(handle);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. EMFILE); back off briefly.
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Reads frames off one connection, feeding the queue; a paired writer
+/// thread owns the response direction so slow readers on our side never
+/// block responses from other requests of the same connection.
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(shared.config.read_timeout)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else { return };
+    let _ = write_half.set_write_timeout(Some(shared.config.write_timeout));
+    let (tx, rx) = channel::<Frame>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        thread::spawn(move || writer_loop(&shared, write_half, &rx))
+    };
+
+    // Whether the loop exits on a protocol violation with unread peer bytes
+    // possibly still queued — in that case the reply must be protected from
+    // a reset on close (see the drain below).
+    let mut violation = false;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame_idle(
+            &mut stream,
+            shared.config.max_payload_bytes,
+            MID_FRAME_PATIENCE_POLLS,
+        ) {
+            Ok(ReadOutcome::Idle) => {} // idle tick; re-check the shutdown flag
+            Ok(ReadOutcome::Oversized(header)) => {
+                // The header parsed — so the request id is known and the
+                // reply is addressable — but the declared payload exceeds
+                // the limit and was never read, so the frame boundary is
+                // lost: reply, then close.
+                Metrics::bump(&shared.metrics.error_replies);
+                let _ = tx.send(Frame::error(
+                    header.request_id,
+                    ErrorCode::FrameTooLarge,
+                    &format!(
+                        "declared payload of {} bytes exceeds the {}-byte limit",
+                        header.payload_len, shared.config.max_payload_bytes
+                    ),
+                ));
+                violation = true;
+                break;
+            }
+            Ok(ReadOutcome::Frame(header, payload)) => {
+                Metrics::bump(&shared.metrics.received_requests);
+                Metrics::add(&shared.metrics.bytes_in, (FRAME_HEADER_BYTES + payload.len()) as u64);
+                match into_frame(header, payload) {
+                    Ok(frame) if frame.op.is_request() => {
+                        let job = Job {
+                            op: frame.op,
+                            request_id: frame.request_id,
+                            payload: frame.payload,
+                            reply: tx.clone(),
+                        };
+                        match shared.queue.try_push(job) {
+                            Ok(()) => {}
+                            Err((job, PushError::Full)) => {
+                                Metrics::bump(&shared.metrics.rejected_busy);
+                                Metrics::bump(&shared.metrics.error_replies);
+                                let _ = tx.send(Frame::error(
+                                    job.request_id,
+                                    ErrorCode::Busy,
+                                    &format!(
+                                        "request queue full ({} deep); retry",
+                                        shared.config.queue_depth
+                                    ),
+                                ));
+                            }
+                            Err((job, PushError::Closed)) => {
+                                Metrics::bump(&shared.metrics.error_replies);
+                                let _ = tx.send(Frame::error(
+                                    job.request_id,
+                                    ErrorCode::ShuttingDown,
+                                    "server is shutting down",
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                    Ok(frame) => {
+                        // A known op, but not a request (a response op on the
+                        // request path). The frame boundary is intact, so the
+                        // connection stays usable.
+                        Metrics::bump(&shared.metrics.error_replies);
+                        let _ = tx.send(Frame::error(
+                            frame.request_id,
+                            ErrorCode::UnknownOp,
+                            &format!("op {:?} is not a request", frame.op),
+                        ));
+                    }
+                    Err(e) => {
+                        // Unknown op byte: into_frame supplies the typed
+                        // error; the payload was fully read, so this is also
+                        // recoverable.
+                        Metrics::bump(&shared.metrics.error_replies);
+                        let (code, message) = match e {
+                            ServerError::Protocol { code, message } => (code, message),
+                            other => (ErrorCode::MalformedFrame, other.to_string()),
+                        };
+                        let _ = tx.send(Frame::error(header.request_id, code, &message));
+                    }
+                }
+            }
+            Err(e) if e.is_disconnect() => break,
+            Err(ServerError::Protocol { code, message }) => {
+                // The framing is broken before a request id could be read
+                // (bad magic or bad version): reply once with id 0 and
+                // close — there is no way to resynchronize a byte stream
+                // with a lost frame boundary.
+                Metrics::bump(&shared.metrics.error_replies);
+                let _ = tx.send(Frame::error(0, code, &message));
+                violation = true;
+                break;
+            }
+            Err(_) => break, // hard I/O failure or mid-frame stall
+        }
+    }
+    // Closing our half tells the writer to finish once pending responses for
+    // this connection have flushed.
+    drop(tx);
+    let _ = writer.join();
+    if violation {
+        // The peer may still have bytes in flight that we never read (the
+        // oversized payload, trailing pipelined frames). Closing a socket
+        // with unread receive data sends RST on common platforms, which can
+        // discard the error reply before the peer reads it. Signal our end
+        // with FIN, then drain a bounded amount so the close is clean.
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut sink = [0u8; 4096];
+        let mut drained = 0usize;
+        while drained < MAX_VIOLATION_DRAIN_BYTES {
+            match stream.read(&mut sink) {
+                Ok(0) => break,
+                Ok(n) => drained += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break, // timeout or reset: we tried
+            }
+        }
+    }
+}
+
+fn writer_loop(shared: &Arc<Shared>, mut stream: TcpStream, responses: &Receiver<Frame>) {
+    while let Ok(frame) = responses.recv() {
+        let len = frame.encoded_len() as u64;
+        if write_frame(&mut stream, &frame).is_err() {
+            // Peer gone or write timeout: tear the whole connection down so
+            // the reader stops accepting work whose responses have nowhere
+            // to go (its next read errors out).
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        Metrics::add(&shared.metrics.bytes_out, len);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        // The server never emits a frame it would itself refuse to read:
+        // whatever op produced it, an over-limit response becomes a typed
+        // error (the decompress ops also pre-check this from the header
+        // dimensions before doing any work).
+        let outcome = execute(shared, job.op, &job.payload).and_then(|payload| {
+            if payload.len() > shared.config.max_payload_bytes {
+                return Err((
+                    ErrorCode::FrameTooLarge,
+                    format!(
+                        "response of {} bytes exceeds the {}-byte frame limit (raise \
+                         --max-frame-mb)",
+                        payload.len(),
+                        shared.config.max_payload_bytes
+                    ),
+                ));
+            }
+            Ok(payload)
+        });
+        let frame = match outcome {
+            Ok(payload) => {
+                Metrics::bump(&shared.metrics.completed_requests);
+                Frame { op: job.op.response(), request_id: job.request_id, payload }
+            }
+            Err((code, message)) => {
+                Metrics::bump(&shared.metrics.error_replies);
+                Frame::error(job.request_id, code, &message)
+            }
+        };
+        // A send failure means the connection already closed; the work is
+        // simply discarded.
+        let _ = job.reply.send(frame);
+    }
+}
+
+/// Executes one validated request against the shared engine.
+fn execute(shared: &Shared, op: Op, payload: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+    match op {
+        Op::Compress => {
+            let image = pgm::read_pgm(payload)
+                .map_err(|e| (ErrorCode::BadPayload, format!("invalid PGM payload: {e}")))?;
+            shared
+                .engine
+                .compress(&image)
+                .map_err(|e| (ErrorCode::Internal, format!("compression failed: {e}")))
+        }
+        Op::Decompress => {
+            let bad = |e: ServerError| {
+                (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"))
+            };
+            // Check the response size from the header dimensions before any
+            // decode work — a stream whose pixels cannot fit one response
+            // frame is refused up front (see `ensure_response_fits`).
+            let image = if is_tiled(payload) {
+                let header = *TiledStream::parse(payload).map_err(|e| bad(e.into()))?.header();
+                ensure_response_fits(shared, header.width, header.height, header.bit_depth)?;
+                let engine = tiled_engine(&header).map_err(bad)?;
+                engine.decompress(payload).map_err(|e| bad(e.into()))?
+            } else {
+                let header =
+                    StreamHeader::read(&mut BitReader::new(payload)).map_err(|e| bad(e.into()))?;
+                ensure_response_fits(shared, header.width, header.height, header.bit_depth)?;
+                decompress_auto(payload).map_err(bad)?
+            };
+            encode_pgm(&image)
+        }
+        Op::DecompressTile => {
+            let (index, stream_bytes) = split_tile_request(payload)?;
+            let bad = |e: ServerError| {
+                (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"))
+            };
+            // One container parse serves the range check, the size check,
+            // the engine parameters and the tile decode.
+            let tile = if is_tiled(stream_bytes) {
+                let stream = TiledStream::parse(stream_bytes).map_err(|e| bad(e.into()))?;
+                let tiles = stream.tile_count();
+                if index as usize >= tiles {
+                    return Err((
+                        ErrorCode::TileIndexOutOfRange,
+                        format!("tile index {index} out of range: the stream has {tiles} tiles"),
+                    ));
+                }
+                let header = *stream.header();
+                let rect = stream.grid().map_err(|e| bad(e.into()))?.rect(index as usize);
+                ensure_response_fits(shared, rect.width, rect.height, header.bit_depth)?;
+                let engine = tiled_engine(&header).map_err(bad)?;
+                engine.decompress_parsed_tile(&stream, index as usize).map_err(|e| bad(e.into()))?
+            } else {
+                if index != 0 {
+                    return Err((
+                        ErrorCode::TileIndexOutOfRange,
+                        format!(
+                            "tile index {index} out of range: a legacy stream is a single tile"
+                        ),
+                    ));
+                }
+                let header = StreamHeader::read(&mut BitReader::new(stream_bytes))
+                    .map_err(|e| bad(e.into()))?;
+                ensure_response_fits(shared, header.width, header.height, header.bit_depth)?;
+                decompress_auto(stream_bytes).map_err(bad)?
+            };
+            encode_pgm(&tile)
+        }
+        Op::Stats => Ok(shared.stats().to_json().into_bytes()),
+        other => Err((ErrorCode::UnknownOp, format!("{other:?} is not a request op"))),
+    }
+}
+
+/// Refuses a decompression whose PGM response could not fit one frame under
+/// the server's payload limit — checked from the header dimensions before
+/// any decode work, so a client can't make the server decode terabytes it
+/// could never send back (and a legitimate-but-huge stream gets a typed
+/// error instead of an unreadable oversized response frame).
+fn ensure_response_fits(
+    shared: &Shared,
+    width: usize,
+    height: usize,
+    bit_depth: u32,
+) -> Result<(), (ErrorCode, String)> {
+    let per_sample: u128 = if bit_depth > 8 { 2 } else { 1 };
+    let need = width as u128 * height as u128 * per_sample + 64;
+    if need > shared.config.max_payload_bytes as u128 {
+        return Err((
+            ErrorCode::FrameTooLarge,
+            format!(
+                "a {width}x{height} {bit_depth}-bit image decompresses to ~{need} response \
+                 bytes, beyond the {}-byte frame limit (raise --max-frame-mb or decode locally)",
+                shared.config.max_payload_bytes
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn encode_pgm(image: &lwc_image::Image) -> Result<Vec<u8>, (ErrorCode, String)> {
+    let mut bytes = Vec::with_capacity(image.pixel_count() * 2 + 64);
+    pgm::write_pgm(image, &mut bytes)
+        .map_err(|e| (ErrorCode::Internal, format!("PGM serialization failed: {e}")))?;
+    Ok(bytes)
+}
+
+fn split_tile_request(payload: &[u8]) -> Result<(u32, &[u8]), (ErrorCode, String)> {
+    let index_bytes: [u8; 4] =
+        payload.get(..4).and_then(|b| b.try_into().ok()).ok_or_else(|| {
+            (
+                ErrorCode::BadPayload,
+                "decompress-tile payload must start with a 4-byte tile index".to_owned(),
+            )
+        })?;
+    Ok((u32::from_be_bytes(index_bytes), &payload[4..]))
+}
+
+/// Decompresses either container format, taking the decomposition depth (and
+/// tile shape) from the stream itself — the service never requires clients
+/// to know how a stream was produced.
+pub(crate) fn decompress_auto(bytes: &[u8]) -> Result<lwc_image::Image, ServerError> {
+    Ok(engine_for(bytes)?.decompress(bytes)?)
+}
+
+/// Single-threaded engine with the parameters of a parsed tiled header.
+fn tiled_engine(header: &TiledHeader) -> Result<TiledCompressor, ServerError> {
+    let codec = LosslessCodec::new(header.scales)?;
+    Ok(TiledCompressor::with_codec(codec, header.tile_width, header.tile_height, 1)?)
+}
+
+/// Builds a single-threaded engine matching the stream's own parameters.
+/// Both header reads reject empty/truncated buffers with typed errors, so
+/// sniffing never slices out of bounds.
+fn engine_for(bytes: &[u8]) -> Result<TiledCompressor, ServerError> {
+    if is_tiled(bytes) {
+        tiled_engine(TiledStream::parse(bytes)?.header())
+    } else {
+        let header = StreamHeader::read(&mut BitReader::new(bytes))?;
+        let codec = LosslessCodec::new(header.scales)?;
+        Ok(TiledCompressor::with_codec(codec, header.width, header.height, 1)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_image::synth;
+
+    #[test]
+    fn decompress_auto_sniffs_both_formats_and_rejects_short_buffers() {
+        let image = synth::ct_phantom(70, 50, 12, 3);
+        let legacy = LosslessCodec::new(3).unwrap().compress(&image).unwrap();
+        let tiled = TiledCompressor::new(3, 32, 1).unwrap().compress(&image).unwrap();
+        assert!(is_tiled(&tiled) && !is_tiled(&legacy));
+        for stream in [&legacy, &tiled] {
+            let back = decompress_auto(stream).unwrap();
+            assert_eq!(back.samples(), image.samples());
+            // Every short prefix — including the empty buffer — must come
+            // back as a typed error, never a panic or slice failure.
+            for len in 0..8.min(stream.len()) {
+                assert!(decompress_auto(&stream[..len]).is_err(), "prefix of {len} bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_sniffing_matches_the_stream_parameters() {
+        let image = synth::ct_phantom(70, 50, 12, 3);
+        let legacy = LosslessCodec::new(3).unwrap().compress(&image).unwrap();
+        let tiled = TiledCompressor::new(3, 32, 1).unwrap().compress(&image).unwrap();
+        let legacy_engine = engine_for(&legacy).unwrap();
+        assert_eq!(legacy_engine.codec().scales(), 3);
+        let sniffed = engine_for(&tiled).unwrap();
+        assert_eq!((sniffed.tile_width(), sniffed.tile_height()), (32, 32));
+        assert!(engine_for(&[]).is_err());
+        assert!(engine_for(&[0x4C, 0x57]).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests of the `LWCP` frame codec: arbitrary frames round-trip
+//! through encode/decode (and through the stream reader), and random
+//! corruptions of the header are rejected with typed errors, never panics.
+
+use lwc_server::frame::{into_frame, read_frame, write_frame};
+use lwc_server::protocol::{parse_header, FRAME_HEADER_BYTES};
+use lwc_server::{ErrorCode, Frame, Op, ServerError, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+fn op_for(selector: usize) -> Op {
+    Op::ALL[selector % Op::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_frames_roundtrip_through_the_codec(
+        op_selector in 0usize..Op::ALL.len(),
+        request_id in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = Frame { op: op_for(op_selector), request_id, payload };
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), FRAME_HEADER_BYTES + frame.payload.len());
+        let (decoded, consumed) = Frame::decode(&bytes, 1 << 20).expect("roundtrip");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&decoded, &frame);
+
+        // And through the blocking stream reader, back to back with a second
+        // frame to prove the boundary is respected.
+        let second = Frame { op: Op::Stats, request_id: request_id ^ 1, payload: vec![] };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).expect("write");
+        write_frame(&mut wire, &second).expect("write");
+        let mut cursor = wire.as_slice();
+        let (h1, p1) = read_frame(&mut cursor, 1 << 20, 0).expect("first");
+        let (h2, p2) = read_frame(&mut cursor, 1 << 20, 0).expect("second");
+        prop_assert_eq!(into_frame(h1, p1).expect("op known"), frame);
+        prop_assert_eq!(into_frame(h2, p2).expect("op known"), second);
+        prop_assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn truncated_frames_never_decode(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        cut in 0usize..64,
+    ) {
+        let frame = Frame { op: Op::Compress, request_id: 9, payload };
+        let bytes = frame.encode();
+        let cut = cut % bytes.len().max(1);
+        if cut < bytes.len() {
+            prop_assert!(Frame::decode(&bytes[..cut], 1 << 20).is_err(), "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn corrupted_headers_are_typed_errors_not_panics(
+        byte in 0usize..FRAME_HEADER_BYTES,
+        xor in 1u8..=255,
+        payload_len in 0usize..32,
+    ) {
+        let frame = Frame { op: Op::Decompress, request_id: 5, payload: vec![0xAB; payload_len] };
+        let mut bytes = frame.encode();
+        bytes[byte] ^= xor;
+        // Whatever field the flip landed in, the outcome is a clean decode
+        // of a (different) valid frame or a typed error — never a panic and
+        // never an out-of-bounds payload slice.
+        match Frame::decode(&bytes, 1 << 20) {
+            Ok((decoded, consumed)) => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert!(decoded.payload.len() <= bytes.len());
+            }
+            Err(ServerError::Protocol { code, .. }) => {
+                prop_assert!(matches!(
+                    code,
+                    ErrorCode::MalformedFrame
+                        | ErrorCode::UnsupportedVersion
+                        | ErrorCode::FrameTooLarge
+                        | ErrorCode::UnknownOp
+                ));
+            }
+            Err(other) => prop_assert!(false, "unexpected error class: {}", other),
+        }
+    }
+}
+
+#[test]
+fn declared_length_is_checked_against_the_limit_before_allocation() {
+    // A 4 GiB declaration against a 1 KiB limit must fail the limit check;
+    // no payload buffer may be sized from the field. The header itself
+    // still parses, preserving the request id for the error reply.
+    let mut bytes = Frame { op: Op::Compress, request_id: 71, payload: vec![] }.encode();
+    bytes[14..18].copy_from_slice(&u32::MAX.to_be_bytes());
+    let header = parse_header(&bytes).unwrap();
+    assert_eq!(header.request_id, 71);
+    let err = header.ensure_within(1024).unwrap_err();
+    assert!(matches!(err, ServerError::Protocol { code: ErrorCode::FrameTooLarge, .. }), "{err}");
+    assert!(matches!(
+        Frame::decode(&bytes, 1024),
+        Err(ServerError::Protocol { code: ErrorCode::FrameTooLarge, .. })
+    ));
+}
+
+#[test]
+fn version_is_enforced_at_the_header() {
+    let mut bytes = Frame { op: Op::Stats, request_id: 1, payload: vec![] }.encode();
+    bytes[4] = PROTOCOL_VERSION.wrapping_add(1);
+    assert!(matches!(
+        parse_header(&bytes),
+        Err(ServerError::Protocol { code: ErrorCode::UnsupportedVersion, .. })
+    ));
+}

@@ -1,0 +1,230 @@
+//! End-to-end tests of the compression service over real loopback sockets:
+//!
+//! * a 16-bit PGM compressed through the server decompresses — whole-image
+//!   and single-tile ops — to pixels byte-identical to the sequential
+//!   [`LosslessCodec`] path, across 1/2/4 worker pools,
+//! * pipelined multi-request submission completes every request,
+//! * malformed payloads, short sniff buffers, unknown ops, oversized frames
+//!   and bad magic all come back as typed errors (or a closed connection for
+//!   unrecoverable framing), never hangs or panics,
+//! * a full bounded queue answers `busy` rather than buffering unboundedly,
+//! * stats report the work done and graceful shutdown leaves clients with a
+//!   clean disconnect.
+
+use lwc_core::prelude::*;
+use lwc_server::{ErrorCode, Frame, Op, PROTOCOL_VERSION};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Accumulates bytes off a raw socket until one whole frame decodes (a
+/// single `read` may legally return a partial frame).
+fn read_reply_frame(stream: &mut TcpStream) -> Frame {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 256];
+    loop {
+        match Frame::decode(&buf, 1 << 20) {
+            Ok((frame, _)) => return frame,
+            Err(_) => {
+                let n = stream.read(&mut chunk).expect("reply read");
+                assert!(n > 0, "connection closed before a full reply frame");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+}
+
+fn test_server(workers: usize, queue_depth: usize) -> Server {
+    let config = ServerConfig {
+        workers,
+        queue_depth,
+        scales: 3,
+        tile_size: 32,
+        read_timeout: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", config).expect("bind loopback")
+}
+
+#[test]
+fn sixteen_bit_roundtrip_matches_the_sequential_codec_across_worker_counts() {
+    // The acceptance path: a 16-bit PGM through the server, whole-image and
+    // single-tile decompression, pixels byte-identical to the sequential
+    // LosslessCodec on the same tiles.
+    let image = synth::random_image(80, 60, 16, 7);
+    for workers in [1usize, 2, 4] {
+        let server = test_server(workers, 8);
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+
+        let stream = client.compress_image(&image).expect("compress");
+        // The server compresses deterministically: its bytes are exactly the
+        // tiled engine's (32-pixel tiles, 3 scales, worker-count-free).
+        let reference_engine =
+            TiledCompressor::with_codec(LosslessCodec::new(3).unwrap(), 32, 32, 1).unwrap();
+        assert_eq!(stream, reference_engine.compress(&image).unwrap(), "{workers} workers");
+
+        // Whole-image decompression through the server.
+        let back = client.decompress(&stream).expect("decompress");
+        assert_eq!(back.samples(), image.samples(), "{workers} workers");
+        assert_eq!(back.bit_depth(), 16);
+
+        // Single-tile decompression: every tile equals the sequential
+        // codec's decode of that tile's crop.
+        let grid = reference_engine.grid(80, 60).unwrap();
+        for index in [0, grid.tile_count() - 1] {
+            let tile = client.decompress_tile(&stream, index as u32).expect("tile");
+            let expected = image.crop(grid.rect(index)).unwrap();
+            assert!(stats::bit_exact(&expected, &tile).unwrap(), "tile {index}");
+        }
+        // And an out-of-range tile is a typed remote error.
+        let err = client.decompress_tile(&stream, grid.tile_count() as u32).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Remote { code: ErrorCode::TileIndexOutOfRange, .. }),
+            "{err}"
+        );
+    }
+}
+
+#[test]
+fn pipelined_requests_all_complete_in_request_order() {
+    let server = test_server(2, 16);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let images: Vec<Image> = (0..6).map(|k| synth::ct_phantom(48, 40, 12, k)).collect();
+    let requests: Vec<(Op, Vec<u8>)> = images
+        .iter()
+        .map(|image| {
+            let mut payload = Vec::new();
+            pgm::write_pgm(image, &mut payload).unwrap();
+            (Op::Compress, payload)
+        })
+        .collect();
+    let results = client.pipeline(requests).expect("pipeline");
+    assert_eq!(results.len(), images.len());
+    let codec = TiledCompressor::with_codec(LosslessCodec::new(3).unwrap(), 32, 32, 1).unwrap();
+    for (image, result) in images.iter().zip(results) {
+        let stream = result.expect("per-request success");
+        assert_eq!(stream, codec.compress(image).unwrap());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed_requests, images.len() as u64);
+    assert_eq!(stats.rejected_busy, 0);
+}
+
+#[test]
+fn short_and_malformed_payloads_are_typed_remote_errors() {
+    let server = test_server(1, 4);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // 0..8-byte decompress payloads — the magic-sniffing path server-side —
+    // must answer BadPayload, never crash the worker or hang the client.
+    for len in 0..8usize {
+        let err = client.decompress(&vec![0x4C; len]).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }),
+            "{len}-byte payload: {err}"
+        );
+    }
+    // Same for decompress-tile, whose payload embeds the stream after the
+    // index prefix (an absent prefix is also a typed error).
+    let err = client.decompress_tile(&[], 0).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+    let err = client.request(Op::DecompressTile, vec![0, 0]).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+    // Garbage PGM for compress.
+    let err = client.compress(b"not a pgm").unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+    // The connection survived all of it.
+    let stats = client.stats().expect("stats still works");
+    assert!(stats.contains("\"error_replies\""), "{stats}");
+}
+
+#[test]
+fn unknown_ops_oversized_frames_and_bad_magic_are_refused() {
+    let server = test_server(1, 4);
+
+    // Unknown op: replied with a typed error, connection stays usable.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut raw = Frame { op: Op::Stats, request_id: 42, payload: vec![] }.encode();
+    raw[5] = 0x6E; // not an op this build knows
+    stream.write_all(&raw).unwrap();
+    let frame = read_reply_frame(&mut stream);
+    let (code, _) = frame.error_info().expect("typed error");
+    assert_eq!(code, ErrorCode::UnknownOp);
+    assert_eq!(frame.request_id, 42);
+
+    // A declared payload beyond the limit: error frame, then the server
+    // closes (the frame boundary is lost).
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut huge = Frame { op: Op::Compress, request_id: 7, payload: vec![] }.encode();
+    huge[14..18].copy_from_slice(&u32::MAX.to_be_bytes());
+    stream.write_all(&huge).unwrap();
+    let frame = read_reply_frame(&mut stream);
+    assert_eq!(frame.error_info().expect("typed").0, ErrorCode::FrameTooLarge);
+    assert_eq!(frame.request_id, 7, "the reply echoes the oversized frame's request id");
+
+    // Bad magic: error frame then close.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(&[0u8; 32]).unwrap();
+    let frame = read_reply_frame(&mut stream);
+    assert_eq!(frame.error_info().expect("typed").0, ErrorCode::MalformedFrame);
+
+    // Wrong protocol version: typed refusal.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut versioned = Frame { op: Op::Stats, request_id: 1, payload: vec![] }.encode();
+    versioned[4] = PROTOCOL_VERSION + 9;
+    stream.write_all(&versioned).unwrap();
+    let frame = read_reply_frame(&mut stream);
+    assert_eq!(frame.error_info().expect("typed").0, ErrorCode::UnsupportedVersion);
+}
+
+#[test]
+fn a_full_queue_pushes_back_with_busy_instead_of_buffering() {
+    // One worker, a queue of one, and a flood of pipelined requests: the
+    // server must answer every frame — some Ok, some Busy — and the tallies
+    // must account for every request. (Which requests go busy is timing
+    // dependent; that *none* are silently dropped is not.)
+    let server = test_server(1, 1);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let image = synth::ct_phantom(64, 64, 12, 5);
+    let mut payload = Vec::new();
+    pgm::write_pgm(&image, &mut payload).unwrap();
+    let total = 24usize;
+    let requests: Vec<(Op, Vec<u8>)> =
+        (0..total).map(|_| (Op::Compress, payload.clone())).collect();
+    let results = client.pipeline(requests).expect("pipeline");
+    assert_eq!(results.len(), total);
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    for result in results {
+        match result {
+            Ok(_) => ok += 1,
+            Err(e) if e.is_busy() => busy += 1,
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    assert!(ok > 0, "at least some requests must complete");
+    assert_eq!(ok + busy, total as u64);
+    let stats = server.stats();
+    assert_eq!(stats.completed_requests, ok);
+    assert_eq!(stats.rejected_busy, busy);
+}
+
+#[test]
+fn graceful_shutdown_disconnects_clients_and_joins_threads() {
+    let mut server = test_server(2, 8);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let image = synth::mr_slice(40, 40, 12, 1);
+    client.compress_image(&image).expect("request before shutdown");
+    server.shutdown();
+    // Post-shutdown the port no longer serves: either the connect fails or
+    // anything sent on the old connection errors/disconnects.
+    let outcome = client.compress_image(&image);
+    assert!(outcome.is_err(), "server answered after shutdown");
+    // Shutdown is idempotent (and runs again harmlessly on drop).
+    server.shutdown();
+}
