@@ -45,6 +45,24 @@ fn bench_codec(c: &mut Criterion) {
             std::hint::black_box(writer.into_bytes())
         })
     });
+    c.bench_function("codec_rice_subband_decode", |b| {
+        let subbands = lwc_core::lwc_coder::SubbandCodec::new();
+        let mut writer = lwc_core::lwc_coder::bitio::BitWriter::new();
+        subbands.encode_subband(&mut writer, &detail);
+        let bytes = writer.into_bytes();
+        b.iter(|| {
+            let mut reader = lwc_core::lwc_coder::bitio::BitReader::new(&bytes);
+            std::hint::black_box(subbands.decode_subband(&mut reader, detail.len()).unwrap())
+        })
+    });
+
+    // The 1-D reversible 5/3 synthesis on its own — the interior/boundary
+    // fast-path rewrite's headline kernel.
+    let signal: Vec<i32> = (0..4096i64).map(|i| ((i * i) % 4096) as i32).collect();
+    let (approx, det) = lwc_core::lwc_lifting::forward_53(&signal);
+    c.bench_function("codec_inverse_53_synthesis_4096", |b| {
+        b.iter(|| std::hint::black_box(lwc_core::lwc_lifting::inverse_53(&approx, &det)))
+    });
 }
 
 /// Shorter measurement windows than Criterion's defaults: the regenerated

@@ -45,6 +45,20 @@ fn bench_eq2(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // And its inverse, back to integer pixels.
+    let mut group = c.benchmark_group("eq2_fixed_point_idwt");
+    group.sample_size(10);
+    for size in [128usize, 256] {
+        let image = bench_image(size);
+        let scales = 6.min(image.max_scales());
+        let hw = FixedDwt2d::paper_default(&bank, scales).unwrap();
+        let coeffs = hw.forward(&image).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &coeffs, |b, coeffs| {
+            b.iter(|| std::hint::black_box(hw.inverse(coeffs).unwrap()))
+        });
+    }
+    group.finish();
 }
 
 /// Shorter measurement windows than Criterion's defaults: the regenerated

@@ -32,6 +32,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("conclusions", "simulated architecture + software engines [size]"),
     ("perfjson", "throughput trajectory -> BENCH_throughput.json [size]"),
     ("tiled", "tile-parallel engine smoke [size]"),
+    ("dwt-tiled", "tile-parallel fixed-point DWT vs monolithic [size]"),
     ("serve", "loopback compression service + load generator [connections]"),
     ("all", "every paper artifact above"),
 ];
@@ -54,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "conclusions" => conclusions(size)?,
         "perfjson" => perfjson(size)?,
         "tiled" => tiled(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
+        "dwt-tiled" => dwt_tiled(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
         "serve" => serve(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4))?,
         "all" => {
             table1();
@@ -367,6 +369,69 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     }
     json.push_str("  },\n");
 
+    // Tile-parallel fixed-point DWT: the paper-exact datapath sharded by
+    // regions, swept over tile sizes against the monolithic single-thread
+    // transform on the same frame. Rates are in raw Msamples/s because the
+    // transform has no compressed output.
+    let bank = FilterBank::table1(FilterId::F1);
+    let dwt_scales = 5u32;
+    let hw = FixedDwt2d::paper_default(&bank, dwt_scales)?;
+    let msamples = (large * large) as f64 / 1e6;
+    let mono_forward = {
+        let mut best_s = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = std::time::Instant::now();
+            std::hint::black_box(hw.forward(&large_image)?);
+            best_s = best_s.min(start.elapsed().as_secs_f64());
+        }
+        best_s
+    };
+    json.push_str(&format!(
+        "  \"dwt_tiled\": {{\n    \"frame\": {{\"width\": {large}, \"height\": {large}, \
+         \"bit_depth\": 12, \"scales\": {dwt_scales}, \"filter\": \"F1\"}},\n    \
+         \"monolithic\": {{\"seconds\": {mono_forward:.6}, \"msamples_per_s\": {:.3}}},\n",
+        msamples / mono_forward
+    ));
+    println!(
+        "monolithic fixed DWT forward ({large}x{large}): {:>8.1} Msamples/s",
+        msamples / mono_forward
+    );
+    for (index, &tile) in tile_sizes.iter().enumerate() {
+        let engine = TiledFixedDwt2d::with_transform(hw.clone(), tile, tile, 0)?;
+        let tiles = engine.grid(large, large)?.tile_count();
+        let mut forward_s = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let (_, report) = engine.forward_with_report(&large_image)?;
+            forward_s = forward_s.min(report.wall.as_secs_f64());
+        }
+        let coeffs = engine.forward(&large_image)?;
+        let mut inverse_s = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = std::time::Instant::now();
+            std::hint::black_box(engine.inverse(&coeffs)?);
+            inverse_s = inverse_s.min(start.elapsed().as_secs_f64());
+        }
+        let comma = if index + 1 == tile_sizes.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"tile_{tile}\": {{\"workers\": {}, \"tiles\": {tiles}, \"forward\": \
+             {{\"seconds\": {forward_s:.6}, \"msamples_per_s\": {:.3}, \"tiles_per_s\": \
+             {:.3}}}, \"inverse\": {{\"seconds\": {inverse_s:.6}, \"msamples_per_s\": \
+             {:.3}}}}}{comma}\n",
+            engine.workers(),
+            msamples / forward_s,
+            tiles as f64 / forward_s,
+            msamples / inverse_s,
+        ));
+        println!(
+            "dwt tiled tile={tile:<4} ({} workers, {tiles:>3} tiles): forward {:>8.1} \
+             Msamples/s, inverse {:>8.1} Msamples/s",
+            engine.workers(),
+            msamples / forward_s,
+            msamples / inverse_s,
+        );
+    }
+    json.push_str("  },\n");
+
     // Serving layer: a loopback LWCP server driven by the concurrent load
     // generator — requests/s and MB/s through real sockets, recorded next to
     // the in-process engines so the service overhead stays visible.
@@ -399,8 +464,10 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("}\n");
     std::fs::write("BENCH_throughput.json", &json)?;
     println!(
-        "wrote BENCH_throughput.json ({} modes + {} tiled sweeps + serve, best of {reps} reps)",
+        "wrote BENCH_throughput.json ({} modes + {} tiled sweeps + {} dwt_tiled sweeps + \
+         serve, best of {reps} reps)",
         modes.len(),
+        tile_sizes.len(),
         tile_sizes.len()
     );
     Ok(())
@@ -499,6 +566,74 @@ fn tiled(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Tile-parallel fixed-point DWT smoke on one large frame: the tiled driver
+/// must be bit-identical to the monolithic transform — a single-tile grid
+/// reproduces `FixedDwt2d::forward` exactly, every multi-tile region matches
+/// the monolithic transform of its crop, the words never depend on the
+/// worker count, and the round trip is lossless. CI runs this at 4096×4096.
+fn dwt_tiled(size: usize) -> Result<(), Box<dyn std::error::Error>> {
+    heading(&format!("Tile-parallel fixed-point DWT smoke — {size}x{size} 12-bit frame"));
+    let bank = FilterBank::table1(FilterId::F1);
+    let scales = 5u32;
+    let frame = synth::ct_phantom(size, size, 12, 42);
+    let engine = TiledFixedDwt2d::new(&bank, scales, DEFAULT_TILE_SIZE, 0)?;
+    let grid = engine.grid(size, size)?;
+    println!(
+        "tile grid: {}x{} tiles of {}x{} ({} tiles), {} workers, {scales} scales",
+        grid.tiles_x(),
+        grid.tiles_y(),
+        grid.tile_width(),
+        grid.tile_height(),
+        grid.tile_count(),
+        engine.workers()
+    );
+
+    let (coeffs, report) = engine.forward_with_report(&frame)?;
+    println!("tiled forward:      {report}");
+
+    // Worker-count independence: one worker must produce the same words.
+    let sequential = TiledFixedDwt2d::new(&bank, scales, DEFAULT_TILE_SIZE, 1)?;
+    let (seq_coeffs, seq_report) = sequential.forward_with_report(&frame)?;
+    assert!(coeffs == seq_coeffs, "tiled DWT words must not depend on the worker count");
+    println!(
+        "1-worker forward:   {seq_report} ({:.2}x parallel speedup, words identical)",
+        report.speedup_over(&seq_report)
+    );
+
+    // Tiled == monolithic, degenerate grid: one tile covering the frame is
+    // exactly the monolithic transform of the whole frame.
+    let monolithic = FixedDwt2d::paper_default(&bank, scales)?;
+    let single = TiledFixedDwt2d::with_transform(monolithic.clone(), size, size, 0)?;
+    let start = std::time::Instant::now();
+    let whole = monolithic.forward(&frame)?;
+    let mono_wall = start.elapsed().as_secs_f64();
+    let single_tiles = single.forward(&frame)?;
+    assert!(single_tiles.grid().is_single() && single_tiles.tile(0) == &whole);
+    println!(
+        "monolithic forward: {:.3} s ({:.1} Msamples/s); single-tile grid bit-identical",
+        mono_wall,
+        (size * size) as f64 / 1e6 / mono_wall.max(1e-9)
+    );
+
+    // Tiled == monolithic, per region: sampled tiles of the multi-tile grid
+    // match the monolithic transform of their crops word for word.
+    for index in [0, grid.tile_count() / 2, grid.tile_count() - 1] {
+        let crop = frame.crop(grid.rect(index))?;
+        assert!(
+            coeffs.tile(index) == &monolithic.forward(&crop)?,
+            "tile {index} must match the monolithic transform of its region"
+        );
+    }
+    println!("sampled tiles match the monolithic transform of their regions word for word");
+
+    // Lossless round trip through the tile-parallel inverse.
+    let back = engine.inverse(&coeffs)?;
+    let exact = stats::bit_exact(&frame, &back)?;
+    println!("tiled inverse round trip lossless: {}", if exact { "yes" } else { "NO" });
+    assert!(exact, "tiled fixed-point round trip must be bit exact");
+    Ok(())
+}
+
 fn conclusions(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     heading(&format!("Conclusions — simulated architecture on a {size}x{size} 12-bit image"));
     let c = reproduction::conclusions(size)?;
@@ -580,5 +715,24 @@ fn conclusions(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     let tiled_back = tiled_engine.decompress(&tiled_bytes)?;
     assert!(stats::bit_exact(single, &tiled_back)?, "tiled round trip must be lossless");
     println!("  tile-parallel ({}px tiles): {tiled_report}", tiled_engine.tile_width());
+
+    // Tile-parallel fixed-point DWT — the paper-exact datapath itself
+    // region-sharded across the pool, bit-identical per region to the
+    // monolithic transform. Skipped (with a note) when the size's tiles
+    // cannot halve to the configured depth.
+    let dwt_tile = (size / 4).max(32);
+    let hw = FixedDwt2d::paper_default(&bank, scales)?;
+    match parallel.tiled_dwt(hw, dwt_tile, dwt_tile) {
+        Ok(dwt_engine) if dwt_engine.grid(size, size).is_ok() => {
+            let (coeffs, fwd_report) = dwt_engine.forward_with_report(single)?;
+            let back = dwt_engine.inverse(&coeffs)?;
+            assert!(stats::bit_exact(single, &back)?, "tiled fixed DWT must be lossless");
+            println!("  tile-parallel fixed DWT ({dwt_tile}px tiles): {fwd_report}");
+        }
+        _ => println!(
+            "  tile-parallel fixed DWT: skipped ({dwt_tile}px tiles of a {size}px frame \
+             cannot halve {scales} times)"
+        ),
+    }
     Ok(())
 }

@@ -27,6 +27,7 @@ fn unknown_subcommands_list_artifacts_and_exit_nonzero() {
         "conclusions",
         "perfjson",
         "tiled",
+        "dwt-tiled",
         "serve",
         "all",
     ] {

@@ -29,7 +29,8 @@ pub use lwc_perf::hardware::{HardwareModel, ThroughputReport};
 pub use lwc_perf::software::SoftwareModel;
 pub use lwc_pipeline::{
     BatchCompressor, BatchReport, ParallelCodec, ParallelFixedDwt2d, PipelineError, RowBand,
-    SubbandDirectory, TiledCompressor, TiledReport, DEFAULT_TILE_SIZE,
+    SubbandDirectory, TiledCompressor, TiledDecomposition, TiledDwtReport, TiledFixedDwt2d,
+    TiledReport, DEFAULT_TILE_SIZE,
 };
 pub use lwc_server::{
     loadgen, Client, LoadGenConfig, LoadReport, Server, ServerConfig, ServerError, ServerStats,

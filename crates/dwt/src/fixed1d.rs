@@ -21,7 +21,13 @@
 //! inner loops therefore split each pass into an **interior fast path** —
 //! direct slice indexing, plain 64-bit multiply–add — and a boundary slow
 //! path that keeps the original `rem_euclid` wrap and per-tap checked
-//! arithmetic.
+//! arithmetic. The *analysis* interior consumes its dot products through the
+//! chunked multi-lane [`lwc_fixed::MacAccumulator::mac_slice`] kernel
+//! (fixed-width independent lanes, no per-tap branching, written so the
+//! compiler autovectorizes); the *synthesis* interior is a scatter-accumulate
+//! (each input contributes to a window of outputs rather than the reverse),
+//! so it stays a plain contiguous multiply–add loop — already
+//! dependency-free across taps — instead of a dot product.
 //!
 //! Dropping the per-tap `checked_mul`/`checked_add` in the interior is
 //! justified by a worst-case bound evaluated **once per pass** instead of
@@ -137,18 +143,16 @@ pub fn analyze_periodic_fixed(
         boundary(k, &mut approx, &mut detail, &mut acc)?;
     }
     for k in lo..hi.min(half) {
-        // Interior fast path: both kernels read a contiguous window.
+        // Interior fast path: both kernels read a contiguous window, consumed
+        // by the chunked multi-lane MAC kernel (bit-identical to the scalar
+        // chain under the once-per-pass bound — see `MacAccumulator::mac_slice`).
         let lp_start = (2 * k as i64 + i64::from(lowpass.min_index())) as usize;
         acc.clear();
-        for (&c, &v) in lowpass.raw().iter().zip(&x[lp_start..lp_start + lowpass.len()]) {
-            acc.mac_unchecked(c, v);
-        }
+        acc.mac_slice(lowpass.raw(), &x[lp_start..lp_start + lowpass.len()]);
         approx.push(step.round(acc.value())?);
         let hp_start = (2 * k as i64 + i64::from(highpass.min_index())) as usize;
         acc.clear();
-        for (&c, &v) in highpass.raw().iter().zip(&x[hp_start..hp_start + highpass.len()]) {
-            acc.mac_unchecked(c, v);
-        }
+        acc.mac_slice(highpass.raw(), &x[hp_start..hp_start + highpass.len()]);
         detail.push(step.round(acc.value())?);
     }
     for k in lo.max(hi.min(half))..half {

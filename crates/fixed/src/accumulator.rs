@@ -27,6 +27,13 @@ pub struct MacAccumulator {
     ops: u64,
 }
 
+/// Lane width of [`MacAccumulator::mac_slice`]'s chunked inner loop.
+///
+/// Four independent 64-bit accumulators fill a 256-bit vector register; on
+/// narrower targets the compiler simply unrolls, which still removes the
+/// loop-carried dependency of the scalar MAC chain.
+pub const MAC_LANES: usize = 4;
+
 impl MacAccumulator {
     /// Creates an accumulator cleared to zero.
     #[must_use]
@@ -83,6 +90,54 @@ impl MacAccumulator {
     pub fn mac_unchecked(&mut self, a: i64, b: i64) -> i64 {
         self.value += a * b;
         self.ops += 1;
+        self.value
+    }
+
+    /// Multiply–accumulates two equal-length slices **without** per-tap
+    /// overflow checks: `acc += Σ coeffs[i] * samples[i]`.
+    ///
+    /// This is the SIMD-friendly form of [`Self::mac_unchecked`], structured
+    /// for the compiler's autovectorizer: the bulk of the slice is consumed
+    /// in fixed-width chunks of [`MAC_LANES`] fully independent lane
+    /// accumulators (no loop-carried dependency inside a chunk, no per-tap
+    /// branch), and only the sub-chunk tail runs the scalar loop.
+    ///
+    /// # Bit-identity
+    ///
+    /// The result is **bit-identical** to folding the same taps through
+    /// [`Self::mac_unchecked`] one by one: under the caller's once-per-pass
+    /// bound (see [`dot_product_fits_i64`]) every partial sum — in *any*
+    /// association order, because each is bounded by the full
+    /// `L1(coeffs) * max|sample|` — stays inside `i64`, and overflow-free
+    /// 64-bit integer addition is associative and commutative. The lane
+    /// split therefore reorders only exact additions. The workspace property
+    /// tests diff the two paths tap-for-tap across all Table I banks.
+    ///
+    /// Like [`Self::mac_unchecked`], this is only sound when the caller has
+    /// established the bound; callers that cannot prove it must use
+    /// [`Self::mac`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn mac_slice(&mut self, coeffs: &[i64], samples: &[i64]) -> i64 {
+        assert_eq!(coeffs.len(), samples.len(), "mac_slice operands must have equal length");
+        let mut lanes = [0i64; MAC_LANES];
+        let c_chunks = coeffs.chunks_exact(MAC_LANES);
+        let s_chunks = samples.chunks_exact(MAC_LANES);
+        let c_tail = c_chunks.remainder();
+        let s_tail = s_chunks.remainder();
+        for (c, s) in c_chunks.zip(s_chunks) {
+            for lane in 0..MAC_LANES {
+                lanes[lane] += c[lane] * s[lane];
+            }
+        }
+        let mut sum: i64 = lanes.iter().sum();
+        for (&c, &s) in c_tail.iter().zip(s_tail) {
+            sum += c * s;
+        }
+        self.value += sum;
+        self.ops += coeffs.len() as u64;
         self.value
     }
 
@@ -197,6 +252,40 @@ mod tests {
         }
         assert_eq!(checked.value(), unchecked.value());
         assert_eq!(checked.ops(), unchecked.ops());
+    }
+
+    #[test]
+    fn mac_slice_matches_the_scalar_mac_chain() {
+        // Lengths straddling the lane width: empty, sub-lane, exact multiples
+        // and ragged tails, including odd/prime lengths.
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 11, 13, 16, 29] {
+            let coeffs: Vec<i64> = (0..len).map(|i| (i as i64 - 5) * 1_000_003).collect();
+            let samples: Vec<i64> = (0..len).map(|i| (i as i64 * 7 - 11) << 20).collect();
+            let mut scalar = MacAccumulator::new();
+            for (&c, &s) in coeffs.iter().zip(&samples) {
+                scalar.mac_unchecked(c, s);
+            }
+            let mut sliced = MacAccumulator::new();
+            sliced.mac_slice(&coeffs, &samples);
+            assert_eq!(scalar.value(), sliced.value(), "len {len}");
+            assert_eq!(scalar.ops(), sliced.ops(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn mac_slice_accumulates_on_top_of_prior_state() {
+        let mut acc = MacAccumulator::new();
+        acc.mac(10, 10).unwrap();
+        acc.mac_slice(&[2, -3], &[5, 7]);
+        assert_eq!(acc.value(), 100 + 10 - 21);
+        assert_eq!(acc.ops(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mac_slice_rejects_mismatched_lengths() {
+        let mut acc = MacAccumulator::new();
+        let _ = acc.mac_slice(&[1, 2, 3], &[1, 2]);
     }
 
     #[test]

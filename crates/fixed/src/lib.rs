@@ -40,7 +40,7 @@ mod fx;
 mod qformat;
 mod rounding;
 
-pub use accumulator::{dot_product_fits_i64, MacAccumulator};
+pub use accumulator::{dot_product_fits_i64, MacAccumulator, MAC_LANES};
 pub use error::FixedError;
 pub use fx::Fx;
 pub use qformat::QFormat;

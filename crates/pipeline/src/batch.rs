@@ -94,6 +94,23 @@ impl BatchCompressor {
         TiledCompressor::with_codec(self.codec, tile_width, tile_height, self.workers)
     }
 
+    /// The tile-parallel **fixed-point DWT** driver sharing this engine's
+    /// worker budget — the paper-exact datapath's answer to
+    /// [`BatchCompressor::tiled`], for workloads that need the raw Table II
+    /// coefficient words of a frame too large to transform monolithically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PipelineError::Config`] for an invalid tile shape.
+    pub fn tiled_dwt(
+        &self,
+        transform: lwc_dwt::FixedDwt2d,
+        tile_width: usize,
+        tile_height: usize,
+    ) -> Result<crate::TiledFixedDwt2d, PipelineError> {
+        crate::TiledFixedDwt2d::with_transform(transform, tile_width, tile_height, self.workers)
+    }
+
     /// Compresses one image with per-subband parallelism (byte-identical to
     /// [`lwc_coder::LosslessCodec::compress`]).
     ///

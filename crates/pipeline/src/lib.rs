@@ -26,6 +26,11 @@
 //!   ([`lwc_coder::tiled`]), lifting the whole-image size limit, fanning one
 //!   large image across the pool, and enabling bounded-memory row-band
 //!   streaming decode ([`TiledCompressor::decompress_row_bands`]).
+//! * [`TiledFixedDwt2d`] — the same tile sharding applied to the
+//!   **paper-exact fixed-point** datapath: regions transform concurrently
+//!   through the unmodified [`lwc_dwt::FixedDwt2d`] region APIs, so every
+//!   tile's coefficients are bit-identical to the monolithic transform of
+//!   that region and independent of the worker count.
 //! * [`BatchCompressor::compress_iter`] / [`BatchCompressor::decompress_iter`]
 //!   — the streaming form: images flow through a bounded channel into the
 //!   worker pool and compressed streams come out in order, so an arbitrarily
@@ -34,7 +39,7 @@
 //!   compression ratio).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batch;
 mod error;
@@ -43,11 +48,13 @@ mod pardwt;
 mod report;
 mod stream;
 mod tiled;
+mod tileddwt;
 
 pub use batch::BatchCompressor;
 pub use error::PipelineError;
 pub use parcodec::{ParallelCodec, SubbandDirectory};
 pub use pardwt::ParallelFixedDwt2d;
-pub use report::{BatchReport, TiledReport};
+pub use report::{BatchReport, TiledDwtReport, TiledReport};
 pub use stream::OrderedStream;
 pub use tiled::{RowBand, RowBands, TiledCompressor, DEFAULT_TILE_SIZE};
+pub use tileddwt::{TiledDecomposition, TiledFixedDwt2d};

@@ -163,7 +163,7 @@ impl ParallelCodec {
             let mut writer = BitWriter::new();
             subbands.encode_subband(&mut writer, &samples);
             let bits = writer.bit_len();
-            Ok((writer.into_bytes(), bits))
+            Ok::<_, CoderError>((writer.into_bytes(), bits))
         })?;
 
         // Splice the fragments into the sequential layout.
@@ -258,23 +258,26 @@ impl ParallelCodec {
 
 /// Runs `job(0..count)` across `workers` scoped threads with dynamic work
 /// stealing and returns the outputs in index order. Shared with the
-/// tile-parallel engine in [`crate::TiledCompressor`].
-pub(crate) fn run_indexed<Out, Job>(
+/// tile-parallel engines in [`crate::TiledCompressor`] and
+/// [`crate::TiledFixedDwt2d`] (whose jobs fail with different error types,
+/// hence the generic `E`).
+pub(crate) fn run_indexed<Out, Err, Job>(
     workers: usize,
     count: usize,
     job: Job,
 ) -> Result<Vec<Out>, PipelineError>
 where
     Out: Send,
-    Job: Fn(usize) -> Result<Out, CoderError> + Sync,
+    Err: Into<PipelineError> + Send,
+    Job: Fn(usize) -> Result<Out, Err> + Sync,
 {
     let workers = workers.min(count).max(1);
     if workers == 1 {
-        return (0..count).map(|i| job(i).map_err(PipelineError::from)).collect();
+        return (0..count).map(|i| job(i).map_err(Into::into)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Out>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let failure: Mutex<Option<CoderError>> = Mutex::new(None);
+    let failure: Mutex<Option<Err>> = Mutex::new(None);
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -301,7 +304,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner().expect("slot poisoned").ok_or_else(|| {
-                PipelineError::Config("parallel codec worker abandoned a subband".into())
+                PipelineError::Config("parallel worker abandoned a work item".into())
             })
         })
         .collect()
