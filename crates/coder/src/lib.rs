@@ -14,12 +14,19 @@
 //! * [`tiled`] — the versioned tiled container format (`LWCT`): a tile-grid
 //!   header plus a per-tile byte-offset directory wrapping independent
 //!   per-tile streams, the format behind the tile-parallel engine in
-//!   `lwc-pipeline`.
+//!   `lwc-pipeline`,
+//! * [`fixedband`] — the fixed-word Rice coder for the paper's own datapath:
+//!   [`FixedSubbandCodec`] block-adaptively codes the `i64` transform words
+//!   the fixed-point DWT produces at the Table II word lengths,
+//! * [`fixedtiled`] — the versioned fixed-path container format (`LWCF`)
+//!   that wraps per-tile fixed-subband payloads behind the same 48-bit
+//!   offset-directory machinery as `LWCT`.
 //!
 //! The fixed-point transform of the paper is validated for losslessness in
-//! `lwc-dwt`; its coefficients are wide fractional words and are not what one
-//! would entropy-code directly, so the end-to-end compression numbers in the
-//! examples use the reversible integer transform (see DESIGN.md §5).
+//! `lwc-dwt`; historically the end-to-end compression numbers used only the
+//! reversible integer transform (see DESIGN.md §5), but with [`fixedband`]
+//! and [`fixedtiled`] the paper-exact datapath now has a complete entropy
+//! back end of its own.
 //!
 //! ```
 //! use lwc_coder::LosslessCodec;
@@ -41,12 +48,19 @@
 pub mod bitio;
 mod codec;
 mod error;
+pub mod fixedband;
+pub mod fixedtiled;
 pub mod rice;
 mod subband;
 pub mod tiled;
 
 pub use codec::{subband_order, CompressionReport, LosslessCodec, StreamHeader};
 pub use error::CoderError;
+pub use fixedband::{FixedSubbandCodec, FIXED_PARAMETER_BITS, MAX_FIXED_RICE_PARAMETER};
+pub use fixedtiled::{
+    is_fixed, write_fixed_container, FixedHeader, FixedStream, FIXED_HEADER_BYTES, FIXED_MAGIC,
+    FIXED_VERSION,
+};
 pub use subband::{SubbandCodec, BLOCK_SIZE, MAX_UNARY_RUN_BITS};
 pub use tiled::{TiledHeader, TiledStream};
 

@@ -51,8 +51,87 @@ pub const TILED_VERSION: u8 = 1;
 pub const TILED_HEADER_BYTES: usize = 23;
 
 /// Bits per directory entry (a 48-bit byte offset: containers beyond 256 TB
-/// are out of scope).
-const OFFSET_BITS: u32 = 48;
+/// are out of scope). Shared with the fixed-path `LWCF` container, which uses
+/// the identical directory layout.
+pub(crate) const OFFSET_BITS: u32 = 48;
+
+/// Appends the `(payloads.len() + 1)`-entry 48-bit byte-offset directory and
+/// the concatenated payloads to a writer that already holds a
+/// `header_bytes`-byte container header. Shared by the `LWCT` and `LWCF`
+/// writers so both formats' directories are one implementation.
+pub(crate) fn append_directory_and_payloads(
+    mut writer: BitWriter,
+    header_bytes: usize,
+    payloads: &[Vec<u8>],
+) -> Vec<u8> {
+    let directory_bytes = (payloads.len() + 1) * (OFFSET_BITS as usize / 8);
+    let mut offset = header_bytes + directory_bytes;
+    for payload in payloads {
+        writer.write_bits(offset as u64, OFFSET_BITS);
+        offset += payload.len();
+    }
+    writer.write_bits(offset as u64, OFFSET_BITS);
+    let mut bytes = writer.into_bytes();
+    debug_assert_eq!(bytes.len(), header_bytes + directory_bytes);
+    bytes.reserve(offset - bytes.len());
+    for payload in payloads {
+        bytes.extend_from_slice(payload);
+    }
+    bytes
+}
+
+/// Reads and cross-validates a tile directory of `claimed` tiles: first
+/// bounds the entry count by what `stream_len` bytes can physically hold
+/// (the header fields are attacker controlled — nothing is allocated from
+/// them before this check), then verifies that the offsets start exactly at
+/// the end of the directory, never decrease, and end exactly at the stream's
+/// last byte. Shared by the `LWCT` and `LWCF` parsers.
+pub(crate) fn read_directory(
+    reader: &mut BitReader<'_>,
+    stream_len: usize,
+    header_bytes: usize,
+    claimed: u128,
+) -> Result<Vec<u64>, CoderError> {
+    let entry_bytes = OFFSET_BITS as usize / 8;
+    let available = (stream_len.saturating_sub(header_bytes) / entry_bytes) as u128;
+    if claimed + 1 > available {
+        return Err(CoderError::MalformedStream(format!(
+            "tile directory needs {} entries but at most {available} fit the stream",
+            claimed + 1
+        )));
+    }
+    let tile_count = claimed as usize;
+    let mut offsets = Vec::with_capacity(tile_count + 1);
+    for index in 0..=tile_count {
+        let offset = reader.read_bits(OFFSET_BITS).map_err(|_| {
+            CoderError::MalformedStream(format!(
+                "truncated tile directory: missing offset {index} of {}",
+                tile_count + 1
+            ))
+        })?;
+        offsets.push(offset);
+    }
+    let payload_start = (header_bytes + (tile_count + 1) * entry_bytes) as u64;
+    if offsets[0] != payload_start {
+        return Err(CoderError::MalformedStream(format!(
+            "tile directory starts payloads at byte {} but the header implies {payload_start}",
+            offsets[0]
+        )));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(CoderError::MalformedStream(
+            "tile directory offsets are not monotonically non-decreasing".to_owned(),
+        ));
+    }
+    if *offsets.last().expect("tile_count + 1 >= 1 offsets") != stream_len as u64 {
+        return Err(CoderError::MalformedStream(format!(
+            "tile directory ends payloads at byte {} but the container holds {} bytes",
+            offsets.last().expect("nonempty"),
+            stream_len
+        )));
+    }
+    Ok(offsets)
+}
 
 /// Parsed fixed-size header of a tiled container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,20 +289,7 @@ pub fn write_container(header: &TiledHeader, payloads: &[Vec<u8>]) -> Result<Vec
     }
     let mut writer = BitWriter::new();
     header.write(&mut writer)?;
-    let directory_bytes = (payloads.len() + 1) * (OFFSET_BITS as usize / 8);
-    let mut offset = TILED_HEADER_BYTES + directory_bytes;
-    for payload in payloads {
-        writer.write_bits(offset as u64, OFFSET_BITS);
-        offset += payload.len();
-    }
-    writer.write_bits(offset as u64, OFFSET_BITS);
-    let mut bytes = writer.into_bytes();
-    debug_assert_eq!(bytes.len(), TILED_HEADER_BYTES + directory_bytes);
-    bytes.reserve(offset - bytes.len());
-    for payload in payloads {
-        bytes.extend_from_slice(payload);
-    }
-    Ok(bytes)
+    Ok(append_directory_and_payloads(writer, TILED_HEADER_BYTES, payloads))
 }
 
 /// A parsed (but not yet decoded) tiled container: the header, the validated
@@ -254,11 +320,6 @@ impl<'a> TiledStream<'a> {
         let mut reader = BitReader::new(bytes);
         let header = TiledHeader::read(&mut reader)?;
         let grid = header.grid()?;
-        // Bound the tile count by what the stream can physically hold BEFORE
-        // sizing anything from it: the 32-bit header fields are attacker
-        // controlled, and tiles_x * tiles_y on a forged header can exceed
-        // both memory and usize. Every real container carries tile_count + 1
-        // directory entries, so the stream length is a hard ceiling.
         // Same decompression-bomb guard as the legacy header: every sample
         // costs at least one payload bit across the per-tile streams, so a
         // pixel count beyond the stream's bit count is forged — reject it
@@ -274,44 +335,7 @@ impl<'a> TiledStream<'a> {
             )));
         }
         let claimed = grid.tiles_x() as u128 * grid.tiles_y() as u128;
-        let entry_bytes = OFFSET_BITS as usize / 8;
-        let available = (bytes.len().saturating_sub(TILED_HEADER_BYTES) / entry_bytes) as u128;
-        if claimed + 1 > available {
-            return Err(CoderError::MalformedStream(format!(
-                "tile directory needs {} entries but at most {available} fit the stream",
-                claimed + 1
-            )));
-        }
-        let tile_count = claimed as usize;
-        let mut offsets = Vec::with_capacity(tile_count + 1);
-        for index in 0..=tile_count {
-            let offset = reader.read_bits(OFFSET_BITS).map_err(|_| {
-                CoderError::MalformedStream(format!(
-                    "truncated tile directory: missing offset {index} of {}",
-                    tile_count + 1
-                ))
-            })?;
-            offsets.push(offset);
-        }
-        let payload_start = (TILED_HEADER_BYTES + (tile_count + 1) * entry_bytes) as u64;
-        if offsets[0] != payload_start {
-            return Err(CoderError::MalformedStream(format!(
-                "tile directory starts payloads at byte {} but the header implies {payload_start}",
-                offsets[0]
-            )));
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(CoderError::MalformedStream(
-                "tile directory offsets are not monotonically non-decreasing".to_owned(),
-            ));
-        }
-        if *offsets.last().expect("tile_count + 1 >= 1 offsets") != bytes.len() as u64 {
-            return Err(CoderError::MalformedStream(format!(
-                "tile directory ends payloads at byte {} but the container holds {} bytes",
-                offsets.last().expect("nonempty"),
-                bytes.len()
-            )));
-        }
+        let offsets = read_directory(&mut reader, bytes.len(), TILED_HEADER_BYTES, claimed)?;
         Ok(Self { header, offsets, bytes })
     }
 

@@ -1,20 +1,27 @@
 //! Convenient re-exports of the types most programs need.
 //!
+//! The central abstraction is the [`Codec`] trait: every compression engine
+//! in the workspace — [`LosslessCodec`], [`ParallelCodec`],
+//! [`TiledCompressor`] and the paper-exact [`TiledFixedCompressor`] —
+//! implements it, so generic code holds a `&dyn Codec` and never enumerates
+//! engines.
+//!
 //! ```
 //! use lwc_core::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let bank = FilterBank::table1(FilterId::F4);
-//! let dwt = FixedDwt2d::paper_default(&bank, 3)?;
+//! let engine: Box<dyn Codec> = Box::new(TiledCompressor::new(3, 64, 2)?);
 //! let image = synth::mr_slice(64, 64, 12, 0);
-//! assert!(stats::bit_exact(&image, &dwt.roundtrip(&image)?)?);
+//! assert!(stats::bit_exact(&image, &engine.roundtrip(&image)?)?);
 //! # Ok(())
 //! # }
 //! ```
 
 pub use lwc_arch::{ArchParams, ArchReport, ArchSimulator, InverseSimulationRun, SimulationRun};
 pub use lwc_baselines::{table3, ArchitectureClass, ArchitectureCost, CostParameters};
-pub use lwc_coder::{CompressionReport, LosslessCodec};
+pub use lwc_coder::{
+    CompressionReport, FixedHeader, FixedStream, FixedSubbandCodec, LosslessCodec,
+};
 pub use lwc_dwt::{Decomposition, Dwt2d, DwtError, FixedDwt2d, Subband};
 pub use lwc_filters::{
     BankMetrics, BiorthogonalityReport, CoefficientPrecision, FilterBank, FilterId, Kernel,
@@ -28,9 +35,9 @@ pub use lwc_lifting::Lifting53;
 pub use lwc_perf::hardware::{HardwareModel, ThroughputReport};
 pub use lwc_perf::software::SoftwareModel;
 pub use lwc_pipeline::{
-    BatchCompressor, BatchReport, ParallelCodec, ParallelFixedDwt2d, PipelineError, RowBand,
-    SubbandDirectory, TiledCompressor, TiledDecomposition, TiledDwtReport, TiledFixedDwt2d,
-    TiledReport, DEFAULT_TILE_SIZE,
+    BatchCompressor, BatchReport, Codec, CodecCapabilities, ParallelCodec, ParallelFixedDwt2d,
+    PipelineError, RowBand, SubbandDirectory, TiledCompressor, TiledDecomposition, TiledDwtReport,
+    TiledFixedCompressor, TiledFixedDwt2d, TiledReport, DEFAULT_TILE_SIZE,
 };
 pub use lwc_server::{
     loadgen, Client, LoadGenConfig, LoadReport, Server, ServerConfig, ServerError, ServerStats,

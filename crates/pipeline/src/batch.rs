@@ -2,7 +2,7 @@
 
 use crate::report::BatchReport;
 use crate::stream::{spawn_ordered, OrderedStream};
-use crate::{PipelineError, TiledCompressor};
+use crate::{Codec, PipelineError, TiledCompressor, TiledFixedCompressor};
 use lwc_coder::LosslessCodec;
 use lwc_image::Image;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -111,24 +111,49 @@ impl BatchCompressor {
         crate::TiledFixedDwt2d::with_transform(transform, tile_width, tile_height, self.workers)
     }
 
+    /// The complete paper-exact codec sharing this engine's depth and worker
+    /// budget: the tile-parallel fixed-point DWT feeding the fixed-word Rice
+    /// coder into `LWCF` containers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid tile shape or an unbuildable
+    /// word-length plan.
+    pub fn tiled_fixed(
+        &self,
+        bank: &lwc_filters::FilterBank,
+        tile_size: usize,
+    ) -> Result<TiledFixedCompressor, PipelineError> {
+        TiledFixedCompressor::new(bank, self.codec.scales(), tile_size, self.workers)
+    }
+
     /// Compresses one image with per-subband parallelism (byte-identical to
     /// [`lwc_coder::LosslessCodec::compress`]).
+    ///
+    /// **Note**: this spelling is superseded by the [`Codec`] trait — it is
+    /// now literally `Codec::compress` on
+    /// [`BatchCompressor::single_image_codec`], and new call sites should
+    /// dispatch through the trait.
     ///
     /// # Errors
     ///
     /// Returns an error if the image cannot be decomposed to the configured
     /// depth.
     pub fn compress_one(&self, image: &Image) -> Result<Vec<u8>, PipelineError> {
-        self.single_image_codec().compress(image)
+        Codec::compress(&self.single_image_codec(), image)
     }
 
     /// Decompresses one stream with per-subband parallelism.
+    ///
+    /// **Note**: superseded by [`Codec::decompress`] on
+    /// [`BatchCompressor::single_image_codec`], same as
+    /// [`BatchCompressor::compress_one`].
     ///
     /// # Errors
     ///
     /// Returns an error for malformed streams or mismatched configuration.
     pub fn decompress_one(&self, bytes: &[u8]) -> Result<Image, PipelineError> {
-        self.single_image_codec().decompress(bytes)
+        Codec::decompress(&self.single_image_codec(), bytes)
     }
 
     /// Compresses a whole batch, returning the per-image streams (in input
@@ -358,6 +383,18 @@ mod tests {
         let bytes = tiled.compress(&image).unwrap();
         assert!(stats::bit_exact(&image, &tiled.decompress(&bytes).unwrap()).unwrap());
         assert!(engine.tiled(0, 4).is_err());
+    }
+
+    #[test]
+    fn tiled_fixed_engine_shares_depth_and_workers() {
+        let engine = BatchCompressor::new(3, 2).unwrap();
+        let bank = lwc_filters::FilterBank::table1(lwc_filters::FilterId::F1);
+        let fixed = engine.tiled_fixed(&bank, 32).unwrap();
+        assert_eq!(fixed.workers(), engine.workers());
+        assert_eq!(fixed.scales(), engine.codec().scales());
+        let image = synth::ct_phantom(64, 64, 12, 13);
+        let bytes = fixed.compress(&image).unwrap();
+        assert!(stats::bit_exact(&image, &fixed.decompress(&bytes).unwrap()).unwrap());
     }
 
     #[test]

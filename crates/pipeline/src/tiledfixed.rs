@@ -1,0 +1,651 @@
+//! End-to-end compression on the **paper-exact fixed-point** datapath: the
+//! tile-parallel `LWCF` engine.
+//!
+//! [`TiledCompressor`](crate::TiledCompressor) pairs the lifting transform
+//! with the Rice coder; this module closes the same loop for the datapath the
+//! paper actually builds. A [`TiledFixedCompressor`] drives a
+//! [`TiledFixedDwt2d`] (tiles transformed bit-identically to the monolithic
+//! [`FixedDwt2d`]), Rice-codes every tile's `i64` transform words with
+//! [`FixedSubbandCodec`], and wraps the payloads in the versioned `LWCF`
+//! container ([`lwc_coder::fixedtiled`]).
+//!
+//! The stream is deterministic for a given tile shape — the worker count
+//! never changes a byte. Multi-tile grids parallelize per **tile** (payloads
+//! are byte-aligned and concatenated by the shared directory writer);
+//! single-tile grids parallelize per **subband**, splicing the fragments at
+//! bit level into the exact sequential payload, the same machinery
+//! [`ParallelCodec`](crate::ParallelCodec) uses on the lifting path.
+
+use crate::parcodec::run_indexed;
+use crate::report::TiledReport;
+use crate::{PipelineError, TiledFixedDwt2d};
+use lwc_coder::bitio::{BitReader, BitWriter};
+use lwc_coder::fixedtiled::{write_fixed_container, FixedHeader, FixedStream};
+use lwc_coder::{subband_order, CoderError, FixedSubbandCodec};
+use lwc_dwt::{Decomposition, DwtError, FixedDwt2d, Subband};
+use lwc_filters::{FilterBank, FilterId};
+use lwc_image::{Image, TileGrid, TileRect};
+use std::time::Instant;
+
+/// The subband named by a [`subband_order`] band index.
+fn band_of(index: usize) -> Subband {
+    match index {
+        0 => Subband::Approx,
+        _ => Subband::DETAILS[index - 1],
+    }
+}
+
+/// Tile-parallel lossless codec over the paper-exact fixed-point DWT.
+///
+/// Every stream is an `LWCF` container (there is no legacy fixed format, so
+/// even a single-tile grid is wrapped); decode is pixel-exact by the paper's
+/// central losslessness claim, validated end to end here.
+///
+/// ```
+/// use lwc_filters::{FilterBank, FilterId};
+/// use lwc_image::synth;
+/// use lwc_pipeline::TiledFixedCompressor;
+///
+/// # fn main() -> Result<(), lwc_pipeline::PipelineError> {
+/// let bank = FilterBank::table1(FilterId::F1);
+/// let engine = TiledFixedCompressor::new(&bank, 3, 64, 2)?;
+/// let image = synth::ct_phantom(256, 192, 12, 1);
+/// let bytes = engine.compress(&image)?;
+/// let back = engine.decompress(&bytes)?;
+/// assert_eq!(image.samples(), back.samples());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TiledFixedCompressor {
+    dwt: TiledFixedDwt2d,
+    codec: FixedSubbandCodec,
+}
+
+impl TiledFixedCompressor {
+    /// Creates an engine over the given Table I bank with the paper's default
+    /// word lengths, a square nominal tile and the given worker count.
+    /// `workers == 0` selects the machine's available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the word-length plan cannot be built or the tile
+    /// size is zero.
+    pub fn new(
+        bank: &FilterBank,
+        scales: u32,
+        tile_size: usize,
+        workers: usize,
+    ) -> Result<Self, PipelineError> {
+        Ok(Self {
+            dwt: TiledFixedDwt2d::new(bank, scales, tile_size, workers)?,
+            codec: FixedSubbandCodec::new(),
+        })
+    }
+
+    /// Wraps an existing tile-parallel transform.
+    #[must_use]
+    pub fn with_dwt(dwt: TiledFixedDwt2d) -> Self {
+        Self { dwt, codec: FixedSubbandCodec::new() }
+    }
+
+    /// Builds the engine an `LWCF` stream's header calls for: the stored
+    /// Table I bank at the stored depth and tile shape, with the paper's
+    /// default word lengths (the only plan version 1 pairs with).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown filter index or an unbuildable plan.
+    pub fn for_stream(header: &FixedHeader, workers: usize) -> Result<Self, PipelineError> {
+        let id = *FilterId::ALL.get(header.filter as usize).ok_or_else(|| {
+            PipelineError::from(CoderError::UnsupportedFormat(format!(
+                "filter index {} is not a Table I bank",
+                header.filter
+            )))
+        })?;
+        let bank = FilterBank::table1(id);
+        let inner = FixedDwt2d::paper_default(&bank, header.scales)?;
+        Ok(Self::with_dwt(TiledFixedDwt2d::with_transform(
+            inner,
+            header.tile_width,
+            header.tile_height,
+            workers,
+        )?))
+    }
+
+    /// The tile-parallel transform driving the engine.
+    #[must_use]
+    pub fn dwt(&self) -> &TiledFixedDwt2d {
+        &self.dwt
+    }
+
+    /// The decomposition depth.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.dwt.scales()
+    }
+
+    /// The Table I filter bank of the transform.
+    #[must_use]
+    pub fn filter_id(&self) -> FilterId {
+        self.dwt.inner().bank().id()
+    }
+
+    /// Worker threads used per image.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.dwt.workers()
+    }
+
+    /// The tile grid this engine would use for a `width x height` image
+    /// (every occurring tile shape checked for decomposability).
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledFixedDwt2d::grid`].
+    pub fn grid(&self, width: usize, height: usize) -> Result<TileGrid, PipelineError> {
+        self.dwt.grid(width, height)
+    }
+
+    /// The `LWCF` header this engine would write for an image of the given
+    /// geometry.
+    fn header_for(&self, grid: &TileGrid, bit_depth: u32) -> FixedHeader {
+        FixedHeader {
+            width: grid.image_width(),
+            height: grid.image_height(),
+            bit_depth,
+            scales: self.scales(),
+            filter: self.filter_id().index() as u8,
+            tile_width: grid.tile_width(),
+            tile_height: grid.tile_height(),
+        }
+    }
+
+    /// Compresses `image` into an `LWCF` container, fanning the tiles (or,
+    /// for a single-tile grid, the subbands of the one tile) across the
+    /// worker pool. The bytes depend only on the image and the tile shape,
+    /// never on the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first transform or coder error, if any; notably
+    /// [`PipelineError::Dwt`] if a tile shape of the grid cannot be
+    /// decomposed to the configured depth.
+    pub fn compress(&self, image: &Image) -> Result<Vec<u8>, PipelineError> {
+        Ok(self.compress_with_report(image)?.0)
+    }
+
+    /// Compresses and reports tile-level throughput.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledFixedCompressor::compress`].
+    pub fn compress_with_report(
+        &self,
+        image: &Image,
+    ) -> Result<(Vec<u8>, TiledReport), PipelineError> {
+        let start = Instant::now();
+        let grid = self.grid(image.width(), image.height())?;
+        let header = self.header_for(&grid, image.bit_depth());
+        let payloads = if grid.is_single() {
+            // One tile cannot be fanned out by tiles; splice its subbands
+            // instead (bit-exact to the sequential payload by construction).
+            vec![self.encode_tile_spliced(&self.dwt.inner().forward(image)?)?]
+        } else {
+            let inner = self.dwt.inner();
+            let codec = self.codec;
+            run_indexed(self.workers(), grid.tile_count(), |index| {
+                let view = image.view_rect(grid.rect(index)).map_err(DwtError::from)?;
+                let tile = inner.forward_view(&view)?;
+                Ok::<_, PipelineError>(encode_tile_payload(codec, &tile))
+            })?
+        };
+        let bytes = write_fixed_container(&header, &payloads)?;
+        let report = TiledReport {
+            tiles: grid.tile_count(),
+            raw_bytes: (image.pixel_count() * image.bit_depth() as usize).div_ceil(8),
+            compressed_bytes: bytes.len(),
+            workers: self.workers().min(grid.tile_count()),
+            wall: start.elapsed(),
+        };
+        Ok((bytes, report))
+    }
+
+    /// Per-subband parallel encode of one tile: the `3 * scales + 1`
+    /// subbands are coded as independent fragments on the worker pool and
+    /// spliced at bit level into the exact sequential payload.
+    fn encode_tile_spliced(&self, tile: &Decomposition<i64>) -> Result<Vec<u8>, PipelineError> {
+        let codec = self.codec;
+        let order: Vec<(u32, usize)> = subband_order(self.scales()).collect();
+        let fragments = run_indexed(self.workers(), order.len(), |i| {
+            let (scale, band) = order[i];
+            let words = tile.subband(scale, band_of(band));
+            let mut writer = BitWriter::new();
+            let bits = codec.encode_subband(&mut writer, &words);
+            Ok::<_, PipelineError>((writer.into_bytes(), bits))
+        })?;
+        let mut writer = BitWriter::new();
+        for (bytes, bits) in &fragments {
+            writer.append(bytes, *bits);
+        }
+        Ok(writer.into_bytes())
+    }
+
+    /// Reconstructs the image from an `LWCF` container. The result is
+    /// pixel-exact. Tiles are decoded in bounded batches (a few per worker)
+    /// and scattered into the frame as each batch completes, so peak memory
+    /// stays at the output frame plus one batch of tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams or containers whose filter or
+    /// depth disagree with this engine's transform.
+    pub fn decompress(&self, bytes: &[u8]) -> Result<Image, PipelineError> {
+        let stream = FixedStream::parse(bytes)?;
+        let header = *stream.header();
+        self.ensure_compatible(&header)?;
+        let grid = stream.grid()?;
+        let mut frame = Image::zeros(header.width, header.height, header.bit_depth)
+            .map_err(CoderError::from)?;
+        let batch = (self.workers() * 4).max(4);
+        let mut index = 0;
+        while index < grid.tile_count() {
+            let count = batch.min(grid.tile_count() - index);
+            let tiles = self.decode_tiles(&stream, &grid, index, count)?;
+            for (offset, tile) in tiles.iter().enumerate() {
+                let rect = grid.rect(index + offset);
+                frame
+                    .view_rect_mut(rect)
+                    .and_then(|mut window| window.copy_from_image(tile))
+                    .map_err(CoderError::from)?;
+            }
+            index += count;
+        }
+        Ok(frame)
+    }
+
+    /// Random tile access: decodes exactly one tile (row-major `index`)
+    /// without touching any other tile, via the container's 48-bit offset
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledFixedCompressor::decompress`]; additionally errors for an
+    /// `index` outside the container's grid.
+    pub fn decompress_tile(&self, bytes: &[u8], index: usize) -> Result<Image, PipelineError> {
+        self.decompress_parsed_tile(&FixedStream::parse(bytes)?, index)
+    }
+
+    /// [`TiledFixedCompressor::decompress_tile`] over an already-parsed
+    /// container — for callers that must not pay a second directory parse
+    /// per tile.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledFixedCompressor::decompress_tile`].
+    pub fn decompress_parsed_tile(
+        &self,
+        stream: &FixedStream<'_>,
+        index: usize,
+    ) -> Result<Image, PipelineError> {
+        self.ensure_compatible(stream.header())?;
+        let grid = stream.grid()?;
+        if index >= grid.tile_count() {
+            return Err(CoderError::MalformedStream(format!(
+                "tile index {index} out of range: the container has {} tiles",
+                grid.tile_count()
+            ))
+            .into());
+        }
+        let mut tiles = self.decode_tiles(stream, &grid, index, 1)?;
+        Ok(tiles.pop().expect("decode_tiles returns exactly one tile"))
+    }
+
+    /// Random tile access by coordinate: decodes the tile containing pixel
+    /// `(x, y)`, returning the tile's rectangle in image coordinates along
+    /// with its pixels.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiledFixedCompressor::decompress_tile`]; additionally errors if
+    /// `(x, y)` lies outside the image.
+    pub fn decompress_tile_at(
+        &self,
+        bytes: &[u8],
+        x: usize,
+        y: usize,
+    ) -> Result<(TileRect, Image), PipelineError> {
+        let stream = FixedStream::parse(bytes)?;
+        let grid = stream.grid()?;
+        let index = grid.tile_index_at(x, y).ok_or_else(|| {
+            CoderError::MalformedStream(format!(
+                "pixel ({x}, {y}) lies outside the {}x{} image",
+                grid.image_width(),
+                grid.image_height()
+            ))
+        })?;
+        Ok((grid.rect(index), self.decompress_parsed_tile(&stream, index)?))
+    }
+
+    /// Streaming decode: yields the image one tile-row **band** at a time
+    /// (top to bottom), decoding each band's tiles on the worker pool. Peak
+    /// memory is bounded by one band plus the compressed bytes, regardless
+    /// of the image height.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the container header or directory is malformed;
+    /// per-band decode errors surface through the iterator's items.
+    pub fn decompress_row_bands<'a>(
+        &self,
+        bytes: &'a [u8],
+    ) -> Result<FixedRowBands<'a>, PipelineError> {
+        let stream = FixedStream::parse(bytes)?;
+        self.ensure_compatible(stream.header())?;
+        let grid = stream.grid()?;
+        Ok(FixedRowBands { engine: self.clone(), stream, grid, next_row: 0 })
+    }
+
+    fn ensure_compatible(&self, header: &FixedHeader) -> Result<(), PipelineError> {
+        if header.scales != self.scales() {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "fixed stream uses {} scales but the engine is configured for {}",
+                header.scales,
+                self.scales()
+            ))
+            .into());
+        }
+        if header.filter as usize != self.filter_id().index() {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "fixed stream uses filter index {} but the engine runs {}",
+                header.filter,
+                self.filter_id()
+            ))
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Decodes tiles `first..first + count` (row-major) on the worker pool.
+    fn decode_tiles(
+        &self,
+        stream: &FixedStream<'_>,
+        grid: &TileGrid,
+        first: usize,
+        count: usize,
+    ) -> Result<Vec<Image>, PipelineError> {
+        let header = *stream.header();
+        let codec = self.codec;
+        let inner = self.dwt.inner();
+        run_indexed(self.workers(), count, |offset| {
+            let index = first + offset;
+            let rect = grid.rect(index);
+            let tile = decode_tile_payload(codec, stream.tile_bytes(index), &rect, &header)?;
+            Ok::<_, PipelineError>(inner.inverse(&tile)?)
+        })
+    }
+}
+
+/// Sequential per-tile encode: subbands in [`subband_order`], one
+/// concatenated fixed-subband stream. The spliced per-subband parallel path
+/// reproduces these bytes exactly.
+fn encode_tile_payload(codec: FixedSubbandCodec, tile: &Decomposition<i64>) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    for (scale, band) in subband_order(tile.scales()) {
+        codec.encode_subband(&mut writer, &tile.subband(scale, band_of(band)));
+    }
+    writer.into_bytes()
+}
+
+/// Decodes one tile payload back into the tile's Mallat-layout word
+/// container, validating exact consumption of the payload.
+fn decode_tile_payload(
+    codec: FixedSubbandCodec,
+    payload: &[u8],
+    rect: &TileRect,
+    header: &FixedHeader,
+) -> Result<Decomposition<i64>, PipelineError> {
+    let id = *FilterId::ALL.get(header.filter as usize).ok_or_else(|| {
+        CoderError::UnsupportedFormat(format!(
+            "filter index {} is not a Table I bank",
+            header.filter
+        ))
+    })?;
+    let mut tile = Decomposition::from_raw(
+        vec![0i64; rect.width * rect.height],
+        rect.width,
+        rect.height,
+        header.scales,
+        id,
+        header.bit_depth,
+    );
+    let mut reader = BitReader::new(payload);
+    for (scale, band) in subband_order(header.scales) {
+        let sb = tile.subband_rect(scale, band_of(band));
+        let words = codec.decode_subband(&mut reader, sb.len())?;
+        let width = tile.width();
+        let data = tile.data_mut();
+        for (row, chunk) in words.chunks_exact(sb.width).enumerate() {
+            let start = (sb.y + row) * width + sb.x;
+            data[start..start + sb.width].copy_from_slice(chunk);
+        }
+    }
+    // Anything beyond byte-alignment padding is corruption, not slack.
+    if payload.len() as u64 * 8 - reader.bits_read() >= 8 {
+        return Err(CoderError::MalformedStream(format!(
+            "tile payload has {} trailing bytes after its last subband",
+            (payload.len() as u64 * 8 - reader.bits_read()) / 8
+        ))
+        .into());
+    }
+    Ok(tile)
+}
+
+/// One horizontal band of a streamed `LWCF` decode; see
+/// [`TiledFixedCompressor::decompress_row_bands`].
+pub struct FixedRowBands<'a> {
+    engine: TiledFixedCompressor,
+    stream: FixedStream<'a>,
+    grid: TileGrid,
+    next_row: usize,
+}
+
+impl Iterator for FixedRowBands<'_> {
+    type Item = Result<crate::RowBand, PipelineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_row >= self.grid.tiles_y() {
+            return None;
+        }
+        let ty = self.next_row;
+        self.next_row += 1;
+        let tiles_x = self.grid.tiles_x();
+        let band_rect = self.grid.rect_at(0, ty);
+        let result = (|| {
+            let tiles =
+                self.engine.decode_tiles(&self.stream, &self.grid, ty * tiles_x, tiles_x)?;
+            let mut band = Image::zeros(
+                self.grid.image_width(),
+                band_rect.height,
+                self.stream.header().bit_depth,
+            )
+            .map_err(CoderError::from)?;
+            for (tx, tile) in tiles.iter().enumerate() {
+                let mut rect = self.grid.rect_at(tx, ty);
+                rect.y = 0; // band-local coordinates
+                band.view_rect_mut(rect)
+                    .and_then(|mut window| window.copy_from_image(tile))
+                    .map_err(CoderError::from)?;
+            }
+            Ok(crate::RowBand { y: band_rect.y, image: band })
+        })();
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_coder::fixedtiled::{is_fixed, FIXED_HEADER_BYTES};
+    use lwc_image::{stats, synth};
+
+    fn engine(scales: u32, tile: usize, workers: usize) -> TiledFixedCompressor {
+        let bank = FilterBank::table1(FilterId::F1);
+        TiledFixedCompressor::new(&bank, scales, tile, workers).unwrap()
+    }
+
+    #[test]
+    fn multi_tile_roundtrip_is_lossless() {
+        let engine = engine(3, 32, 3);
+        for image in [
+            synth::ct_phantom(96, 64, 12, 1),   // exact grid
+            synth::random_image(64, 64, 12, 2), // single-column grid
+            synth::mr_slice(32, 96, 12, 3),
+        ] {
+            let bytes = engine.compress(&image).unwrap();
+            assert!(is_fixed(&bytes));
+            let back = engine.decompress(&bytes).unwrap();
+            assert!(stats::bit_exact(&image, &back).unwrap());
+        }
+    }
+
+    #[test]
+    fn every_bank_roundtrips() {
+        for id in FilterId::ALL {
+            let bank = FilterBank::table1(id);
+            let engine = TiledFixedCompressor::new(&bank, 3, 32, 2).unwrap();
+            let image = synth::ct_phantom(64, 96, 12, id.index() as u64);
+            let back = engine.decompress(&engine.compress(&image).unwrap()).unwrap();
+            assert!(stats::bit_exact(&image, &back).unwrap(), "{id}");
+        }
+    }
+
+    #[test]
+    fn streams_do_not_depend_on_the_worker_count() {
+        let image = synth::ct_phantom(128, 96, 12, 5);
+        let reference = engine(3, 32, 1).compress(&image).unwrap();
+        for workers in [2, 3, 8] {
+            assert_eq!(engine(3, 32, workers).compress(&image).unwrap(), reference);
+        }
+        // Single-tile grids splice per subband; still worker-independent.
+        let single_ref = engine(3, 256, 1).compress(&image).unwrap();
+        for workers in [2, 3, 8] {
+            assert_eq!(engine(3, 256, workers).compress(&image).unwrap(), single_ref);
+        }
+    }
+
+    #[test]
+    fn single_tile_splice_matches_the_sequential_payload() {
+        let image = synth::mr_slice(64, 64, 12, 7);
+        let eng = engine(3, 64, 4);
+        let spliced = eng.compress(&image).unwrap();
+        // Hand-build the sequential container.
+        let tile = eng.dwt().inner().forward(&image).unwrap();
+        let payload = encode_tile_payload(FixedSubbandCodec::new(), &tile);
+        let grid = eng.grid(64, 64).unwrap();
+        let header = eng.header_for(&grid, image.bit_depth());
+        let sequential = write_fixed_container(&header, &[payload]).unwrap();
+        assert_eq!(spliced, sequential);
+    }
+
+    #[test]
+    fn for_stream_rebuilds_a_compatible_engine() {
+        let writer =
+            TiledFixedCompressor::new(&FilterBank::table1(FilterId::F3), 2, 32, 2).unwrap();
+        let image = synth::ct_phantom(64, 64, 12, 9);
+        let bytes = writer.compress(&image).unwrap();
+        let header = *FixedStream::parse(&bytes).unwrap().header();
+        let reader = TiledFixedCompressor::for_stream(&header, 2).unwrap();
+        assert_eq!(reader.filter_id(), FilterId::F3);
+        let back = reader.decompress(&bytes).unwrap();
+        assert!(stats::bit_exact(&image, &back).unwrap());
+    }
+
+    #[test]
+    fn single_tiles_decode_independently_and_match_their_crops() {
+        let eng = engine(2, 32, 2);
+        let image = synth::ct_phantom(96, 64, 12, 6);
+        let bytes = eng.compress(&image).unwrap();
+        let grid = eng.grid(96, 64).unwrap();
+        for index in 0..grid.tile_count() {
+            let tile = eng.decompress_tile(&bytes, index).unwrap();
+            let expected = image.crop(grid.rect(index)).unwrap();
+            assert!(stats::bit_exact(&expected, &tile).unwrap(), "tile {index}");
+        }
+        assert!(eng.decompress_tile(&bytes, grid.tile_count()).is_err());
+        let (rect, tile) = eng.decompress_tile_at(&bytes, 95, 63).unwrap();
+        assert_eq!(rect, grid.rect(grid.tile_count() - 1));
+        assert!(stats::bit_exact(&image.crop(rect).unwrap(), &tile).unwrap());
+        assert!(eng.decompress_tile_at(&bytes, 96, 0).is_err(), "x out of bounds");
+    }
+
+    #[test]
+    fn row_band_streaming_decode_reassembles_the_image() {
+        let eng = engine(2, 32, 2);
+        let image = synth::mr_slice(96, 64, 12, 9);
+        let bytes = eng.compress(&image).unwrap();
+        let mut rebuilt = Image::zeros(96, 64, 12).unwrap();
+        let mut next_y = 0;
+        for band in eng.decompress_row_bands(&bytes).unwrap() {
+            let band = band.unwrap();
+            assert_eq!(band.y, next_y, "bands arrive top to bottom");
+            assert_eq!(band.image.width(), 96);
+            next_y += band.image.height();
+            let rect = TileRect { x: 0, y: band.y, width: 96, height: band.image.height() };
+            rebuilt.view_rect_mut(rect).unwrap().copy_from_image(&band.image).unwrap();
+        }
+        assert_eq!(next_y, 64);
+        assert!(stats::bit_exact(&image, &rebuilt).unwrap());
+    }
+
+    #[test]
+    fn undecomposable_geometry_is_rejected_up_front() {
+        // 3 scales demand tile sides divisible by 8; 100 is not.
+        let eng = engine(3, 32, 2);
+        assert!(eng.compress(&synth::flat(100, 96, 12, 0)).is_err());
+    }
+
+    #[test]
+    fn mismatched_engines_refuse_the_stream() {
+        let image = synth::ct_phantom(64, 64, 12, 4);
+        let bytes = engine(3, 32, 2).compress(&image).unwrap();
+        assert!(engine(2, 32, 2).decompress(&bytes).is_err(), "wrong depth");
+        let other = TiledFixedCompressor::new(&FilterBank::table1(FilterId::F5), 3, 32, 2).unwrap();
+        assert!(other.decompress(&bytes).is_err(), "wrong filter");
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let eng = engine(2, 32, 2);
+        let image = synth::ct_phantom(96, 64, 12, 8);
+        let bytes = eng.compress(&image).unwrap();
+        for len in [0, 3, FIXED_HEADER_BYTES, bytes.len() / 2, bytes.len() - 1] {
+            assert!(eng.decompress(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+        // Trailing garbage after the last payload fails the directory's
+        // exact-end check.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0; 4]);
+        assert!(eng.decompress(&padded).is_err());
+        // A flipped byte inside a payload can never silently reproduce the
+        // original image: it either breaks the stream structure (Err) or
+        // changes decoded words.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        match eng.decompress(&flipped) {
+            Err(_) => {}
+            Ok(img) => assert!(!stats::bit_exact(&image, &img).unwrap()),
+        }
+    }
+
+    #[test]
+    fn zero_workers_selects_available_parallelism_and_report_counts_tiles() {
+        let eng = engine(2, 16, 0);
+        assert!(eng.workers() >= 1);
+        let image = synth::ct_phantom(48, 48, 12, 2);
+        let (_bytes, report) = eng.compress_with_report(&image).unwrap();
+        assert_eq!(report.tiles, 9);
+        assert!(report.ratio() > 0.0);
+    }
+}

@@ -14,10 +14,11 @@ use crate::frame::{into_frame, read_frame_idle, write_frame, ReadOutcome};
 use crate::protocol::{ErrorCode, Frame, Op, DEFAULT_MAX_PAYLOAD_BYTES, FRAME_HEADER_BYTES};
 use crate::queue::{Job, JobQueue, Metrics, PushError, ServerStats};
 use lwc_coder::bitio::BitReader;
+use lwc_coder::fixedtiled::is_fixed;
 use lwc_coder::tiled::is_tiled;
-use lwc_coder::{LosslessCodec, StreamHeader, TiledHeader, TiledStream};
+use lwc_coder::{FixedHeader, FixedStream, LosslessCodec, StreamHeader, TiledHeader, TiledStream};
 use lwc_image::pgm;
-use lwc_pipeline::{TiledCompressor, DEFAULT_TILE_SIZE};
+use lwc_pipeline::{Codec, TiledCompressor, TiledFixedCompressor, DEFAULT_TILE_SIZE};
 use std::io::Read;
 use std::net::{
     IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
@@ -453,9 +454,7 @@ fn execute(shared: &Shared, op: Op, payload: &[u8]) -> Result<Vec<u8>, (ErrorCod
         Op::Compress => {
             let image = pgm::read_pgm(payload)
                 .map_err(|e| (ErrorCode::BadPayload, format!("invalid PGM payload: {e}")))?;
-            shared
-                .engine
-                .compress(&image)
+            Codec::compress(&shared.engine, &image)
                 .map_err(|e| (ErrorCode::Internal, format!("compression failed: {e}")))
         }
         Op::Decompress => {
@@ -469,7 +468,12 @@ fn execute(shared: &Shared, op: Op, payload: &[u8]) -> Result<Vec<u8>, (ErrorCod
                 let header = *TiledStream::parse(payload).map_err(|e| bad(e.into()))?.header();
                 ensure_response_fits(shared, header.width, header.height, header.bit_depth)?;
                 let engine = tiled_engine(&header).map_err(bad)?;
-                engine.decompress(payload).map_err(|e| bad(e.into()))?
+                Codec::decompress(&engine, payload).map_err(|e| bad(e.into()))?
+            } else if is_fixed(payload) {
+                let header = *FixedStream::parse(payload).map_err(|e| bad(e.into()))?.header();
+                ensure_response_fits(shared, header.width, header.height, header.bit_depth)?;
+                let engine = fixed_engine(&header).map_err(bad)?;
+                Codec::decompress(&engine, payload).map_err(|e| bad(e.into()))?
             } else {
                 let header =
                     StreamHeader::read(&mut BitReader::new(payload)).map_err(|e| bad(e.into()))?;
@@ -498,6 +502,20 @@ fn execute(shared: &Shared, op: Op, payload: &[u8]) -> Result<Vec<u8>, (ErrorCod
                 let rect = stream.grid().map_err(|e| bad(e.into()))?.rect(index as usize);
                 ensure_response_fits(shared, rect.width, rect.height, header.bit_depth)?;
                 let engine = tiled_engine(&header).map_err(bad)?;
+                engine.decompress_parsed_tile(&stream, index as usize).map_err(|e| bad(e.into()))?
+            } else if is_fixed(stream_bytes) {
+                let stream = FixedStream::parse(stream_bytes).map_err(|e| bad(e.into()))?;
+                let tiles = stream.tile_count();
+                if index as usize >= tiles {
+                    return Err((
+                        ErrorCode::TileIndexOutOfRange,
+                        format!("tile index {index} out of range: the stream has {tiles} tiles"),
+                    ));
+                }
+                let header = *stream.header();
+                let rect = stream.grid().map_err(|e| bad(e.into()))?.rect(index as usize);
+                ensure_response_fits(shared, rect.width, rect.height, header.bit_depth)?;
+                let engine = fixed_engine(&header).map_err(bad)?;
                 engine.decompress_parsed_tile(&stream, index as usize).map_err(|e| bad(e.into()))?
             } else {
                 if index != 0 {
@@ -564,9 +582,10 @@ fn split_tile_request(payload: &[u8]) -> Result<(u32, &[u8]), (ErrorCode, String
     Ok((u32::from_be_bytes(index_bytes), &payload[4..]))
 }
 
-/// Decompresses either container format, taking the decomposition depth (and
-/// tile shape) from the stream itself — the service never requires clients
-/// to know how a stream was produced.
+/// Decompresses any container format the service knows (`LWC1`, `LWCT`,
+/// `LWCF`), taking the decomposition depth (and tile shape, and for `LWCF`
+/// the filter bank) from the stream itself — the service never requires
+/// clients to know how a stream was produced.
 pub(crate) fn decompress_auto(bytes: &[u8]) -> Result<lwc_image::Image, ServerError> {
     Ok(engine_for(bytes)?.decompress(bytes)?)
 }
@@ -577,16 +596,25 @@ fn tiled_engine(header: &TiledHeader) -> Result<TiledCompressor, ServerError> {
     Ok(TiledCompressor::with_codec(codec, header.tile_width, header.tile_height, 1)?)
 }
 
-/// Builds a single-threaded engine matching the stream's own parameters.
-/// Both header reads reject empty/truncated buffers with typed errors, so
-/// sniffing never slices out of bounds.
-fn engine_for(bytes: &[u8]) -> Result<TiledCompressor, ServerError> {
+/// Single-threaded fixed-path engine with the parameters of a parsed `LWCF`
+/// header.
+fn fixed_engine(header: &FixedHeader) -> Result<TiledFixedCompressor, ServerError> {
+    Ok(TiledFixedCompressor::for_stream(header, 1)?)
+}
+
+/// Builds a single-threaded [`Codec`] matching the stream's own parameters —
+/// the three-way magic sniff (`LWC1` / `LWCT` / `LWCF`) behind the
+/// decompression ops. All header reads reject empty/truncated buffers with
+/// typed errors, so sniffing never slices out of bounds.
+fn engine_for(bytes: &[u8]) -> Result<Box<dyn Codec>, ServerError> {
     if is_tiled(bytes) {
-        tiled_engine(TiledStream::parse(bytes)?.header())
+        Ok(Box::new(tiled_engine(TiledStream::parse(bytes)?.header())?))
+    } else if is_fixed(bytes) {
+        Ok(Box::new(fixed_engine(FixedStream::parse(bytes)?.header())?))
     } else {
         let header = StreamHeader::read(&mut BitReader::new(bytes))?;
         let codec = LosslessCodec::new(header.scales)?;
-        Ok(TiledCompressor::with_codec(codec, header.width, header.height, 1)?)
+        Ok(Box::new(TiledCompressor::with_codec(codec, header.width, header.height, 1)?))
     }
 }
 
@@ -595,12 +623,29 @@ mod tests {
     use super::*;
     use lwc_image::synth;
 
+    fn fixed_stream(image: &lwc_image::Image) -> Vec<u8> {
+        // The server crate has no lwc-filters dependency by design; a
+        // header-driven engine (the same path the sniff uses) builds the
+        // stream.
+        let header = FixedHeader {
+            width: image.width(),
+            height: image.height(),
+            bit_depth: image.bit_depth(),
+            scales: 3,
+            filter: 0,
+            tile_width: 32,
+            tile_height: 32,
+        };
+        TiledFixedCompressor::for_stream(&header, 1).unwrap().compress(image).unwrap()
+    }
+
     #[test]
-    fn decompress_auto_sniffs_both_formats_and_rejects_short_buffers() {
+    fn decompress_auto_sniffs_all_three_formats_and_rejects_short_buffers() {
         let image = synth::ct_phantom(70, 50, 12, 3);
         let legacy = LosslessCodec::new(3).unwrap().compress(&image).unwrap();
         let tiled = TiledCompressor::new(3, 32, 1).unwrap().compress(&image).unwrap();
-        assert!(is_tiled(&tiled) && !is_tiled(&legacy));
+        let fixed = fixed_stream(&synth::ct_phantom(64, 48, 12, 3));
+        assert!(is_tiled(&tiled) && !is_tiled(&legacy) && is_fixed(&fixed));
         for stream in [&legacy, &tiled] {
             let back = decompress_auto(stream).unwrap();
             assert_eq!(back.samples(), image.samples());
@@ -610,6 +655,11 @@ mod tests {
                 assert!(decompress_auto(&stream[..len]).is_err(), "prefix of {len} bytes");
             }
         }
+        let back = decompress_auto(&fixed).unwrap();
+        assert_eq!(back.samples(), synth::ct_phantom(64, 48, 12, 3).samples());
+        for len in 0..8 {
+            assert!(decompress_auto(&fixed[..len]).is_err(), "fixed prefix of {len} bytes");
+        }
     }
 
     #[test]
@@ -617,10 +667,12 @@ mod tests {
         let image = synth::ct_phantom(70, 50, 12, 3);
         let legacy = LosslessCodec::new(3).unwrap().compress(&image).unwrap();
         let tiled = TiledCompressor::new(3, 32, 1).unwrap().compress(&image).unwrap();
-        let legacy_engine = engine_for(&legacy).unwrap();
-        assert_eq!(legacy_engine.codec().scales(), 3);
-        let sniffed = engine_for(&tiled).unwrap();
-        assert_eq!((sniffed.tile_width(), sniffed.tile_height()), (32, 32));
+        let fixed = fixed_stream(&synth::ct_phantom(64, 48, 12, 5));
+        assert_eq!(engine_for(&legacy).unwrap().name(), "tiled");
+        assert_eq!(engine_for(&tiled).unwrap().name(), "tiled");
+        let sniffed = engine_for(&fixed).unwrap();
+        assert_eq!(sniffed.name(), "tiled-fixed");
+        assert!(sniffed.capabilities().fixed_point);
         assert!(engine_for(&[]).is_err());
         assert!(engine_for(&[0x4C, 0x57]).is_err());
     }

@@ -86,6 +86,56 @@ fn sixteen_bit_roundtrip_matches_the_sequential_codec_across_worker_counts() {
 }
 
 #[test]
+fn fixed_path_lwcf_streams_roundtrip_through_the_server() {
+    // E2E regression for the paper-exact codec: an `LWCF` stream produced
+    // locally decompresses through the existing LWCP ops — whole image and
+    // single tile — with the server sniffing the third magic.
+    let image = synth::random_image(64, 64, 12, 13);
+    let bank = FilterBank::table1(FilterId::F2);
+    let engine = TiledFixedCompressor::new(&bank, 3, 32, 1).unwrap();
+    let stream = engine.compress(&image).unwrap();
+
+    let server = test_server(2, 8);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Whole-image decompression through the server.
+    let back = client.decompress(&stream).expect("decompress LWCF");
+    assert_eq!(back.samples(), image.samples());
+
+    // Single-tile decompression agrees with the local engine per tile.
+    let grid = engine.grid(64, 64).unwrap();
+    for index in [0, grid.tile_count() - 1] {
+        let tile = client.decompress_tile(&stream, index as u32).expect("tile");
+        let expected = image.crop(grid.rect(index)).unwrap();
+        assert!(stats::bit_exact(&expected, &tile).unwrap(), "tile {index}");
+    }
+    // Out-of-range tile index: the same typed error as the lifting path.
+    let err = client.decompress_tile(&stream, grid.tile_count() as u32).unwrap_err();
+    assert!(
+        matches!(err, ServerError::Remote { code: ErrorCode::TileIndexOutOfRange, .. }),
+        "{err}"
+    );
+
+    // Sniff hardening: every 0..8-byte prefix of an LWCF stream — which
+    // includes the full magic with a truncated header — answers a typed
+    // BadPayload, never a panic or hang.
+    for len in 0..8usize {
+        let err = client.decompress(&stream[..len]).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }),
+            "{len}-byte LWCF prefix: {err}"
+        );
+        let err = client.decompress_tile(&stream[..len], 0).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }),
+            "{len}-byte LWCF prefix (tile): {err}"
+        );
+    }
+    // The connection survived the whole gauntlet.
+    assert!(client.stats().expect("stats").contains("\"completed_requests\""));
+}
+
+#[test]
 fn pipelined_requests_all_complete_in_request_order() {
     let server = test_server(2, 16);
     let mut client = Client::connect(server.local_addr()).expect("connect");
