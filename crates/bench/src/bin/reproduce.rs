@@ -33,6 +33,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("perfjson", "throughput trajectory -> BENCH_throughput.json [size]"),
     ("tiled", "tile-parallel engine smoke [size]"),
     ("dwt-tiled", "tile-parallel fixed-point DWT vs monolithic [size]"),
+    ("dwt-line", "line-based fused DWT bit-identity + streaming encode [size]"),
     ("fixed-codec", "paper-exact fixed-path codec smoke (LWCF) [size]"),
     ("serve", "loopback compression service + load generator [connections]"),
     ("all", "every paper artifact above"),
@@ -57,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "perfjson" => perfjson(size)?,
         "tiled" => tiled(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
         "dwt-tiled" => dwt_tiled(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
+        "dwt-line" => dwt_line(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
         "fixed-codec" => fixed_codec(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
         "serve" => serve(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4))?,
         "all" => {
@@ -339,7 +341,11 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     for (index, &tile) in tile_sizes.iter().enumerate() {
         let engine = TiledCompressor::with_codec(sequential, tile, tile, 0)?;
         let tiles = engine.grid(large, large)?.tile_count();
-        let streamed = engine.compress(&large_image)?;
+        // Record the worker count the run actually used (pool clamped to the
+        // tile count), not the configured pool size — small sweeps at large
+        // tiles use fewer threads than the pool offers.
+        let (streamed, tile_report) = engine.compress_with_report(&large_image)?;
+        let used_workers = tile_report.workers;
         let compress_seconds = best(&|| {
             std::hint::black_box(engine.compress(&large_image)?);
             Ok(())
@@ -354,7 +360,7 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
              {{\"seconds\": {compress_seconds:.6}, \"mb_per_s\": {:.3}, \"tiles_per_s\": \
              {:.3}}}, \"decompress\": {{\"seconds\": {decompress_seconds:.6}, \"mb_per_s\": \
              {:.3}, \"tiles_per_s\": {:.3}}}}}{comma}\n",
-            engine.workers(),
+            used_workers,
             large_mb / compress_seconds,
             tiles as f64 / compress_seconds,
             large_mb / decompress_seconds,
@@ -363,7 +369,7 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "tiled tile={tile:<4} ({} workers, {tiles:>3} tiles): compress {:>8.1} MB/s \
              ({:>7.1} tiles/s), decompress {:>8.1} MB/s",
-            engine.workers(),
+            used_workers,
             large_mb / compress_seconds,
             tiles as f64 / compress_seconds,
             large_mb / decompress_seconds,
@@ -402,9 +408,13 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
         let engine = TiledFixedDwt2d::with_transform(hw.clone(), tile, tile, 0)?;
         let tiles = engine.grid(large, large)?.tile_count();
         let mut forward_s = f64::INFINITY;
+        // As above: the report carries the worker count the sweep point
+        // actually used, which the pool size alone misstates.
+        let mut used_workers = engine.workers().min(tiles);
         for _ in 0..reps.max(1) {
             let (_, report) = engine.forward_with_report(&large_image)?;
             forward_s = forward_s.min(report.wall.as_secs_f64());
+            used_workers = report.workers;
         }
         let coeffs = engine.forward(&large_image)?;
         let mut inverse_s = f64::INFINITY;
@@ -419,7 +429,7 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
              {{\"seconds\": {forward_s:.6}, \"msamples_per_s\": {:.3}, \"tiles_per_s\": \
              {:.3}}}, \"inverse\": {{\"seconds\": {inverse_s:.6}, \"msamples_per_s\": \
              {:.3}}}}}{comma}\n",
-            engine.workers(),
+            used_workers,
             msamples / forward_s,
             tiles as f64 / forward_s,
             msamples / inverse_s,
@@ -427,9 +437,88 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "dwt tiled tile={tile:<4} ({} workers, {tiles:>3} tiles): forward {:>8.1} \
              Msamples/s, inverse {:>8.1} Msamples/s",
-            engine.workers(),
+            used_workers,
             msamples / forward_s,
             msamples / inverse_s,
+        );
+    }
+    json.push_str("  },\n");
+
+    // Line-based fused DWT: the whole multi-scale fixed-point transform in
+    // one streaming pass over the rows (O(width x levels) working set)
+    // against the multi-pass monolithic transform and the tile-parallel
+    // driver on the same frame, swept over decomposition depth. One pass
+    // over memory instead of one per scale is the locality win this section
+    // quantifies.
+    let line_side = (16 * size).min(4096);
+    let line_frame = synth::ct_phantom(line_side, line_side, 12, 99);
+    let line_view = line_frame.view();
+    let line_msamples = (line_side * line_side) as f64 / 1e6;
+    let line_tile = 256.min(line_side);
+    json.push_str(&format!(
+        "  \"dwt_line\": {{\n    \"frame\": {{\"width\": {line_side}, \"height\": \
+         {line_side}, \"bit_depth\": 12, \"filter\": \"F1\"}},\n    \"tiled_tile\": \
+         {line_tile},\n"
+    ));
+    for line_scales in 1..=5u32 {
+        let hw_n = FixedDwt2d::paper_default(&bank, line_scales)?;
+        // The fused engine's contract is streaming: coefficient rows flow to
+        // a consumer (e.g. the row-streaming encoder) as they are produced,
+        // so `fused_line` times exactly that — push_row/finish into a sink.
+        // `fused_materialized` additionally scatters every row into a
+        // frame-sized Mallat buffer, the apples-to-apples layout of
+        // `multi_pass`; the gap between the two is the cost of building the
+        // 128 MB coefficient frame the streaming consumer never needs.
+        let mut fused_s = f64::INFINITY;
+        let mut materialized_s = f64::INFINITY;
+        let mut multi_s = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = std::time::Instant::now();
+            let mut engine = LineFixedDwt::new(&hw_n, line_side, line_side)?;
+            let mut sink = |c: FixedCoeffRow<'_>| {
+                std::hint::black_box(c.samples.last());
+            };
+            for y in 0..line_side {
+                engine.push_row(line_view.row(y), &mut sink)?;
+            }
+            engine.finish(&mut sink)?;
+            fused_s = fused_s.min(start.elapsed().as_secs_f64());
+            let start = std::time::Instant::now();
+            std::hint::black_box(LineFixedDwt::forward_view(&hw_n, &line_view)?);
+            materialized_s = materialized_s.min(start.elapsed().as_secs_f64());
+            let start = std::time::Instant::now();
+            std::hint::black_box(hw_n.forward(&line_frame)?);
+            multi_s = multi_s.min(start.elapsed().as_secs_f64());
+        }
+        let line_tiled = TiledFixedDwt2d::with_transform(hw_n, line_tile, line_tile, 0)?;
+        let mut tiled_s = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let (_, report) = line_tiled.forward_with_report(&line_frame)?;
+            tiled_s = tiled_s.min(report.wall.as_secs_f64());
+        }
+        let comma = if line_scales == 5 { "" } else { "," };
+        json.push_str(&format!(
+            "    \"scales_{line_scales}\": {{\"fused_line\": {{\"seconds\": {fused_s:.6}, \
+             \"msamples_per_s\": {:.3}}}, \"fused_materialized\": {{\"seconds\": \
+             {materialized_s:.6}, \"msamples_per_s\": {:.3}}}, \"multi_pass\": \
+             {{\"seconds\": {multi_s:.6}, \"msamples_per_s\": {:.3}}}, \"tiled\": \
+             {{\"seconds\": {tiled_s:.6}, \"msamples_per_s\": {:.3}}}, \
+             \"fused_speedup_vs_multi_pass\": {:.3}}}{comma}\n",
+            line_msamples / fused_s,
+            line_msamples / materialized_s,
+            line_msamples / multi_s,
+            line_msamples / tiled_s,
+            multi_s / fused_s,
+        ));
+        println!(
+            "dwt line {line_scales} scale(s) ({line_side}x{line_side}): fused {:>8.1} \
+             Msamples/s (materialized {:>8.1}), multi-pass {:>8.1} Msamples/s, tiled \
+             {:>8.1} Msamples/s (fused {:>5.2}x multi-pass)",
+            line_msamples / fused_s,
+            line_msamples / materialized_s,
+            line_msamples / multi_s,
+            line_msamples / tiled_s,
+            multi_s / fused_s,
         );
     }
     json.push_str("  },\n");
@@ -682,6 +771,117 @@ fn dwt_tiled(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Line-based fused DWT smoke: the one-pass streaming cascade is
+/// bit-identical to the multi-pass drivers on **both** datapaths (5/3
+/// lifting with mirror extension, paper-exact fixed point with periodic
+/// extension), and the row-streaming encoder produces the sequential
+/// codec's exact bytes with an `O(width x levels)` coefficient working set,
+/// round tripping through the pull-style row-band decode. CI runs this at
+/// 4096x4096.
+fn dwt_line(size: usize) -> Result<(), Box<dyn std::error::Error>> {
+    heading(&format!("Line-based fused DWT smoke — {size}x{size} 12-bit frame"));
+    let frame = synth::ct_phantom(size, size, 12, 33);
+    let scales = 5.min(frame.max_scales());
+    let msamples = (size * size) as f64 / 1e6;
+
+    // Lifting datapath: the fused cascade vs the multi-pass driver, full
+    // frame and a ragged odd-dimension crop (which exercises every mirror
+    // tail of the ragged pyramid).
+    let lifting = Lifting53::new(scales)?;
+    let start = std::time::Instant::now();
+    let multi = lifting.forward(&frame)?;
+    let multi_s = start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let fused = LineDwt53::forward_view(&frame.view(), scales)?;
+    let fused_s = start.elapsed().as_secs_f64();
+    assert!(fused == multi, "fused lifting cascade must be bit-identical to the multi-pass driver");
+    println!(
+        "lifting 5/3 fused:  {:>8.1} Msamples/s (multi-pass {:>8.1}), coefficients identical",
+        msamples / fused_s.max(1e-9),
+        msamples / multi_s.max(1e-9)
+    );
+    if size > 8 {
+        let rect = TileRect { x: 1, y: 2, width: size - 3, height: size - 5 };
+        let ragged = frame.crop(rect)?;
+        assert!(
+            LineDwt53::forward_view(&ragged.view(), scales)? == lifting.forward(&ragged)?,
+            "fused lifting cascade must match on ragged odd dimensions"
+        );
+        println!(
+            "ragged {}x{} crop: fused coefficients identical across the odd-dimension pyramid",
+            rect.width, rect.height
+        );
+    }
+
+    // Paper-exact fixed-point datapath: same comparison at Table II word
+    // lengths (the frame side must be divisible by 2^scales).
+    let bank = FilterBank::table1(FilterId::F1);
+    let hw = FixedDwt2d::paper_default(&bank, scales)?;
+    let start = std::time::Instant::now();
+    let multi_fixed = hw.forward(&frame)?;
+    let multi_fixed_s = start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let fused_fixed = LineFixedDwt::forward_view(&hw, &frame.view())?;
+    let fused_fixed_s = start.elapsed().as_secs_f64();
+    assert!(
+        fused_fixed == multi_fixed,
+        "fused fixed-point cascade must be bit-identical to the multi-pass driver"
+    );
+    println!(
+        "fixed F1 fused:     {:>8.1} Msamples/s (multi-pass {:>8.1}), words identical",
+        msamples / fused_fixed_s.max(1e-9),
+        msamples / multi_fixed_s.max(1e-9)
+    );
+
+    // Row-streaming encode: push rows through the fused cascade straight
+    // into the Rice coders; bytes must equal the sequential codec's and the
+    // coefficient working set must stay a sliver of the frame.
+    let line = LineCompressor::new(scales)?;
+    let mut encoder = line.begin(size, size, 12)?;
+    let mut peak = 0usize;
+    for y in 0..size {
+        encoder.push_row(frame.view().row(y));
+        peak = peak.max(encoder.working_set_samples());
+    }
+    let bytes = encoder.finish();
+    assert_eq!(
+        bytes,
+        LosslessCodec::new(scales)?.compress(&frame)?,
+        "streamed bytes must be identical to the sequential codec"
+    );
+    assert!(
+        peak * 8 < size * size,
+        "peak coefficient working set {peak} must stay far below the {} frame samples",
+        size * size
+    );
+    println!(
+        "streaming encode:   peak working set {peak} samples ({:.2}% of the frame), \
+         bytes identical to the sequential codec",
+        100.0 * peak as f64 / (size * size) as f64
+    );
+
+    // The pull-style partner: a line-transform tiled container streams back
+    // out through bounded row bands — bounded-memory encode AND decode.
+    let tiled = TiledCompressor::new(scales, DEFAULT_TILE_SIZE, 0)?.with_line_transform();
+    let container = tiled.compress(&frame)?;
+    assert_eq!(
+        container,
+        TiledCompressor::new(scales, DEFAULT_TILE_SIZE, 0)?.compress(&frame)?,
+        "the line transform must not change the container bytes"
+    );
+    let mut next_y = 0usize;
+    for band in tiled.decompress_row_bands(&container)? {
+        let band = band?;
+        assert_eq!(band.y, next_y);
+        let rect = TileRect { x: 0, y: band.y, width: size, height: band.image.height() };
+        assert!(stats::bit_exact(&frame.crop(rect)?, &band.image)?);
+        next_y += band.image.height();
+    }
+    assert_eq!(next_y, size);
+    println!("row-band decode:    container from the line transform streams back bit exact");
+    Ok(())
+}
+
 /// End-to-end smoke of the paper-exact fixed-point codec: the Table I
 /// datapath plus the Rice entropy back end producing a real decodable
 /// `LWCF` bitstream. Dispatches through `&dyn Codec` — the same interface
@@ -833,6 +1033,33 @@ fn conclusions(size: usize) -> Result<(), Box<dyn std::error::Error>> {
         par_single.as_secs_f64() * 1e3,
         seq_single.as_secs_f64() / par_single.as_secs_f64().max(1e-9),
         subband_codec.workers()
+    );
+
+    // Line-based fused engine — the paper's line-buffer datapath (Table IV
+    // input buffers) taken literally in software: the whole multi-scale
+    // transform runs in one streaming pass with an O(width x levels)
+    // coefficient working set, instead of one frame-sized pass per scale,
+    // and the stream stays byte-identical.
+    let line_engine = parallel.line_based();
+    let start = std::time::Instant::now();
+    let line_stream = line_engine.compress(single)?;
+    let line_single = start.elapsed();
+    assert_eq!(seq_stream, line_stream, "line-based stream must be byte-identical");
+    let mut probe = line_engine.begin(size, size, single.bit_depth())?;
+    let single_view = single.view();
+    let mut line_peak = 0usize;
+    for y in 0..size {
+        probe.push_row(single_view.row(y));
+        line_peak = line_peak.max(probe.working_set_samples());
+    }
+    let _ = probe.finish();
+    println!(
+        "  line-based fused ({size}x{size}): {:.1} ms ({:.1} Msamples/s, peak \
+         coefficient working set {:.1}% of the frame, stream byte-identical) — the \
+         software analogue of the paper's line-buffer datapath",
+        line_single.as_secs_f64() * 1e3,
+        (size * size) as f64 / 1e6 / line_single.as_secs_f64().max(1e-9),
+        100.0 * line_peak as f64 / (size * size) as f64,
     );
 
     // Tile-parallel engine — the paper's line-buffer locality argument taken

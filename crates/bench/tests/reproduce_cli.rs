@@ -28,6 +28,7 @@ fn unknown_subcommands_list_artifacts_and_exit_nonzero() {
         "perfjson",
         "tiled",
         "dwt-tiled",
+        "dwt-line",
         "fixed-codec",
         "serve",
         "all",

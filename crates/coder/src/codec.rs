@@ -235,12 +235,29 @@ impl LosslessCodec {
     ///
     /// See [`LosslessCodec::header_for`].
     pub fn header_for_view(&self, view: &ImageView<'_>) -> Result<StreamHeader, CoderError> {
-        let header = StreamHeader {
-            width: view.width(),
-            height: view.height(),
-            bit_depth: view.bit_depth(),
-            scales: self.scales(),
-        };
+        self.header_for_dims(view.width(), view.height(), view.bit_depth())
+    }
+
+    /// The header this codec would write for a frame of the given shape —
+    /// the entry point for row-streaming encoders that never hold an image;
+    /// see [`LosslessCodec::header_for`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LosslessCodec::header_for`]; additionally rejects a zero or
+    /// 32-bit-plus `bit_depth` (which the 5-bit header field cannot carry).
+    pub fn header_for_dims(
+        &self,
+        width: usize,
+        height: usize,
+        bit_depth: u32,
+    ) -> Result<StreamHeader, CoderError> {
+        let header = StreamHeader { width, height, bit_depth, scales: self.scales() };
+        if header.bit_depth == 0 || header.bit_depth >= 32 {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "bit depth {bit_depth} does not fit the stream format's 5-bit field"
+            )));
+        }
         if header.width >= (1 << 20) || header.height >= (1 << 20) {
             return Err(CoderError::UnsupportedFormat(format!(
                 "image dimensions {}x{} exceed the stream format's 20-bit fields",

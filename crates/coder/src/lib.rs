@@ -61,7 +61,7 @@ pub use fixedtiled::{
     is_fixed, write_fixed_container, FixedHeader, FixedStream, FIXED_HEADER_BYTES, FIXED_MAGIC,
     FIXED_VERSION,
 };
-pub use subband::{SubbandCodec, BLOCK_SIZE, MAX_UNARY_RUN_BITS};
+pub use subband::{StreamingSubbandEncoder, SubbandCodec, BLOCK_SIZE, MAX_UNARY_RUN_BITS};
 pub use tiled::{TiledHeader, TiledStream};
 
 #[cfg(test)]

@@ -53,23 +53,8 @@ impl SubbandCodec {
     /// written.
     pub fn encode_subband(self, writer: &mut BitWriter, samples: &[i32]) -> u64 {
         let before = writer.bit_len();
-        // Zig-zag each block once into a stack scratch, summing for the
-        // parameter rule in the same pass; the value coder then consumes the
-        // mapped values without re-mapping.
-        let mut zigzag = [0u64; BLOCK_SIZE];
         for block in samples.chunks(BLOCK_SIZE) {
-            let mut sum = 0u64;
-            for (slot, &v) in zigzag.iter_mut().zip(block) {
-                let u = rice::zigzag_encode(v);
-                *slot = u;
-                sum += u;
-            }
-            let mapped = &zigzag[..block.len()];
-            let k = rice::parameter_for_zigzag_sum(sum, mapped.len());
-            writer.write_bits(u64::from(k), 5);
-            for &u in mapped {
-                rice::encode_zigzag(writer, u, k);
-            }
+            encode_block(writer, block);
         }
         writer.bit_len() - before
     }
@@ -134,11 +119,134 @@ impl SubbandCodec {
     }
 }
 
+/// Encodes one block (at most [`BLOCK_SIZE`] samples): the 5-bit Rice
+/// parameter chosen by the block-mean rule, then the zig-zagged values.
+///
+/// Zig-zags the block once into a stack scratch, summing for the parameter
+/// rule in the same pass; the value coder then consumes the mapped values
+/// without re-mapping. Shared by [`SubbandCodec::encode_subband`] and
+/// [`StreamingSubbandEncoder`], so the streamed and one-shot encodings are
+/// the same code, not merely equivalent.
+fn encode_block(writer: &mut BitWriter, block: &[i32]) {
+    debug_assert!(!block.is_empty() && block.len() <= BLOCK_SIZE);
+    let mut zigzag = [0u64; BLOCK_SIZE];
+    let mut sum = 0u64;
+    for (slot, &v) in zigzag.iter_mut().zip(block) {
+        let u = rice::zigzag_encode(v);
+        *slot = u;
+        sum += u;
+    }
+    let mapped = &zigzag[..block.len()];
+    let k = rice::parameter_for_zigzag_sum(sum, mapped.len());
+    writer.write_bits(u64::from(k), 5);
+    for &u in mapped {
+        rice::encode_zigzag(writer, u, k);
+    }
+}
+
+/// Incremental counterpart of [`SubbandCodec::encode_subband`] for one
+/// subband: samples are pushed in arbitrarily sized batches (e.g. row by row
+/// from a line-based transform) and encoded block by block as soon as a full
+/// [`BLOCK_SIZE`] block accumulates, so at most one partial block is ever
+/// buffered.
+///
+/// Because the block-adaptive code is strictly sequential per subband — each
+/// block's parameter depends only on that block — the finished bitstream is
+/// **bit-identical** to a one-shot [`SubbandCodec::encode_subband`] over the
+/// concatenated samples; the tests below diff ragged push schedules against
+/// the one-shot encoder.
+#[derive(Debug, Default)]
+pub struct StreamingSubbandEncoder {
+    writer: BitWriter,
+    pending: Vec<i32>,
+}
+
+impl StreamingSubbandEncoder {
+    /// Creates an encoder for one subband.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends samples, encoding every full block they complete.
+    pub fn push(&mut self, mut samples: &[i32]) {
+        if !self.pending.is_empty() {
+            let need = BLOCK_SIZE - self.pending.len();
+            let take = need.min(samples.len());
+            self.pending.extend_from_slice(&samples[..take]);
+            samples = &samples[take..];
+            if self.pending.len() == BLOCK_SIZE {
+                encode_block(&mut self.writer, &self.pending);
+                self.pending.clear();
+            }
+        }
+        let mut chunks = samples.chunks_exact(BLOCK_SIZE);
+        for block in &mut chunks {
+            encode_block(&mut self.writer, block);
+        }
+        self.pending.extend_from_slice(chunks.remainder());
+    }
+
+    /// Samples buffered awaiting a full block (always below [`BLOCK_SIZE`]).
+    #[must_use]
+    pub fn buffered_samples(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Bits emitted so far (excluding the buffered partial block).
+    #[must_use]
+    pub fn encoded_bits(&self) -> u64 {
+        self.writer.bit_len()
+    }
+
+    /// Encodes the final partial block, if any, and returns the subband's
+    /// bitstream as `(bytes, exact bit length)` — ready for
+    /// [`BitWriter::append`]-style splicing into a stream.
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<u8>, u64) {
+        if !self.pending.is_empty() {
+            encode_block(&mut self.writer, &self.pending);
+        }
+        let bits = self.writer.bit_len();
+        (self.writer.into_bytes(), bits)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn streaming_encoder_matches_one_shot_for_ragged_pushes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<i32> = (0..1000).map(|_| rng.gen_range(-5000..5000)).collect();
+        let mut reference = BitWriter::new();
+        let reference_bits = SubbandCodec::new().encode_subband(&mut reference, &samples);
+
+        for push_sizes in [vec![1000], vec![1; 1000], vec![37, 64, 640, 259], vec![63, 65, 872]] {
+            let mut enc = StreamingSubbandEncoder::new();
+            let mut offset = 0;
+            for size in push_sizes {
+                enc.push(&samples[offset..offset + size]);
+                offset += size;
+                assert!(enc.buffered_samples() < BLOCK_SIZE);
+            }
+            assert_eq!(offset, samples.len());
+            let (bytes, bits) = enc.finish();
+            assert_eq!(bits, reference_bits);
+            assert_eq!(bytes, reference.clone().into_bytes());
+        }
+    }
+
+    #[test]
+    fn streaming_encoder_handles_the_empty_subband() {
+        let enc = StreamingSubbandEncoder::new();
+        let (bytes, bits) = enc.finish();
+        assert!(bytes.is_empty());
+        assert_eq!(bits, 0);
+    }
 
     #[test]
     fn subband_roundtrip() {

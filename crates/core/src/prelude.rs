@@ -22,7 +22,9 @@ pub use lwc_baselines::{table3, ArchitectureClass, ArchitectureCost, CostParamet
 pub use lwc_coder::{
     CompressionReport, FixedHeader, FixedStream, FixedSubbandCodec, LosslessCodec,
 };
-pub use lwc_dwt::{Decomposition, Dwt2d, DwtError, FixedDwt2d, Subband};
+pub use lwc_dwt::{
+    Decomposition, Dwt2d, DwtError, FixedCoeffRow, FixedDwt2d, LineFixedDwt, Subband,
+};
 pub use lwc_filters::{
     BankMetrics, BiorthogonalityReport, CoefficientPrecision, FilterBank, FilterId, Kernel,
     QuantizedBank,
@@ -31,13 +33,14 @@ pub use lwc_fixed::{Fx, MacAccumulator, QFormat};
 pub use lwc_image::{
     pgm, stats, synth, Image, ImageError, ImageView, ImageViewMut, TileGrid, TileRect,
 };
-pub use lwc_lifting::Lifting53;
+pub use lwc_lifting::{Lifting53, LineDwt53};
 pub use lwc_perf::hardware::{HardwareModel, ThroughputReport};
 pub use lwc_perf::software::SoftwareModel;
 pub use lwc_pipeline::{
-    BatchCompressor, BatchReport, Codec, CodecCapabilities, ParallelCodec, ParallelFixedDwt2d,
-    PipelineError, RowBand, SubbandDirectory, TiledCompressor, TiledDecomposition, TiledDwtReport,
-    TiledFixedCompressor, TiledFixedDwt2d, TiledReport, DEFAULT_TILE_SIZE,
+    BatchCompressor, BatchReport, Codec, CodecCapabilities, LineCompressor, ParallelCodec,
+    ParallelFixedDwt2d, PipelineError, RowBand, RowEncoder, SubbandDirectory, TiledCompressor,
+    TiledDecomposition, TiledDwtReport, TiledFixedCompressor, TiledFixedDwt2d, TiledReport,
+    DEFAULT_TILE_SIZE,
 };
 pub use lwc_server::{
     loadgen, Client, LoadGenConfig, LoadReport, Server, ServerConfig, ServerError, ServerStats,

@@ -103,11 +103,32 @@ pub fn analyze_periodic_fixed(
     highpass: &QuantizedKernel,
     step: FixedStep,
 ) -> Result<(Vec<i64>, Vec<i64>), DwtError> {
+    let mut out = vec![0i64; x.len()];
+    analyze_periodic_fixed_into(x, lowpass, highpass, step, &mut out)?;
+    let detail = out.split_off(x.len() / 2);
+    Ok((out, detail))
+}
+
+/// As [`analyze_periodic_fixed`], but writing `[approximation | detail]`
+/// into a caller-provided buffer of the same length as `x` — the
+/// allocation-free form the line-based engine runs its pooled row buffers
+/// through.
+///
+/// # Panics
+///
+/// Panics if `x` has an odd or zero length, or `out` has a different length.
+pub(crate) fn analyze_periodic_fixed_into(
+    x: &[i64],
+    lowpass: &QuantizedKernel,
+    highpass: &QuantizedKernel,
+    step: FixedStep,
+    out: &mut [i64],
+) -> Result<(), DwtError> {
     let n = x.len();
     assert!(n >= 2 && n % 2 == 0, "signal length must be even and non-zero, got {n}");
+    assert_eq!(out.len(), n, "output buffer must match the signal length");
     let half = n / 2;
-    let mut approx = Vec::with_capacity(half);
-    let mut detail = Vec::with_capacity(half);
+    let (approx, detail) = out.split_at_mut(half);
     let mut acc = MacAccumulator::new();
 
     // One wrap-free check per pass (see the module docs): if the worst-case
@@ -121,8 +142,8 @@ pub fn analyze_periodic_fixed(
 
     // Boundary outputs before the interior: periodic wrap, checked taps.
     let boundary = |k: usize,
-                    approx: &mut Vec<i64>,
-                    detail: &mut Vec<i64>,
+                    approx: &mut [i64],
+                    detail: &mut [i64],
                     acc: &mut MacAccumulator|
      -> Result<(), DwtError> {
         let base = 2 * k as i64;
@@ -130,17 +151,17 @@ pub fn analyze_periodic_fixed(
         for (m, c) in indexed(lowpass) {
             acc.mac(c, x[(base + i64::from(m)).rem_euclid(n as i64) as usize])?;
         }
-        approx.push(step.round(acc.value())?);
+        approx[k] = step.round(acc.value())?;
         acc.clear();
         for (m, c) in indexed(highpass) {
             acc.mac(c, x[(base + i64::from(m)).rem_euclid(n as i64) as usize])?;
         }
-        detail.push(step.round(acc.value())?);
+        detail[k] = step.round(acc.value())?;
         Ok(())
     };
 
     for k in 0..lo.min(half) {
-        boundary(k, &mut approx, &mut detail, &mut acc)?;
+        boundary(k, approx, detail, &mut acc)?;
     }
     for k in lo..hi.min(half) {
         // Interior fast path: both kernels read a contiguous window, consumed
@@ -149,16 +170,16 @@ pub fn analyze_periodic_fixed(
         let lp_start = (2 * k as i64 + i64::from(lowpass.min_index())) as usize;
         acc.clear();
         acc.mac_slice(lowpass.raw(), &x[lp_start..lp_start + lowpass.len()]);
-        approx.push(step.round(acc.value())?);
+        approx[k] = step.round(acc.value())?;
         let hp_start = (2 * k as i64 + i64::from(highpass.min_index())) as usize;
         acc.clear();
         acc.mac_slice(highpass.raw(), &x[hp_start..hp_start + highpass.len()]);
-        detail.push(step.round(acc.value())?);
+        detail[k] = step.round(acc.value())?;
     }
     for k in lo.max(hi.min(half))..half {
-        boundary(k, &mut approx, &mut detail, &mut acc)?;
+        boundary(k, approx, detail, &mut acc)?;
     }
-    Ok((approx, detail))
+    Ok(())
 }
 
 /// Range of output indices `k` (half-open) whose taps stay inside the signal
@@ -185,7 +206,7 @@ fn analysis_fits_unchecked(x: &[i64], lp: &QuantizedKernel, hp: &QuantizedKernel
 }
 
 /// Sum of absolute raw coefficient words (the kernel's L1 norm in raw units).
-fn kernel_l1(kernel: &QuantizedKernel) -> u128 {
+pub(crate) fn kernel_l1(kernel: &QuantizedKernel) -> u128 {
     kernel.raw().iter().map(|&c| u128::from(c.unsigned_abs())).sum()
 }
 
@@ -282,7 +303,7 @@ fn synthesis_fits_unchecked(
 }
 
 /// Iterates over `(tap index, raw coefficient)` pairs of a quantized kernel.
-fn indexed(kernel: &QuantizedKernel) -> impl Iterator<Item = (i32, i64)> + '_ {
+pub(crate) fn indexed(kernel: &QuantizedKernel) -> impl Iterator<Item = (i32, i64)> + '_ {
     let min = kernel.min_index();
     kernel.raw().iter().enumerate().map(move |(i, &c)| (min + i as i32, c))
 }

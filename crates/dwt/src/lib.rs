@@ -54,6 +54,7 @@ mod dwt1d;
 mod error;
 mod fixed1d;
 mod fixed2d;
+mod line;
 pub mod lossless;
 mod subbands;
 mod transform2d;
@@ -62,6 +63,7 @@ pub use dwt1d::{analyze_periodic, synthesize_periodic};
 pub use error::DwtError;
 pub use fixed1d::{analyze_periodic_fixed, synthesize_periodic_fixed, FixedStep};
 pub use fixed2d::FixedDwt2d;
+pub use line::{FixedCoeffRow, LineFixedDwt};
 pub use subbands::{Decomposition, Subband, SubbandRect};
 pub use transform2d::Dwt2d;
 

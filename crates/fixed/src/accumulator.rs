@@ -29,9 +29,31 @@ pub struct MacAccumulator {
 
 /// Lane width of [`MacAccumulator::mac_slice`]'s chunked inner loop.
 ///
-/// Four independent 64-bit accumulators fill a 256-bit vector register; on
-/// narrower targets the compiler simply unrolls, which still removes the
-/// loop-carried dependency of the scalar MAC chain.
+/// Eight independent 64-bit accumulators fill two 256-bit AVX2 vector
+/// registers, which both vectorizes the multiplies and hides the multiply
+/// latency behind the second accumulator chain; the wider chunk also keeps
+/// the loop profitable when the compiler targets AVX-512.
+///
+/// The lane count never changes results: under the caller's once-per-pass
+/// bound every partial sum stays inside `i64`, so the lane split only
+/// reorders exact additions (see [`MacAccumulator::mac_slice`]).
+#[cfg(target_arch = "x86_64")]
+pub const MAC_LANES: usize = 8;
+
+/// Lane width of [`MacAccumulator::mac_slice`]'s chunked inner loop.
+///
+/// NEON vectors hold two 64-bit lanes, so four independent accumulators fill
+/// two 128-bit registers — enough to break the loop-carried dependency of
+/// the scalar MAC chain without spilling on the 32-register NEON file.
+#[cfg(target_arch = "aarch64")]
+pub const MAC_LANES: usize = 4;
+
+/// Lane width of [`MacAccumulator::mac_slice`]'s chunked inner loop.
+///
+/// Portable fallback: four independent 64-bit accumulators. Targets without
+/// 64-bit SIMD multiplies still benefit because the compiler unrolls the
+/// chunk, removing the loop-carried dependency of the scalar MAC chain.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub const MAC_LANES: usize = 4;
 
 impl MacAccumulator {

@@ -39,10 +39,12 @@
 mod error;
 pub mod geometry;
 mod lifting1d;
+mod line;
 mod transform;
 
 pub use error::LiftingError;
-pub use lifting1d::{approx_len, detail_len, forward_53, inverse_53};
+pub use lifting1d::{approx_len, detail_len, forward_53, forward_53_into, inverse_53};
+pub use line::{CoeffRow, LineDwt53};
 pub use transform::{Lifting53, LiftingCoefficients};
 
 #[cfg(test)]

@@ -44,19 +44,37 @@ pub fn detail_len(n: usize) -> usize {
 /// Panics if `x` is empty.
 #[must_use]
 pub fn forward_53(x: &[i32]) -> (Vec<i32>, Vec<i32>) {
+    let mut approx = vec![0i32; approx_len(x.len())];
+    let mut detail = vec![0i32; detail_len(x.len())];
+    forward_53_into(x, &mut approx, &mut detail);
+    (approx, detail)
+}
+
+/// Allocation-free form of [`forward_53`]: writes the approximation and
+/// detail halves into caller-provided slices. This is the horizontal kernel
+/// of the line-based fused transform ([`crate::LineDwt53`]), which recycles
+/// its row buffers instead of allocating two vectors per row.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or the output slices do not have lengths
+/// [`approx_len`] and [`detail_len`] of `x.len()`.
+pub fn forward_53_into(x: &[i32], approx: &mut [i32], detail: &mut [i32]) {
     let n = x.len();
     assert!(n >= 1, "signal must not be empty");
     let half_a = approx_len(n);
     let half_d = detail_len(n);
+    assert_eq!(approx.len(), half_a, "approximation slice length must be ceil(n / 2)");
+    assert_eq!(detail.len(), half_d, "detail slice length must be floor(n / 2)");
     if half_d == 0 {
-        return (vec![x[0]], Vec::new());
+        approx[0] = x[0];
+        return;
     }
 
     // Predict. Interior: every window [x[2k], x[2k+1], x[2k+2]] is in range.
-    let mut detail = Vec::with_capacity(half_d);
-    for w in x.windows(3).step_by(2) {
+    for (slot, w) in detail.iter_mut().zip(x.windows(3).step_by(2)) {
         let predicted = (w[0] as i64 + w[2] as i64) >> 1;
-        detail.push((w[1] as i64 - predicted) as i32);
+        *slot = (w[1] as i64 - predicted) as i32;
     }
     if n % 2 == 0 {
         // Boundary: the last odd sample's right even neighbour is mirrored in
@@ -64,24 +82,22 @@ pub fn forward_53(x: &[i32]) -> (Vec<i32>, Vec<i32>) {
         let k = half_d - 1;
         let m = mirror(k as i64 + 1, half_a as i64) as usize;
         let predicted = (x[2 * k] as i64 + x[2 * m] as i64) >> 1;
-        detail.push((x[2 * k + 1] as i64 - predicted) as i32);
+        detail[k] = (x[2 * k + 1] as i64 - predicted) as i32;
     }
 
     // Update. Boundary at k = 0 (left detail neighbour mirrored), interior
     // for 1..half_d, and for odd `n` a mirrored tail at the last even sample.
     let d = |k: i64| -> i64 { detail[mirror(k, half_d as i64) as usize] as i64 };
-    let mut approx = Vec::with_capacity(half_a);
-    approx.push((x[0] as i64 + ((d(-1) + d(0) + 2) >> 2)) as i32);
-    for (k, w) in detail.windows(2).enumerate() {
-        let update = (w[0] as i64 + w[1] as i64 + 2) >> 2;
-        approx.push((x[2 * (k + 1)] as i64 + update) as i32);
+    approx[0] = (x[0] as i64 + ((d(-1) + d(0) + 2) >> 2)) as i32;
+    for k in 1..half_d {
+        let update = (detail[k - 1] as i64 + detail[k] as i64 + 2) >> 2;
+        approx[k] = (x[2 * k] as i64 + update) as i32;
     }
     if half_a > half_d {
         let k = half_a as i64 - 1;
         let update = (d(k - 1) + d(k) + 2) >> 2;
-        approx.push((x[2 * (half_a - 1)] as i64 + update) as i32);
+        approx[half_a - 1] = (x[2 * (half_a - 1)] as i64 + update) as i32;
     }
-    (approx, detail)
 }
 
 /// Inverse reversible 5/3 lifting, reconstructing the interleaved signal of
@@ -139,7 +155,7 @@ pub fn inverse_53(approx: &[i32], detail: &[i32]) -> Vec<i32> {
 }
 
 /// Symmetric (whole-sample mirror) index extension into `0..n`.
-fn mirror(k: i64, n: i64) -> i64 {
+pub(crate) fn mirror(k: i64, n: i64) -> i64 {
     if n == 1 {
         return 0;
     }

@@ -1,0 +1,569 @@
+//! Line-based fused multi-scale 5/3 transform: the whole pyramid in one
+//! streaming pass over the image.
+//!
+//! [`crate::Lifting53`] makes a full pass over the active region per scale
+//! (a row pass, then a column pass), so a deep decomposition re-reads the
+//! LL band from memory once per level. This module implements the scheduling
+//! the hardware world uses instead (PAPERS.md, *"Area and Throughput
+//! Trade-Offs in the Design of Pipelined Discrete Wavelet Transform
+//! Architectures"*): **line-based** evaluation, where each level keeps a
+//! bounded ring of line buffers and level `n + 1` consumes LL rows as level
+//! `n` emits them. Rows flow from the input straight up the level cascade in
+//! a single pass, with an `O(width x levels)` working set instead of
+//! `O(pixels)`.
+//!
+//! The 5/3 lifting steps make this cheap: the vertical predict for detail
+//! row `k` needs horizontally-transformed rows `2k`, `2k + 1` and `2k + 2`,
+//! and the vertical update for approximation row `k` needs detail rows
+//! `k - 1` and `k`, so a ring of about six rows per level covers the filter
+//! support including the symmetric (mirror) boundary taps. The ragged
+//! `ceil(n / 2)` pyramid of [`crate::geometry`] is handled exactly like the
+//! multi-pass driver: one-sample dimensions pass through, odd dimensions
+//! mirror at the tail.
+//!
+//! Every emitted coefficient is computed by the *same integer formulas* as
+//! [`crate::Lifting53::forward`], so the output is **bit-identical** to the
+//! multi-pass driver — the workspace property tests diff the two across
+//! random odd/prime dimensions and depths, and the multi-pass transform
+//! stays in-tree as the reference.
+
+use crate::geometry::{band_rect, scaled_dim};
+use crate::lifting1d::{approx_len, detail_len, forward_53_into, mirror};
+use crate::transform::LiftingCoefficients;
+use crate::LiftingError;
+use lwc_image::ImageView;
+use std::collections::VecDeque;
+
+/// One row of subband coefficients emitted by [`LineDwt53`].
+///
+/// `band` follows the workspace convention (0 = approximation, 1 =
+/// horizontal detail, 2 = vertical detail, 3 = diagonal detail); `y` is the
+/// row inside the subband's rectangle (see [`crate::geometry::band_rect`]).
+/// Rows of each subband are emitted top to bottom; the approximation band is
+/// emitted only at the deepest scale. Detail rows of a dimension that has
+/// contracted to one sample are empty slices.
+#[derive(Debug)]
+pub struct CoeffRow<'a> {
+    /// Scale of the subband, `1..=scales`.
+    pub scale: u32,
+    /// Band index, `0..=3`.
+    pub band: usize,
+    /// Row inside the subband rectangle.
+    pub y: usize,
+    /// The coefficient row, left to right.
+    pub samples: &'a [i32],
+}
+
+/// Per-level state of the line cascade: a ring of horizontally transformed
+/// rows plus the last few vertical detail rows, sized by the 5/3 filter
+/// support (not the image height).
+#[derive(Debug)]
+struct Level {
+    /// 1-based scale this level produces.
+    scale: u32,
+    /// Active region entering this level.
+    w: usize,
+    h: usize,
+    /// Horizontal split of a transformed row: `[approx | detail]`.
+    a_w: usize,
+    /// Vertical output counts.
+    a_h: usize,
+    d_h: usize,
+    /// Ring of horizontally transformed rows; `rows[0]` has absolute row
+    /// index `rows_start`.
+    rows: VecDeque<Vec<i32>>,
+    rows_start: usize,
+    rows_in: usize,
+    /// Recent vertical detail rows; `details[0]` has index `details_start`.
+    details: VecDeque<Vec<i32>>,
+    details_start: usize,
+    next_detail: usize,
+    next_approx: usize,
+    flushed: bool,
+    /// Recycled row buffers (the ring never allocates in steady state).
+    spare: Vec<Vec<i32>>,
+}
+
+impl Level {
+    fn new(scale: u32, w: usize, h: usize) -> Self {
+        Self {
+            scale,
+            w,
+            h,
+            a_w: approx_len(w),
+            a_h: approx_len(h),
+            d_h: detail_len(h),
+            rows: VecDeque::new(),
+            rows_start: 0,
+            rows_in: 0,
+            details: VecDeque::new(),
+            details_start: 0,
+            next_detail: 0,
+            next_approx: 0,
+            flushed: false,
+            spare: Vec::new(),
+        }
+    }
+
+    fn row(&self, index: usize) -> &[i32] {
+        &self.rows[index - self.rows_start]
+    }
+
+    fn detail(&self, index: usize) -> &[i32] {
+        &self.details[index - self.details_start]
+    }
+
+    fn take_buf(&mut self) -> Vec<i32> {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Receives one input row: applies the horizontal lifting step (identical
+    /// to the multi-pass row pass) and appends the `[approx | detail]` row to
+    /// the ring.
+    fn receive(&mut self, src: &[i32]) {
+        debug_assert_eq!(src.len(), self.w);
+        let mut buf = self.take_buf();
+        buf.resize(self.w, 0);
+        if self.w >= 2 {
+            let (a, d) = buf.split_at_mut(self.a_w);
+            forward_53_into(src, a, d);
+        } else {
+            buf.copy_from_slice(src);
+        }
+        self.rows.push_back(buf);
+        self.rows_in += 1;
+    }
+
+    /// Computes every vertical output whose dependencies are satisfied,
+    /// emitting detail rows (bands 2/3) and horizontal-detail rows (band 1)
+    /// and pushing LL rows either up the cascade (`out`) or out as the
+    /// deepest approximation (band 0) when `is_top`.
+    fn pump(
+        &mut self,
+        is_top: bool,
+        out: &mut Vec<Vec<i32>>,
+        pool: &mut Vec<Vec<i32>>,
+        emit: &mut dyn FnMut(CoeffRow<'_>),
+    ) {
+        if self.h == 1 {
+            // No vertical pass (exactly like the multi-pass driver): the
+            // single horizontally transformed row is approximation row 0.
+            if self.next_approx == 0 && self.rows_in == 1 {
+                let row = &self.rows[0];
+                emit(CoeffRow { scale: self.scale, band: 1, y: 0, samples: &row[self.a_w..] });
+                if is_top {
+                    emit(CoeffRow { scale: self.scale, band: 0, y: 0, samples: &row[..self.a_w] });
+                } else {
+                    let mut ll = pool.pop().unwrap_or_default();
+                    ll.clear();
+                    ll.extend_from_slice(&row[..self.a_w]);
+                    out.push(ll);
+                }
+                self.next_approx = 1;
+            }
+            return;
+        }
+        loop {
+            let mut progressed = false;
+            if self.try_detail(emit) {
+                progressed = true;
+            }
+            if self.try_approx(is_top, out, pool, emit) {
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+            self.trim();
+        }
+    }
+
+    /// Vertical predict for detail row `next_detail`, if its rows are in.
+    fn try_detail(&mut self, emit: &mut dyn FnMut(CoeffRow<'_>)) -> bool {
+        let k = self.next_detail;
+        if k >= self.d_h {
+            return false;
+        }
+        let interior = 2 * k + 2 < self.h;
+        if interior && self.rows_in <= 2 * k + 2 {
+            return false;
+        }
+        if !interior && !self.flushed {
+            // Even-height mirror tail: needs the last row, i.e. end of input.
+            return false;
+        }
+        let mut buf = self.take_buf();
+        {
+            let r0 = self.row(2 * k);
+            let r1 = self.row(2 * k + 1);
+            let r2 = if interior {
+                self.row(2 * k + 2)
+            } else {
+                // The right even neighbour is mirrored in even-subsequence
+                // index space, exactly as in `forward_53`.
+                let m = mirror(k as i64 + 1, self.a_h as i64) as usize;
+                self.row(2 * m)
+            };
+            buf.extend(r1.iter().zip(r0.iter().zip(r2)).map(|(&odd, (&left, &right))| {
+                let predicted = (left as i64 + right as i64) >> 1;
+                (odd as i64 - predicted) as i32
+            }));
+        }
+        emit(CoeffRow { scale: self.scale, band: 2, y: k, samples: &buf[..self.a_w] });
+        emit(CoeffRow { scale: self.scale, band: 3, y: k, samples: &buf[self.a_w..] });
+        self.details.push_back(buf);
+        self.next_detail += 1;
+        true
+    }
+
+    /// Vertical update for approximation row `next_approx`, if its detail
+    /// rows are computed.
+    fn try_approx(
+        &mut self,
+        is_top: bool,
+        out: &mut Vec<Vec<i32>>,
+        pool: &mut Vec<Vec<i32>>,
+        emit: &mut dyn FnMut(CoeffRow<'_>),
+    ) -> bool {
+        let j = self.next_approx;
+        if j >= self.a_h {
+            return false;
+        }
+        let ready = if j == 0 {
+            // Needs d(-1) and d(0): d(-1) mirrors to detail row 1 when it
+            // exists, else row 0.
+            self.next_detail >= 2.min(self.d_h)
+        } else if j < self.d_h {
+            self.next_detail > j
+        } else {
+            // Odd-height tail: both taps mirror into already-computed rows,
+            // but only once every detail row exists.
+            self.next_detail == self.d_h
+        };
+        if !ready {
+            return false;
+        }
+        let mut buf = self.take_buf();
+        {
+            let (dm1, d0) = if j == 0 {
+                (self.detail(1.min(self.d_h - 1)), self.detail(0))
+            } else if j < self.d_h {
+                (self.detail(j - 1), self.detail(j))
+            } else {
+                let m = mirror(j as i64, self.d_h as i64) as usize;
+                (self.detail(j - 1), self.detail(m))
+            };
+            let r = self.row(2 * j);
+            buf.extend(r.iter().zip(dm1.iter().zip(d0)).map(|(&even, (&a, &b))| {
+                let update = (a as i64 + b as i64 + 2) >> 2;
+                (even as i64 + update) as i32
+            }));
+        }
+        emit(CoeffRow { scale: self.scale, band: 1, y: j, samples: &buf[self.a_w..] });
+        if is_top {
+            emit(CoeffRow { scale: self.scale, band: 0, y: j, samples: &buf[..self.a_w] });
+        } else {
+            let mut ll = pool.pop().unwrap_or_default();
+            ll.clear();
+            ll.extend_from_slice(&buf[..self.a_w]);
+            out.push(ll);
+        }
+        self.spare.push(buf);
+        self.next_approx += 1;
+        true
+    }
+
+    /// Drops ring entries no future output can reference. The retention
+    /// bounds are the filter support: approximation row `j` reads input row
+    /// `2j` and detail rows `j - 2..=j`; the even-height mirror tail reads
+    /// input row `2 * next_detail - 2`.
+    fn trim(&mut self) {
+        let keep_rows = (2 * self.next_approx).min((2 * self.next_detail).saturating_sub(2));
+        while self.rows_start < keep_rows {
+            let buf = self.rows.pop_front().expect("retention keeps rows_start in range");
+            self.spare.push(buf);
+            self.rows_start += 1;
+        }
+        let keep_details = self.next_approx.saturating_sub(2);
+        while self.details_start < keep_details {
+            let buf = self.details.pop_front().expect("retention keeps details_start in range");
+            self.spare.push(buf);
+            self.details_start += 1;
+        }
+    }
+
+    fn buffered_samples(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum::<usize>()
+            + self.details.iter().map(Vec::len).sum::<usize>()
+            + self.spare.iter().map(|b| b.capacity()).sum::<usize>()
+    }
+}
+
+/// Line-based fused forward 5/3 transform: push rows in with
+/// [`LineDwt53::push_row`], receive subband coefficient rows through a
+/// callback, and call [`LineDwt53::finish`] after the last row.
+///
+/// The engine is bit-identical to [`crate::Lifting53::forward`] on every
+/// image geometry (any dimensions, any depth) while holding only
+/// `O(width x levels)` samples — see the module documentation for the
+/// scheduling and the ring-buffer sizing.
+///
+/// ```
+/// use lwc_image::synth;
+/// use lwc_lifting::{Lifting53, LineDwt53};
+///
+/// # fn main() -> Result<(), lwc_lifting::LiftingError> {
+/// let image = synth::mr_slice(37, 53, 12, 1); // ragged odd dimensions
+/// let fused = LineDwt53::forward_view(&image.view(), 3)?;
+/// let multi_pass = Lifting53::new(3)?.forward(&image)?;
+/// assert_eq!(fused, multi_pass); // bit-identical, one pass over memory
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LineDwt53 {
+    width: usize,
+    height: usize,
+    scales: u32,
+    levels: Vec<Level>,
+    rows_in: usize,
+    finished: bool,
+    /// Recycled LL row buffers passed between cascade levels.
+    pool: Vec<Vec<i32>>,
+}
+
+impl LineDwt53 {
+    /// Creates a streaming transform for a `width x height` image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftingError::NoScales`] for zero scales and
+    /// [`LiftingError::ConfigurationMismatch`] for zero dimensions.
+    pub fn new(width: usize, height: usize, scales: u32) -> Result<Self, LiftingError> {
+        if scales == 0 {
+            return Err(LiftingError::NoScales);
+        }
+        if width == 0 || height == 0 {
+            return Err(LiftingError::ConfigurationMismatch(format!(
+                "line transform needs nonzero dimensions, got {width}x{height}"
+            )));
+        }
+        let levels = (0..scales)
+            .map(|l| Level::new(l + 1, scaled_dim(width, l), scaled_dim(height, l)))
+            .collect();
+        Ok(Self { width, height, scales, levels, rows_in: 0, finished: false, pool: Vec::new() })
+    }
+
+    /// Image width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Decomposition depth.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.scales
+    }
+
+    /// Rows pushed so far.
+    #[must_use]
+    pub fn rows_pushed(&self) -> usize {
+        self.rows_in
+    }
+
+    /// Samples currently buffered across every level's ring (including
+    /// recycled spares) — the engine's coefficient working set. Bounded by
+    /// the filter support times the level widths, independent of the image
+    /// height; the streaming smoke test asserts the bound on a 4096² frame.
+    #[must_use]
+    pub fn working_set_samples(&self) -> usize {
+        self.levels.iter().map(Level::buffered_samples).sum::<usize>()
+            + self.pool.iter().map(|b| b.capacity()).sum::<usize>()
+    }
+
+    /// Pushes the next image row (top to bottom), emitting every coefficient
+    /// row that becomes computable anywhere in the cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the image width, if more than
+    /// `height` rows are pushed, or after [`LineDwt53::finish`].
+    pub fn push_row(&mut self, row: &[i32], emit: &mut dyn FnMut(CoeffRow<'_>)) {
+        assert!(!self.finished, "push_row called after finish");
+        assert_eq!(row.len(), self.width, "row length must equal the image width");
+        assert!(self.rows_in < self.height, "more rows pushed than the image height");
+        self.rows_in += 1;
+        self.levels[0].receive(row);
+        self.run_levels(false, emit);
+    }
+
+    /// Flushes the cascade after the last row, emitting every remaining
+    /// boundary output level by level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `height` rows were pushed or on a second call.
+    pub fn finish(&mut self, emit: &mut dyn FnMut(CoeffRow<'_>)) {
+        assert!(!self.finished, "finish called twice");
+        assert_eq!(self.rows_in, self.height, "finish called before every row was pushed");
+        self.finished = true;
+        self.run_levels(true, emit);
+        debug_assert!(
+            self.levels.iter().all(|l| l.next_approx == l.a_h && l.next_detail == l.d_h),
+            "flush must drain every level"
+        );
+    }
+
+    /// One cascade sweep: feed each level the LL rows the level below
+    /// released, then pump it. With `flush` set, levels are flushed bottom-up
+    /// so boundary tails propagate in one sweep.
+    fn run_levels(&mut self, flush: bool, emit: &mut dyn FnMut(CoeffRow<'_>)) {
+        let mut inputs: Vec<Vec<i32>> = Vec::new();
+        let mut outputs: Vec<Vec<i32>> = Vec::new();
+        let level_count = self.levels.len();
+        for li in 0..level_count {
+            let is_top = li + 1 == level_count;
+            let level = &mut self.levels[li];
+            for buf in inputs.drain(..) {
+                level.receive(&buf);
+                self.pool.push(buf);
+            }
+            if flush {
+                level.flushed = true;
+            }
+            level.pump(is_top, &mut outputs, &mut self.pool, emit);
+            std::mem::swap(&mut inputs, &mut outputs);
+        }
+        // The top level emits band 0 instead of cascading.
+        debug_assert!(inputs.is_empty() && outputs.is_empty());
+    }
+
+    /// Convenience driver: runs the whole view through the streaming engine
+    /// and assembles the Mallat layout — the exact product of
+    /// [`crate::Lifting53::forward_view`], used by the bit-identity tests
+    /// and benches. Streaming consumers use [`LineDwt53::push_row`] instead
+    /// and never materialize the full coefficient frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`LineDwt53::new`].
+    pub fn forward_view(
+        view: &ImageView<'_>,
+        scales: u32,
+    ) -> Result<LiftingCoefficients, LiftingError> {
+        let width = view.width();
+        let height = view.height();
+        let mut engine = Self::new(width, height, scales)?;
+        let mut data = vec![0i32; width * height];
+        let mut sink = |c: CoeffRow<'_>| {
+            let rect = band_rect(width, height, c.scale, c.band);
+            debug_assert_eq!(c.samples.len(), rect.width);
+            let start = (rect.y + c.y) * width + rect.x;
+            data[start..start + c.samples.len()].copy_from_slice(c.samples);
+        };
+        for y in 0..height {
+            engine.push_row(view.row(y), &mut sink);
+        }
+        engine.finish(&mut sink);
+        LiftingCoefficients::from_raw(data, width, height, scales, view.bit_depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lifting53;
+    use lwc_image::synth;
+
+    #[test]
+    fn fused_matches_multi_pass_across_geometries() {
+        for (w, h) in [
+            (1usize, 1usize),
+            (1, 17),
+            (17, 1),
+            (2, 2),
+            (2, 5),
+            (5, 2),
+            (3, 3),
+            (4, 4),
+            (7, 11),
+            (37, 53),
+            (64, 64),
+            (101, 63),
+            (64, 37),
+        ] {
+            for scales in [1u32, 2, 3, 5] {
+                let image = synth::random_image(w, h, 12, (w * 1000 + h) as u64 + scales as u64);
+                let fused = LineDwt53::forward_view(&image.view(), scales).unwrap();
+                let multi = Lifting53::new(scales).unwrap().forward(&image).unwrap();
+                assert_eq!(fused, multi, "{w}x{h} at {scales} scales");
+            }
+        }
+    }
+
+    #[test]
+    fn emission_is_in_order_and_complete_per_band() {
+        let image = synth::ct_phantom(45, 29, 12, 3);
+        let scales = 3u32;
+        let mut engine = LineDwt53::new(45, 29, scales).unwrap();
+        let mut next_y = std::collections::HashMap::new();
+        let mut emitted = 0usize;
+        let mut sink = |c: CoeffRow<'_>| {
+            let expected = next_y.entry((c.scale, c.band)).or_insert(0usize);
+            assert_eq!(c.y, *expected, "band ({}, {}) out of order", c.scale, c.band);
+            *expected += 1;
+            emitted += c.samples.len();
+        };
+        for y in 0..29 {
+            engine.push_row(image.view().row(y), &mut sink);
+        }
+        engine.finish(&mut sink);
+        assert_eq!(emitted, 45 * 29, "every pixel position maps to one coefficient");
+        for ((scale, band), rows) in next_y {
+            let rect = band_rect(45, 29, scale, band);
+            assert_eq!(rows, rect.height, "band ({scale}, {band}) incomplete");
+        }
+    }
+
+    #[test]
+    fn working_set_is_bounded_by_width_not_height() {
+        let (w, h, scales) = (128usize, 512usize, 4u32);
+        let image = synth::mr_slice(w, h, 12, 7);
+        let mut engine = LineDwt53::new(w, h, scales).unwrap();
+        let mut peak = 0usize;
+        let mut sink = |_c: CoeffRow<'_>| {};
+        for y in 0..h {
+            engine.push_row(image.view().row(y), &mut sink);
+            peak = peak.max(engine.working_set_samples());
+        }
+        engine.finish(&mut sink);
+        peak = peak.max(engine.working_set_samples());
+        // Sum of level widths is < 2w; each level holds a constant number of
+        // rows (ring + details + spares), far below the pixel count.
+        assert!(peak <= 64 * w * scales as usize, "peak {peak}");
+        assert!(peak < w * h / 4, "peak {peak} not far below the {} pixels", w * h);
+    }
+
+    #[test]
+    fn misuse_panics() {
+        assert!(LineDwt53::new(0, 4, 1).is_err());
+        assert!(LineDwt53::new(4, 4, 0).is_err());
+        let mut engine = LineDwt53::new(4, 2, 1).unwrap();
+        let mut sink = |_c: CoeffRow<'_>| {};
+        engine.push_row(&[0; 4], &mut sink);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sink = |_c: CoeffRow<'_>| {};
+            engine.finish(&mut sink);
+        }));
+        assert!(result.is_err(), "finish before the last row must panic");
+    }
+}

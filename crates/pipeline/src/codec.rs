@@ -276,8 +276,10 @@ mod tests {
     fn engines() -> Vec<Box<dyn Codec>> {
         vec![
             Box::new(LosslessCodec::new(3).unwrap()),
+            Box::new(crate::LineCompressor::new(3).unwrap()),
             Box::new(ParallelCodec::new(3, 2).unwrap()),
             Box::new(TiledCompressor::new(3, 32, 2).unwrap()),
+            Box::new(TiledCompressor::new(3, 32, 2).unwrap().with_line_transform()),
             Box::new(
                 TiledFixedCompressor::new(&FilterBank::table1(FilterId::F1), 3, 32, 2).unwrap(),
             ),
@@ -312,9 +314,10 @@ mod tests {
     fn capabilities_describe_the_engines() {
         let caps: Vec<CodecCapabilities> = engines().iter().map(|e| e.capabilities()).collect();
         assert!(!caps[0].tiled && !caps[0].fixed_point);
-        assert!(caps[2].tiled && caps[2].streaming_decode);
-        assert!(caps[3].fixed_point);
-        assert_eq!(caps[3].containers, "LWCF");
+        assert!(!caps[1].tiled && !caps[1].fixed_point); // line-based fused engine
+        assert!(caps[3].tiled && caps[3].streaming_decode);
+        assert!(caps[5].fixed_point);
+        assert_eq!(caps[5].containers, "LWCF");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use lwc_coder::CoderError;
 use lwc_dwt::DwtError;
+use lwc_lifting::LiftingError;
 use std::fmt;
 
 /// Errors surfaced by the batch compression engine.
@@ -11,6 +12,8 @@ pub enum PipelineError {
     Coder(CoderError),
     /// The underlying fixed-point transform failed.
     Dwt(DwtError),
+    /// The underlying lifting transform failed.
+    Lifting(LiftingError),
     /// The pipeline itself was misconfigured (e.g. zero workers requested on
     /// a platform that cannot report its parallelism).
     Config(String),
@@ -21,6 +24,7 @@ impl fmt::Display for PipelineError {
         match self {
             Self::Coder(e) => write!(f, "codec error: {e}"),
             Self::Dwt(e) => write!(f, "transform error: {e}"),
+            Self::Lifting(e) => write!(f, "lifting transform error: {e}"),
             Self::Config(msg) => write!(f, "pipeline configuration error: {msg}"),
         }
     }
@@ -31,6 +35,7 @@ impl std::error::Error for PipelineError {
         match self {
             Self::Coder(e) => Some(e),
             Self::Dwt(e) => Some(e),
+            Self::Lifting(e) => Some(e),
             Self::Config(_) => None,
         }
     }
@@ -45,5 +50,11 @@ impl From<CoderError> for PipelineError {
 impl From<DwtError> for PipelineError {
     fn from(e: DwtError) -> Self {
         Self::Dwt(e)
+    }
+}
+
+impl From<LiftingError> for PipelineError {
+    fn from(e: LiftingError) -> Self {
+        Self::Lifting(e)
     }
 }

@@ -41,6 +41,14 @@
 //!   container. This is the end-to-end realization of the paper's
 //!   architecture — Table I banks at Table II word lengths with an entropy
 //!   back end — rather than the engineering-preferred lifting path.
+//! * [`LineCompressor`] — the **line-based fused** encode path: the whole
+//!   multi-scale 5/3 transform runs in one streaming pass over the input
+//!   rows ([`lwc_lifting::LineDwt53`]) and coefficients are Rice-coded the
+//!   moment the cascade releases them, giving an `O(width x levels)`
+//!   coefficient working set and a push-style row API
+//!   ([`LineCompressor::begin`] / [`RowEncoder`]) that pairs with
+//!   [`TiledCompressor::decompress_row_bands`] for bounded-memory encode
+//!   *and* decode. Output bytes are identical to the sequential codec.
 //! * [`Codec`] — the unified engine interface: every compressor above
 //!   implements one object-safe trait (compress / decompress / tile access /
 //!   row-band streaming, with capability reporting), so the batch engine,
@@ -55,6 +63,7 @@
 mod batch;
 mod codec;
 mod error;
+mod line;
 mod parcodec;
 mod pardwt;
 mod report;
@@ -66,6 +75,7 @@ mod tiledfixed;
 pub use batch::BatchCompressor;
 pub use codec::{Codec, CodecCapabilities};
 pub use error::PipelineError;
+pub use line::{LineCompressor, RowEncoder};
 pub use parcodec::{ParallelCodec, SubbandDirectory};
 pub use pardwt::ParallelFixedDwt2d;
 pub use report::{BatchReport, TiledDwtReport, TiledReport};

@@ -1,0 +1,343 @@
+//! Row-streaming lossless encoder over the line-based fused DWT.
+//!
+//! [`LineCompressor`] pairs [`lwc_lifting::LineDwt53`] — the one-pass
+//! multi-scale transform with an `O(width x levels)` coefficient working set
+//! — with one incremental [`lwc_coder::StreamingSubbandEncoder`] per subband:
+//! coefficient rows flow from the cascade straight into the per-band Rice
+//! coders, and [`RowEncoder::finish`] splices the finished bands (in
+//! [`lwc_coder::subband_order`]) behind the `LWC1` header at bit level. The
+//! block-adaptive code is strictly sequential per band, so the spliced stream
+//! is **byte-identical** to [`LosslessCodec::compress`] — the pull-style
+//! counterpart is [`crate::TiledCompressor::decompress_row_bands`], giving
+//! bounded-memory encode *and* decode end to end.
+//!
+//! The encode path never allocates a frame-sized coefficient buffer: peak
+//! coefficient state is the cascade's line rings plus at most one partial
+//! Rice block per band (asserted by the streaming smoke tests and the
+//! `reproduce dwt-line` artifact).
+
+use crate::{Codec, CodecCapabilities, PipelineError};
+use lwc_coder::bitio::BitWriter;
+use lwc_coder::{subband_order, LosslessCodec, StreamHeader, StreamingSubbandEncoder};
+use lwc_image::{Image, ImageView};
+use lwc_lifting::{CoeffRow, LineDwt53};
+
+/// Lossless `LWC1` codec whose forward transform is the line-based fused
+/// [`LineDwt53`] instead of the multi-pass [`lwc_lifting::Lifting53`].
+///
+/// Output bytes are identical to [`LosslessCodec::compress`] for every image
+/// (pinned by tests); the difference is *how* they are produced — one
+/// streaming pass over the input rows, which is both faster at deep
+/// decompositions (one memory pass instead of one per scale) and the entry
+/// point for compressing frames that never fit in RAM via
+/// [`LineCompressor::begin`] / [`RowEncoder::push_row`].
+///
+/// ```
+/// use lwc_coder::LosslessCodec;
+/// use lwc_image::synth;
+/// use lwc_pipeline::LineCompressor;
+///
+/// # fn main() -> Result<(), lwc_pipeline::PipelineError> {
+/// let image = synth::ct_phantom(96, 64, 12, 1);
+/// let line = LineCompressor::new(4)?;
+/// let bytes = line.compress(&image)?;
+/// assert_eq!(bytes, LosslessCodec::new(4)?.compress(&image)?); // same stream
+/// assert_eq!(line.decompress(&bytes)?.samples(), image.samples());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCompressor {
+    codec: LosslessCodec,
+}
+
+impl LineCompressor {
+    /// Creates an engine with the given decomposition depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scales` is zero.
+    pub fn new(scales: u32) -> Result<Self, PipelineError> {
+        Ok(Self::with_codec(LosslessCodec::new(scales)?))
+    }
+
+    /// Wraps an existing codec configuration.
+    #[must_use]
+    pub fn with_codec(codec: LosslessCodec) -> Self {
+        Self { codec }
+    }
+
+    /// The codec configuration (shared header/stream layout and decode path).
+    #[must_use]
+    pub fn codec(&self) -> &LosslessCodec {
+        &self.codec
+    }
+
+    /// Decomposition depth.
+    #[must_use]
+    pub fn scales(&self) -> u32 {
+        self.codec.scales()
+    }
+
+    /// Starts a streaming encode session for a `width x height` frame whose
+    /// rows will be pushed top to bottom — the push-style counterpart of the
+    /// pull-style [`crate::TiledCompressor::decompress_row_bands`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape does not fit the `LWC1` header fields or
+    /// a dimension is zero.
+    pub fn begin(
+        &self,
+        width: usize,
+        height: usize,
+        bit_depth: u32,
+    ) -> Result<RowEncoder, PipelineError> {
+        let header = self.codec.header_for_dims(width, height, bit_depth)?;
+        let scales = self.scales();
+        let dwt = LineDwt53::new(width, height, scales)?;
+        let encoders =
+            (0..3 * scales as usize + 1).map(|_| StreamingSubbandEncoder::new()).collect();
+        Ok(RowEncoder { header, scales, dwt, encoders })
+    }
+
+    /// Compresses a frame supplied as an iterator of rows (top to bottom,
+    /// each exactly `width` samples) without ever holding the frame or its
+    /// coefficients in memory.
+    ///
+    /// # Errors
+    ///
+    /// See [`LineCompressor::begin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (like [`RowEncoder::push_row`]) if a row has the wrong length
+    /// or the iterator yields a number of rows different from `height`.
+    pub fn compress_rows<'a, I>(
+        &self,
+        width: usize,
+        height: usize,
+        bit_depth: u32,
+        rows: I,
+    ) -> Result<Vec<u8>, PipelineError>
+    where
+        I: IntoIterator<Item = &'a [i32]>,
+    {
+        let mut encoder = self.begin(width, height, bit_depth)?;
+        for row in rows {
+            encoder.push_row(row);
+        }
+        Ok(encoder.finish())
+    }
+
+    /// Compresses an in-memory image through the streaming path; bytes are
+    /// identical to [`LosslessCodec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LineCompressor::begin`].
+    pub fn compress(&self, image: &Image) -> Result<Vec<u8>, PipelineError> {
+        self.compress_view(&image.view())
+    }
+
+    /// Compresses a borrowed (possibly strided) window of a larger frame —
+    /// the per-tile entry point used by
+    /// [`crate::TiledCompressor::with_line_transform`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LineCompressor::begin`].
+    pub fn compress_view(&self, view: &ImageView<'_>) -> Result<Vec<u8>, PipelineError> {
+        self.compress_rows(
+            view.width(),
+            view.height(),
+            view.bit_depth(),
+            (0..view.height()).map(|y| view.row(y)),
+        )
+    }
+
+    /// Reconstructs the image; the stream is plain `LWC1`, decoded by the
+    /// shared sequential path.
+    ///
+    /// # Errors
+    ///
+    /// See [`LosslessCodec::decompress`].
+    pub fn decompress(&self, bytes: &[u8]) -> Result<Image, PipelineError> {
+        Ok(self.codec.decompress(bytes)?)
+    }
+}
+
+/// An in-progress streaming encode: push pixel rows with
+/// [`RowEncoder::push_row`], collect the `LWC1` stream with
+/// [`RowEncoder::finish`].
+#[derive(Debug)]
+pub struct RowEncoder {
+    header: StreamHeader,
+    scales: u32,
+    dwt: LineDwt53,
+    /// One incremental Rice encoder per subband, indexed by the band's
+    /// position in [`subband_order`].
+    encoders: Vec<StreamingSubbandEncoder>,
+}
+
+impl RowEncoder {
+    /// Position of `(scale, band)` in [`subband_order`]: the deepest
+    /// approximation first, then detail triples from the deepest scale down.
+    fn slot(scales: u32, scale: u32, band: usize) -> usize {
+        if band == 0 {
+            0
+        } else {
+            1 + 3 * (scales - scale) as usize + (band - 1)
+        }
+    }
+
+    /// Frame width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.header.width
+    }
+
+    /// Frame height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.header.height
+    }
+
+    /// Rows pushed so far.
+    #[must_use]
+    pub fn rows_pushed(&self) -> usize {
+        self.dwt.rows_pushed()
+    }
+
+    /// Coefficient samples currently buffered: the transform's line rings
+    /// plus the partial Rice block pending in each band encoder. Bounded by
+    /// `O(width x levels)` — the streaming smoke tests assert it never
+    /// approaches the frame's pixel count. (The accumulating *compressed*
+    /// bits are excluded: they are the output, not working state.)
+    #[must_use]
+    pub fn working_set_samples(&self) -> usize {
+        self.dwt.working_set_samples()
+            + self.encoders.iter().map(StreamingSubbandEncoder::buffered_samples).sum::<usize>()
+    }
+
+    /// Pushes the next pixel row (top to bottom); every coefficient row the
+    /// cascade releases is Rice-coded immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the frame width or more than
+    /// `height` rows are pushed.
+    pub fn push_row(&mut self, row: &[i32]) {
+        let scales = self.scales;
+        let encoders = &mut self.encoders;
+        self.dwt.push_row(row, &mut |c: CoeffRow<'_>| {
+            encoders[Self::slot(scales, c.scale, c.band)].push(c.samples);
+        });
+    }
+
+    /// Flushes the cascade's boundary tails and splices the per-band
+    /// bitstreams behind the header into the final `LWC1` stream —
+    /// byte-identical to [`LosslessCodec::compress`] of the same frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `height` rows were pushed.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        let scales = self.scales;
+        let encoders = &mut self.encoders;
+        self.dwt.finish(&mut |c: CoeffRow<'_>| {
+            encoders[Self::slot(scales, c.scale, c.band)].push(c.samples);
+        });
+        let mut writer = BitWriter::new();
+        self.header.write(&mut writer);
+        let mut encoders = self.encoders.into_iter();
+        for _ in subband_order(scales) {
+            let (bytes, bits) = encoders.next().expect("one encoder per subband").finish();
+            writer.append(&bytes, bits);
+        }
+        writer.into_bytes()
+    }
+}
+
+impl Codec for LineCompressor {
+    fn name(&self) -> &'static str {
+        "line"
+    }
+
+    fn capabilities(&self) -> CodecCapabilities {
+        CodecCapabilities {
+            containers: "LWC1",
+            tiled: false,
+            streaming_decode: false,
+            fixed_point: false,
+        }
+    }
+
+    fn compress(&self, image: &Image) -> Result<Vec<u8>, PipelineError> {
+        LineCompressor::compress(self, image)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Image, PipelineError> {
+        LineCompressor::decompress(self, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_image::{stats, synth};
+
+    #[test]
+    fn streamed_bytes_are_identical_to_the_sequential_codec() {
+        for (w, h) in [(1usize, 1usize), (5, 4), (37, 53), (64, 64), (101, 63), (64, 37)] {
+            for scales in [1u32, 3, 5] {
+                let image = synth::random_image(w, h, 12, (w * h) as u64 + u64::from(scales));
+                let line = LineCompressor::new(scales).unwrap();
+                let sequential = LosslessCodec::new(scales).unwrap();
+                assert_eq!(
+                    line.compress(&image).unwrap(),
+                    sequential.compress(&image).unwrap(),
+                    "{w}x{h} at {scales} scales"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_style_session_roundtrips_and_stays_bounded() {
+        let (w, h) = (96usize, 256usize);
+        let image = synth::ct_phantom(w, h, 12, 7);
+        let line = LineCompressor::new(4).unwrap();
+        let mut encoder = line.begin(w, h, 12).unwrap();
+        let mut peak = 0usize;
+        for y in 0..h {
+            encoder.push_row(image.view().row(y));
+            peak = peak.max(encoder.working_set_samples());
+        }
+        let bytes = encoder.finish();
+        assert!(peak < w * h / 4, "peak coefficient working set {peak} vs {} pixels", w * h);
+        let back = line.decompress(&bytes).unwrap();
+        assert!(stats::bit_exact(&image, &back).unwrap());
+    }
+
+    #[test]
+    fn trait_dispatch_matches_the_concrete_engine() {
+        let image = synth::mr_slice(64, 48, 12, 3);
+        let line = LineCompressor::new(3).unwrap();
+        assert_eq!(
+            Codec::compress(&line, &image).unwrap(),
+            LineCompressor::compress(&line, &image).unwrap()
+        );
+        assert_eq!(line.name(), "line");
+        assert!(!line.capabilities().tiled);
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        let line = LineCompressor::new(3).unwrap();
+        assert!(line.begin(0, 4, 12).is_err());
+        assert!(line.begin(1 << 20, 4, 12).is_err());
+        assert!(line.begin(4, 4, 0).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the line-based fused DWT engines:
+//!
+//! * the lifting-path [`LineDwt53`] is bit-identical to the multi-pass
+//!   [`Lifting53`] on arbitrary geometries (odd, prime, degenerate) at any
+//!   decomposition depth,
+//! * the fixed-point [`LineFixedDwt`] is bit-identical to the paper-exact
+//!   multi-pass [`FixedDwt2d`] across every Table I bank and decomposable
+//!   geometry,
+//! * the row-streaming [`LineCompressor`] produces byte-for-byte the
+//!   sequential codec's container and round-trips losslessly,
+//! * (release builds only) a full 4096x4096 streaming encode keeps its
+//!   coefficient working set at `O(width x levels)` — the software analogue
+//!   of the paper's bounded line-buffer memory.
+
+use lwc_core::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lifting datapath: the one-pass cascade reproduces the multi-pass
+    /// pyramid word for word, including ragged odd/prime dimensions where
+    /// the ceil-halving pyramid saturates.
+    #[test]
+    fn lifting_fused_matches_multi_pass(
+        width in 1usize..=97,
+        height in 1usize..=97,
+        scales in 1u32..=5,
+        seed in 0u64..10_000,
+    ) {
+        let image = synth::random_image(width, height, 12, seed);
+        let fused = LineDwt53::forward_view(&image.view(), scales).unwrap();
+        let multi = Lifting53::new(scales).unwrap().forward(&image).unwrap();
+        prop_assert!(fused == multi, "fused != multi-pass for {width}x{height} at {scales} scales");
+    }
+
+    /// Fixed-point datapath: fused == multi-pass for every quantized Table I
+    /// bank on decomposable geometries (dimensions divisible by
+    /// `2^scales`), pinning the deferred periodic boundary rows and the
+    /// fused vertical accumulation to the reference.
+    #[test]
+    fn fixed_fused_matches_multi_pass(
+        filter_index in 0usize..6,
+        scales in 1u32..=5,
+        w_factor in 1usize..=5,
+        h_factor in 1usize..=5,
+        seed in 0u64..10_000,
+    ) {
+        let id = FilterId::ALL[filter_index];
+        let bank = FilterBank::table1(id);
+        let hw = FixedDwt2d::paper_default(&bank, scales).unwrap();
+        let (w, h) = (w_factor << scales, h_factor << scales);
+        let image = synth::random_image(w, h, 12, seed);
+        let fused = LineFixedDwt::forward_view(&hw, &image.view()).unwrap();
+        prop_assert!(fused == hw.forward(&image).unwrap(), "fused != multi-pass for {id}: {w}x{h} at {scales} scales");
+    }
+
+    /// The row-streaming encoder emits the sequential codec's exact bytes
+    /// (subband splicing is invisible in the container) and round-trips.
+    #[test]
+    fn streaming_encoder_matches_sequential_codec(
+        width in 1usize..=80,
+        height in 1usize..=80,
+        scales in 1u32..=5,
+        seed in 0u64..10_000,
+    ) {
+        let image = synth::random_image(width, height, 12, seed);
+        let line = LineCompressor::new(scales).unwrap();
+        let stream = line.compress(&image).unwrap();
+        let reference = LosslessCodec::new(scales).unwrap().compress(&image).unwrap();
+        prop_assert_eq!(&stream, &reference);
+        let back = line.decompress(&stream).unwrap();
+        prop_assert!(stats::bit_exact(&image, &back).unwrap());
+    }
+}
+
+/// Release-gated smoke at real frame scale: a full 4096x4096 push-style
+/// encode must hold the `O(width x levels)` working-set bound while still
+/// producing the sequential codec's exact container. Debug builds skip it
+/// (the unoptimized transform takes minutes at this size).
+#[cfg(not(debug_assertions))]
+#[test]
+fn full_frame_streaming_encode_stays_bounded() {
+    let (w, h, scales) = (4096usize, 4096usize, 5u32);
+    let frame = synth::ct_phantom(w, h, 12, 7);
+    let line = LineCompressor::new(scales).unwrap();
+    let mut session = line.begin(w, h, 12).unwrap();
+    let mut peak = 0usize;
+    for y in 0..h {
+        session.push_row(frame.view().row(y));
+        peak = peak.max(session.working_set_samples());
+    }
+    let stream = session.finish();
+    assert_eq!(stream, LosslessCodec::new(scales).unwrap().compress(&frame).unwrap());
+    // The DWT rings are O(width x levels); the dominant term is the encoders'
+    // buffered deferred-boundary coefficients, still far below the frame.
+    assert!(peak < w * h / 8, "peak working set {peak} samples");
+    assert!(peak > 0, "the session must actually buffer rows");
+}
