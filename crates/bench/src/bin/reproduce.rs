@@ -570,33 +570,52 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Serving layer: a loopback LWCP server driven by the concurrent load
-    // generator — requests/s and MB/s through real sockets, recorded next to
-    // the in-process engines so the service overhead stays visible.
-    let serve_connections = 4usize;
-    let (serve_report, serve_stats, serve_config) = measure_serve(serve_connections, 8, size)?;
+    // generator — requests/s and MB/s through real sockets, swept across
+    // connections x workers so the scaling curve (not one point) is on
+    // record. Each point is provisioned (budget = conns x depth + workers),
+    // so any busy rejection is a server regression, not an artefact of the
+    // sweep. The serve image is pinned to 256x256 to keep the sweep's cost
+    // independent of the corpus `size` argument.
+    const SERVE_IMAGE: usize = 256;
+    const SERVE_DEPTH: usize = 4;
+    const SERVE_REQUESTS: usize = 8;
     json.push_str(&format!(
-        "  \"serve\": {{\"connections\": {serve_connections}, \"workers\": {}, \
-         \"queue_depth\": {}, \"requests\": {}, \"completed\": {}, \"rejected_busy\": {}, \
-         \"requests_per_s\": {:.3}, \"upload_mb_per_s\": {:.3}, \
-         \"download_mb_per_s\": {:.3}}}\n",
-        serve_config.workers,
-        serve_config.queue_depth,
-        serve_report.requests,
-        serve_report.completed,
-        serve_report.rejected_busy,
-        serve_report.requests_per_second(),
-        serve_report.upload_mb_per_second(),
-        serve_report.download_mb_per_second(),
+        "  \"serve\": {{\"image\": {SERVE_IMAGE}, \"pipeline_depth\": {SERVE_DEPTH}, \
+         \"requests_per_connection\": {SERVE_REQUESTS}, \"points\": [\n"
     ));
-    println!(
-        "serve ({serve_connections} conns, {} workers): {:.1} req/s, {:.1} MB/s up, \
-         {:.1} MB/s down ({} busy)",
-        serve_config.workers,
-        serve_report.requests_per_second(),
-        serve_report.upload_mb_per_second(),
-        serve_report.download_mb_per_second(),
-        serve_stats.rejected_busy,
-    );
+    let mut first_point = true;
+    for &workers in &[1usize, 2, 4] {
+        for &conns in &[1usize, 4, 16, 64] {
+            let budget = conns * SERVE_DEPTH + workers;
+            let (report, stats, _) =
+                measure_serve(conns, SERVE_REQUESTS, SERVE_IMAGE, workers, budget)?;
+            if !first_point {
+                json.push_str(",\n");
+            }
+            first_point = false;
+            json.push_str(&format!(
+                "    {{\"connections\": {conns}, \"workers\": {workers}, \"budget\": {budget}, \
+                 \"requests\": {}, \"completed\": {}, \"rejected_busy\": {}, \
+                 \"requests_per_s\": {:.3}, \"upload_mb_per_s\": {:.3}, \
+                 \"download_mb_per_s\": {:.3}}}",
+                report.requests,
+                report.completed,
+                report.rejected_busy,
+                report.requests_per_second(),
+                report.upload_mb_per_second(),
+                report.download_mb_per_second(),
+            ));
+            println!(
+                "serve {conns:>2} conns x {workers} workers (budget {budget:>3}): \
+                 {:>7.1} req/s, {:>6.1} MB/s up, {:>5.1} MB/s down ({} busy)",
+                report.requests_per_second(),
+                report.upload_mb_per_second(),
+                report.download_mb_per_second(),
+                stats.rejected_busy,
+            );
+        }
+    }
+    json.push_str("\n  ]}\n");
 
     json.push_str("}\n");
     std::fs::write("BENCH_throughput.json", &json)?;
@@ -612,13 +631,22 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
 
 /// One loopback measurement of the serving layer: a server on an ephemeral
 /// port, `connections` concurrent clients pipelining compress requests for a
-/// deterministic 12-bit phantom.
+/// deterministic 12-bit phantom. `budget` is the global in-flight budget
+/// (0 resolves to the server default of 4 x workers).
 fn measure_serve(
     connections: usize,
     requests_per_connection: usize,
     size: usize,
+    workers: usize,
+    budget: usize,
 ) -> Result<(LoadReport, ServerStats, ServerConfig), Box<dyn std::error::Error>> {
-    let config = ServerConfig { scales: 4, tile_size: 128, ..ServerConfig::default() };
+    let config = ServerConfig {
+        workers,
+        queue_depth: budget,
+        scales: 4,
+        tile_size: 128,
+        ..ServerConfig::default()
+    };
     let mut server = Server::bind("127.0.0.1:0", config)?;
     let image = synth::ct_phantom(size, size, 12, 0xC0DE);
     let load = LoadGenConfig { connections, requests_per_connection, pipeline_depth: 4 };
@@ -631,23 +659,55 @@ fn measure_serve(
 
 /// Serving smoke: start a loopback server, drive it with the concurrent
 /// load generator, print throughput and the server's own counters, and fail
-/// loudly if nothing completed. CI runs this on every push.
+/// loudly on any of three regressions: busy rejections at a provisioned
+/// in-flight budget, the work-stealing scheduler leaving all tile work on
+/// one worker, or a deliberately starved budget *not* pushing back. CI runs
+/// this on every push.
 fn serve(connections: usize) -> Result<(), Box<dyn std::error::Error>> {
     heading(&format!("Serving smoke — loopback LWCP service, {connections} connections"));
-    let (report, stats, config) = measure_serve(connections, 16, 256)?;
+
+    // Provisioned: the budget covers every outstanding request, so nothing
+    // may bounce, and with several workers the steal path must spread the
+    // per-tile jobs beyond a single worker.
+    let workers = 4;
+    let budget = connections * 4 + workers;
+    let (report, stats, config) = measure_serve(connections, 16, 256, workers, budget)?;
     println!(
-        "server: {} workers, queue depth {}, scales {}, tile {}",
-        config.workers, config.queue_depth, config.scales, config.tile_size
+        "server: {} workers, in-flight budget {}, {} per connection, scales {}, tile {}",
+        config.workers, config.queue_depth, config.conn_inflight, config.scales, config.tile_size
     );
     println!("load:   {report}");
     println!("stats:  {stats}");
-    assert!(report.completed > 0, "the load generator must complete requests");
+    assert_eq!(
+        report.completed, report.requests,
+        "a provisioned budget must complete every request"
+    );
+    assert_eq!(report.rejected_busy, 0, "a provisioned budget must never answer busy");
     assert_eq!(report.failed, 0, "no request may fail outright");
     assert_eq!(
         stats.completed_requests, report.completed,
         "server and client must agree on the completed count"
     );
-    println!("(the machine-readable serve figures land in BENCH_throughput.json via perfjson)");
+    assert!(
+        stats.active_workers >= 2,
+        "work stealing must spread tile jobs beyond one worker (got {})",
+        stats.active_workers
+    );
+
+    // Starved: pin the budget to 1 and flood — backpressure must answer
+    // `busy` instead of buffering without bound.
+    let (tiny_report, _, _) = measure_serve(connections.max(2), 16, 256, 1, 1)?;
+    println!("starved (budget 1): {tiny_report}");
+    assert!(
+        tiny_report.rejected_busy > 0,
+        "a budget of 1 under a pipelined flood must reject some requests busy"
+    );
+    assert_eq!(
+        tiny_report.completed + tiny_report.rejected_busy,
+        tiny_report.requests,
+        "every request is either completed or bounced busy"
+    );
+    println!("(the machine-readable serve sweep lands in BENCH_throughput.json via perfjson)");
     Ok(())
 }
 

@@ -198,20 +198,9 @@ impl TiledCompressor {
                 tile_width: grid.tile_width(),
                 tile_height: grid.tile_height(),
             };
-            let codec = self.codec;
-            let line_transform = self.line_transform;
-            let payloads = run_indexed(
-                self.workers,
-                grid.tile_count(),
-                |index| -> Result<Vec<u8>, PipelineError> {
-                    let view = image.view_rect(grid.rect(index)).map_err(CoderError::from)?;
-                    if line_transform {
-                        crate::LineCompressor::with_codec(codec).compress_view(&view)
-                    } else {
-                        Ok(codec.compress_view(&view)?)
-                    }
-                },
-            )?;
+            let payloads = run_indexed(self.workers, grid.tile_count(), |index| {
+                self.encode_tile(image, &grid, index)
+            })?;
             write_container(&header, &payloads)?
         };
         let report = TiledReport {
@@ -222,6 +211,58 @@ impl TiledCompressor {
             wall: start.elapsed(),
         };
         Ok((bytes, report))
+    }
+
+    /// Compresses one tile of `image` (row-major `index` of `grid`) into
+    /// its standalone per-tile stream — the unit a scheduler can fan across
+    /// workers. Byte-identical to the payload
+    /// [`TiledCompressor::compress`] places in the container's `index`
+    /// directory slot, by construction: `compress` itself is built on this.
+    ///
+    /// # Errors
+    ///
+    /// Returns the tile's codec error; `grid` must describe `image` (an
+    /// out-of-bounds rectangle surfaces as a view error).
+    pub fn encode_tile(
+        &self,
+        image: &Image,
+        grid: &TileGrid,
+        index: usize,
+    ) -> Result<Vec<u8>, PipelineError> {
+        let view = image.view_rect(grid.rect(index)).map_err(CoderError::from)?;
+        if self.line_transform {
+            crate::LineCompressor::with_codec(self.codec).compress_view(&view)
+        } else {
+            Ok(self.codec.compress_view(&view)?)
+        }
+    }
+
+    /// Assembles per-tile payloads (row-major `grid` order, one per tile,
+    /// as produced by [`TiledCompressor::encode_tile`]) into the `LWCT`
+    /// container [`TiledCompressor::compress`] writes for a multi-tile
+    /// grid. Callers fanning tiles out themselves finish with this; note
+    /// that for a single-tile grid `compress` emits the legacy stream
+    /// instead of a container, so fan-out only applies to multi-tile grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns a container error if the payload count disagrees with the
+    /// grid or an offset overflows the directory format.
+    pub fn assemble_container(
+        &self,
+        grid: &TileGrid,
+        bit_depth: u32,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<u8>, PipelineError> {
+        let header = TiledHeader {
+            width: grid.image_width(),
+            height: grid.image_height(),
+            bit_depth,
+            scales: self.codec.scales(),
+            tile_width: grid.tile_width(),
+            tile_height: grid.tile_height(),
+        };
+        Ok(write_container(&header, payloads)?)
     }
 
     /// Reconstructs the image from a tiled container **or** a legacy
@@ -525,6 +566,24 @@ mod tests {
             synth::mr_slice(24, 24, 12, 22),    // single-tile legacy path
         ] {
             assert_eq!(engine.compress(&image).unwrap(), fused.compress(&image).unwrap());
+        }
+    }
+
+    #[test]
+    fn per_tile_encode_plus_assembly_matches_compress() {
+        // The scheduler's fan-out path must reproduce `compress` exactly —
+        // tile payloads encoded one by one, container assembled at the end.
+        for engine in
+            [TiledCompressor::new(3, 32, 2).unwrap(), TiledCompressor::new(3, 32, 1).unwrap()]
+        {
+            let image = synth::ct_phantom(100, 60, 12, 6);
+            let reference = engine.compress(&image).unwrap();
+            let grid = engine.grid(100, 60).unwrap();
+            let payloads: Vec<Vec<u8>> = (0..grid.tile_count())
+                .map(|i| engine.encode_tile(&image, &grid, i).unwrap())
+                .collect();
+            let assembled = engine.assemble_container(&grid, image.bit_depth(), &payloads).unwrap();
+            assert_eq!(assembled, reference);
         }
     }
 

@@ -192,12 +192,8 @@ impl TiledFixedCompressor {
             // instead (bit-exact to the sequential payload by construction).
             vec![self.encode_tile_spliced(&self.dwt.inner().forward(image)?)?]
         } else {
-            let inner = self.dwt.inner();
-            let codec = self.codec;
             run_indexed(self.workers(), grid.tile_count(), |index| {
-                let view = image.view_rect(grid.rect(index)).map_err(DwtError::from)?;
-                let tile = inner.forward_view(&view)?;
-                Ok::<_, PipelineError>(encode_tile_payload(codec, &tile))
+                self.encode_tile(image, &grid, index)
             })?
         };
         let bytes = write_fixed_container(&header, &payloads)?;
@@ -209,6 +205,47 @@ impl TiledFixedCompressor {
             wall: start.elapsed(),
         };
         Ok((bytes, report))
+    }
+
+    /// Compresses one tile of `image` (row-major `index` of `grid`) into
+    /// its standalone `LWCF` tile payload — the unit a scheduler can fan
+    /// across workers. Byte-identical to the payload
+    /// [`TiledFixedCompressor::compress`] places at that directory slot
+    /// (for a single-tile grid this is the subband-spliced whole-image
+    /// payload; `compress` is built on this either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns the tile's transform error; `grid` must describe `image`.
+    pub fn encode_tile(
+        &self,
+        image: &Image,
+        grid: &TileGrid,
+        index: usize,
+    ) -> Result<Vec<u8>, PipelineError> {
+        if grid.is_single() {
+            return self.encode_tile_spliced(&self.dwt.inner().forward(image)?);
+        }
+        let view = image.view_rect(grid.rect(index)).map_err(DwtError::from)?;
+        let tile = self.dwt.inner().forward_view(&view)?;
+        Ok(encode_tile_payload(self.codec, &tile))
+    }
+
+    /// Assembles per-tile payloads (row-major `grid` order, as produced by
+    /// [`TiledFixedCompressor::encode_tile`]) into the `LWCF` container
+    /// [`TiledFixedCompressor::compress`] writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a container error if the payload count disagrees with the
+    /// grid or an offset overflows the directory format.
+    pub fn assemble_container(
+        &self,
+        grid: &TileGrid,
+        bit_depth: u32,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<u8>, PipelineError> {
+        Ok(write_fixed_container(&self.header_for(grid, bit_depth), payloads)?)
     }
 
     /// Per-subband parallel encode of one tile: the `3 * scales + 1`
@@ -507,6 +544,19 @@ mod tests {
             let back = engine.decompress(&bytes).unwrap();
             assert!(stats::bit_exact(&image, &back).unwrap());
         }
+    }
+
+    #[test]
+    fn per_tile_encode_plus_assembly_matches_compress() {
+        // The scheduler's fan-out path must reproduce `compress` exactly.
+        let engine = engine(3, 32, 2);
+        let image = synth::ct_phantom(96, 64, 12, 4);
+        let reference = engine.compress(&image).unwrap();
+        let grid = engine.grid(96, 64).unwrap();
+        let payloads: Vec<Vec<u8>> =
+            (0..grid.tile_count()).map(|i| engine.encode_tile(&image, &grid, i).unwrap()).collect();
+        let assembled = engine.assemble_container(&grid, image.bit_depth(), &payloads).unwrap();
+        assert_eq!(assembled, reference);
     }
 
     #[test]

@@ -3,22 +3,28 @@
 //! ```text
 //! cargo run --release -p lwc-server --bin serve -- [flags]
 //!
-//!   --addr HOST:PORT    listen address           (default 127.0.0.1:7453)
-//!   --workers N         codec worker threads     (default 0 = all cores)
-//!   --queue N           request queue depth      (default 0 = 4 x workers)
-//!   --scales N          compress decomposition   (default 4)
-//!   --tile N            compress tile size       (default 256)
-//!   --max-frame-mb N    per-frame payload limit  (default 64)
-//!   --duration SECS     serve then exit          (default 0 = forever)
+//!   --addr HOST:PORT    listen address             (default 127.0.0.1:7453)
+//!   --workers N         codec worker threads       (default 0 = all cores)
+//!   --budget N          global in-flight budget    (default 0 = 4 x workers)
+//!   --conn-inflight N   per-connection cap         (default 0 = 64)
+//!   --cache-entries N   response cache entries     (default 0 = disabled)
+//!   --cache-mb N        response cache byte budget (default 0 = 256 MiB)
+//!   --scales N          compress decomposition     (default 4)
+//!   --tile N            compress tile size         (default 256)
+//!   --max-frame-mb N    per-frame payload limit    (default 64)
+//!   --duration SECS     serve then exit            (default 0 = forever)
 //! ```
+//!
+//! `--queue` is accepted as a deprecated alias for `--budget`.
 
 use lwc_server::{Server, ServerConfig};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--scales N] [--tile N] \
-         [--max-frame-mb N] [--duration SECS]"
+        "usage: serve [--addr HOST:PORT] [--workers N] [--budget N] [--conn-inflight N] \
+         [--cache-entries N] [--cache-mb N] [--scales N] [--tile N] [--max-frame-mb N] \
+         [--duration SECS]"
     );
     std::process::exit(2);
 }
@@ -39,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match flag.as_str() {
             "--addr" => addr = value("--addr"),
             "--workers" => config.workers = value("--workers").parse()?,
-            "--queue" => config.queue_depth = value("--queue").parse()?,
+            "--budget" | "--queue" => config.queue_depth = value("--budget").parse()?,
+            "--conn-inflight" => config.conn_inflight = value("--conn-inflight").parse()?,
+            "--cache-entries" => config.cache_entries = value("--cache-entries").parse()?,
+            "--cache-mb" => {
+                config.cache_bytes = value("--cache-mb").parse::<usize>()? << 20;
+            }
             "--scales" => config.scales = value("--scales").parse()?,
             "--tile" => config.tile_size = value("--tile").parse()?,
             "--max-frame-mb" => {
@@ -56,12 +67,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut server = Server::bind(addr.as_str(), config)?;
     let resolved = *server.config();
+    let cache = if resolved.cache_entries == 0 {
+        "off".to_owned()
+    } else {
+        format!("{} entries / {} MiB", resolved.cache_entries, resolved.cache_bytes >> 20)
+    };
     println!(
-        "lwc-server listening on {} ({} workers, queue depth {}, scales {}, tile {}, \
-         max frame {} MiB)",
+        "lwc-server listening on {} ({} workers, in-flight budget {}, {} per connection, \
+         cache {}, scales {}, tile {}, max frame {} MiB)",
         server.local_addr(),
         resolved.workers,
         resolved.queue_depth,
+        resolved.conn_inflight,
+        cache,
         resolved.scales,
         resolved.tile_size,
         resolved.max_payload_bytes >> 20

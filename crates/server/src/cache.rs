@@ -1,0 +1,198 @@
+//! The hot-response cache: request-payload content hash → response payload.
+//!
+//! Medical viewers hammer the same slices: the same PGM uploaded twice, the
+//! same stream decompressed by every radiologist opening a study. Both
+//! datapaths are deterministic (same payload → byte-identical response), so
+//! a content-addressed cache is *exact*, never approximate — a hit returns
+//! precisely the bytes the engine would have produced, which keeps the
+//! server's byte-identity guarantee intact with the cache on or off.
+//!
+//! Keys are `(op, full request payload)`: the payload is hashed (FNV-1a 64)
+//! for bucket placement and then compared byte-for-byte on lookup, so hash
+//! collisions can never serve the wrong response. Eviction is LRU by a
+//! monotonic touch stamp under both an entry-count and a byte budget
+//! (payload + response bytes per entry). The cache is **disabled by
+//! default** (`cache_entries == 0` in `ServerConfig`): serving honest
+//! worker-scaling numbers matters more than winning benchmarks against a
+//! load generator that repeats one payload.
+
+use crate::protocol::Op;
+use std::collections::HashMap;
+
+/// One cached response under its exact request key.
+#[derive(Debug)]
+struct Slot {
+    op: u8,
+    payload: Vec<u8>,
+    response: Vec<u8>,
+    stamp: u64,
+}
+
+impl Slot {
+    /// Bytes this entry charges against the budget.
+    fn cost(&self) -> usize {
+        self.payload.len() + self.response.len()
+    }
+}
+
+/// FNV-1a 64 over the op byte and the payload — stable, dependency-free,
+/// and only a *placement* hint (equality is always verified).
+fn content_hash(op: u8, payload: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(op);
+    for &byte in payload {
+        eat(byte);
+    }
+    hash
+}
+
+/// An exact LRU response cache; see the module docs.
+#[derive(Debug)]
+pub(crate) struct ResponseCache {
+    buckets: HashMap<u64, Vec<Slot>>,
+    max_entries: usize,
+    max_bytes: usize,
+    entries: usize,
+    bytes: usize,
+    clock: u64,
+}
+
+impl ResponseCache {
+    /// Creates a cache bounded by `max_entries` entries and `max_bytes`
+    /// total (payload + response) bytes.
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        Self { buckets: HashMap::new(), max_entries, max_bytes, entries: 0, bytes: 0, clock: 0 }
+    }
+
+    /// Entries currently cached.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Looks up the response for `(op, payload)`, refreshing its LRU stamp.
+    /// The returned bytes are a clone — the caller frames and sends them
+    /// without holding the cache lock.
+    pub fn get(&mut self, op: Op, payload: &[u8]) -> Option<Vec<u8>> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let slots = self.buckets.get_mut(&content_hash(op.code(), payload))?;
+        let slot = slots.iter_mut().find(|s| s.op == op.code() && s.payload == payload)?;
+        slot.stamp = stamp;
+        Some(slot.response.clone())
+    }
+
+    /// Inserts a response, evicting least-recently-used entries until both
+    /// budgets hold. Entries too large to ever fit the byte budget are
+    /// skipped; re-inserting an existing key refreshes it.
+    pub fn insert(&mut self, op: Op, payload: Vec<u8>, response: Vec<u8>) {
+        let cost = payload.len() + response.len();
+        if self.max_entries == 0 || cost > self.max_bytes {
+            return;
+        }
+        self.clock += 1;
+        let slot = Slot { op: op.code(), payload, response, stamp: self.clock };
+        let bucket = self.buckets.entry(content_hash(slot.op, &slot.payload)).or_default();
+        if let Some(existing) =
+            bucket.iter_mut().find(|s| s.op == slot.op && s.payload == slot.payload)
+        {
+            self.bytes = self.bytes - existing.cost() + slot.cost();
+            *existing = slot;
+        } else {
+            self.bytes += slot.cost();
+            self.entries += 1;
+            bucket.push(slot);
+        }
+        while self.entries > self.max_entries || self.bytes > self.max_bytes {
+            self.evict_lru();
+        }
+    }
+
+    /// Removes the entry with the oldest stamp. Linear in the entry count,
+    /// which the entry budget keeps small — no second index to maintain.
+    fn evict_lru(&mut self) {
+        let Some((&hash, oldest)) = self
+            .buckets
+            .iter()
+            .filter_map(|(hash, slots)| {
+                slots.iter().map(|s| s.stamp).min().map(|stamp| (hash, stamp))
+            })
+            .min_by_key(|&(_, stamp)| stamp)
+        else {
+            return;
+        };
+        let slots = self.buckets.get_mut(&hash).expect("bucket exists");
+        let index = slots.iter().position(|s| s.stamp == oldest).expect("slot exists");
+        let slot = slots.swap_remove(index);
+        self.entries -= 1;
+        self.bytes -= slot.cost();
+        if slots.is_empty() {
+            self.buckets.remove(&hash);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_require_exact_payload_and_op_match() {
+        let mut cache = ResponseCache::new(8, 1 << 20);
+        cache.insert(Op::Compress, b"payload".to_vec(), b"response".to_vec());
+        assert_eq!(cache.get(Op::Compress, b"payload").as_deref(), Some(&b"response"[..]));
+        assert!(cache.get(Op::Decompress, b"payload").is_none(), "op is part of the key");
+        assert!(cache.get(Op::Compress, b"payloae").is_none());
+        assert!(cache.get(Op::Compress, b"").is_none());
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut cache = ResponseCache::new(2, 1 << 20);
+        cache.insert(Op::Compress, vec![1], vec![10]);
+        cache.insert(Op::Compress, vec![2], vec![20]);
+        // Touch [1] so [2] becomes the LRU entry, then overflow.
+        assert!(cache.get(Op::Compress, &[1]).is_some());
+        cache.insert(Op::Compress, vec![3], vec![30]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(Op::Compress, &[1]).is_some(), "recently touched survives");
+        assert!(cache.get(Op::Compress, &[2]).is_none(), "LRU entry evicted");
+        assert!(cache.get(Op::Compress, &[3]).is_some());
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_oversized_entries_are_skipped() {
+        let mut cache = ResponseCache::new(100, 64);
+        cache.insert(Op::Compress, vec![1; 16], vec![2; 16]); // 32 bytes
+        cache.insert(Op::Compress, vec![3; 16], vec![4; 16]); // 64 total
+        assert_eq!(cache.len(), 2);
+        cache.insert(Op::Compress, vec![5; 16], vec![6; 16]); // evicts oldest
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(Op::Compress, &[1; 16]).is_none());
+        // An entry that could never fit is refused outright.
+        cache.insert(Op::Compress, vec![7; 60], vec![8; 60]);
+        assert!(cache.get(Op::Compress, &[7; 60]).is_none());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsertion_refreshes_in_place() {
+        let mut cache = ResponseCache::new(4, 1 << 20);
+        cache.insert(Op::Compress, vec![1], vec![10]);
+        cache.insert(Op::Compress, vec![1], vec![11, 12]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(Op::Compress, &[1]), Some(vec![11, 12]));
+    }
+
+    #[test]
+    fn zero_entry_budget_disables_the_cache() {
+        let mut cache = ResponseCache::new(0, 1 << 20);
+        cache.insert(Op::Compress, vec![1], vec![10]);
+        assert!(cache.get(Op::Compress, &[1]).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+}

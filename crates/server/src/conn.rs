@@ -1,0 +1,269 @@
+//! Per-connection state for the event loop: incremental frame reassembly
+//! on the read side, a drainable response buffer on the write side, and
+//! the little phase machine that makes closes graceful.
+//!
+//! A connection is just bytes plus bookkeeping — all *decisions* (admission
+//! control, replies, timeouts) live in the event loop; this module only
+//! moves bytes without ever blocking the loop.
+
+use crate::frame::FrameAccumulator;
+use crate::protocol::Frame;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// How many already-sent peer bytes a violating connection drains after its
+/// error reply, so closing the socket doesn't reset the reply away.
+/// Bounded: a peer still flooding past this simply gets the reset.
+pub(crate) const MAX_VIOLATION_DRAIN_BYTES: usize = 1 << 20;
+
+/// Reads one `read_ready` pass performs before yielding back to the loop,
+/// so one firehosing peer cannot starve every other connection (level
+/// triggering re-reports it on the next wait immediately).
+const READS_PER_PASS: usize = 16;
+
+/// Where a connection is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnPhase {
+    /// Normal request/response traffic.
+    Open,
+    /// Peer sent FIN: no more requests, but responses still in flight are
+    /// delivered before the close (pipelined clients half-close).
+    PeerClosed,
+    /// Protocol violation: the typed error reply is queued; flush it, send
+    /// our FIN, then read-and-discard (bounded) so the close is clean.
+    Draining {
+        /// Our write half has been shut down.
+        fin_sent: bool,
+        /// Peer bytes discarded so far.
+        drained: usize,
+    },
+}
+
+/// What one readable-event pass produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadResult {
+    /// Bytes arrived (or were discarded, when draining).
+    Progress,
+    /// Nothing (more) to read right now.
+    Idle,
+    /// The connection is finished — deregister and drop it.
+    Dead,
+}
+
+/// One client connection owned by the event loop.
+pub(crate) struct Connection {
+    pub stream: TcpStream,
+    /// Incremental frame reassembly; dead after a violation.
+    pub acc: FrameAccumulator,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Requests admitted from this connection and not yet answered.
+    pub in_flight: usize,
+    pub phase: ConnPhase,
+    /// Read interest currently registered with the poller (dropped once the
+    /// peer half-closes, or a level-triggered EOF would spin the loop).
+    pub want_read: bool,
+    /// Write interest currently registered with the poller.
+    pub want_write: bool,
+    /// Last time read bytes arrived (the slow-loris clock).
+    pub last_read: Instant,
+    /// Last time a write made progress (the stalled-peer clock).
+    pub last_write: Instant,
+}
+
+impl Connection {
+    /// Wraps an accepted stream: nodelay, nonblocking, fresh accumulator.
+    pub fn new(stream: TcpStream, max_payload: usize) -> io::Result<Self> {
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true)?;
+        let now = Instant::now();
+        Ok(Self {
+            stream,
+            acc: FrameAccumulator::new(max_payload),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            in_flight: 0,
+            phase: ConnPhase::Open,
+            want_read: true,
+            want_write: false,
+            last_read: now,
+            last_write: now,
+        })
+    }
+
+    /// Serializes a response frame onto the write buffer (no I/O yet — the
+    /// loop flushes after processing the event batch).
+    pub fn queue_frame(&mut self, frame: &Frame) {
+        self.write_buf.extend_from_slice(&frame.header_bytes());
+        self.write_buf.extend_from_slice(&frame.payload);
+    }
+
+    /// Bytes queued and not yet written.
+    pub fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Writes as much buffered response data as the socket accepts right
+    /// now. Returns the bytes written; `Err` means the peer is gone and the
+    /// connection should be dropped.
+    pub fn flush(&mut self) -> io::Result<usize> {
+        let mut written = 0usize;
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(io::Error::new(ErrorKind::WriteZero, "peer stopped reading")),
+                Ok(n) => {
+                    self.write_pos += n;
+                    written += n;
+                    self.last_write = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+        Ok(written)
+    }
+
+    /// Handles one readable event: pulls bytes into the accumulator (or
+    /// discards them while draining a violation). Bounded per pass so one
+    /// peer cannot monopolize the loop.
+    pub fn read_ready(&mut self, scratch: &mut [u8]) -> ReadResult {
+        let mut progressed = false;
+        for _ in 0..READS_PER_PASS {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    return match self.phase {
+                        // EOF while draining or already half-closed: done.
+                        ConnPhase::Draining { .. } => ReadResult::Dead,
+                        _ => {
+                            self.phase = ConnPhase::PeerClosed;
+                            if progressed {
+                                ReadResult::Progress
+                            } else {
+                                ReadResult::Idle
+                            }
+                        }
+                    };
+                }
+                Ok(n) => {
+                    progressed = true;
+                    self.last_read = Instant::now();
+                    if let ConnPhase::Draining { drained, .. } = &mut self.phase {
+                        *drained += n;
+                        if *drained > MAX_VIOLATION_DRAIN_BYTES {
+                            return ReadResult::Dead;
+                        }
+                    } else {
+                        self.acc.push_bytes(&scratch[..n]);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => return ReadResult::Dead,
+            }
+        }
+        if progressed {
+            ReadResult::Progress
+        } else {
+            ReadResult::Idle
+        }
+    }
+
+    /// Whether this connection has nothing left to deliver and can close:
+    /// the peer is gone (or being drained past its budget elsewhere) and no
+    /// admitted request still owes it a response.
+    pub fn finished(&self) -> bool {
+        self.phase == ConnPhase::PeerClosed && self.in_flight == 0 && self.pending_write() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ErrorCode, Op};
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn frames_queue_flush_and_reassemble() {
+        let (mut client, server) = pair();
+        let mut conn = Connection::new(server, 1 << 20).unwrap();
+        let frame = Frame { op: Op::OkStats, request_id: 7, payload: vec![1, 2, 3] };
+        conn.queue_frame(&frame);
+        assert_eq!(conn.pending_write(), frame.encoded_len());
+        let written = conn.flush().unwrap();
+        assert_eq!(written, frame.encoded_len());
+        assert_eq!(conn.pending_write(), 0);
+        client.set_nonblocking(false).unwrap();
+        let (header, payload) = crate::frame::read_frame(&mut client, 1 << 20, 0).unwrap();
+        assert_eq!(crate::frame::into_frame(header, payload).unwrap(), frame);
+    }
+
+    #[test]
+    fn reads_accumulate_and_eof_half_closes() {
+        let (mut client, server) = pair();
+        let mut conn = Connection::new(server, 1 << 20).unwrap();
+        let frame = Frame { op: Op::Stats, request_id: 1, payload: vec![] };
+        use std::io::Write as _;
+        client.write_all(&frame.encode()).unwrap();
+        let mut scratch = [0u8; 4096];
+        // The write is visible after at most a few polls.
+        let mut got = ReadResult::Idle;
+        for _ in 0..100 {
+            got = conn.read_ready(&mut scratch);
+            if got == ReadResult::Progress {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got, ReadResult::Progress);
+        assert!(matches!(
+            conn.acc.next_event().unwrap(),
+            Some(crate::frame::FrameEvent::Frame(_, _))
+        ));
+        drop(client);
+        for _ in 0..100 {
+            if conn.phase == ConnPhase::PeerClosed {
+                break;
+            }
+            conn.read_ready(&mut scratch);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(conn.phase, ConnPhase::PeerClosed);
+        assert!(conn.finished());
+    }
+
+    #[test]
+    fn draining_discards_bytes_with_a_budget() {
+        let (mut client, server) = pair();
+        let mut conn = Connection::new(server, 1 << 20).unwrap();
+        conn.queue_frame(&Frame::error(0, ErrorCode::MalformedFrame, "bad magic"));
+        conn.phase = ConnPhase::Draining { fin_sent: false, drained: 0 };
+        use std::io::Write as _;
+        client.write_all(&[0xAA; 8192]).unwrap();
+        let mut scratch = [0u8; 4096];
+        for _ in 0..100 {
+            if let ConnPhase::Draining { drained, .. } = conn.phase {
+                if drained >= 8192 {
+                    break;
+                }
+            }
+            conn.read_ready(&mut scratch);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let ConnPhase::Draining { drained, .. } = conn.phase else { panic!("still draining") };
+        assert_eq!(drained, 8192, "bytes discarded, not parsed");
+        assert_eq!(conn.acc.buffered(), 0);
+    }
+}

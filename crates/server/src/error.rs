@@ -43,7 +43,8 @@ impl ServerError {
     }
 
     /// `true` if this is a [`ServerError::Remote`] busy rejection — the
-    /// server's bounded queue was full and the request should be retried.
+    /// server's in-flight budget (global or per-connection) was exhausted
+    /// and the request should be retried.
     #[must_use]
     pub fn is_busy(&self) -> bool {
         matches!(self, Self::Remote { code: ErrorCode::Busy, .. })

@@ -10,12 +10,19 @@
 //! * [`protocol`] — the versioned, length-prefixed `LWCP` wire format
 //!   ([`Frame`], [`Op`], typed [`ErrorCode`]s), with payload limits enforced
 //!   *before* allocation,
-//! * [`frame`] — blocking frame I/O with idle/mid-frame timeout discipline,
-//! * [`Server`] — a TCP acceptor feeding a **bounded** request queue drained
-//!   by a pool of codec workers over the
-//!   [`TiledCompressor`](lwc_pipeline::TiledCompressor) machinery; a full
-//!   queue answers `busy` instead of buffering without bound (explicit
-//!   backpressure, the FIFO-sizing trade-off made observable),
+//! * [`frame`] — blocking frame I/O for the client, plus the incremental
+//!   [`FrameAccumulator`](frame::FrameAccumulator) the server's event loop
+//!   parses with,
+//! * [`Server`] — a **nonblocking event loop** (epoll on Linux via the
+//!   vendored `polling` shim, poll(2) elsewhere): one I/O thread multiplexes
+//!   every connection through per-connection state machines, and a
+//!   [work-stealing scheduler](sched::WorkStealing) fans the per-tile jobs
+//!   of one large request across every codec worker over the
+//!   [`TiledCompressor`](lwc_pipeline::TiledCompressor) machinery.
+//!   Backpressure is a **global in-flight budget** plus a per-connection
+//!   cap: overload answers `busy` instead of buffering without bound (the
+//!   FIFO-sizing trade-off made observable), and an optional content-hash
+//!   LRU cache serves repeated payloads without touching the engine,
 //! * [`Client`] — synchronous request/response plus pipelined multi-request
 //!   submission over one connection,
 //! * [`loadgen`] — a concurrent load generator measuring requests/s and
@@ -43,17 +50,20 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod cache;
 mod client;
+mod conn;
 mod error;
 pub mod frame;
 pub mod loadgen;
 pub mod protocol;
-mod queue;
+pub mod sched;
 mod server;
+mod stats;
 
 pub use client::{Client, Response, PIPELINE_WINDOW};
 pub use error::ServerError;
 pub use loadgen::{LoadGenConfig, LoadReport};
 pub use protocol::{ErrorCode, Frame, Op, DEFAULT_MAX_PAYLOAD_BYTES, PROTOCOL_VERSION};
-pub use queue::ServerStats;
 pub use server::{Server, ServerConfig};
+pub use stats::ServerStats;

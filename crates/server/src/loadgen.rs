@@ -3,9 +3,9 @@
 //! Drives `connections` parallel clients against a server, each issuing
 //! `requests_per_connection` compress requests with a bounded pipeline of
 //! `pipeline_depth` outstanding frames, and aggregates throughput. Busy
-//! rejections (the server's bounded queue pushing back) are counted
-//! separately from completions, so the queue-depth-versus-worker-count trade
-//! is *measured*, not guessed — the same trade the paper works through when
+//! rejections (the server's in-flight budget pushing back) are counted
+//! separately from completions, so the budget-versus-worker-count trade is
+//! *measured*, not guessed — the same trade the paper works through when
 //! sizing its inter-stage FIFOs.
 
 use crate::client::Client;
@@ -43,7 +43,7 @@ pub struct LoadReport {
     pub requests: u64,
     /// Requests answered with a success frame.
     pub completed: u64,
-    /// Requests rejected with `busy` (queue backpressure).
+    /// Requests rejected with `busy` (in-flight budget backpressure).
     pub rejected_busy: u64,
     /// Requests answered with any other error frame.
     pub failed: u64,

@@ -141,7 +141,8 @@ impl Op {
 /// Typed error codes carried by [`Op::Error`] frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorCode {
-    /// The bounded request queue was full — retry later (backpressure).
+    /// The global in-flight budget or the per-connection pipeline cap was
+    /// exhausted — retry later (backpressure).
     Busy,
     /// The declared payload length exceeds the receiver's limit.
     FrameTooLarge,

@@ -1,43 +1,66 @@
-//! The concurrent compression server.
+//! The event-driven compression server.
 //!
-//! One acceptor thread takes TCP connections; each connection gets a reader
-//! (the connection's own thread) and a writer thread joined by an in-process
-//! channel; readers validate frames and feed the bounded [`JobQueue`]; a
-//! fixed pool of codec workers drains the queue through the tiled engine and
-//! routes response frames back to the right connection. Overload is explicit:
-//! a full queue answers `busy` immediately, oversized frames are refused
-//! before allocation, and reads/writes carry timeouts so a stalled peer can
-//! never wedge a worker.
+//! One nonblocking I/O thread multiplexes every connection through a
+//! readiness [`Poller`] (epoll on Linux, poll(2) elsewhere — see the
+//! `polling` shim): per-connection state machines reassemble frames
+//! incrementally and drain write buffers as sockets allow, so thousands of
+//! idle connections cost no threads. Validated requests pass admission
+//! control — a **global in-flight budget** plus a per-connection cap, both
+//! answered with typed `busy` — and enter a work-stealing scheduler
+//! ([`WorkStealing`]): one deque per codec worker, owner LIFO at the bottom,
+//! idle workers stealing FIFO from the top. A multi-tile request splits
+//! itself into per-tile tasks on its worker's own deque, so one large image
+//! fans across every idle worker while the assembled bytes stay identical
+//! to the sequential engine's. Completed responses ride a completion queue
+//! back to the I/O thread, which wakes via [`Poller::notify`]. An optional
+//! content-hash LRU cache answers repeated compress/decompress payloads
+//! without touching the engine at all.
 
+use crate::cache::ResponseCache;
+use crate::conn::{ConnPhase, Connection, ReadResult};
 use crate::error::ServerError;
-use crate::frame::{into_frame, read_frame_idle, write_frame, ReadOutcome};
-use crate::protocol::{ErrorCode, Frame, Op, DEFAULT_MAX_PAYLOAD_BYTES, FRAME_HEADER_BYTES};
-use crate::queue::{Job, JobQueue, Metrics, PushError, ServerStats};
+use crate::frame::{into_frame, FrameEvent};
+use crate::protocol::{
+    ErrorCode, Frame, FrameHeader, Op, DEFAULT_MAX_PAYLOAD_BYTES, FRAME_HEADER_BYTES,
+};
+use crate::sched::WorkStealing;
+use crate::stats::{Metrics, SchedSnapshot, ServerStats};
 use lwc_coder::bitio::BitReader;
 use lwc_coder::fixedtiled::is_fixed;
 use lwc_coder::tiled::is_tiled;
 use lwc_coder::{FixedHeader, FixedStream, LosslessCodec, StreamHeader, TiledHeader, TiledStream};
 use lwc_image::pgm;
+use lwc_image::{Image, TileGrid};
 use lwc_pipeline::{Codec, TiledCompressor, TiledFixedCompressor, DEFAULT_TILE_SIZE};
-use std::io::Read;
-use std::net::{
-    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
-};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver};
+use polling::{Event, Poller, NOTIFY_KEY};
+use std::collections::{HashMap, VecDeque};
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Codec worker threads; `0` selects the machine's available parallelism.
     pub workers: usize,
-    /// Capacity of the bounded request queue; `0` selects `4 x workers`
-    /// (a few requests of lookahead per worker, like the paper's FIFOs hold a
-    /// few rows per pipeline stage).
+    /// Global in-flight request budget: requests admitted and not yet
+    /// answered, across all connections. `0` selects `4 x workers` (a few
+    /// requests of lookahead per worker, like the paper's FIFOs hold a few
+    /// rows per pipeline stage). The field keeps its historical name from
+    /// the bounded-queue era so callers survive the switch.
     pub queue_depth: usize,
+    /// Per-connection cap on admitted-but-unanswered requests; `0` selects
+    /// 64 (twice the client library's pipeline window), so one connection
+    /// cannot monopolize the global budget.
+    pub conn_inflight: usize,
+    /// Hot-response cache capacity in entries; `0` disables the cache.
+    pub cache_entries: usize,
+    /// Hot-response cache budget in bytes (request + response per entry);
+    /// `0` selects 256 MiB when the cache is enabled.
+    pub cache_bytes: usize,
     /// Decomposition depth used for `compress` requests.
     pub scales: u32,
     /// Square tile size used for `compress` requests (images larger than one
@@ -45,9 +68,11 @@ pub struct ServerConfig {
     pub tile_size: usize,
     /// Per-frame payload ceiling, validated before allocation.
     pub max_payload_bytes: usize,
-    /// Socket read timeout; doubles as the shutdown poll quantum.
+    /// Event-loop tick and mid-frame patience quantum: a peer that stalls
+    /// mid-frame is dropped after 100 of these.
     pub read_timeout: Duration,
-    /// Socket write timeout for responses.
+    /// How long a response may sit unflushed against a stalled peer before
+    /// the connection is dropped.
     pub write_timeout: Duration,
 }
 
@@ -56,6 +81,9 @@ impl Default for ServerConfig {
         Self {
             workers: 0,
             queue_depth: 0,
+            conn_inflight: 0,
+            cache_entries: 0,
+            cache_bytes: 0,
             scales: 4,
             tile_size: DEFAULT_TILE_SIZE,
             max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
@@ -65,35 +93,99 @@ impl Default for ServerConfig {
     }
 }
 
-/// How many consecutive timed-out reads a peer gets *inside* a frame before
-/// the connection is dropped (multiplied by `read_timeout`, this is the
-/// slow-loris budget: 100 polls x 100 ms = 10 s to finish a started frame).
+/// How many event-loop ticks (of `read_timeout` each) a peer gets *inside*
+/// a started frame before the connection is dropped (the slow-loris budget:
+/// 100 ticks x 100 ms = 10 s to finish a started frame).
 const MID_FRAME_PATIENCE_POLLS: u32 = 100;
 
-/// How many already-sent peer bytes a connection drains after replying to a
-/// protocol violation, so closing the socket doesn't reset the reply away.
-/// Bounded: a peer still flooding past this simply gets the reset.
-const MAX_VIOLATION_DRAIN_BYTES: usize = 1 << 20;
+/// Poller key of the listening socket; connections use keys from 1 up.
+const LISTENER_KEY: usize = 0;
+
+/// A request admitted into the scheduler.
+struct Job {
+    op: Op,
+    request_id: u64,
+    token: usize,
+    payload: Vec<u8>,
+}
+
+/// A multi-tile `compress` fanned across workers: each tile task encodes
+/// one payload; the last to finish assembles the container.
+struct CompressFan {
+    token: usize,
+    request_id: u64,
+    /// Original PGM request payload (the cache key on insert).
+    payload: Vec<u8>,
+    image: Image,
+    grid: TileGrid,
+    parts: Mutex<Vec<Option<Vec<u8>>>>,
+    remaining: AtomicUsize,
+    failed: Mutex<Option<(ErrorCode, String)>>,
+}
+
+/// A multi-tile `decompress` fanned across workers: each tile task decodes
+/// one tile image; the last to finish scatters them into the frame.
+struct DecodeFan {
+    token: usize,
+    request_id: u64,
+    /// The compressed container (re-parsed per tile; the directory makes
+    /// that a slice lookup, not a scan).
+    payload: Vec<u8>,
+    /// `true` for `LWCF`, `false` for `LWCT`.
+    fixed: bool,
+    width: usize,
+    height: usize,
+    bit_depth: u32,
+    grid: TileGrid,
+    parts: Mutex<Vec<Option<Image>>>,
+    remaining: AtomicUsize,
+    failed: Mutex<Option<(ErrorCode, String)>>,
+}
+
+/// What worker deques carry: whole requests, or per-tile slices of one.
+enum Task {
+    Request(Job),
+    CompressTile { fan: Arc<CompressFan>, index: usize },
+    DecodeTile { fan: Arc<DecodeFan>, index: usize },
+}
+
+/// A finished response traveling from a worker back to the I/O thread.
+struct Completion {
+    token: usize,
+    frame: Frame,
+}
 
 struct Shared {
     config: ServerConfig,
     engine: TiledCompressor,
-    queue: JobQueue,
+    sched: WorkStealing<Task>,
     metrics: Metrics,
+    cache: Option<Mutex<ResponseCache>>,
+    completions: Mutex<VecDeque<Completion>>,
+    poller: Poller,
     shutdown: AtomicBool,
-    connections: Mutex<Vec<JoinHandle<()>>>,
+    loop_exit: AtomicBool,
 }
 
 impl Shared {
     fn stats(&self) -> ServerStats {
-        ServerStats::snapshot(&self.metrics, self.config.workers, &self.queue)
+        ServerStats::snapshot(
+            &self.metrics,
+            self.config.workers,
+            self.config.queue_depth,
+            SchedSnapshot {
+                queue_len: self.sched.queued(),
+                steals: self.sched.steals(),
+                active_workers: self.sched.active_workers(),
+            },
+        )
     }
 }
 
 /// A running compression service bound to a TCP address.
 ///
-/// Dropping the server shuts it down gracefully: the acceptor stops, queued
-/// requests drain through the workers, connections close, threads join.
+/// Dropping the server shuts it down gracefully: admission stops, in-flight
+/// requests drain through the workers, responses flush, threads join.
 ///
 /// ```
 /// use lwc_image::synth;
@@ -113,20 +205,21 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    io: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and starts the acceptor and the worker pool.
+    /// Binds the listener and starts the event loop and the worker pool.
     ///
     /// Bind to port 0 for an OS-assigned loopback port
     /// ([`Server::local_addr`] reports it).
     ///
     /// # Errors
     ///
-    /// Returns an error if the address cannot be bound or the configuration
-    /// is invalid (zero scales, out-of-range tile size).
+    /// Returns an error if the address cannot be bound, the platform has no
+    /// readiness backend, or the configuration is invalid (zero scales,
+    /// out-of-range tile size).
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> Result<Self, ServerError> {
         let mut config = config;
         if config.workers == 0 {
@@ -135,38 +228,53 @@ impl Server {
         if config.queue_depth == 0 {
             config.queue_depth = 4 * config.workers;
         }
+        if config.conn_inflight == 0 {
+            config.conn_inflight = 64;
+        }
+        if config.cache_entries > 0 && config.cache_bytes == 0 {
+            config.cache_bytes = 256 << 20;
+        }
         if config.max_payload_bytes < FRAME_HEADER_BYTES {
             return Err(ServerError::Config(format!(
                 "max payload of {} bytes cannot carry any request",
                 config.max_payload_bytes
             )));
         }
-        // Each worker runs the engine with one inner thread: the pool's
-        // parallelism lives across requests, not inside one.
+        // The shared engine runs single-threaded per tile: the pool's
+        // parallelism lives across tasks, not inside one.
         let codec = LosslessCodec::new(config.scales).map_err(ServerError::from)?;
         let engine = TiledCompressor::with_codec(codec, config.tile_size, config.tile_size, 1)?;
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Poller::new()?;
+        poller.add(&listener, LISTENER_KEY, true, false)?;
         let shared = Arc::new(Shared {
             config,
             engine,
-            queue: JobQueue::new(config.queue_depth),
+            sched: WorkStealing::new(config.workers),
             metrics: Metrics::default(),
+            cache: (config.cache_entries > 0)
+                .then(|| Mutex::new(ResponseCache::new(config.cache_entries, config.cache_bytes))),
+            completions: Mutex::new(VecDeque::new()),
+            poller,
             shutdown: AtomicBool::new(false),
-            connections: Mutex::new(Vec::new()),
+            loop_exit: AtomicBool::new(false),
         });
 
         let workers = (0..config.workers)
-            .map(|_| {
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared))
+                thread::spawn(move || {
+                    shared.sched.run(worker, |w, task| run_task(&shared, w, task));
+                })
             })
             .collect();
-        let acceptor = {
+        let io = {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || accept_loop(&listener, &shared))
+            thread::spawn(move || event_loop(&shared, listener))
         };
-        Ok(Self { shared, addr, acceptor: Some(acceptor), workers })
+        Ok(Self { shared, addr, io: Some(io), workers })
     }
 
     /// The address the server is listening on.
@@ -175,7 +283,7 @@ impl Server {
         self.addr
     }
 
-    /// The resolved configuration (workers and queue depth filled in).
+    /// The resolved configuration (workers, budgets and cache filled in).
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
         &self.shared.config
@@ -187,34 +295,23 @@ impl Server {
         self.shared.stats()
     }
 
-    /// Gracefully shuts the server down: stop accepting, refuse new work,
-    /// drain queued requests, close connections, join every thread.
-    /// Idempotent; also runs on drop.
+    /// Gracefully shuts the server down: stop admitting, drain in-flight
+    /// requests through the workers, flush their responses, close
+    /// connections, join every thread. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            return;
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            self.shared.sched.close();
         }
-        self.shared.queue.close();
-        // Wake the acceptor out of its blocking accept. A wildcard bind
-        // address (0.0.0.0 / ::) is not connectable on every platform, so
-        // aim the wake-up at loopback on the bound port.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake {
-                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        let connections = std::mem::take(&mut *self.shared.connections.lock().expect("poisoned"));
-        for handle in connections {
-            let _ = handle.join();
-        }
+        let _ = self.shared.poller.notify();
+        // Workers first: once they are done, every completion is queued and
+        // the still-running event loop has delivered or is delivering it.
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        self.shared.loop_exit.store(true, Ordering::SeqCst);
+        let _ = self.shared.poller.notify();
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
         }
     }
 }
@@ -225,230 +322,631 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+/// The I/O thread: accepts, reads, admits, flushes, delivers completions.
+fn event_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut conns: HashMap<usize, Connection> = HashMap::new();
+    let mut next_token: usize = LISTENER_KEY + 1;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut accepting = true;
+    let mut exit_deadline: Option<Instant> = None;
+
+    loop {
+        let _ = shared.poller.wait(&mut events, Some(shared.config.read_timeout));
+        if accepting && shared.shutdown.load(Ordering::SeqCst) {
+            // Stop taking new connections; existing ones get ShuttingDown
+            // replies from admission until the drain finishes.
+            let _ = shared.poller.delete(&listener);
+            accepting = false;
+        }
+        let mut dead: Vec<usize> = Vec::new();
+        for &event in &events {
+            match event.key {
+                NOTIFY_KEY => {} // completions are drained below either way
+                LISTENER_KEY => {
+                    if accepting {
+                        accept_ready(shared, &listener, &mut conns, &mut next_token);
+                    }
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else { continue };
+                    if event.readable && conn.read_ready(&mut scratch) == ReadResult::Dead {
+                        dead.push(token);
+                        continue;
+                    }
+                    if pump_frames(shared, conn, token) {
+                        dead.push(token);
+                    }
+                }
+            }
+        }
+        deliver_completions(shared, &mut conns);
+        flush_and_sweep(shared, &mut conns, &mut dead);
+        for token in dead {
+            close_conn(shared, &mut conns, token);
+        }
+        if shared.loop_exit.load(Ordering::SeqCst) {
+            // Workers have joined: no further completions can appear. Keep
+            // ticking until pending responses flush, with a bounded grace.
+            let deadline =
+                *exit_deadline.get_or_insert_with(|| Instant::now() + shared.config.write_timeout);
+            let outstanding = !shared.completions.lock().expect("poisoned").is_empty()
+                || conns.values().any(|c| c.pending_write() > 0);
+            if !outstanding || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+    for (_, conn) in conns.drain() {
+        let _ = shared.poller.delete(&conn.stream);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+    if accepting {
+        let _ = shared.poller.delete(&listener);
+    }
+}
+
+/// Accepts until the listener would block.
+fn accept_ready(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conns: &mut HashMap<usize, Connection>,
+    next_token: &mut usize,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+                    continue; // dropped: the listener is about to deregister
                 }
-                Metrics::bump(&shared.metrics.accepted_connections);
-                let shared_conn = Arc::clone(shared);
-                let handle = thread::spawn(move || serve_connection(&shared_conn, stream));
-                let mut connections = shared.connections.lock().expect("poisoned");
-                // Reap handles of connections that already ended, so a
-                // long-running server doesn't accumulate one per connection
-                // it ever served (dropping a finished handle just detaches).
-                connections.retain(|h| !h.is_finished());
-                connections.push(handle);
-            }
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+                let Ok(conn) = Connection::new(stream, shared.config.max_payload_bytes) else {
+                    continue;
+                };
+                let token = loop {
+                    let candidate = *next_token;
+                    *next_token = next_token.wrapping_add(1);
+                    if candidate != LISTENER_KEY
+                        && candidate != NOTIFY_KEY
+                        && !conns.contains_key(&candidate)
+                    {
+                        break candidate;
+                    }
+                };
+                if shared.poller.add(&conn.stream, token, true, false).is_ok() {
+                    Metrics::bump(&shared.metrics.accepted_connections);
+                    conns.insert(token, conn);
                 }
-                // Transient accept failure (e.g. EMFILE); back off briefly.
-                thread::sleep(Duration::from_millis(10));
             }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // WouldBlock, or transient failure (EMFILE): the next readiness
+            // event retries either way.
+            Err(_) => break,
         }
     }
 }
 
-/// Reads frames off one connection, feeding the queue; a paired writer
-/// thread owns the response direction so slow readers on our side never
-/// block responses from other requests of the same connection.
-fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(shared.config.read_timeout)).is_err() {
-        return;
+/// Drains every complete frame the accumulator holds. Returns `true` if the
+/// connection must be closed outright (never: violations drain instead).
+fn pump_frames(shared: &Arc<Shared>, conn: &mut Connection, token: usize) -> bool {
+    if matches!(conn.phase, ConnPhase::Draining { .. }) {
+        return false;
     }
-    let Ok(write_half) = stream.try_clone() else { return };
-    let _ = write_half.set_write_timeout(Some(shared.config.write_timeout));
-    let (tx, rx) = channel::<Frame>();
-    let writer = {
-        let shared = Arc::clone(shared);
-        thread::spawn(move || writer_loop(&shared, write_half, &rx))
-    };
-
-    // Whether the loop exits on a protocol violation with unread peer bytes
-    // possibly still queued — in that case the reply must be protected from
-    // a reset on close (see the drain below).
-    let mut violation = false;
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match read_frame_idle(
-            &mut stream,
-            shared.config.max_payload_bytes,
-            MID_FRAME_PATIENCE_POLLS,
-        ) {
-            Ok(ReadOutcome::Idle) => {} // idle tick; re-check the shutdown flag
-            Ok(ReadOutcome::Oversized(header)) => {
-                // The header parsed — so the request id is known and the
-                // reply is addressable — but the declared payload exceeds
-                // the limit and was never read, so the frame boundary is
-                // lost: reply, then close.
-                Metrics::bump(&shared.metrics.error_replies);
-                let _ = tx.send(Frame::error(
+        match conn.acc.next_event() {
+            Ok(None) => return false,
+            Ok(Some(FrameEvent::Frame(header, payload))) => {
+                handle_frame(shared, conn, token, header, payload);
+            }
+            Ok(Some(FrameEvent::Oversized(header))) => {
+                // The header parsed — the request id is known and the reply
+                // addressable — but the payload was never read, so the frame
+                // boundary is lost: reply, FIN after flush, drain, close.
+                queue_error(
+                    shared,
+                    conn,
                     header.request_id,
                     ErrorCode::FrameTooLarge,
                     &format!(
                         "declared payload of {} bytes exceeds the {}-byte limit",
                         header.payload_len, shared.config.max_payload_bytes
                     ),
-                ));
-                violation = true;
-                break;
+                );
+                enter_drain(conn);
+                return false;
             }
-            Ok(ReadOutcome::Frame(header, payload)) => {
-                Metrics::bump(&shared.metrics.received_requests);
-                Metrics::add(&shared.metrics.bytes_in, (FRAME_HEADER_BYTES + payload.len()) as u64);
-                match into_frame(header, payload) {
-                    Ok(frame) if frame.op.is_request() => {
-                        let job = Job {
-                            op: frame.op,
-                            request_id: frame.request_id,
-                            payload: frame.payload,
-                            reply: tx.clone(),
-                        };
-                        match shared.queue.try_push(job) {
-                            Ok(()) => {}
-                            Err((job, PushError::Full)) => {
-                                Metrics::bump(&shared.metrics.rejected_busy);
-                                Metrics::bump(&shared.metrics.error_replies);
-                                let _ = tx.send(Frame::error(
-                                    job.request_id,
-                                    ErrorCode::Busy,
-                                    &format!(
-                                        "request queue full ({} deep); retry",
-                                        shared.config.queue_depth
-                                    ),
-                                ));
-                            }
-                            Err((job, PushError::Closed)) => {
-                                Metrics::bump(&shared.metrics.error_replies);
-                                let _ = tx.send(Frame::error(
-                                    job.request_id,
-                                    ErrorCode::ShuttingDown,
-                                    "server is shutting down",
-                                ));
-                                break;
-                            }
-                        }
-                    }
-                    Ok(frame) => {
-                        // A known op, but not a request (a response op on the
-                        // request path). The frame boundary is intact, so the
-                        // connection stays usable.
-                        Metrics::bump(&shared.metrics.error_replies);
-                        let _ = tx.send(Frame::error(
-                            frame.request_id,
-                            ErrorCode::UnknownOp,
-                            &format!("op {:?} is not a request", frame.op),
-                        ));
-                    }
-                    Err(e) => {
-                        // Unknown op byte: into_frame supplies the typed
-                        // error; the payload was fully read, so this is also
-                        // recoverable.
-                        Metrics::bump(&shared.metrics.error_replies);
-                        let (code, message) = match e {
-                            ServerError::Protocol { code, message } => (code, message),
-                            other => (ErrorCode::MalformedFrame, other.to_string()),
-                        };
-                        let _ = tx.send(Frame::error(header.request_id, code, &message));
-                    }
+            Err(e) => {
+                // Broken framing before a request id could be read (bad
+                // magic or version): reply once with id 0, then drain —
+                // a byte stream with a lost frame boundary cannot resync.
+                let (code, message) = match e {
+                    ServerError::Protocol { code, message } => (code, message),
+                    other => (ErrorCode::MalformedFrame, other.to_string()),
+                };
+                queue_error(shared, conn, 0, code, &message);
+                enter_drain(conn);
+                return false;
+            }
+        }
+    }
+}
+
+/// Switches a connection into the violation-drain phase.
+fn enter_drain(conn: &mut Connection) {
+    conn.phase = ConnPhase::Draining { fin_sent: false, drained: 0 };
+    conn.last_read = Instant::now();
+}
+
+/// Queues an error reply and counts it.
+fn queue_error(
+    shared: &Arc<Shared>,
+    conn: &mut Connection,
+    request_id: u64,
+    code: ErrorCode,
+    message: &str,
+) {
+    Metrics::bump(&shared.metrics.error_replies);
+    conn.queue_frame(&Frame::error(request_id, code, message));
+}
+
+/// One complete frame off the wire: validate the op, then admit.
+fn handle_frame(
+    shared: &Arc<Shared>,
+    conn: &mut Connection,
+    token: usize,
+    header: FrameHeader,
+    payload: Vec<u8>,
+) {
+    Metrics::bump(&shared.metrics.received_requests);
+    Metrics::add(&shared.metrics.bytes_in, (FRAME_HEADER_BYTES + payload.len()) as u64);
+    match into_frame(header, payload) {
+        Ok(frame) if frame.op.is_request() => admit(shared, conn, token, frame),
+        Ok(frame) => {
+            // A known op, but not a request (a response op on the request
+            // path). The frame boundary is intact: the connection stays
+            // usable.
+            queue_error(
+                shared,
+                conn,
+                frame.request_id,
+                ErrorCode::UnknownOp,
+                &format!("op {:?} is not a request", frame.op),
+            );
+        }
+        Err(e) => {
+            // Unknown op byte: the payload was fully consumed, so this is
+            // also recoverable.
+            let (code, message) = match e {
+                ServerError::Protocol { code, message } => (code, message),
+                other => (ErrorCode::MalformedFrame, other.to_string()),
+            };
+            queue_error(shared, conn, header.request_id, code, &message);
+        }
+    }
+}
+
+/// Admission control: stats inline, then cache, then the global budget and
+/// the per-connection cap, then the scheduler.
+fn admit(shared: &Arc<Shared>, conn: &mut Connection, token: usize, frame: Frame) {
+    if frame.op == Op::Stats {
+        // Served inline on the I/O thread: stats must answer even (indeed,
+        // especially) when every worker is saturated. Snapshot first so the
+        // reply does not count itself.
+        let stats = shared.stats();
+        Metrics::bump(&shared.metrics.completed_requests);
+        conn.queue_frame(&Frame {
+            op: Op::OkStats,
+            request_id: frame.request_id,
+            payload: stats.to_json().into_bytes(),
+        });
+        return;
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        queue_error(
+            shared,
+            conn,
+            frame.request_id,
+            ErrorCode::ShuttingDown,
+            "server is shutting down",
+        );
+        return;
+    }
+    let cacheable = matches!(frame.op, Op::Compress | Op::Decompress);
+    if cacheable {
+        if let Some(cache) = &shared.cache {
+            if let Some(response) = cache.lock().expect("poisoned").get(frame.op, &frame.payload) {
+                Metrics::bump(&shared.metrics.cache_hits);
+                Metrics::bump(&shared.metrics.completed_requests);
+                conn.queue_frame(&Frame {
+                    op: frame.op.response(),
+                    request_id: frame.request_id,
+                    payload: response,
+                });
+                return;
+            }
+        }
+    }
+    // Only the I/O thread increments in_flight, so check-then-bump cannot
+    // race past the budget.
+    if shared.metrics.in_flight.load(Ordering::Relaxed) >= shared.config.queue_depth as u64 {
+        Metrics::bump(&shared.metrics.rejected_busy);
+        queue_error(
+            shared,
+            conn,
+            frame.request_id,
+            ErrorCode::Busy,
+            &format!("in-flight budget exhausted ({} requests); retry", shared.config.queue_depth),
+        );
+        return;
+    }
+    if conn.in_flight >= shared.config.conn_inflight {
+        Metrics::bump(&shared.metrics.rejected_busy);
+        queue_error(
+            shared,
+            conn,
+            frame.request_id,
+            ErrorCode::Busy,
+            &format!(
+                "connection pipeline limit reached ({} in flight); retry",
+                shared.config.conn_inflight
+            ),
+        );
+        return;
+    }
+    if cacheable && shared.cache.is_some() {
+        Metrics::bump(&shared.metrics.cache_misses);
+    }
+    Metrics::bump(&shared.metrics.in_flight);
+    conn.in_flight += 1;
+    let request_id = frame.request_id;
+    let job = Job { op: frame.op, request_id, token, payload: frame.payload };
+    if shared.sched.inject(Task::Request(job)).is_err() {
+        Metrics::settle(&shared.metrics.in_flight);
+        conn.in_flight -= 1;
+        queue_error(shared, conn, request_id, ErrorCode::ShuttingDown, "server is shutting down");
+    }
+}
+
+/// Routes queued completions to their connections, settling in-flight
+/// accounting (a vanished connection still settles the global budget).
+fn deliver_completions(shared: &Arc<Shared>, conns: &mut HashMap<usize, Connection>) {
+    loop {
+        let completion = shared.completions.lock().expect("poisoned").pop_front();
+        let Some(Completion { token, frame }) = completion else { return };
+        Metrics::settle(&shared.metrics.in_flight);
+        if let Some(conn) = conns.get_mut(&token) {
+            conn.in_flight -= 1;
+            conn.queue_frame(&frame);
+        }
+    }
+}
+
+/// Flushes pending writes, updates poller interest, applies timeouts, sends
+/// the draining FIN, and collects finished/stalled connections.
+fn flush_and_sweep(
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<usize, Connection>,
+    dead: &mut Vec<usize>,
+) {
+    let now = Instant::now();
+    let patience = shared.config.read_timeout * MID_FRAME_PATIENCE_POLLS;
+    for (&token, conn) in conns.iter_mut() {
+        if dead.contains(&token) {
+            continue;
+        }
+        if conn.pending_write() > 0 {
+            match conn.flush() {
+                Ok(written) => Metrics::add(&shared.metrics.bytes_out, written as u64),
+                Err(_) => {
+                    dead.push(token);
+                    continue;
                 }
             }
-            Err(e) if e.is_disconnect() => break,
-            Err(ServerError::Protocol { code, message }) => {
-                // The framing is broken before a request id could be read
-                // (bad magic or bad version): reply once with id 0 and
-                // close — there is no way to resynchronize a byte stream
-                // with a lost frame boundary.
-                Metrics::bump(&shared.metrics.error_replies);
-                let _ = tx.send(Frame::error(0, code, &message));
-                violation = true;
-                break;
-            }
-            Err(_) => break, // hard I/O failure or mid-frame stall
         }
-    }
-    // Closing our half tells the writer to finish once pending responses for
-    // this connection have flushed.
-    drop(tx);
-    let _ = writer.join();
-    if violation {
-        // The peer may still have bytes in flight that we never read (the
-        // oversized payload, trailing pipelined frames). Closing a socket
-        // with unread receive data sends RST on common platforms, which can
-        // discard the error reply before the peer reads it. Signal our end
-        // with FIN, then drain a bounded amount so the close is clean.
-        let _ = stream.shutdown(Shutdown::Write);
-        let mut sink = [0u8; 4096];
-        let mut drained = 0usize;
-        while drained < MAX_VIOLATION_DRAIN_BYTES {
-            match stream.read(&mut sink) {
-                Ok(0) => break,
-                Ok(n) => drained += n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => break, // timeout or reset: we tried
+        let reply_flushed = conn.pending_write() == 0;
+        if let ConnPhase::Draining { fin_sent, .. } = &mut conn.phase {
+            if !*fin_sent && reply_flushed {
+                // Reply flushed: signal our end with FIN, then keep draining
+                // so the close cannot become a reply-destroying reset.
+                let _ = conn.stream.shutdown(Shutdown::Write);
+                *fin_sent = true;
             }
         }
-    }
-}
-
-fn writer_loop(shared: &Arc<Shared>, mut stream: TcpStream, responses: &Receiver<Frame>) {
-    while let Ok(frame) = responses.recv() {
-        let len = frame.encoded_len() as u64;
-        if write_frame(&mut stream, &frame).is_err() {
-            // Peer gone or write timeout: tear the whole connection down so
-            // the reader stops accepting work whose responses have nowhere
-            // to go (its next read errors out).
-            let _ = stream.shutdown(Shutdown::Both);
-            return;
-        }
-        Metrics::add(&shared.metrics.bytes_out, len);
-    }
-}
-
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        // The server never emits a frame it would itself refuse to read:
-        // whatever op produced it, an over-limit response becomes a typed
-        // error (the decompress ops also pre-check this from the header
-        // dimensions before doing any work).
-        let outcome = execute(shared, job.op, &job.payload).and_then(|payload| {
-            if payload.len() > shared.config.max_payload_bytes {
-                return Err((
-                    ErrorCode::FrameTooLarge,
-                    format!(
-                        "response of {} bytes exceeds the {}-byte frame limit (raise \
-                         --max-frame-mb)",
-                        payload.len(),
-                        shared.config.max_payload_bytes
-                    ),
-                ));
+        let stalled = match conn.phase {
+            ConnPhase::Open | ConnPhase::PeerClosed => {
+                (conn.acc.mid_frame() && now.duration_since(conn.last_read) > patience)
+                    || (conn.pending_write() > 0
+                        && now.duration_since(conn.last_write) > shared.config.write_timeout)
             }
-            Ok(payload)
-        });
-        let frame = match outcome {
-            Ok(payload) => {
-                Metrics::bump(&shared.metrics.completed_requests);
-                Frame { op: job.op.response(), request_id: job.request_id, payload }
-            }
-            Err((code, message)) => {
-                Metrics::bump(&shared.metrics.error_replies);
-                Frame::error(job.request_id, code, &message)
+            ConnPhase::Draining { .. } => {
+                now.duration_since(conn.last_read) > shared.config.write_timeout
             }
         };
-        // A send failure means the connection already closed; the work is
-        // simply discarded.
-        let _ = job.reply.send(frame);
+        if stalled || conn.finished() {
+            dead.push(token);
+            continue;
+        }
+        let want_read = conn.phase != ConnPhase::PeerClosed;
+        let want_write = conn.pending_write() > 0;
+        if (want_read != conn.want_read || want_write != conn.want_write)
+            && shared.poller.modify(&conn.stream, token, want_read, want_write).is_ok()
+        {
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+        }
     }
 }
 
-/// Executes one validated request against the shared engine.
+/// Deregisters and drops a connection. Its outstanding jobs still settle
+/// the global in-flight budget when their completions arrive.
+fn close_conn(shared: &Arc<Shared>, conns: &mut HashMap<usize, Connection>, token: usize) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = shared.poller.delete(&conn.stream);
+    }
+}
+
+/// Executes one scheduled task on a worker thread.
+fn run_task(shared: &Arc<Shared>, worker: usize, task: Task) {
+    match task {
+        Task::Request(job) => run_request(shared, worker, job),
+        Task::CompressTile { fan, index } => run_compress_tile(shared, &fan, index),
+        Task::DecodeTile { fan, index } => run_decode_tile(shared, &fan, index),
+    }
+}
+
+/// Runs a whole request: multi-tile work splits itself into per-tile tasks
+/// on this worker's own deque (idle workers steal them); everything else
+/// executes directly.
+fn run_request(shared: &Arc<Shared>, worker: usize, job: Job) {
+    let job = match try_fan_out(shared, worker, job) {
+        Ok(()) => return, // tiles queued; the last to finish responds
+        Err(job) => job,
+    };
+    let outcome = execute(shared, job.op, &job.payload)
+        .and_then(|payload| ensure_frame_fits(shared, payload));
+    match outcome {
+        Ok(response) => {
+            cache_insert(shared, job.op, &job.payload, &response);
+            respond_ok(shared, job.token, job.op.response(), job.request_id, response);
+        }
+        Err((code, message)) => respond_error(shared, job.token, job.request_id, code, &message),
+    }
+}
+
+/// Splits a multi-tile compress/decompress into per-tile tasks. `Err(job)`
+/// hands the request back for the direct path (single tile, single worker,
+/// or any condition the direct path will classify with its typed error).
+fn try_fan_out(shared: &Arc<Shared>, worker: usize, job: Job) -> Result<(), Job> {
+    if shared.sched.workers() < 2 {
+        return Err(job);
+    }
+    match job.op {
+        Op::Compress => {
+            let Ok(image) = pgm::read_pgm(job.payload.as_slice()) else { return Err(job) };
+            let Ok(grid) = shared.engine.grid(image.width(), image.height()) else {
+                return Err(job);
+            };
+            if grid.tile_count() < 2 {
+                return Err(job);
+            }
+            let tiles = grid.tile_count();
+            let fan = Arc::new(CompressFan {
+                token: job.token,
+                request_id: job.request_id,
+                payload: job.payload,
+                image,
+                grid,
+                parts: Mutex::new(vec![None; tiles]),
+                remaining: AtomicUsize::new(tiles),
+                failed: Mutex::new(None),
+            });
+            for index in 0..tiles {
+                shared
+                    .sched
+                    .push_local(worker, Task::CompressTile { fan: Arc::clone(&fan), index });
+            }
+            Ok(())
+        }
+        Op::Decompress => {
+            // Probe the container shape; any parse problem falls back to the
+            // direct path for its typed error.
+            let probe = if is_tiled(&job.payload) {
+                TiledStream::parse(&job.payload).ok().and_then(|s| {
+                    let h = *s.header();
+                    s.grid().ok().map(|g| (false, h.width, h.height, h.bit_depth, g))
+                })
+            } else if is_fixed(&job.payload) {
+                FixedStream::parse(&job.payload).ok().and_then(|s| {
+                    let h = *s.header();
+                    s.grid().ok().map(|g| (true, h.width, h.height, h.bit_depth, g))
+                })
+            } else {
+                None
+            };
+            let Some((fixed, width, height, bit_depth, grid)) = probe else { return Err(job) };
+            if grid.tile_count() < 2
+                || ensure_response_fits(shared, width, height, bit_depth).is_err()
+            {
+                return Err(job);
+            }
+            let tiles = grid.tile_count();
+            let fan = Arc::new(DecodeFan {
+                token: job.token,
+                request_id: job.request_id,
+                payload: job.payload,
+                fixed,
+                width,
+                height,
+                bit_depth,
+                grid,
+                parts: Mutex::new(vec![None; tiles]),
+                remaining: AtomicUsize::new(tiles),
+                failed: Mutex::new(None),
+            });
+            for index in 0..tiles {
+                shared.sched.push_local(worker, Task::DecodeTile { fan: Arc::clone(&fan), index });
+            }
+            Ok(())
+        }
+        _ => Err(job),
+    }
+}
+
+/// Encodes one tile of a fanned-out compress; the last finisher assembles.
+fn run_compress_tile(shared: &Arc<Shared>, fan: &Arc<CompressFan>, index: usize) {
+    if fan.failed.lock().expect("poisoned").is_none() {
+        match shared.engine.encode_tile(&fan.image, &fan.grid, index) {
+            Ok(bytes) => fan.parts.lock().expect("poisoned")[index] = Some(bytes),
+            Err(e) => {
+                let mut failed = fan.failed.lock().expect("poisoned");
+                if failed.is_none() {
+                    *failed = Some((ErrorCode::Internal, format!("compression failed: {e}")));
+                }
+            }
+        }
+    }
+    if fan.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_compress(shared, fan);
+    }
+}
+
+/// Assembles the `LWCT` container from the fanned tile payloads —
+/// byte-identical to the sequential engine, which is built on the same
+/// per-tile encode and container writer.
+fn finish_compress(shared: &Arc<Shared>, fan: &Arc<CompressFan>) {
+    if let Some((code, message)) = fan.failed.lock().expect("poisoned").take() {
+        respond_error(shared, fan.token, fan.request_id, code, &message);
+        return;
+    }
+    let parts = std::mem::take(&mut *fan.parts.lock().expect("poisoned"));
+    let payloads: Vec<Vec<u8>> =
+        parts.into_iter().map(|p| p.expect("every tile encoded")).collect();
+    let outcome = shared
+        .engine
+        .assemble_container(&fan.grid, fan.image.bit_depth(), &payloads)
+        .map_err(|e| (ErrorCode::Internal, format!("compression failed: {e}")))
+        .and_then(|bytes| ensure_frame_fits(shared, bytes));
+    match outcome {
+        Ok(response) => {
+            cache_insert(shared, Op::Compress, &fan.payload, &response);
+            respond_ok(shared, fan.token, Op::OkCompress, fan.request_id, response);
+        }
+        Err((code, message)) => respond_error(shared, fan.token, fan.request_id, code, &message),
+    }
+}
+
+/// Decodes one tile of a fanned-out decompress; the last finisher scatters.
+fn run_decode_tile(shared: &Arc<Shared>, fan: &Arc<DecodeFan>, index: usize) {
+    if fan.failed.lock().expect("poisoned").is_none() {
+        let bad =
+            |e: ServerError| (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"));
+        let result = if fan.fixed {
+            FixedStream::parse(&fan.payload).map_err(|e| bad(e.into())).and_then(|stream| {
+                let engine = fixed_engine(stream.header()).map_err(bad)?;
+                engine.decompress_parsed_tile(&stream, index).map_err(|e| bad(e.into()))
+            })
+        } else {
+            TiledStream::parse(&fan.payload).map_err(|e| bad(e.into())).and_then(|stream| {
+                let engine = tiled_engine(stream.header()).map_err(bad)?;
+                engine.decompress_parsed_tile(&stream, index).map_err(|e| bad(e.into()))
+            })
+        };
+        match result {
+            Ok(tile) => fan.parts.lock().expect("poisoned")[index] = Some(tile),
+            Err(em) => {
+                let mut failed = fan.failed.lock().expect("poisoned");
+                if failed.is_none() {
+                    *failed = Some(em);
+                }
+            }
+        }
+    }
+    if fan.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_decode(shared, fan);
+    }
+}
+
+/// Scatters the fanned tile images into the output frame and serializes the
+/// PGM response — the same scatter the sequential decompress performs.
+fn finish_decode(shared: &Arc<Shared>, fan: &Arc<DecodeFan>) {
+    if let Some((code, message)) = fan.failed.lock().expect("poisoned").take() {
+        respond_error(shared, fan.token, fan.request_id, code, &message);
+        return;
+    }
+    let parts = std::mem::take(&mut *fan.parts.lock().expect("poisoned"));
+    let internal = |e: String| (ErrorCode::Internal, format!("decompression failed: {e}"));
+    let outcome = Image::zeros(fan.width, fan.height, fan.bit_depth)
+        .map_err(|e| internal(e.to_string()))
+        .and_then(|mut frame| {
+            for (index, tile) in parts.into_iter().enumerate() {
+                let tile = tile.expect("every tile decoded");
+                frame
+                    .view_rect_mut(fan.grid.rect(index))
+                    .and_then(|mut window| window.copy_from_image(&tile))
+                    .map_err(|e| internal(e.to_string()))?;
+            }
+            encode_pgm(&frame)
+        })
+        .and_then(|bytes| ensure_frame_fits(shared, bytes));
+    match outcome {
+        Ok(response) => {
+            cache_insert(shared, Op::Decompress, &fan.payload, &response);
+            respond_ok(shared, fan.token, Op::OkDecompress, fan.request_id, response);
+        }
+        Err((code, message)) => respond_error(shared, fan.token, fan.request_id, code, &message),
+    }
+}
+
+/// Inserts a successful cacheable response into the hot-response cache.
+fn cache_insert(shared: &Arc<Shared>, op: Op, payload: &[u8], response: &[u8]) {
+    if !matches!(op, Op::Compress | Op::Decompress) {
+        return;
+    }
+    if let Some(cache) = &shared.cache {
+        cache.lock().expect("poisoned").insert(op, payload.to_vec(), response.to_vec());
+    }
+}
+
+/// Queues a success completion and wakes the I/O thread.
+fn respond_ok(shared: &Arc<Shared>, token: usize, op: Op, request_id: u64, payload: Vec<u8>) {
+    Metrics::bump(&shared.metrics.completed_requests);
+    push_completion(shared, token, Frame { op, request_id, payload });
+}
+
+/// Queues an error completion and wakes the I/O thread.
+fn respond_error(
+    shared: &Arc<Shared>,
+    token: usize,
+    request_id: u64,
+    code: ErrorCode,
+    message: &str,
+) {
+    Metrics::bump(&shared.metrics.error_replies);
+    push_completion(shared, token, Frame::error(request_id, code, message));
+}
+
+fn push_completion(shared: &Arc<Shared>, token: usize, frame: Frame) {
+    shared.completions.lock().expect("poisoned").push_back(Completion { token, frame });
+    let _ = shared.poller.notify();
+}
+
+/// Refuses a response that would exceed the frame limit — the server never
+/// emits a frame it would itself refuse to read.
+fn ensure_frame_fits(shared: &Shared, payload: Vec<u8>) -> Result<Vec<u8>, (ErrorCode, String)> {
+    if payload.len() > shared.config.max_payload_bytes {
+        return Err((
+            ErrorCode::FrameTooLarge,
+            format!(
+                "response of {} bytes exceeds the {}-byte frame limit (raise --max-frame-mb)",
+                payload.len(),
+                shared.config.max_payload_bytes
+            ),
+        ));
+    }
+    Ok(payload)
+}
+
+/// Executes one validated request against the shared engine (the direct,
+/// non-fanned path; also the only path for `decompress-tile`).
 fn execute(shared: &Shared, op: Op, payload: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
     match op {
         Op::Compress => {

@@ -1,0 +1,203 @@
+//! The server's counters: lock-free [`Metrics`] the event loop and workers
+//! bump as they go, and the [`ServerStats`] snapshot the `stats` op serves.
+//!
+//! Until PR 8 this file's ancestor (`queue.rs`) also held the bounded
+//! `JobQueue`; scheduling now lives in [`crate::sched`], and backpressure
+//! is the **global in-flight budget** counted here — admission control at
+//! the event loop, the software analogue of the paper's FIFO depth, made
+//! observable through `rejected_busy` vs `completed_requests`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters the event loop and worker threads bump as they go.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub accepted_connections: AtomicU64,
+    pub received_requests: AtomicU64,
+    pub completed_requests: AtomicU64,
+    pub rejected_busy: AtomicU64,
+    pub error_replies: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    /// Requests admitted under the global budget and not yet answered.
+    pub in_flight: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+}
+
+impl Metrics {
+    pub fn add(counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+
+    pub fn settle(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of a server's counters — the payload of the
+/// `stats` op and the return of [`Server::stats`](crate::Server::stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Codec worker threads draining the deques.
+    pub workers: usize,
+    /// Global in-flight request budget (admission limit; the field keeps
+    /// its historical name so callers and dashboards survive the switch
+    /// from queue-depth backpressure).
+    pub queue_depth: usize,
+    /// Tasks queued across the worker deques at snapshot time.
+    pub queue_len: usize,
+    /// Requests admitted and not yet answered at snapshot time.
+    pub in_flight: u64,
+    /// Connections accepted since startup.
+    pub accepted_connections: u64,
+    /// Request frames read off connections.
+    pub received_requests: u64,
+    /// Requests executed successfully.
+    pub completed_requests: u64,
+    /// Requests refused with `busy` (global budget or per-connection cap).
+    pub rejected_busy: u64,
+    /// Error frames sent (any code, including busy).
+    pub error_replies: u64,
+    /// Frame bytes read from clients.
+    pub bytes_in: u64,
+    /// Frame bytes written to clients.
+    pub bytes_out: u64,
+    /// Responses served from the hot-response cache.
+    pub cache_hits: u64,
+    /// Cacheable requests that missed (and were executed).
+    pub cache_misses: u64,
+    /// Tasks a worker took from another worker's deque.
+    pub steals: u64,
+    /// Workers that have executed at least one task.
+    pub active_workers: usize,
+}
+
+/// The scheduler-side numbers a snapshot folds in (queued tasks, steals,
+/// active workers) — passed in so `Metrics` stays a plain counter block.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SchedSnapshot {
+    pub queue_len: usize,
+    pub steals: u64,
+    pub active_workers: usize,
+}
+
+impl ServerStats {
+    pub(crate) fn snapshot(
+        metrics: &Metrics,
+        workers: usize,
+        queue_depth: usize,
+        sched: SchedSnapshot,
+    ) -> Self {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Self {
+            workers,
+            queue_depth,
+            queue_len: sched.queue_len,
+            in_flight: get(&metrics.in_flight),
+            accepted_connections: get(&metrics.accepted_connections),
+            received_requests: get(&metrics.received_requests),
+            completed_requests: get(&metrics.completed_requests),
+            rejected_busy: get(&metrics.rejected_busy),
+            error_replies: get(&metrics.error_replies),
+            bytes_in: get(&metrics.bytes_in),
+            bytes_out: get(&metrics.bytes_out),
+            cache_hits: get(&metrics.cache_hits),
+            cache_misses: get(&metrics.cache_misses),
+            steals: sched.steals,
+            active_workers: sched.active_workers,
+        }
+    }
+
+    /// Serializes the snapshot as a flat JSON object (the `stats` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\": {}, \"queue_depth\": {}, \"queue_len\": {}, \"in_flight\": {}, \
+             \"accepted_connections\": {}, \"received_requests\": {}, \
+             \"completed_requests\": {}, \"rejected_busy\": {}, \"error_replies\": {}, \
+             \"bytes_in\": {}, \"bytes_out\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"steals\": {}, \"active_workers\": {}}}",
+            self.workers,
+            self.queue_depth,
+            self.queue_len,
+            self.in_flight,
+            self.accepted_connections,
+            self.received_requests,
+            self.completed_requests,
+            self.rejected_busy,
+            self.error_replies,
+            self.bytes_in,
+            self.bytes_out,
+            self.cache_hits,
+            self.cache_misses,
+            self.steals,
+            self.active_workers
+        )
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} workers ({} active), {}/{} in flight (+{} queued), {} conns, {} reqs \
+             ({} ok, {} busy, {} errors), {} hits / {} misses, {} steals, {} B in / {} B out",
+            self.workers,
+            self.active_workers,
+            self.in_flight,
+            self.queue_depth,
+            self.queue_len,
+            self.accepted_connections,
+            self.received_requests,
+            self.completed_requests,
+            self.rejected_busy,
+            self.error_replies,
+            self.cache_hits,
+            self.cache_misses,
+            self.steals,
+            self.bytes_in,
+            self.bytes_out
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_snapshot_serializes_to_json() {
+        let metrics = Metrics::default();
+        Metrics::bump(&metrics.completed_requests);
+        Metrics::add(&metrics.bytes_in, 123);
+        Metrics::bump(&metrics.cache_hits);
+        Metrics::bump(&metrics.in_flight);
+        let sched = SchedSnapshot { queue_len: 3, steals: 7, active_workers: 2 };
+        let stats = ServerStats::snapshot(&metrics, 4, 8, sched);
+        assert_eq!(stats.completed_requests, 1);
+        assert_eq!(stats.bytes_in, 123);
+        assert_eq!(stats.steals, 7);
+        assert_eq!(stats.in_flight, 1);
+        let json = stats.to_json();
+        assert!(json.contains("\"completed_requests\": 1"), "{json}");
+        assert!(json.contains("\"queue_depth\": 8"), "{json}");
+        assert!(json.contains("\"cache_hits\": 1"), "{json}");
+        assert!(json.contains("\"steals\": 7"), "{json}");
+        assert!(json.contains("\"active_workers\": 2"), "{json}");
+        assert!(stats.to_string().contains("4 workers"));
+    }
+
+    #[test]
+    fn settle_undoes_bump() {
+        let metrics = Metrics::default();
+        Metrics::bump(&metrics.in_flight);
+        Metrics::bump(&metrics.in_flight);
+        Metrics::settle(&metrics.in_flight);
+        assert_eq!(metrics.in_flight.load(Ordering::Relaxed), 1);
+    }
+}

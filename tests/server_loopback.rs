@@ -7,7 +7,10 @@
 //! * malformed payloads, short sniff buffers, unknown ops, oversized frames
 //!   and bad magic all come back as typed errors (or a closed connection for
 //!   unrecoverable framing), never hangs or panics,
-//! * a full bounded queue answers `busy` rather than buffering unboundedly,
+//! * an exhausted in-flight budget — global or per-connection — answers
+//!   `busy` rather than buffering unboundedly,
+//! * the optional response cache answers repeats byte-identically (and a
+//!   disabled cache matches those bytes exactly),
 //! * stats report the work done and graceful shutdown leaves clients with a
 //!   clean disconnect.
 
@@ -261,6 +264,97 @@ fn a_full_queue_pushes_back_with_busy_instead_of_buffering() {
     let stats = server.stats();
     assert_eq!(stats.completed_requests, ok);
     assert_eq!(stats.rejected_busy, busy);
+}
+
+#[test]
+fn per_connection_cap_answers_busy_without_spending_the_global_budget() {
+    // A generous global budget but a per-connection cap of 2: a pipelined
+    // flood on one connection must see `busy` from the *connection* limit
+    // (the global budget of 64 cannot be the cause for 24 requests), and
+    // every request must still be answered.
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 64,
+        conn_inflight: 2,
+        scales: 3,
+        tile_size: 32,
+        read_timeout: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let image = synth::ct_phantom(64, 64, 12, 5);
+    let mut payload = Vec::new();
+    pgm::write_pgm(&image, &mut payload).unwrap();
+    let total = 24usize;
+    let requests: Vec<(Op, Vec<u8>)> =
+        (0..total).map(|_| (Op::Compress, payload.clone())).collect();
+    let results = client.pipeline(requests).expect("pipeline");
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    for result in results {
+        match result {
+            Ok(_) => ok += 1,
+            Err(ServerError::Remote { code: ErrorCode::Busy, message }) => {
+                assert!(
+                    message.contains("connection pipeline limit"),
+                    "busy must name the per-connection cap, got: {message}"
+                );
+                busy += 1;
+            }
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    assert!(ok >= 2, "at least the capped window completes");
+    assert!(busy > 0, "a 24-deep pipeline must trip a cap of 2");
+    assert_eq!(ok + busy, total as u64);
+    let stats = server.stats();
+    assert_eq!(stats.completed_requests, ok);
+    assert_eq!(stats.rejected_busy, busy);
+    // A second connection is not starved by the first one's rejections.
+    let mut fresh = Client::connect(server.local_addr()).expect("connect");
+    fresh.compress_image(&image).expect("fresh connection serves");
+}
+
+#[test]
+fn response_cache_serves_repeats_byte_identically_and_counts_hits() {
+    let image = synth::random_image(80, 60, 16, 11);
+    let cached_config = ServerConfig {
+        workers: 2,
+        cache_entries: 32,
+        scales: 3,
+        tile_size: 32,
+        read_timeout: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cached_config).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Identical compress payload twice: the second answer comes from the
+    // cache and must be byte-identical to the first (which is itself the
+    // deterministic engine output).
+    let first = client.compress_image(&image).expect("compress (miss)");
+    let second = client.compress_image(&image).expect("compress (hit)");
+    assert_eq!(first, second);
+    // Same for decompress of the produced stream.
+    let once = client.decompress(&first).expect("decompress (miss)");
+    let twice = client.decompress(&first).expect("decompress (hit)");
+    assert_eq!(once.samples(), twice.samples());
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 2, "one compress hit, one decompress hit");
+    assert_eq!(stats.cache_misses, 2, "one compress miss, one decompress miss");
+    assert_eq!(stats.completed_requests, 4);
+
+    // Cache disabled (the default): byte-identical responses to the cached
+    // path — the cache is an exact shortcut, never a different answer.
+    let server = test_server(2, 8);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.compress_image(&image).expect("uncached compress"), first);
+    let plain = client.decompress(&first).expect("uncached decompress");
+    assert_eq!(plain.samples(), once.samples());
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, 0, "a disabled cache counts nothing");
 }
 
 #[test]
