@@ -36,6 +36,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("dwt-line", "line-based fused DWT bit-identity + streaming encode [size]"),
     ("fixed-codec", "paper-exact fixed-path codec smoke (LWCF) [size]"),
     ("serve", "loopback compression service + load generator [connections]"),
+    ("volume", "volumetric 3-D engine vs per-slice 2-D coding [size]"),
     ("all", "every paper artifact above"),
 ];
 
@@ -61,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "dwt-line" => dwt_line(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
         "fixed-codec" => fixed_codec(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
         "serve" => serve(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4))?,
+        "volume" => volume(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(96))?,
         "all" => {
             table1();
             table2();
@@ -615,13 +617,76 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    json.push_str("\n  ]}\n");
+    json.push_str("\n  ]},\n");
+
+    // Volumetric engine: the brick-parallel 3-D codec on a correlated CT
+    // stack, swept over worker counts, with the per-slice 2-D bytes of the
+    // same voxels alongside so the z-transform's gain stays on record.
+    let vol_depth = 16usize;
+    let vol_z_scales = 3u32;
+    let vol_tile = 64.min(size);
+    let vol_stack = synth::ct_volume(size, size, vol_depth, 12, 9);
+    let vol_msamples = vol_stack.voxel_count() as f64 / 1e6;
+    let vol_raw = (vol_stack.voxel_count() * 12).div_ceil(8);
+    let slice_engine = TiledCompressor::with_codec(sequential, vol_tile, vol_tile, 1)?;
+    let mut per_slice_bytes = 0usize;
+    for z in 0..vol_depth {
+        per_slice_bytes += slice_engine.compress(&vol_stack.slice_image(z)?)?.len();
+    }
+    let vol_reference =
+        VolumeCompressor::with_codec(sequential, vol_z_scales, vol_tile, vol_tile, 8, 1)?
+            .compress_stack(&vol_stack)?;
+    json.push_str(&format!(
+        "  \"volume\": {{\n    \"stack\": {{\"width\": {size}, \"height\": {size}, \"depth\": \
+         {vol_depth}, \"bit_depth\": 12, \"scales\": {scales}, \"z_scales\": {vol_z_scales}, \
+         \"tile\": {vol_tile}, \"brick_depth\": 8}},\n    \"raw_bytes\": {vol_raw}, \
+         \"compressed_bytes\": {}, \"ratio\": {:.4}, \"per_slice_2d_bytes\": \
+         {per_slice_bytes}, \"per_slice_2d_ratio\": {:.4},\n",
+        vol_reference.len(),
+        vol_raw as f64 / vol_reference.len() as f64,
+        vol_raw as f64 / per_slice_bytes as f64,
+    ));
+    let vol_workers = [1usize, 2, 4];
+    for (index, &workers) in vol_workers.iter().enumerate() {
+        let engine =
+            VolumeCompressor::with_codec(sequential, vol_z_scales, vol_tile, vol_tile, 8, workers)?;
+        let bytes = engine.compress_stack(&vol_stack)?;
+        assert_eq!(bytes, vol_reference, "LWCV bytes changed with {workers} workers");
+        let compress_seconds = best(&|| {
+            std::hint::black_box(engine.compress_stack(&vol_stack)?);
+            Ok(())
+        })?;
+        let decompress_seconds = best(&|| {
+            std::hint::black_box(engine.decompress_stack(&bytes)?);
+            Ok(())
+        })?;
+        let comma = if index + 1 == vol_workers.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"workers_{workers}\": {{\"compress\": {{\"seconds\": {compress_seconds:.6}, \
+             \"msamples_per_s\": {:.3}}}, \"decompress\": {{\"seconds\": \
+             {decompress_seconds:.6}, \"msamples_per_s\": {:.3}}}}}{comma}\n",
+            vol_msamples / compress_seconds,
+            vol_msamples / decompress_seconds,
+        ));
+        println!(
+            "volume {workers} worker(s) ({size}x{size}x{vol_depth}): compress {:>8.1} \
+             Msamples/s, decompress {:>8.1} Msamples/s",
+            vol_msamples / compress_seconds,
+            vol_msamples / decompress_seconds,
+        );
+    }
+    println!(
+        "volume ratio {:.3}:1 vs per-slice 2-D {:.3}:1 on the same voxels",
+        vol_raw as f64 / vol_reference.len() as f64,
+        vol_raw as f64 / per_slice_bytes as f64,
+    );
+    json.push_str("  }\n");
 
     json.push_str("}\n");
     std::fs::write("BENCH_throughput.json", &json)?;
     println!(
         "wrote BENCH_throughput.json ({} modes + {} tiled sweeps + {} dwt_tiled sweeps + \
-         fixed codec + serve, best of {reps} reps)",
+         fixed codec + serve + volume, best of {reps} reps)",
         modes.len(),
         tile_sizes.len(),
         tile_sizes.len()
@@ -715,6 +780,110 @@ fn serve(connections: usize) -> Result<(), Box<dyn std::error::Error>> {
 /// compress, full decompress, row-band streaming decompress — all three must
 /// agree bit for bit with the source. CI runs this at 4096x4096, a size the
 /// monolithic path would happily thrash caches on.
+/// Volumetric engine smoke + evaluation: the brick-parallel 3-D codec on a
+/// correlated synthetic CT stack. Asserts the three properties the subsystem
+/// promises — a lossless 3-D round trip, `LWCV` bytes independent of the
+/// worker count, and a 3-D ratio beating per-slice 2-D coding of the same
+/// voxels — and prints ratios plus Msamples/s for both paths. CI runs this
+/// on every push at a reduced size.
+fn volume(size: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let depth = 16usize;
+    heading(&format!("Volumetric engine — {size}x{size}x{depth} 12-bit correlated stack"));
+    let stack = synth::ct_volume(size, size, depth, 12, 9);
+    let raw_bytes = (stack.voxel_count() * 12).div_ceil(8);
+    let msamples = stack.voxel_count() as f64 / 1e6;
+    let scales = 4u32;
+    let z_scales = 3u32;
+    let tile = 64.min(size);
+    let codec = LosslessCodec::new(scales)?;
+
+    // Per-slice 2-D baseline: every slice through the tiled 2-D codec,
+    // independently — exactly what a 2-D-only service would store.
+    let slice_engine = TiledCompressor::with_codec(codec, tile, tile, 1)?;
+    let start = std::time::Instant::now();
+    let mut per_slice_bytes = 0usize;
+    for z in 0..depth {
+        per_slice_bytes += slice_engine.compress(&stack.slice_image(z)?)?.len();
+    }
+    let slice_seconds = start.elapsed().as_secs_f64();
+
+    // 3-D engine across worker counts: the container bytes must not depend
+    // on how many threads encoded the bricks.
+    let mut reference: Option<Vec<u8>> = None;
+    for workers in [1usize, 2, 5] {
+        let engine = VolumeCompressor::with_codec(codec, z_scales, tile, tile, 8, workers)?;
+        let bytes = engine.compress_stack(&stack)?;
+        match &reference {
+            None => reference = Some(bytes),
+            Some(expect) => assert_eq!(&bytes, expect, "LWCV bytes changed with {workers} workers"),
+        }
+    }
+    let bytes = reference.expect("reference stream");
+
+    let engine = VolumeCompressor::with_codec(codec, z_scales, tile, tile, 8, 0)?;
+    let grid = engine.grid(size, size, depth)?;
+    println!(
+        "brick grid: {}x{}x{} voxels in {} bricks of {}x{}x{}, {} workers",
+        size,
+        size,
+        depth,
+        grid.brick_count(),
+        tile,
+        tile,
+        grid.brick_depth(),
+        engine.workers()
+    );
+    let start = std::time::Instant::now();
+    std::hint::black_box(engine.compress_stack(&stack)?);
+    let compress_seconds = start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let back = engine.decompress_stack(&bytes)?;
+    let decompress_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(back.samples(), stack.samples(), "3-D round trip must be lossless");
+
+    // Slab streaming decode: one brick layer resident at a time, same voxels.
+    let mut slab_z = 0usize;
+    for slab in engine.decompress_slabs(&bytes)? {
+        let slab = slab?;
+        assert_eq!(slab.z, slab_z, "slabs must arrive in z order");
+        for (dz, z) in (slab.z..slab.z + slab.stack.depth()).enumerate() {
+            assert_eq!(
+                slab.stack.slice_image(dz)?.samples(),
+                stack.slice_image(z)?.samples(),
+                "slab slice {z} must match the source"
+            );
+        }
+        slab_z += slab.stack.depth();
+    }
+    assert_eq!(slab_z, depth, "slabs must cover every slice");
+
+    let ratio_3d = raw_bytes as f64 / bytes.len() as f64;
+    let ratio_2d = raw_bytes as f64 / per_slice_bytes as f64;
+    println!(
+        "3-D (z_scales {z_scales}):   {} bytes, ratio {ratio_3d:.3}:1, compress {:.1} \
+         Msamples/s, decompress {:.1} Msamples/s",
+        bytes.len(),
+        msamples / compress_seconds,
+        msamples / decompress_seconds,
+    );
+    println!(
+        "per-slice 2-D: {per_slice_bytes} bytes, ratio {ratio_2d:.3}:1, compress {:.1} \
+         Msamples/s",
+        msamples / slice_seconds,
+    );
+    println!(
+        "3-D advantage: {:.2}% fewer bytes than per-slice 2-D",
+        100.0 * (1.0 - bytes.len() as f64 / per_slice_bytes as f64)
+    );
+    assert!(
+        bytes.len() < per_slice_bytes,
+        "the z transform must beat per-slice 2-D coding on a correlated stack \
+         ({} vs {per_slice_bytes} bytes)",
+        bytes.len()
+    );
+    Ok(())
+}
+
 fn tiled(size: usize) -> Result<(), Box<dyn std::error::Error>> {
     heading(&format!("Tiled engine smoke — {size}x{size} 12-bit synthetic image"));
     let image = synth::ct_phantom(size, size, 12, 42);

@@ -31,6 +31,7 @@ fn unknown_subcommands_list_artifacts_and_exit_nonzero() {
         "dwt-line",
         "fixed-codec",
         "serve",
+        "volume",
         "all",
     ] {
         assert!(stderr.contains(artifact), "artifact {artifact} missing from listing:\n{stderr}");

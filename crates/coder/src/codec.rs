@@ -287,6 +287,24 @@ impl LosslessCodec {
         header: &StreamHeader,
         subbands: &[Vec<i32>],
     ) -> Result<Image, CoderError> {
+        let data = self.reassemble_raw(header, subbands)?;
+        Ok(Image::from_samples(header.width, header.height, header.bit_depth, data)?)
+    }
+
+    /// Like [`LosslessCodec::reassemble`] but returns the raw row-major
+    /// sample buffer without the pixel-range validation of
+    /// [`lwc_image::Image`]. The 3-D codec reconstructs z-coefficient planes
+    /// through this path: their samples are signed z-transform outputs that
+    /// only return to the pixel range after the inverse z pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the header is inconsistent with the subband data.
+    pub fn reassemble_raw(
+        &self,
+        header: &StreamHeader,
+        subbands: &[Vec<i32>],
+    ) -> Result<Vec<i32>, CoderError> {
         let width = header.width;
         let height = header.height;
         let expected = 3 * self.scales() as usize + 1;
@@ -323,7 +341,7 @@ impl LosslessCodec {
             self.scales(),
             header.bit_depth,
         )?;
-        Ok(self.transform.inverse(&coeffs)?)
+        Ok(self.transform.inverse_raw(&coeffs)?)
     }
 
     /// Compresses `image` into a self-contained byte stream.
@@ -362,6 +380,19 @@ impl LosslessCodec {
     ///
     /// Returns an error for malformed streams or mismatched configuration.
     pub fn decompress(&self, bytes: &[u8]) -> Result<Image, CoderError> {
+        let (header, data) = self.decompress_raw(bytes)?;
+        Ok(Image::from_samples(header.width, header.height, header.bit_depth, data)?)
+    }
+
+    /// Like [`LosslessCodec::decompress`] but returns the header plus the
+    /// raw row-major sample buffer without pixel-range validation — the
+    /// decode path for z-coefficient planes inside `LWCV` bricks, whose
+    /// samples are signed transform outputs rather than pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams or mismatched configuration.
+    pub fn decompress_raw(&self, bytes: &[u8]) -> Result<(StreamHeader, Vec<i32>), CoderError> {
         let mut reader = BitReader::new(bytes);
         let header = StreamHeader::read(&mut reader)?;
         header.ensure_scales(self.scales())?;
@@ -371,7 +402,8 @@ impl LosslessCodec {
                 self.subbands.decode_subband(&mut reader, header.band_len(scale, band))
             })
             .collect::<Result<_, _>>()?;
-        self.reassemble(&header, &subbands)
+        let data = self.reassemble_raw(&header, &subbands)?;
+        Ok((header, data))
     }
 
     /// Compresses and reports the sizes.

@@ -53,6 +53,7 @@ pub mod fixedtiled;
 pub mod rice;
 mod subband;
 pub mod tiled;
+pub mod volume;
 
 pub use codec::{subband_order, CompressionReport, LosslessCodec, StreamHeader};
 pub use error::CoderError;
@@ -63,6 +64,10 @@ pub use fixedtiled::{
 };
 pub use subband::{StreamingSubbandEncoder, SubbandCodec, BLOCK_SIZE, MAX_UNARY_RUN_BITS};
 pub use tiled::{TiledHeader, TiledStream};
+pub use volume::{
+    is_volume, write_volume_container, VolumeHeader, VolumeStream, VOLUME_HEADER_BYTES,
+    VOLUME_MAGIC, VOLUME_VERSION,
+};
 
 #[cfg(test)]
 mod crate_tests {

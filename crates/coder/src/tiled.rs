@@ -51,8 +51,8 @@ pub const TILED_VERSION: u8 = 1;
 pub const TILED_HEADER_BYTES: usize = 23;
 
 /// Bits per directory entry (a 48-bit byte offset: containers beyond 256 TB
-/// are out of scope). Shared with the fixed-path `LWCF` container, which uses
-/// the identical directory layout.
+/// are out of scope). Shared with the fixed-path `LWCF` and volumetric
+/// `LWCV` containers, which use the identical directory layout.
 pub(crate) const OFFSET_BITS: u32 = 48;
 
 /// Appends the `(payloads.len() + 1)`-entry 48-bit byte-offset directory and

@@ -2,9 +2,9 @@
 //!
 //! The central abstraction is the [`Codec`] trait: every compression engine
 //! in the workspace — [`LosslessCodec`], [`ParallelCodec`],
-//! [`TiledCompressor`] and the paper-exact [`TiledFixedCompressor`] —
-//! implements it, so generic code holds a `&dyn Codec` and never enumerates
-//! engines.
+//! [`TiledCompressor`], the paper-exact [`TiledFixedCompressor`] and the
+//! volumetric [`VolumeCompressor`] — implements it, so generic code holds a
+//! `&dyn Codec` and never enumerates engines.
 //!
 //! ```
 //! use lwc_core::prelude::*;
@@ -20,7 +20,8 @@
 pub use lwc_arch::{ArchParams, ArchReport, ArchSimulator, InverseSimulationRun, SimulationRun};
 pub use lwc_baselines::{table3, ArchitectureClass, ArchitectureCost, CostParameters};
 pub use lwc_coder::{
-    CompressionReport, FixedHeader, FixedStream, FixedSubbandCodec, LosslessCodec,
+    CompressionReport, FixedHeader, FixedStream, FixedSubbandCodec, LosslessCodec, VolumeHeader,
+    VolumeStream,
 };
 pub use lwc_dwt::{
     Decomposition, Dwt2d, DwtError, FixedCoeffRow, FixedDwt2d, LineFixedDwt, Subband,
@@ -31,7 +32,8 @@ pub use lwc_filters::{
 };
 pub use lwc_fixed::{Fx, MacAccumulator, QFormat};
 pub use lwc_image::{
-    pgm, stats, synth, Image, ImageError, ImageView, ImageViewMut, TileGrid, TileRect,
+    pgm, stats, synth, BrickGrid, BrickRect, Image, ImageError, ImageStack, ImageView,
+    ImageViewMut, TileGrid, TileRect, VolumeView,
 };
 pub use lwc_lifting::{Lifting53, LineDwt53};
 pub use lwc_perf::hardware::{HardwareModel, ThroughputReport};
@@ -40,7 +42,7 @@ pub use lwc_pipeline::{
     BatchCompressor, BatchReport, Codec, CodecCapabilities, LineCompressor, ParallelCodec,
     ParallelFixedDwt2d, PipelineError, RowBand, RowEncoder, SubbandDirectory, TiledCompressor,
     TiledDecomposition, TiledDwtReport, TiledFixedCompressor, TiledFixedDwt2d, TiledReport,
-    DEFAULT_TILE_SIZE,
+    VolumeCompressor, VolumeSlab, VolumeSlabs, DEFAULT_BRICK_DEPTH, DEFAULT_TILE_SIZE,
 };
 pub use lwc_server::{
     loadgen, Client, LoadGenConfig, LoadReport, Server, ServerConfig, ServerError, ServerStats,

@@ -32,12 +32,14 @@
 mod error;
 mod image;
 pub mod pgm;
+mod stack;
 pub mod stats;
 pub mod synth;
 mod view;
 
 pub use error::ImageError;
 pub use image::Image;
+pub use stack::{BrickGrid, BrickRect, ImageStack, VolumeView};
 pub use view::{ImageView, ImageViewMut, TileGrid, TileRect};
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! * [`gradient`] and [`checkerboard`] — deterministic patterns used by edge
 //!   case and schedule tests.
 
-use crate::Image;
+use crate::{Image, ImageStack};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,8 +77,25 @@ const PHANTOM_ELLIPSES: [Ellipse; 8] = [
 #[must_use]
 pub fn ct_phantom(width: usize, height: usize, bit_depth: u32, seed: u64) -> Image {
     let mut rng = StdRng::seed_from_u64(seed);
-    let max = (1i32 << bit_depth) - 1;
     let mut samples = Vec::with_capacity(width * height);
+    render_phantom_slice(width, height, bit_depth, 1.0, 0.001, &mut rng, &mut samples);
+    Image::from_samples(width, height, bit_depth, samples)
+        .expect("ct_phantom parameters must be valid")
+}
+
+/// Renders one phantom slice with every ellipse's semi-axes scaled by
+/// `axis_scale` and uniform acquisition noise of `noise_amplitude` (in
+/// normalized intensity units), appending `width * height` quantized samples.
+fn render_phantom_slice(
+    width: usize,
+    height: usize,
+    bit_depth: u32,
+    axis_scale: f64,
+    noise_amplitude: f64,
+    rng: &mut StdRng,
+    samples: &mut Vec<i32>,
+) {
+    let max = (1i32 << bit_depth) - 1;
     // 3×3 supersampling softens the tissue boundaries over about one pixel,
     // like the finite resolution of a real reconstruction kernel. Without it
     // every ellipse boundary would be an ideal step edge, which makes the
@@ -98,7 +115,9 @@ pub fn ct_phantom(width: usize, height: usize, bit_depth: u32, seed: u64) -> Ima
                         let (s, c) = e.theta.sin_cos();
                         let xr = dx * c + dy * s;
                         let yr = -dx * s + dy * c;
-                        if (xr / e.rx).powi(2) + (yr / e.ry).powi(2) <= 1.0 {
+                        let rx = e.rx * axis_scale;
+                        let ry = e.ry * axis_scale;
+                        if (xr / rx).powi(2) + (yr / ry).powi(2) <= 1.0 {
                             v += e.intensity;
                         }
                     }
@@ -107,13 +126,51 @@ pub fn ct_phantom(width: usize, height: usize, bit_depth: u32, seed: u64) -> Ima
             v /= (SS * SS) as f64;
             // Normalize into [0, 1], add a small amount of acquisition
             // noise (a few grey levels, as in a well-dosed CT), quantize.
-            let noise = rng.gen_range(-0.001..0.001);
+            let noise = rng.gen_range(-noise_amplitude..noise_amplitude);
             let norm = ((v + 0.2) / 1.4 + noise).clamp(0.0, 1.0);
             samples.push((norm * max as f64).round() as i32);
         }
     }
-    Image::from_samples(width, height, bit_depth, samples)
-        .expect("ct_phantom parameters must be valid")
+}
+
+/// A CT-like *volume*: the elliptical phantom of [`ct_phantom`] re-rendered
+/// per slice with smoothly varying ellipse axes, as if scanning through a
+/// head from crown to base. Adjacent slices are strongly correlated (the
+/// anatomy changes by a fraction of a pixel per slice) while still differing
+/// everywhere, so a z-decorrelating transform has real redundancy to remove —
+/// the workload the 3-D datapath exists for. The per-voxel acquisition noise
+/// is kept at dither level (a fraction of one grey step): independent
+/// per-slice noise is the component *no* z transform can compress, so a
+/// volume drowned in it would measure the noise generator, not the datapath.
+///
+/// # Panics
+///
+/// Panics on zero dimensions or unsupported bit depth.
+#[must_use]
+pub fn ct_volume(
+    width: usize,
+    height: usize,
+    depth: usize,
+    bit_depth: u32,
+    seed: u64,
+) -> ImageStack {
+    assert!(depth > 0, "ct_volume depth must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(width * height * depth);
+    for z in 0..depth {
+        // Map the slice position to [-1, 1] through the volume, then shrink
+        // the anatomy toward the ends of the scan: full size mid-volume,
+        // ~95% at either end. The tissue boundaries sweep a few pixels over
+        // the whole stack — a fraction of a pixel per slice, the thin-slice
+        // regime where adjacent reconstructions are strongly correlated. A
+        // faster sweep would make each z-difference plane a full-contrast
+        // double-edged ring, *more* expensive than the slice it came from.
+        let t = if depth == 1 { 0.0 } else { 2.0 * z as f64 / (depth - 1) as f64 - 1.0 };
+        let axis_scale = (1.0 - 0.1 * t * t).sqrt();
+        render_phantom_slice(width, height, bit_depth, axis_scale, 0.0001, &mut rng, &mut samples);
+    }
+    ImageStack::from_samples(width, height, depth, bit_depth, samples)
+        .expect("ct_volume parameters must be valid")
 }
 
 /// An MR-like slice: smooth low-frequency anatomy plus fine sinusoidal

@@ -463,6 +463,27 @@ impl TileGrid {
         }
         Some((y / self.tile_height) * self.tiles_x() + x / self.tile_width)
     }
+
+    /// Row-major indices of the minimal tile set covering `rect` — the work
+    /// list of a region-of-interest decode. `None` if the rectangle is empty
+    /// or does not fit the image.
+    #[must_use]
+    pub fn covering_indices(&self, rect: TileRect) -> Option<Vec<usize>> {
+        if rect.is_empty() || rect.right() > self.image_width || rect.bottom() > self.image_height {
+            return None;
+        }
+        let tx0 = rect.x / self.tile_width;
+        let tx1 = (rect.right() - 1) / self.tile_width;
+        let ty0 = rect.y / self.tile_height;
+        let ty1 = (rect.bottom() - 1) / self.tile_height;
+        let mut indices = Vec::with_capacity((tx1 - tx0 + 1) * (ty1 - ty0 + 1));
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                indices.push(ty * self.tiles_x() + tx);
+            }
+        }
+        Some(indices)
+    }
 }
 
 fn check_raw_geometry(

@@ -41,11 +41,13 @@ pub mod geometry;
 mod lifting1d;
 mod line;
 mod transform;
+pub mod zaxis;
 
 pub use error::LiftingError;
 pub use lifting1d::{approx_len, detail_len, forward_53, forward_53_into, inverse_53};
 pub use line::{CoeffRow, LineDwt53};
 pub use transform::{Lifting53, LiftingCoefficients};
+pub use zaxis::{forward_z, inverse_z};
 
 #[cfg(test)]
 mod crate_tests {

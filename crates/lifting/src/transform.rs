@@ -197,6 +197,22 @@ impl Lifting53 {
     /// samples fall outside the original bit depth (impossible for
     /// coefficients produced by [`Lifting53::forward`]).
     pub fn inverse(&self, coeffs: &LiftingCoefficients) -> Result<Image, LiftingError> {
+        let data = self.inverse_raw(coeffs)?;
+        Ok(Image::from_samples(coeffs.width, coeffs.height, coeffs.input_bit_depth, data)?)
+    }
+
+    /// Inverse transform returning the raw row-major sample buffer *without*
+    /// the bit-depth range validation of [`Lifting53::inverse`]. The 3-D
+    /// codec decodes each z-coefficient plane through this path — those
+    /// planes hold signed z-transform coefficients, not pixels, and only
+    /// after the inverse z pass do the values return to the pixel range
+    /// (where the volume container validates them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftingError::ConfigurationMismatch`] if the coefficients
+    /// carry a different decomposition depth.
+    pub fn inverse_raw(&self, coeffs: &LiftingCoefficients) -> Result<Vec<i32>, LiftingError> {
         if coeffs.scales != self.scales {
             return Err(LiftingError::ConfigurationMismatch(format!(
                 "coefficients have {} scales but the transform expects {}",
@@ -211,7 +227,7 @@ impl Lifting53 {
             let cur_h = scaled_dim(height, s - 1);
             inverse_scale(&mut data, width, cur_w, cur_h);
         }
-        Ok(Image::from_samples(width, height, coeffs.input_bit_depth, data)?)
+        Ok(data)
     }
 
     /// Inverse transform scattered into a window of an existing frame — the

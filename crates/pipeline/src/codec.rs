@@ -19,9 +19,11 @@
 //! inherent methods it always had, so trait dispatch is byte-identical to
 //! concrete calls — a property the test suite pins down.
 
-use crate::{ParallelCodec, PipelineError, RowBand, TiledCompressor, TiledFixedCompressor};
+use crate::{
+    ParallelCodec, PipelineError, RowBand, TiledCompressor, TiledFixedCompressor, VolumeCompressor,
+};
 use lwc_coder::{CompressionReport, LosslessCodec};
-use lwc_image::Image;
+use lwc_image::{Image, ImageStack};
 
 /// What a [`Codec`] implementation can do beyond plain
 /// compress/decompress — capability flags a generic caller can branch on
@@ -267,6 +269,47 @@ impl Codec for TiledFixedCompressor {
     }
 }
 
+impl Codec for VolumeCompressor {
+    fn name(&self) -> &'static str {
+        "volume"
+    }
+
+    fn capabilities(&self) -> CodecCapabilities {
+        CodecCapabilities {
+            containers: "LWCV",
+            // Streams hold independently decodable bricks; for single-slice
+            // volumes `decompress_tile` is genuine directory-driven random
+            // access. The bounded-memory streaming path is the volumetric
+            // `decompress_slabs`, not the 2-D row-band iterator, so
+            // `streaming_decode` stays false at this trait's granularity.
+            tiled: true,
+            streaming_decode: false,
+            fixed_point: false,
+        }
+    }
+
+    fn compress(&self, image: &Image) -> Result<Vec<u8>, PipelineError> {
+        let stack = ImageStack::from_slices(std::slice::from_ref(image))
+            .map_err(lwc_coder::CoderError::from)?;
+        self.compress_stack(&stack)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Image, PipelineError> {
+        let stack = self.decompress_stack(bytes)?;
+        if stack.depth() != 1 {
+            return Err(PipelineError::from(lwc_coder::CoderError::UnsupportedFormat(format!(
+                "stream holds a {}-slice volume, not an image; use decompress_stack",
+                stack.depth()
+            ))));
+        }
+        Ok(stack.slice_image(0).map_err(lwc_coder::CoderError::from)?)
+    }
+
+    fn decompress_tile(&self, bytes: &[u8], index: usize) -> Result<Image, PipelineError> {
+        VolumeCompressor::decompress_brick_image(self, bytes, index)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +326,7 @@ mod tests {
             Box::new(
                 TiledFixedCompressor::new(&FilterBank::table1(FilterId::F1), 3, 32, 2).unwrap(),
             ),
+            Box::new(VolumeCompressor::new(3, 1, 32, 8, 2).unwrap()),
         ]
     }
 
@@ -318,6 +362,8 @@ mod tests {
         assert!(caps[3].tiled && caps[3].streaming_decode);
         assert!(caps[5].fixed_point);
         assert_eq!(caps[5].containers, "LWCF");
+        assert!(caps[6].tiled && !caps[6].fixed_point);
+        assert_eq!(caps[6].containers, "LWCV");
     }
 
     #[test]

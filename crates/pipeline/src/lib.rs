@@ -49,6 +49,15 @@
 //!   ([`LineCompressor::begin`] / [`RowEncoder`]) that pairs with
 //!   [`TiledCompressor::decompress_row_bands`] for bounded-memory encode
 //!   *and* decode. Output bytes are identical to the sequential codec.
+//! * [`VolumeCompressor`] — the **volumetric** engine: an
+//!   [`lwc_image::ImageStack`] is sharded by a [`lwc_image::BrickGrid`] into
+//!   bricks, each brick runs a separable 3-D DWT (the reversible 5/3 kernel
+//!   along z composed with the 2-D transform per coefficient plane) and the
+//!   per-plane streams ride in the versioned `LWCV` container
+//!   ([`lwc_coder::volume`]). Bricks encode and decode brick-parallel with
+//!   worker-count-independent bytes, decode can stream one brick layer at a
+//!   time ([`VolumeCompressor::decompress_slabs`]), and at `z_scales = 0`
+//!   every plane substream is byte-identical to the 2-D tiled path.
 //! * [`Codec`] — the unified engine interface: every compressor above
 //!   implements one object-safe trait (compress / decompress / tile access /
 //!   row-band streaming, with capability reporting), so the batch engine,
@@ -71,6 +80,7 @@ mod stream;
 mod tiled;
 mod tileddwt;
 mod tiledfixed;
+mod volume;
 
 pub use batch::BatchCompressor;
 pub use codec::{Codec, CodecCapabilities};
@@ -83,3 +93,4 @@ pub use stream::OrderedStream;
 pub use tiled::{RowBand, RowBands, TiledCompressor, DEFAULT_TILE_SIZE};
 pub use tileddwt::{TiledDecomposition, TiledFixedDwt2d};
 pub use tiledfixed::{FixedRowBands, TiledFixedCompressor};
+pub use volume::{scatter_region, VolumeCompressor, VolumeSlab, VolumeSlabs, DEFAULT_BRICK_DEPTH};

@@ -1,0 +1,811 @@
+//! Brick-parallel volumetric compression: the 3-D engine.
+//!
+//! Medical studies are mostly *stacks* of correlated slices. This module
+//! lifts the tile-sharded 2-D engine one dimension: an
+//! [`lwc_image::ImageStack`] is partitioned by a [`BrickGrid`] into bricks
+//! (a tile footprint times a run of slices), every brick runs a separable
+//! 3-D DWT — the reversible 5/3 kernels of `lwc-lifting` along z
+//! ([`lwc_lifting::forward_z`]) composed with the ordinary 2-D transform per
+//! resulting coefficient plane — and the per-plane streams are wrapped in
+//! the versioned `LWCV` container ([`lwc_coder::volume`]) behind the same
+//! 48-bit offset directory as `LWCT`. That buys, in one move:
+//!
+//! * **inter-slice decorrelation** — adjacent CT/MRI slices are nearly
+//!   identical, so the z detail planes are close to zero and Rice-code
+//!   tightly; `z_scales = 0` switches the z transform off and the per-plane
+//!   substreams become byte-identical to the 2-D tiled path's,
+//! * **brick parallelism** — one volume request fans into
+//!   `bricks_z x tiles` independent encode/decode jobs with worker-count
+//!   independent bytes (the same [`run_indexed`] discipline as every other
+//!   engine),
+//! * **bounded-memory decode** — [`VolumeCompressor::decompress_slabs`]
+//!   walks the directory one brick layer at a time, the volumetric mirror of
+//!   `decompress_row_bands`, sound because z transforms never cross brick
+//!   boundaries.
+
+use crate::parcodec::run_indexed;
+use crate::report::TiledReport;
+use crate::PipelineError;
+use lwc_coder::volume::{split_brick_payload, write_brick_payload, write_volume_container};
+use lwc_coder::{CoderError, LosslessCodec, VolumeHeader, VolumeStream};
+use lwc_image::{BrickGrid, BrickRect, Image, ImageStack, ImageView};
+use lwc_lifting::{forward_z, inverse_z};
+use std::thread;
+use std::time::Instant;
+
+/// Default nominal brick depth in slices: deep enough that two z scales have
+/// material to work with, shallow enough that a brick (tile footprint x
+/// depth, i32) stays cache-friendly and slab-streaming memory stays low.
+pub const DEFAULT_BRICK_DEPTH: usize = 8;
+
+/// Brick-parallel lossless codec for volumes (stacks of slices).
+///
+/// Streams are deterministic for a given brick shape — the worker count
+/// never changes a byte — and every brick decodes independently through the
+/// container directory.
+///
+/// ```
+/// use lwc_image::synth;
+/// use lwc_pipeline::VolumeCompressor;
+///
+/// # fn main() -> Result<(), lwc_pipeline::PipelineError> {
+/// let engine = VolumeCompressor::new(3, 1, 32, 4, 0)?;
+/// let volume = synth::ct_volume(70, 50, 11, 12, 1); // ragged bricks all round
+/// let bytes = engine.compress_stack(&volume)?;
+/// let back = engine.decompress_stack(&bytes)?;
+/// assert_eq!(volume.samples(), back.samples());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct VolumeCompressor {
+    codec: LosslessCodec,
+    z_scales: u32,
+    tile_width: usize,
+    tile_height: usize,
+    brick_depth: usize,
+    workers: usize,
+}
+
+impl VolumeCompressor {
+    /// Creates an engine with the given 2-D decomposition depth, z-axis
+    /// decomposition depth (0 disables inter-slice decorrelation), square
+    /// tile side, brick depth in slices and worker count. `workers == 0`
+    /// selects the machine's available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scales` is zero or a brick dimension is out of
+    /// range.
+    pub fn new(
+        scales: u32,
+        z_scales: u32,
+        tile_size: usize,
+        brick_depth: usize,
+        workers: usize,
+    ) -> Result<Self, PipelineError> {
+        Self::with_codec(
+            LosslessCodec::new(scales)?,
+            z_scales,
+            tile_size,
+            tile_size,
+            brick_depth,
+            workers,
+        )
+    }
+
+    /// Wraps an existing per-plane codec with an explicit (possibly
+    /// non-square) brick shape. `workers == 0` selects the machine's
+    /// available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Config`] if a brick dimension is zero, a
+    /// tile dimension does not fit the per-plane stream format's 20-bit
+    /// fields, or `z_scales` does not fit the container's 4-bit field.
+    pub fn with_codec(
+        codec: LosslessCodec,
+        z_scales: u32,
+        tile_width: usize,
+        tile_height: usize,
+        brick_depth: usize,
+        workers: usize,
+    ) -> Result<Self, PipelineError> {
+        if tile_width == 0 || tile_height == 0 || brick_depth == 0 {
+            return Err(PipelineError::Config("brick dimensions must be nonzero".into()));
+        }
+        if tile_width >= (1 << 20) || tile_height >= (1 << 20) {
+            return Err(PipelineError::Config(format!(
+                "tile dimensions {tile_width}x{tile_height} exceed the per-plane stream format's \
+                 20-bit fields"
+            )));
+        }
+        if z_scales >= (1 << 4) {
+            return Err(PipelineError::Config(format!(
+                "{z_scales} z scales exceed the container format's 4-bit field"
+            )));
+        }
+        let workers = if workers == 0 {
+            thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            workers
+        };
+        Ok(Self { codec, z_scales, tile_width, tile_height, brick_depth, workers })
+    }
+
+    /// The per-plane 2-D codec.
+    #[must_use]
+    pub fn codec(&self) -> &LosslessCodec {
+        &self.codec
+    }
+
+    /// z-axis decomposition depth (0 = per-slice 2-D coding).
+    #[must_use]
+    pub fn z_scales(&self) -> u32 {
+        self.z_scales
+    }
+
+    /// Nominal tile width.
+    #[must_use]
+    pub fn tile_width(&self) -> usize {
+        self.tile_width
+    }
+
+    /// Nominal tile height.
+    #[must_use]
+    pub fn tile_height(&self) -> usize {
+        self.tile_height
+    }
+
+    /// Nominal brick depth in slices.
+    #[must_use]
+    pub fn brick_depth(&self) -> usize {
+        self.brick_depth
+    }
+
+    /// Worker threads used per volume.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The brick grid this engine would use for a `width x height x depth`
+    /// volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero volume dimensions.
+    pub fn grid(
+        &self,
+        width: usize,
+        height: usize,
+        depth: usize,
+    ) -> Result<BrickGrid, PipelineError> {
+        BrickGrid::new(width, height, depth, self.tile_width, self.tile_height, self.brick_depth)
+            .map_err(|e| PipelineError::Config(format!("invalid brick grid: {e}")))
+    }
+
+    /// Compresses a volume, fanning the bricks across the worker pool. The
+    /// bytes depend only on the volume and the brick shape, never on the
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-brick codec error, if any.
+    pub fn compress_stack(&self, stack: &ImageStack) -> Result<Vec<u8>, PipelineError> {
+        Ok(self.compress_stack_with_report(stack)?.0)
+    }
+
+    /// Compresses and reports brick-level throughput (the report's `tiles`
+    /// field counts bricks).
+    ///
+    /// # Errors
+    ///
+    /// See [`VolumeCompressor::compress_stack`].
+    pub fn compress_stack_with_report(
+        &self,
+        stack: &ImageStack,
+    ) -> Result<(Vec<u8>, TiledReport), PipelineError> {
+        let start = Instant::now();
+        let grid = self.grid(stack.width(), stack.height(), stack.depth())?;
+        let payloads = run_indexed(self.workers, grid.brick_count(), |index| {
+            self.encode_brick(stack, &grid, index)
+        })?;
+        let bytes = self.assemble_container(&grid, stack.bit_depth(), &payloads)?;
+        let report = TiledReport {
+            tiles: grid.brick_count(),
+            raw_bytes: (stack.voxel_count() * stack.bit_depth() as usize).div_ceil(8),
+            compressed_bytes: bytes.len(),
+            workers: self.workers.min(grid.brick_count()),
+            wall: start.elapsed(),
+        };
+        Ok((bytes, report))
+    }
+
+    /// Compresses one brick (plane-major `index` of `grid`) into its
+    /// standalone payload — the unit a scheduler can fan across workers.
+    /// Byte-identical to the payload [`VolumeCompressor::compress_stack`]
+    /// places in the container's `index` directory slot, by construction:
+    /// `compress_stack` itself is built on this.
+    ///
+    /// The brick is gathered plane-major, z-lifted in place
+    /// ([`lwc_lifting::forward_z`]; a no-op at `z_scales = 0`), and every
+    /// resulting coefficient plane is 2-D coded as one `LWC1` stream —
+    /// negative z coefficients ride through the same subband coder pixels
+    /// do, which handles any `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the brick's codec error; `grid` must describe `stack` (an
+    /// out-of-bounds box surfaces as a view error).
+    pub fn encode_brick(
+        &self,
+        stack: &ImageStack,
+        grid: &BrickGrid,
+        index: usize,
+    ) -> Result<Vec<u8>, PipelineError> {
+        let rect = grid.rect(index);
+        let mut samples = stack.view_brick(rect).map_err(CoderError::from)?.to_samples();
+        let plane_len = rect.plane.pixel_count();
+        forward_z(&mut samples, plane_len, rect.depth, self.z_scales).map_err(CoderError::from)?;
+        let planes = samples
+            .chunks_exact(plane_len)
+            .map(|plane| {
+                let view = ImageView::from_raw(
+                    plane,
+                    rect.plane.width,
+                    rect.plane.height,
+                    rect.plane.width,
+                    stack.bit_depth(),
+                )
+                .map_err(CoderError::from)?;
+                Ok(self.codec.compress_view(&view)?)
+            })
+            .collect::<Result<Vec<_>, PipelineError>>()?;
+        Ok(write_brick_payload(&planes))
+    }
+
+    /// Assembles per-brick payloads (plane-major `grid` order, one per
+    /// brick, as produced by [`VolumeCompressor::encode_brick`]) into the
+    /// `LWCV` container [`VolumeCompressor::compress_stack`] writes. Callers
+    /// fanning bricks out themselves — the server's volume op — finish with
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// Returns a container error if the payload count disagrees with the
+    /// grid or an offset overflows the directory format.
+    pub fn assemble_container(
+        &self,
+        grid: &BrickGrid,
+        bit_depth: u32,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<u8>, PipelineError> {
+        let header = VolumeHeader {
+            width: grid.plane().image_width(),
+            height: grid.plane().image_height(),
+            depth: grid.image_depth(),
+            bit_depth,
+            scales: self.codec.scales(),
+            z_scales: self.z_scales,
+            tile_width: grid.plane().tile_width(),
+            tile_height: grid.plane().tile_height(),
+            brick_depth: grid.brick_depth(),
+        };
+        Ok(write_volume_container(&header, payloads)?)
+    }
+
+    /// Reconstructs the volume from an `LWCV` container, voxel-exact.
+    ///
+    /// Bricks are decoded in bounded batches (a few per worker) and
+    /// scattered into the volume as each batch completes. Every
+    /// reconstructed sample is range-validated against the container's bit
+    /// depth after the inverse z transform — corrupt brick payloads that
+    /// decode structurally but produce out-of-range voxels are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams, mismatched configuration, or
+    /// bricks that disagree with the container's grid geometry.
+    pub fn decompress_stack(&self, bytes: &[u8]) -> Result<ImageStack, PipelineError> {
+        let stream = VolumeStream::parse(bytes)?;
+        let header = *stream.header();
+        self.ensure_scales(&header)?;
+        let grid = stream.grid()?;
+        let mut volume = vec![0i32; header.width * header.height * header.depth];
+        let batch = (self.workers * 4).max(4);
+        let mut index = 0;
+        while index < grid.brick_count() {
+            let count = batch.min(grid.brick_count() - index);
+            let bricks = self.decode_bricks(&stream, &grid, index, count)?;
+            for (offset, brick) in bricks.iter().enumerate() {
+                let rect = grid.rect(index + offset);
+                scatter_brick(&mut volume, header.width, header.height, rect, brick);
+            }
+            index += count;
+        }
+        Ok(ImageStack::from_samples(
+            header.width,
+            header.height,
+            header.depth,
+            header.bit_depth,
+            volume,
+        )
+        .map_err(CoderError::from)?)
+    }
+
+    /// Streaming decode: yields the volume one brick-layer **slab** at a
+    /// time (front to back), decoding each slab's bricks on the worker
+    /// pool. Peak memory is bounded by one slab — `width x height x
+    /// brick_depth` voxels plus one batch of decoded bricks — regardless of
+    /// the volume's slice count; sound because the z transform never crosses
+    /// a brick boundary. The volumetric mirror of
+    /// [`crate::TiledCompressor::decompress_row_bands`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the container header or directory is malformed;
+    /// per-slab decode errors surface through the iterator's items.
+    pub fn decompress_slabs<'a>(&self, bytes: &'a [u8]) -> Result<VolumeSlabs<'a>, PipelineError> {
+        let stream = VolumeStream::parse(bytes)?;
+        self.ensure_scales(stream.header())?;
+        let grid = stream.grid()?;
+        Ok(VolumeSlabs { engine: *self, stream, grid, next_layer: 0 })
+    }
+
+    /// Decodes the minimal set of bricks covering the box `rect` and crops
+    /// the box out — region-of-interest access over the container directory,
+    /// decoding nothing outside the covering bricks. The bricks fan across
+    /// the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams or a box that does not fit
+    /// the volume.
+    pub fn decompress_region(
+        &self,
+        bytes: &[u8],
+        rect: BrickRect,
+    ) -> Result<ImageStack, PipelineError> {
+        let stream = VolumeStream::parse(bytes)?;
+        let header = *stream.header();
+        self.ensure_scales(&header)?;
+        let grid = stream.grid()?;
+        let indices = grid.covering_indices(rect).ok_or_else(|| {
+            CoderError::MalformedStream(format!(
+                "region ({}, {}, {}) {}x{}x{} does not fit the {}x{}x{} volume",
+                rect.plane.x,
+                rect.plane.y,
+                rect.z,
+                rect.plane.width,
+                rect.plane.height,
+                rect.depth,
+                header.width,
+                header.height,
+                header.depth
+            ))
+        })?;
+        let bricks = run_indexed(self.workers, indices.len(), |i| {
+            self.decode_brick(&stream, &grid, indices[i])
+        })?;
+        let mut region = vec![0i32; rect.voxel_count()];
+        for (&index, brick) in indices.iter().zip(&bricks) {
+            let brick_rect = grid.rect(index);
+            scatter_region(&mut region, rect, brick_rect, brick);
+        }
+        Ok(ImageStack::from_samples(
+            rect.plane.width,
+            rect.plane.height,
+            rect.depth,
+            header.bit_depth,
+            region,
+        )
+        .map_err(CoderError::from)?)
+    }
+
+    /// Decodes brick `index` (plane-major directory order) as a 2-D image —
+    /// the random-access unit behind [`crate::Codec::decompress_tile`] for
+    /// volumetric streams. Only single-slice bricks (`brick_depth == 1`, or
+    /// a ragged back layer one slice deep) reduce to an image; deeper bricks
+    /// are a typed error directing callers to
+    /// [`VolumeCompressor::decompress_region`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed streams, an out-of-range index, or a
+    /// brick spanning more than one slice.
+    pub fn decompress_brick_image(
+        &self,
+        bytes: &[u8],
+        index: usize,
+    ) -> Result<Image, PipelineError> {
+        let stream = VolumeStream::parse(bytes)?;
+        self.ensure_scales(stream.header())?;
+        let grid = stream.grid()?;
+        if index >= grid.brick_count() {
+            return Err(CoderError::MalformedStream(format!(
+                "brick index {index} out of range: the directory holds {} bricks",
+                grid.brick_count()
+            ))
+            .into());
+        }
+        let rect = grid.rect(index);
+        if rect.depth != 1 {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "brick {index} spans {} slices and cannot reduce to a 2-D image; use \
+                 decompress_region",
+                rect.depth
+            ))
+            .into());
+        }
+        let samples = self.decode_brick(&stream, &grid, index)?;
+        Ok(Image::from_samples(
+            rect.plane.width,
+            rect.plane.height,
+            stream.header().bit_depth,
+            samples,
+        )
+        .map_err(CoderError::from)?)
+    }
+
+    fn ensure_scales(&self, header: &VolumeHeader) -> Result<(), PipelineError> {
+        if header.scales != self.codec.scales() {
+            return Err(CoderError::UnsupportedFormat(format!(
+                "volume stream uses {} scales but the codec is configured for {}",
+                header.scales,
+                self.codec.scales()
+            ))
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Decodes bricks `first..first + count` (plane-major) on the worker
+    /// pool, returning each brick's plane-major raw samples (inverse z
+    /// applied, range validation deferred to the caller's
+    /// [`ImageStack::from_samples`]).
+    fn decode_bricks(
+        &self,
+        stream: &VolumeStream<'_>,
+        grid: &BrickGrid,
+        first: usize,
+        count: usize,
+    ) -> Result<Vec<Vec<i32>>, PipelineError> {
+        run_indexed(self.workers, count, |offset| self.decode_brick(stream, grid, first + offset))
+    }
+
+    /// Decodes one brick of a parsed stream to its plane-major raw samples —
+    /// the per-brick unit an external scheduler (the server's volume ops)
+    /// fans across workers, paired with [`scatter_region`] to place the
+    /// result. Range validation is deferred: feed the assembled buffer
+    /// through [`ImageStack::from_samples`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the brick's codec error; see
+    /// [`VolumeCompressor::decompress_stack`].
+    pub fn decode_brick_samples(
+        &self,
+        stream: &VolumeStream<'_>,
+        grid: &BrickGrid,
+        index: usize,
+    ) -> Result<Vec<i32>, PipelineError> {
+        Ok(self.decode_brick(stream, grid, index)?)
+    }
+
+    /// Decodes one brick: splits the payload's plane table, 2-D decodes
+    /// every coefficient plane through the raw (range-unchecked) path, then
+    /// inverts the z transform with the **container's** `z_scales`.
+    fn decode_brick(
+        &self,
+        stream: &VolumeStream<'_>,
+        grid: &BrickGrid,
+        index: usize,
+    ) -> Result<Vec<i32>, CoderError> {
+        let header = stream.header();
+        let rect = grid.rect(index);
+        let plane_len = rect.plane.pixel_count();
+        let planes = split_brick_payload(stream.brick_bytes(index), rect.depth)?;
+        let mut samples = Vec::with_capacity(plane_len * rect.depth);
+        for (z, plane_bytes) in planes.iter().enumerate() {
+            let (plane_header, plane) = self.codec.decompress_raw(plane_bytes)?;
+            if plane_header.width != rect.plane.width || plane_header.height != rect.plane.height {
+                return Err(CoderError::MalformedStream(format!(
+                    "brick {index} plane {z} decodes to {}x{} but the grid places a {}x{} brick \
+                     there",
+                    plane_header.width, plane_header.height, rect.plane.width, rect.plane.height
+                )));
+            }
+            if plane_header.bit_depth != header.bit_depth {
+                return Err(CoderError::MalformedStream(format!(
+                    "brick {index} plane {z} carries {}-bit samples but the container header says \
+                     {}-bit",
+                    plane_header.bit_depth, header.bit_depth
+                )));
+            }
+            samples.extend_from_slice(&plane);
+        }
+        inverse_z(&mut samples, plane_len, rect.depth, header.z_scales)?;
+        Ok(samples)
+    }
+}
+
+/// Scatters a plane-major brick buffer into the slice-major volume buffer.
+fn scatter_brick(volume: &mut [i32], width: usize, height: usize, rect: BrickRect, brick: &[i32]) {
+    let plane_len = rect.plane.pixel_count();
+    for z in 0..rect.depth {
+        for y in 0..rect.plane.height {
+            let src = z * plane_len + y * rect.plane.width;
+            let dst = ((rect.z + z) * height + rect.plane.y + y) * width + rect.plane.x;
+            volume[dst..dst + rect.plane.width]
+                .copy_from_slice(&brick[src..src + rect.plane.width]);
+        }
+    }
+}
+
+/// Scatters the intersection of a decoded brick (plane-major `samples`, from
+/// [`VolumeCompressor::decode_brick_samples`]) with a requested region into
+/// the region's slice-major buffer (both boxes in volume coordinates;
+/// disjoint boxes are a no-op).
+pub fn scatter_region(region: &mut [i32], want: BrickRect, brick: BrickRect, samples: &[i32]) {
+    let x0 = want.plane.x.max(brick.plane.x);
+    let x1 = want.plane.right().min(brick.plane.right());
+    let y0 = want.plane.y.max(brick.plane.y);
+    let y1 = want.plane.bottom().min(brick.plane.bottom());
+    let z0 = want.z.max(brick.z);
+    let z1 = want.back().min(brick.back());
+    if x0 >= x1 || y0 >= y1 || z0 >= z1 {
+        return;
+    }
+    let plane_len = brick.plane.pixel_count();
+    for z in z0..z1 {
+        for y in y0..y1 {
+            let src = (z - brick.z) * plane_len
+                + (y - brick.plane.y) * brick.plane.width
+                + (x0 - brick.plane.x);
+            let dst = ((z - want.z) * want.plane.height + (y - want.plane.y)) * want.plane.width
+                + (x0 - want.plane.x);
+            region[dst..dst + (x1 - x0)].copy_from_slice(&samples[src..src + (x1 - x0)]);
+        }
+    }
+}
+
+/// One brick-layer slab of a streamed volumetric decode; see
+/// [`VolumeCompressor::decompress_slabs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeSlab {
+    /// First slice of the volume this slab covers.
+    pub z: usize,
+    /// The decoded slab (full width x height, one brick layer of slices).
+    pub stack: ImageStack,
+}
+
+/// Iterator over the slabs of a compressed volume, yielded front to back.
+pub struct VolumeSlabs<'a> {
+    engine: VolumeCompressor,
+    stream: VolumeStream<'a>,
+    grid: BrickGrid,
+    next_layer: usize,
+}
+
+impl Iterator for VolumeSlabs<'_> {
+    type Item = Result<VolumeSlab, PipelineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_layer >= self.grid.bricks_z() {
+            return None;
+        }
+        let bz = self.next_layer;
+        self.next_layer += 1;
+        let header = *self.stream.header();
+        let per_layer = self.grid.plane().tile_count();
+        let (z, slab_depth) = self.grid.z_extent(bz);
+        let result = (|| {
+            let bricks =
+                self.engine.decode_bricks(&self.stream, &self.grid, bz * per_layer, per_layer)?;
+            let mut slab = vec![0i32; header.width * header.height * slab_depth];
+            for (offset, brick) in bricks.iter().enumerate() {
+                let mut rect = self.grid.rect(bz * per_layer + offset);
+                rect.z = 0; // slab-local coordinates
+                scatter_brick(&mut slab, header.width, header.height, rect, brick);
+            }
+            let stack = ImageStack::from_samples(
+                header.width,
+                header.height,
+                slab_depth,
+                header.bit_depth,
+                slab,
+            )
+            .map_err(CoderError::from)?;
+            Ok(VolumeSlab { z, stack })
+        })();
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_coder::is_volume;
+    use lwc_image::{synth, TileRect};
+
+    #[test]
+    fn multi_brick_roundtrip_is_lossless() {
+        let engine = VolumeCompressor::new(3, 2, 32, 4, 3).unwrap();
+        for volume in [
+            synth::ct_volume(70, 50, 11, 12, 1), // ragged everywhere
+            synth::ct_volume(64, 64, 8, 12, 2),  // exact grid
+            synth::ct_volume(33, 97, 3, 8, 3),   // odd dims, shallow stack
+        ] {
+            let bytes = engine.compress_stack(&volume).unwrap();
+            assert!(is_volume(&bytes));
+            let back = engine.decompress_stack(&bytes).unwrap();
+            assert_eq!(volume, back);
+        }
+    }
+
+    #[test]
+    fn per_brick_encode_plus_assembly_matches_compress() {
+        let engine = VolumeCompressor::new(3, 1, 32, 4, 2).unwrap();
+        let volume = synth::ct_volume(70, 50, 7, 12, 4);
+        let reference = engine.compress_stack(&volume).unwrap();
+        let grid = engine.grid(70, 50, 7).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..grid.brick_count())
+            .map(|i| engine.encode_brick(&volume, &grid, i).unwrap())
+            .collect();
+        let assembled = engine.assemble_container(&grid, volume.bit_depth(), &payloads).unwrap();
+        assert_eq!(assembled, reference);
+    }
+
+    #[test]
+    fn streams_do_not_depend_on_the_worker_count() {
+        let volume = synth::ct_volume(70, 50, 9, 12, 5);
+        let reference =
+            VolumeCompressor::new(3, 2, 32, 4, 1).unwrap().compress_stack(&volume).unwrap();
+        for workers in [2, 3, 8] {
+            let engine = VolumeCompressor::new(3, 2, 32, 4, workers).unwrap();
+            assert_eq!(engine.compress_stack(&volume).unwrap(), reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn zero_z_scales_plane_substreams_match_the_2d_codec() {
+        // With z_scales = 0 the z transform is the identity, so every plane
+        // substream must be byte-identical to the 2-D codec's stream for the
+        // same tile of the same slice — the property pinning the volumetric
+        // datapath to the tiled one.
+        let engine = VolumeCompressor::new(3, 0, 32, 4, 2).unwrap();
+        let volume = synth::ct_volume(70, 50, 6, 12, 6);
+        let grid = engine.grid(70, 50, 6).unwrap();
+        for index in [0usize, 3, grid.brick_count() - 1] {
+            let rect = grid.rect(index);
+            let payload = engine.encode_brick(&volume, &grid, index).unwrap();
+            let planes = split_brick_payload(&payload, rect.depth).unwrap();
+            for (z, plane) in planes.iter().enumerate() {
+                let slice = volume.slice(rect.z + z).unwrap();
+                let tile = slice.subview(rect.plane).unwrap();
+                let reference = engine.codec().compress_view(&tile).unwrap();
+                assert_eq!(plane, &reference.as_slice(), "brick {index} plane {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn slab_streaming_decode_reassembles_the_volume() {
+        let engine = VolumeCompressor::new(3, 2, 32, 4, 2).unwrap();
+        let volume = synth::ct_volume(70, 50, 11, 12, 7);
+        let bytes = engine.compress_stack(&volume).unwrap();
+        let mut next_z = 0;
+        let mut slabs = 0;
+        for slab in engine.decompress_slabs(&bytes).unwrap() {
+            let slab = slab.unwrap();
+            assert_eq!(slab.z, next_z, "slabs arrive front to back");
+            for z in 0..slab.stack.depth() {
+                assert_eq!(
+                    slab.stack.slice_image(z).unwrap(),
+                    volume.slice_image(next_z + z).unwrap(),
+                    "slice {}",
+                    next_z + z
+                );
+            }
+            next_z += slab.stack.depth();
+            slabs += 1;
+        }
+        assert_eq!(slabs, 11usize.div_ceil(4));
+        assert_eq!(next_z, 11);
+    }
+
+    #[test]
+    fn regions_decode_only_their_covering_bricks() {
+        let engine = VolumeCompressor::new(3, 1, 32, 4, 2).unwrap();
+        let volume = synth::ct_volume(70, 50, 9, 12, 8);
+        let bytes = engine.compress_stack(&volume).unwrap();
+        for rect in [
+            BrickRect { plane: TileRect { x: 10, y: 12, width: 30, height: 20 }, z: 2, depth: 5 },
+            BrickRect { plane: TileRect { x: 0, y: 0, width: 70, height: 50 }, z: 0, depth: 9 },
+            BrickRect { plane: TileRect { x: 69, y: 49, width: 1, height: 1 }, z: 8, depth: 1 },
+        ] {
+            let region = engine.decompress_region(&bytes, rect).unwrap();
+            for z in 0..rect.depth {
+                for y in 0..rect.plane.height {
+                    for x in 0..rect.plane.width {
+                        assert_eq!(
+                            region.get(x, y, z),
+                            volume.get(rect.plane.x + x, rect.plane.y + y, rect.z + z)
+                        );
+                    }
+                }
+            }
+        }
+        // Out-of-bounds regions are typed errors.
+        let bad =
+            BrickRect { plane: TileRect { x: 60, y: 0, width: 20, height: 8 }, z: 0, depth: 1 };
+        assert!(engine.decompress_region(&bytes, bad).is_err());
+        let empty =
+            BrickRect { plane: TileRect { x: 0, y: 0, width: 0, height: 1 }, z: 0, depth: 1 };
+        assert!(engine.decompress_region(&bytes, empty).is_err());
+    }
+
+    #[test]
+    fn three_d_beats_per_slice_2d_on_correlated_stacks() {
+        // The reason this subsystem exists: inter-slice redundancy that
+        // per-slice coding cannot touch.
+        let volume = synth::ct_volume(64, 64, 16, 12, 9);
+        let flat = VolumeCompressor::new(4, 0, 64, 8, 2).unwrap();
+        let deep = VolumeCompressor::new(4, 3, 64, 8, 2).unwrap();
+        let flat_bytes = flat.compress_stack(&volume).unwrap().len();
+        let deep_bytes = deep.compress_stack(&volume).unwrap().len();
+        assert!(
+            deep_bytes < flat_bytes,
+            "3-D coding must beat per-slice 2-D on a correlated stack: {deep_bytes} vs {flat_bytes}"
+        );
+    }
+
+    #[test]
+    fn corrupt_containers_are_rejected() {
+        let engine = VolumeCompressor::new(3, 1, 32, 4, 2).unwrap();
+        let volume = synth::ct_volume(48, 40, 5, 12, 3);
+        let bytes = engine.compress_stack(&volume).unwrap();
+        for len in [2, 31, 32, bytes.len() / 2, bytes.len() - 1] {
+            assert!(engine.decompress_stack(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+        // Corrupting the first plane substream's magic inside brick 0's
+        // payload must fail that brick's decode. (The payload starts with a
+        // u32 length per plane; the substream header follows the table.)
+        let stream = VolumeStream::parse(&bytes).unwrap();
+        let brick0 = stream.brick_bytes(0);
+        let grid = engine.grid(48, 40, 5).unwrap();
+        let table_bytes = 4 * grid.rect(0).depth;
+        let offset = brick0.as_ptr() as usize - bytes.as_ptr() as usize + table_bytes;
+        let mut flipped = bytes.clone();
+        flipped[offset] ^= 0x40;
+        assert!(engine.decompress_stack(&flipped).is_err());
+        // Mismatched 2-D codec depth.
+        let other = VolumeCompressor::new(4, 1, 32, 4, 2).unwrap();
+        assert!(other.decompress_stack(&bytes).is_err());
+        // A different z_scales configuration still decodes: the container
+        // header, not the engine, carries the z decomposition.
+        let other_z = VolumeCompressor::new(3, 3, 32, 4, 2).unwrap();
+        assert_eq!(other_z.decompress_stack(&bytes).unwrap(), volume);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(VolumeCompressor::new(0, 1, 32, 4, 1).is_err());
+        assert!(VolumeCompressor::new(3, 16, 32, 4, 1).is_err());
+        assert!(VolumeCompressor::new(3, 1, 0, 4, 1).is_err());
+        assert!(VolumeCompressor::new(3, 1, 32, 0, 1).is_err());
+        let codec = LosslessCodec::new(3).unwrap();
+        assert!(VolumeCompressor::with_codec(codec, 1, 1 << 20, 32, 4, 1).is_err());
+    }
+
+    #[test]
+    fn zero_workers_selects_available_parallelism_and_report_counts_bricks() {
+        let engine = VolumeCompressor::new(2, 1, 16, 2, 0).unwrap();
+        assert!(engine.workers() >= 1);
+        let volume = synth::ct_volume(48, 48, 4, 12, 2);
+        let (_bytes, report) = engine.compress_stack_with_report(&volume).unwrap();
+        assert_eq!(report.tiles, 9 * 2);
+        assert!(report.ratio() > 0.0);
+    }
+}

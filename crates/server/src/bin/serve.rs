@@ -11,6 +11,8 @@
 //!   --cache-mb N        response cache byte budget (default 0 = 256 MiB)
 //!   --scales N          compress decomposition     (default 4)
 //!   --tile N            compress tile size         (default 256)
+//!   --z-scales N        volume z decomposition     (default 2)
+//!   --brick-depth N     volume brick depth         (default 8)
 //!   --max-frame-mb N    per-frame payload limit    (default 64)
 //!   --duration SECS     serve then exit            (default 0 = forever)
 //! ```
@@ -23,8 +25,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--budget N] [--conn-inflight N] \
-         [--cache-entries N] [--cache-mb N] [--scales N] [--tile N] [--max-frame-mb N] \
-         [--duration SECS]"
+         [--cache-entries N] [--cache-mb N] [--scales N] [--tile N] [--z-scales N] \
+         [--brick-depth N] [--max-frame-mb N] [--duration SECS]"
     );
     std::process::exit(2);
 }
@@ -53,6 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--scales" => config.scales = value("--scales").parse()?,
             "--tile" => config.tile_size = value("--tile").parse()?,
+            "--z-scales" => config.z_scales = value("--z-scales").parse()?,
+            "--brick-depth" => config.brick_depth = value("--brick-depth").parse()?,
             "--max-frame-mb" => {
                 config.max_payload_bytes = value("--max-frame-mb").parse::<usize>()? << 20;
             }
@@ -74,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!(
         "lwc-server listening on {} ({} workers, in-flight budget {}, {} per connection, \
-         cache {}, scales {}, tile {}, max frame {} MiB)",
+         cache {}, scales {}, tile {}, z-scales {}, brick depth {}, max frame {} MiB)",
         server.local_addr(),
         resolved.workers,
         resolved.queue_depth,
@@ -82,6 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache,
         resolved.scales,
         resolved.tile_size,
+        resolved.z_scales,
+        resolved.brick_depth,
         resolved.max_payload_bytes >> 20
     );
     if duration == 0 {

@@ -17,7 +17,8 @@
 use crate::error::ServerError;
 use crate::frame::{into_frame, read_frame, write_frame};
 use crate::protocol::{ErrorCode, Frame, Op, DEFAULT_MAX_PAYLOAD_BYTES};
-use lwc_image::{pgm, Image};
+use crate::rawvol::{read_raw_volume, write_raw_volume};
+use lwc_image::{pgm, BrickRect, Image, ImageStack, TileRect};
 use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -248,6 +249,65 @@ impl Client {
         Ok(pgm::read_pgm(response.as_slice())?)
     }
 
+    /// Compresses an [`ImageStack`] into an `LWCV` volume stream (serialized
+    /// as a raw volume on the wire, see [`crate::rawvol`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compress_volume(&mut self, stack: &ImageStack) -> Result<Vec<u8>, ServerError> {
+        self.request(Op::CompressVolume, write_raw_volume(stack))
+    }
+
+    /// Decompresses an `LWCV` stream into an [`ImageStack`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; additionally fails if the returned raw
+    /// volume does not parse.
+    pub fn decompress_volume(&mut self, stream: &[u8]) -> Result<ImageStack, ServerError> {
+        let payload = self.request(Op::DecompressVolume, stream.to_vec())?;
+        read_raw_volume(&payload)
+    }
+
+    /// Decompresses a rectangular region of a 2-D (`LWC1`/`LWCT`/`LWCF`)
+    /// stream — the server decodes only the covering tiles.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; additionally fails if the returned PGM does
+    /// not parse. An out-of-bounds rectangle comes back as
+    /// [`ServerError::Remote`] with [`ErrorCode::BadPayload`].
+    pub fn decompress_region_image(
+        &mut self,
+        stream: &[u8],
+        x: usize,
+        y: usize,
+        width: usize,
+        height: usize,
+    ) -> Result<Image, ServerError> {
+        let rect = BrickRect { plane: TileRect { x, y, width, height }, z: 0, depth: 1 };
+        let response = self.request(Op::DecompressRegion, region_request(rect, stream))?;
+        Ok(pgm::read_pgm(response.as_slice())?)
+    }
+
+    /// Decompresses a cuboid region of an `LWCV` volume stream — the server
+    /// decodes only the covering bricks.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; additionally fails if the returned raw
+    /// volume does not parse. An out-of-bounds cuboid comes back as
+    /// [`ServerError::Remote`] with [`ErrorCode::BadPayload`].
+    pub fn decompress_region_volume(
+        &mut self,
+        stream: &[u8],
+        rect: BrickRect,
+    ) -> Result<ImageStack, ServerError> {
+        let response = self.request(Op::DecompressRegion, region_request(rect, stream))?;
+        read_raw_volume(&response)
+    }
+
     /// Fetches the server's counters as a JSON string (see `ServerStats`).
     ///
     /// # Errors
@@ -257,4 +317,17 @@ impl Client {
         let payload = self.request(Op::Stats, Vec::new())?;
         Ok(String::from_utf8_lossy(&payload).into_owned())
     }
+}
+
+/// Serializes a `decompress-region` payload: the 24-byte rectangle prefix
+/// (six u32 BE: x, y, z, width, height, depth) followed by the stream.
+fn region_request(rect: BrickRect, stream: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(24 + stream.len());
+    for field in
+        [rect.plane.x, rect.plane.y, rect.z, rect.plane.width, rect.plane.height, rect.depth]
+    {
+        payload.extend_from_slice(&(field as u32).to_be_bytes());
+    }
+    payload.extend_from_slice(stream);
+    payload
 }

@@ -57,6 +57,7 @@ mod error;
 pub mod frame;
 pub mod loadgen;
 pub mod protocol;
+pub mod rawvol;
 pub mod sched;
 mod server;
 mod stats;

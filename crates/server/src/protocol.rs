@@ -55,6 +55,17 @@ pub enum Op {
     /// Request: empty payload; the response payload is a JSON object of
     /// server counters (see `ServerStats`).
     Stats,
+    /// Request: compress a raw volume payload (see `rawvol`) into an `LWCV`
+    /// stream; the bricks fan across the server's scheduler.
+    CompressVolume,
+    /// Request: decompress an `LWCV` payload; the response payload is a raw
+    /// volume (see `rawvol`).
+    DecompressVolume,
+    /// Request: decompress a region. The payload is six 4-byte big-endian
+    /// fields — x, y, z, width, height, depth — followed by the stream. For
+    /// 2-D streams (`LWC1`/`LWCT`) z must be 0 and depth 1 and the response
+    /// is a binary PGM; for `LWCV` streams the response is a raw volume.
+    DecompressRegion,
     /// Successful response to [`Op::Compress`].
     OkCompress,
     /// Successful response to [`Op::Decompress`].
@@ -63,6 +74,12 @@ pub enum Op {
     OkDecompressTile,
     /// Successful response to [`Op::Stats`].
     OkStats,
+    /// Successful response to [`Op::CompressVolume`].
+    OkCompressVolume,
+    /// Successful response to [`Op::DecompressVolume`].
+    OkDecompressVolume,
+    /// Successful response to [`Op::DecompressRegion`].
+    OkDecompressRegion,
     /// Error response to any request: payload is a 2-byte big-endian
     /// [`ErrorCode`] followed by a UTF-8 message.
     Error,
@@ -77,10 +94,16 @@ impl Op {
             Op::Decompress => 0x02,
             Op::DecompressTile => 0x03,
             Op::Stats => 0x04,
+            Op::CompressVolume => 0x05,
+            Op::DecompressVolume => 0x06,
+            Op::DecompressRegion => 0x07,
             Op::OkCompress => 0x81,
             Op::OkDecompress => 0x82,
             Op::OkDecompressTile => 0x83,
             Op::OkStats => 0x84,
+            Op::OkCompressVolume => 0x85,
+            Op::OkDecompressVolume => 0x86,
+            Op::OkDecompressRegion => 0x87,
             Op::Error => 0xFF,
         }
     }
@@ -93,19 +116,34 @@ impl Op {
             0x02 => Some(Op::Decompress),
             0x03 => Some(Op::DecompressTile),
             0x04 => Some(Op::Stats),
+            0x05 => Some(Op::CompressVolume),
+            0x06 => Some(Op::DecompressVolume),
+            0x07 => Some(Op::DecompressRegion),
             0x81 => Some(Op::OkCompress),
             0x82 => Some(Op::OkDecompress),
             0x83 => Some(Op::OkDecompressTile),
             0x84 => Some(Op::OkStats),
+            0x85 => Some(Op::OkCompressVolume),
+            0x86 => Some(Op::OkDecompressVolume),
+            0x87 => Some(Op::OkDecompressRegion),
             0xFF => Some(Op::Error),
             _ => None,
         }
     }
 
-    /// `true` for the four client-to-server request ops.
+    /// `true` for the client-to-server request ops.
     #[must_use]
     pub fn is_request(self) -> bool {
-        matches!(self, Op::Compress | Op::Decompress | Op::DecompressTile | Op::Stats)
+        matches!(
+            self,
+            Op::Compress
+                | Op::Decompress
+                | Op::DecompressTile
+                | Op::Stats
+                | Op::CompressVolume
+                | Op::DecompressVolume
+                | Op::DecompressRegion
+        )
     }
 
     /// The success-response op answering this request op.
@@ -120,20 +158,29 @@ impl Op {
             Op::Decompress => Op::OkDecompress,
             Op::DecompressTile => Op::OkDecompressTile,
             Op::Stats => Op::OkStats,
+            Op::CompressVolume => Op::OkCompressVolume,
+            Op::DecompressVolume => Op::OkDecompressVolume,
+            Op::DecompressRegion => Op::OkDecompressRegion,
             other => panic!("{other:?} is not a request op"),
         }
     }
 
     /// All ops a frame may legally carry, for exhaustive tests.
-    pub const ALL: [Op; 9] = [
+    pub const ALL: [Op; 15] = [
         Op::Compress,
         Op::Decompress,
         Op::DecompressTile,
         Op::Stats,
+        Op::CompressVolume,
+        Op::DecompressVolume,
+        Op::DecompressRegion,
         Op::OkCompress,
         Op::OkDecompress,
         Op::OkDecompressTile,
         Op::OkStats,
+        Op::OkCompressVolume,
+        Op::OkDecompressVolume,
+        Op::OkDecompressRegion,
         Op::Error,
     ];
 }
@@ -416,9 +463,19 @@ mod tests {
         assert_eq!(Op::Decompress.response(), Op::OkDecompress);
         assert_eq!(Op::DecompressTile.response(), Op::OkDecompressTile);
         assert_eq!(Op::Stats.response(), Op::OkStats);
+        assert_eq!(Op::CompressVolume.response(), Op::OkCompressVolume);
+        assert_eq!(Op::DecompressVolume.response(), Op::OkDecompressVolume);
+        assert_eq!(Op::DecompressRegion.response(), Op::OkDecompressRegion);
         assert!(Op::Compress.is_request());
+        assert!(Op::CompressVolume.is_request());
         assert!(!Op::OkCompress.is_request());
+        assert!(!Op::OkCompressVolume.is_request());
         assert!(!Op::Error.is_request());
+        for op in Op::ALL {
+            if op != Op::Error {
+                assert_eq!(op.is_request(), op.code() < 0x80, "{op:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Raw volume payloads on the `LWCP` wire.
+//!
+//! PGM covers single images but has no volumetric form, so the volume ops
+//! carry stacks in a minimal explicit layout (all integers big-endian):
+//!
+//! ```text
+//! offset  field       size
+//! 0       width       4 bytes
+//! 4       height      4 bytes
+//! 8       depth       4 bytes
+//! 12      bit depth   1 byte    1..=16
+//! 13      samples     width * height * depth voxels, slice-major
+//!                     (z outermost, then rows), 1 byte each for bit
+//!                     depths <= 8, otherwise 2 bytes big-endian
+//! ```
+//!
+//! The required byte count follows from the 13-byte header alone and is
+//! checked against the actual payload length — in 128-bit arithmetic, before
+//! any allocation — so a forged header cannot oversize a buffer.
+
+use crate::error::ServerError;
+use crate::protocol::ErrorCode;
+use lwc_image::ImageStack;
+
+/// Serialized size of the fixed raw-volume header, in bytes.
+pub const RAW_VOLUME_HEADER_BYTES: usize = 13;
+
+/// The exact wire size of a `width x height x depth` volume at `bit_depth`.
+#[must_use]
+pub fn raw_volume_len(width: usize, height: usize, depth: usize, bit_depth: u32) -> u128 {
+    let per_sample: u128 = if bit_depth > 8 { 2 } else { 1 };
+    RAW_VOLUME_HEADER_BYTES as u128 + width as u128 * height as u128 * depth as u128 * per_sample
+}
+
+/// Serializes a stack into the raw volume wire format.
+#[must_use]
+pub fn write_raw_volume(stack: &ImageStack) -> Vec<u8> {
+    let wide = stack.bit_depth() > 8;
+    let per_sample = if wide { 2 } else { 1 };
+    let mut bytes = Vec::with_capacity(RAW_VOLUME_HEADER_BYTES + stack.voxel_count() * per_sample);
+    bytes.extend_from_slice(&(stack.width() as u32).to_be_bytes());
+    bytes.extend_from_slice(&(stack.height() as u32).to_be_bytes());
+    bytes.extend_from_slice(&(stack.depth() as u32).to_be_bytes());
+    bytes.push(stack.bit_depth() as u8);
+    for &sample in stack.samples() {
+        if wide {
+            bytes.extend_from_slice(&(sample as u16).to_be_bytes());
+        } else {
+            bytes.push(sample as u8);
+        }
+    }
+    bytes
+}
+
+/// Parses a raw volume payload back into an [`ImageStack`], validating the
+/// payload length against the header before allocating and every sample
+/// against the declared bit depth after.
+///
+/// # Errors
+///
+/// Returns a typed [`ErrorCode::BadPayload`] protocol error for truncated or
+/// padded payloads, zero dimensions, an unsupported bit depth, or
+/// out-of-range samples.
+pub fn read_raw_volume(bytes: &[u8]) -> Result<ImageStack, ServerError> {
+    let bad = |message: String| ServerError::Protocol { code: ErrorCode::BadPayload, message };
+    let header = bytes.get(..RAW_VOLUME_HEADER_BYTES).ok_or_else(|| {
+        bad(format!("raw volume header needs {RAW_VOLUME_HEADER_BYTES} bytes, got {}", bytes.len()))
+    })?;
+    let width = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let height = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    let depth = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    let bit_depth = u32::from(header[12]);
+    if !(1..=16).contains(&bit_depth) {
+        return Err(bad(format!("unsupported bit depth {bit_depth}")));
+    }
+    let need = raw_volume_len(width, height, depth, bit_depth);
+    if need != bytes.len() as u128 {
+        return Err(bad(format!(
+            "a {width}x{height}x{depth} {bit_depth}-bit raw volume is {need} bytes, got {}",
+            bytes.len()
+        )));
+    }
+    let body = &bytes[RAW_VOLUME_HEADER_BYTES..];
+    let samples: Vec<i32> = if bit_depth > 8 {
+        body.chunks_exact(2).map(|pair| i32::from(u16::from_be_bytes([pair[0], pair[1]]))).collect()
+    } else {
+        body.iter().map(|&b| i32::from(b)).collect()
+    };
+    ImageStack::from_samples(width, height, depth, bit_depth, samples)
+        .map_err(|e| bad(format!("invalid raw volume: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_image::synth;
+
+    #[test]
+    fn raw_volumes_roundtrip_both_sample_widths() {
+        for bit_depth in [8, 12] {
+            let stack = synth::ct_volume(21, 17, 5, bit_depth, 3);
+            let bytes = write_raw_volume(&stack);
+            assert_eq!(bytes.len() as u128, raw_volume_len(21, 17, 5, bit_depth));
+            assert_eq!(read_raw_volume(&bytes).unwrap(), stack);
+        }
+    }
+
+    #[test]
+    fn truncation_padding_and_forged_headers_are_typed_errors() {
+        let stack = synth::ct_volume(9, 7, 3, 12, 1);
+        let bytes = write_raw_volume(&stack);
+        for len in [0, 5, RAW_VOLUME_HEADER_BYTES, bytes.len() - 1] {
+            assert!(read_raw_volume(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(read_raw_volume(&padded).is_err());
+        // Forge a gigantic depth: the length check must reject it without
+        // allocating anything of that scale.
+        let mut forged = bytes.clone();
+        forged[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(read_raw_volume(&forged).is_err());
+        // Out-of-range samples for the declared bit depth.
+        let mut shallow = bytes;
+        shallow[12] = 4; // claim 4-bit, but 12-bit samples follow
+        shallow.truncate(RAW_VOLUME_HEADER_BYTES + 9 * 7 * 3); // 4-bit => 1 byte each
+        assert!(read_raw_volume(&shallow).is_err());
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        let mut bytes = vec![0u8; RAW_VOLUME_HEADER_BYTES];
+        bytes[12] = 8;
+        assert!(read_raw_volume(&bytes).is_err());
+    }
+}

@@ -23,15 +23,22 @@ use crate::frame::{into_frame, FrameEvent};
 use crate::protocol::{
     ErrorCode, Frame, FrameHeader, Op, DEFAULT_MAX_PAYLOAD_BYTES, FRAME_HEADER_BYTES,
 };
+use crate::rawvol::{raw_volume_len, read_raw_volume, write_raw_volume};
 use crate::sched::WorkStealing;
 use crate::stats::{Metrics, SchedSnapshot, ServerStats};
 use lwc_coder::bitio::BitReader;
 use lwc_coder::fixedtiled::is_fixed;
 use lwc_coder::tiled::is_tiled;
-use lwc_coder::{FixedHeader, FixedStream, LosslessCodec, StreamHeader, TiledHeader, TiledStream};
+use lwc_coder::{
+    is_volume, FixedHeader, FixedStream, LosslessCodec, StreamHeader, TiledHeader, TiledStream,
+    VolumeHeader, VolumeStream,
+};
 use lwc_image::pgm;
-use lwc_image::{Image, TileGrid};
-use lwc_pipeline::{Codec, TiledCompressor, TiledFixedCompressor, DEFAULT_TILE_SIZE};
+use lwc_image::{BrickGrid, BrickRect, Image, ImageStack, TileGrid, TileRect};
+use lwc_pipeline::{
+    scatter_region, Codec, TiledCompressor, TiledFixedCompressor, VolumeCompressor,
+    DEFAULT_BRICK_DEPTH, DEFAULT_TILE_SIZE,
+};
 use polling::{Event, Poller, NOTIFY_KEY};
 use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
@@ -66,6 +73,11 @@ pub struct ServerConfig {
     /// Square tile size used for `compress` requests (images larger than one
     /// tile produce `LWCT` containers).
     pub tile_size: usize,
+    /// z-axis decomposition depth used for `compress-volume` requests
+    /// (`0` codes every slice independently).
+    pub z_scales: u32,
+    /// Brick depth in slices used for `compress-volume` requests.
+    pub brick_depth: usize,
     /// Per-frame payload ceiling, validated before allocation.
     pub max_payload_bytes: usize,
     /// Event-loop tick and mid-frame patience quantum: a peer that stalls
@@ -86,6 +98,8 @@ impl Default for ServerConfig {
             cache_bytes: 0,
             scales: 4,
             tile_size: DEFAULT_TILE_SIZE,
+            z_scales: 2,
+            brick_depth: DEFAULT_BRICK_DEPTH,
             max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
             read_timeout: Duration::from_millis(100),
             write_timeout: Duration::from_secs(10),
@@ -142,11 +156,70 @@ struct DecodeFan {
     failed: Mutex<Option<(ErrorCode, String)>>,
 }
 
+/// A multi-brick `compress-volume` fanned across workers: each brick task
+/// encodes one payload; the last to finish assembles the `LWCV` container.
+struct VolumeFan {
+    token: usize,
+    request_id: u64,
+    stack: ImageStack,
+    grid: BrickGrid,
+    parts: Mutex<Vec<Option<Vec<u8>>>>,
+    remaining: AtomicUsize,
+    failed: Mutex<Option<(ErrorCode, String)>>,
+}
+
+/// A fanned volumetric decode: each brick task decodes one brick's raw
+/// samples; the last to finish scatters them into the requested box. Serves
+/// both `decompress-volume` (the box is the whole volume) and
+/// `decompress-region` over `LWCV` streams.
+struct VolumeDecodeFan {
+    token: usize,
+    request_id: u64,
+    /// [`Op::OkDecompressVolume`] or [`Op::OkDecompressRegion`].
+    respond_op: Op,
+    /// The `LWCV` container (request prefix stripped; re-parsed per brick —
+    /// the directory makes that a slice lookup, not a scan).
+    stream: Vec<u8>,
+    engine: VolumeCompressor,
+    header: VolumeHeader,
+    grid: BrickGrid,
+    /// The requested box, in volume coordinates.
+    rect: BrickRect,
+    /// Plane-major brick indices covering the box; slot `i` of `parts`
+    /// holds brick `indices[i]`.
+    indices: Vec<usize>,
+    parts: Mutex<Vec<Option<Vec<i32>>>>,
+    remaining: AtomicUsize,
+    failed: Mutex<Option<(ErrorCode, String)>>,
+}
+
+/// A fanned 2-D `decompress-region`: each task decodes one covering tile of
+/// an `LWCT`/`LWCF` directory; the last to finish crops the region out.
+struct RegionFan {
+    token: usize,
+    request_id: u64,
+    /// The container (request prefix stripped).
+    stream: Vec<u8>,
+    /// `true` for `LWCF`, `false` for `LWCT`.
+    fixed: bool,
+    rect: TileRect,
+    bit_depth: u32,
+    grid: TileGrid,
+    /// Row-major tile indices covering the rectangle.
+    indices: Vec<usize>,
+    parts: Mutex<Vec<Option<Image>>>,
+    remaining: AtomicUsize,
+    failed: Mutex<Option<(ErrorCode, String)>>,
+}
+
 /// What worker deques carry: whole requests, or per-tile slices of one.
 enum Task {
     Request(Job),
     CompressTile { fan: Arc<CompressFan>, index: usize },
     DecodeTile { fan: Arc<DecodeFan>, index: usize },
+    VolumeBrick { fan: Arc<VolumeFan>, index: usize },
+    VolumeDecodeBrick { fan: Arc<VolumeDecodeFan>, slot: usize },
+    RegionTile { fan: Arc<RegionFan>, slot: usize },
 }
 
 /// A finished response traveling from a worker back to the I/O thread.
@@ -158,6 +231,7 @@ struct Completion {
 struct Shared {
     config: ServerConfig,
     engine: TiledCompressor,
+    volume_engine: VolumeCompressor,
     sched: WorkStealing<Task>,
     metrics: Metrics,
     cache: Option<Mutex<ResponseCache>>,
@@ -244,6 +318,14 @@ impl Server {
         // parallelism lives across tasks, not inside one.
         let codec = LosslessCodec::new(config.scales).map_err(ServerError::from)?;
         let engine = TiledCompressor::with_codec(codec, config.tile_size, config.tile_size, 1)?;
+        let volume_engine = VolumeCompressor::with_codec(
+            codec,
+            config.z_scales,
+            config.tile_size,
+            config.tile_size,
+            config.brick_depth,
+            1,
+        )?;
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -252,6 +334,7 @@ impl Server {
         let shared = Arc::new(Shared {
             config,
             engine,
+            volume_engine,
             sched: WorkStealing::new(config.workers),
             metrics: Metrics::default(),
             cache: (config.cache_entries > 0)
@@ -690,6 +773,9 @@ fn run_task(shared: &Arc<Shared>, worker: usize, task: Task) {
         Task::Request(job) => run_request(shared, worker, job),
         Task::CompressTile { fan, index } => run_compress_tile(shared, &fan, index),
         Task::DecodeTile { fan, index } => run_decode_tile(shared, &fan, index),
+        Task::VolumeBrick { fan, index } => run_volume_brick(shared, &fan, index),
+        Task::VolumeDecodeBrick { fan, slot } => run_volume_decode_brick(shared, &fan, slot),
+        Task::RegionTile { fan, slot } => run_region_tile(shared, &fan, slot),
     }
 }
 
@@ -787,7 +873,192 @@ fn try_fan_out(shared: &Arc<Shared>, worker: usize, job: Job) -> Result<(), Job>
             }
             Ok(())
         }
+        Op::CompressVolume => {
+            let Ok(stack) = read_raw_volume(&job.payload) else { return Err(job) };
+            let Ok(grid) = shared.volume_engine.grid(stack.width(), stack.height(), stack.depth())
+            else {
+                return Err(job);
+            };
+            if grid.brick_count() < 2 {
+                return Err(job);
+            }
+            let bricks = grid.brick_count();
+            let fan = Arc::new(VolumeFan {
+                token: job.token,
+                request_id: job.request_id,
+                stack,
+                grid,
+                parts: Mutex::new(vec![None; bricks]),
+                remaining: AtomicUsize::new(bricks),
+                failed: Mutex::new(None),
+            });
+            for index in 0..bricks {
+                shared.sched.push_local(worker, Task::VolumeBrick { fan: Arc::clone(&fan), index });
+            }
+            Ok(())
+        }
+        Op::DecompressVolume => {
+            let Some((engine, header, grid)) = probe_volume(&job.payload) else { return Err(job) };
+            let whole = BrickRect {
+                plane: TileRect { x: 0, y: 0, width: header.width, height: header.height },
+                z: 0,
+                depth: header.depth,
+            };
+            let Some(indices) = grid.covering_indices(whole) else { return Err(job) };
+            if indices.len() < 2
+                || ensure_volume_response_fits(
+                    shared,
+                    header.width,
+                    header.height,
+                    header.depth,
+                    header.bit_depth,
+                )
+                .is_err()
+            {
+                return Err(job);
+            }
+            fan_volume_decode(
+                shared,
+                worker,
+                &job,
+                Op::OkDecompressVolume,
+                job.payload.clone(),
+                engine,
+                header,
+                grid,
+                whole,
+                indices,
+            );
+            Ok(())
+        }
+        Op::DecompressRegion => {
+            let Ok((rect, stream_bytes)) = split_region_request(&job.payload) else {
+                return Err(job);
+            };
+            if is_volume(stream_bytes) {
+                let Some((engine, header, grid)) = probe_volume(stream_bytes) else {
+                    return Err(job);
+                };
+                let Some(indices) = grid.covering_indices(rect) else { return Err(job) };
+                if indices.len() < 2
+                    || ensure_volume_response_fits(
+                        shared,
+                        rect.plane.width,
+                        rect.plane.height,
+                        rect.depth,
+                        header.bit_depth,
+                    )
+                    .is_err()
+                {
+                    return Err(job);
+                }
+                fan_volume_decode(
+                    shared,
+                    worker,
+                    &job,
+                    Op::OkDecompressRegion,
+                    stream_bytes.to_vec(),
+                    engine,
+                    header,
+                    grid,
+                    rect,
+                    indices,
+                );
+                return Ok(());
+            }
+            // 2-D containers: the region must be a single slice.
+            if rect.z != 0 || rect.depth != 1 {
+                return Err(job);
+            }
+            let probe = if is_tiled(stream_bytes) {
+                TiledStream::parse(stream_bytes).ok().and_then(|s| {
+                    let h = *s.header();
+                    s.grid().ok().map(|g| (false, h.bit_depth, g))
+                })
+            } else if is_fixed(stream_bytes) {
+                FixedStream::parse(stream_bytes).ok().and_then(|s| {
+                    let h = *s.header();
+                    s.grid().ok().map(|g| (true, h.bit_depth, g))
+                })
+            } else {
+                None
+            };
+            let Some((fixed, bit_depth, grid)) = probe else { return Err(job) };
+            let Some(indices) = grid.covering_indices(rect.plane) else { return Err(job) };
+            if indices.len() < 2
+                || ensure_response_fits(shared, rect.plane.width, rect.plane.height, bit_depth)
+                    .is_err()
+            {
+                return Err(job);
+            }
+            let slots = indices.len();
+            let fan = Arc::new(RegionFan {
+                token: job.token,
+                request_id: job.request_id,
+                stream: stream_bytes.to_vec(),
+                fixed,
+                rect: rect.plane,
+                bit_depth,
+                grid,
+                indices,
+                parts: Mutex::new(vec![None; slots]),
+                remaining: AtomicUsize::new(slots),
+                failed: Mutex::new(None),
+            });
+            for slot in 0..slots {
+                shared.sched.push_local(worker, Task::RegionTile { fan: Arc::clone(&fan), slot });
+            }
+            Ok(())
+        }
         _ => Err(job),
+    }
+}
+
+/// Parses an `LWCV` payload into the header-matched single-threaded engine
+/// and the grid; `None` hands the request to the direct path for its typed
+/// error.
+fn probe_volume(bytes: &[u8]) -> Option<(VolumeCompressor, VolumeHeader, BrickGrid)> {
+    if !is_volume(bytes) {
+        return None;
+    }
+    let stream = VolumeStream::parse(bytes).ok()?;
+    let header = *stream.header();
+    let grid = stream.grid().ok()?;
+    let engine = volume_engine_for(&header).ok()?;
+    Some((engine, header, grid))
+}
+
+/// Queues the per-brick decode tasks of a volumetric fan.
+#[allow(clippy::too_many_arguments)]
+fn fan_volume_decode(
+    shared: &Arc<Shared>,
+    worker: usize,
+    job: &Job,
+    respond_op: Op,
+    stream: Vec<u8>,
+    engine: VolumeCompressor,
+    header: VolumeHeader,
+    grid: BrickGrid,
+    rect: BrickRect,
+    indices: Vec<usize>,
+) {
+    let slots = indices.len();
+    let fan = Arc::new(VolumeDecodeFan {
+        token: job.token,
+        request_id: job.request_id,
+        respond_op,
+        stream,
+        engine,
+        header,
+        grid,
+        rect,
+        indices,
+        parts: Mutex::new(vec![None; slots]),
+        remaining: AtomicUsize::new(slots),
+        failed: Mutex::new(None),
+    });
+    for slot in 0..slots {
+        shared.sched.push_local(worker, Task::VolumeDecodeBrick { fan: Arc::clone(&fan), slot });
     }
 }
 
@@ -896,6 +1167,193 @@ fn finish_decode(shared: &Arc<Shared>, fan: &Arc<DecodeFan>) {
     }
 }
 
+/// Encodes one brick of a fanned-out compress-volume; the last finisher
+/// assembles the `LWCV` container.
+fn run_volume_brick(shared: &Arc<Shared>, fan: &Arc<VolumeFan>, index: usize) {
+    if fan.failed.lock().expect("poisoned").is_none() {
+        match shared.volume_engine.encode_brick(&fan.stack, &fan.grid, index) {
+            Ok(bytes) => fan.parts.lock().expect("poisoned")[index] = Some(bytes),
+            Err(e) => {
+                let mut failed = fan.failed.lock().expect("poisoned");
+                if failed.is_none() {
+                    *failed = Some((ErrorCode::Internal, format!("compression failed: {e}")));
+                }
+            }
+        }
+    }
+    if fan.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_volume_compress(shared, fan);
+    }
+}
+
+/// Assembles the `LWCV` container from the fanned brick payloads —
+/// byte-identical to the sequential engine, which is built on the same
+/// per-brick encode and container writer.
+fn finish_volume_compress(shared: &Arc<Shared>, fan: &Arc<VolumeFan>) {
+    if let Some((code, message)) = fan.failed.lock().expect("poisoned").take() {
+        respond_error(shared, fan.token, fan.request_id, code, &message);
+        return;
+    }
+    let parts = std::mem::take(&mut *fan.parts.lock().expect("poisoned"));
+    let payloads: Vec<Vec<u8>> =
+        parts.into_iter().map(|p| p.expect("every brick encoded")).collect();
+    let outcome = shared
+        .volume_engine
+        .assemble_container(&fan.grid, fan.stack.bit_depth(), &payloads)
+        .map_err(|e| (ErrorCode::Internal, format!("compression failed: {e}")))
+        .and_then(|bytes| ensure_frame_fits(shared, bytes));
+    match outcome {
+        Ok(response) => {
+            respond_ok(shared, fan.token, Op::OkCompressVolume, fan.request_id, response);
+        }
+        Err((code, message)) => respond_error(shared, fan.token, fan.request_id, code, &message),
+    }
+}
+
+/// Decodes one brick of a fanned-out volumetric decode (whole volume or
+/// region); the last finisher scatters.
+fn run_volume_decode_brick(shared: &Arc<Shared>, fan: &Arc<VolumeDecodeFan>, slot: usize) {
+    if fan.failed.lock().expect("poisoned").is_none() {
+        let bad = |e: String| (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"));
+        let result =
+            VolumeStream::parse(&fan.stream).map_err(|e| bad(e.to_string())).and_then(|stream| {
+                fan.engine
+                    .decode_brick_samples(&stream, &fan.grid, fan.indices[slot])
+                    .map_err(|e| bad(e.to_string()))
+            });
+        match result {
+            Ok(samples) => fan.parts.lock().expect("poisoned")[slot] = Some(samples),
+            Err(em) => {
+                let mut failed = fan.failed.lock().expect("poisoned");
+                if failed.is_none() {
+                    *failed = Some(em);
+                }
+            }
+        }
+    }
+    if fan.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_volume_decode(shared, fan);
+    }
+}
+
+/// Scatters the fanned brick samples into the requested region and
+/// serializes the raw-volume response — the same scatter the sequential
+/// volumetric decode performs.
+fn finish_volume_decode(shared: &Arc<Shared>, fan: &Arc<VolumeDecodeFan>) {
+    if let Some((code, message)) = fan.failed.lock().expect("poisoned").take() {
+        respond_error(shared, fan.token, fan.request_id, code, &message);
+        return;
+    }
+    let parts = std::mem::take(&mut *fan.parts.lock().expect("poisoned"));
+    let internal = |e: String| (ErrorCode::Internal, format!("decompression failed: {e}"));
+    let rect = fan.rect;
+    let mut region = vec![0i32; rect.plane.width * rect.plane.height * rect.depth];
+    for (slot, samples) in parts.into_iter().enumerate() {
+        let samples = samples.expect("every brick decoded");
+        scatter_region(&mut region, rect, fan.grid.rect(fan.indices[slot]), &samples);
+    }
+    let outcome = ImageStack::from_samples(
+        rect.plane.width,
+        rect.plane.height,
+        rect.depth,
+        fan.header.bit_depth,
+        region,
+    )
+    .map_err(|e| internal(e.to_string()))
+    .map(|stack| write_raw_volume(&stack))
+    .and_then(|bytes| ensure_frame_fits(shared, bytes));
+    match outcome {
+        Ok(response) => {
+            respond_ok(shared, fan.token, fan.respond_op, fan.request_id, response);
+        }
+        Err((code, message)) => respond_error(shared, fan.token, fan.request_id, code, &message),
+    }
+}
+
+/// Decodes one covering tile of a fanned-out 2-D region request; the last
+/// finisher crops and assembles.
+fn run_region_tile(shared: &Arc<Shared>, fan: &Arc<RegionFan>, slot: usize) {
+    if fan.failed.lock().expect("poisoned").is_none() {
+        let bad =
+            |e: ServerError| (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"));
+        let index = fan.indices[slot];
+        let result = if fan.fixed {
+            FixedStream::parse(&fan.stream).map_err(|e| bad(e.into())).and_then(|stream| {
+                let engine = fixed_engine(stream.header()).map_err(bad)?;
+                engine.decompress_parsed_tile(&stream, index).map_err(|e| bad(e.into()))
+            })
+        } else {
+            TiledStream::parse(&fan.stream).map_err(|e| bad(e.into())).and_then(|stream| {
+                let engine = tiled_engine(stream.header()).map_err(bad)?;
+                engine.decompress_parsed_tile(&stream, index).map_err(|e| bad(e.into()))
+            })
+        };
+        match result {
+            Ok(tile) => fan.parts.lock().expect("poisoned")[slot] = Some(tile),
+            Err(em) => {
+                let mut failed = fan.failed.lock().expect("poisoned");
+                if failed.is_none() {
+                    *failed = Some(em);
+                }
+            }
+        }
+    }
+    if fan.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_region(shared, fan);
+    }
+}
+
+/// Crops the covering tiles to the requested rectangle, assembles the region
+/// image and serializes the PGM response.
+fn finish_region(shared: &Arc<Shared>, fan: &Arc<RegionFan>) {
+    if let Some((code, message)) = fan.failed.lock().expect("poisoned").take() {
+        respond_error(shared, fan.token, fan.request_id, code, &message);
+        return;
+    }
+    let parts = std::mem::take(&mut *fan.parts.lock().expect("poisoned"));
+    let internal = |e: String| (ErrorCode::Internal, format!("decompression failed: {e}"));
+    let rect = fan.rect;
+    let mut region = vec![0i32; rect.width * rect.height];
+    for (slot, tile) in parts.into_iter().enumerate() {
+        let tile = tile.expect("every tile decoded");
+        copy_tile_into_region(&mut region, rect, fan.grid.rect(fan.indices[slot]), &tile);
+    }
+    let outcome = Image::from_samples(rect.width, rect.height, fan.bit_depth, region)
+        .map_err(|e| internal(e.to_string()))
+        .and_then(|image| encode_pgm(&image))
+        .and_then(|bytes| ensure_frame_fits(shared, bytes));
+    match outcome {
+        Ok(response) => {
+            respond_ok(shared, fan.token, Op::OkDecompressRegion, fan.request_id, response);
+        }
+        Err((code, message)) => respond_error(shared, fan.token, fan.request_id, code, &message),
+    }
+}
+
+/// Copies the intersection of a decoded tile with the requested rectangle
+/// into the region buffer (region-local coordinates). Tiles that miss the
+/// rectangle entirely are a no-op, so callers can scatter any covering set.
+fn copy_tile_into_region(
+    region: &mut [i32],
+    want: TileRect,
+    tile_rect: TileRect,
+    tile: &lwc_image::Image,
+) {
+    let x0 = want.x.max(tile_rect.x);
+    let y0 = want.y.max(tile_rect.y);
+    let x1 = want.right().min(tile_rect.right());
+    let y1 = want.bottom().min(tile_rect.bottom());
+    if x0 >= x1 || y0 >= y1 {
+        return;
+    }
+    for y in y0..y1 {
+        let src_off = (y - tile_rect.y) * tile_rect.width + (x0 - tile_rect.x);
+        let dst_off = (y - want.y) * want.width + (x0 - want.x);
+        let n = x1 - x0;
+        region[dst_off..dst_off + n].copy_from_slice(&tile.samples()[src_off..src_off + n]);
+    }
+}
+
 /// Inserts a successful cacheable response into the hot-response cache.
 fn cache_insert(shared: &Arc<Shared>, op: Op, payload: &[u8], response: &[u8]) {
     if !matches!(op, Op::Compress | Op::Decompress) {
@@ -959,6 +1417,12 @@ fn execute(shared: &Shared, op: Op, payload: &[u8]) -> Result<Vec<u8>, (ErrorCod
             let bad = |e: ServerError| {
                 (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"))
             };
+            if is_volume(payload) {
+                return Err((
+                    ErrorCode::BadPayload,
+                    "stream is a volumetric LWCV container: use decompress-volume".to_owned(),
+                ));
+            }
             // Check the response size from the header dimensions before any
             // decode work — a stream whose pixels cannot fit one response
             // frame is refused up front (see `ensure_response_fits`).
@@ -985,6 +1449,12 @@ fn execute(shared: &Shared, op: Op, payload: &[u8]) -> Result<Vec<u8>, (ErrorCod
             let bad = |e: ServerError| {
                 (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"))
             };
+            if is_volume(stream_bytes) {
+                return Err((
+                    ErrorCode::BadPayload,
+                    "stream is a volumetric LWCV container: use decompress-region".to_owned(),
+                ));
+            }
             // One container parse serves the range check, the size check,
             // the engine parameters and the tile decode.
             let tile = if is_tiled(stream_bytes) {
@@ -1031,8 +1501,140 @@ fn execute(shared: &Shared, op: Op, payload: &[u8]) -> Result<Vec<u8>, (ErrorCod
             };
             encode_pgm(&tile)
         }
+        Op::CompressVolume => {
+            let stack = read_raw_volume(payload)
+                .map_err(|e| (ErrorCode::BadPayload, format!("invalid raw volume payload: {e}")))?;
+            shared
+                .volume_engine
+                .compress_stack(&stack)
+                .map_err(|e| (ErrorCode::Internal, format!("compression failed: {e}")))
+        }
+        Op::DecompressVolume => {
+            let bad =
+                |e: String| (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"));
+            if !is_volume(payload) {
+                return Err(bad("not an LWCV container".to_owned()));
+            }
+            // Check the response size from the header dimensions before any
+            // decode work, exactly as the 2-D path does.
+            let stream = VolumeStream::parse(payload).map_err(|e| bad(e.to_string()))?;
+            let header = *stream.header();
+            ensure_volume_response_fits(
+                shared,
+                header.width,
+                header.height,
+                header.depth,
+                header.bit_depth,
+            )?;
+            let engine = volume_engine_for(&header).map_err(|e| bad(e.to_string()))?;
+            let stack = engine.decompress_stack(payload).map_err(|e| bad(e.to_string()))?;
+            Ok(write_raw_volume(&stack))
+        }
+        Op::DecompressRegion => {
+            let (rect, stream_bytes) = split_region_request(payload)?;
+            if is_volume(stream_bytes) {
+                let bad =
+                    |e: String| (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"));
+                let stream = VolumeStream::parse(stream_bytes).map_err(|e| bad(e.to_string()))?;
+                let header = *stream.header();
+                ensure_volume_response_fits(
+                    shared,
+                    rect.plane.width,
+                    rect.plane.height,
+                    rect.depth,
+                    header.bit_depth,
+                )?;
+                let engine = volume_engine_for(&header).map_err(|e| bad(e.to_string()))?;
+                let stack = engine
+                    .decompress_region(stream_bytes, rect)
+                    .map_err(|e| (ErrorCode::BadPayload, format!("region decode failed: {e}")))?;
+                return Ok(write_raw_volume(&stack));
+            }
+            if rect.z != 0 || rect.depth != 1 {
+                return Err((
+                    ErrorCode::BadPayload,
+                    format!(
+                        "a 2-D stream holds a single slice: the region must have z = 0 and \
+                         depth = 1, got z = {} depth = {}",
+                        rect.z, rect.depth
+                    ),
+                ));
+            }
+            let image = decompress_region_2d(shared, rect.plane, stream_bytes)?;
+            encode_pgm(&image)
+        }
         Op::Stats => Ok(shared.stats().to_json().into_bytes()),
         other => Err((ErrorCode::UnknownOp, format!("{other:?} is not a request op"))),
+    }
+}
+
+/// Decodes the minimal covering tile set of a 2-D region request
+/// sequentially and crops it to the rectangle (the direct, non-fanned
+/// region path; also the only 2-D region path for legacy `LWC1` streams,
+/// which are a single tile).
+fn decompress_region_2d(
+    shared: &Shared,
+    rect: TileRect,
+    stream_bytes: &[u8],
+) -> Result<lwc_image::Image, (ErrorCode, String)> {
+    let bad = |e: ServerError| (ErrorCode::BadPayload, format!("invalid compressed payload: {e}"));
+    let region_err = |w: usize, h: usize| {
+        (
+            ErrorCode::BadPayload,
+            format!(
+                "region out of bounds: {}x{} at ({}, {}) exceeds the {w}x{h} image",
+                rect.width, rect.height, rect.x, rect.y
+            ),
+        )
+    };
+    let (bit_depth, grid, indices) = if is_tiled(stream_bytes) {
+        let stream = TiledStream::parse(stream_bytes).map_err(|e| bad(e.into()))?;
+        let header = *stream.header();
+        let grid = stream.grid().map_err(|e| bad(e.into()))?;
+        let indices =
+            grid.covering_indices(rect).ok_or_else(|| region_err(header.width, header.height))?;
+        (header.bit_depth, grid, indices)
+    } else if is_fixed(stream_bytes) {
+        let stream = FixedStream::parse(stream_bytes).map_err(|e| bad(e.into()))?;
+        let header = *stream.header();
+        let grid = stream.grid().map_err(|e| bad(e.into()))?;
+        let indices =
+            grid.covering_indices(rect).ok_or_else(|| region_err(header.width, header.height))?;
+        (header.bit_depth, grid, indices)
+    } else {
+        // A legacy LWC1 stream is a single tile covering the whole image.
+        let header =
+            StreamHeader::read(&mut BitReader::new(stream_bytes)).map_err(|e| bad(e.into()))?;
+        let grid = TileGrid::new(header.width, header.height, header.width, header.height)
+            .map_err(|e| bad(e.into()))?;
+        let indices =
+            grid.covering_indices(rect).ok_or_else(|| region_err(header.width, header.height))?;
+        (header.bit_depth, grid, indices)
+    };
+    ensure_response_fits(shared, rect.width, rect.height, bit_depth)?;
+    let mut region = vec![0i32; rect.width * rect.height];
+    for index in indices {
+        let tile = if is_tiled(stream_bytes) || is_fixed(stream_bytes) {
+            decompress_tile_auto(stream_bytes, index).map_err(bad)?
+        } else {
+            decompress_auto(stream_bytes).map_err(bad)?
+        };
+        copy_tile_into_region(&mut region, rect, grid.rect(index), &tile);
+    }
+    Image::from_samples(rect.width, rect.height, bit_depth, region)
+        .map_err(|e| (ErrorCode::Internal, format!("decompression failed: {e}")))
+}
+
+/// Decodes one tile of a tiled or fixed container, header-driven.
+fn decompress_tile_auto(bytes: &[u8], index: usize) -> Result<lwc_image::Image, ServerError> {
+    if is_fixed(bytes) {
+        let stream = FixedStream::parse(bytes)?;
+        let engine = fixed_engine(stream.header())?;
+        Ok(engine.decompress_parsed_tile(&stream, index)?)
+    } else {
+        let stream = TiledStream::parse(bytes)?;
+        let engine = tiled_engine(stream.header())?;
+        Ok(engine.decompress_parsed_tile(&stream, index)?)
     }
 }
 
@@ -1098,6 +1700,79 @@ fn tiled_engine(header: &TiledHeader) -> Result<TiledCompressor, ServerError> {
 /// header.
 fn fixed_engine(header: &FixedHeader) -> Result<TiledFixedCompressor, ServerError> {
     Ok(TiledFixedCompressor::for_stream(header, 1)?)
+}
+
+/// Single-threaded volumetric engine with the parameters of a parsed `LWCV`
+/// header — decompression always follows the stream's own parameters, never
+/// the server's configured ones.
+fn volume_engine_for(header: &VolumeHeader) -> Result<VolumeCompressor, ServerError> {
+    let codec = LosslessCodec::new(header.scales)?;
+    Ok(VolumeCompressor::with_codec(
+        codec,
+        header.z_scales,
+        header.tile_width,
+        header.tile_height,
+        header.brick_depth,
+        1,
+    )?)
+}
+
+/// Refuses a volumetric decode whose raw-volume response could not fit one
+/// frame under the server's payload limit — checked from the header
+/// dimensions before any decode work, the 3-D analogue of
+/// [`ensure_response_fits`].
+fn ensure_volume_response_fits(
+    shared: &Shared,
+    width: usize,
+    height: usize,
+    depth: usize,
+    bit_depth: u32,
+) -> Result<(), (ErrorCode, String)> {
+    let need = raw_volume_len(width, height, depth, bit_depth);
+    if need > shared.config.max_payload_bytes as u128 {
+        return Err((
+            ErrorCode::FrameTooLarge,
+            format!(
+                "a {width}x{height}x{depth} {bit_depth}-bit volume decompresses to ~{need} \
+                 response bytes, beyond the {}-byte frame limit (raise --max-frame-mb, request \
+                 a region, or decode locally)",
+                shared.config.max_payload_bytes
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Splits a `decompress-region` payload into the requested rectangle and the
+/// compressed stream. The 24-byte prefix is six `u32` big-endian fields:
+/// x, y, z, width, height, depth.
+fn split_region_request(payload: &[u8]) -> Result<(BrickRect, &[u8]), (ErrorCode, String)> {
+    let prefix: &[u8; 24] = payload.get(..24).and_then(|b| b.try_into().ok()).ok_or_else(|| {
+        (
+            ErrorCode::BadPayload,
+            "decompress-region payload must start with a 24-byte rectangle \
+             (six u32 BE: x, y, z, width, height, depth)"
+                .to_owned(),
+        )
+    })?;
+    let word = |i: usize| {
+        u32::from_be_bytes(prefix[4 * i..4 * i + 4].try_into().expect("4 bytes")) as usize
+    };
+    let rect = BrickRect {
+        plane: TileRect { x: word(0), y: word(1), width: word(3), height: word(4) },
+        z: word(2),
+        depth: word(5),
+    };
+    if rect.plane.width == 0 || rect.plane.height == 0 || rect.depth == 0 {
+        return Err((
+            ErrorCode::BadPayload,
+            format!(
+                "region dimensions must be nonzero, got {}x{}x{}",
+                rect.plane.width, rect.plane.height, rect.depth
+            ),
+        ));
+    }
+    Ok((rect, &payload[24..]))
 }
 
 /// Builds a single-threaded [`Codec`] matching the stream's own parameters —

@@ -372,3 +372,75 @@ fn graceful_shutdown_disconnects_clients_and_joins_threads() {
     // Shutdown is idempotent (and runs again harmlessly on drop).
     server.shutdown();
 }
+
+#[test]
+fn volume_ops_roundtrip_across_worker_counts_with_identical_bytes() {
+    // compress-volume / decompress-volume over loopback: the stream bytes
+    // must not depend on the worker count (brick fan-out included), and the
+    // decoded voxels must match the input exactly.
+    let stack = synth::ct_volume(48, 40, 12, 12, 31);
+    let mut reference: Option<Vec<u8>> = None;
+    for workers in [1usize, 2, 4] {
+        let server = test_server(workers, 8);
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let stream = client.compress_volume(&stack).expect("compress-volume");
+        match &reference {
+            None => reference = Some(stream.clone()),
+            Some(bytes) => {
+                assert_eq!(&stream, bytes, "LWCV bytes changed with {workers} workers")
+            }
+        }
+        let back = client.decompress_volume(&stream).expect("decompress-volume");
+        assert_eq!(back.samples(), stack.samples(), "lossy at {workers} workers");
+        assert_eq!((back.width(), back.height(), back.depth()), (48, 40, 12));
+    }
+}
+
+#[test]
+fn region_ops_serve_crops_of_both_2d_and_volume_streams() {
+    let server = test_server(2, 8);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // 2-D region: a rectangle straddling tile boundaries of an LWCT stream
+    // (test_server uses 32-pixel tiles) comes back equal to the source crop.
+    let image = synth::ct_phantom(80, 60, 12, 3);
+    let stream = client.compress_image(&image).expect("compress");
+    let region = client.decompress_region_image(&stream, 17, 9, 50, 40).expect("region");
+    for y in 0..40 {
+        for x in 0..50 {
+            assert_eq!(region.get(x, y), image.get(17 + x, 9 + y), "pixel ({x}, {y})");
+        }
+    }
+
+    // Volumetric region: a cuboid straddling brick boundaries of an LWCV
+    // stream equals the source crop voxel for voxel.
+    let stack = synth::ct_volume(48, 40, 12, 12, 8);
+    let vstream = client.compress_volume(&stack).expect("compress-volume");
+    let rect = BrickRect { plane: TileRect { x: 11, y: 7, width: 30, height: 25 }, z: 5, depth: 6 };
+    let crop = client.decompress_region_volume(&vstream, rect).expect("volume region");
+    for z in 0..rect.depth {
+        let want = stack.slice(rect.z + z).expect("source slice");
+        let got = crop.slice(z).expect("crop slice");
+        for y in 0..rect.plane.height {
+            for x in 0..rect.plane.width {
+                assert_eq!(
+                    got.get(x, y),
+                    want.get(rect.plane.x + x, rect.plane.y + y),
+                    "voxel ({x}, {y}, {z})"
+                );
+            }
+        }
+    }
+
+    // Typed errors: an out-of-bounds cuboid, a multi-slice region of a 2-D
+    // stream, and a volume stream sent to the 2-D decompress op.
+    let bad_rect =
+        BrickRect { plane: TileRect { x: 40, y: 0, width: 20, height: 10 }, z: 0, depth: 1 };
+    let err = client.decompress_region_volume(&vstream, bad_rect).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+    let deep = BrickRect { plane: TileRect { x: 0, y: 0, width: 8, height: 8 }, z: 0, depth: 2 };
+    let err = client.decompress_region_volume(&stream, deep).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+    let err = client.decompress(&vstream).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+}
