@@ -1,0 +1,138 @@
+//! `lwc-batch` — directory-walking batch compression CLI.
+//!
+//! Walks a directory of DICOM/PGM files, fans every frame through the
+//! inter-image [`BatchCompressor`], and prints a per-file table (ratio,
+//! PSNR, SSIM, L∞) followed by the per-modality roll-up of the corpus
+//! harness.
+//!
+//! ```text
+//! cargo run --release -p lwc-bench --bin lwc-batch -- <dir> [--delta N] [--workers N]
+//! ```
+//!
+//! With no directory argument the corpus root resolves like `reproduce
+//! corpus` does: `LWC_CORPUS_DIR`, then the in-tree `fixtures/corpus`, then
+//! a deterministic fixture corpus generated under the temp directory.
+//! `--delta` sets the near-lossless bound (default 0, lossless); every
+//! reconstruction is verified against it before anything is printed.
+
+use lwc_bench::corpus;
+use lwc_core::prelude::*;
+
+fn usage() -> ! {
+    eprintln!("usage: lwc-batch [DIR] [--delta N] [--workers N]");
+    eprintln!("  DIR        corpus directory (default: resolved fixture corpus)");
+    eprintln!("  --delta N  near-lossless per-pixel bound, 0 = lossless (default 0)");
+    eprintln!("  --workers N  batch worker threads, 0 = auto (default 0)");
+    std::process::exit(2);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dir: Option<String> = None;
+    let mut delta: u8 = 0;
+    let mut workers: usize = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--delta" => {
+                delta = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--workers" => {
+                workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => {
+                if dir.replace(other.to_owned()).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+
+    let root = corpus::resolve_root(dir.as_deref())?;
+    let paths = corpus::discover(&root)?;
+    if paths.is_empty() {
+        return Err(format!("no DICOM/PGM corpus files under {}", root.display()).into());
+    }
+    println!(
+        "lwc-batch: {} files under {} (δ = {delta}, {} scales)",
+        paths.len(),
+        root.display(),
+        corpus::CORPUS_SCALES
+    );
+
+    let codec = LosslessCodec::near_lossless(corpus::CORPUS_SCALES, delta)?;
+    let batch = BatchCompressor::with_codec(codec, workers);
+    println!(
+        "{:<40} {:>6} {:>11} {:>11} {:>8} {:>10} {:>7} {:>4}",
+        "file", "frames", "raw B", "coded B", "ratio", "PSNR", "SSIM", "L∞"
+    );
+    for path in &paths {
+        let file = corpus::load(path)?;
+        let (streams, _) = batch.compress_batch(&file.frames)?;
+        let (decoded, _) = batch.decompress_batch(&streams)?;
+        let mut raw: u64 = 0;
+        let mut coded: u64 = 0;
+        let mut sq_error = 0.0f64;
+        let mut samples: u64 = 0;
+        let mut bit_depth = 0u32;
+        let mut ssim_sum = 0.0f64;
+        let mut worst = 0i32;
+        for (frame, (stream, back)) in file.frames.iter().zip(streams.iter().zip(&decoded)) {
+            let fid = metrics::fidelity(frame, back)?;
+            if fid.max_abs_error > i32::from(delta) {
+                return Err(format!(
+                    "{}: reconstruction error {} exceeds δ={delta}",
+                    path.display(),
+                    fid.max_abs_error
+                )
+                .into());
+            }
+            raw += metrics::raw_bytes(frame.pixel_count() as u64, frame.bit_depth());
+            coded += stream.len() as u64;
+            sq_error += metrics::mse(frame, back)? * frame.pixel_count() as f64;
+            samples += frame.pixel_count() as u64;
+            bit_depth = bit_depth.max(frame.bit_depth());
+            ssim_sum += fid.ssim;
+            worst = worst.max(fid.max_abs_error);
+        }
+        let psnr = metrics::psnr_from_mse(sq_error / samples as f64, bit_depth);
+        let name = path.strip_prefix(&root).unwrap_or(path).display().to_string();
+        println!(
+            "{:<40} {:>6} {:>11} {:>11} {:>7.3}:1 {:>10} {:>7.4} {:>4}",
+            name,
+            file.frames.len(),
+            raw,
+            coded,
+            raw as f64 / coded as f64,
+            if psnr.is_finite() { format!("{psnr:.2} dB") } else { "lossless".to_owned() },
+            ssim_sum / file.frames.len() as f64,
+            worst,
+        );
+    }
+
+    println!("\nper-modality roll-up:");
+    println!(
+        "{:<10} {:>5} {:>6} {:>11} {:>11} {:>8} {:>10} {:>7} {:>4}",
+        "modality", "files", "frames", "raw B", "coded B", "ratio", "PSNR", "SSIM", "L∞"
+    );
+    for row in corpus::evaluate(&root, delta, workers)? {
+        println!(
+            "{:<10} {:>5} {:>6} {:>11} {:>11} {:>7.3}:1 {:>10} {:>7.4} {:>4}",
+            row.modality,
+            row.files,
+            row.frames,
+            row.raw_bytes,
+            row.compressed_bytes,
+            row.ratio,
+            if row.psnr_db.is_finite() {
+                format!("{:.2} dB", row.psnr_db)
+            } else {
+                "lossless".to_owned()
+            },
+            row.ssim,
+            row.max_abs_error,
+        );
+    }
+    Ok(())
+}

@@ -37,6 +37,7 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("fixed-codec", "paper-exact fixed-path codec smoke (LWCF) [size]"),
     ("serve", "loopback compression service + load generator [connections]"),
     ("volume", "volumetric 3-D engine vs per-slice 2-D coding [size]"),
+    ("corpus", "real-corpus DICOM/PGM ratio-vs-PSNR harness [dir]"),
     ("all", "every paper artifact above"),
 ];
 
@@ -63,6 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "fixed-codec" => fixed_codec(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096))?,
         "serve" => serve(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4))?,
         "volume" => volume(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(96))?,
+        "corpus" => corpus(args.get(1).map(String::as_str))?,
         "all" => {
             table1();
             table2();
@@ -680,17 +682,113 @@ fn perfjson(size: usize) -> Result<(), Box<dyn std::error::Error>> {
         vol_raw as f64 / vol_reference.len() as f64,
         vol_raw as f64 / per_slice_bytes as f64,
     );
-    json.push_str("  }\n");
+    json.push_str("  },\n");
+
+    // Real-corpus harness: the DICOM/PGM rate-vs-distortion sweep on the
+    // deterministic fixture corpus (or LWC_CORPUS_DIR), per modality and per
+    // near-lossless bound δ. Infinite PSNR (lossless) serialises as null.
+    let corpus_root = lwc_bench::corpus::resolve_root(None)?;
+    let corpus_deltas = [0u8, 2, 4];
+    json.push_str(&format!(
+        "  \"real_corpus\": {{\n    \"root\": {:?},\n    \"scales\": {},\n    \"deltas\": {{\n",
+        corpus_root.display().to_string(),
+        lwc_bench::corpus::CORPUS_SCALES,
+    ));
+    for (d_index, &delta) in corpus_deltas.iter().enumerate() {
+        let rows = lwc_bench::corpus::evaluate(&corpus_root, delta, 0)?;
+        json.push_str(&format!("      \"{delta}\": {{\n"));
+        for (r_index, row) in rows.iter().enumerate() {
+            let psnr = if row.psnr_db.is_finite() {
+                format!("{:.3}", row.psnr_db)
+            } else {
+                "null".to_owned()
+            };
+            let comma = if r_index + 1 == rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "        \"{}\": {{\"files\": {}, \"frames\": {}, \"raw_bytes\": {}, \
+                 \"compressed_bytes\": {}, \"ratio\": {:.4}, \"psnr_db\": {psnr}, \
+                 \"ssim\": {:.6}, \"max_abs_error\": {}}}{comma}\n",
+                row.modality,
+                row.files,
+                row.frames,
+                row.raw_bytes,
+                row.compressed_bytes,
+                row.ratio,
+                row.ssim,
+                row.max_abs_error,
+            ));
+            println!(
+                "corpus δ={delta} {:<6} {:>2} files {:>2} frames: ratio {:>7.3}:1, \
+                 PSNR {:>9}, SSIM {:.4}, L∞ {}",
+                row.modality,
+                row.files,
+                row.frames,
+                row.ratio,
+                if row.psnr_db.is_finite() {
+                    format!("{:.2} dB", row.psnr_db)
+                } else {
+                    "lossless".to_owned()
+                },
+                row.ssim,
+                row.max_abs_error,
+            );
+        }
+        let comma = if d_index + 1 == corpus_deltas.len() { "" } else { "," };
+        json.push_str(&format!("      }}{comma}\n"));
+    }
+    json.push_str("    }\n  }\n");
 
     json.push_str("}\n");
     std::fs::write("BENCH_throughput.json", &json)?;
     println!(
         "wrote BENCH_throughput.json ({} modes + {} tiled sweeps + {} dwt_tiled sweeps + \
-         fixed codec + serve + volume, best of {reps} reps)",
+         fixed codec + serve + volume + real corpus, best of {reps} reps)",
         modes.len(),
         tile_sizes.len(),
         tile_sizes.len()
     );
+    Ok(())
+}
+
+/// Runs the real-corpus harness standalone: resolve the corpus root
+/// (argument, `LWC_CORPUS_DIR`, in-tree `fixtures/corpus`, or a generated
+/// fixture corpus), evaluate every modality at a sweep of near-lossless
+/// bounds, and print the ratio-vs-PSNR table. δ = 0 is asserted lossless and
+/// every row is checked against its bound inside the evaluator.
+fn corpus(dir: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    heading("Real-corpus harness — per-modality compression ratio vs PSNR");
+    let root = lwc_bench::corpus::resolve_root(dir)?;
+    let files = lwc_bench::corpus::discover(&root)?;
+    println!("corpus root: {} ({} files)", root.display(), files.len());
+    println!(
+        "{:<4} {:<10} {:>5} {:>6} {:>11} {:>11} {:>8} {:>10} {:>7} {:>4}",
+        "δ", "modality", "files", "frames", "raw B", "coded B", "ratio", "PSNR", "SSIM", "L∞"
+    );
+    for delta in [0u8, 1, 2, 4] {
+        for row in lwc_bench::corpus::evaluate(&root, delta, 0)? {
+            if delta == 0 {
+                assert_eq!(row.max_abs_error, 0, "{}: δ=0 must be lossless", row.modality);
+            }
+            println!(
+                "{:<4} {:<10} {:>5} {:>6} {:>11} {:>11} {:>7.3}:1 {:>10} {:>7.4} {:>4}",
+                delta,
+                row.modality,
+                row.files,
+                row.frames,
+                row.raw_bytes,
+                row.compressed_bytes,
+                row.ratio,
+                if row.psnr_db.is_finite() {
+                    format!("{:.2} dB", row.psnr_db)
+                } else {
+                    "lossless".to_owned()
+                },
+                row.ssim,
+                row.max_abs_error,
+            );
+        }
+    }
+    println!("every reconstruction checked against its bound; δ=0 byte-exact lossless");
     Ok(())
 }
 

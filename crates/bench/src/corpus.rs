@@ -1,0 +1,341 @@
+//! Real-corpus harness: walk a directory of DICOM/PGM files, compress every
+//! frame through the batch engine at a configured near-lossless bound δ, and
+//! report per-modality rate (compression ratio, bits/pixel) against
+//! distortion (PSNR, SSIM, L∞).
+//!
+//! The modality of a file is its immediate parent directory name (`ct/`,
+//! `mr/`, `xray/`, ... — files at the corpus root fall under `"root"`), which
+//! is how real exports are usually organised and what the deterministic
+//! fixture corpus ([`write_fixture_corpus`]) mirrors. Discovery sniffs file
+//! content, not just extensions, so `.dcm`-less DICOM exports are found.
+
+use lwc_core::prelude::*;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::path::{Path, PathBuf};
+
+/// Decomposition depth the harness compresses at.
+pub const CORPUS_SCALES: u32 = 3;
+
+/// One loaded corpus file: its modality label and its frames as images.
+pub struct CorpusFile {
+    /// Path the file was discovered at.
+    pub path: PathBuf,
+    /// Immediate parent directory name, or `"root"`.
+    pub modality: String,
+    /// The frames (one for PGM and single-frame DICOM).
+    pub frames: Vec<Image>,
+}
+
+/// Aggregated rate/distortion of one modality at one δ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModalityReport {
+    /// Modality label (parent directory name).
+    pub modality: String,
+    /// Files contributing to this row.
+    pub files: usize,
+    /// Frames across those files.
+    pub frames: usize,
+    /// Raw sample bytes across all frames.
+    pub raw_bytes: u64,
+    /// Compressed bytes across all frames.
+    pub compressed_bytes: u64,
+    /// `raw_bytes / compressed_bytes`.
+    pub ratio: f64,
+    /// PSNR in dB with the squared error pooled over every sample of the
+    /// modality (infinite when lossless).
+    pub psnr_db: f64,
+    /// Mean SSIM over frames.
+    pub ssim: f64,
+    /// Worst per-sample absolute error across the modality — must never
+    /// exceed the configured δ.
+    pub max_abs_error: i32,
+}
+
+/// Recursively discovers corpus files under `root`: anything carrying the
+/// DICOM magic plus `.pgm`/`.dcm` extensions. Paths come back sorted so
+/// reports are deterministic.
+///
+/// # Errors
+///
+/// Returns an error if a directory cannot be read.
+pub fn discover(root: &Path) -> Result<Vec<PathBuf>, Box<dyn Error>> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if is_corpus_file(&path) {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// `true` if `path` looks like an input the harness can read: a `.pgm` or
+/// `.dcm` extension, or — extension or not — a leading DICOM Part 10 magic.
+fn is_corpus_file(path: &Path) -> bool {
+    let ext = path.extension().and_then(|e| e.to_str()).map(str::to_ascii_lowercase);
+    match ext.as_deref() {
+        Some("pgm" | "dcm") => true,
+        _ => {
+            let mut prefix = [0u8; 132];
+            std::fs::File::open(path)
+                .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut prefix))
+                .is_ok()
+                && dicom::is_dicom(&prefix)
+        }
+    }
+}
+
+/// Loads one corpus file into frames, routing on content (DICOM magic)
+/// rather than extension.
+///
+/// # Errors
+///
+/// Propagates the typed parse errors of the DICOM and PGM readers.
+pub fn load(path: &Path) -> Result<CorpusFile, Box<dyn Error>> {
+    let bytes = std::fs::read(path)?;
+    let frames = if dicom::is_dicom(&bytes) {
+        let parsed = dicom::parse(&bytes)?;
+        (0..parsed.stack.depth())
+            .map(|z| parsed.stack.slice_image(z))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        vec![pgm::read_pgm(&mut bytes.as_slice())?]
+    };
+    let modality = path
+        .parent()
+        .and_then(Path::file_name)
+        .and_then(|n| n.to_str())
+        .unwrap_or("root")
+        .to_owned();
+    Ok(CorpusFile { path: path.to_path_buf(), modality, frames })
+}
+
+/// Walks `root`, compresses every frame at bound `delta` through the batch
+/// engine, verifies the reconstruction against the bound, and aggregates
+/// rate/distortion per modality. Rows come back sorted by modality name.
+///
+/// # Errors
+///
+/// Returns an error for unreadable directories, malformed corpus files, or
+/// — the harness's own guarantee — a reconstruction that violates `delta`.
+pub fn evaluate(
+    root: &Path,
+    delta: u8,
+    workers: usize,
+) -> Result<Vec<ModalityReport>, Box<dyn Error>> {
+    let paths = discover(root)?;
+    if paths.is_empty() {
+        return Err(format!("no DICOM/PGM corpus files under {}", root.display()).into());
+    }
+    let codec = LosslessCodec::near_lossless(CORPUS_SCALES, delta)?;
+    let batch = BatchCompressor::with_codec(codec, workers);
+
+    struct Accumulator {
+        files: usize,
+        frames: usize,
+        raw_bytes: u64,
+        compressed_bytes: u64,
+        sq_error: f64,
+        samples: u64,
+        bit_depth: u32,
+        ssim_sum: f64,
+        max_abs_error: i32,
+    }
+    let mut per_modality: BTreeMap<String, Accumulator> = BTreeMap::new();
+
+    for path in &paths {
+        let file = load(path)?;
+        let (streams, _) = batch.compress_batch(&file.frames)?;
+        let (decoded, _) = batch.decompress_batch(&streams)?;
+        let acc = per_modality.entry(file.modality.clone()).or_insert(Accumulator {
+            files: 0,
+            frames: 0,
+            raw_bytes: 0,
+            compressed_bytes: 0,
+            sq_error: 0.0,
+            samples: 0,
+            bit_depth: 0,
+            ssim_sum: 0.0,
+            max_abs_error: 0,
+        });
+        acc.files += 1;
+        for (frame, (stream, back)) in file.frames.iter().zip(streams.iter().zip(&decoded)) {
+            let fid = metrics::fidelity(frame, back)?;
+            if fid.max_abs_error > i32::from(delta) {
+                return Err(format!(
+                    "{}: reconstruction error {} exceeds the configured bound δ={delta}",
+                    path.display(),
+                    fid.max_abs_error
+                )
+                .into());
+            }
+            acc.frames += 1;
+            acc.raw_bytes += metrics::raw_bytes(frame.pixel_count() as u64, frame.bit_depth());
+            acc.compressed_bytes += stream.len() as u64;
+            acc.sq_error += metrics::mse(frame, back)? * frame.pixel_count() as f64;
+            acc.samples += frame.pixel_count() as u64;
+            acc.bit_depth = acc.bit_depth.max(frame.bit_depth());
+            acc.ssim_sum += fid.ssim;
+            acc.max_abs_error = acc.max_abs_error.max(fid.max_abs_error);
+        }
+    }
+
+    Ok(per_modality
+        .into_iter()
+        .map(|(modality, acc)| ModalityReport {
+            modality,
+            files: acc.files,
+            frames: acc.frames,
+            raw_bytes: acc.raw_bytes,
+            compressed_bytes: acc.compressed_bytes,
+            ratio: acc.raw_bytes as f64 / acc.compressed_bytes as f64,
+            psnr_db: metrics::psnr_from_mse(acc.sq_error / acc.samples as f64, acc.bit_depth),
+            ssim: acc.ssim_sum / acc.frames as f64,
+            max_abs_error: acc.max_abs_error,
+        })
+        .collect())
+}
+
+/// Writes the deterministic fixture corpus under `root` (created if absent):
+///
+/// * `ct/phantom_stack.dcm` — 4-frame 96x72 12-bit explicit-VR CT phantom,
+/// * `ct/slice_implicit.dcm` — 80x60 12-bit implicit-VR single frame,
+/// * `mr/mr_signed.dcm` — 64x64 12-bit explicit-VR with signed pixels,
+/// * `xray/checker_edges.pgm` — 8-bit checkerboard (edge stress),
+/// * `xray/gradient.pgm` — 12-bit gradient.
+///
+/// Existing files are overwritten so the corpus is always exactly this, and
+/// the returned paths are what was written.
+///
+/// # Errors
+///
+/// Returns an error if a directory or file cannot be written.
+pub fn write_fixture_corpus(root: &Path) -> Result<Vec<PathBuf>, Box<dyn Error>> {
+    let mut written = Vec::new();
+    let ct = root.join("ct");
+    let mr = root.join("mr");
+    let xray = root.join("xray");
+    for dir in [&ct, &mr, &xray] {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let slices: Vec<Image> = (0..4).map(|z| synth::ct_phantom(96, 72, 12, 900 + z)).collect();
+    let stack = ImageStack::from_slices(&slices)?;
+    let path = ct.join("phantom_stack.dcm");
+    dicom::save(&path, &stack, true, false)?;
+    written.push(path);
+
+    let single = ImageStack::from_slices(&[synth::ct_phantom(80, 60, 12, 905)])?;
+    let path = ct.join("slice_implicit.dcm");
+    dicom::save(&path, &single, false, false)?;
+    written.push(path);
+
+    let mr_stack = ImageStack::from_slices(&[synth::mr_slice(64, 64, 12, 906)])?;
+    let path = mr.join("mr_signed.dcm");
+    dicom::save(&path, &mr_stack, true, true)?;
+    written.push(path);
+
+    let path = xray.join("checker_edges.pgm");
+    pgm::save(&synth::checkerboard(64, 48, 8, 8), &path)?;
+    written.push(path);
+
+    let path = xray.join("gradient.pgm");
+    pgm::save(&synth::gradient(72, 56, 12), &path)?;
+    written.push(path);
+
+    Ok(written)
+}
+
+/// Resolves the corpus root for the default harness runs: an explicit
+/// argument wins, then `LWC_CORPUS_DIR`, then the in-tree `fixtures/corpus`
+/// if it exists, and finally a deterministic fixture corpus written under
+/// the system temp directory.
+///
+/// # Errors
+///
+/// Returns an error if the fallback fixture corpus cannot be written.
+pub fn resolve_root(explicit: Option<&str>) -> Result<PathBuf, Box<dyn Error>> {
+    if let Some(dir) = explicit {
+        return Ok(PathBuf::from(dir));
+    }
+    if let Ok(dir) = std::env::var("LWC_CORPUS_DIR") {
+        return Ok(PathBuf::from(dir));
+    }
+    let in_tree = PathBuf::from("fixtures/corpus");
+    if in_tree.is_dir() {
+        return Ok(in_tree);
+    }
+    let fallback = std::env::temp_dir().join("lwc_fixture_corpus");
+    write_fixture_corpus(&fallback)?;
+    Ok(fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lwc_corpus_test_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn fixture_corpus_is_discovered_and_loads() {
+        let root = scratch("discover");
+        let written = write_fixture_corpus(&root).unwrap();
+        assert_eq!(written.len(), 5);
+        let found = discover(&root).unwrap();
+        assert_eq!(found.len(), 5);
+        for path in &found {
+            let file = load(path).unwrap();
+            assert!(!file.frames.is_empty(), "{}", path.display());
+            assert!(["ct", "mr", "xray"].contains(&file.modality.as_str()));
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn evaluation_is_lossless_at_delta_zero_and_bounded_above() {
+        let root = scratch("evaluate");
+        write_fixture_corpus(&root).unwrap();
+        let lossless = evaluate(&root, 0, 2).unwrap();
+        assert_eq!(lossless.len(), 3, "three modalities");
+        for row in &lossless {
+            assert_eq!(row.max_abs_error, 0, "{}", row.modality);
+            assert_eq!(row.psnr_db, f64::INFINITY);
+            assert!(row.ratio > 1.0, "{} must compress", row.modality);
+        }
+        let bounded = evaluate(&root, 4, 2).unwrap();
+        for (near, base) in bounded.iter().zip(&lossless) {
+            assert!(near.max_abs_error <= 4, "{}", near.modality);
+            assert!(near.psnr_db.is_finite() || near.max_abs_error == 0);
+            assert!(
+                near.compressed_bytes <= base.compressed_bytes + near.files as u64,
+                "δ=4 must not compress worse than lossless beyond header overhead"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn discovery_sniffs_dicom_without_an_extension() {
+        let root = scratch("sniff");
+        std::fs::create_dir_all(&root).unwrap();
+        let stack = ImageStack::from_slices(&[synth::ct_phantom(32, 24, 12, 1)]).unwrap();
+        let bytes = dicom::encode(&stack, true, false).unwrap();
+        std::fs::write(root.join("exported_without_extension"), &bytes).unwrap();
+        std::fs::write(root.join("notes.txt"), b"not an image").unwrap();
+        let found = discover(&root).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(load(&found[0]).unwrap().frames.len(), 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -8,10 +8,15 @@
 //!   next to the values the paper reports (the data behind
 //!   `EXPERIMENTS.md`).
 //!
-//! The helpers here keep the workloads consistent across benches.
+//! The helpers here keep the workloads consistent across benches. The
+//! [`corpus`] module is the real-corpus harness: DICOM/PGM discovery, the
+//! deterministic in-tree fixture corpus, and per-modality ratio-vs-PSNR
+//! evaluation shared by `reproduce corpus` and the `lwc-batch` CLI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod corpus;
 
 use lwc_core::prelude::*;
 

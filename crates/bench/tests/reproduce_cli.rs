@@ -32,6 +32,7 @@ fn unknown_subcommands_list_artifacts_and_exit_nonzero() {
         "fixed-codec",
         "serve",
         "volume",
+        "corpus",
         "all",
     ] {
         assert!(stderr.contains(artifact), "artifact {artifact} missing from listing:\n{stderr}");

@@ -1,15 +1,23 @@
 //! End-to-end lossless image codec: reversible 5/3 transform + Rice-coded
-//! subbands.
+//! subbands, with an opt-in near-lossless quantization mode.
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::quant::{self, QuantSchedule};
 use crate::{CoderError, SubbandCodec};
 use lwc_image::{Image, ImageView};
 use lwc_lifting::geometry::{band_len, band_rect};
 use lwc_lifting::Lifting53;
 use std::fmt;
 
-/// Magic number identifying an `lwc` compressed stream ("LWC1").
+/// Magic number identifying a lossless `lwc` compressed stream ("LWC1").
 const MAGIC: u32 = 0x4C57_4331;
+
+/// Magic number identifying a near-lossless quantized stream ("LWCQ"): the
+/// `LWC1` layout plus one trailing header byte carrying the per-pixel error
+/// bound `δ` the detail bands were quantized for. A `δ = 0` configuration
+/// never writes this magic — its streams are byte-identical to `LWC1` — so
+/// an `LWCQ` header whose delta field is zero is malformed by definition.
+const QUANT_MAGIC: u32 = 0x4C57_4351;
 
 /// Parsed fixed-size stream header (see [`LosslessCodec`] for the layout).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,24 +30,42 @@ pub struct StreamHeader {
     pub bit_depth: u32,
     /// Decomposition depth the stream was coded with.
     pub scales: u32,
+    /// Near-lossless per-pixel error bound the detail bands were quantized
+    /// for; 0 means lossless (the legacy `LWC1` layout, bit for bit).
+    pub delta: u8,
 }
 
 impl StreamHeader {
-    /// Size of the serialized header in bits.
+    /// Size of the serialized lossless (`LWC1`) header in bits; a
+    /// near-lossless (`LWCQ`) header is [`StreamHeader::bits`] long.
     pub const BITS: u64 = 32 + 20 + 20 + 5 + 4;
 
-    /// Reads and validates a header.
+    /// Serialized size of *this* header in bits: the `LWC1` layout plus the
+    /// 8-bit delta field when the stream is near-lossless.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        if self.delta == 0 {
+            Self::BITS
+        } else {
+            Self::BITS + 8
+        }
+    }
+
+    /// Reads and validates a header (either magic).
     ///
     /// # Errors
     ///
     /// * [`CoderError::MalformedStream`] if the stream ends inside the
-    ///   header, or a dimension, the bit depth or the scale count is zero.
+    ///   header, a dimension, the bit depth or the scale count is zero, or
+    ///   an `LWCQ` header carries a zero delta (a forged quantizer header:
+    ///   `δ = 0` streams are written with the `LWC1` magic).
     /// * [`CoderError::UnsupportedFormat`] if the magic number is wrong.
     pub fn read(reader: &mut BitReader<'_>) -> Result<Self, CoderError> {
         let magic = reader
             .read_bits(32)
-            .map_err(|_| CoderError::MalformedStream("truncated header: no magic".to_owned()))?;
-        if magic as u32 != MAGIC {
+            .map_err(|_| CoderError::MalformedStream("truncated header: no magic".to_owned()))?
+            as u32;
+        if magic != MAGIC && magic != QUANT_MAGIC {
             return Err(CoderError::UnsupportedFormat("bad magic number".to_owned()));
         }
         let mut field = |bits: u32, name: &str| {
@@ -51,6 +77,7 @@ impl StreamHeader {
         let height = field(20, "height")? as usize;
         let bit_depth = field(5, "bit depth")? as u32;
         let scales = field(4, "scale count")? as u32;
+        let delta = if magic == QUANT_MAGIC { field(8, "quantizer delta")? as u8 } else { 0 };
         // The 20-bit fields bound the dimensions at 2^20 - 1 by construction;
         // only the zero cases need rejecting.
         if width == 0 || height == 0 {
@@ -64,7 +91,12 @@ impl StreamHeader {
         if scales == 0 {
             return Err(CoderError::MalformedStream("zero decomposition scales".to_owned()));
         }
-        Ok(Self { width, height, bit_depth, scales })
+        if magic == QUANT_MAGIC && delta == 0 {
+            return Err(CoderError::MalformedStream(
+                "malformed quantizer header: near-lossless magic with zero delta".to_owned(),
+            ));
+        }
+        Ok(Self { width, height, bit_depth, scales, delta })
     }
 
     /// Checks that a stream of `stream_bytes` total bytes could plausibly
@@ -106,13 +138,19 @@ impl StreamHeader {
         Ok(())
     }
 
-    /// Serializes the header.
+    /// Serializes the header: the `LWC1` layout for `delta = 0` (so
+    /// lossless streams never change a bit), the `LWCQ` magic plus the
+    /// trailing delta byte otherwise.
     pub fn write(&self, writer: &mut BitWriter) {
-        writer.write_bits(u64::from(MAGIC), 32);
+        let magic = if self.delta == 0 { MAGIC } else { QUANT_MAGIC };
+        writer.write_bits(u64::from(magic), 32);
         writer.write_bits(self.width as u64, 20);
         writer.write_bits(self.height as u64, 20);
         writer.write_bits(u64::from(self.bit_depth), 5);
         writer.write_bits(u64::from(self.scales), 4);
+        if self.delta != 0 {
+            writer.write_bits(u64::from(self.delta), 8);
+        }
     }
 
     /// Sample count of subband `(scale, band)`. For dimensions divisible by
@@ -169,38 +207,73 @@ impl fmt::Display for CompressionReport {
     }
 }
 
-/// Lossless wavelet image codec.
+/// Lossless (and optionally near-lossless) wavelet image codec.
 ///
 /// The stream layout is:
 ///
 /// ```text
 /// magic (32) | width (20) | height (20) | bit depth (5) | scales (4)
+///            | delta (8, LWCQ streams only)
 /// deepest approximation subband, then for each scale from the deepest to
 /// the finest: horizontal, vertical, diagonal detail subbands
 /// ```
 ///
 /// All subbands are Rice coded with a per-subband parameter
 /// (see [`SubbandCodec`]).
+///
+/// A codec built with [`LosslessCodec::near_lossless`] quantizes the detail
+/// subbands before coding so that every reconstructed pixel stays within
+/// the configured `δ` of the original (see [`crate::quant`]); its streams
+/// carry the `LWCQ` magic and the delta byte, and any codec — whatever its
+/// own `δ` — decodes them, honoring the *stream's* delta the way the
+/// volumetric decoder honors a container's `z_scales`. With `δ = 0` the
+/// codec and its streams are exactly the legacy lossless ones, bit for bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LosslessCodec {
     transform: Lifting53,
     subbands: SubbandCodec,
+    delta: u8,
 }
 
 impl LosslessCodec {
-    /// Creates a codec with the given decomposition depth.
+    /// Creates a lossless codec with the given decomposition depth.
     ///
     /// # Errors
     ///
     /// Returns an error if `scales` is zero.
     pub fn new(scales: u32) -> Result<Self, CoderError> {
-        Ok(Self { transform: Lifting53::new(scales)?, subbands: SubbandCodec::new() })
+        Ok(Self { transform: Lifting53::new(scales)?, subbands: SubbandCodec::new(), delta: 0 })
+    }
+
+    /// Creates a near-lossless codec: detail subbands are quantized by the
+    /// deterministic schedule for per-pixel bound `delta`
+    /// ([`QuantSchedule::for_delta`]), so `max |orig - recon| <= delta` for
+    /// every pixel. `delta = 0` is exactly [`LosslessCodec::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scales` is zero.
+    pub fn near_lossless(scales: u32, delta: u8) -> Result<Self, CoderError> {
+        Ok(Self { delta, ..Self::new(scales)? })
     }
 
     /// Decomposition depth used by the codec.
     #[must_use]
     pub fn scales(&self) -> u32 {
         self.transform.scales()
+    }
+
+    /// The near-lossless per-pixel error bound streams are encoded for
+    /// (0 = lossless).
+    #[must_use]
+    pub fn delta(&self) -> u8 {
+        self.delta
+    }
+
+    /// The quantization schedule this codec encodes with.
+    #[must_use]
+    pub fn schedule(&self) -> QuantSchedule {
+        QuantSchedule::for_delta(self.delta, self.scales())
     }
 
     /// The reversible transform the codec runs (shared with the per-subband
@@ -252,7 +325,8 @@ impl LosslessCodec {
         height: usize,
         bit_depth: u32,
     ) -> Result<StreamHeader, CoderError> {
-        let header = StreamHeader { width, height, bit_depth, scales: self.scales() };
+        let header =
+            StreamHeader { width, height, bit_depth, scales: self.scales(), delta: self.delta };
         if header.bit_depth == 0 || header.bit_depth >= 32 {
             return Err(CoderError::UnsupportedFormat(format!(
                 "bit depth {bit_depth} does not fit the stream format's 5-bit field"
@@ -288,6 +362,24 @@ impl LosslessCodec {
         subbands: &[Vec<i32>],
     ) -> Result<Image, CoderError> {
         let data = self.reassemble_raw(header, subbands)?;
+        Self::image_from_raw(header, data)
+    }
+
+    /// Wraps a reconstructed sample buffer as an [`Image`]. Near-lossless
+    /// reconstructions may stray up to `delta` outside the pixel range at
+    /// the extremes, so for `delta > 0` the samples are clamped to
+    /// `[0, 2^bit_depth)` first (which only ever moves a sample *toward* its
+    /// original, preserving the L∞ bound); lossless buffers are validated
+    /// as-is.
+    fn image_from_raw(header: &StreamHeader, mut data: Vec<i32>) -> Result<Image, CoderError> {
+        if header.delta > 0 {
+            // 64-bit so a forged 5-bit depth of 31 cannot overflow the shift
+            // before `Image::from_samples` rejects it.
+            let max = ((1i64 << header.bit_depth) - 1).min(i64::from(i32::MAX)) as i32;
+            for value in &mut data {
+                *value = (*value).clamp(0, max);
+            }
+        }
         Ok(Image::from_samples(header.width, header.height, header.bit_depth, data)?)
     }
 
@@ -323,15 +415,26 @@ impl LosslessCodec {
                 )));
             }
         }
+        // A near-lossless stream codes quantizer indices; rebuild the grid
+        // centers while scattering, driven by the *header's* delta so any
+        // codec configuration decodes any stream.
+        let schedule = QuantSchedule::for_delta(header.delta, self.scales());
         let mut data = vec![0i32; width * height];
         for ((scale, band), samples) in subband_order(self.scales()).zip(subbands) {
             let rect = band_rect(width, height, scale, band);
             if rect.is_empty() {
                 continue;
             }
+            let step = schedule.step(scale, band);
             for (row_index, row) in samples.chunks(rect.width).enumerate() {
                 let start = (rect.y + row_index) * width + rect.x;
-                data[start..start + row.len()].copy_from_slice(row);
+                if step == 1 {
+                    data[start..start + row.len()].copy_from_slice(row);
+                } else {
+                    for (slot, &index) in data[start..start + row.len()].iter_mut().zip(row) {
+                        *slot = (i64::from(index) * step) as i32;
+                    }
+                }
             }
         }
         let coeffs = lwc_lifting::LiftingCoefficients::from_raw(
@@ -365,23 +468,28 @@ impl LosslessCodec {
     pub fn compress_view(&self, view: &ImageView<'_>) -> Result<Vec<u8>, CoderError> {
         let header = self.header_for_view(view)?;
         let coeffs = self.transform.forward_view(view)?;
+        let schedule = self.schedule();
         let mut writer = BitWriter::new();
         header.write(&mut writer);
         for (scale, band) in subband_order(self.scales()) {
-            self.subbands.encode_subband(&mut writer, &coeffs.subband(scale, band));
+            let mut samples = coeffs.subband(scale, band);
+            quant::quantize(&mut samples, schedule.allowance(scale, band));
+            self.subbands.encode_subband(&mut writer, &samples);
         }
         Ok(writer.into_bytes())
     }
 
     /// Reconstructs the image from a stream produced by
-    /// [`LosslessCodec::compress`]. The result is pixel-exact.
+    /// [`LosslessCodec::compress`]. Lossless (`LWC1`) streams come back
+    /// pixel-exact; near-lossless (`LWCQ`) streams come back within the
+    /// *stream's* delta of the original, whatever this codec's own delta.
     ///
     /// # Errors
     ///
     /// Returns an error for malformed streams or mismatched configuration.
     pub fn decompress(&self, bytes: &[u8]) -> Result<Image, CoderError> {
         let (header, data) = self.decompress_raw(bytes)?;
-        Ok(Image::from_samples(header.width, header.height, header.bit_depth, data)?)
+        Self::image_from_raw(&header, data)
     }
 
     /// Like [`LosslessCodec::decompress`] but returns the header plus the
@@ -583,7 +691,7 @@ mod tests {
     #[test]
     fn reassemble_rejects_inconsistent_subband_shapes() {
         let codec = LosslessCodec::new(2).unwrap();
-        let header = StreamHeader { width: 16, height: 16, bit_depth: 12, scales: 2 };
+        let header = StreamHeader { width: 16, height: 16, bit_depth: 12, scales: 2, delta: 0 };
         // Wrong subband count.
         assert!(matches!(
             codec.reassemble(&header, &[vec![0; 16]]),
@@ -598,7 +706,7 @@ mod tests {
         // Scales deeper than the geometry are no longer an error: the ragged
         // pyramid saturates at one sample, so a 2x2 image reassembles at any
         // depth as long as the band lengths agree.
-        let tiny = StreamHeader { width: 2, height: 2, bit_depth: 12, scales: 2 };
+        let tiny = StreamHeader { width: 2, height: 2, bit_depth: 12, scales: 2, delta: 0 };
         let bands: Vec<Vec<i32>> =
             subband_order(2).map(|(scale, band)| vec![0i32; tiny.band_len(scale, band)]).collect();
         assert_eq!(codec.reassemble(&tiny, &bands).unwrap().pixel_count(), 4);
@@ -634,7 +742,7 @@ mod tests {
 
     #[test]
     fn header_roundtrips_through_the_bit_layer() {
-        let header = StreamHeader { width: 640, height: 480, bit_depth: 12, scales: 5 };
+        let header = StreamHeader { width: 640, height: 480, bit_depth: 12, scales: 5, delta: 0 };
         let mut w = BitWriter::new();
         header.write(&mut w);
         assert_eq!(w.bit_len(), StreamHeader::BITS);
@@ -644,7 +752,7 @@ mod tests {
         assert_eq!(header.band_len(5, 0), 20 * 15);
         assert_eq!(header.band_len(5, 3), 20 * 15);
         // Ragged geometry: a 5-wide layout splits 3 | 2 at the first scale.
-        let ragged = StreamHeader { width: 5, height: 4, bit_depth: 12, scales: 1 };
+        let ragged = StreamHeader { width: 5, height: 4, bit_depth: 12, scales: 1, delta: 0 };
         assert_eq!(ragged.band_len(1, 0), 3 * 2);
         assert_eq!(ragged.band_len(1, 1), 2 * 2);
     }
@@ -657,6 +765,94 @@ mod tests {
             vec![(3, 0), (3, 1), (3, 2), (3, 3), (2, 1), (2, 2), (2, 3), (1, 1), (1, 2), (1, 3)]
         );
         assert_eq!(subband_order(6).count(), 3 * 6 + 1);
+    }
+
+    #[test]
+    fn near_lossless_streams_carry_the_quant_magic_and_honor_the_bound() {
+        let image = synth::ct_phantom(96, 80, 12, 13);
+        for delta in [2u8, 4, 8] {
+            let codec = LosslessCodec::near_lossless(3, delta).unwrap();
+            let bytes = codec.compress(&image).unwrap();
+            assert_eq!(&bytes[..4], &QUANT_MAGIC.to_be_bytes(), "delta {delta}");
+            let header = StreamHeader::read(&mut BitReader::new(&bytes)).unwrap();
+            assert_eq!(header.delta, delta);
+            assert_eq!(header.bits(), StreamHeader::BITS + 8);
+            // Any codec decodes the stream, honoring the header's delta.
+            let plain = LosslessCodec::new(3).unwrap();
+            let back = plain.decompress(&bytes).unwrap();
+            let diff = stats::max_abs_diff(&image, &back).unwrap();
+            assert!(diff <= i32::from(delta), "delta {delta}: max diff {diff}");
+            // And the stream genuinely shrinks relative to lossless.
+            assert!(bytes.len() < plain.compress(&image).unwrap().len(), "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn delta_zero_is_byte_identical_to_the_lossless_codec() {
+        let image = synth::mr_slice(64, 48, 12, 3);
+        let lossless = LosslessCodec::new(4).unwrap();
+        let zero = LosslessCodec::near_lossless(4, 0).unwrap();
+        assert_eq!(zero.delta(), 0);
+        assert_eq!(lossless.compress(&image).unwrap(), zero.compress(&image).unwrap());
+        // delta = 1 degenerates to the lossless schedule (the synthesis gain
+        // floor) and therefore also to byte-identical streams.
+        let one = LosslessCodec::near_lossless(4, 1).unwrap();
+        assert!(one.schedule().is_lossless());
+        let bytes = one.compress(&image).unwrap();
+        assert_eq!(&bytes[..4], &QUANT_MAGIC.to_be_bytes(), "delta is still in the header");
+        let back = LosslessCodec::new(4).unwrap().decompress(&bytes).unwrap();
+        assert!(stats::bit_exact(&image, &back).unwrap());
+    }
+
+    #[test]
+    fn quant_headers_with_zero_delta_are_malformed() {
+        // Craft an otherwise-valid LWCQ header whose delta byte is zero: the
+        // writer never produces this (delta 0 streams use the LWC1 magic),
+        // so it must be refused as a forged quantizer header.
+        let mut w = BitWriter::new();
+        w.write_bits(u64::from(QUANT_MAGIC), 32);
+        w.write_bits(32, 20);
+        w.write_bits(32, 20);
+        w.write_bits(12, 5);
+        w.write_bits(3, 4);
+        w.write_bits(0, 8); // delta = 0: malformed by definition
+        w.write_bits(0, 64);
+        let bytes = w.into_bytes();
+        let codec = LosslessCodec::new(3).unwrap();
+        match codec.decompress(&bytes) {
+            Err(CoderError::MalformedStream(msg)) => {
+                assert!(msg.contains("quantizer"), "{msg}");
+            }
+            other => panic!("expected MalformedStream, got {other:?}"),
+        }
+        // A truncated LWCQ header (delta byte missing) is typed, too.
+        let mut w = BitWriter::new();
+        w.write_bits(u64::from(QUANT_MAGIC), 32);
+        w.write_bits(32, 20);
+        w.write_bits(32, 20);
+        w.write_bits(12, 5);
+        w.write_bits(3, 4);
+        let bytes = w.into_bytes();
+        assert!(matches!(codec.decompress(&bytes), Err(CoderError::MalformedStream(_))));
+    }
+
+    #[test]
+    fn near_lossless_roundtrips_clamp_into_the_pixel_range() {
+        // A flat image at the top of the pixel range: quantization error
+        // could push reconstructions past 2^bd - 1, which the clamp (not a
+        // range error) must absorb while keeping the bound.
+        for value in [0i32, 4095] {
+            let image = {
+                let mut samples = vec![value; 48 * 40];
+                // A spot of contrast so the detail bands are nonzero.
+                samples[5 * 48 + 7] = 4095 - value;
+                Image::from_samples(48, 40, 12, samples).unwrap()
+            };
+            let codec = LosslessCodec::near_lossless(3, 8).unwrap();
+            let back = codec.decompress(&codec.compress(&image).unwrap()).unwrap();
+            assert!(stats::max_abs_diff(&image, &back).unwrap() <= 8);
+            assert!(back.samples().iter().all(|&v| (0..=4095).contains(&v)));
+        }
     }
 
     #[test]

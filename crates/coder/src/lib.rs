@@ -11,6 +11,11 @@
 //!   subband by subband,
 //! * [`LosslessCodec`] — an end-to-end image codec built on the reversible
 //!   5/3 lifting transform from `lwc-lifting`, byte-exact on decode,
+//! * [`quant`] — the near-lossless mode: deterministic detail-band
+//!   quantization schedules derived from a per-pixel error bound `δ` and
+//!   the 5/3 synthesis gain, carried in the `LWCQ` stream header
+//!   ([`LosslessCodec::near_lossless`]; `δ = 0` stays bit-identical to
+//!   the lossless streams),
 //! * [`tiled`] — the versioned tiled container format (`LWCT`): a tile-grid
 //!   header plus a per-tile byte-offset directory wrapping independent
 //!   per-tile streams, the format behind the tile-parallel engine in
@@ -50,6 +55,7 @@ mod codec;
 mod error;
 pub mod fixedband;
 pub mod fixedtiled;
+pub mod quant;
 pub mod rice;
 mod subband;
 pub mod tiled;
@@ -62,11 +68,12 @@ pub use fixedtiled::{
     is_fixed, write_fixed_container, FixedHeader, FixedStream, FIXED_HEADER_BYTES, FIXED_MAGIC,
     FIXED_VERSION,
 };
+pub use quant::{plane_delta_for_volume, QuantSchedule};
 pub use subband::{StreamingSubbandEncoder, SubbandCodec, BLOCK_SIZE, MAX_UNARY_RUN_BITS};
 pub use tiled::{TiledHeader, TiledStream};
 pub use volume::{
     is_volume, write_volume_container, VolumeHeader, VolumeStream, VOLUME_HEADER_BYTES,
-    VOLUME_MAGIC, VOLUME_VERSION,
+    VOLUME_MAGIC, VOLUME_QUANT_VERSION, VOLUME_VERSION,
 };
 
 #[cfg(test)]

@@ -11,16 +11,24 @@
 //! ```text
 //! offset  field
 //! 0       magic          32 bits  0x4C574354 ("LWCT")
-//! 4       version         8 bits  currently 1
+//! 4       version         8 bits  1 = lossless, 2 = near-lossless
 //! 5       image width    32 bits  pixels, >= 1
 //! 9       image height   32 bits  pixels, >= 1
 //! 13      bit depth       8 bits  1..=16
 //! 14      scales          8 bits  1..=15 (the per-tile streams' depth)
 //! 15      tile width     32 bits  1..=2^20 - 1, clipped to the image
 //! 19      tile height    32 bits  1..=2^20 - 1, clipped to the image
-//! 23      directory      (tile_count + 1) x 48-bit byte offsets
-//! ...     payloads       tile_count concatenated LWC1 streams
+//! 23      delta           8 bits  version 2 only: per-pixel bound, >= 1
+//! 23/24   directory      (tile_count + 1) x 48-bit byte offsets
+//! ...     payloads       tile_count concatenated LWC1/LWCQ streams
 //! ```
+//!
+//! Version 2 appends a single quantizer byte: the near-lossless per-pixel
+//! error bound `δ` every per-tile stream was encoded with (the per-tile
+//! `LWCQ` headers carry the same value; the decoder cross-checks them). A
+//! `δ = 0` engine writes version 1 with no delta byte — byte-identical to
+//! every pre-near-lossless container — so a version-2 header whose delta is
+//! zero is malformed by definition.
 //!
 //! `tile_count` is derived from the grid geometry, never stored. Directory
 //! entry `i` is the absolute byte offset of tile `i`'s payload (row-major
@@ -44,10 +52,16 @@ use lwc_image::TileGrid;
 /// Magic number identifying a tiled `lwc` container ("LWCT").
 pub const TILED_MAGIC: u32 = 0x4C57_4354;
 
-/// The newest container version this build writes and reads.
+/// The lossless container version (no quantizer field).
 pub const TILED_VERSION: u8 = 1;
 
-/// Serialized size of the fixed tiled header, in bytes.
+/// The near-lossless container version: the version-1 layout plus one
+/// quantizer delta byte.
+pub const TILED_QUANT_VERSION: u8 = 2;
+
+/// Serialized size of the fixed version-1 tiled header, in bytes; a
+/// version-2 header is one byte longer (see
+/// [`TiledHeader::serialized_bytes`]).
 pub const TILED_HEADER_BYTES: usize = 23;
 
 /// Bits per directory entry (a 48-bit byte offset: containers beyond 256 TB
@@ -148,9 +162,23 @@ pub struct TiledHeader {
     pub tile_width: usize,
     /// Nominal (interior) tile height in pixels.
     pub tile_height: usize,
+    /// Near-lossless per-pixel error bound of every per-tile stream; 0 means
+    /// lossless (serialized as version 1 with no quantizer byte).
+    pub delta: u8,
 }
 
 impl TiledHeader {
+    /// Serialized header size in bytes: [`TILED_HEADER_BYTES`] for a
+    /// lossless header, one quantizer byte more for a near-lossless one.
+    #[must_use]
+    pub fn serialized_bytes(&self) -> usize {
+        if self.delta == 0 {
+            TILED_HEADER_BYTES
+        } else {
+            TILED_HEADER_BYTES + 1
+        }
+    }
+
     /// The tile grid this header describes.
     ///
     /// # Errors
@@ -215,14 +243,18 @@ impl TiledHeader {
                 self.width, self.height
             )));
         }
+        let version = if self.delta == 0 { TILED_VERSION } else { TILED_QUANT_VERSION };
         writer.write_bits(u64::from(TILED_MAGIC), 32);
-        writer.write_bits(u64::from(TILED_VERSION), 8);
+        writer.write_bits(u64::from(version), 8);
         writer.write_bits(self.width as u64, 32);
         writer.write_bits(self.height as u64, 32);
         writer.write_bits(u64::from(self.bit_depth), 8);
         writer.write_bits(u64::from(self.scales), 8);
         writer.write_bits(self.tile_width as u64, 32);
         writer.write_bits(self.tile_height as u64, 32);
+        if self.delta != 0 {
+            writer.write_bits(u64::from(self.delta), 8);
+        }
         Ok(())
     }
 
@@ -245,20 +277,30 @@ impl TiledHeader {
             return Err(CoderError::UnsupportedFormat("bad tiled magic number".to_owned()));
         }
         let version = field(8, "version")? as u8;
-        if version != TILED_VERSION {
+        if version != TILED_VERSION && version != TILED_QUANT_VERSION {
             return Err(CoderError::UnsupportedFormat(format!(
                 "tiled container version {version} is not supported (this build reads \
-                 {TILED_VERSION})"
+                 {TILED_VERSION} and {TILED_QUANT_VERSION})"
             )));
         }
-        let header = Self {
+        let mut header = Self {
             width: field(32, "width")? as usize,
             height: field(32, "height")? as usize,
             bit_depth: field(8, "bit depth")? as u32,
             scales: field(8, "scale count")? as u32,
             tile_width: field(32, "tile width")? as usize,
             tile_height: field(32, "tile height")? as usize,
+            delta: 0,
         };
+        if version == TILED_QUANT_VERSION {
+            header.delta = field(8, "quantizer delta")? as u8;
+            if header.delta == 0 {
+                return Err(CoderError::MalformedStream(
+                    "malformed quantizer header: near-lossless container version with zero delta"
+                        .to_owned(),
+                ));
+            }
+        }
         header.validate()?;
         Ok(header)
     }
@@ -289,7 +331,7 @@ pub fn write_container(header: &TiledHeader, payloads: &[Vec<u8>]) -> Result<Vec
     }
     let mut writer = BitWriter::new();
     header.write(&mut writer)?;
-    Ok(append_directory_and_payloads(writer, TILED_HEADER_BYTES, payloads))
+    Ok(append_directory_and_payloads(writer, header.serialized_bytes(), payloads))
 }
 
 /// A parsed (but not yet decoded) tiled container: the header, the validated
@@ -335,7 +377,7 @@ impl<'a> TiledStream<'a> {
             )));
         }
         let claimed = grid.tiles_x() as u128 * grid.tiles_y() as u128;
-        let offsets = read_directory(&mut reader, bytes.len(), TILED_HEADER_BYTES, claimed)?;
+        let offsets = read_directory(&mut reader, bytes.len(), header.serialized_bytes(), claimed)?;
         Ok(Self { header, offsets, bytes })
     }
 
@@ -387,6 +429,7 @@ mod tests {
             scales: 3,
             tile_width: 32,
             tile_height: 32,
+            delta: 0,
         }
     }
 
@@ -440,8 +483,56 @@ mod tests {
     #[test]
     fn unknown_versions_are_rejected() {
         let (_, _, mut bytes) = sample_container();
-        bytes[4] = TILED_VERSION + 1;
+        bytes[4] = TILED_QUANT_VERSION + 1;
         assert!(matches!(TiledStream::parse(&bytes), Err(CoderError::UnsupportedFormat(_))));
+    }
+
+    #[test]
+    fn near_lossless_headers_roundtrip_with_the_delta_byte() {
+        let header = TiledHeader { delta: 4, ..sample_header() };
+        let mut writer = BitWriter::new();
+        header.write(&mut writer).unwrap();
+        let bytes = writer.into_bytes();
+        assert_eq!(bytes.len(), TILED_HEADER_BYTES + 1);
+        assert_eq!(bytes[4], TILED_QUANT_VERSION);
+        let mut reader = BitReader::new(&bytes);
+        assert_eq!(TiledHeader::read(&mut reader).unwrap(), header);
+    }
+
+    #[test]
+    fn near_lossless_containers_slice_tiles_back_out() {
+        let header = TiledHeader { delta: 2, ..sample_header() };
+        let grid = header.grid().unwrap();
+        let codec = LosslessCodec::near_lossless(header.scales, header.delta).unwrap();
+        let image = synth::ct_phantom(header.width, header.height, 12, 1);
+        let payloads: Vec<Vec<u8>> = grid
+            .rects()
+            .map(|rect| codec.compress_view(&image.view_rect(rect).unwrap()).unwrap())
+            .collect();
+        let bytes = write_container(&header, &payloads).unwrap();
+        let stream = TiledStream::parse(&bytes).unwrap();
+        assert_eq!(stream.header(), &header);
+        for (index, payload) in payloads.iter().enumerate() {
+            assert_eq!(stream.tile_bytes(index), payload.as_slice(), "tile {index}");
+        }
+    }
+
+    #[test]
+    fn near_lossless_version_with_zero_delta_is_malformed() {
+        // A version-2 header must carry a non-zero delta: delta == 0 encodes
+        // as version 1, so a v2/zero-delta combination is a forgery.
+        let header = TiledHeader { delta: 1, ..sample_header() };
+        let mut writer = BitWriter::new();
+        header.write(&mut writer).unwrap();
+        let mut bytes = writer.into_bytes();
+        *bytes.last_mut().unwrap() = 0;
+        let mut reader = BitReader::new(&bytes);
+        match TiledHeader::read(&mut reader) {
+            Err(CoderError::MalformedStream(msg)) => {
+                assert!(msg.contains("quantizer"), "{msg}");
+            }
+            other => panic!("expected MalformedStream, got {other:?}"),
+        }
     }
 
     #[test]
@@ -505,6 +596,7 @@ mod tests {
                 scales: 3,
                 tile_width: 1,
                 tile_height: 1,
+                delta: 0,
             };
             let mut writer = BitWriter::new();
             header.write(&mut writer).unwrap();
@@ -529,6 +621,7 @@ mod tests {
             scales: 3,
             tile_width: (1 << 20) - 1,
             tile_height: 16,
+            delta: 0,
         };
         let grid = header.grid().unwrap();
         let payloads = vec![Vec::new(); grid.tile_count()];

@@ -10,7 +10,7 @@
 //! ```text
 //! offset  field
 //! 0       magic          32 bits  0x4C574356 ("LWCV")
-//! 4       version         8 bits  currently 1
+//! 4       version         8 bits  1 = lossless, 2 = near-lossless
 //! 5       image width    32 bits  pixels, >= 1
 //! 9       image height   32 bits  pixels, >= 1
 //! 13      image depth    32 bits  slices, >= 1
@@ -20,9 +20,15 @@
 //! 20      tile width     32 bits  1..=2^20 - 1, clipped to the image
 //! 24      tile height    32 bits  1..=2^20 - 1, clipped to the image
 //! 28      brick depth    32 bits  >= 1, clipped to the image depth
-//! 32      directory      (brick_count + 1) x 48-bit byte offsets
+//! 32      delta           8 bits  version 2 only: per-voxel bound, >= 1
+//! 32/33   directory      (brick_count + 1) x 48-bit byte offsets
 //! ...     payloads       brick_count brick payloads
 //! ```
+//!
+//! The version byte selects the layout: a lossless (`δ = 0`) volume is
+//! written as version 1 with no delta byte — byte-identical to every
+//! pre-near-lossless container — so a version-2 header whose delta is zero
+//! is a forgery and is rejected as malformed.
 //!
 //! `brick_count` is derived from the grid geometry, never stored; bricks are
 //! ordered plane-major (all tiles of z-layer 0, then z-layer 1, ...). Each
@@ -48,10 +54,16 @@ use lwc_image::BrickGrid;
 /// Magic number identifying a volumetric `lwc` container ("LWCV").
 pub const VOLUME_MAGIC: u32 = 0x4C57_4356;
 
-/// The newest volume container version this build writes and reads.
+/// The lossless (version-1) volume container version.
 pub const VOLUME_VERSION: u8 = 1;
 
-/// Serialized size of the fixed volume header, in bytes.
+/// The near-lossless (version-2) volume container version: the version-1
+/// layout plus one quantizer delta byte.
+pub const VOLUME_QUANT_VERSION: u8 = 2;
+
+/// Serialized size of the fixed version-1 volume header, in bytes. A
+/// version-2 header is one byte longer — see
+/// [`VolumeHeader::serialized_bytes`].
 pub const VOLUME_HEADER_BYTES: usize = 32;
 
 /// Parsed fixed-size header of a volumetric container.
@@ -75,9 +87,24 @@ pub struct VolumeHeader {
     pub tile_height: usize,
     /// Nominal (interior) brick depth in slices.
     pub brick_depth: usize,
+    /// Near-lossless per-voxel error bound `δ` (0 = lossless; the header
+    /// serializes as version 1 and no delta byte is written).
+    pub delta: u8,
 }
 
 impl VolumeHeader {
+    /// Serialized header size in bytes: [`VOLUME_HEADER_BYTES`] for a
+    /// lossless (version-1) header, one more for the near-lossless
+    /// (version-2) delta byte.
+    #[must_use]
+    pub fn serialized_bytes(&self) -> usize {
+        if self.delta == 0 {
+            VOLUME_HEADER_BYTES
+        } else {
+            VOLUME_HEADER_BYTES + 1
+        }
+    }
+
     /// The brick grid this header describes.
     ///
     /// # Errors
@@ -158,8 +185,9 @@ impl VolumeHeader {
                 self.width, self.height, self.depth
             )));
         }
+        let version = if self.delta == 0 { VOLUME_VERSION } else { VOLUME_QUANT_VERSION };
         writer.write_bits(u64::from(VOLUME_MAGIC), 32);
-        writer.write_bits(u64::from(VOLUME_VERSION), 8);
+        writer.write_bits(u64::from(version), 8);
         writer.write_bits(self.width as u64, 32);
         writer.write_bits(self.height as u64, 32);
         writer.write_bits(self.depth as u64, 32);
@@ -169,6 +197,9 @@ impl VolumeHeader {
         writer.write_bits(self.tile_width as u64, 32);
         writer.write_bits(self.tile_height as u64, 32);
         writer.write_bits(self.brick_depth as u64, 32);
+        if self.delta != 0 {
+            writer.write_bits(u64::from(self.delta), 8);
+        }
         Ok(())
     }
 
@@ -191,13 +222,13 @@ impl VolumeHeader {
             return Err(CoderError::UnsupportedFormat("bad volume magic number".to_owned()));
         }
         let version = field(8, "version")? as u8;
-        if version != VOLUME_VERSION {
+        if version != VOLUME_VERSION && version != VOLUME_QUANT_VERSION {
             return Err(CoderError::UnsupportedFormat(format!(
                 "volume container version {version} is not supported (this build reads \
-                 {VOLUME_VERSION})"
+                 {VOLUME_VERSION} and {VOLUME_QUANT_VERSION})"
             )));
         }
-        let header = Self {
+        let mut header = Self {
             width: field(32, "width")? as usize,
             height: field(32, "height")? as usize,
             depth: field(32, "depth")? as usize,
@@ -207,7 +238,17 @@ impl VolumeHeader {
             tile_width: field(32, "tile width")? as usize,
             tile_height: field(32, "tile height")? as usize,
             brick_depth: field(32, "brick depth")? as usize,
+            delta: 0,
         };
+        if version == VOLUME_QUANT_VERSION {
+            header.delta = field(8, "quantizer delta")? as u8;
+            if header.delta == 0 {
+                return Err(CoderError::MalformedStream(
+                    "malformed quantizer header: near-lossless container version with zero delta"
+                        .to_owned(),
+                ));
+            }
+        }
         header.validate()?;
         Ok(header)
     }
@@ -241,7 +282,7 @@ pub fn write_volume_container(
     }
     let mut writer = BitWriter::new();
     header.write(&mut writer)?;
-    Ok(append_directory_and_payloads(writer, VOLUME_HEADER_BYTES, payloads))
+    Ok(append_directory_and_payloads(writer, header.serialized_bytes(), payloads))
 }
 
 /// Serializes one brick payload: the length table followed by the
@@ -344,7 +385,7 @@ impl<'a> VolumeStream<'a> {
         let claimed = grid.plane().tiles_x() as u128
             * grid.plane().tiles_y() as u128
             * grid.bricks_z() as u128;
-        let offsets = read_directory(&mut reader, bytes.len(), VOLUME_HEADER_BYTES, claimed)?;
+        let offsets = read_directory(&mut reader, bytes.len(), header.serialized_bytes(), claimed)?;
         Ok(Self { header, offsets, bytes })
     }
 
@@ -396,6 +437,7 @@ mod tests {
             tile_width: 32,
             tile_height: 32,
             brick_depth: 4,
+            delta: 0,
         }
     }
 
@@ -477,8 +519,58 @@ mod tests {
     #[test]
     fn unknown_versions_are_rejected() {
         let (_, _, mut bytes) = sample_container();
-        bytes[4] = VOLUME_VERSION + 1;
+        bytes[4] = VOLUME_QUANT_VERSION + 1;
         assert!(matches!(VolumeStream::parse(&bytes), Err(CoderError::UnsupportedFormat(_))));
+    }
+
+    #[test]
+    fn near_lossless_headers_roundtrip_with_the_delta_byte() {
+        let header = VolumeHeader { delta: 3, ..sample_header() };
+        let mut writer = BitWriter::new();
+        header.write(&mut writer).unwrap();
+        let bytes = writer.into_bytes();
+        assert_eq!(bytes.len(), VOLUME_HEADER_BYTES + 1);
+        assert_eq!(bytes[4], VOLUME_QUANT_VERSION);
+        let mut reader = BitReader::new(&bytes);
+        assert_eq!(VolumeHeader::read(&mut reader).unwrap(), header);
+    }
+
+    #[test]
+    fn near_lossless_containers_slice_bricks_back_out() {
+        let header = VolumeHeader { delta: 2, ..sample_header() };
+        let grid = header.grid().unwrap();
+        let payloads: Vec<Vec<u8>> = grid
+            .rects()
+            .enumerate()
+            .map(|(i, rect)| {
+                let planes: Vec<Vec<u8>> = (0..rect.depth)
+                    .map(|z| vec![(i + z) as u8; rect.plane.pixel_count()])
+                    .collect();
+                write_brick_payload(&planes)
+            })
+            .collect();
+        let bytes = write_volume_container(&header, &payloads).unwrap();
+        let stream = VolumeStream::parse(&bytes).unwrap();
+        assert_eq!(stream.header(), &header);
+        for (index, payload) in payloads.iter().enumerate() {
+            assert_eq!(stream.brick_bytes(index), payload.as_slice(), "brick {index}");
+        }
+    }
+
+    #[test]
+    fn near_lossless_version_with_zero_delta_is_malformed() {
+        let header = VolumeHeader { delta: 1, ..sample_header() };
+        let mut writer = BitWriter::new();
+        header.write(&mut writer).unwrap();
+        let mut bytes = writer.into_bytes();
+        *bytes.last_mut().unwrap() = 0;
+        let mut reader = BitReader::new(&bytes);
+        match VolumeHeader::read(&mut reader) {
+            Err(CoderError::MalformedStream(msg)) => {
+                assert!(msg.contains("quantizer"), "{msg}");
+            }
+            other => panic!("expected MalformedStream, got {other:?}"),
+        }
     }
 
     #[test]
@@ -544,6 +636,7 @@ mod tests {
             tile_width: (1 << 20) - 1,
             tile_height: 16,
             brick_depth: 8,
+            delta: 0,
         };
         let mut writer = BitWriter::new();
         header.write(&mut writer).unwrap();
@@ -571,6 +664,7 @@ mod tests {
             tile_width: 1,
             tile_height: 1,
             brick_depth: 1,
+            delta: 0,
         };
         let mut writer = BitWriter::new();
         header.write(&mut writer).unwrap();

@@ -29,6 +29,7 @@
 //! | [`lwc_perf`] | MAC counts, software/hardware performance models |
 //! | [`lwc_lifting`] | reversible integer 5/3 transform (baseline) |
 //! | [`lwc_coder`] | Rice-coded lossless image codec |
+//! | [`lwc_metrics`] | PSNR/SSIM/L∞ fidelity and compression-ratio reports |
 //! | [`lwc_pipeline`] | multithreaded batch/streaming compression engine |
 //! | [`lwc_server`] | concurrent TCP compression service (`LWCP` protocol) |
 //!
@@ -57,6 +58,7 @@ pub use lwc_filters;
 pub use lwc_fixed;
 pub use lwc_image;
 pub use lwc_lifting;
+pub use lwc_metrics;
 pub use lwc_perf;
 pub use lwc_pipeline;
 pub use lwc_server;

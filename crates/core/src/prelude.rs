@@ -32,10 +32,11 @@ pub use lwc_filters::{
 };
 pub use lwc_fixed::{Fx, MacAccumulator, QFormat};
 pub use lwc_image::{
-    pgm, stats, synth, BrickGrid, BrickRect, Image, ImageError, ImageStack, ImageView,
-    ImageViewMut, TileGrid, TileRect, VolumeView,
+    dicom, pgm, stats, synth, BrickGrid, BrickRect, DicomImage, Image, ImageError, ImageStack,
+    ImageView, ImageViewMut, TileGrid, TileRect, VolumeView,
 };
 pub use lwc_lifting::{Lifting53, LineDwt53};
+pub use lwc_metrics::{self as metrics, FidelityReport};
 pub use lwc_perf::hardware::{HardwareModel, ThroughputReport};
 pub use lwc_perf::software::SoftwareModel;
 pub use lwc_pipeline::{

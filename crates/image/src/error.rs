@@ -42,6 +42,13 @@ pub enum ImageError {
     },
     /// A PGM stream could not be parsed.
     MalformedPgm(String),
+    /// A DICOM stream is structurally invalid (truncated element header,
+    /// forged length, inconsistent pixel module).
+    MalformedDicom(String),
+    /// A DICOM stream is well-formed but uses a feature outside the
+    /// supported subset (compressed transfer syntaxes, sequences with
+    /// undefined length, exotic photometric interpretations).
+    UnsupportedDicom(String),
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -67,6 +74,8 @@ impl fmt::Display for ImageError {
                 )
             }
             ImageError::MalformedPgm(msg) => write!(f, "malformed pgm stream: {msg}"),
+            ImageError::MalformedDicom(msg) => write!(f, "malformed dicom stream: {msg}"),
+            ImageError::UnsupportedDicom(msg) => write!(f, "unsupported dicom feature: {msg}"),
             ImageError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -15,6 +15,9 @@
 //!   smooth-plus-texture field, and step/gradient patterns for edge cases,
 //! * [`pgm`] — portable graymap I/O so users can run the pipeline on their
 //!   own data,
+//! * [`dicom`] — a minimal, dependency-free reader (and fixture writer) for
+//!   uncompressed little-endian DICOM Part 10 objects, so real CT/MR exports
+//!   feed the corpus harness directly,
 //! * [`stats`] — entropy, MSE/PSNR and exactness checks used by the lossless
 //!   verification and by the compression examples.
 //!
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dicom;
 mod error;
 mod image;
 pub mod pgm;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod synth;
 mod view;
 
+pub use dicom::DicomImage;
 pub use error::ImageError;
 pub use image::Image;
 pub use stack::{BrickGrid, BrickRect, ImageStack, VolumeView};

@@ -1,0 +1,378 @@
+//! # lwc-metrics — rate/distortion metrics for the corpus harness
+//!
+//! The lossless path needs only one fidelity number (`max|orig − recon| = 0`)
+//! but the near-lossless mode trades a bounded per-pixel error against rate,
+//! and evaluating that trade on a real corpus needs the standard yardsticks:
+//!
+//! * [`psnr`] — peak signal-to-noise ratio against the **full-scale peak**
+//!   `2^bit_depth − 1` (the same convention as `lwc_image::stats::psnr`),
+//!   plus [`psnr_from_mse`] so volume and corpus aggregates can pool squared
+//!   error across slices or files before the log.
+//! * [`ssim`] — mean structural similarity over 8×8 box windows
+//!   (`K1 = 0.01`, `K2 = 0.03`, population variances), the plain-window
+//!   form of Wang et al.'s index. Identical images score exactly 1.
+//! * [`max_abs_error`] — the L∞ distortion the near-lossless quantizer
+//!   guarantees a bound on; `0` is the paper's lossless criterion.
+//! * [`FidelityReport`] / [`fidelity`] — the three numbers above for one
+//!   image pair, [`volume_fidelity`] for an [`ImageStack`] pair (worst-case
+//!   L∞ across slices, mean squared error pooled over all voxels),
+//! * [`CompressionReport`] / [`compression`] — rate side: compressed bytes
+//!   vs raw bytes, compression ratio and bits per pixel, combined with a
+//!   [`FidelityReport`] into the ratio-vs-PSNR rows the corpus harness
+//!   prints.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use lwc_image::{Image, ImageError, ImageStack};
+
+/// SSIM stabilising constant factor for the luminance term (`K1`).
+pub const SSIM_K1: f64 = 0.01;
+
+/// SSIM stabilising constant factor for the contrast term (`K2`).
+pub const SSIM_K2: f64 = 0.03;
+
+/// Window edge for the box-window SSIM, in pixels.
+pub const SSIM_WINDOW: usize = 8;
+
+/// Mean squared error between two images.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn mse(reference: &Image, test: &Image) -> Result<f64, ImageError> {
+    lwc_image::stats::mse(reference, test)
+}
+
+/// Largest absolute pixel difference — the L∞ distortion the near-lossless
+/// quantizer bounds. `0` means bit-exact reconstruction.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn max_abs_error(reference: &Image, test: &Image) -> Result<i32, ImageError> {
+    lwc_image::stats::max_abs_diff(reference, test)
+}
+
+/// Peak signal-to-noise ratio in dB against the full-scale peak
+/// `2^bit_depth − 1` of the **reference** image.
+///
+/// Returns `f64::INFINITY` for identical images. This is the convention
+/// compression results are tabulated in: the peak is the nominal full-scale
+/// value of the bit depth, not the image's actual dynamic range.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn psnr(reference: &Image, test: &Image) -> Result<f64, ImageError> {
+    let e = mse(reference, test)?;
+    Ok(psnr_from_mse(e, reference.bit_depth()))
+}
+
+/// PSNR in dB from a mean squared error and a bit depth; `f64::INFINITY`
+/// when the error is zero.
+#[must_use]
+pub fn psnr_from_mse(mse: f64, bit_depth: u32) -> f64 {
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    let peak = f64::from((1u32 << bit_depth) - 1);
+    10.0 * (peak * peak / mse).log10()
+}
+
+/// Mean structural similarity over 8×8 box windows.
+///
+/// The image is covered by non-overlapping [`SSIM_WINDOW`]-square windows;
+/// when the width or height is not a multiple of the window, one extra
+/// column/row of windows is anchored at the right/bottom edge so every pixel
+/// is covered (edge pixels may be counted twice, a standard tiling choice).
+/// Each window contributes
+/// `((2 μx μy + C1)(2 σxy + C2)) / ((μx² + μy² + C1)(σx² + σy² + C2))`
+/// with population (co)variances, `C1 = (K1·L)²`, `C2 = (K2·L)²` and
+/// `L = 2^bit_depth − 1`; the result is the mean over windows. Identical
+/// images score exactly `1.0`; the index is symmetric in its arguments.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn ssim(reference: &Image, test: &Image) -> Result<f64, ImageError> {
+    if reference.width() != test.width() || reference.height() != test.height() {
+        return Err(ImageError::ShapeMismatch {
+            left: (reference.width(), reference.height()),
+            right: (test.width(), test.height()),
+        });
+    }
+    let l = f64::from((1u32 << reference.bit_depth()) - 1);
+    let c1 = (SSIM_K1 * l).powi(2);
+    let c2 = (SSIM_K2 * l).powi(2);
+
+    let starts = |extent: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = (0..extent / SSIM_WINDOW).map(|i| i * SSIM_WINDOW).collect();
+        if extent % SSIM_WINDOW != 0 {
+            v.push(extent.saturating_sub(SSIM_WINDOW));
+        }
+        v
+    };
+    let xs = starts(reference.width());
+    let ys = starts(reference.height());
+
+    let mut total = 0.0;
+    let mut windows = 0u64;
+    for &y0 in &ys {
+        for &x0 in &xs {
+            let w = SSIM_WINDOW.min(reference.width());
+            let h = SSIM_WINDOW.min(reference.height());
+            let n = (w * h) as f64;
+            let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for y in y0..y0 + h {
+                let ra = &reference.row(y)[x0..x0 + w];
+                let rb = &test.row(y)[x0..x0 + w];
+                for (&a, &b) in ra.iter().zip(rb) {
+                    let (a, b) = (f64::from(a), f64::from(b));
+                    sx += a;
+                    sy += b;
+                    sxx += a * a;
+                    syy += b * b;
+                    sxy += a * b;
+                }
+            }
+            let (mx, my) = (sx / n, sy / n);
+            let vx = sxx / n - mx * mx;
+            let vy = syy / n - my * my;
+            let cov = sxy / n - mx * my;
+            total += ((2.0 * mx * my + c1) * (2.0 * cov + c2))
+                / ((mx * mx + my * my + c1) * (vx + vy + c2));
+            windows += 1;
+        }
+    }
+    Ok(total / windows as f64)
+}
+
+/// Fidelity of one reconstruction against its reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// PSNR in dB against the full-scale peak; `f64::INFINITY` when
+    /// bit-exact.
+    pub psnr_db: f64,
+    /// Mean SSIM over 8×8 box windows (per-slice mean for volumes).
+    pub ssim: f64,
+    /// Largest absolute sample difference (L∞ distortion).
+    pub max_abs_error: i32,
+}
+
+impl FidelityReport {
+    /// `true` when the reconstruction is bit-exact.
+    #[must_use]
+    pub fn lossless(&self) -> bool {
+        self.max_abs_error == 0
+    }
+}
+
+/// Computes PSNR, SSIM and max-abs-error for one image pair.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the shapes differ.
+pub fn fidelity(reference: &Image, test: &Image) -> Result<FidelityReport, ImageError> {
+    Ok(FidelityReport {
+        psnr_db: psnr(reference, test)?,
+        ssim: ssim(reference, test)?,
+        max_abs_error: max_abs_error(reference, test)?,
+    })
+}
+
+/// Computes a [`FidelityReport`] for a volume pair: the squared error is
+/// pooled over all voxels before the PSNR log, SSIM is the mean of the
+/// per-slice indices, and the L∞ error is the worst case across slices.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] if the stack shapes differ.
+pub fn volume_fidelity(
+    reference: &ImageStack,
+    test: &ImageStack,
+) -> Result<FidelityReport, ImageError> {
+    if reference.width() != test.width()
+        || reference.height() != test.height()
+        || reference.depth() != test.depth()
+    {
+        return Err(ImageError::ShapeMismatch {
+            left: (reference.width(), reference.height() * reference.depth()),
+            right: (test.width(), test.height() * test.depth()),
+        });
+    }
+    let mut sq_sum = 0.0;
+    let mut ssim_sum = 0.0;
+    let mut worst = 0i32;
+    for z in 0..reference.depth() {
+        let a = reference.slice_image(z)?;
+        let b = test.slice_image(z)?;
+        sq_sum += mse(&a, &b)? * a.pixel_count() as f64;
+        ssim_sum += ssim(&a, &b)?;
+        worst = worst.max(max_abs_error(&a, &b)?);
+    }
+    Ok(FidelityReport {
+        psnr_db: psnr_from_mse(sq_sum / reference.voxel_count() as f64, reference.bit_depth()),
+        ssim: ssim_sum / reference.depth() as f64,
+        max_abs_error: worst,
+    })
+}
+
+/// Rate and fidelity of one compressed item — a ratio-vs-PSNR table row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionReport {
+    /// Raw sample payload in bytes (samples × ceil(bit_depth / 8)).
+    pub raw_bytes: u64,
+    /// Compressed stream length in bytes.
+    pub compressed_bytes: u64,
+    /// `raw_bytes / compressed_bytes`.
+    pub ratio: f64,
+    /// Compressed bits per pixel (or voxel).
+    pub bits_per_pixel: f64,
+    /// Reconstruction fidelity.
+    pub fidelity: FidelityReport,
+}
+
+/// Raw byte size of `samples` samples at `bit_depth` bits, using the
+/// byte-aligned storage convention (1 byte up to 8 bits, 2 bytes up to 16).
+#[must_use]
+pub fn raw_bytes(samples: u64, bit_depth: u32) -> u64 {
+    samples * u64::from(bit_depth.div_ceil(8))
+}
+
+/// Combines a stream length with a fidelity report into a table row.
+/// `samples` is the pixel (or voxel) count of the original.
+#[must_use]
+pub fn compression(
+    samples: u64,
+    bit_depth: u32,
+    compressed_bytes: u64,
+    fidelity: FidelityReport,
+) -> CompressionReport {
+    let raw = raw_bytes(samples, bit_depth);
+    CompressionReport {
+        raw_bytes: raw,
+        compressed_bytes,
+        ratio: raw as f64 / compressed_bytes as f64,
+        bits_per_pixel: compressed_bytes as f64 * 8.0 / samples as f64,
+        fidelity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwc_image::synth;
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = synth::ct_phantom(64, 48, 12, 1);
+        assert_eq!(psnr(&img, &img).unwrap(), f64::INFINITY);
+        assert_eq!(max_abs_error(&img, &img).unwrap(), 0);
+    }
+
+    #[test]
+    fn psnr_uses_the_full_scale_peak() {
+        // One pixel off by 1 in a 4x4 8-bit image: MSE = 1/16,
+        // PSNR = 10 log10(255^2 * 16) ≈ 60.17 dB — a hand-computed golden.
+        let a = synth::flat(4, 4, 8, 10);
+        let mut samples = a.samples().to_vec();
+        samples[0] = 11;
+        let b = Image::from_samples(4, 4, 8, samples).unwrap();
+        let expected = 10.0 * (255.0f64 * 255.0 * 16.0).log10();
+        assert!((psnr(&a, &b).unwrap() - expected).abs() < 1e-9);
+        // Same full-scale convention as the in-crate statistics helper.
+        assert_eq!(lwc_image::stats::psnr(&a, &b).unwrap(), psnr(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn ssim_of_identical_images_is_one() {
+        let img = synth::mr_slice(64, 64, 12, 9);
+        assert!((ssim(&img, &img).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_matches_the_uniform_shift_closed_form() {
+        // Flat image vs flat image shifted by c: every window has zero
+        // variance, so SSIM = (2μ(μ+c) + C1) / (μ² + (μ+c)² + C1) exactly.
+        let mu = 100.0f64;
+        let c = 20.0f64;
+        let a = synth::flat(16, 16, 8, 100);
+        let b = synth::flat(16, 16, 8, 120);
+        let c1 = (SSIM_K1 * 255.0).powi(2);
+        let expected = (2.0 * mu * (mu + c) + c1) / (mu * mu + (mu + c) * (mu + c) + c1);
+        assert!((ssim(&a, &b).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_is_symmetric_and_bounded_for_distorted_pairs() {
+        let a = synth::ct_phantom(50, 37, 12, 3);
+        let samples: Vec<i32> = a.samples().iter().map(|&v| (v + 3).min((1 << 12) - 1)).collect();
+        let b = Image::from_samples(50, 37, 12, samples).unwrap();
+        let ab = ssim(&a, &b).unwrap();
+        let ba = ssim(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12, "symmetry");
+        assert!(ab > -1.0 && ab < 1.0, "a mild distortion scores inside (-1, 1): {ab}");
+        assert!(ab > 0.9, "a +3 shift on 12-bit data is barely visible: {ab}");
+    }
+
+    #[test]
+    fn ssim_covers_non_multiple_dimensions() {
+        // 13x11 forces edge-anchored tail windows in both axes.
+        let img = synth::random_image(13, 11, 8, 4);
+        assert!((ssim(&img, &img).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatches_are_errors_everywhere() {
+        let a = synth::flat(8, 8, 8, 1);
+        let b = synth::flat(8, 9, 8, 1);
+        assert!(psnr(&a, &b).is_err());
+        assert!(ssim(&a, &b).is_err());
+        assert!(max_abs_error(&a, &b).is_err());
+        assert!(fidelity(&a, &b).is_err());
+    }
+
+    #[test]
+    fn fidelity_report_flags_lossless() {
+        let img = synth::ct_phantom(32, 32, 12, 2);
+        let report = fidelity(&img, &img).unwrap();
+        assert!(report.lossless());
+        assert_eq!(report.psnr_db, f64::INFINITY);
+        assert!((report.ssim - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_fidelity_pools_error_and_takes_worst_linf() {
+        let slices: Vec<Image> = (0..3).map(|z| synth::ct_phantom(24, 16, 12, z as u64)).collect();
+        let reference = ImageStack::from_slices(&slices).unwrap();
+        // Distort only slice 1, by +2 on one pixel.
+        let mut distorted = slices.clone();
+        let mut samples = distorted[1].samples().to_vec();
+        samples[10] += 2;
+        distorted[1] = Image::from_samples(24, 16, 12, samples).unwrap();
+        let test = ImageStack::from_slices(&distorted).unwrap();
+        let report = volume_fidelity(&reference, &test).unwrap();
+        assert_eq!(report.max_abs_error, 2);
+        // Pooled MSE: 4 / (24*16*3).
+        let expected = psnr_from_mse(4.0 / (24.0 * 16.0 * 3.0), 12);
+        assert!((report.psnr_db - expected).abs() < 1e-9);
+        assert!(!report.lossless());
+        // Identical stacks are lossless and infinite-PSNR.
+        let same = volume_fidelity(&reference, &reference).unwrap();
+        assert!(same.lossless());
+        assert_eq!(same.psnr_db, f64::INFINITY);
+    }
+
+    #[test]
+    fn compression_report_arithmetic() {
+        let fid = FidelityReport { psnr_db: f64::INFINITY, ssim: 1.0, max_abs_error: 0 };
+        // 512x512 at 12 bits: 2 bytes/sample raw.
+        let report = compression(512 * 512, 12, 262_144, fid);
+        assert_eq!(report.raw_bytes, 512 * 512 * 2);
+        assert!((report.ratio - 2.0).abs() < 1e-12);
+        assert!((report.bits_per_pixel - 8.0).abs() < 1e-12);
+        assert_eq!(raw_bytes(100, 8), 100);
+        assert_eq!(raw_bytes(100, 9), 200);
+    }
+}

@@ -7,8 +7,10 @@
 //! — that all answer the same two questions: bytes from an image, an image
 //! from bytes. [`Codec`] names that contract once, so call sites (the batch
 //! engine, the server's op dispatch, the reproduction binary) hold a
-//! `&dyn Codec` and never enumerate engines, and the next format (3-D
-//! bricks, near-lossless) slots in by implementing one trait.
+//! `&dyn Codec` and never enumerate engines; the 3-D brick engine
+//! ([`VolumeCompressor`], `LWCV`) and the near-lossless mode (`LWCQ`, a
+//! quantizer bound threaded through the lifting engines) slotted in exactly
+//! that way.
 //!
 //! The trait is **object safe** and deliberately small: two required
 //! methods plus capability reporting. Random tile access and bounded-memory
@@ -42,13 +44,21 @@ pub struct CodecCapabilities {
     /// (Table I banks at Table II word lengths) rather than the reversible
     /// lifting transform.
     pub fixed_point: bool,
+    /// `true` if the engine accepts a near-lossless configuration
+    /// ([`LosslessCodec::near_lossless`]): detail-band quantization under a
+    /// per-pixel bound `δ`, with `δ = 0` byte-identical to the lossless
+    /// streams.
+    pub near_lossless: bool,
 }
 
-/// A lossless image compression engine.
+/// A lossless — or bounded-error near-lossless — image compression engine.
 ///
 /// The contract every implementation honors:
 ///
-/// * `decompress(compress(image))` is pixel-exact for every supported image,
+/// * `decompress(compress(image))` is pixel-exact for every supported image
+///   when the engine is configured losslessly; an engine configured with a
+///   near-lossless bound `δ` (see [`CodecCapabilities::near_lossless`])
+///   reconstructs every pixel within `δ` of the original instead,
 /// * streams depend only on the image and the engine's configuration, never
 ///   on worker counts or scheduling,
 /// * malformed input to `decompress*` surfaces as a typed
@@ -81,7 +91,8 @@ pub trait Codec: Send + Sync {
     /// configuration (e.g. undecomposable geometry).
     fn compress(&self, image: &Image) -> Result<Vec<u8>, PipelineError>;
 
-    /// Reconstructs the image, pixel-exact.
+    /// Reconstructs the image — pixel-exact for lossless streams, within the
+    /// stream's declared bound `δ` for near-lossless ones.
     ///
     /// # Errors
     ///
@@ -162,10 +173,11 @@ impl Codec for LosslessCodec {
 
     fn capabilities(&self) -> CodecCapabilities {
         CodecCapabilities {
-            containers: "LWC1",
+            containers: "LWC1/LWCQ",
             tiled: false,
             streaming_decode: false,
             fixed_point: false,
+            near_lossless: true,
         }
     }
 
@@ -185,10 +197,11 @@ impl Codec for ParallelCodec {
 
     fn capabilities(&self) -> CodecCapabilities {
         CodecCapabilities {
-            containers: "LWC1",
+            containers: "LWC1/LWCQ",
             tiled: false,
             streaming_decode: false,
             fixed_point: false,
+            near_lossless: true,
         }
     }
 
@@ -208,10 +221,11 @@ impl Codec for TiledCompressor {
 
     fn capabilities(&self) -> CodecCapabilities {
         CodecCapabilities {
-            containers: "LWC1/LWCT",
+            containers: "LWC1/LWCQ/LWCT",
             tiled: true,
             streaming_decode: true,
             fixed_point: false,
+            near_lossless: true,
         }
     }
 
@@ -246,6 +260,7 @@ impl Codec for TiledFixedCompressor {
             tiled: true,
             streaming_decode: true,
             fixed_point: true,
+            near_lossless: false,
         }
     }
 
@@ -285,6 +300,7 @@ impl Codec for VolumeCompressor {
             tiled: true,
             streaming_decode: false,
             fixed_point: false,
+            near_lossless: true,
         }
     }
 
@@ -357,13 +373,34 @@ mod tests {
     #[test]
     fn capabilities_describe_the_engines() {
         let caps: Vec<CodecCapabilities> = engines().iter().map(|e| e.capabilities()).collect();
-        assert!(!caps[0].tiled && !caps[0].fixed_point);
-        assert!(!caps[1].tiled && !caps[1].fixed_point); // line-based fused engine
-        assert!(caps[3].tiled && caps[3].streaming_decode);
-        assert!(caps[5].fixed_point);
+        assert!(!caps[0].tiled && !caps[0].fixed_point && caps[0].near_lossless);
+        // The line-based fused engine is lossless-only: it has no
+        // quantization stage.
+        assert!(!caps[1].tiled && !caps[1].fixed_point && !caps[1].near_lossless);
+        assert!(caps[2].near_lossless);
+        assert!(caps[3].tiled && caps[3].streaming_decode && caps[3].near_lossless);
+        assert!(caps[5].fixed_point && !caps[5].near_lossless);
         assert_eq!(caps[5].containers, "LWCF");
-        assert!(caps[6].tiled && !caps[6].fixed_point);
+        assert!(caps[6].tiled && !caps[6].fixed_point && caps[6].near_lossless);
         assert_eq!(caps[6].containers, "LWCV");
+    }
+
+    #[test]
+    fn near_lossless_engines_honor_the_bound_through_the_trait() {
+        let image = synth::ct_phantom(96, 64, 12, 13);
+        let codec = LosslessCodec::near_lossless(3, 2).unwrap();
+        let engines: Vec<Box<dyn Codec>> = vec![
+            Box::new(codec),
+            Box::new(ParallelCodec::with_codec(codec, 2)),
+            Box::new(TiledCompressor::with_codec(codec, 32, 32, 2).unwrap()),
+            Box::new(VolumeCompressor::with_codec(codec, 1, 32, 32, 8, 2).unwrap()),
+        ];
+        for engine in engines {
+            assert!(engine.capabilities().near_lossless, "{}", engine.name());
+            let back = engine.roundtrip(&image).unwrap();
+            let err = stats::max_abs_diff(&image, &back).unwrap();
+            assert!(err <= 2, "{}: max error {err}", engine.name());
+        }
     }
 
     #[test]

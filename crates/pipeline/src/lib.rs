@@ -63,6 +63,15 @@
 //!   row-band streaming, with capability reporting), so the batch engine,
 //!   the server and the reproduction binary dispatch over `&dyn Codec`
 //!   instead of enumerating engines.
+//! * **Near-lossless mode** — the lifting engines ([`ParallelCodec`],
+//!   [`TiledCompressor`], [`VolumeCompressor`], [`BatchCompressor`]) accept
+//!   an [`lwc_coder::LosslessCodec::near_lossless`] configuration: detail
+//!   subbands are uniformly quantized under a deterministic schedule derived
+//!   from a per-pixel error bound `δ` ([`lwc_coder::QuantSchedule`]), the
+//!   bound is enforced end to end (`max|orig − recon| ≤ δ`, with the z-axis
+//!   synthesis gain accounted for in the volumetric path via
+//!   [`lwc_coder::plane_delta_for_volume`]), and `δ = 0` is byte-identical
+//!   to the lossless streams.
 //! * [`BatchReport`] — wall-clock throughput of a batch run (MB/s, images/s,
 //!   compression ratio).
 

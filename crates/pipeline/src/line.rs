@@ -61,9 +61,14 @@ impl LineCompressor {
         Ok(Self::with_codec(LosslessCodec::new(scales)?))
     }
 
-    /// Wraps an existing codec configuration.
+    /// Wraps an existing codec configuration. The fused line transform has
+    /// no quantization stage, so any near-lossless bound on `codec` is
+    /// stripped: the engine always emits lossless streams (callers that want
+    /// near-lossless tiles go through [`crate::TiledCompressor`], which
+    /// bypasses the line path when its codec carries a bound).
     #[must_use]
     pub fn with_codec(codec: LosslessCodec) -> Self {
+        let codec = LosslessCodec::new(codec.scales()).expect("scales validated by construction");
         Self { codec }
     }
 
@@ -271,6 +276,7 @@ impl Codec for LineCompressor {
             tiled: false,
             streaming_decode: false,
             fixed_point: false,
+            near_lossless: false,
         }
     }
 

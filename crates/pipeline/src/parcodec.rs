@@ -27,7 +27,9 @@ use std::thread;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubbandDirectory {
     header: StreamHeader,
-    /// Start bit of each subband payload; `offsets[0] == StreamHeader::BITS`.
+    /// Start bit of each subband payload; `offsets[0] == header.bits()`
+    /// (the serialized header size — [`StreamHeader::BITS`] for lossless
+    /// streams, 8 more for near-lossless ones).
     offsets: Vec<u64>,
 }
 
@@ -155,11 +157,15 @@ impl ParallelCodec {
 
         // Extract and encode every subband on the worker pool (the container
         // is read-only, so each worker gathers its own subband rather than
-        // paying for a serial extraction pass up front).
+        // paying for a serial extraction pass up front). A near-lossless
+        // codec quantizes per band exactly like the sequential encoder, so
+        // byte-identity holds at every delta.
         let subbands = *self.codec.subband_codec();
+        let schedule = self.codec.schedule();
         let fragments: Vec<(Vec<u8>, u64)> = run_indexed(self.workers, order.len(), |i| {
             let (scale, band) = order[i];
-            let samples = coeffs.subband(scale, band);
+            let mut samples = coeffs.subband(scale, band);
+            lwc_coder::quant::quantize(&mut samples, schedule.allowance(scale, band));
             let mut writer = BitWriter::new();
             subbands.encode_subband(&mut writer, &samples);
             let bits = writer.bit_len();

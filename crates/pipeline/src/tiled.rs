@@ -183,8 +183,10 @@ impl TiledCompressor {
         let bytes = if grid.is_single() {
             // Byte-identical legacy fast path: one tile covering the image is
             // exactly the whole-image codec (tile dimensions fit the legacy
-            // 20-bit fields by construction).
-            if self.line_transform {
+            // 20-bit fields by construction). The fused line transform is
+            // lossless-only, so near-lossless configurations fall back to the
+            // plain codec (which produces the same bytes for delta = 0).
+            if self.line_transform && self.codec.delta() == 0 {
                 crate::LineCompressor::with_codec(self.codec).compress(image)?
             } else {
                 self.codec.compress(image)?
@@ -197,6 +199,7 @@ impl TiledCompressor {
                 scales: self.codec.scales(),
                 tile_width: grid.tile_width(),
                 tile_height: grid.tile_height(),
+                delta: self.codec.delta(),
             };
             let payloads = run_indexed(self.workers, grid.tile_count(), |index| {
                 self.encode_tile(image, &grid, index)
@@ -230,7 +233,7 @@ impl TiledCompressor {
         index: usize,
     ) -> Result<Vec<u8>, PipelineError> {
         let view = image.view_rect(grid.rect(index)).map_err(CoderError::from)?;
-        if self.line_transform {
+        if self.line_transform && self.codec.delta() == 0 {
             crate::LineCompressor::with_codec(self.codec).compress_view(&view)
         } else {
             Ok(self.codec.compress_view(&view)?)
@@ -261,12 +264,16 @@ impl TiledCompressor {
             scales: self.codec.scales(),
             tile_width: grid.tile_width(),
             tile_height: grid.tile_height(),
+            delta: self.codec.delta(),
         };
         Ok(write_container(&header, payloads)?)
     }
 
     /// Reconstructs the image from a tiled container **or** a legacy
-    /// single-image stream (the magic is sniffed). The result is pixel-exact.
+    /// single-image stream (the magic is sniffed). Lossless streams
+    /// reconstruct pixel-exactly; near-lossless streams reconstruct within
+    /// the per-pixel bound `δ` their headers declare (each tile's stream
+    /// header is cross-checked against the container's quantizer delta).
     ///
     /// Tiles are decoded in bounded batches (a few per worker) and scattered
     /// into the frame as each batch completes, so peak memory stays at the
@@ -442,7 +449,15 @@ impl TiledCompressor {
         run_indexed(self.workers, count, |offset| {
             let index = first + offset;
             let rect = grid.rect(index);
-            let tile = codec.decompress(stream.tile_bytes(index))?;
+            let tile_bytes = stream.tile_bytes(index);
+            let tile_header = StreamHeader::read(&mut BitReader::new(tile_bytes))?;
+            if tile_header.delta != header.delta {
+                return Err(CoderError::MalformedStream(format!(
+                    "tile {index} carries quantizer delta {} but the container header says {}",
+                    tile_header.delta, header.delta
+                )));
+            }
+            let tile = codec.decompress(tile_bytes)?;
             if tile.width() != rect.width || tile.height() != rect.height {
                 return Err(CoderError::MalformedStream(format!(
                     "tile {index} decodes to {}x{} but the grid places a {}x{} tile there",
@@ -726,6 +741,64 @@ mod tests {
         // Mismatched codec depth.
         let other = TiledCompressor::new(4, 32, 2).unwrap();
         assert!(other.decompress(&bytes).is_err());
+    }
+
+    #[test]
+    fn near_lossless_roundtrips_stay_within_the_bound() {
+        let image = synth::ct_phantom(100, 60, 12, 11);
+        for delta in [1u8, 2, 4, 8] {
+            let codec = LosslessCodec::near_lossless(3, delta).unwrap();
+            let engine = TiledCompressor::with_codec(codec, 32, 32, 2).unwrap();
+            let bytes = engine.compress(&image).unwrap();
+            assert!(is_tiled(&bytes));
+            assert!(engine.decompress_row_bands(&bytes).is_ok());
+            let back = engine.decompress(&bytes).unwrap();
+            let err = stats::max_abs_diff(&image, &back).unwrap();
+            assert!(err <= i32::from(delta), "delta {delta}: max error {err}");
+            // Tile access and band streaming honor the bound too.
+            let tile = engine.decompress_tile(&bytes, 0).unwrap();
+            let rect = engine.grid(100, 60).unwrap().rect(0);
+            let crop = image.crop(rect).unwrap();
+            assert!(stats::max_abs_diff(&crop, &tile).unwrap() <= i32::from(delta));
+        }
+    }
+
+    #[test]
+    fn zero_delta_engines_are_byte_identical_to_lossless_ones() {
+        let image = synth::mr_slice(100, 60, 12, 12);
+        let lossless = TiledCompressor::new(3, 32, 2).unwrap();
+        let near =
+            TiledCompressor::with_codec(LosslessCodec::near_lossless(3, 0).unwrap(), 32, 32, 2)
+                .unwrap();
+        assert_eq!(lossless.compress(&image).unwrap(), near.compress(&image).unwrap());
+    }
+
+    #[test]
+    fn tiles_with_mismatched_quantizer_deltas_are_rejected() {
+        // A container whose header claims delta = 2 but whose tiles were
+        // coded losslessly is a forgery: the per-tile cross-check must catch
+        // it before any tile is trusted.
+        let engine = TiledCompressor::new(3, 32, 2).unwrap();
+        let image = synth::ct_phantom(100, 60, 12, 13);
+        let grid = engine.grid(100, 60).unwrap();
+        let payloads: Vec<Vec<u8>> =
+            (0..grid.tile_count()).map(|i| engine.encode_tile(&image, &grid, i).unwrap()).collect();
+        let header = TiledHeader {
+            width: 100,
+            height: 60,
+            bit_depth: 12,
+            scales: 3,
+            tile_width: grid.tile_width(),
+            tile_height: grid.tile_height(),
+            delta: 2,
+        };
+        let forged = write_container(&header, &payloads).unwrap();
+        match engine.decompress(&forged) {
+            Err(PipelineError::Coder(CoderError::MalformedStream(msg))) => {
+                assert!(msg.contains("quantizer delta"), "{msg}");
+            }
+            other => panic!("expected MalformedStream, got {other:?}"),
+        }
     }
 
     #[test]

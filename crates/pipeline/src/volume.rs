@@ -27,7 +27,7 @@ use crate::parcodec::run_indexed;
 use crate::report::TiledReport;
 use crate::PipelineError;
 use lwc_coder::volume::{split_brick_payload, write_brick_payload, write_volume_container};
-use lwc_coder::{CoderError, LosslessCodec, VolumeHeader, VolumeStream};
+use lwc_coder::{plane_delta_for_volume, CoderError, LosslessCodec, VolumeHeader, VolumeStream};
 use lwc_image::{BrickGrid, BrickRect, Image, ImageStack, ImageView};
 use lwc_lifting::{forward_z, inverse_z};
 use std::thread;
@@ -59,7 +59,14 @@ pub const DEFAULT_BRICK_DEPTH: usize = 8;
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct VolumeCompressor {
+    /// The user-facing codec; its `delta` is the per-voxel bound the volume
+    /// container advertises.
     codec: LosslessCodec,
+    /// The codec actually applied per coefficient plane: its delta is
+    /// [`plane_delta_for_volume`] of the volume bound, shrunk so the z-axis
+    /// synthesis stages cannot amplify the per-plane error past the volume
+    /// bound. Identical to `codec` when `delta == 0` or `z_scales == 0`.
+    plane_codec: LosslessCodec,
     z_scales: u32,
     tile_width: usize,
     tile_height: usize,
@@ -130,7 +137,11 @@ impl VolumeCompressor {
         } else {
             workers
         };
-        Ok(Self { codec, z_scales, tile_width, tile_height, brick_depth, workers })
+        let plane_codec = LosslessCodec::near_lossless(
+            codec.scales(),
+            plane_delta_for_volume(codec.delta(), z_scales),
+        )?;
+        Ok(Self { codec, plane_codec, z_scales, tile_width, tile_height, brick_depth, workers })
     }
 
     /// The per-plane 2-D codec.
@@ -259,7 +270,7 @@ impl VolumeCompressor {
                     stack.bit_depth(),
                 )
                 .map_err(CoderError::from)?;
-                Ok(self.codec.compress_view(&view)?)
+                Ok(self.plane_codec.compress_view(&view)?)
             })
             .collect::<Result<Vec<_>, PipelineError>>()?;
         Ok(write_brick_payload(&planes))
@@ -291,11 +302,15 @@ impl VolumeCompressor {
             tile_width: grid.plane().tile_width(),
             tile_height: grid.plane().tile_height(),
             brick_depth: grid.brick_depth(),
+            delta: self.codec.delta(),
         };
         Ok(write_volume_container(&header, payloads)?)
     }
 
-    /// Reconstructs the volume from an `LWCV` container, voxel-exact.
+    /// Reconstructs the volume from an `LWCV` container — voxel-exact for
+    /// lossless streams, within the per-voxel bound `δ` the container header
+    /// declares for near-lossless ones (each plane's stream header is
+    /// cross-checked against the bound the container implies).
     ///
     /// Bricks are decoded in bounded batches (a few per worker) and
     /// scattered into the volume as each batch completes. Every
@@ -495,7 +510,11 @@ impl VolumeCompressor {
 
     /// Decodes one brick: splits the payload's plane table, 2-D decodes
     /// every coefficient plane through the raw (range-unchecked) path, then
-    /// inverts the z transform with the **container's** `z_scales`.
+    /// inverts the z transform with the **container's** `z_scales`. Each
+    /// plane's stream header must carry the per-plane quantizer delta the
+    /// container's volume bound implies; near-lossless voxels are clamped to
+    /// the container's sample range after the inverse z transform (clamping
+    /// only moves a reconstruction toward the original, so the bound holds).
     fn decode_brick(
         &self,
         stream: &VolumeStream<'_>,
@@ -503,12 +522,20 @@ impl VolumeCompressor {
         index: usize,
     ) -> Result<Vec<i32>, CoderError> {
         let header = stream.header();
+        let expected_delta = plane_delta_for_volume(header.delta, header.z_scales);
         let rect = grid.rect(index);
         let plane_len = rect.plane.pixel_count();
         let planes = split_brick_payload(stream.brick_bytes(index), rect.depth)?;
         let mut samples = Vec::with_capacity(plane_len * rect.depth);
         for (z, plane_bytes) in planes.iter().enumerate() {
             let (plane_header, plane) = self.codec.decompress_raw(plane_bytes)?;
+            if plane_header.delta != expected_delta {
+                return Err(CoderError::MalformedStream(format!(
+                    "brick {index} plane {z} carries quantizer delta {} but the container's \
+                     volume bound {} implies {}",
+                    plane_header.delta, header.delta, expected_delta
+                )));
+            }
             if plane_header.width != rect.plane.width || plane_header.height != rect.plane.height {
                 return Err(CoderError::MalformedStream(format!(
                     "brick {index} plane {z} decodes to {}x{} but the grid places a {}x{} brick \
@@ -526,6 +553,14 @@ impl VolumeCompressor {
             samples.extend_from_slice(&plane);
         }
         inverse_z(&mut samples, plane_len, rect.depth, header.z_scales)?;
+        if header.delta != 0 {
+            // i64 keeps a forged bit depth from overflowing the shift before
+            // the range validation downstream rejects it.
+            let max = ((1i64 << header.bit_depth) - 1).min(i64::from(i32::MAX)) as i32;
+            for sample in &mut samples {
+                *sample = (*sample).clamp(0, max);
+            }
+        }
         Ok(samples)
     }
 }
@@ -744,6 +779,79 @@ mod tests {
         let empty =
             BrickRect { plane: TileRect { x: 0, y: 0, width: 0, height: 1 }, z: 0, depth: 1 };
         assert!(engine.decompress_region(&bytes, empty).is_err());
+    }
+
+    #[test]
+    fn near_lossless_roundtrips_stay_within_the_volume_bound() {
+        let volume = synth::ct_volume(70, 50, 9, 12, 14);
+        for z_scales in [0u32, 1, 2] {
+            for delta in [1u8, 2, 4, 8] {
+                let codec = LosslessCodec::near_lossless(3, delta).unwrap();
+                let engine = VolumeCompressor::with_codec(codec, z_scales, 32, 32, 4, 2).unwrap();
+                let bytes = engine.compress_stack(&volume).unwrap();
+                let back = engine.decompress_stack(&bytes).unwrap();
+                let mut worst = 0i64;
+                for (a, b) in volume.samples().iter().zip(back.samples()) {
+                    worst = worst.max((i64::from(*a) - i64::from(*b)).abs());
+                }
+                assert!(
+                    worst <= i64::from(delta),
+                    "z_scales {z_scales} delta {delta}: max error {worst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delta_engines_are_byte_identical_to_lossless_ones() {
+        let volume = synth::ct_volume(48, 40, 6, 12, 15);
+        let lossless = VolumeCompressor::new(3, 1, 32, 4, 2).unwrap();
+        let near = VolumeCompressor::with_codec(
+            LosslessCodec::near_lossless(3, 0).unwrap(),
+            1,
+            32,
+            32,
+            4,
+            2,
+        )
+        .unwrap();
+        assert_eq!(
+            lossless.compress_stack(&volume).unwrap(),
+            near.compress_stack(&volume).unwrap()
+        );
+    }
+
+    #[test]
+    fn planes_with_mismatched_quantizer_deltas_are_rejected() {
+        // Lossless brick payloads behind a header that claims a volume bound
+        // implying a nonzero per-plane delta: the cross-check must refuse the
+        // forgery before trusting any plane. z_scales = 0 keeps the implied
+        // per-plane delta equal to the volume bound.
+        let engine = VolumeCompressor::new(3, 0, 32, 4, 2).unwrap();
+        let volume = synth::ct_volume(48, 40, 5, 12, 16);
+        let grid = engine.grid(48, 40, 5).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..grid.brick_count())
+            .map(|i| engine.encode_brick(&volume, &grid, i).unwrap())
+            .collect();
+        let header = VolumeHeader {
+            width: 48,
+            height: 40,
+            depth: 5,
+            bit_depth: 12,
+            scales: 3,
+            z_scales: 0,
+            tile_width: grid.plane().tile_width(),
+            tile_height: grid.plane().tile_height(),
+            brick_depth: grid.brick_depth(),
+            delta: 2,
+        };
+        let forged = write_volume_container(&header, &payloads).unwrap();
+        match engine.decompress_stack(&forged) {
+            Err(PipelineError::Coder(CoderError::MalformedStream(msg))) => {
+                assert!(msg.contains("quantizer delta"), "{msg}");
+            }
+            other => panic!("expected MalformedStream, got {other:?}"),
+        }
     }
 
     #[test]

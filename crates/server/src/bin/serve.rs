@@ -10,6 +10,7 @@
 //!   --cache-entries N   response cache entries     (default 0 = disabled)
 //!   --cache-mb N        response cache byte budget (default 0 = 256 MiB)
 //!   --scales N          compress decomposition     (default 4)
+//!   --delta N           near-lossless bound        (default 0 = lossless)
 //!   --tile N            compress tile size         (default 256)
 //!   --z-scales N        volume z decomposition     (default 2)
 //!   --brick-depth N     volume brick depth         (default 8)
@@ -25,8 +26,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--budget N] [--conn-inflight N] \
-         [--cache-entries N] [--cache-mb N] [--scales N] [--tile N] [--z-scales N] \
-         [--brick-depth N] [--max-frame-mb N] [--duration SECS]"
+         [--cache-entries N] [--cache-mb N] [--scales N] [--delta N] [--tile N] \
+         [--z-scales N] [--brick-depth N] [--max-frame-mb N] [--duration SECS]"
     );
     std::process::exit(2);
 }
@@ -54,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 config.cache_bytes = value("--cache-mb").parse::<usize>()? << 20;
             }
             "--scales" => config.scales = value("--scales").parse()?,
+            "--delta" => config.delta = value("--delta").parse()?,
             "--tile" => config.tile_size = value("--tile").parse()?,
             "--z-scales" => config.z_scales = value("--z-scales").parse()?,
             "--brick-depth" => config.brick_depth = value("--brick-depth").parse()?,
@@ -78,13 +80,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!(
         "lwc-server listening on {} ({} workers, in-flight budget {}, {} per connection, \
-         cache {}, scales {}, tile {}, z-scales {}, brick depth {}, max frame {} MiB)",
+         cache {}, scales {}, delta {}, tile {}, z-scales {}, brick depth {}, \
+         max frame {} MiB)",
         server.local_addr(),
         resolved.workers,
         resolved.queue_depth,
         resolved.conn_inflight,
         cache,
         resolved.scales,
+        resolved.delta,
         resolved.tile_size,
         resolved.z_scales,
         resolved.brick_depth,

@@ -76,6 +76,12 @@ pub struct ServerConfig {
     /// z-axis decomposition depth used for `compress-volume` requests
     /// (`0` codes every slice independently).
     pub z_scales: u32,
+    /// Near-lossless per-pixel error bound δ applied to `compress` and
+    /// `compress-volume` requests; `0` (the default) keeps the service
+    /// lossless and byte-identical to earlier releases. Decompression always
+    /// honors the quantizer recorded in the incoming stream, whatever this
+    /// is set to.
+    pub delta: u8,
     /// Brick depth in slices used for `compress-volume` requests.
     pub brick_depth: usize,
     /// Per-frame payload ceiling, validated before allocation.
@@ -99,6 +105,7 @@ impl Default for ServerConfig {
             scales: 4,
             tile_size: DEFAULT_TILE_SIZE,
             z_scales: 2,
+            delta: 0,
             brick_depth: DEFAULT_BRICK_DEPTH,
             max_payload_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
             read_timeout: Duration::from_millis(100),
@@ -316,7 +323,8 @@ impl Server {
         }
         // The shared engine runs single-threaded per tile: the pool's
         // parallelism lives across tasks, not inside one.
-        let codec = LosslessCodec::new(config.scales).map_err(ServerError::from)?;
+        let codec =
+            LosslessCodec::near_lossless(config.scales, config.delta).map_err(ServerError::from)?;
         let engine = TiledCompressor::with_codec(codec, config.tile_size, config.tile_size, 1)?;
         let volume_engine = VolumeCompressor::with_codec(
             codec,
@@ -1691,6 +1699,9 @@ pub(crate) fn decompress_auto(bytes: &[u8]) -> Result<lwc_image::Image, ServerEr
 }
 
 /// Single-threaded engine with the parameters of a parsed tiled header.
+/// The engine codec is lossless; near-lossless streams decode correctly
+/// anyway because the quantizer is honored from the per-tile stream headers
+/// and cross-checked against the container's delta field.
 fn tiled_engine(header: &TiledHeader) -> Result<TiledCompressor, ServerError> {
     let codec = LosslessCodec::new(header.scales)?;
     Ok(TiledCompressor::with_codec(codec, header.tile_width, header.tile_height, 1)?)

@@ -1,0 +1,194 @@
+//! Fuzz-shaped tests of the DICOM ingest path: the parser must answer every
+//! malformed, truncated or hostile stream with a typed error — never a
+//! panic, a hang or an oversized allocation — and well-formed objects must
+//! roundtrip bit-exactly through the fixture writer in both supported
+//! transfer syntaxes, then through the compression engines.
+
+use lwc_core::prelude::*;
+
+/// Deterministic pseudo-random bytes (splitmix64) so the hostile-input
+/// sweeps are reproducible without any RNG plumbing.
+fn pseudo_random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let mut z = state;
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.extend_from_slice(&z.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+fn fixture(depth: usize) -> ImageStack {
+    let slices: Vec<Image> = (0..depth).map(|z| synth::ct_phantom(48, 36, 12, z as u64)).collect();
+    ImageStack::from_slices(&slices).unwrap()
+}
+
+#[test]
+fn well_formed_objects_roundtrip_in_both_transfer_syntaxes() {
+    for depth in [1usize, 4] {
+        let stack = fixture(depth);
+        for explicit in [true, false] {
+            for signed in [false, true] {
+                let bytes = dicom::encode(&stack, explicit, signed).unwrap();
+                let parsed = dicom::parse(&bytes).unwrap();
+                assert_eq!(parsed.stack, stack, "depth={depth} explicit={explicit}");
+                assert_eq!(parsed.signed, signed);
+                assert_eq!(parsed.bits_stored, 12);
+            }
+        }
+    }
+}
+
+#[test]
+fn parsed_frames_compress_losslessly_end_to_end() {
+    // Ingest → compress → decompress → the exact stored values: the whole
+    // corpus path on one in-memory object.
+    let stack = fixture(3);
+    let bytes = dicom::encode(&stack, true, false).unwrap();
+    let parsed = dicom::parse(&bytes).unwrap();
+    let engine = TiledCompressor::new(3, 32, 2).unwrap();
+    for z in 0..parsed.stack.depth() {
+        let frame = parsed.stack.slice_image(z).unwrap();
+        let back = engine.decompress(&engine.compress(&frame).unwrap()).unwrap();
+        assert!(stats::bit_exact(&frame, &back).unwrap(), "frame {z}");
+    }
+}
+
+#[test]
+fn random_prefixes_of_every_length_are_rejected_before_allocation() {
+    // 0..64 bytes of noise — shorter than the 132-byte preamble+magic — must
+    // be rejected by the cheap structural check, for every length and
+    // several seeds.
+    for seed in 0..8u64 {
+        for len in 0..64usize {
+            let junk = pseudo_random_bytes(seed, len);
+            assert!(!dicom::is_dicom(&junk));
+            match dicom::parse(&junk) {
+                Err(ImageError::MalformedDicom(_)) => {}
+                other => panic!("seed {seed} len {len}: expected MalformedDicom, got {other:?}"),
+            }
+        }
+    }
+    // Noise that *does* carry the magic still dies with a typed error at the
+    // first implausible element, never a panic.
+    for seed in 0..32u64 {
+        let mut junk = pseudo_random_bytes(seed, 512);
+        junk[128..132].copy_from_slice(b"DICM");
+        match dicom::parse(&junk) {
+            Err(ImageError::MalformedDicom(_) | ImageError::UnsupportedDicom(_)) => {}
+            other => panic!("seed {seed}: expected a typed error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_truncation_point_of_a_valid_object_is_a_typed_error() {
+    let bytes = dicom::encode(&fixture(2), true, false).unwrap();
+    // Exhaustive over the header region, sampled through the pixel data.
+    let mut cuts: Vec<usize> = (0..256.min(bytes.len())).collect();
+    cuts.extend((256..bytes.len()).step_by(97));
+    for cut in cuts {
+        match dicom::parse(&bytes[..cut]) {
+            Err(ImageError::MalformedDicom(_)) => {}
+            other => panic!("cut at {cut}: expected MalformedDicom, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn forged_element_lengths_are_refused_with_named_errors() {
+    let stack = fixture(1);
+    let bytes = dicom::encode(&stack, true, false).unwrap();
+    let pixel_tag = [0xE0u8, 0x7F, 0x10, 0x00];
+    let at = (0..bytes.len() - 4).find(|&i| bytes[i..i + 4] == pixel_tag).unwrap();
+
+    // A length reaching past the end of the stream.
+    let mut forged = bytes.clone();
+    forged[at + 8..at + 12].copy_from_slice(&0x00FF_FFFFu32.to_le_bytes());
+    match dicom::parse(&forged) {
+        Err(ImageError::MalformedDicom(msg)) => {
+            assert!(msg.contains("claims"), "length forgery names the claim: {msg}");
+        }
+        other => panic!("expected MalformedDicom, got {other:?}"),
+    }
+
+    // The undefined-length sentinel (encapsulated pixel data).
+    let mut forged = bytes.clone();
+    forged[at + 8..at + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(dicom::parse(&forged), Err(ImageError::UnsupportedDicom(_))));
+
+    // A length that fits the stream but contradicts Rows x Columns: the
+    // consistency check fires instead of a misshapen image appearing.
+    let mut forged = bytes.clone();
+    let shortened = (forged.len() - at - 12 - 2) as u32;
+    forged[at + 8..at + 12].copy_from_slice(&shortened.to_le_bytes());
+    forged.truncate(at + 12 + shortened as usize);
+    assert!(matches!(dicom::parse(&forged), Err(ImageError::MalformedDicom(_))));
+
+    // A lowercase (implausible) VR on a dataset element.
+    let rows_tag = [0x28u8, 0x00, 0x10, 0x00];
+    let at = (0..bytes.len() - 4).find(|&i| bytes[i..i + 4] == rows_tag).unwrap();
+    let mut forged = bytes.clone();
+    forged[at + 4] = b'u'; // "uS"
+    match dicom::parse(&forged) {
+        Err(ImageError::MalformedDicom(msg)) => assert!(msg.contains("VR"), "{msg}"),
+        other => panic!("expected MalformedDicom, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_dimensions_and_hostile_geometry_never_allocate() {
+    let stack = fixture(1);
+    let bytes = dicom::encode(&stack, true, false).unwrap();
+    let tag = |group: u16, element: u16| {
+        let mut t = [0u8; 4];
+        t[..2].copy_from_slice(&group.to_le_bytes());
+        t[2..].copy_from_slice(&element.to_le_bytes());
+        t
+    };
+    for (name, tag_bytes, value) in [
+        ("zero rows", tag(0x0028, 0x0010), 0u16),
+        ("zero columns", tag(0x0028, 0x0011), 0u16),
+        ("huge rows", tag(0x0028, 0x0010), u16::MAX),
+        ("huge columns", tag(0x0028, 0x0011), u16::MAX),
+        ("zero bits stored", tag(0x0028, 0x0101), 0u16),
+        ("bits stored over allocated", tag(0x0028, 0x0101), 17u16),
+    ] {
+        let at = (0..bytes.len() - 4).find(|&i| bytes[i..i + 4] == tag_bytes).unwrap();
+        let mut forged = bytes.clone();
+        forged[at + 8..at + 10].copy_from_slice(&value.to_le_bytes());
+        assert!(
+            matches!(dicom::parse(&forged), Err(ImageError::MalformedDicom(_))),
+            "{name} must be a typed error"
+        );
+    }
+    // Bits allocated outside {8, 16} is out of subset, not out of spec.
+    let at = (0..bytes.len() - 4).find(|&i| bytes[i..i + 4] == tag(0x0028, 0x0100)).unwrap();
+    let mut forged = bytes.clone();
+    forged[at + 8..at + 10].copy_from_slice(&32u16.to_le_bytes());
+    assert!(matches!(dicom::parse(&forged), Err(ImageError::UnsupportedDicom(_))));
+
+    // A forged frame count that multiplies past the real pixel length.
+    let multi = dicom::encode(&fixture(4), true, false).unwrap();
+    let at = (0..multi.len() - 4).find(|&i| multi[i..i + 4] == tag(0x0028, 0x0008)).unwrap();
+    let mut forged = multi.clone();
+    forged[at + 8] = b'9'; // "9" instead of "4"
+    assert!(matches!(dicom::parse(&forged), Err(ImageError::MalformedDicom(_))));
+}
+
+#[test]
+fn file_io_wrappers_roundtrip_on_disk() {
+    let dir = std::env::temp_dir().join("lwc_dicom_ingest_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("phantom.dcm");
+    let stack = fixture(2);
+    dicom::save(&path, &stack, true, false).unwrap();
+    let loaded = dicom::load(&path).unwrap();
+    assert_eq!(loaded.stack, stack);
+    std::fs::remove_dir_all(&dir).ok();
+}

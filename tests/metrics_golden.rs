@@ -1,0 +1,175 @@
+//! Golden-value and property tests for `lwc-metrics`: PSNR and SSIM against
+//! hand-computed references, plus the structural invariants (symmetry,
+//! range, identity) the indices must keep for arbitrary image pairs.
+
+use lwc_core::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn psnr_goldens_match_hand_computed_values() {
+    // 4x4 8-bit, one pixel off by 1: MSE = 1/16,
+    // PSNR = 10 log10(255² · 16) = 48.13 + 12.04 ≈ 60.1729 dB.
+    let a = synth::flat(4, 4, 8, 10);
+    let mut samples = a.samples().to_vec();
+    samples[0] = 11;
+    let b = Image::from_samples(4, 4, 8, samples).unwrap();
+    let golden = 10.0 * (255.0f64 * 255.0 * 16.0).log10();
+    assert!((metrics::psnr(&a, &b).unwrap() - golden).abs() < 1e-9);
+    assert!((golden - 60.172_003).abs() < 1e-4, "the golden itself: {golden}");
+
+    // Every pixel off by exactly 2 on 12-bit data: MSE = 4,
+    // PSNR = 20 log10(4095 / 2) ≈ 66.2243 dB.
+    let a = synth::flat(8, 8, 12, 100);
+    let b = synth::flat(8, 8, 12, 102);
+    let golden = 20.0 * (4095.0f64 / 2.0).log10();
+    assert!((metrics::psnr(&a, &b).unwrap() - golden).abs() < 1e-9);
+    assert!((golden - 66.224_3).abs() < 1e-3, "the golden itself: {golden}");
+
+    // Identical images: infinite PSNR, zero L∞, lossless report.
+    let img = synth::ct_phantom(40, 30, 12, 5);
+    assert_eq!(metrics::psnr(&img, &img).unwrap(), f64::INFINITY);
+    let report = metrics::fidelity(&img, &img).unwrap();
+    assert!(report.lossless());
+    assert_eq!(report.max_abs_error, 0);
+    assert!((report.ssim - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn ssim_golden_for_a_uniform_shift() {
+    // Two flat images: all windows have zero variance and covariance, so
+    // SSIM reduces to the luminance term (2μaμb + C1)/(μa² + μb² + C1)
+    // exactly — C2 cancels between numerator and denominator.
+    let a = synth::flat(16, 16, 8, 100);
+    let b = synth::flat(16, 16, 8, 120);
+    let c1 = (0.01f64 * 255.0).powi(2);
+    let golden = (2.0 * 100.0 * 120.0 + c1) / (100.0f64.powi(2) + 120.0f64.powi(2) + c1);
+    assert!((metrics::ssim(&a, &b).unwrap() - golden).abs() < 1e-12);
+}
+
+#[test]
+fn compression_report_golden_for_the_paper_configuration() {
+    // A 512x512 12-bit image stored at 2 bytes/pixel: raw = 524 288 bytes.
+    // A 262 144-byte stream is ratio 2.0 at 8.0 bits/pixel.
+    let fid = FidelityReport { psnr_db: f64::INFINITY, ssim: 1.0, max_abs_error: 0 };
+    let report = metrics::compression(512 * 512, 12, 262_144, fid);
+    assert_eq!(report.raw_bytes, 524_288);
+    assert!((report.ratio - 2.0).abs() < 1e-12);
+    assert!((report.bits_per_pixel - 8.0).abs() < 1e-12);
+}
+
+#[test]
+fn near_lossless_rate_distortion_is_monotonic_on_a_phantom() {
+    // Larger δ must never compress worse, and the measured L∞ never exceeds
+    // δ — metrics and quantizer agreeing end to end.
+    let image = synth::ct_phantom(128, 96, 12, 17);
+    let mut previous_bytes = u64::MAX;
+    for delta in [0u8, 1, 2, 4, 8] {
+        let codec = LosslessCodec::near_lossless(3, delta).unwrap();
+        let stream = codec.compress(&image).unwrap();
+        let back = codec.decompress(&stream).unwrap();
+        let fid = metrics::fidelity(&image, &back).unwrap();
+        assert!(fid.max_abs_error <= i32::from(delta), "δ={delta}");
+        let report = metrics::compression(image.pixel_count() as u64, 12, stream.len() as u64, fid);
+        // δ=1 cannot quantize anything (no allowance fits the 5/3 synthesis
+        // gain) yet pays the one-byte quantizer header, so allow exactly
+        // that much slack in the monotonicity check.
+        assert!(
+            report.compressed_bytes <= previous_bytes.saturating_add(1),
+            "δ={delta} compressed worse than a smaller bound ({} vs {previous_bytes})",
+            report.compressed_bytes
+        );
+        previous_bytes = report.compressed_bytes;
+        if delta == 0 {
+            assert!(report.fidelity.lossless());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// SSIM is symmetric, bounded in [-1, 1], and exactly 1 on identity, for
+    /// arbitrary content, bit depth and non-multiple-of-8 shapes.
+    #[test]
+    fn ssim_invariants(
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+        width in 8usize..40,
+        height in 8usize..40,
+        bit_depth in 8u32..=12,
+    ) {
+        let a = synth::random_image(width, height, bit_depth, seed_a);
+        let b = synth::random_image(width, height, bit_depth, seed_b);
+        let ab = metrics::ssim(&a, &b).unwrap();
+        let ba = metrics::ssim(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12, "symmetry: {ab} vs {ba}");
+        prop_assert!((-1.0..=1.0).contains(&ab), "range: {ab}");
+        prop_assert!((metrics::ssim(&a, &a).unwrap() - 1.0).abs() < 1e-12, "identity");
+    }
+
+    /// PSNR is symmetric for same-depth pairs, infinite only on identity,
+    /// and decreases when a distortion grows.
+    #[test]
+    fn psnr_invariants(
+        seed in 0u64..10_000,
+        width in 4usize..32,
+        height in 4usize..32,
+        shift in 1i32..8,
+    ) {
+        let a = synth::random_image(width, height, 12, seed);
+        let perturb = |amount: i32| {
+            let samples: Vec<i32> =
+                a.samples().iter().map(|&v| (v + amount).min((1 << 12) - 1)).collect();
+            Image::from_samples(width, height, 12, samples).unwrap()
+        };
+        let near = perturb(shift);
+        let far = perturb(shift * 2);
+        let psnr_near = metrics::psnr(&a, &near).unwrap();
+        let psnr_far = metrics::psnr(&a, &far).unwrap();
+        prop_assert!(psnr_near.is_finite());
+        prop_assert!(psnr_near > psnr_far, "{psnr_near} vs {psnr_far}");
+        prop_assert!((metrics::psnr(&a, &near).unwrap()
+            - metrics::psnr(&near, &a).unwrap()).abs() < 1e-9, "symmetry");
+        prop_assert_eq!(metrics::psnr(&a, &a).unwrap(), f64::INFINITY);
+        // max-abs-error sees exactly the injected shift (clamped pixels can
+        // only shrink it).
+        prop_assert!(metrics::max_abs_error(&a, &near).unwrap() <= shift);
+    }
+
+    /// Volume fidelity equals per-slice fidelity when the stack is one slice
+    /// deep, and its L∞ is the max over slices in general.
+    #[test]
+    fn volume_fidelity_agrees_with_slices(
+        seed in 0u64..10_000,
+        depth in 1usize..5,
+    ) {
+        let slices: Vec<Image> =
+            (0..depth).map(|z| synth::ct_phantom(24, 20, 12, seed + z as u64)).collect();
+        let reference = ImageStack::from_slices(&slices).unwrap();
+        let distorted: Vec<Image> = slices
+            .iter()
+            .enumerate()
+            .map(|(z, s)| {
+                let samples: Vec<i32> = s
+                    .samples()
+                    .iter()
+                    .map(|&v| (v + z as i32).min((1 << 12) - 1))
+                    .collect();
+                Image::from_samples(24, 20, 12, samples).unwrap()
+            })
+            .collect();
+        let test = ImageStack::from_slices(&distorted).unwrap();
+        let report = metrics::volume_fidelity(&reference, &test).unwrap();
+        let per_slice_worst = slices
+            .iter()
+            .zip(&distorted)
+            .map(|(a, b)| metrics::max_abs_error(a, b).unwrap())
+            .max()
+            .unwrap();
+        prop_assert_eq!(report.max_abs_error, per_slice_worst);
+        if depth == 1 {
+            let flat = metrics::fidelity(&slices[0], &distorted[0]).unwrap();
+            prop_assert_eq!(report, flat);
+        }
+    }
+}

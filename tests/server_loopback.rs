@@ -444,3 +444,82 @@ fn region_ops_serve_crops_of_both_2d_and_volume_streams() {
     let err = client.decompress(&vstream).unwrap_err();
     assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
 }
+
+#[test]
+fn near_lossless_ops_respect_the_bound_and_reject_forged_quantizers() {
+    let image = synth::ct_phantom(80, 60, 12, 21);
+
+    // A δ=0 service is byte-identical to the default lossless one.
+    let lossless = test_server(2, 8);
+    let mut lossless_client = Client::connect(lossless.local_addr()).expect("connect");
+    let lossless_stream = lossless_client.compress_image(&image).expect("compress");
+    let zero_config = ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        scales: 3,
+        tile_size: 32,
+        delta: 0,
+        read_timeout: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let zero = Server::bind("127.0.0.1:0", zero_config).expect("bind loopback");
+    let mut zero_client = Client::connect(zero.local_addr()).expect("connect");
+    assert_eq!(zero_client.compress_image(&image).expect("compress"), lossless_stream);
+
+    // A δ=2 service produces the near-lossless engine's exact bytes, and any
+    // server — near-lossless knob or not — decodes them within the bound,
+    // because the quantizer rides in the stream headers.
+    let config = ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        scales: 3,
+        tile_size: 32,
+        // z_scales = 0 keeps the implied per-plane delta equal to the
+        // container delta, so the plane/container mismatch forgery below is
+        // actually a mismatch.
+        z_scales: 0,
+        delta: 2,
+        read_timeout: Duration::from_millis(20),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let stream = client.compress_image(&image).expect("compress");
+    assert_ne!(stream, lossless_stream, "δ=2 must quantize");
+    let engine =
+        TiledCompressor::with_codec(LosslessCodec::near_lossless(3, 2).unwrap(), 32, 32, 1)
+            .unwrap();
+    assert_eq!(stream, engine.compress(&image).unwrap());
+    let back = lossless_client.decompress(&stream).expect("decompress on lossless server");
+    assert!(stats::max_abs_diff(&image, &back).unwrap() <= 2);
+
+    // Volumetric op under the same bound.
+    let stack = synth::ct_volume(40, 32, 12, 10, 5);
+    let vstream = client.compress_volume(&stack).expect("compress-volume");
+    let vback = client.decompress_volume(&vstream).expect("decompress-volume");
+    for (&a, &b) in stack.samples().iter().zip(vback.samples()) {
+        assert!((a - b).abs() <= 2, "voxel error {} exceeds δ=2", (a - b).abs());
+    }
+
+    // Forged quantizer headers are typed refusals, not panics or wrong
+    // pixels. LWCT v2 keeps its delta at byte 23: zeroing it forges a
+    // near-lossless version claiming no quantizer...
+    let mut forged = stream.clone();
+    forged[23] = 0;
+    let err = lossless_client.decompress(&forged).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+    // ...and a different nonzero value contradicts the per-tile headers.
+    let mut mismatched = stream.clone();
+    mismatched[23] = 3;
+    let err = lossless_client.decompress(&mismatched).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+    // LWCV v2 keeps its delta at byte 32: same two forgeries.
+    let mut forged = vstream.clone();
+    forged[32] = 0;
+    let err = client.decompress_volume(&forged).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+    let mut mismatched = vstream.clone();
+    mismatched[32] = 7;
+    let err = client.decompress_volume(&mismatched).unwrap_err();
+    assert!(matches!(err, ServerError::Remote { code: ErrorCode::BadPayload, .. }), "{err}");
+}
